@@ -1,0 +1,245 @@
+//! Types shared between the baseline systems and the discrete-event driver
+//! in `vllm-sim`.
+
+/// A trace-driven request as seen by a serving system under simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRequest {
+    /// Request id.
+    pub id: u64,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Scripted output length in tokens (per sequence).
+    pub output_len: usize,
+    /// Number of output sequences (parallel samples or beam width).
+    pub n_seqs: usize,
+    /// Whether the request uses beam search (affects baseline copy costs
+    /// and vLLM sharing dynamics).
+    pub is_beam: bool,
+}
+
+impl SimRequest {
+    /// A basic single-output request.
+    #[must_use]
+    pub fn basic(id: u64, arrival: f64, prompt_len: usize, output_len: usize) -> Self {
+        Self {
+            id,
+            arrival,
+            prompt_len,
+            output_len,
+            n_seqs: 1,
+            is_beam: false,
+        }
+    }
+}
+
+/// The computational content of one iteration, consumed by the cost model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepWork {
+    /// Token counts of prompt-phase sequences processed this step.
+    pub prefill_tokens: Vec<usize>,
+    /// Context lengths of generation-phase sequences (one new token each).
+    pub decode_contexts: Vec<usize>,
+    /// KV token-states copied GPU→GPU this step (beam-candidate copies in
+    /// baselines, copy-on-write in vLLM).
+    pub copied_tokens: usize,
+    /// KV blocks transferred over PCIe this step (swapping).
+    pub swapped_blocks: usize,
+    /// Tokens of wasted padding compute (FasterTransformer-style batches).
+    pub padded_tokens: usize,
+}
+
+impl StepWork {
+    /// Whether this step performs any work.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prefill_tokens.is_empty()
+            && self.decode_contexts.is_empty()
+            && self.swapped_blocks == 0
+            && self.copied_tokens == 0
+    }
+
+    /// Total new tokens computed this step (prefill + decode + padding).
+    #[must_use]
+    pub fn new_tokens(&self) -> usize {
+        self.prefill_tokens.iter().sum::<usize>() + self.decode_contexts.len() + self.padded_tokens
+    }
+}
+
+/// Per-step memory breakdown in KV token slots (Figs. 2 and 3 taxonomy).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemorySnapshot {
+    /// Slots holding actual token states.
+    pub used: usize,
+    /// Slots reserved for tokens that will be generated (eventually used).
+    pub reserved: usize,
+    /// Slots reserved but never used (over-provisioning).
+    pub internal_frag: usize,
+    /// Allocator-level waste (buddy rounding and unusable holes).
+    pub external_frag: usize,
+    /// Slots not allocated to any request.
+    pub free: usize,
+    /// Total capacity in slots.
+    pub capacity: usize,
+}
+
+impl MemorySnapshot {
+    /// Fraction of capacity holding token states (Fig. 2's headline
+    /// number: 20.4%–38.2% for the baselines, ~96% counting only vLLM's
+    /// allocated blocks).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Fraction of *allocated* slots holding token states.
+    #[must_use]
+    pub fn utilization_of_allocated(&self) -> f64 {
+        let allocated = self.capacity - self.free;
+        if allocated == 0 {
+            return 1.0;
+        }
+        self.used as f64 / allocated as f64
+    }
+}
+
+/// A request completion event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinishedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Output length (per sequence) actually generated.
+    pub output_len: usize,
+}
+
+impl FinishedRequest {
+    /// End-to-end latency divided by output length (§6.1).
+    #[must_use]
+    pub fn normalized_latency(&self) -> f64 {
+        (self.finish - self.arrival) / self.output_len.max(1) as f64
+    }
+}
+
+/// The outcome of one simulated iteration.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStep {
+    /// Modeled duration of the iteration.
+    pub elapsed: f64,
+    /// Requests that completed at the end of this iteration.
+    pub finished: Vec<FinishedRequest>,
+    /// The work content (for logging/inspection).
+    pub work: StepWork,
+}
+
+/// Optional counters a system may expose beyond the required interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemExtra {
+    /// Total preemptions (vLLM only; baselines never preempt).
+    pub preemptions: u64,
+    /// Preemptions recovered by swapping.
+    pub swap_preemptions: u64,
+    /// Preemptions recovered by recomputation.
+    pub recompute_preemptions: u64,
+    /// Current fraction of blocks saved by sharing (vLLM only, Fig. 15).
+    pub sharing_savings: f64,
+}
+
+/// A serving system under trace-driven simulation: Orca variants and
+/// FasterTransformer implement this; the vLLM adapter in `vllm-sim` wraps
+/// the real engine behind the same driver.
+pub trait BatchSystem {
+    /// System label used in reports (e.g. `"Orca (Oracle)"`).
+    fn name(&self) -> String;
+
+    /// Admits a request into the arrival queue.
+    fn enqueue(&mut self, req: SimRequest);
+
+    /// Runs one iteration starting at `now`. `cost` maps the iteration's
+    /// work to a duration. Returns `None` when there is nothing to run
+    /// (the driver then fast-forwards to the next arrival).
+    fn step(&mut self, now: f64, cost: &mut dyn FnMut(&StepWork) -> f64) -> Option<SystemStep>;
+
+    /// Current memory breakdown.
+    fn memory_snapshot(&self) -> MemorySnapshot;
+
+    /// Requests currently being processed.
+    fn num_running_requests(&self) -> usize;
+
+    /// Sequences currently being processed (≥ requests).
+    fn num_running_seqs(&self) -> usize;
+
+    /// Whether any request is queued or running.
+    fn has_unfinished(&self) -> bool;
+
+    /// Optional counters (preemptions, sharing). Defaults to zeros.
+    fn extra(&self) -> SystemExtra {
+        SystemExtra::default()
+    }
+}
+
+/// Rounds up to the next power of two (Orca Pow2 reservation policy).
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(25), 32);
+        assert_eq!(next_pow2(32), 32);
+        assert_eq!(next_pow2(33), 64);
+    }
+
+    #[test]
+    fn normalized_latency() {
+        let f = FinishedRequest {
+            id: 0,
+            arrival: 1.0,
+            finish: 11.0,
+            output_len: 20,
+        };
+        assert!((f.normalized_latency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_utilization() {
+        let s = MemorySnapshot {
+            used: 25,
+            reserved: 25,
+            internal_frag: 25,
+            external_frag: 0,
+            free: 25,
+            capacity: 100,
+        };
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+        assert!((s.utilization_of_allocated() - 25.0 / 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_work_token_counts() {
+        let w = StepWork {
+            prefill_tokens: vec![10, 5],
+            decode_contexts: vec![100, 200, 300],
+            copied_tokens: 0,
+            swapped_blocks: 0,
+            padded_tokens: 2,
+        };
+        assert_eq!(w.new_tokens(), 20);
+        assert!(!w.is_empty());
+        assert!(StepWork::default().is_empty());
+    }
+}

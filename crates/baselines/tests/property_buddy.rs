@@ -1,0 +1,86 @@
+//! Property tests for the buddy allocator: conservation, alignment,
+//! non-overlap, and full coalescing under arbitrary alloc/free
+//! interleavings.
+
+use proptest::prelude::*;
+
+use vllm_baselines::BuddyAllocator;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..600).prop_map(Op::Alloc),
+            (0usize..32).prop_map(Op::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn buddy_invariants_hold(ops in ops(), capacity in 64usize..5000) {
+        let mut b = BuddyAllocator::new(capacity);
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Some(blk) = b.allocate(size) {
+                        // Alignment: offset is a multiple of the rounded size.
+                        prop_assert_eq!(blk.offset % blk.allocated(), 0);
+                        // In bounds.
+                        prop_assert!(blk.offset + blk.allocated() <= capacity);
+                        // Non-overlap with every live block.
+                        for other in &live {
+                            let o: &vllm_baselines::BuddyBlock = other;
+                            let disjoint = blk.offset + blk.allocated() <= o.offset
+                                || o.offset + o.allocated() <= blk.offset;
+                            prop_assert!(disjoint, "overlap: {blk:?} vs {o:?}");
+                        }
+                        live.push(blk);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        b.free(live.swap_remove(idx));
+                    }
+                }
+            }
+            // Conservation.
+            let live_sum: usize = live.iter().map(|x| x.allocated()).sum();
+            prop_assert_eq!(b.allocated_slots(), live_sum);
+            prop_assert!(b.requested_slots() <= b.allocated_slots());
+            prop_assert!(b.allocated_slots() <= capacity);
+        }
+        // Free everything: full heap restored.
+        for blk in live {
+            b.free(blk);
+        }
+        prop_assert_eq!(b.free_slots(), capacity);
+        prop_assert_eq!(b.requested_slots(), 0);
+        // The largest power of two within capacity is allocatable again.
+        let biggest = if capacity.is_power_of_two() {
+            capacity
+        } else {
+            capacity.next_power_of_two() / 2
+        };
+        prop_assert!(b.allocate(biggest).is_some(), "coalescing incomplete");
+    }
+
+    #[test]
+    fn rounding_waste_never_exceeds_half(size in 1usize..4096) {
+        let mut b = BuddyAllocator::new(8192);
+        let blk = b.allocate(size).unwrap();
+        // Pow2 rounding wastes strictly less than the requested size.
+        prop_assert!(blk.rounding_waste() < size.max(1));
+        b.free(blk);
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion microbenchmark of the block-manager hot paths: prompt
+//! allocation, per-step slot appends, forks, and swap round-trips — the
+//! operations on the scheduler's critical path every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vllm_core::{
+    BlockSpaceManager, CacheConfig, SamplingParams, Sequence, SequenceGroup, SequenceStatus,
+};
+
+fn group_with_prompt(id: u64, prompt_len: usize, block_size: usize) -> SequenceGroup {
+    let seq = Sequence::new(id, vec![1; prompt_len], block_size);
+    SequenceGroup::new(
+        format!("r{id}"),
+        seq,
+        SamplingParams::greedy(64).with_ignore_eos(),
+        0.0,
+    )
+}
+
+fn bench_allocate_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_manager");
+    for &prompt_len in &[64usize, 512, 2048] {
+        g.bench_with_input(
+            BenchmarkId::new("allocate_free", prompt_len),
+            &prompt_len,
+            |b, &prompt_len| {
+                let cfg = CacheConfig::new(16, 4096, 0).unwrap();
+                let mut m = BlockSpaceManager::new(&cfg);
+                let group = group_with_prompt(0, prompt_len, 16);
+                b.iter(|| {
+                    m.allocate(black_box(&group)).unwrap();
+                    m.free(0).unwrap();
+                });
+            },
+        );
+    }
+
+    g.bench_function("append_slot_1k_tokens", |b| {
+        let cfg = CacheConfig::new(16, 4096, 0).unwrap();
+        b.iter(|| {
+            let mut m = BlockSpaceManager::new(&cfg);
+            let mut group = group_with_prompt(0, 8, 16);
+            m.allocate(&group).unwrap();
+            for t in 0..1000u32 {
+                group.get_mut(0).unwrap().data.append_token(t);
+                let seq = group.get(0).unwrap();
+                black_box(m.append_slot(seq).unwrap());
+            }
+            m.free(0).unwrap();
+        });
+    });
+
+    g.bench_function("fork_cow_split", |b| {
+        let cfg = CacheConfig::new(16, 4096, 0).unwrap();
+        b.iter(|| {
+            let mut m = BlockSpaceManager::new(&cfg);
+            let mut group = group_with_prompt(0, 100, 16);
+            m.allocate(&group).unwrap();
+            let child = group.get(0).unwrap().fork(1);
+            group.add(child);
+            m.fork(0, 1).unwrap();
+            group.get_mut(1).unwrap().data.append_token(9);
+            black_box(m.append_slot(group.get(1).unwrap()).unwrap());
+            m.free(0).unwrap();
+            m.free(1).unwrap();
+        });
+    });
+
+    g.bench_function("swap_out_in_32_blocks", |b| {
+        let cfg = CacheConfig::new(16, 4096, 4096).unwrap();
+        b.iter(|| {
+            let mut m = BlockSpaceManager::new(&cfg);
+            let mut group = group_with_prompt(0, 512, 16);
+            m.allocate(&group).unwrap();
+            group.set_status_all(SequenceStatus::Running);
+            black_box(m.swap_out(&group).unwrap());
+            group.set_status_all(SequenceStatus::Swapped);
+            black_box(m.swap_in(&group).unwrap());
+            m.free(0).unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate_free);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation studies beyond the paper's §7, exercising the design choices
+//! DESIGN.md calls out:
+//!
+//! (A) Block sharing on/off — quantifies the copy-on-write sharing
+//!     contribution separately from paging (forks eagerly copy blocks when
+//!     sharing is off, as a contiguous system must).
+//! (B) Admission watermark 0% vs 1% — the §4.2 guard against admitting a
+//!     request only to preempt it immediately.
+//! (C) Prefix cache on/off at fixed rate (complements Fig. 16's sweep).
+//! (D) Preemption victim policy — latest-arrival (the paper's
+//!     FCFS-preserving choice) vs largest-footprint.
+
+use vllm_core::config::{PreemptionMode, VictimPolicy};
+use vllm_sim::{run_trace, trace_to_requests, CostModel, ServerConfig, VllmSimSystem};
+use vllm_workloads::{synthesize_translation_trace, Dataset, PrefixKind, Trace};
+
+fn main() {
+    vllm_bench::print_figure_header("Ablations", "Design-choice ablations (beyond §7)");
+    let server = ServerConfig::opt_13b_1gpu();
+    let cost = CostModel::contiguous(server);
+
+    println!("(A) block sharing: parallel sampling n=4 and beam n=4, Alpaca");
+    println!(
+        "  {:<22} {:<10} {:>8} {:>14} {:>12} {:>12}",
+        "system", "decoding", "rate", "norm-lat(s)", "sharing", "copied-tok"
+    );
+    for (is_beam, label, rate) in [(false, "parallel-4", 10.0), (true, "beam-4", 6.0)] {
+        let trace = Trace::synthesize(&Dataset::alpaca(), rate, (rate * 240.0) as usize, 42);
+        let reqs = trace_to_requests(&trace, 4, is_beam);
+        for shared in [true, false] {
+            let mut sys = VllmSimSystem::new(server, 16, PreemptionMode::Swap);
+            if !shared {
+                sys = sys.without_sharing();
+            }
+            let r = run_trace(&mut sys, &reqs, &cost, rate);
+            println!(
+                "  {:<22} {:<10} {:>8.1} {:>14.4} {:>11.1}% {:>12}",
+                r.system,
+                label,
+                rate,
+                r.mean_normalized_latency,
+                r.avg_sharing_savings * 100.0,
+                r.copied_tokens
+            );
+        }
+    }
+
+    println!("\n(B) admission watermark: ShareGPT @ 2.2 req/s (preemption-heavy)");
+    println!(
+        "  {:<22} {:>14} {:>14} {:>12}",
+        "watermark", "norm-lat(s)", "preemptions", "finished"
+    );
+    for watermark in [0.0, 0.01, 0.05] {
+        let trace = Trace::synthesize(&Dataset::sharegpt(), 2.2, 520, 42);
+        let reqs = trace_to_requests(&trace, 1, false);
+        let mut sys =
+            VllmSimSystem::with_watermark(server, 16, PreemptionMode::Recompute, watermark);
+        let r = run_trace(&mut sys, &reqs, &cost, 2.2);
+        println!(
+            "  {:<22} {:>14.4} {:>14} {:>12}",
+            format!("{:.0}%", watermark * 100.0),
+            r.mean_normalized_latency,
+            r.preemptions,
+            r.num_finished
+        );
+    }
+
+    println!("\n(C) prefix cache on/off: 5-shot translation @ 14 req/s");
+    let prefix = PrefixKind::FiveShot;
+    let trace = synthesize_translation_trace(prefix, 14.0, (14.0 * 240.0) as usize, 42);
+    let reqs = trace_to_requests(&trace.trace, 1, false);
+    for cached in [true, false] {
+        let mut sys = VllmSimSystem::new(server, 16, PreemptionMode::Recompute);
+        sys.set_shared_prefix(prefix.tokens(50_000), cached);
+        let r = run_trace(&mut sys, &reqs, &cost, 14.0);
+        println!(
+            "  prefix cache {:<5} norm-lat {:>10.4} s/token",
+            cached, r.mean_normalized_latency
+        );
+    }
+
+    println!("\n(D) preemption victim policy: ShareGPT @ 2.4 req/s");
+    println!(
+        "  {:<22} {:>14} {:>10} {:>14} {:>12}",
+        "policy", "norm-lat(s)", "p99(s)", "preemptions", "finished"
+    );
+    for (policy, label) in [
+        (VictimPolicy::LatestArrival, "latest-arrival"),
+        (VictimPolicy::LargestFootprint, "largest-footprint"),
+    ] {
+        let trace = Trace::synthesize(&Dataset::sharegpt(), 2.4, 580, 42);
+        let reqs = trace_to_requests(&trace, 1, false);
+        let mut sys =
+            VllmSimSystem::with_options(server, 16, PreemptionMode::Recompute, 0.01, policy);
+        let r = run_trace(&mut sys, &reqs, &cost, 2.4);
+        println!(
+            "  {:<22} {:>14.4} {:>10.3} {:>14} {:>12}",
+            label,
+            r.mean_normalized_latency,
+            r.p99_normalized_latency,
+            r.preemptions,
+            r.num_finished
+        );
+    }
+}

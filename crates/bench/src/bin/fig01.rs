@@ -1,0 +1,99 @@
+//! Fig. 1 (right): with the same KV budget, existing systems exhaust
+//! memory at a small batch while vLLM's allocation grows smoothly with the
+//! actual token count, so it batches more requests and serves more
+//! throughput.
+
+use vllm_bench::{sweep, SystemKind, DEFAULT_TRACE_SECONDS};
+use vllm_sim::ServerConfig;
+use vllm_workloads::Dataset;
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Fig. 1 (right)",
+        "Memory usage per batched request and resulting throughput, OPT-13B on 1xA100, ShareGPT @ 1.5 req/s",
+    );
+    let server = ServerConfig::opt_13b_1gpu();
+    let dataset = Dataset::sharegpt();
+    println!(
+        "  {:<20} {:>10} {:>18} {:>16} {:>14}",
+        "system", "batched", "KV slots/request", "throughput", "norm-lat(s)"
+    );
+    for kind in SystemKind::fig12_set() {
+        let pts = sweep(
+            kind,
+            server,
+            16,
+            &dataset,
+            &[1.5],
+            DEFAULT_TRACE_SECONDS,
+            1,
+            false,
+        );
+        let r = &pts[0].report;
+        let allocated_frac = 1.0 - r.mem.free;
+        let slots_per_req = if r.avg_running_requests > 0.0 {
+            allocated_frac * server.max_kv_slots() as f64 / r.avg_running_requests
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<20} {:>10.1} {:>18.0} {:>12.2}/s {:>14.3}",
+            r.system,
+            r.avg_running_requests,
+            slots_per_req,
+            r.throughput,
+            r.mean_normalized_latency
+        );
+    }
+    println!(
+        "\nexpected shape: vLLM consumes the fewest KV slots per request \
+         (allocation tracks actual tokens), batches the most requests, and \
+         keeps latency low at the same offered rate."
+    );
+
+    // Fig. 1 right's growth curves: allocated KV fraction over the first
+    // two minutes of the trace (existing systems jump to large reservations
+    // at admission; vLLM grows smoothly with the generated tokens).
+    println!("\nKV memory allocated (% of capacity) over time @ 1.5 req/s:");
+    use vllm_core::config::PreemptionMode;
+    use vllm_sim::{run_trace_with_timeline, CostModel, VllmSimSystem};
+    use vllm_workloads::Trace;
+    let cost = CostModel::contiguous(server);
+    let trace = Trace::synthesize(&dataset, 1.5, 200, 42);
+    let requests = vllm_sim::trace_to_requests(&trace, 1, false);
+    let mut curves = Vec::new();
+    for kind in [SystemKind::Vllm, SystemKind::OrcaMax] {
+        let report = match kind {
+            SystemKind::Vllm => {
+                let mut sys = VllmSimSystem::new(server, 16, PreemptionMode::Recompute);
+                run_trace_with_timeline(&mut sys, &requests, &cost, 1.5, 5.0)
+            }
+            _ => {
+                let mut sys = kind.build(server, 16);
+                run_trace_with_timeline(sys.as_mut(), &requests, &cost, 1.5, 5.0)
+            }
+        };
+        curves.push((report.system.clone(), report.timeline));
+    }
+    print!("  {:<20}", "t(s)");
+    for t in (0..=120).step_by(10) {
+        print!("{t:>6}");
+    }
+    println!();
+    for (name, timeline) in &curves {
+        print!("  {name:<20}");
+        for t in (0..=120).step_by(10) {
+            let alloc = timeline
+                .iter()
+                .rfind(|p| p.t <= t as f64)
+                .map_or(0.0, |p| p.allocated_frac);
+            print!("{:>5.0}%", alloc * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "  (Orca(Max) saturates its allocation almost immediately — whole \
+         2048-slot reservations per admitted request — while vLLM's \
+         allocation tracks actual token counts.)"
+    );
+}

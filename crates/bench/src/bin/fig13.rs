@@ -1,0 +1,52 @@
+//! Fig. 13: average number of batched requests when serving OPT-13B on
+//! (a) ShareGPT at 2 req/s and (b) Alpaca at 30 req/s.
+//!
+//! Paper reference: vLLM batches 2.2x more requests than Orca (Oracle) and
+//! 4.3x more than Orca (Max) on ShareGPT.
+
+use vllm_bench::{sweep, SystemKind, DEFAULT_TRACE_SECONDS};
+use vllm_sim::ServerConfig;
+use vllm_workloads::Dataset;
+
+fn panel(label: &str, dataset: &Dataset, rate: f64) {
+    println!("--- {label}: {} @ {rate} req/s ---", dataset.name);
+    let server = ServerConfig::opt_13b_1gpu();
+    let mut vllm_batched = 0.0;
+    println!(
+        "  {:<20} {:>14} {:>14} {:>16}",
+        "system", "avg requests", "avg seqs", "vs vLLM"
+    );
+    for kind in SystemKind::fig12_set() {
+        let pts = sweep(
+            kind,
+            server,
+            16,
+            dataset,
+            &[rate],
+            DEFAULT_TRACE_SECONDS.min(300.0),
+            1,
+            false,
+        );
+        let r = &pts[0].report;
+        if vllm_batched == 0.0 {
+            vllm_batched = r.avg_running_requests;
+        }
+        println!(
+            "  {:<20} {:>14.1} {:>14.1} {:>15.2}x",
+            r.system,
+            r.avg_running_requests,
+            r.avg_running_seqs,
+            vllm_batched / r.avg_running_requests.max(1e-9)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Fig. 13",
+        "Average number of batched requests, OPT-13B (paper: vLLM 2.2x Orca(Oracle), 4.3x Orca(Max) on ShareGPT)",
+    );
+    panel("(a)", &Dataset::sharegpt(), 2.0);
+    panel("(b)", &Dataset::alpaca(), 30.0);
+}

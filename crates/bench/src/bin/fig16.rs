@@ -1,0 +1,116 @@
+//! Fig. 16: translation workload where input prompts share a common
+//! prefix — (a) 1-shot prefix of 80 tokens, (b) 5-shot prefix of 341
+//! tokens — LLaMA-13B on 1×A100.
+//!
+//! Paper reference: vLLM achieves 1.67x (1-shot) and 3.58x (5-shot) higher
+//! throughput than Orca (Oracle).
+
+use vllm_baselines::{OrcaSystem, ReservationPolicy};
+use vllm_core::config::PreemptionMode;
+use vllm_sim::{run_trace, trace_to_requests, CostModel, RunReport, ServerConfig, VllmSimSystem};
+use vllm_workloads::{synthesize_translation_trace, PrefixKind};
+
+const THRESHOLD: f64 = 1.0;
+const SECONDS: f64 = 240.0;
+
+fn run_vllm(server: ServerConfig, prefix: PrefixKind, rate: f64, cached: bool) -> RunReport {
+    let trace = synthesize_translation_trace(prefix, rate, (rate * SECONDS) as usize, 42);
+    let requests = trace_to_requests(&trace.trace, 1, false);
+    let mut system = VllmSimSystem::new(server, 16, PreemptionMode::Recompute);
+    system.set_shared_prefix(prefix.tokens(50_000), cached);
+    let cost = CostModel::contiguous(server);
+    run_trace(&mut system, &requests, &cost, rate)
+}
+
+fn run_orca(server: ServerConfig, prefix: PrefixKind, rate: f64) -> RunReport {
+    let trace = synthesize_translation_trace(prefix, rate, (rate * SECONDS) as usize, 42);
+    let requests = trace_to_requests(&trace.trace, 1, false);
+    let mut system = OrcaSystem::new(
+        ReservationPolicy::Oracle,
+        server.max_kv_slots(),
+        server.model.max_len,
+        256,
+    );
+    let cost = CostModel::contiguous(server);
+    run_trace(&mut system, &requests, &cost, rate)
+}
+
+fn sustained<F: FnMut(f64) -> RunReport>(rates: &[f64], mut run: F) -> (f64, Vec<(f64, f64)>) {
+    let mut best = 0.0f64;
+    let mut series = Vec::new();
+    for &rate in rates {
+        let r = run(rate);
+        series.push((rate, r.mean_normalized_latency));
+        if r.mean_normalized_latency <= THRESHOLD {
+            best = best.max(rate);
+        }
+    }
+    (best, series)
+}
+
+fn panel(label: &str, prefix: PrefixKind, rates: &[f64]) {
+    let server = ServerConfig::llama_13b_1gpu();
+    println!(
+        "--- {label}: {}-token shared prefix, LLaMA-13B, WMT-style trace ---",
+        prefix.len()
+    );
+    let (v_cached, s_cached) = sustained(rates, |r| run_vllm(server, prefix, r, true));
+    let (v_plain, s_plain) = sustained(rates, |r| run_vllm(server, prefix, r, false));
+    let (o_rate, s_orca) = sustained(rates, |r| run_orca(server, prefix, r));
+
+    println!(
+        "  {:<26} {}",
+        "rate (req/s):",
+        rates
+            .iter()
+            .map(|r| format!("{r:>8.1}"))
+            .collect::<String>()
+    );
+    for (name, series) in [
+        ("vLLM (prefix cached)", &s_cached),
+        ("vLLM (no prefix cache)", &s_plain),
+        ("Orca (Oracle)", &s_orca),
+    ] {
+        println!(
+            "  {:<26} {}",
+            name,
+            series
+                .iter()
+                .map(|(_, l)| format!("{l:>8.3}"))
+                .collect::<String>()
+        );
+    }
+    println!(
+        "  sustained: vLLM(cached) {v_cached:.1} | vLLM(plain) {v_plain:.1} | Orca(Oracle) {o_rate:.1} req/s"
+    );
+    println!(
+        "  vLLM(cached) vs Orca(Oracle): {:.2}x\n",
+        if o_rate > 0.0 {
+            v_cached / o_rate
+        } else {
+            f64::INFINITY
+        }
+    );
+}
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Fig. 16",
+        "Shared-prefix translation throughput (paper: 1.67x over Orca(Oracle) 1-shot, 3.58x 5-shot)",
+    );
+    panel(
+        "(a) 1-shot",
+        PrefixKind::OneShot,
+        &[10.0, 20.0, 30.0, 36.0, 42.0, 48.0, 56.0, 64.0],
+    );
+    panel(
+        "(b) 5-shot",
+        PrefixKind::FiveShot,
+        &[4.0, 8.0, 12.0, 16.0, 20.0, 26.0, 32.0, 40.0, 48.0],
+    );
+    println!(
+        "expected shape: caching the prefix removes its prefill compute and \
+         shares its blocks; the advantage grows with prefix length (5-shot \
+         >> 1-shot)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 17: chatbot workload — conversation history + last query truncated
+//! to 1024 prompt tokens, up to 1024 output tokens, OPT-13B.
+//!
+//! Paper reference: vLLM sustains 2x the request rate of all three Orca
+//! variants, which behave identically because most prompts saturate the
+//! 1024-token limit and the buddy allocator rounds their reservations to
+//! the same size.
+
+use vllm_bench::{print_latency_series, sustained_rate, SweepPoint, SystemKind};
+use vllm_sim::{run_trace, trace_to_requests, CostModel, ServerConfig};
+use vllm_workloads::synthesize_chat_trace;
+
+const THRESHOLD: f64 = 1.0;
+const SECONDS: f64 = 300.0;
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Fig. 17",
+        "Chatbot workload, OPT-13B (paper: vLLM sustains 2x all Orca variants; the Orca variants collapse together)",
+    );
+    let server = ServerConfig::opt_13b_1gpu();
+    let cost = CostModel::contiguous(server);
+    let rates = [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5];
+
+    let mut sustained = Vec::new();
+    for kind in SystemKind::orca_comparison_set() {
+        let pts: Vec<SweepPoint> = rates
+            .iter()
+            .map(|&rate| {
+                let trace = synthesize_chat_trace(rate, (rate * SECONDS) as usize, 42);
+                let requests = trace_to_requests(&trace, 1, false);
+                let mut system = kind.build(server, 16);
+                let report = run_trace(system.as_mut(), &requests, &cost, rate);
+                SweepPoint { rate, report }
+            })
+            .collect();
+        print_latency_series(&pts);
+        sustained.push((
+            pts[0].report.system.clone(),
+            sustained_rate(&pts, THRESHOLD),
+        ));
+    }
+    println!("\nsustained rate @ <= {THRESHOLD}s/token:");
+    let vllm_rate = sustained[0].1;
+    for (name, rate) in &sustained {
+        println!(
+            "  {name:<22} {rate:>6.2} req/s (vLLM advantage {:>5.2}x)",
+            if *rate > 0.0 {
+                vllm_rate / rate
+            } else {
+                f64::INFINITY
+            }
+        );
+    }
+    println!(
+        "\nexpected shape: the three Orca variants nearly coincide (long \
+         prompts make every reservation ~2048 slots); vLLM handles the long \
+         prompts without fragmentation and sustains ~2x their rate."
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 18b: impact of the KV block size on end-to-end latency, OPT-13B
+//! with the ShareGPT and Alpaca traces at fixed request rates.
+//!
+//! Paper reference: block sizes 16–128 perform best on ShareGPT; on Alpaca
+//! 16–32 works well and larger blocks degrade (sequences shorter than the
+//! block); vLLM defaults to 16.
+
+use vllm_bench::{sweep, SystemKind};
+use vllm_sim::ServerConfig;
+use vllm_workloads::Dataset;
+
+const SECONDS: f64 = 300.0;
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Fig. 18b",
+        "End-to-end normalized latency vs block size, OPT-13B (fixed rates)",
+    );
+    let server = ServerConfig::opt_13b_1gpu();
+    let block_sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    println!(
+        "  {:<12} {}",
+        "block size",
+        block_sizes
+            .iter()
+            .map(|b| format!("{b:>9}"))
+            .collect::<String>()
+    );
+    for (dataset, rate) in [(Dataset::sharegpt(), 1.6), (Dataset::alpaca(), 24.0)] {
+        print!("  {:<12}", format!("{} @{rate}", dataset.name));
+        for &bs in &block_sizes {
+            let pts = sweep(
+                SystemKind::Vllm,
+                server,
+                bs,
+                &dataset,
+                &[rate],
+                SECONDS,
+                1,
+                false,
+            );
+            print!("{:>9.3}", pts[0].report.mean_normalized_latency);
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape: tiny blocks (1-4) hurt (the kernel cannot use the \
+         GPU's memory parallelism); very large blocks hurt Alpaca (internal \
+         fragmentation shrinks the batch); 16 is the sweet spot and vLLM's \
+         default."
+    );
+}

@@ -1,0 +1,48 @@
+//! Table 1: model sizes and server configurations, with the derived KV
+//! cache budgets and slot counts next to the paper's reported values.
+
+use vllm_sim::ServerConfig;
+
+fn main() {
+    vllm_bench::print_figure_header(
+        "Table 1",
+        "Model sizes and server configurations (paper values in parentheses)",
+    );
+    let rows = [
+        (ServerConfig::opt_13b_1gpu(), "26 GB", "12 GB", "15.7K"),
+        (ServerConfig::opt_66b_4gpu(), "132 GB", "21 GB", "9.7K"),
+        (ServerConfig::opt_175b_8gpu(), "346 GB", "264 GB", "60.1K"),
+    ];
+    println!(
+        "{:<10} {:>14} {:>16} {:>22} {:>24} {:>26}",
+        "Model",
+        "GPUs",
+        "Total GPU mem",
+        "Parameter size",
+        "Memory for KV cache",
+        "Max # KV cache slots"
+    );
+    for (cfg, p_params, p_kv, p_slots) in rows {
+        println!(
+            "{:<10} {:>10}x{:<4} {:>13.0} GB {:>14.0} GB ({:>6}) {:>14.1} GB ({:>6}) {:>17.1}K ({:>6})",
+            cfg.model.name,
+            cfg.gpu.num_gpus,
+            cfg.gpu.name,
+            cfg.total_mem_bytes() / 1e9,
+            cfg.model.weight_bytes() / 1e9,
+            p_params,
+            cfg.kv_cache_bytes() / 1e9,
+            p_kv,
+            cfg.max_kv_slots() as f64 / 1e3,
+            p_slots,
+        );
+    }
+    println!(
+        "\nderivation: KV budget = total memory - FP16 weights - 5% activation \
+         reserve; slots = budget / (2 x 2 bytes x hidden x layers)."
+    );
+    println!(
+        "OPT-13B KV bytes/token = {} (paper: 800 KB, Section 3).",
+        ServerConfig::opt_13b_1gpu().model.kv_bytes_per_token()
+    );
+}

@@ -1,0 +1,229 @@
+//! # vllm-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation (§6–§7). Each `src/bin/figNN.rs` binary prints the same
+//! rows/series the paper reports; `benches/` holds Criterion
+//! microbenchmarks over the real CPU kernels.
+//!
+//! Shared helpers: system factories over a Table 1 server configuration,
+//! request-rate sweeps, and plain-text table printing.
+
+#![warn(missing_docs)]
+
+use vllm_baselines::{BatchSystem, FasterTransformerSystem, OrcaSystem, ReservationPolicy};
+use vllm_core::config::PreemptionMode;
+use vllm_sim::{run_trace, trace_to_requests, CostModel, RunReport, ServerConfig, VllmSimSystem};
+use vllm_workloads::{Dataset, Trace};
+
+/// Default virtual trace duration per sweep point, seconds. The paper uses
+/// 1-hour traces; 600 s is enough for stable means at laptop speed.
+pub const DEFAULT_TRACE_SECONDS: f64 = 600.0;
+
+/// Which serving system to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// vLLM with recomputation recovery (the paper's default).
+    Vllm,
+    /// vLLM with swapping recovery.
+    VllmSwap,
+    /// Orca with oracle reservations.
+    OrcaOracle,
+    /// Orca with power-of-two reservations.
+    OrcaPow2,
+    /// Orca with max-length reservations.
+    OrcaMax,
+    /// FasterTransformer-style request-level batching.
+    FasterTransformer,
+}
+
+impl SystemKind {
+    /// The five systems of Fig. 12.
+    #[must_use]
+    pub fn fig12_set() -> Vec<Self> {
+        vec![
+            Self::Vllm,
+            Self::OrcaOracle,
+            Self::OrcaPow2,
+            Self::OrcaMax,
+            Self::FasterTransformer,
+        ]
+    }
+
+    /// The systems of Figs. 14/16/17 (FasterTransformer excluded, as in the
+    /// paper's multi-sequence workloads).
+    #[must_use]
+    pub fn orca_comparison_set() -> Vec<Self> {
+        vec![Self::Vllm, Self::OrcaOracle, Self::OrcaPow2, Self::OrcaMax]
+    }
+
+    /// Instantiates the system for a server configuration.
+    #[must_use]
+    pub fn build(self, server: ServerConfig, block_size: usize) -> Box<dyn BatchSystem> {
+        let slots = server.max_kv_slots();
+        let max_len = server.model.max_len;
+        match self {
+            Self::Vllm => Box::new(VllmSimSystem::new(
+                server,
+                block_size,
+                PreemptionMode::Recompute,
+            )),
+            Self::VllmSwap => Box::new(
+                VllmSimSystem::new(server, block_size, PreemptionMode::Swap)
+                    .with_label("vLLM (swap)"),
+            ),
+            Self::OrcaOracle => Box::new(OrcaSystem::new(
+                ReservationPolicy::Oracle,
+                slots,
+                max_len,
+                256,
+            )),
+            Self::OrcaPow2 => Box::new(OrcaSystem::new(
+                ReservationPolicy::Pow2,
+                slots,
+                max_len,
+                256,
+            )),
+            Self::OrcaMax => Box::new(OrcaSystem::new(ReservationPolicy::Max, slots, max_len, 256)),
+            Self::FasterTransformer => Box::new(FasterTransformerSystem::new(slots, max_len)),
+        }
+    }
+}
+
+/// One point of a rate sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered rate (req/s).
+    pub rate: f64,
+    /// Aggregated run metrics.
+    pub report: RunReport,
+}
+
+/// Runs `kind` over `dataset` at each rate for `seconds` of virtual trace,
+/// with `n_seqs`/`is_beam` decoding options.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    kind: SystemKind,
+    server: ServerConfig,
+    block_size: usize,
+    dataset: &Dataset,
+    rates: &[f64],
+    seconds: f64,
+    n_seqs: usize,
+    is_beam: bool,
+) -> Vec<SweepPoint> {
+    let cost = CostModel::contiguous(server);
+    rates
+        .iter()
+        .map(|&rate| {
+            let trace = Trace::synthesize(dataset, rate, (rate * seconds).ceil() as usize, 42);
+            let requests = trace_to_requests(&trace, n_seqs, is_beam);
+            let mut system = kind.build(server, block_size);
+            let report = run_trace(system.as_mut(), &requests, &cost, rate);
+            SweepPoint { rate, report }
+        })
+        .collect()
+}
+
+/// Runs one system over an explicit request list.
+#[must_use]
+pub fn run_one(
+    kind: SystemKind,
+    server: ServerConfig,
+    block_size: usize,
+    requests: &[vllm_baselines::SimRequest],
+    rate: f64,
+) -> RunReport {
+    let cost = CostModel::contiguous(server);
+    let mut system = kind.build(server, block_size);
+    run_trace(system.as_mut(), requests, &cost, rate)
+}
+
+/// Prints a header line for a figure harness.
+pub fn print_figure_header(figure: &str, description: &str) {
+    println!("=== {figure} ===");
+    println!("{description}");
+    println!();
+}
+
+/// Prints a normalized-latency-vs-rate series in the Fig. 12/14/16/17
+/// layout.
+pub fn print_latency_series(points: &[SweepPoint]) {
+    println!(
+        "  {:<22} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "system", "rate", "norm-lat(s)", "p90(s)", "batched", "finished"
+    );
+    for p in points {
+        println!(
+            "  {:<22} {:>8.2} {:>14.4} {:>10.3} {:>10.1} {:>10}",
+            p.report.system,
+            p.rate,
+            p.report.mean_normalized_latency,
+            p.report.p90_normalized_latency,
+            p.report.avg_running_requests,
+            p.report.num_finished
+        );
+    }
+}
+
+/// The highest offered rate whose mean normalized latency stays under the
+/// threshold (the paper's "sustained request rate at similar latency").
+#[must_use]
+pub fn sustained_rate(points: &[SweepPoint], latency_threshold: f64) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.report.mean_normalized_latency <= latency_threshold)
+        .map(|p| p.rate)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_server() -> ServerConfig {
+        let mut cfg = ServerConfig::opt_13b_1gpu();
+        cfg.gpu.mem_bytes_per_gpu = 30e9;
+        cfg
+    }
+
+    #[test]
+    fn sweep_produces_points() {
+        let pts = sweep(
+            SystemKind::Vllm,
+            tiny_server(),
+            16,
+            &Dataset::alpaca(),
+            &[1.0, 4.0],
+            20.0,
+            1,
+            false,
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].report.num_finished > 0);
+    }
+
+    #[test]
+    fn sustained_rate_picks_threshold() {
+        let pts = sweep(
+            SystemKind::Vllm,
+            tiny_server(),
+            16,
+            &Dataset::alpaca(),
+            &[1.0, 2.0],
+            15.0,
+            1,
+            false,
+        );
+        let s = sustained_rate(&pts, 1.0);
+        assert!(s >= 1.0);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        for kind in SystemKind::fig12_set() {
+            let sys = kind.build(tiny_server(), 16);
+            assert!(!sys.name().is_empty());
+        }
+    }
+}

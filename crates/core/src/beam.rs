@@ -1,0 +1,227 @@
+//! Beam-search planning (§4.4, Fig. 9).
+//!
+//! Each decode iteration, every live beam proposes its top `2k` candidate
+//! continuations. [`plan_beam_step`] picks the global top-`k`, decides which
+//! live sequences are reused, forked, or dropped, and separates candidates
+//! that terminate with the end-of-sequence token. The plan is pure data; the
+//! engine applies it with the `fork`/`append`/`free` primitives (§5.2), so
+//! beam bookkeeping is testable without a model or block manager.
+
+use crate::sampling::TokenId;
+use crate::sequence::SeqId;
+
+/// One live beam's continuation candidates for a step.
+#[derive(Debug, Clone)]
+pub struct BeamInput {
+    /// The live sequence proposing candidates.
+    pub seq_id: SeqId,
+    /// Its cumulative log-probability before this step.
+    pub cumulative_logprob: f64,
+    /// Top candidate `(token, logprob)` pairs, most probable first.
+    pub candidates: Vec<(TokenId, f32)>,
+}
+
+/// A continuation kept by the beam step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamExtension {
+    /// Parent live sequence.
+    pub parent: SeqId,
+    /// Token appended to the parent's history.
+    pub token: TokenId,
+    /// Cumulative log-probability including `token`.
+    pub cumulative_logprob: f64,
+}
+
+/// The engine-facing plan for one beam-search step.
+#[derive(Debug, Clone, Default)]
+pub struct BeamPlan {
+    /// Continuations that reuse their parent sequence in place (append).
+    pub appends: Vec<BeamExtension>,
+    /// Continuations that fork a new sequence from their parent before the
+    /// token is appended. Forks must be applied before appends so children
+    /// copy the pre-append parent state.
+    pub forks: Vec<BeamExtension>,
+    /// Live sequences with no surviving continuation; their blocks are freed.
+    pub drops: Vec<SeqId>,
+    /// Candidates that emitted the end-of-sequence token; they become
+    /// finished hypotheses and occupy no KV blocks.
+    pub finished: Vec<BeamExtension>,
+}
+
+/// Plans one beam-search step: keep the global top-`width` non-terminal
+/// candidates as the new live set and surface terminal (eos) candidates as
+/// finished hypotheses.
+///
+/// Candidates equal to `eos` never join the live set. At most `width`
+/// finished hypotheses are emitted per step (the most probable ones).
+#[must_use]
+pub fn plan_beam_step(inputs: &[BeamInput], width: usize, eos: Option<TokenId>) -> BeamPlan {
+    let mut live_cands: Vec<BeamExtension> = Vec::new();
+    let mut eos_cands: Vec<BeamExtension> = Vec::new();
+    for input in inputs {
+        for &(token, logprob) in &input.candidates {
+            let ext = BeamExtension {
+                parent: input.seq_id,
+                token,
+                cumulative_logprob: input.cumulative_logprob + f64::from(logprob),
+            };
+            if Some(token) == eos {
+                eos_cands.push(ext);
+            } else {
+                live_cands.push(ext);
+            }
+        }
+    }
+    // Most probable first; ties broken by (parent, token) for determinism.
+    let by_prob = |a: &BeamExtension, b: &BeamExtension| {
+        b.cumulative_logprob
+            .total_cmp(&a.cumulative_logprob)
+            .then_with(|| a.parent.cmp(&b.parent))
+            .then_with(|| a.token.cmp(&b.token))
+    };
+    live_cands.sort_by(by_prob);
+    live_cands.truncate(width);
+    eos_cands.sort_by(by_prob);
+    eos_cands.truncate(width);
+
+    let mut plan = BeamPlan {
+        finished: eos_cands,
+        ..BeamPlan::default()
+    };
+    // The first (most probable) continuation of each parent reuses the
+    // parent in place; further continuations fork (Fig. 9: candidates 1 and
+    // 2 each spawn two of the next step's beams).
+    for ext in live_cands {
+        let reused = plan.appends.iter().any(|e| e.parent == ext.parent);
+        if reused {
+            plan.forks.push(ext);
+        } else {
+            plan.appends.push(ext);
+        }
+    }
+    for input in inputs {
+        let survives = plan.appends.iter().any(|e| e.parent == input.seq_id);
+        if !survives {
+            plan.drops.push(input.seq_id);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(seq_id: SeqId, cum: f64, cands: &[(TokenId, f32)]) -> BeamInput {
+        BeamInput {
+            seq_id,
+            cumulative_logprob: cum,
+            candidates: cands.to_vec(),
+        }
+    }
+
+    #[test]
+    fn keeps_global_top_k() {
+        // Beam 0 (cum -1.0) and beam 1 (cum -5.0): beam 0's candidates
+        // dominate, so beam 1 is dropped and beam 0 forks.
+        let inputs = vec![
+            input(0, -1.0, &[(10, -0.1), (11, -0.2), (12, -3.0), (13, -4.0)]),
+            input(1, -5.0, &[(20, -0.1), (21, -0.2), (22, -3.0), (23, -4.0)]),
+        ];
+        let plan = plan_beam_step(&inputs, 2, None);
+        assert_eq!(plan.appends.len(), 1);
+        assert_eq!(plan.appends[0].parent, 0);
+        assert_eq!(plan.appends[0].token, 10);
+        assert_eq!(plan.forks.len(), 1);
+        assert_eq!(plan.forks[0].parent, 0);
+        assert_eq!(plan.forks[0].token, 11);
+        assert_eq!(plan.drops, vec![1]);
+        assert!(plan.finished.is_empty());
+    }
+
+    #[test]
+    fn each_parent_reuses_once() {
+        // Both beams keep exactly one continuation: no forks, no drops.
+        let inputs = vec![
+            input(0, 0.0, &[(10, -0.1), (11, -9.0)]),
+            input(1, 0.0, &[(20, -0.2), (21, -9.0)]),
+        ];
+        let plan = plan_beam_step(&inputs, 2, None);
+        assert_eq!(plan.appends.len(), 2);
+        assert!(plan.forks.is_empty());
+        assert!(plan.drops.is_empty());
+    }
+
+    #[test]
+    fn eos_candidates_become_finished() {
+        const EOS: TokenId = 2;
+        let inputs = vec![input(0, 0.0, &[(EOS, -0.05), (10, -0.1), (11, -0.2)])];
+        let plan = plan_beam_step(&inputs, 2, Some(EOS));
+        assert_eq!(plan.finished.len(), 1);
+        assert_eq!(plan.finished[0].token, EOS);
+        // Live set still has width 2, drawn from non-eos candidates.
+        assert_eq!(plan.appends.len() + plan.forks.len(), 2);
+        assert!(plan
+            .appends
+            .iter()
+            .chain(plan.forks.iter())
+            .all(|e| e.token != EOS));
+    }
+
+    #[test]
+    fn cumulative_logprobs_accumulate() {
+        let inputs = vec![input(0, -2.0, &[(10, -0.5)])];
+        let plan = plan_beam_step(&inputs, 1, None);
+        assert!((plan.appends[0].cumulative_logprob - (-2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let inputs = vec![input(1, 0.0, &[(10, -0.5)]), input(0, 0.0, &[(10, -0.5)])];
+        let a = plan_beam_step(&inputs, 1, None);
+        let b = plan_beam_step(&inputs, 1, None);
+        assert_eq!(a.appends[0].parent, b.appends[0].parent);
+        assert_eq!(a.appends[0].parent, 0);
+    }
+
+    #[test]
+    fn finished_capped_at_width() {
+        const EOS: TokenId = 2;
+        let inputs = vec![
+            input(0, 0.0, &[(EOS, -0.1)]),
+            input(1, -0.5, &[(EOS, -0.1)]),
+            input(2, -1.0, &[(EOS, -0.1)]),
+        ];
+        let plan = plan_beam_step(&inputs, 2, Some(EOS));
+        assert_eq!(plan.finished.len(), 2);
+        assert_eq!(plan.finished[0].parent, 0);
+        // Everyone drops: no live candidates remain.
+        assert_eq!(plan.drops.len(), 3);
+    }
+
+    #[test]
+    fn fig9_style_reshuffle() {
+        // Four beams; the new top-4 all originate from beams 1 and 2
+        // (Fig. 9): beams 0 and 3 are freed, 1 and 2 each split in two.
+        let inputs = vec![
+            input(0, -10.0, &[(1, -0.1), (2, -0.2)]),
+            input(1, -1.0, &[(3, -0.1), (4, -0.2)]),
+            input(2, -1.1, &[(5, -0.1), (6, -0.2)]),
+            input(3, -9.0, &[(7, -0.1), (8, -0.2)]),
+        ];
+        let plan = plan_beam_step(&inputs, 4, None);
+        assert_eq!(plan.appends.len(), 2);
+        assert_eq!(plan.forks.len(), 2);
+        let mut parents: Vec<SeqId> = plan
+            .appends
+            .iter()
+            .chain(plan.forks.iter())
+            .map(|e| e.parent)
+            .collect();
+        parents.sort_unstable();
+        assert_eq!(parents, vec![1, 1, 2, 2]);
+        let mut drops = plan.drops.clone();
+        drops.sort_unstable();
+        assert_eq!(drops, vec![0, 3]);
+    }
+}

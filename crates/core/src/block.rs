@@ -1,0 +1,251 @@
+//! Physical KV blocks and the reference-counted block allocator (§4.2, §4.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, VllmError};
+
+/// Index of a physical KV block within a device pool.
+pub type PhysicalBlockId = usize;
+
+/// Which pool a physical block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// GPU high-bandwidth memory (active sequences).
+    Gpu,
+    /// CPU RAM swap space (§4.5).
+    Cpu,
+}
+
+/// A block-table entry: a physical block plus residency information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalBlock {
+    /// Index within the device pool.
+    pub id: PhysicalBlockId,
+    /// Pool the block currently resides in.
+    pub device: Device,
+}
+
+impl PhysicalBlock {
+    /// Creates a GPU-resident block reference.
+    #[must_use]
+    pub fn gpu(id: PhysicalBlockId) -> Self {
+        Self {
+            id,
+            device: Device::Gpu,
+        }
+    }
+
+    /// Creates a CPU-resident block reference.
+    #[must_use]
+    pub fn cpu(id: PhysicalBlockId) -> Self {
+        Self {
+            id,
+            device: Device::Cpu,
+        }
+    }
+}
+
+/// Reference-counted free-list allocator over a fixed pool of KV blocks.
+///
+/// Every block has the same size, so there is no external fragmentation by
+/// construction (§4.1). Reference counts implement block sharing for
+/// parallel sampling, beam search, and shared prefixes; copy-on-write
+/// triggers when a sequence writes to a block with `ref_count > 1` (§4.4).
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    device: Device,
+    num_blocks: usize,
+    /// LIFO free list; freeing then allocating reuses the hottest block.
+    free_list: Vec<PhysicalBlockId>,
+    ref_counts: Vec<u32>,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator managing `num_blocks` blocks on `device`.
+    #[must_use]
+    pub fn new(device: Device, num_blocks: usize) -> Self {
+        Self {
+            device,
+            num_blocks,
+            // Reverse order so block 0 is handed out first (LIFO pop).
+            free_list: (0..num_blocks).rev().collect(),
+            ref_counts: vec![0; num_blocks],
+        }
+    }
+
+    /// Device this allocator manages.
+    #[must_use]
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Total number of blocks in the pool.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of currently free blocks.
+    #[must_use]
+    pub fn num_free(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Number of currently allocated blocks.
+    #[must_use]
+    pub fn num_allocated(&self) -> usize {
+        self.num_blocks - self.free_list.len()
+    }
+
+    /// Allocates a block with an initial reference count of 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::OutOfGpuBlocks`] / [`VllmError::OutOfCpuBlocks`]
+    /// when the pool is exhausted.
+    pub fn allocate(&mut self) -> Result<PhysicalBlockId> {
+        let id = self.free_list.pop().ok_or(match self.device {
+            Device::Gpu => VllmError::OutOfGpuBlocks,
+            Device::Cpu => VllmError::OutOfCpuBlocks,
+        })?;
+        debug_assert_eq!(self.ref_counts[id], 0);
+        self.ref_counts[id] = 1;
+        Ok(id)
+    }
+
+    /// Increments the reference count of an allocated block (sharing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidBlock`] for out-of-range ids and
+    /// [`VllmError::DoubleFree`] if the block is not currently allocated.
+    pub fn incr_ref(&mut self, id: PhysicalBlockId) -> Result<()> {
+        self.check(id)?;
+        if self.ref_counts[id] == 0 {
+            return Err(VllmError::DoubleFree(id));
+        }
+        self.ref_counts[id] += 1;
+        Ok(())
+    }
+
+    /// Decrements the reference count, returning the block to the free list
+    /// when it reaches zero. Returns the new reference count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidBlock`] for out-of-range ids and
+    /// [`VllmError::DoubleFree`] if the block is already free.
+    pub fn free(&mut self, id: PhysicalBlockId) -> Result<u32> {
+        self.check(id)?;
+        if self.ref_counts[id] == 0 {
+            return Err(VllmError::DoubleFree(id));
+        }
+        self.ref_counts[id] -= 1;
+        if self.ref_counts[id] == 0 {
+            self.free_list.push(id);
+        }
+        Ok(self.ref_counts[id])
+    }
+
+    /// Current reference count of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidBlock`] for out-of-range ids.
+    pub fn ref_count(&self, id: PhysicalBlockId) -> Result<u32> {
+        self.check(id)?;
+        Ok(self.ref_counts[id])
+    }
+
+    /// Sum of all reference counts (number of block-table entries pointing
+    /// into this pool); used by sharing metrics (Fig. 15).
+    #[must_use]
+    pub fn total_refs(&self) -> u64 {
+        self.ref_counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    fn check(&self, id: PhysicalBlockId) -> Result<()> {
+        if id >= self.num_blocks {
+            return Err(VllmError::InvalidBlock(id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_exhausted() {
+        let mut a = BlockAllocator::new(Device::Gpu, 3);
+        assert_eq!(a.allocate().unwrap(), 0);
+        assert_eq!(a.allocate().unwrap(), 1);
+        assert_eq!(a.allocate().unwrap(), 2);
+        assert_eq!(a.allocate(), Err(VllmError::OutOfGpuBlocks));
+        assert_eq!(a.num_free(), 0);
+        assert_eq!(a.num_allocated(), 3);
+    }
+
+    #[test]
+    fn cpu_pool_reports_cpu_exhaustion() {
+        let mut a = BlockAllocator::new(Device::Cpu, 1);
+        a.allocate().unwrap();
+        assert_eq!(a.allocate(), Err(VllmError::OutOfCpuBlocks));
+    }
+
+    #[test]
+    fn free_returns_block_to_pool() {
+        let mut a = BlockAllocator::new(Device::Gpu, 2);
+        let b = a.allocate().unwrap();
+        assert_eq!(a.free(b).unwrap(), 0);
+        assert_eq!(a.num_free(), 2);
+        // LIFO: the freed block is reused first.
+        assert_eq!(a.allocate().unwrap(), b);
+    }
+
+    #[test]
+    fn sharing_via_ref_counts() {
+        let mut a = BlockAllocator::new(Device::Gpu, 2);
+        let b = a.allocate().unwrap();
+        a.incr_ref(b).unwrap();
+        assert_eq!(a.ref_count(b).unwrap(), 2);
+        assert_eq!(a.free(b).unwrap(), 1);
+        // Still allocated: one sharer remains.
+        assert_eq!(a.num_allocated(), 1);
+        assert_eq!(a.free(b).unwrap(), 0);
+        assert_eq!(a.num_allocated(), 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        let b = a.allocate().unwrap();
+        a.free(b).unwrap();
+        assert_eq!(a.free(b), Err(VllmError::DoubleFree(b)));
+    }
+
+    #[test]
+    fn incr_ref_on_free_block_rejected() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        assert_eq!(a.incr_ref(0), Err(VllmError::DoubleFree(0)));
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let mut a = BlockAllocator::new(Device::Gpu, 1);
+        assert_eq!(a.free(5), Err(VllmError::InvalidBlock(5)));
+        assert_eq!(a.incr_ref(5), Err(VllmError::InvalidBlock(5)));
+        assert!(a.ref_count(5).is_err());
+    }
+
+    #[test]
+    fn total_refs_counts_sharers() {
+        let mut a = BlockAllocator::new(Device::Gpu, 4);
+        let b0 = a.allocate().unwrap();
+        let _b1 = a.allocate().unwrap();
+        a.incr_ref(b0).unwrap();
+        a.incr_ref(b0).unwrap();
+        assert_eq!(a.total_refs(), 4);
+    }
+}

@@ -1,0 +1,897 @@
+//! The KV cache manager: logical→physical block mapping, copy-on-write
+//! sharing, and swap in/out (§4.2–§4.5).
+//!
+//! Each sequence owns a *block table* mapping its logical KV blocks (filled
+//! left to right) to physical blocks in the GPU pool, or in the CPU pool
+//! while swapped out. Physical blocks are reference counted; writing into a
+//! block shared by several sequences triggers a block-granularity
+//! copy-on-write (Fig. 8).
+
+use std::collections::HashMap;
+
+use crate::block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
+use crate::config::CacheConfig;
+use crate::error::{Result, VllmError};
+use crate::sequence::{SeqId, Sequence, SequenceGroup, SequenceStatus};
+
+/// Outcome of an admission check for a waiting group (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStatus {
+    /// Enough free blocks right now.
+    Ok,
+    /// Not enough free blocks now, but the request can fit once memory frees.
+    Later,
+    /// The request can never fit (prompt larger than the whole pool).
+    Never,
+}
+
+/// A pending block-to-block data movement the executor must perform before
+/// running the step: copy-on-write copies and swap transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCopy {
+    /// Source physical block.
+    pub src: PhysicalBlockId,
+    /// Destination physical block.
+    pub dst: PhysicalBlockId,
+}
+
+/// Manages block tables for all sequences plus the GPU and CPU block pools.
+#[derive(Debug)]
+pub struct BlockSpaceManager {
+    block_size: usize,
+    watermark_blocks: usize,
+    gpu: BlockAllocator,
+    cpu: BlockAllocator,
+    block_tables: HashMap<SeqId, Vec<PhysicalBlock>>,
+    /// Cumulative count of copy-on-write events (metrics).
+    num_cow_copies: u64,
+    /// Cumulative count of blocks swapped out / in (metrics).
+    num_swapped_out_blocks: u64,
+    num_swapped_in_blocks: u64,
+    /// When block sharing is disabled (eager-copy ablation), admission must
+    /// account for the full sequence fan-out of a request up front.
+    pub fanout_admission: bool,
+}
+
+impl BlockSpaceManager {
+    /// Creates a manager for the given cache configuration.
+    #[must_use]
+    pub fn new(config: &CacheConfig) -> Self {
+        Self {
+            block_size: config.block_size,
+            watermark_blocks: config.watermark_blocks(),
+            gpu: BlockAllocator::new(Device::Gpu, config.num_gpu_blocks),
+            cpu: BlockAllocator::new(Device::Cpu, config.num_cpu_blocks),
+            block_tables: HashMap::new(),
+            num_cow_copies: 0,
+            num_swapped_out_blocks: 0,
+            num_swapped_in_blocks: 0,
+            fanout_admission: false,
+        }
+    }
+
+    /// KV block size in tokens.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of free GPU blocks.
+    #[must_use]
+    pub fn num_free_gpu_blocks(&self) -> usize {
+        self.gpu.num_free()
+    }
+
+    /// Number of free CPU (swap) blocks.
+    #[must_use]
+    pub fn num_free_cpu_blocks(&self) -> usize {
+        self.cpu.num_free()
+    }
+
+    /// Number of allocated GPU blocks.
+    #[must_use]
+    pub fn num_allocated_gpu_blocks(&self) -> usize {
+        self.gpu.num_allocated()
+    }
+
+    /// Total GPU blocks in the pool.
+    #[must_use]
+    pub fn num_total_gpu_blocks(&self) -> usize {
+        self.gpu.num_blocks()
+    }
+
+    /// Cumulative number of copy-on-write copies performed.
+    #[must_use]
+    pub fn num_cow_copies(&self) -> u64 {
+        self.num_cow_copies
+    }
+
+    /// Cumulative number of blocks swapped out to CPU.
+    #[must_use]
+    pub fn num_swapped_out_blocks(&self) -> u64 {
+        self.num_swapped_out_blocks
+    }
+
+    /// Cumulative number of blocks swapped back in.
+    #[must_use]
+    pub fn num_swapped_in_blocks(&self) -> u64 {
+        self.num_swapped_in_blocks
+    }
+
+    /// Checks whether the prompt blocks of a waiting group can be allocated.
+    ///
+    /// A watermark of free blocks is kept in reserve so that a freshly
+    /// admitted request is not immediately preempted.
+    #[must_use]
+    pub fn can_allocate(&self, group: &SequenceGroup) -> AllocStatus {
+        let mut required: usize = group
+            .seqs_with_status(SequenceStatus::Waiting)
+            .iter()
+            .map(|s| s.num_logical_blocks())
+            .sum();
+        if self.fanout_admission {
+            // Without sharing, the prompt blocks will be replicated into
+            // every forked sequence.
+            required *= group.max_num_seqs();
+        }
+        if required > self.gpu.num_blocks() {
+            return AllocStatus::Never;
+        }
+        if self.gpu.num_free() >= required + self.watermark_blocks {
+            AllocStatus::Ok
+        } else {
+            AllocStatus::Later
+        }
+    }
+
+    /// Allocates block tables for every waiting sequence in the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::OutOfGpuBlocks`] if the pool runs out; call
+    /// [`Self::can_allocate`] first.
+    pub fn allocate(&mut self, group: &SequenceGroup) -> Result<()> {
+        for seq in group.seqs_with_status(SequenceStatus::Waiting) {
+            let n = seq.num_logical_blocks();
+            let mut table = Vec::with_capacity(n);
+            for _ in 0..n {
+                table.push(PhysicalBlock::gpu(self.gpu.allocate()?));
+            }
+            self.block_tables.insert(seq.seq_id, table);
+        }
+        Ok(())
+    }
+
+    /// Allocates the block table for a waiting sequence whose prompt starts
+    /// with a cached shared prefix (§4.4 "shared prefix").
+    ///
+    /// The first `prefix_blocks.len()` logical blocks map to the cached
+    /// physical blocks. If the prefix ends mid-block (`prefix_len` not a
+    /// multiple of the block size) the last shared block must be writable by
+    /// this request's prefill, so it is copy-on-write-split immediately and
+    /// the returned [`BlockCopy`] must be executed before the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an allocation error if the GPU pool runs out, or
+    /// [`VllmError::UnknownSequence`] if the sequence is not waiting.
+    pub fn allocate_with_prefix(
+        &mut self,
+        group: &SequenceGroup,
+        prefix_len: usize,
+        prefix_blocks: &[PhysicalBlockId],
+    ) -> Result<Vec<BlockCopy>> {
+        debug_assert_eq!(prefix_len.div_ceil(self.block_size), prefix_blocks.len());
+        let mut copies = Vec::new();
+        let waiting = group.seq_ids_with_status(SequenceStatus::Waiting);
+        for seq_id in waiting {
+            let seq = group
+                .get(seq_id)
+                .ok_or(VllmError::UnknownSequence(seq_id))?;
+            let n = seq.num_logical_blocks();
+            debug_assert!(seq.len() >= prefix_len, "prompt must contain the prefix");
+            let mut table = Vec::with_capacity(n);
+            let prefix_partial = !prefix_len.is_multiple_of(self.block_size);
+            for (j, &pb) in prefix_blocks.iter().enumerate() {
+                let is_last = j == prefix_blocks.len() - 1;
+                if is_last && prefix_partial {
+                    // Partially-filled last prefix block: the prefill will
+                    // write the remaining slots, so split it eagerly.
+                    let fresh = self.gpu.allocate()?;
+                    copies.push(BlockCopy {
+                        src: pb,
+                        dst: fresh,
+                    });
+                    self.num_cow_copies += 1;
+                    table.push(PhysicalBlock::gpu(fresh));
+                } else {
+                    // Fully-filled prefix block: share read-only.
+                    self.gpu.incr_ref(pb)?;
+                    table.push(PhysicalBlock::gpu(pb));
+                }
+            }
+            while table.len() < n {
+                table.push(PhysicalBlock::gpu(self.gpu.allocate()?));
+            }
+            self.block_tables.insert(seq_id, table);
+        }
+        Ok(copies)
+    }
+
+    /// Allocates `n` GPU blocks owned by the prefix cache rather than any
+    /// sequence (§4.4 "shared prefix": the provider reserves physical blocks
+    /// for predefined prefixes in advance). The anchor reference keeps the
+    /// blocks alive while requests map and unmap them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::OutOfGpuBlocks`] if the pool is exhausted.
+    pub fn allocate_anchor_blocks(&mut self, n: usize) -> Result<Vec<PhysicalBlockId>> {
+        if self.gpu.num_free() < n {
+            return Err(VllmError::OutOfGpuBlocks);
+        }
+        (0..n).map(|_| self.gpu.allocate()).collect()
+    }
+
+    /// Converts a sequence's block table into prefix-cache anchors without
+    /// copying or recomputing: the first `num_blocks` blocks keep this
+    /// sequence's reference as the anchor reference; the rest are freed.
+    /// Used to retain a finished request's KV cache across requests
+    /// (conversation reuse, an extension of §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the sequence has no table
+    /// and [`VllmError::InvalidBlock`] if any kept block is not
+    /// GPU-resident (a swapped-out sequence cannot be promoted).
+    pub fn take_table_as_anchor(
+        &mut self,
+        seq_id: SeqId,
+        num_blocks: usize,
+    ) -> Result<Vec<PhysicalBlockId>> {
+        let table = self
+            .block_tables
+            .remove(&seq_id)
+            .ok_or(VllmError::UnknownSequence(seq_id))?;
+        let mut anchors = Vec::with_capacity(num_blocks.min(table.len()));
+        for (j, block) in table.into_iter().enumerate() {
+            if block.device != Device::Gpu {
+                return Err(VllmError::InvalidBlock(block.id));
+            }
+            if j < num_blocks {
+                anchors.push(block.id);
+            } else {
+                self.gpu.free(block.id)?;
+            }
+        }
+        Ok(anchors)
+    }
+
+    /// Releases prefix-cache anchor blocks allocated with
+    /// [`Self::allocate_anchor_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates double-free errors.
+    pub fn free_anchor_blocks(&mut self, blocks: &[PhysicalBlockId]) -> Result<()> {
+        for &b in blocks {
+            self.gpu.free(b)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every running sequence in the group could receive one more
+    /// block (worst case for the next decode step).
+    #[must_use]
+    pub fn can_append_slot(&self, group: &SequenceGroup) -> bool {
+        let running = group.seqs_with_status(SequenceStatus::Running).len();
+        self.gpu.num_free() >= running
+    }
+
+    /// Ensures the slot for the sequence's newest token exists, returning a
+    /// copy-on-write operation if the last block had to be split (Fig. 8).
+    ///
+    /// Called once per running sequence per decode iteration, before the
+    /// model step, so the step can write the new KV entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the sequence has no block
+    /// table and [`VllmError::OutOfGpuBlocks`] if the pool is exhausted
+    /// (the scheduler must preempt in that case).
+    pub fn append_slot(&mut self, seq: &Sequence) -> Result<Option<BlockCopy>> {
+        let required = seq.num_logical_blocks();
+        let table = self
+            .block_tables
+            .get_mut(&seq.seq_id)
+            .ok_or(VllmError::UnknownSequence(seq.seq_id))?;
+        debug_assert!(
+            table.len() + 1 >= required,
+            "sequence grew by more than one block between steps"
+        );
+        if table.len() < required {
+            // The new token starts a fresh logical block.
+            let id = self.gpu.allocate()?;
+            table.push(PhysicalBlock::gpu(id));
+            return Ok(None);
+        }
+        // The new token lands in the last existing block; if that block is
+        // shared, split it with copy-on-write.
+        let last = *table.last().ok_or(VllmError::UnknownSequence(seq.seq_id))?;
+        debug_assert_eq!(last.device, Device::Gpu);
+        if self.gpu.ref_count(last.id)? > 1 {
+            let fresh = self.gpu.allocate()?;
+            self.gpu.free(last.id)?;
+            let table = self
+                .block_tables
+                .get_mut(&seq.seq_id)
+                .ok_or(VllmError::UnknownSequence(seq.seq_id))?;
+            *table.last_mut().expect("table nonempty") = PhysicalBlock::gpu(fresh);
+            self.num_cow_copies += 1;
+            return Ok(Some(BlockCopy {
+                src: last.id,
+                dst: fresh,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Shares the parent's blocks with a forked child (the `fork` primitive
+    /// of §5.2): the child's block table is a copy and every block's
+    /// reference count is incremented.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the parent has no table.
+    pub fn fork(&mut self, parent_id: SeqId, child_id: SeqId) -> Result<()> {
+        let table = self
+            .block_tables
+            .get(&parent_id)
+            .ok_or(VllmError::UnknownSequence(parent_id))?
+            .clone();
+        for block in &table {
+            match block.device {
+                Device::Gpu => self.gpu.incr_ref(block.id)?,
+                Device::Cpu => self.cpu.incr_ref(block.id)?,
+            }
+        }
+        self.block_tables.insert(child_id, table);
+        Ok(())
+    }
+
+    /// Eager-copy fork (ablation): instead of sharing the parent's blocks,
+    /// the child gets fresh blocks and the parent's contents are copied —
+    /// what a contiguous-KV system must do. Returns the copies to perform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the parent has no table and
+    /// [`VllmError::OutOfGpuBlocks`] if the pool is exhausted.
+    pub fn fork_eager(&mut self, parent_id: SeqId, child_id: SeqId) -> Result<Vec<BlockCopy>> {
+        let table = self
+            .block_tables
+            .get(&parent_id)
+            .ok_or(VllmError::UnknownSequence(parent_id))?
+            .clone();
+        let mut new_table = Vec::with_capacity(table.len());
+        let mut copies = Vec::with_capacity(table.len());
+        for block in &table {
+            debug_assert_eq!(block.device, Device::Gpu, "eager fork of resident seq");
+            let fresh = self.gpu.allocate()?;
+            copies.push(BlockCopy {
+                src: block.id,
+                dst: fresh,
+            });
+            new_table.push(PhysicalBlock::gpu(fresh));
+        }
+        self.block_tables.insert(child_id, new_table);
+        Ok(copies)
+    }
+
+    /// Frees all blocks of a sequence (the `free` primitive of §5.2).
+    ///
+    /// Freeing a sequence without a block table is a no-op so that waiting
+    /// sequences can be aborted uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates double-free errors, which indicate corrupted accounting.
+    pub fn free(&mut self, seq_id: SeqId) -> Result<()> {
+        if let Some(table) = self.block_tables.remove(&seq_id) {
+            for block in table {
+                match block.device {
+                    Device::Gpu => self.gpu.free(block.id)?,
+                    Device::Cpu => self.cpu.free(block.id)?,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// The physical blocks of a sequence, in logical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the sequence has no table.
+    pub fn block_table(&self, seq_id: SeqId) -> Result<&[PhysicalBlock]> {
+        self.block_tables
+            .get(&seq_id)
+            .map(Vec::as_slice)
+            .ok_or(VllmError::UnknownSequence(seq_id))
+    }
+
+    /// Whether a sequence currently has a block table.
+    #[must_use]
+    pub fn has_table(&self, seq_id: SeqId) -> bool {
+        self.block_tables.contains_key(&seq_id)
+    }
+
+    /// GPU block ids of a sequence (convenience for executors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the sequence has no table,
+    /// or [`VllmError::InvalidBlock`] if any block is not GPU-resident.
+    pub fn gpu_block_ids(&self, seq_id: SeqId) -> Result<Vec<PhysicalBlockId>> {
+        let table = self.block_table(seq_id)?;
+        table
+            .iter()
+            .map(|b| {
+                if b.device == Device::Gpu {
+                    Ok(b.id)
+                } else {
+                    Err(VllmError::InvalidBlock(b.id))
+                }
+            })
+            .collect()
+    }
+
+    /// Whether the group's swapped-out blocks fit back into the GPU pool,
+    /// keeping one extra block of headroom per sequence for the next token.
+    #[must_use]
+    pub fn can_swap_in(&self, group: &SequenceGroup) -> bool {
+        let mut unique: Vec<PhysicalBlockId> = Vec::new();
+        let mut num_seqs = 0;
+        for seq in group.seqs_with_status(SequenceStatus::Swapped) {
+            num_seqs += 1;
+            if let Some(table) = self.block_tables.get(&seq.seq_id) {
+                for b in table {
+                    if b.device == Device::Cpu && !unique.contains(&b.id) {
+                        unique.push(b.id);
+                    }
+                }
+            }
+        }
+        self.gpu.num_free() >= unique.len() + num_seqs + self.watermark_blocks
+    }
+
+    /// Whether the group's GPU blocks fit into the CPU swap pool.
+    #[must_use]
+    pub fn can_swap_out(&self, group: &SequenceGroup) -> bool {
+        let mut unique: Vec<PhysicalBlockId> = Vec::new();
+        for seq in group.seqs() {
+            if seq.is_finished() {
+                continue;
+            }
+            if let Some(table) = self.block_tables.get(&seq.seq_id) {
+                for b in table {
+                    if b.device == Device::Gpu && !unique.contains(&b.id) {
+                        unique.push(b.id);
+                    }
+                }
+            }
+        }
+        self.cpu.num_free() >= unique.len()
+    }
+
+    /// Moves every running sequence's blocks to the CPU pool, preserving
+    /// intra-group sharing (§4.5 swapping). Returns the (gpu → cpu) copies
+    /// the executor must perform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::OutOfCpuBlocks`] if the swap space is full; call
+    /// [`Self::can_swap_out`] first.
+    pub fn swap_out(&mut self, group: &SequenceGroup) -> Result<Vec<BlockCopy>> {
+        // A GPU block shared by several sequences in the group maps to one
+        // CPU block, keeping reference counts consistent.
+        let mut mapping: HashMap<PhysicalBlockId, PhysicalBlockId> = HashMap::new();
+        let mut copies = Vec::new();
+        for seq in group.seqs() {
+            if seq.is_finished() {
+                continue;
+            }
+            let Some(table) = self.block_tables.get(&seq.seq_id).cloned() else {
+                continue;
+            };
+            let mut new_table = Vec::with_capacity(table.len());
+            for block in table {
+                match block.device {
+                    Device::Gpu => {
+                        let cpu_id = match mapping.get(&block.id) {
+                            Some(&cpu_id) => {
+                                self.cpu.incr_ref(cpu_id)?;
+                                cpu_id
+                            }
+                            None => {
+                                let cpu_id = self.cpu.allocate()?;
+                                mapping.insert(block.id, cpu_id);
+                                copies.push(BlockCopy {
+                                    src: block.id,
+                                    dst: cpu_id,
+                                });
+                                cpu_id
+                            }
+                        };
+                        self.gpu.free(block.id)?;
+                        new_table.push(PhysicalBlock::cpu(cpu_id));
+                    }
+                    Device::Cpu => new_table.push(block),
+                }
+            }
+            self.block_tables.insert(seq.seq_id, new_table);
+        }
+        self.num_swapped_out_blocks += copies.len() as u64;
+        Ok(copies)
+    }
+
+    /// Brings a swapped group's blocks back into the GPU pool (§4.5).
+    /// Returns the (cpu → gpu) copies the executor must perform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::OutOfGpuBlocks`] if the pool is full; call
+    /// [`Self::can_swap_in`] first.
+    pub fn swap_in(&mut self, group: &SequenceGroup) -> Result<Vec<BlockCopy>> {
+        let mut mapping: HashMap<PhysicalBlockId, PhysicalBlockId> = HashMap::new();
+        let mut copies = Vec::new();
+        for seq in group.seqs_with_status(SequenceStatus::Swapped) {
+            let Some(table) = self.block_tables.get(&seq.seq_id).cloned() else {
+                continue;
+            };
+            let mut new_table = Vec::with_capacity(table.len());
+            for block in table {
+                match block.device {
+                    Device::Cpu => {
+                        let gpu_id = match mapping.get(&block.id) {
+                            Some(&gpu_id) => {
+                                self.gpu.incr_ref(gpu_id)?;
+                                gpu_id
+                            }
+                            None => {
+                                let gpu_id = self.gpu.allocate()?;
+                                mapping.insert(block.id, gpu_id);
+                                copies.push(BlockCopy {
+                                    src: block.id,
+                                    dst: gpu_id,
+                                });
+                                gpu_id
+                            }
+                        };
+                        self.cpu.free(block.id)?;
+                        new_table.push(PhysicalBlock::gpu(gpu_id));
+                    }
+                    Device::Gpu => new_table.push(block),
+                }
+            }
+            self.block_tables.insert(seq.seq_id, new_table);
+        }
+        self.num_swapped_in_blocks += copies.len() as u64;
+        Ok(copies)
+    }
+
+    /// Sum over sequences of their logical block counts, for GPU-resident
+    /// sequences. The difference to [`Self::num_allocated_gpu_blocks`] is the
+    /// number of blocks saved by sharing (Fig. 15).
+    #[must_use]
+    pub fn num_logical_gpu_blocks(&self) -> usize {
+        self.block_tables
+            .values()
+            .map(|t| t.iter().filter(|b| b.device == Device::Gpu).count())
+            .sum()
+    }
+
+    /// Fraction of blocks saved by sharing: `(logical - physical) / logical`
+    /// (Fig. 15). Returns 0 when nothing is allocated.
+    #[must_use]
+    pub fn sharing_savings(&self) -> f64 {
+        let logical = self.num_logical_gpu_blocks();
+        if logical == 0 {
+            return 0.0;
+        }
+        // Pinned prefix-anchor blocks can make `physical` exceed `logical`;
+        // they are provider-owned overhead, not sequence waste.
+        let physical = self.gpu.num_allocated();
+        logical.saturating_sub(physical) as f64 / logical as f64
+    }
+
+    /// Number of KV token slots actually holding token state in the GPU pool,
+    /// given the sequences' current lengths (Fig. 2 "token states" metric).
+    ///
+    /// A shared physical block stores one copy of its token states, so fill
+    /// counts are aggregated per physical block with `max`.
+    #[must_use]
+    pub fn used_gpu_slots<'a, I>(&self, seqs: I) -> usize
+    where
+        I: IntoIterator<Item = &'a Sequence>,
+    {
+        let mut fill: HashMap<PhysicalBlockId, usize> = HashMap::new();
+        for seq in seqs {
+            let Some(table) = self.block_tables.get(&seq.seq_id) else {
+                continue;
+            };
+            let len = seq.len();
+            for (j, block) in table.iter().enumerate() {
+                if block.device != Device::Gpu {
+                    continue;
+                }
+                let filled = len.saturating_sub(j * self.block_size).min(self.block_size);
+                let e = fill.entry(block.id).or_insert(0);
+                *e = (*e).max(filled);
+            }
+        }
+        fill.values().sum()
+    }
+
+    /// Verifies internal consistency: every table entry points at an
+    /// allocated block and the per-pool reference totals match the tables.
+    /// Intended for tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accounting is inconsistent.
+    pub fn assert_consistent(&self) {
+        let mut gpu_refs: HashMap<PhysicalBlockId, u32> = HashMap::new();
+        let mut cpu_refs: HashMap<PhysicalBlockId, u32> = HashMap::new();
+        for table in self.block_tables.values() {
+            for b in table {
+                match b.device {
+                    Device::Gpu => *gpu_refs.entry(b.id).or_insert(0) += 1,
+                    Device::Cpu => *cpu_refs.entry(b.id).or_insert(0) += 1,
+                }
+            }
+        }
+        for (pool, refs, name) in [(&self.gpu, &gpu_refs, "gpu"), (&self.cpu, &cpu_refs, "cpu")] {
+            for id in 0..pool.num_blocks() {
+                let expected = refs.get(&id).copied().unwrap_or(0);
+                // Prefix-cache blocks hold one extra anchor reference not
+                // recorded in any sequence table, so allow `actual ==
+                // expected + 1` only when expected count comes from tables.
+                let actual = pool.ref_count(id).expect("in range");
+                assert!(
+                    actual == expected || actual == expected + 1,
+                    "{name} block {id}: ref count {actual} != table references {expected}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::SamplingParams;
+    use crate::sequence::Sequence;
+
+    const BS: usize = 4;
+
+    fn manager(gpu_blocks: usize, cpu_blocks: usize) -> BlockSpaceManager {
+        let cfg = CacheConfig::new(BS, gpu_blocks, cpu_blocks)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        BlockSpaceManager::new(&cfg)
+    }
+
+    fn group_with_prompt(id: u64, prompt_len: usize) -> SequenceGroup {
+        let seq = Sequence::new(id, (0..prompt_len as u32).collect(), BS);
+        SequenceGroup::new(format!("r{id}"), seq, SamplingParams::greedy(64), 0.0)
+    }
+
+    #[test]
+    fn allocate_prompt_blocks() {
+        let mut m = manager(10, 0);
+        let g = group_with_prompt(0, 7);
+        assert_eq!(m.can_allocate(&g), AllocStatus::Ok);
+        m.allocate(&g).unwrap();
+        assert_eq!(m.block_table(0).unwrap().len(), 2);
+        assert_eq!(m.num_free_gpu_blocks(), 8);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn can_allocate_never_for_oversized_prompt() {
+        let m = manager(2, 0);
+        let g = group_with_prompt(0, 100);
+        assert_eq!(m.can_allocate(&g), AllocStatus::Never);
+    }
+
+    #[test]
+    fn can_allocate_later_when_full() {
+        let mut m = manager(2, 0);
+        let g0 = group_with_prompt(0, 8);
+        m.allocate(&g0).unwrap();
+        let g1 = group_with_prompt(1, 4);
+        assert_eq!(m.can_allocate(&g1), AllocStatus::Later);
+    }
+
+    #[test]
+    fn append_slot_allocates_on_block_boundary() {
+        let mut m = manager(10, 0);
+        let mut g = group_with_prompt(0, 4);
+        m.allocate(&g).unwrap();
+        assert_eq!(m.block_table(0).unwrap().len(), 1);
+        // Token 5 starts logical block 1.
+        g.get_mut(0).unwrap().data.append_token(100);
+        let cow = m.append_slot(g.get(0).unwrap()).unwrap();
+        assert!(cow.is_none());
+        assert_eq!(m.block_table(0).unwrap().len(), 2);
+        // Tokens 6..8 stay in block 1.
+        for t in 0..3 {
+            g.get_mut(0).unwrap().data.append_token(101 + t);
+            assert!(m.append_slot(g.get(0).unwrap()).unwrap().is_none());
+        }
+        assert_eq!(m.block_table(0).unwrap().len(), 2);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn fork_shares_blocks_and_cow_splits() {
+        let mut m = manager(10, 0);
+        let mut g = group_with_prompt(0, 6);
+        m.allocate(&g).unwrap();
+        let child = g.get(0).unwrap().fork(1);
+        g.add(child);
+        m.fork(0, 1).unwrap();
+        // Both tables point at the same two blocks.
+        assert_eq!(m.block_table(0).unwrap(), m.block_table(1).unwrap());
+        assert_eq!(m.num_allocated_gpu_blocks(), 2);
+        assert_eq!(m.num_logical_gpu_blocks(), 4);
+        assert!(m.sharing_savings() > 0.49);
+
+        // Child appends into the half-full last block: copy-on-write.
+        g.get_mut(1).unwrap().data.append_token(7);
+        let cow = m.append_slot(g.get(1).unwrap()).unwrap().unwrap();
+        assert_eq!(m.num_allocated_gpu_blocks(), 3);
+        let t0 = m.block_table(0).unwrap().to_vec();
+        let t1 = m.block_table(1).unwrap().to_vec();
+        assert_eq!(t0[0], t1[0]);
+        assert_ne!(t0[1], t1[1]);
+        assert_eq!(cow.src, t0[1].id);
+        assert_eq!(cow.dst, t1[1].id);
+
+        // Parent now appends into its (no longer shared) block: no copy.
+        g.get_mut(0).unwrap().data.append_token(8);
+        assert!(m.append_slot(g.get(0).unwrap()).unwrap().is_none());
+        assert_eq!(m.num_cow_copies(), 1);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn free_releases_shared_blocks_gradually() {
+        let mut m = manager(10, 0);
+        let g = group_with_prompt(0, 8);
+        m.allocate(&g).unwrap();
+        m.fork(0, 1).unwrap();
+        m.free(0).unwrap();
+        assert_eq!(m.num_allocated_gpu_blocks(), 2);
+        m.free(1).unwrap();
+        assert_eq!(m.num_allocated_gpu_blocks(), 0);
+        assert_eq!(m.num_free_gpu_blocks(), 10);
+    }
+
+    #[test]
+    fn free_unknown_sequence_is_noop() {
+        let mut m = manager(4, 0);
+        assert!(m.free(42).is_ok());
+    }
+
+    #[test]
+    fn swap_out_and_in_round_trip() {
+        let mut m = manager(4, 4);
+        let mut g = group_with_prompt(0, 8);
+        m.allocate(&g).unwrap();
+        g.set_status_all(SequenceStatus::Running);
+        assert!(m.can_swap_out(&g));
+        let out = m.swap_out(&g).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.num_free_gpu_blocks(), 4);
+        assert_eq!(m.num_free_cpu_blocks(), 2);
+        g.set_status_all(SequenceStatus::Swapped);
+
+        assert!(m.can_swap_in(&g));
+        let back = m.swap_in(&g).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(m.num_free_cpu_blocks(), 4);
+        assert_eq!(m.num_free_gpu_blocks(), 2);
+        assert_eq!(m.num_swapped_out_blocks(), 2);
+        assert_eq!(m.num_swapped_in_blocks(), 2);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn swap_preserves_intra_group_sharing() {
+        let mut m = manager(8, 8);
+        let mut g = group_with_prompt(0, 8);
+        m.allocate(&g).unwrap();
+        let child = g.get(0).unwrap().fork(1);
+        g.add(child);
+        m.fork(0, 1).unwrap();
+        g.set_status_all(SequenceStatus::Running);
+
+        // 2 physical blocks shared by 2 sequences: swap copies only 2 blocks.
+        let out = m.swap_out(&g).unwrap();
+        assert_eq!(out.len(), 2);
+        g.set_status_all(SequenceStatus::Swapped);
+        assert_eq!(m.block_table(0).unwrap(), m.block_table(1).unwrap());
+
+        let back = m.swap_in(&g).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(m.block_table(0).unwrap(), m.block_table(1).unwrap());
+        assert_eq!(m.num_allocated_gpu_blocks(), 2);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn swap_out_fails_when_cpu_pool_too_small() {
+        let mut m = manager(4, 1);
+        let mut g = group_with_prompt(0, 8);
+        m.allocate(&g).unwrap();
+        g.set_status_all(SequenceStatus::Running);
+        assert!(!m.can_swap_out(&g));
+        assert!(m.swap_out(&g).is_err());
+    }
+
+    #[test]
+    fn used_slots_counts_shared_blocks_once() {
+        let mut m = manager(8, 0);
+        let mut g = group_with_prompt(0, 6);
+        m.allocate(&g).unwrap();
+        let child = g.get(0).unwrap().fork(1);
+        g.add(child);
+        m.fork(0, 1).unwrap();
+        let seqs: Vec<&Sequence> = g.seqs();
+        // 6 tokens stored once despite two sharers.
+        assert_eq!(m.used_gpu_slots(seqs.into_iter()), 6);
+    }
+
+    #[test]
+    fn prefix_allocation_shares_full_blocks() {
+        let mut m = manager(10, 0);
+        // Fake a cached prefix of 8 tokens (2 full blocks).
+        let pb0 = {
+            let g = group_with_prompt(99, 8);
+            m.allocate(&g).unwrap();
+            m.gpu_block_ids(99).unwrap()
+        };
+        // New request: 14-token prompt starting with the 8-token prefix.
+        let g = group_with_prompt(0, 14);
+        let copies = m.allocate_with_prefix(&g, 8, &pb0).unwrap();
+        assert!(copies.is_empty());
+        let t = m.block_table(0).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].id, pb0[0]);
+        assert_eq!(t[1].id, pb0[1]);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn prefix_allocation_cow_splits_partial_block() {
+        let mut m = manager(10, 0);
+        // Cached prefix of 6 tokens: blocks 0 full, 1 half-full.
+        let pb = {
+            let g = group_with_prompt(99, 6);
+            m.allocate(&g).unwrap();
+            m.gpu_block_ids(99).unwrap()
+        };
+        let g = group_with_prompt(0, 10);
+        let copies = m.allocate_with_prefix(&g, 6, &pb).unwrap();
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].src, pb[1]);
+        let t = m.block_table(0).unwrap();
+        assert_eq!(t[0].id, pb[0]);
+        assert_ne!(t[1].id, pb[1]);
+        assert_eq!(t.len(), 3);
+        m.assert_consistent();
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the vLLM core.
+
+use std::fmt;
+
+/// Errors produced by KV-cache management, scheduling, and the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VllmError {
+    /// The GPU block pool has no free block left.
+    OutOfGpuBlocks,
+    /// The CPU (swap) block pool has no free block left.
+    OutOfCpuBlocks,
+    /// A block id was used that is not part of the pool.
+    InvalidBlock(usize),
+    /// A block was freed (or dereferenced) more times than it was allocated.
+    DoubleFree(usize),
+    /// A sequence id was not found in a block table or queue.
+    UnknownSequence(u64),
+    /// A request id was not found in the engine.
+    UnknownRequest(String),
+    /// A request could not be admitted (e.g. prompt longer than the whole pool).
+    RequestTooLarge {
+        /// Request identifier.
+        request_id: String,
+        /// Number of blocks the prompt alone requires.
+        required_blocks: usize,
+        /// Total number of blocks in the GPU pool.
+        total_blocks: usize,
+    },
+    /// Configuration values are inconsistent.
+    InvalidConfig(String),
+    /// The model executor failed.
+    Executor(String),
+}
+
+impl fmt::Display for VllmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfGpuBlocks => write!(f, "out of free GPU KV blocks"),
+            Self::OutOfCpuBlocks => write!(f, "out of free CPU (swap) KV blocks"),
+            Self::InvalidBlock(id) => write!(f, "invalid physical block id {id}"),
+            Self::DoubleFree(id) => write!(f, "double free of physical block id {id}"),
+            Self::UnknownSequence(id) => write!(f, "unknown sequence id {id}"),
+            Self::UnknownRequest(id) => write!(f, "unknown request id {id:?}"),
+            Self::RequestTooLarge {
+                request_id,
+                required_blocks,
+                total_blocks,
+            } => write!(
+                f,
+                "request {request_id:?} needs {required_blocks} blocks but the pool only has {total_blocks}"
+            ),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Executor(msg) => write!(f, "model executor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VllmError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, VllmError>;

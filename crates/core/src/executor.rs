@@ -1,0 +1,125 @@
+//! The model-executor interface between the engine and a backend.
+//!
+//! The engine (scheduler + block manager) is backend-agnostic: the numeric
+//! CPU transformer in `vllm-model` and the discrete-event cost model in
+//! `vllm-sim` both implement [`ModelExecutor`]. This mirrors Fig. 4, where
+//! the centralized scheduler sends per-iteration control messages (token
+//! ids, positions, block tables, cache operations) to the GPU workers.
+
+use crate::block::PhysicalBlockId;
+use crate::block_manager::BlockCopy;
+use crate::error::Result;
+use crate::sampling::{DecodingMode, TokenId};
+use crate::sequence::SeqId;
+
+/// One sequence's slice of an iteration.
+#[derive(Debug, Clone)]
+pub struct SeqStepInput {
+    /// Sequence identifier.
+    pub seq_id: SeqId,
+    /// Tokens to process this step: the whole prompt for a prefill, or the
+    /// single newest token for a generation step.
+    pub tokens: Vec<TokenId>,
+    /// Position of `tokens[0]` within the sequence.
+    pub first_position: usize,
+    /// Number of leading tokens whose KV cache already exists (shared-prefix
+    /// prefills skip recomputing these; 0 otherwise).
+    pub num_cached_tokens: usize,
+    /// Physical GPU block ids backing this sequence, in logical order.
+    pub block_table: Vec<PhysicalBlockId>,
+    /// Number of `(token, logprob)` candidates to return: 1 for greedy /
+    /// single sampling, `n` for the prompt step of parallel sampling, `2k`
+    /// for beam search, 0 for KV-only runs (prefix warm-up).
+    pub num_candidates: usize,
+    /// Decoding mode governing candidate selection.
+    pub mode: DecodingMode,
+    /// Seed for this sequence's sampling stream.
+    pub seed: u64,
+}
+
+impl SeqStepInput {
+    /// Context length after this step completes.
+    #[must_use]
+    pub fn context_len(&self) -> usize {
+        self.first_position + self.tokens.len()
+    }
+
+    /// Whether this item is a prompt (multi-token) run.
+    #[must_use]
+    pub fn is_prompt(&self) -> bool {
+        self.first_position == 0
+    }
+}
+
+/// Cache-management operations the executor must apply before computing the
+/// step (§4.3: the scheduler piggybacks memory-management instructions on the
+/// step's control message).
+#[derive(Debug, Clone, Default)]
+pub struct CacheOps {
+    /// CPU→GPU block transfers (swap in).
+    pub swap_in: Vec<BlockCopy>,
+    /// GPU→CPU block transfers (swap out).
+    pub swap_out: Vec<BlockCopy>,
+    /// GPU→GPU block copies (copy-on-write), batched into one kernel in the
+    /// paper (§5.1 "fused block copy").
+    pub copies: Vec<BlockCopy>,
+}
+
+impl CacheOps {
+    /// Whether no operation is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.swap_in.is_empty() && self.swap_out.is_empty() && self.copies.is_empty()
+    }
+}
+
+/// One iteration's full input.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionBatch {
+    /// Per-sequence inputs.
+    pub items: Vec<SeqStepInput>,
+    /// Whether this is a prompt (prefill) iteration.
+    pub is_prompt_run: bool,
+    /// Cache operations to apply before the forward pass.
+    pub cache_ops: CacheOps,
+    /// KV block size in tokens.
+    pub block_size: usize,
+}
+
+impl ExecutionBatch {
+    /// Total number of tokens processed in the iteration.
+    #[must_use]
+    pub fn num_tokens(&self) -> usize {
+        self.items.iter().map(|i| i.tokens.len()).sum()
+    }
+}
+
+/// One sequence's output for the step.
+#[derive(Debug, Clone)]
+pub struct SeqStepOutput {
+    /// Sequence identifier.
+    pub seq_id: SeqId,
+    /// Candidate `(token, logprob)` pairs, most preferred first; length
+    /// equals the requested `num_candidates`.
+    pub candidates: Vec<(TokenId, f32)>,
+}
+
+/// The result of executing one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct StepResult {
+    /// Per-sequence outputs, in the same order as the batch items.
+    pub outputs: Vec<SeqStepOutput>,
+    /// Time the iteration took, in seconds: wall-clock for the numeric
+    /// backend, modeled time for the simulator.
+    pub elapsed: f64,
+}
+
+/// A backend that executes scheduled iterations.
+pub trait ModelExecutor {
+    /// Applies the batch's cache operations and runs one model iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::VllmError::Executor`] on backend failure.
+    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult>;
+}

@@ -1,0 +1,59 @@
+//! # vllm-core
+//!
+//! Core of a Rust reproduction of *Efficient Memory Management for Large
+//! Language Model Serving with PagedAttention* (SOSP 2023): block-level KV
+//! cache management (block tables, reference counting, copy-on-write),
+//! iteration-level FCFS scheduling with all-or-nothing preemption (swapping
+//! or recomputation), decoding algorithms (greedy, sampling, parallel
+//! sampling, beam search, shared prefixes), and the serving engine that ties
+//! them to a pluggable model executor.
+//!
+//! The numeric CPU transformer backend lives in `vllm-model`; the
+//! discrete-event serving simulator lives in `vllm-sim`; contiguous-KV
+//! baselines (Orca, FasterTransformer) live in `vllm-baselines`.
+//!
+//! # Examples
+//!
+//! Allocate, fork, and copy-on-write KV blocks directly:
+//!
+//! ```
+//! use vllm_core::{BlockSpaceManager, CacheConfig, SamplingParams, Sequence, SequenceGroup};
+//!
+//! let cfg = CacheConfig::new(16, 64, 0).unwrap();
+//! let mut manager = BlockSpaceManager::new(&cfg);
+//! let seq = Sequence::new(0, (0..20).collect(), cfg.block_size);
+//! let group = SequenceGroup::new("r0", seq, SamplingParams::greedy(8), 0.0);
+//! manager.allocate(&group).unwrap();
+//! assert_eq!(manager.block_table(0).unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod beam;
+pub mod block;
+pub mod block_manager;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod mock;
+pub mod prefix;
+pub mod sampling;
+pub mod scheduler;
+pub mod sequence;
+
+pub use beam::{plan_beam_step, BeamExtension, BeamInput, BeamPlan};
+pub use block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
+pub use block_manager::{AllocStatus, BlockCopy, BlockSpaceManager};
+pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
+pub use engine::{CompletionOutput, LlmEngine, RequestOutput};
+pub use error::{Result, VllmError};
+pub use executor::{
+    CacheOps, ExecutionBatch, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult,
+};
+pub use metrics::{LatencyTracker, MemoryStats, RequestLatency, StepSnapshot};
+pub use prefix::{Prefix, PrefixId, PrefixPool};
+pub use sampling::{DecodingMode, SamplingParams, TokenId};
+pub use scheduler::{ScheduledGroup, Scheduler, SchedulerOutputs, SchedulerStats};
+pub use sequence::{SeqId, Sequence, SequenceData, SequenceGroup, SequenceStatus};

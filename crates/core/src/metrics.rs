@@ -1,0 +1,298 @@
+//! Serving metrics: normalized latency (§6.1), batch occupancy (Fig. 13),
+//! KV memory utilization (Fig. 2), and sharing savings (Fig. 15).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-request latency record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// Arrival time in seconds.
+    pub arrival_time: f64,
+    /// Completion time in seconds.
+    pub finish_time: f64,
+    /// Mean number of generated tokens per output sequence.
+    pub output_len: f64,
+    /// End-to-end latency divided by output length (§6.1 "normalized
+    /// latency", following Orca).
+    pub normalized_latency: f64,
+}
+
+/// Collects per-request latencies and derives the paper's key metric.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTracker {
+    records: Vec<RequestLatency>,
+}
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, arrival_time: f64, finish_time: f64, output_len: f64) {
+        let latency = finish_time - arrival_time;
+        let denom = output_len.max(1.0);
+        self.records.push(RequestLatency {
+            arrival_time,
+            finish_time,
+            output_len,
+            normalized_latency: latency / denom,
+        });
+    }
+
+    /// Number of finished requests.
+    #[must_use]
+    pub fn num_requests(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean normalized latency in seconds per token (the y-axis of
+    /// Figs. 12, 14, 16, 17). Returns `None` before any request finishes.
+    #[must_use]
+    pub fn mean_normalized_latency(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(
+            self.records
+                .iter()
+                .map(|r| r.normalized_latency)
+                .sum::<f64>()
+                / self.records.len() as f64,
+        )
+    }
+
+    /// p-th percentile (0–100) of normalized latency.
+    #[must_use]
+    pub fn percentile_normalized_latency(&self, p: f64) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.records.iter().map(|r| r.normalized_latency).collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[idx.min(v.len() - 1)])
+    }
+
+    /// All records (for custom aggregation in harnesses).
+    #[must_use]
+    pub fn records(&self) -> &[RequestLatency] {
+        &self.records
+    }
+}
+
+/// One step's snapshot of memory/batch state, weighted by step duration when
+/// aggregated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepSnapshot {
+    /// Wall/virtual duration of the step in seconds.
+    pub duration: f64,
+    /// Number of requests in the running queue.
+    pub running_requests: usize,
+    /// Number of running sequences (≥ requests with parallel decoding).
+    pub running_seqs: usize,
+    /// Tokens processed in this step.
+    pub batched_tokens: usize,
+    /// KV slots holding actual token state (Fig. 2 "token states").
+    pub used_slots: usize,
+    /// KV slots inside allocated blocks (used + internal fragmentation).
+    pub allocated_slots: usize,
+    /// Total KV slots in the GPU pool.
+    pub total_slots: usize,
+    /// Fraction of blocks saved by sharing (Fig. 15).
+    pub sharing_savings: f64,
+    /// Sum over sequences of logical GPU blocks (sharing denominator).
+    pub logical_blocks: usize,
+    /// Physical GPU blocks in use.
+    pub physical_blocks: usize,
+}
+
+/// Time-weighted aggregation of [`StepSnapshot`]s over a run.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStats {
+    total_time: f64,
+    w_running_requests: f64,
+    w_running_seqs: f64,
+    w_batched_tokens: f64,
+    w_used_slots: f64,
+    w_allocated_slots: f64,
+    w_total_slots: f64,
+    w_sharing: f64,
+    /// Time during which at least one block was allocated (sharing metric
+    /// denominators only count busy time).
+    busy_time: f64,
+    num_steps: u64,
+}
+
+impl MemoryStats {
+    /// Creates an empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one step's snapshot.
+    pub fn observe(&mut self, s: &StepSnapshot) {
+        let w = s.duration;
+        self.total_time += w;
+        self.num_steps += 1;
+        self.w_running_requests += w * s.running_requests as f64;
+        self.w_running_seqs += w * s.running_seqs as f64;
+        self.w_batched_tokens += w * s.batched_tokens as f64;
+        self.w_used_slots += w * s.used_slots as f64;
+        self.w_allocated_slots += w * s.allocated_slots as f64;
+        self.w_total_slots += w * s.total_slots as f64;
+        if s.physical_blocks > 0 {
+            self.busy_time += w;
+            self.w_sharing += w * s.sharing_savings;
+        }
+    }
+
+    /// Number of observed steps.
+    #[must_use]
+    pub fn num_steps(&self) -> u64 {
+        self.num_steps
+    }
+
+    /// Total observed (virtual) time.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Time-weighted average number of batched requests (Fig. 13).
+    #[must_use]
+    pub fn avg_running_requests(&self) -> f64 {
+        if self.total_time == 0.0 {
+            return 0.0;
+        }
+        self.w_running_requests / self.total_time
+    }
+
+    /// Time-weighted average number of running sequences.
+    #[must_use]
+    pub fn avg_running_seqs(&self) -> f64 {
+        if self.total_time == 0.0 {
+            return 0.0;
+        }
+        self.w_running_seqs / self.total_time
+    }
+
+    /// Time-weighted average number of batched tokens per step.
+    #[must_use]
+    pub fn avg_batched_tokens(&self) -> f64 {
+        if self.total_time == 0.0 {
+            return 0.0;
+        }
+        self.w_batched_tokens / self.total_time
+    }
+
+    /// Fraction of *allocated* KV slots holding token state; the complement
+    /// is internal fragmentation (Fig. 2's vLLM bar decomposition).
+    #[must_use]
+    pub fn utilization_of_allocated(&self) -> f64 {
+        if self.w_allocated_slots == 0.0 {
+            return 1.0;
+        }
+        self.w_used_slots / self.w_allocated_slots
+    }
+
+    /// Time-weighted average fraction of the whole pool holding token state.
+    #[must_use]
+    pub fn utilization_of_pool(&self) -> f64 {
+        if self.w_total_slots == 0.0 {
+            return 0.0;
+        }
+        self.w_used_slots / self.w_total_slots
+    }
+
+    /// Time-weighted average sharing savings over busy time (Fig. 15).
+    #[must_use]
+    pub fn avg_sharing_savings(&self) -> f64 {
+        if self.busy_time == 0.0 {
+            return 0.0;
+        }
+        self.w_sharing / self.busy_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_latency_divides_by_output_len() {
+        let mut t = LatencyTracker::new();
+        t.record(0.0, 10.0, 20.0);
+        assert_eq!(t.mean_normalized_latency(), Some(0.5));
+    }
+
+    #[test]
+    fn normalized_latency_guards_zero_output() {
+        let mut t = LatencyTracker::new();
+        t.record(0.0, 3.0, 0.0);
+        assert_eq!(t.mean_normalized_latency(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_tracker_returns_none() {
+        let t = LatencyTracker::new();
+        assert_eq!(t.mean_normalized_latency(), None);
+        assert_eq!(t.percentile_normalized_latency(50.0), None);
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let mut t = LatencyTracker::new();
+        for (fin, out) in [(1.0, 1.0), (2.0, 1.0), (10.0, 1.0)] {
+            t.record(0.0, fin, out);
+        }
+        assert_eq!(t.percentile_normalized_latency(0.0), Some(1.0));
+        assert_eq!(t.percentile_normalized_latency(100.0), Some(10.0));
+        assert_eq!(t.percentile_normalized_latency(50.0), Some(2.0));
+    }
+
+    #[test]
+    fn memory_stats_time_weighted() {
+        let mut m = MemoryStats::new();
+        m.observe(&StepSnapshot {
+            duration: 1.0,
+            running_requests: 10,
+            used_slots: 50,
+            allocated_slots: 100,
+            total_slots: 200,
+            ..Default::default()
+        });
+        m.observe(&StepSnapshot {
+            duration: 3.0,
+            running_requests: 2,
+            used_slots: 100,
+            allocated_slots: 100,
+            total_slots: 200,
+            ..Default::default()
+        });
+        assert!((m.avg_running_requests() - 4.0).abs() < 1e-12);
+        assert!((m.utilization_of_allocated() - 0.875).abs() < 1e-12);
+        assert!((m.utilization_of_pool() - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_only_counts_busy_time() {
+        let mut m = MemoryStats::new();
+        m.observe(&StepSnapshot {
+            duration: 1.0,
+            sharing_savings: 0.5,
+            physical_blocks: 10,
+            ..Default::default()
+        });
+        m.observe(&StepSnapshot {
+            duration: 9.0,
+            sharing_savings: 0.0,
+            physical_blocks: 0,
+            ..Default::default()
+        });
+        assert!((m.avg_sharing_savings() - 0.5).abs() < 1e-12);
+    }
+}

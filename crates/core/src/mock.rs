@@ -1,0 +1,83 @@
+//! A deterministic scripted executor for tests and examples.
+//!
+//! [`MockExecutor`] produces tokens from a pure function of `(seed, seq_id,
+//! position)`, so engine-level behaviours (forking, beam search, preemption,
+//! recomputation) can be tested without a numeric model. Recomputation
+//! determinism holds by construction: replaying the same positions yields
+//! the same tokens.
+
+use crate::error::Result;
+use crate::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+use crate::sampling::TokenId;
+
+/// Deterministic stand-in model executor.
+#[derive(Debug, Clone)]
+pub struct MockExecutor {
+    /// Vocabulary size for generated token ids.
+    pub vocab_size: u32,
+    /// Modeled duration of every step, in seconds.
+    pub step_time: f64,
+    /// If set, sequences emit this token at positions where
+    /// `position % eos_period == 0` (used to exercise eos stop paths).
+    pub eos_token: Option<(TokenId, usize)>,
+    /// Number of executed steps.
+    pub steps: u64,
+    /// Number of block copies observed (copy-on-write + swaps).
+    pub copies_seen: u64,
+}
+
+impl MockExecutor {
+    /// Creates a mock with the given vocabulary size.
+    #[must_use]
+    pub fn new(vocab_size: u32) -> Self {
+        Self {
+            vocab_size,
+            step_time: 0.01,
+            eos_token: None,
+            steps: 0,
+            copies_seen: 0,
+        }
+    }
+
+    fn token_at(&self, seed: u64, seq_id: u64, position: usize) -> TokenId {
+        if let Some((eos, period)) = self.eos_token {
+            if period > 0 && position.is_multiple_of(period) {
+                return eos;
+            }
+        }
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for v in [seq_id, position as u64] {
+            h ^= v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = h.rotate_left(31).wrapping_mul(0x94d0_49bb_1331_11eb);
+        }
+        (h % u64::from(self.vocab_size)) as TokenId
+    }
+}
+
+impl ModelExecutor for MockExecutor {
+    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+        self.steps += 1;
+        self.copies_seen += (batch.cache_ops.copies.len()
+            + batch.cache_ops.swap_in.len()
+            + batch.cache_ops.swap_out.len()) as u64;
+        let mut outputs = Vec::with_capacity(batch.items.len());
+        for item in &batch.items {
+            let next_pos = item.context_len();
+            let mut candidates = Vec::with_capacity(item.num_candidates);
+            for c in 0..item.num_candidates {
+                // Candidate `c` perturbs the seed so parallel samples differ.
+                let token = self.token_at(item.seed.wrapping_add(c as u64), item.seq_id, next_pos);
+                let logprob = -0.1 * (c as f32 + 1.0);
+                candidates.push((token, logprob));
+            }
+            outputs.push(SeqStepOutput {
+                seq_id: item.seq_id,
+                candidates,
+            });
+        }
+        Ok(StepResult {
+            outputs,
+            elapsed: self.step_time,
+        })
+    }
+}

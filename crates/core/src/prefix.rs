@@ -1,0 +1,153 @@
+//! Shared-prefix cache (§4.4 "shared prefix", Fig. 10).
+//!
+//! Service providers register long system prompts once; the KV cache of a
+//! registered prefix is computed ahead of time and its physical blocks are
+//! pinned. Requests whose prompt starts with a registered prefix map their
+//! leading logical blocks onto the pinned blocks (last partial block
+//! copy-on-write) and skip the prefix's prefill computation.
+
+use crate::block::PhysicalBlockId;
+use crate::sampling::TokenId;
+
+/// Identifier of a registered prefix.
+pub type PrefixId = usize;
+
+/// A registered shared prefix.
+#[derive(Debug, Clone)]
+pub struct Prefix {
+    /// Prefix tokens.
+    pub tokens: Vec<TokenId>,
+    /// Pinned physical GPU blocks holding the prefix KV cache.
+    pub blocks: Vec<PhysicalBlockId>,
+    /// Whether the prefix KV cache has been computed (warm-up done).
+    pub computed: bool,
+}
+
+impl Prefix {
+    /// Prefix length in tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the prefix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Registry of pinned prefixes.
+#[derive(Debug, Default)]
+pub struct PrefixPool {
+    prefixes: Vec<Prefix>,
+}
+
+impl PrefixPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a prefix whose blocks have been pinned by the block
+    /// manager, returning its id.
+    pub fn insert(&mut self, tokens: Vec<TokenId>, blocks: Vec<PhysicalBlockId>) -> PrefixId {
+        self.prefixes.push(Prefix {
+            tokens,
+            blocks,
+            computed: false,
+        });
+        self.prefixes.len() - 1
+    }
+
+    /// Marks a prefix's KV cache as computed.
+    pub fn mark_computed(&mut self, id: PrefixId) {
+        if let Some(p) = self.prefixes.get_mut(id) {
+            p.computed = true;
+        }
+    }
+
+    /// Looks up a prefix.
+    #[must_use]
+    pub fn get(&self, id: PrefixId) -> Option<&Prefix> {
+        self.prefixes.get(id)
+    }
+
+    /// Removes a prefix from the pool, returning it so its blocks can be
+    /// released. The slot is tombstoned (never reused) so other prefix ids
+    /// stay valid.
+    pub fn remove(&mut self, id: PrefixId) -> Option<Prefix> {
+        let p = self.prefixes.get_mut(id)?;
+        if p.tokens.is_empty() {
+            return None;
+        }
+        let taken = Prefix {
+            tokens: std::mem::take(&mut p.tokens),
+            blocks: std::mem::take(&mut p.blocks),
+            computed: p.computed,
+        };
+        p.computed = false;
+        Some(taken)
+    }
+
+    /// Finds the longest registered, computed prefix that `prompt` starts
+    /// with (providers may register nested prefixes, e.g. 1-shot and 5-shot
+    /// variants that share the instruction).
+    #[must_use]
+    pub fn match_prompt(&self, prompt: &[TokenId]) -> Option<PrefixId> {
+        self.prefixes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.computed && prompt.len() > p.len() && prompt.starts_with(&p.tokens))
+            .max_by_key(|(_, p)| p.len())
+            .map(|(id, _)| id)
+    }
+
+    /// Number of registered prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether no prefix is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_requires_computed() {
+        let mut pool = PrefixPool::new();
+        let id = pool.insert(vec![1, 2, 3], vec![0]);
+        assert_eq!(pool.match_prompt(&[1, 2, 3, 4]), None);
+        pool.mark_computed(id);
+        assert_eq!(pool.match_prompt(&[1, 2, 3, 4]), Some(id));
+    }
+
+    #[test]
+    fn match_prefers_longest() {
+        let mut pool = PrefixPool::new();
+        let short = pool.insert(vec![1, 2], vec![0]);
+        let long = pool.insert(vec![1, 2, 3, 4], vec![1, 2]);
+        pool.mark_computed(short);
+        pool.mark_computed(long);
+        assert_eq!(pool.match_prompt(&[1, 2, 3, 4, 5]), Some(long));
+        assert_eq!(pool.match_prompt(&[1, 2, 9]), Some(short));
+    }
+
+    #[test]
+    fn prompt_must_extend_prefix() {
+        let mut pool = PrefixPool::new();
+        let id = pool.insert(vec![1, 2, 3], vec![0]);
+        pool.mark_computed(id);
+        // A prompt equal to the prefix has no task input; no match.
+        assert_eq!(pool.match_prompt(&[1, 2, 3]), None);
+        assert_eq!(pool.match_prompt(&[2, 3, 4]), None);
+    }
+}

@@ -1,0 +1,757 @@
+//! Iteration-level FCFS scheduler with all-or-nothing preemption (§4.5).
+//!
+//! Each call to [`Scheduler::schedule`] plans one model iteration: either a
+//! *prompt step* (one or more newly admitted requests run their prefill) or a
+//! *generation step* (every running sequence advances by one token). When
+//! GPU blocks run out, the latest-arrived running group is preempted —
+//! swapped to CPU memory or rolled back for recomputation — and, as in the
+//! paper, no new request is admitted while any group remains swapped out.
+
+use std::collections::VecDeque;
+
+use crate::block_manager::{AllocStatus, BlockCopy, BlockSpaceManager};
+use crate::config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy};
+use crate::error::{Result, VllmError};
+use crate::sequence::{SeqId, SequenceGroup, SequenceStatus};
+
+/// Per-group slice of a scheduled iteration.
+#[derive(Debug, Clone)]
+pub struct ScheduledGroup {
+    /// Request id of the group.
+    pub request_id: String,
+    /// Whether this group runs its prompt (prefill) this iteration.
+    pub is_prompt: bool,
+    /// Sequences participating in this iteration.
+    pub seq_ids: Vec<SeqId>,
+    /// Number of tokens this group contributes to the iteration's batch.
+    pub num_tokens: usize,
+    /// Number of leading prompt tokens whose KV cache is already present
+    /// (shared-prefix requests skip recomputing these).
+    pub num_cached_tokens: usize,
+}
+
+/// The plan for one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerOutputs {
+    /// Groups participating in this iteration.
+    pub scheduled: Vec<ScheduledGroup>,
+    /// Whether this is a prompt (prefill) iteration.
+    pub is_prompt_run: bool,
+    /// CPU→GPU block transfers to perform before the step.
+    pub blocks_to_swap_in: Vec<BlockCopy>,
+    /// GPU→CPU block transfers to perform before the step.
+    pub blocks_to_swap_out: Vec<BlockCopy>,
+    /// Block-granularity copy-on-write copies to perform before the step.
+    pub blocks_to_copy: Vec<BlockCopy>,
+    /// Total tokens processed in this iteration.
+    pub num_batched_tokens: usize,
+    /// Number of groups preempted while planning this iteration.
+    pub num_preempted: usize,
+    /// Requests rejected this round (prompt can never fit).
+    pub ignored: Vec<String>,
+}
+
+impl SchedulerOutputs {
+    /// Whether the iteration has any work.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+            && self.blocks_to_swap_in.is_empty()
+            && self.blocks_to_swap_out.is_empty()
+    }
+}
+
+/// Counters exported for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Total preemptions (swap + recompute).
+    pub num_preemptions: u64,
+    /// Preemptions recovered by swapping.
+    pub num_swap_preemptions: u64,
+    /// Preemptions recovered by recomputation.
+    pub num_recompute_preemptions: u64,
+}
+
+/// FCFS iteration-level scheduler owning all live sequence groups.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    block_manager: BlockSpaceManager,
+    /// Sorted by arrival time (FCFS).
+    waiting: VecDeque<SequenceGroup>,
+    running: Vec<SequenceGroup>,
+    /// Sorted by arrival time (FCFS).
+    swapped: VecDeque<SequenceGroup>,
+    finished: Vec<SequenceGroup>,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a fresh block manager.
+    #[must_use]
+    pub fn new(scheduler_config: SchedulerConfig, cache_config: &CacheConfig) -> Self {
+        Self {
+            config: scheduler_config,
+            block_manager: BlockSpaceManager::new(cache_config),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            swapped: VecDeque::new(),
+            finished: Vec::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The scheduler configuration.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Immutable view of the block manager (metrics).
+    #[must_use]
+    pub fn block_manager(&self) -> &BlockSpaceManager {
+        &self.block_manager
+    }
+
+    /// Mutable access to the block manager (engine fork/free callbacks).
+    pub fn block_manager_mut(&mut self) -> &mut BlockSpaceManager {
+        &mut self.block_manager
+    }
+
+    /// Scheduling counters.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Enqueues a new request, keeping the waiting queue in arrival order.
+    pub fn add_group(&mut self, group: SequenceGroup) {
+        let pos = self
+            .waiting
+            .iter()
+            .position(|g| g.arrival_time > group.arrival_time)
+            .unwrap_or(self.waiting.len());
+        self.waiting.insert(pos, group);
+    }
+
+    /// Number of queued (not yet admitted) requests.
+    #[must_use]
+    pub fn num_waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Number of running requests.
+    #[must_use]
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of swapped-out requests.
+    #[must_use]
+    pub fn num_swapped(&self) -> usize {
+        self.swapped.len()
+    }
+
+    /// Whether any request is still queued, running, or swapped.
+    #[must_use]
+    pub fn has_unfinished(&self) -> bool {
+        !(self.waiting.is_empty() && self.running.is_empty() && self.swapped.is_empty())
+    }
+
+    /// Looks up a live group by request id.
+    #[must_use]
+    pub fn group(&self, request_id: &str) -> Option<&SequenceGroup> {
+        self.running
+            .iter()
+            .chain(self.waiting.iter())
+            .chain(self.swapped.iter())
+            .find(|g| g.request_id == request_id)
+    }
+
+    /// Looks up a live group by request id, mutably.
+    pub fn group_mut(&mut self, request_id: &str) -> Option<&mut SequenceGroup> {
+        self.running
+            .iter_mut()
+            .chain(self.waiting.iter_mut())
+            .chain(self.swapped.iter_mut())
+            .find(|g| g.request_id == request_id)
+    }
+
+    /// Aborts a request wherever it lives, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownRequest`] if no live group matches.
+    pub fn abort(&mut self, request_id: &str) -> Result<()> {
+        let from_queue = |q: &mut Vec<SequenceGroup>, id: &str| {
+            q.iter()
+                .position(|g| g.request_id == id)
+                .map(|i| q.remove(i))
+        };
+        let mut group = from_queue(&mut self.running, request_id)
+            .or_else(|| {
+                self.waiting
+                    .iter()
+                    .position(|g| g.request_id == request_id)
+                    .and_then(|i| self.waiting.remove(i))
+            })
+            .or_else(|| {
+                self.swapped
+                    .iter()
+                    .position(|g| g.request_id == request_id)
+                    .and_then(|i| self.swapped.remove(i))
+            })
+            .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
+        for seq in group.seqs().iter().map(|s| s.seq_id).collect::<Vec<_>>() {
+            self.block_manager.free(seq)?;
+        }
+        group.set_status_all(SequenceStatus::FinishedAborted);
+        self.finished.push(group);
+        Ok(())
+    }
+
+    /// Plans one iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors, which indicate a bug rather than
+    /// a recoverable condition.
+    pub fn schedule(&mut self) -> Result<SchedulerOutputs> {
+        let mut outputs = SchedulerOutputs::default();
+
+        // Phase 1: admit new prompts, but only when nothing is swapped out
+        // (§4.5: stop accepting new requests until preempted ones complete).
+        if self.swapped.is_empty() {
+            self.schedule_prompts(&mut outputs)?;
+            if !outputs.scheduled.is_empty() {
+                outputs.is_prompt_run = true;
+                return Ok(outputs);
+            }
+        }
+
+        // Phase 2: one generation step for every running sequence, preempting
+        // the lowest-priority groups if blocks run out.
+        self.schedule_decodes(&mut outputs)?;
+
+        // Phase 3: swap groups back in while memory allows (FCFS). Skipped if
+        // this very step had to preempt.
+        if outputs.num_preempted == 0 {
+            self.schedule_swap_in(&mut outputs)?;
+        }
+
+        // Emit the generation-step plan.
+        for group in &self.running {
+            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
+            if seq_ids.is_empty() {
+                continue;
+            }
+            let num_tokens = seq_ids.len();
+            outputs.num_batched_tokens += num_tokens;
+            outputs.scheduled.push(ScheduledGroup {
+                request_id: group.request_id.clone(),
+                is_prompt: false,
+                seq_ids,
+                num_tokens,
+                num_cached_tokens: 0,
+            });
+        }
+
+        // Stall resolution: a request whose working set alone exceeds GPU
+        // memory (e.g. many long parallel sequences) can neither run nor be
+        // resumed, and nothing else will ever free memory for it. Abort it
+        // rather than loop forever.
+        if outputs.is_empty()
+            && outputs.ignored.is_empty()
+            && self.has_unfinished()
+            && self.running.is_empty()
+        {
+            let victim = if !self.swapped.is_empty() {
+                self.swapped.pop_front()
+            } else if !self.waiting.is_empty() {
+                // Waiting but not admittable with an otherwise idle pool
+                // (e.g. pinned prefix blocks squeeze the request out).
+                self.waiting.pop_front()
+            } else {
+                None
+            };
+            if let Some(mut group) = victim {
+                for seq_id in group.seqs().iter().map(|s| s.seq_id).collect::<Vec<_>>() {
+                    self.block_manager.free(seq_id)?;
+                }
+                group.set_status_all(SequenceStatus::FinishedAborted);
+                outputs.ignored.push(group.request_id.clone());
+                self.finished.push(group);
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn schedule_prompts(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+        let mut num_batched_tokens = 0usize;
+        let mut num_seqs: usize = self
+            .running
+            .iter()
+            .map(|g| g.seqs_with_status(SequenceStatus::Running).len())
+            .sum();
+
+        while let Some(group) = self.waiting.front() {
+            let waiting_seqs = group.seqs_with_status(SequenceStatus::Waiting);
+            let prompt_len: usize = waiting_seqs.iter().map(|s| s.len()).sum();
+
+            // Reject prompts that can never run.
+            if prompt_len > self.config.max_model_len
+                || self.block_manager.can_allocate(group) == AllocStatus::Never
+            {
+                let mut group = self.waiting.pop_front().expect("front exists");
+                group.set_status_all(SequenceStatus::FinishedAborted);
+                outputs.ignored.push(group.request_id.clone());
+                self.finished.push(group);
+                continue;
+            }
+            if self.block_manager.can_allocate(group) != AllocStatus::Ok {
+                break;
+            }
+            if num_batched_tokens + prompt_len > self.config.max_num_batched_tokens {
+                break;
+            }
+            if num_seqs + group.max_num_seqs() > self.config.max_num_seqs {
+                break;
+            }
+
+            let mut group = self.waiting.pop_front().expect("front exists");
+            let num_cached_tokens = group.cached_prefix_len;
+            if num_cached_tokens > 0 {
+                let prefix_blocks = group.prefix_blocks.clone();
+                let copies = self.block_manager.allocate_with_prefix(
+                    &group,
+                    num_cached_tokens,
+                    &prefix_blocks,
+                )?;
+                outputs.blocks_to_copy.extend(copies);
+            } else {
+                self.block_manager.allocate(&group)?;
+            }
+            group.set_status_all(SequenceStatus::Running);
+            num_batched_tokens += prompt_len;
+            num_seqs += group.max_num_seqs();
+            outputs.num_batched_tokens += prompt_len;
+            outputs.scheduled.push(ScheduledGroup {
+                request_id: group.request_id.clone(),
+                is_prompt: true,
+                seq_ids: group.seq_ids_with_status(SequenceStatus::Running),
+                num_tokens: prompt_len,
+                num_cached_tokens,
+            });
+            self.running.push(group);
+        }
+        Ok(())
+    }
+
+    fn schedule_decodes(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+        // FCFS priority: earliest arrival served first, latest preempted first.
+        self.running
+            .sort_by(|a, b| a.arrival_time.total_cmp(&b.arrival_time));
+
+        let mut survivors: Vec<SequenceGroup> = Vec::with_capacity(self.running.len());
+        let mut queue: VecDeque<SequenceGroup> = std::mem::take(&mut self.running).into();
+
+        'groups: while let Some(group) = queue.pop_front() {
+            // Make room for this group, preempting lower-priority groups if
+            // needed (the paper preempts latest arrivals first).
+            while !self.block_manager.can_append_slot(&group) {
+                let victim = match self.config.victim_policy {
+                    VictimPolicy::LatestArrival => queue.pop_back(),
+                    VictimPolicy::LargestFootprint => {
+                        let idx = queue
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, g)| {
+                                g.seqs()
+                                    .iter()
+                                    .map(|s| {
+                                        self.block_manager
+                                            .block_table(s.seq_id)
+                                            .map_or(0, <[_]>::len)
+                                    })
+                                    .sum::<usize>()
+                            })
+                            .map(|(i, _)| i);
+                        idx.and_then(|i| queue.remove(i))
+                    }
+                };
+                if let Some(victim) = victim {
+                    self.preempt(victim, outputs)?;
+                } else {
+                    // `group` itself is the lowest-priority survivor.
+                    self.preempt(group, outputs)?;
+                    continue 'groups;
+                }
+            }
+            // Reserve the slot for each running sequence's next token.
+            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
+            for seq_id in seq_ids {
+                let seq = group
+                    .get(seq_id)
+                    .ok_or(VllmError::UnknownSequence(seq_id))?;
+                if let Some(copy) = self.block_manager.append_slot(seq)? {
+                    outputs.blocks_to_copy.push(copy);
+                }
+            }
+            survivors.push(group);
+        }
+        self.running = survivors;
+        Ok(())
+    }
+
+    fn schedule_swap_in(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+        while let Some(group) = self.swapped.front() {
+            if !self.block_manager.can_swap_in(group) {
+                break;
+            }
+            let mut group = self.swapped.pop_front().expect("front exists");
+            let copies = self.block_manager.swap_in(&group)?;
+            outputs.blocks_to_swap_in.extend(copies);
+            group.set_status_all(SequenceStatus::Running);
+            // Reserve next-token slots for the newly resumed sequences.
+            for seq_id in group.seq_ids_with_status(SequenceStatus::Running) {
+                let seq = group
+                    .get(seq_id)
+                    .ok_or(VllmError::UnknownSequence(seq_id))?;
+                if let Some(copy) = self.block_manager.append_slot(seq)? {
+                    outputs.blocks_to_copy.push(copy);
+                }
+            }
+            self.running.push(group);
+        }
+        Ok(())
+    }
+
+    fn preempt(&mut self, mut group: SequenceGroup, outputs: &mut SchedulerOutputs) -> Result<()> {
+        outputs.num_preempted += 1;
+        self.stats.num_preemptions += 1;
+        group.num_preemptions += 1;
+
+        // Single-sequence groups may use either recovery mode; groups with
+        // multiple sequences can share blocks, so they must be swapped to
+        // preserve that sharing.
+        let mode = if group.num_unfinished() <= 1 {
+            self.config.preemption_mode
+        } else {
+            PreemptionMode::Swap
+        };
+
+        match mode {
+            PreemptionMode::Swap if self.block_manager.can_swap_out(&group) => {
+                self.stats.num_swap_preemptions += 1;
+                let copies = self.block_manager.swap_out(&group)?;
+                outputs.blocks_to_swap_out.extend(copies);
+                group.set_status_all(SequenceStatus::Swapped);
+                let pos = self
+                    .swapped
+                    .iter()
+                    .position(|g| g.arrival_time > group.arrival_time)
+                    .unwrap_or(self.swapped.len());
+                self.swapped.insert(pos, group);
+            }
+            _ => {
+                // Recompute: free all blocks and roll the sequences back to
+                // the waiting state with their outputs merged into the prompt
+                // (§4.5). Also the fallback when the CPU swap space is full.
+                self.stats.num_recompute_preemptions += 1;
+                let seq_ids: Vec<SeqId> = group.seqs().iter().map(|s| s.seq_id).collect();
+                for seq_id in seq_ids {
+                    self.block_manager.free(seq_id)?;
+                    if let Some(seq) = group.get_mut(seq_id) {
+                        if !seq.is_finished() {
+                            seq.data.reset_for_recompute();
+                            seq.status = SequenceStatus::Waiting;
+                        }
+                    }
+                }
+                let pos = self
+                    .waiting
+                    .iter()
+                    .position(|g| g.arrival_time > group.arrival_time)
+                    .unwrap_or(self.waiting.len());
+                self.waiting.insert(pos, group);
+            }
+        }
+        Ok(())
+    }
+
+    /// Frees a single sequence's blocks (beam-search drop, finished sample).
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors.
+    pub fn free_seq(&mut self, seq_id: SeqId) -> Result<()> {
+        self.block_manager.free(seq_id)
+    }
+
+    /// Forks `child` from `parent` in the block manager (engine-side fork).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownSequence`] if the parent has no table.
+    pub fn fork_seq(&mut self, parent: SeqId, child: SeqId) -> Result<()> {
+        self.block_manager.fork(parent, child)
+    }
+
+    /// Removes finished groups from the running queue, frees any remaining
+    /// blocks, and returns them together with previously aborted groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors.
+    pub fn reap_finished(&mut self) -> Result<Vec<SequenceGroup>> {
+        let mut done: Vec<SequenceGroup> = std::mem::take(&mut self.finished);
+        let mut still_running = Vec::with_capacity(self.running.len());
+        for group in self.running.drain(..) {
+            if group.is_finished() {
+                done.push(group);
+            } else {
+                still_running.push(group);
+            }
+        }
+        self.running = still_running;
+        for group in &done {
+            for seq in group.seqs() {
+                self.block_manager.free(seq.seq_id)?;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Running groups, for the engine's batch construction and metrics.
+    #[must_use]
+    pub fn running_groups(&self) -> &[SequenceGroup] {
+        &self.running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::SamplingParams;
+    use crate::sequence::Sequence;
+
+    const BS: usize = 4;
+
+    fn make_scheduler(gpu_blocks: usize, cpu_blocks: usize) -> Scheduler {
+        let cache = CacheConfig::new(BS, gpu_blocks, cpu_blocks)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        let sched_cfg = SchedulerConfig::new(2048, 64, 2048).unwrap();
+        Scheduler::new(sched_cfg, &cache)
+    }
+
+    fn group(id: u64, prompt_len: usize, arrival: f64) -> SequenceGroup {
+        let seq = Sequence::new(id, (0..prompt_len as u32).collect(), BS);
+        SequenceGroup::new(
+            format!("r{id}"),
+            seq,
+            SamplingParams::greedy(64).with_ignore_eos(),
+            arrival,
+        )
+    }
+
+    /// Appends a fake generated token to every running sequence of every
+    /// running group (simulating one decode step's output).
+    fn append_all(s: &mut Scheduler) {
+        let ids: Vec<String> = s
+            .running_groups()
+            .iter()
+            .map(|g| g.request_id.clone())
+            .collect();
+        for rid in ids {
+            let g = s.group_mut(&rid).unwrap();
+            for sid in g.seq_ids_with_status(SequenceStatus::Running) {
+                let seq = g.get_mut(sid).unwrap();
+                seq.data.append_token(1);
+                let n = seq.len();
+                seq.data.set_num_computed_tokens(n);
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_step_admits_fcfs() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(0, 4, 0.0));
+        s.add_group(group(1, 4, 1.0));
+        let out = s.schedule().unwrap();
+        assert!(out.is_prompt_run);
+        assert_eq!(out.scheduled.len(), 2);
+        assert_eq!(out.scheduled[0].request_id, "r0");
+        assert_eq!(out.num_batched_tokens, 8);
+        assert_eq!(s.num_running(), 2);
+    }
+
+    #[test]
+    fn waiting_queue_sorted_by_arrival() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(1, 4, 5.0));
+        s.add_group(group(0, 4, 1.0));
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled[0].request_id, "r0");
+        assert_eq!(out.scheduled[1].request_id, "r1");
+    }
+
+    #[test]
+    fn oversized_prompt_ignored() {
+        let mut s = make_scheduler(2, 0);
+        s.add_group(group(0, 100, 0.0));
+        let out = s.schedule().unwrap();
+        assert_eq!(out.ignored, vec!["r0".to_string()]);
+        assert_eq!(s.num_running(), 0);
+        let done = s.reap_finished().unwrap();
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn decode_step_follows_prompt_step() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(0, 4, 0.0));
+        let out = s.schedule().unwrap();
+        assert!(out.is_prompt_run);
+        append_all(&mut s);
+        let out = s.schedule().unwrap();
+        assert!(!out.is_prompt_run);
+        assert_eq!(out.scheduled.len(), 1);
+        assert_eq!(out.num_batched_tokens, 1);
+    }
+
+    #[test]
+    fn preempts_latest_arrival_with_recompute() {
+        // 4 blocks of 4 slots; two requests of 8-token prompts fill the pool.
+        let mut s = make_scheduler(4, 0);
+        s.add_group(group(0, 8, 0.0));
+        s.add_group(group(1, 8, 1.0));
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled.len(), 2);
+        // Both prompts admitted; pool now full. Next decode needs new blocks
+        // (prompts fill blocks exactly), so the later request is preempted.
+        append_all(&mut s);
+        let out = s.schedule().unwrap();
+        assert!(!out.is_prompt_run);
+        assert_eq!(out.num_preempted, 1);
+        assert_eq!(out.scheduled.len(), 1);
+        assert_eq!(out.scheduled[0].request_id, "r0");
+        assert_eq!(s.num_waiting(), 1);
+        assert_eq!(s.stats().num_recompute_preemptions, 1);
+        // The preempted sequence merged its output into the prompt.
+        let g = s.group("r1").unwrap();
+        assert_eq!(g.seqs()[0].data.prompt_len(), 9);
+    }
+
+    #[test]
+    fn preempts_with_swap_when_configured() {
+        let cache = CacheConfig::new(BS, 4, 8)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        let cfg = SchedulerConfig::new(2048, 64, 2048)
+            .unwrap()
+            .with_preemption_mode(PreemptionMode::Swap);
+        let mut s = Scheduler::new(cfg, &cache);
+        s.add_group(group(0, 8, 0.0));
+        s.add_group(group(1, 8, 1.0));
+        s.schedule().unwrap();
+        append_all(&mut s);
+        let out = s.schedule().unwrap();
+        assert_eq!(out.num_preempted, 1);
+        assert_eq!(s.num_swapped(), 1);
+        assert_eq!(out.blocks_to_swap_out.len(), 2);
+        assert_eq!(s.stats().num_swap_preemptions, 1);
+
+        // Finish request 0; its blocks free and r1 swaps back in.
+        {
+            let g = s.group_mut("r0").unwrap();
+            for sid in g.seq_ids_with_status(SequenceStatus::Running) {
+                g.get_mut(sid).unwrap().status = SequenceStatus::FinishedStopped;
+            }
+        }
+        s.reap_finished().unwrap();
+        let out = s.schedule().unwrap();
+        assert!(!out.blocks_to_swap_in.is_empty());
+        assert_eq!(s.num_swapped(), 0);
+        assert_eq!(s.num_running(), 1);
+    }
+
+    #[test]
+    fn no_admission_while_swapped() {
+        let cache = CacheConfig::new(BS, 4, 8)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        let cfg = SchedulerConfig::new(2048, 64, 2048)
+            .unwrap()
+            .with_preemption_mode(PreemptionMode::Swap);
+        let mut s = Scheduler::new(cfg, &cache);
+        s.add_group(group(0, 8, 0.0));
+        s.add_group(group(1, 8, 1.0));
+        s.schedule().unwrap();
+        append_all(&mut s);
+        s.schedule().unwrap(); // r1 swapped out.
+        assert_eq!(s.num_swapped(), 1);
+        s.add_group(group(2, 4, 2.0));
+        append_all(&mut s);
+        let out = s.schedule().unwrap();
+        // r2 must NOT be admitted while r1 is swapped.
+        assert!(!out.is_prompt_run);
+        assert!(out.scheduled.iter().all(|g| g.request_id != "r2"));
+        assert_eq!(s.num_waiting(), 1);
+    }
+
+    #[test]
+    fn token_budget_limits_prompt_batch() {
+        let cache = CacheConfig::new(BS, 1024, 0).unwrap();
+        let cfg = SchedulerConfig::new(2048, 64, 2048).unwrap();
+        let mut s = Scheduler::new(cfg, &cache);
+        s.add_group(group(0, 1500, 0.0));
+        s.add_group(group(1, 1500, 1.0));
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled.len(), 1);
+        assert_eq!(s.num_waiting(), 1);
+    }
+
+    #[test]
+    fn max_num_seqs_limits_admission() {
+        let cache = CacheConfig::new(BS, 1024, 0).unwrap();
+        let cfg = SchedulerConfig::new(4096, 2, 2048).unwrap();
+        let mut s = Scheduler::new(cfg, &cache);
+        for i in 0..3 {
+            s.add_group(group(i, 4, i as f64));
+        }
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled.len(), 2);
+    }
+
+    #[test]
+    fn abort_frees_blocks() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(0, 8, 0.0));
+        s.schedule().unwrap();
+        let free_before = s.block_manager().num_free_gpu_blocks();
+        s.abort("r0").unwrap();
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), free_before + 2);
+        assert!(!s.has_unfinished());
+        assert!(s.abort("nope").is_err());
+    }
+
+    #[test]
+    fn reap_finished_frees_and_returns() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(0, 4, 0.0));
+        s.schedule().unwrap();
+        {
+            let g = s.group_mut("r0").unwrap();
+            g.get_mut(0).unwrap().status = SequenceStatus::FinishedStopped;
+        }
+        let done = s.reap_finished().unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), 16);
+        assert!(!s.has_unfinished());
+    }
+}

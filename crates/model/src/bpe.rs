@@ -1,0 +1,244 @@
+//! A from-scratch byte-pair-encoding tokenizer (§5's "we tokenize the
+//! datasets" substrate).
+//!
+//! Training learns greedy byte-pair merges from a corpus; encoding applies
+//! them in rank order (lowest-rank merge first, as in GPT-2's BPE). The
+//! vocabulary is `256 byte tokens + merges + specials`, so any byte string
+//! round-trips exactly.
+
+use std::collections::HashMap;
+
+use vllm_core::sampling::TokenId;
+
+/// First id after the 256 byte tokens; merge tokens grow from here.
+const FIRST_MERGE_ID: TokenId = 256;
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Merge rules: (left, right) → merged token id, in training order.
+    merges: Vec<(TokenId, TokenId)>,
+    /// Lookup from pair to (rank, merged id).
+    ranks: HashMap<(TokenId, TokenId), (usize, TokenId)>,
+    /// Expansion of every token id to its bytes.
+    vocab: Vec<Vec<u8>>,
+    /// Beginning-of-sequence token id.
+    pub bos: TokenId,
+    /// End-of-sequence token id.
+    pub eos: TokenId,
+}
+
+impl BpeTokenizer {
+    /// Trains a tokenizer with up to `num_merges` merge rules from `corpus`.
+    ///
+    /// Training is the classic greedy loop: repeatedly merge the most
+    /// frequent adjacent pair. Pairs that appear fewer than 2 times stop
+    /// the loop early.
+    #[must_use]
+    pub fn train(corpus: &str, num_merges: usize) -> Self {
+        // Current tokenization of the corpus (starts as raw bytes).
+        let mut tokens: Vec<TokenId> = corpus.bytes().map(TokenId::from).collect();
+        let mut merges = Vec::with_capacity(num_merges);
+        let mut vocab: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+
+        for merge_idx in 0..num_merges {
+            // Count adjacent pairs.
+            let mut counts: HashMap<(TokenId, TokenId), usize> = HashMap::new();
+            for w in tokens.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            // Deterministic argmax: highest count, then smallest pair.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = FIRST_MERGE_ID + merge_idx as TokenId;
+            merges.push(pair);
+            let mut expansion = vocab[pair.0 as usize].clone();
+            expansion.extend_from_slice(&vocab[pair.1 as usize]);
+            vocab.push(expansion);
+
+            // Apply the merge to the working corpus.
+            let mut out = Vec::with_capacity(tokens.len());
+            let mut i = 0;
+            while i < tokens.len() {
+                if i + 1 < tokens.len() && (tokens[i], tokens[i + 1]) == pair {
+                    out.push(new_id);
+                    i += 2;
+                } else {
+                    out.push(tokens[i]);
+                    i += 1;
+                }
+            }
+            tokens = out;
+        }
+
+        let bos = FIRST_MERGE_ID + merges.len() as TokenId;
+        let eos = bos + 1;
+        vocab.push(b"<bos>".to_vec());
+        vocab.push(b"<eos>".to_vec());
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(rank, &pair)| (pair, (rank, FIRST_MERGE_ID + rank as TokenId)))
+            .collect();
+        Self {
+            merges,
+            ranks,
+            vocab,
+            bos,
+            eos,
+        }
+    }
+
+    /// Vocabulary size (bytes + merges + specials).
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Number of learned merges.
+    #[must_use]
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encodes text: bytes first, then merges applied lowest rank first.
+    #[must_use]
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut tokens: Vec<TokenId> = text.bytes().map(TokenId::from).collect();
+        loop {
+            // Find the lowest-rank applicable pair.
+            let best = tokens
+                .windows(2)
+                .filter_map(|w| self.ranks.get(&(w[0], w[1])))
+                .min_by_key(|(rank, _)| *rank)
+                .copied();
+            let Some((rank, merged)) = best else {
+                break;
+            };
+            let pair = self.merges[rank];
+            let mut out = Vec::with_capacity(tokens.len());
+            let mut i = 0;
+            while i < tokens.len() {
+                if i + 1 < tokens.len() && (tokens[i], tokens[i + 1]) == pair {
+                    out.push(merged);
+                    i += 2;
+                } else {
+                    out.push(tokens[i]);
+                    i += 1;
+                }
+            }
+            tokens = out;
+        }
+        tokens
+    }
+
+    /// Encodes with the `<bos>` prefix (serving prompts).
+    #[must_use]
+    pub fn encode_with_bos(&self, text: &str) -> Vec<TokenId> {
+        std::iter::once(self.bos).chain(self.encode(text)).collect()
+    }
+
+    /// Decodes token ids to text (specials skipped, invalid UTF-8 replaced).
+    #[must_use]
+    pub fn decode(&self, tokens: &[TokenId]) -> String {
+        let mut bytes = Vec::new();
+        for &t in tokens {
+            if t == self.bos || t == self.eos {
+                continue;
+            }
+            if let Some(exp) = self.vocab.get(t as usize) {
+                bytes.extend_from_slice(exp);
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the quick brown fox jumps over the lazy dog. \
+                          the quick brown fox jumps over the lazy dog. \
+                          the paged attention kernel reads the kv cache \
+                          block by block. the kv cache grows block by block.";
+
+    #[test]
+    fn round_trip_exact() {
+        let tok = BpeTokenizer::train(CORPUS, 50);
+        for text in [
+            "the quick brown fox",
+            "completely unseen zebra text!",
+            "héllo ✓ utf-8",
+            "",
+        ] {
+            assert_eq!(tok.decode(&tok.encode(text)), text, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn merges_compress_training_text() {
+        let tok = BpeTokenizer::train(CORPUS, 100);
+        let text = "the quick brown fox jumps over the lazy dog.";
+        let encoded = tok.encode(text);
+        assert!(
+            encoded.len() < text.len() / 2,
+            "{} tokens for {} bytes",
+            encoded.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn unseen_text_falls_back_to_bytes() {
+        let tok = BpeTokenizer::train(CORPUS, 50);
+        let encoded = tok.encode("XYZQW");
+        // No merges trained on these bytes: 1 token per byte.
+        assert_eq!(encoded.len(), 5);
+        assert!(encoded.iter().all(|&t| t < 256));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTokenizer::train(CORPUS, 64);
+        let b = BpeTokenizer::train(CORPUS, 64);
+        assert_eq!(a.merges, b.merges);
+        assert_eq!(a.encode("the kv cache"), b.encode("the kv cache"));
+    }
+
+    #[test]
+    fn merge_budget_respected_and_early_stop() {
+        let tok = BpeTokenizer::train(CORPUS, 10);
+        assert_eq!(tok.num_merges(), 10);
+        // A tiny corpus with no repeated pair stops early.
+        let tiny = BpeTokenizer::train("ab", 100);
+        assert_eq!(tiny.num_merges(), 0);
+        assert_eq!(tiny.vocab_size(), 256 + 2);
+    }
+
+    #[test]
+    fn specials_distinct_and_skipped() {
+        let tok = BpeTokenizer::train(CORPUS, 20);
+        assert_ne!(tok.bos, tok.eos);
+        let ids = tok.encode_with_bos("fox");
+        assert_eq!(ids[0], tok.bos);
+        assert_eq!(tok.decode(&ids), "fox");
+    }
+
+    #[test]
+    fn encode_matches_incremental_merge_semantics() {
+        // Property: decoding the encoding of the training corpus itself is
+        // exact and shorter than the byte length.
+        let tok = BpeTokenizer::train(CORPUS, 80);
+        let encoded = tok.encode(CORPUS);
+        assert!(encoded.len() < CORPUS.len());
+        assert_eq!(tok.decode(&encoded), CORPUS);
+    }
+}

@@ -1,0 +1,117 @@
+//! Model hyper-parameters for the CPU transformer substrate.
+
+/// How token positions are injected (§2.1 substrate detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionEncoding {
+    /// Learned absolute position embeddings (OPT/GPT style).
+    Learned,
+    /// Rotary position embeddings applied to Q/K (LLaMA style). Keys are
+    /// stored post-rotation in the KV cache, as in real serving systems.
+    Rotary,
+}
+
+/// Configuration of a GPT/OPT-style decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden dimension (`d` in the paper).
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub n_layers: usize,
+    /// Number of attention heads; must divide `hidden`.
+    pub n_heads: usize,
+    /// Maximum sequence length (learned positional embeddings).
+    pub max_position: usize,
+    /// End-of-sequence token id.
+    pub eos_token_id: u32,
+    /// Seed for deterministic weight initialization.
+    pub seed: u64,
+    /// Position-encoding scheme.
+    pub position_encoding: PositionEncoding,
+}
+
+impl ModelConfig {
+    /// A tiny model for unit tests (fast, still multi-head/multi-layer).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            vocab_size: 128,
+            hidden: 32,
+            n_layers: 2,
+            n_heads: 4,
+            max_position: 512,
+            eos_token_id: 0,
+            seed: 0x5eed,
+            position_encoding: PositionEncoding::Learned,
+        }
+    }
+
+    /// A tiny LLaMA-style model (rotary positions) for tests.
+    #[must_use]
+    pub fn tiny_rotary() -> Self {
+        Self {
+            position_encoding: PositionEncoding::Rotary,
+            seed: 0x11a,
+            ..Self::tiny()
+        }
+    }
+
+    /// A small demo model for examples (byte-level vocabulary).
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            vocab_size: 260,
+            hidden: 64,
+            n_layers: 4,
+            n_heads: 8,
+            max_position: 1024,
+            eos_token_id: 257,
+            seed: 0xcafe,
+            position_encoding: PositionEncoding::Learned,
+        }
+    }
+
+    /// Per-head dimension.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.n_heads
+    }
+
+    /// Validates divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not a multiple of `n_heads` or any dimension is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(self.vocab_size > 0 && self.hidden > 0 && self.n_layers > 0);
+        assert!(
+            self.n_heads > 0 && self.hidden.is_multiple_of(self.n_heads),
+            "hidden ({}) must be divisible by n_heads ({})",
+            self.hidden,
+            self.n_heads
+        );
+        assert!(self.max_position > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_valid() {
+        ModelConfig::tiny().validate();
+        ModelConfig::small().validate();
+        assert_eq!(ModelConfig::tiny().head_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn invalid_heads_panics() {
+        let mut c = ModelConfig::tiny();
+        c.n_heads = 5;
+        c.validate();
+    }
+}

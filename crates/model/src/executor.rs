@@ -1,0 +1,321 @@
+//! The single-worker CPU executor backing [`vllm_core::LlmEngine`].
+
+use std::time::Instant;
+
+use vllm_core::error::{Result, VllmError};
+use vllm_core::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+
+use crate::config::ModelConfig;
+use crate::kv_cache::KvCache;
+use crate::sampler::{mix_seed, sample_candidates};
+use crate::transformer::Transformer;
+use vllm_core::config::CacheConfig;
+
+/// Executes scheduled iterations on a CPU transformer with a paged KV cache.
+#[derive(Debug)]
+pub struct CpuModelExecutor {
+    model: Transformer,
+    cache: KvCache,
+    /// Total tokens whose KV cache was computed (metrics).
+    pub tokens_processed: u64,
+    /// Total iterations executed (metrics).
+    pub steps: u64,
+}
+
+impl CpuModelExecutor {
+    /// Builds the executor and its paged KV storage.
+    #[must_use]
+    pub fn new(model: Transformer, cache_config: &CacheConfig) -> Self {
+        let cache = KvCache::new(
+            model.config.n_layers,
+            cache_config.num_gpu_blocks,
+            cache_config.num_cpu_blocks.max(1),
+            cache_config.block_size,
+            model.config.hidden,
+        );
+        Self {
+            model,
+            cache,
+            tokens_processed: 0,
+            steps: 0,
+        }
+    }
+
+    /// Convenience constructor from a model configuration.
+    #[must_use]
+    pub fn from_config(model_config: ModelConfig, cache_config: &CacheConfig) -> Self {
+        Self::new(Transformer::new(model_config), cache_config)
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+
+    /// The paged KV storage (introspection in tests).
+    #[must_use]
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+}
+
+impl ModelExecutor for CpuModelExecutor {
+    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+        let start = Instant::now();
+        self.steps += 1;
+        // Cache operations first (§4.3: memory-management instructions
+        // arrive with the step's control message).
+        self.cache.apply(&batch.cache_ops);
+
+        let mut outputs = Vec::with_capacity(batch.items.len());
+        for item in &batch.items {
+            if item.tokens.is_empty() {
+                return Err(VllmError::Executor("empty step input".into()));
+            }
+            // Shared-prefix prefills only compute the suffix; the prefix KV
+            // already sits in the mapped blocks.
+            let skip = if item.tokens.len() > 1 {
+                item.num_cached_tokens.min(item.tokens.len() - 1)
+            } else {
+                0
+            };
+            let tokens = &item.tokens[skip..];
+            let positions: Vec<usize> =
+                (item.first_position + skip..item.first_position + item.tokens.len()).collect();
+            let logits = self.model.forward_paged(
+                tokens,
+                &positions,
+                &mut self.cache.gpu,
+                &item.block_table,
+                item.first_position + skip,
+            );
+            self.tokens_processed += tokens.len() as u64;
+            let seed = mix_seed(item.seed, item.seq_id, item.context_len());
+            let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
+            outputs.push(SeqStepOutput {
+                seq_id: item.seq_id,
+                candidates,
+            });
+        }
+        Ok(StepResult {
+            outputs,
+            elapsed: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vllm_core::config::SchedulerConfig;
+    use vllm_core::engine::LlmEngine;
+    use vllm_core::sampling::SamplingParams;
+
+    fn engine(gpu_blocks: usize) -> LlmEngine<CpuModelExecutor> {
+        let cache = CacheConfig::new(4, gpu_blocks, gpu_blocks).unwrap();
+        let sched = SchedulerConfig::new(512, 32, 512).unwrap();
+        let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+        LlmEngine::new(exec, cache, sched)
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let run = || {
+            let mut e = engine(64);
+            e.add_request("r", vec![5, 9, 13], SamplingParams::greedy(8))
+                .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let a = run();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn batched_requests_match_solo_runs() {
+        // Greedy outputs must be independent of batching/scheduling.
+        let solo = |prompt: Vec<u32>| {
+            let mut e = engine(128);
+            e.add_request("r", prompt, SamplingParams::greedy(6))
+                .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let a_solo = solo(vec![3, 1, 4, 1, 5]);
+        let b_solo = solo(vec![2, 7, 18, 28]);
+
+        let mut e = engine(128);
+        e.add_request("a", vec![3, 1, 4, 1, 5], SamplingParams::greedy(6))
+            .unwrap();
+        e.add_request("b", vec![2, 7, 18, 28], SamplingParams::greedy(6))
+            .unwrap();
+        let outs = e.run_to_completion().unwrap();
+        let a = outs.iter().find(|o| o.request_id == "a").unwrap();
+        let b = outs.iter().find(|o| o.request_id == "b").unwrap();
+        assert_eq!(a.outputs[0].tokens, a_solo);
+        assert_eq!(b.outputs[0].tokens, b_solo);
+    }
+
+    #[test]
+    fn recompute_preemption_is_transparent() {
+        // Force preemption with a tiny pool; greedy output must equal the
+        // uncontended run (recomputation is exact, §4.5).
+        let solo = {
+            let mut e = engine(64);
+            e.add_request(
+                "a",
+                vec![1, 2, 3, 4, 5, 6, 7, 8],
+                SamplingParams::greedy(10),
+            )
+            .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let mut e = engine(7);
+        e.add_request(
+            "a",
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            SamplingParams::greedy(10),
+        )
+        .unwrap();
+        e.add_request_at("b", vec![9, 10, 11, 12], SamplingParams::greedy(10), 1e-6)
+            .unwrap();
+        let outs = e.run_to_completion().unwrap();
+        assert!(
+            e.scheduler().stats().num_preemptions > 0,
+            "test needs contention"
+        );
+        let a = outs.iter().find(|o| o.request_id == "a").unwrap();
+        assert_eq!(a.outputs[0].tokens, solo);
+    }
+
+    #[test]
+    fn swap_preemption_is_transparent() {
+        use vllm_core::config::PreemptionMode;
+        let solo = {
+            let mut e = engine(64);
+            e.add_request(
+                "a",
+                vec![1, 2, 3, 4, 5, 6, 7, 8],
+                SamplingParams::greedy(10),
+            )
+            .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let cache = CacheConfig::new(4, 7, 16).unwrap();
+        let sched = SchedulerConfig::new(512, 32, 512)
+            .unwrap()
+            .with_preemption_mode(PreemptionMode::Swap);
+        let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+        let mut e = LlmEngine::new(exec, cache, sched);
+        e.add_request(
+            "a",
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            SamplingParams::greedy(10),
+        )
+        .unwrap();
+        e.add_request_at("b", vec![9, 10, 11, 12], SamplingParams::greedy(10), 1e-6)
+            .unwrap();
+        let outs = e.run_to_completion().unwrap();
+        assert!(
+            e.scheduler().stats().num_swap_preemptions > 0,
+            "test needs swap preemption"
+        );
+        let a = outs.iter().find(|o| o.request_id == "a").unwrap();
+        assert_eq!(a.outputs[0].tokens, solo);
+    }
+
+    #[test]
+    fn parallel_samples_diverge_but_share_prompt() {
+        let mut e = engine(64);
+        e.add_request(
+            "r",
+            vec![1, 2, 3, 4, 5, 6],
+            SamplingParams::parallel(3, 8).with_seed(7),
+        )
+        .unwrap();
+        e.step().unwrap(); // Prompt step + fork.
+        assert!(e.scheduler().block_manager().sharing_savings() > 0.0);
+        let outs = e.run_to_completion().unwrap();
+        assert_eq!(outs[0].outputs.len(), 3);
+        let set: std::collections::HashSet<_> =
+            outs[0].outputs.iter().map(|o| o.tokens.clone()).collect();
+        assert!(set.len() > 1, "samples should diverge");
+    }
+
+    #[test]
+    fn beam_search_beats_greedy_logprob() {
+        // Beam search must find a hypothesis at least as likely as greedy.
+        let prompt = vec![11, 3, 7, 2];
+        let mut g = engine(64);
+        g.add_request("g", prompt.clone(), SamplingParams::greedy(6))
+            .unwrap();
+        let greedy = g.run_to_completion().unwrap()[0].outputs[0].clone();
+
+        let mut b = engine(64);
+        b.add_request("b", prompt, SamplingParams::beam(4, 6))
+            .unwrap();
+        let beams = b.run_to_completion().unwrap()[0].outputs.clone();
+        assert!(beams[0].cumulative_logprob >= greedy.cumulative_logprob - 1e-4);
+    }
+
+    #[test]
+    fn prefix_cached_generation_matches_uncached() {
+        let prefix: Vec<u32> = (1..=10).collect();
+        let suffix: Vec<u32> = vec![20, 21, 22];
+        let mut prompt = prefix.clone();
+        prompt.extend(&suffix);
+
+        let mut plain = engine(64);
+        plain.set_auto_prefix_match(false);
+        plain
+            .add_request("r", prompt.clone(), SamplingParams::greedy(6))
+            .unwrap();
+        let expect = plain.run_to_completion().unwrap()[0].outputs[0]
+            .tokens
+            .clone();
+
+        let mut cached = engine(64);
+        cached.register_prefix(prefix).unwrap();
+        cached
+            .add_request("r", prompt, SamplingParams::greedy(6))
+            .unwrap();
+        let got = cached.run_to_completion().unwrap();
+        assert_eq!(got[0].outputs[0].tokens, expect);
+        // The prefix prefill must have been skipped: fewer tokens processed.
+        assert!(cached.executor().tokens_processed < plain.executor().tokens_processed + 10);
+    }
+
+    #[test]
+    fn beam_width_one_equals_greedy() {
+        // Beam search with width 1 degenerates to greedy decoding exactly.
+        let prompt = vec![9u32, 4, 11, 6];
+        let mut g = engine(64);
+        g.add_request("g", prompt.clone(), SamplingParams::greedy(8))
+            .unwrap();
+        let greedy = g.run_to_completion().unwrap()[0].outputs[0].tokens.clone();
+        let mut b = engine(64);
+        b.add_request("b", prompt, SamplingParams::beam(1, 8))
+            .unwrap();
+        let beam = b.run_to_completion().unwrap()[0].outputs[0].tokens.clone();
+        assert_eq!(greedy, beam);
+    }
+
+    #[test]
+    fn wider_beams_never_worse() {
+        // Cumulative logprob of the best hypothesis is monotone in width.
+        let prompt = vec![2u32, 12, 5];
+        let mut best = f64::NEG_INFINITY;
+        for width in [1usize, 2, 4, 8] {
+            let mut e = engine(128);
+            e.add_request("b", prompt.clone(), SamplingParams::beam(width, 6))
+                .unwrap();
+            let outs = e.run_to_completion().unwrap();
+            let top = outs[0].outputs[0].cumulative_logprob;
+            assert!(
+                top >= best - 1e-5,
+                "width {width}: {top} worse than narrower beam {best}"
+            );
+            best = best.max(top);
+        }
+    }
+}

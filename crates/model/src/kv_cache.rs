@@ -1,0 +1,330 @@
+//! Paged KV cache storage (§4.2, §5.1).
+//!
+//! A [`KvPool`] owns one contiguous allocation per layer ("the block engine
+//! allocates a contiguous chunk and divides it into physical KV blocks") and
+//! addresses token slots by `(physical block, offset)`. [`KvCache`] pairs a
+//! GPU pool with a CPU pool (swap space) and applies the scheduler's cache
+//! operations: batched copy-on-write copies ("fused block copy", §5.1) and
+//! swap transfers (§4.5).
+
+use vllm_core::executor::CacheOps;
+
+/// Per-layer paged key/value storage for one device.
+#[derive(Debug, Clone)]
+pub struct KvPool {
+    /// Per-layer key storage: `num_blocks * block_size * hidden` floats.
+    k: Vec<Vec<f32>>,
+    /// Per-layer value storage, same layout.
+    v: Vec<Vec<f32>>,
+    num_blocks: usize,
+    block_size: usize,
+    hidden: usize,
+}
+
+impl KvPool {
+    /// Allocates zeroed storage for `num_blocks` blocks across `n_layers`
+    /// layers with `hidden`-sized K and V vectors per token.
+    #[must_use]
+    pub fn new(n_layers: usize, num_blocks: usize, block_size: usize, hidden: usize) -> Self {
+        let layer_len = num_blocks * block_size * hidden;
+        Self {
+            k: vec![vec![0.0; layer_len]; n_layers],
+            v: vec![vec![0.0; layer_len]; n_layers],
+            num_blocks,
+            block_size,
+            hidden,
+        }
+    }
+
+    /// Number of blocks in the pool.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Tokens per block.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// K/V vector width.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total bytes of K+V storage (capacity accounting).
+    #[must_use]
+    pub fn num_bytes(&self) -> usize {
+        2 * self.k.len()
+            * self.num_blocks
+            * self.block_size
+            * self.hidden
+            * std::mem::size_of::<f32>()
+    }
+
+    #[inline]
+    fn offset(&self, block: usize, slot: usize) -> usize {
+        debug_assert!(block < self.num_blocks, "block {block} out of range");
+        debug_assert!(slot < self.block_size, "slot {slot} out of range");
+        (block * self.block_size + slot) * self.hidden
+    }
+
+    /// Writes the key/value vectors of one token into `(block, slot)` for
+    /// `layer` (the "fused reshape and block write" path, §5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on out-of-range indices or wrong vector widths.
+    pub fn write(&mut self, layer: usize, block: usize, slot: usize, key: &[f32], value: &[f32]) {
+        debug_assert_eq!(key.len(), self.hidden);
+        debug_assert_eq!(value.len(), self.hidden);
+        let o = self.offset(block, slot);
+        self.k[layer][o..o + self.hidden].copy_from_slice(key);
+        self.v[layer][o..o + self.hidden].copy_from_slice(value);
+    }
+
+    /// Key vector stored at `(layer, block, slot)`.
+    #[must_use]
+    pub fn key(&self, layer: usize, block: usize, slot: usize) -> &[f32] {
+        let o = self.offset(block, slot);
+        &self.k[layer][o..o + self.hidden]
+    }
+
+    /// Value vector stored at `(layer, block, slot)`.
+    #[must_use]
+    pub fn value(&self, layer: usize, block: usize, slot: usize) -> &[f32] {
+        let o = self.offset(block, slot);
+        &self.v[layer][o..o + self.hidden]
+    }
+
+    /// The whole key block `(layer, block)` as `block_size × hidden`.
+    #[must_use]
+    pub fn key_block(&self, layer: usize, block: usize) -> &[f32] {
+        let o = self.offset(block, 0);
+        &self.k[layer][o..o + self.block_size * self.hidden]
+    }
+
+    /// The whole value block `(layer, block)` as `block_size × hidden`.
+    #[must_use]
+    pub fn value_block(&self, layer: usize, block: usize) -> &[f32] {
+        let o = self.offset(block, 0);
+        &self.v[layer][o..o + self.block_size * self.hidden]
+    }
+
+    /// Copies a whole block (all layers, K and V) within this pool.
+    pub fn copy_block_within(&mut self, src: usize, dst: usize) {
+        if src == dst {
+            return;
+        }
+        let len = self.block_size * self.hidden;
+        for layer in 0..self.k.len() {
+            let s = self.offset(src, 0);
+            let d = self.offset(dst, 0);
+            // Non-overlapping: distinct blocks of the same layer buffer.
+            let (k_src, k_dst) = split_two(&mut self.k[layer], s, d, len);
+            k_dst.copy_from_slice(k_src);
+            let (v_src, v_dst) = split_two(&mut self.v[layer], s, d, len);
+            v_dst.copy_from_slice(v_src);
+        }
+    }
+
+    /// Copies a whole block from `self` into `other` (swap transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools disagree on layer count, block size, or width.
+    pub fn copy_block_to(&self, src: usize, other: &mut KvPool, dst: usize) {
+        assert_eq!(self.k.len(), other.k.len());
+        assert_eq!(self.block_size, other.block_size);
+        assert_eq!(self.hidden, other.hidden);
+        let len = self.block_size * self.hidden;
+        for layer in 0..self.k.len() {
+            let s = self.offset(src, 0);
+            let d = other.offset(dst, 0);
+            other.k[layer][d..d + len].copy_from_slice(&self.k[layer][s..s + len]);
+            other.v[layer][d..d + len].copy_from_slice(&self.v[layer][s..s + len]);
+        }
+    }
+
+    /// Gathers the K and V vectors of positions `0..len` addressed through a
+    /// block table into contiguous `len × hidden` buffers (used by prefill
+    /// over cached prefixes and by equivalence tests).
+    #[must_use]
+    pub fn gather(&self, layer: usize, block_table: &[usize], len: usize) -> (Vec<f32>, Vec<f32>) {
+        let mut ks = Vec::with_capacity(len * self.hidden);
+        let mut vs = Vec::with_capacity(len * self.hidden);
+        for t in 0..len {
+            let block = block_table[t / self.block_size];
+            let slot = t % self.block_size;
+            ks.extend_from_slice(self.key(layer, block, slot));
+            vs.extend_from_slice(self.value(layer, block, slot));
+        }
+        (ks, vs)
+    }
+}
+
+/// Splits one buffer into a `(src, dst)` pair of non-overlapping regions.
+fn split_two(buf: &mut [f32], src: usize, dst: usize, len: usize) -> (&[f32], &mut [f32]) {
+    assert!(src.abs_diff(dst) >= len, "regions must not overlap");
+    if src < dst {
+        let (a, b) = buf.split_at_mut(dst);
+        (&a[src..src + len], &mut b[..len])
+    } else {
+        let (a, b) = buf.split_at_mut(src);
+        (&b[..len], &mut a[dst..dst + len])
+    }
+}
+
+/// GPU + CPU paged KV storage with the scheduler-driven transfer operations.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    /// Active (GPU-analog) pool.
+    pub gpu: KvPool,
+    /// Swap-space (CPU-analog) pool.
+    pub cpu: KvPool,
+    /// Cumulative number of block copies performed (metrics).
+    pub num_block_copies: u64,
+    /// Cumulative number of swap transfers performed (metrics).
+    pub num_swap_transfers: u64,
+}
+
+impl KvCache {
+    /// Creates both pools.
+    #[must_use]
+    pub fn new(
+        n_layers: usize,
+        num_gpu_blocks: usize,
+        num_cpu_blocks: usize,
+        block_size: usize,
+        hidden: usize,
+    ) -> Self {
+        Self {
+            gpu: KvPool::new(n_layers, num_gpu_blocks, block_size, hidden),
+            cpu: KvPool::new(n_layers, num_cpu_blocks, block_size, hidden),
+            num_block_copies: 0,
+            num_swap_transfers: 0,
+        }
+    }
+
+    /// Applies the scheduler's cache operations for a step: swap-out, then
+    /// swap-in, then the batched copy-on-write copies.
+    pub fn apply(&mut self, ops: &CacheOps) {
+        for c in &ops.swap_out {
+            self.gpu.copy_block_to(c.src, &mut self.cpu, c.dst);
+        }
+        for c in &ops.swap_in {
+            self.cpu.copy_block_to(c.src, &mut self.gpu, c.dst);
+        }
+        // The paper batches all pending copy-on-write copies into one kernel
+        // launch ("fused block copy"); here one pass over the list.
+        for c in &ops.copies {
+            self.gpu.copy_block_within(c.src, c.dst);
+        }
+        self.num_swap_transfers += (ops.swap_in.len() + ops.swap_out.len()) as u64;
+        self.num_block_copies += ops.copies.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vllm_core::block_manager::BlockCopy;
+
+    fn filled_pool() -> KvPool {
+        let mut p = KvPool::new(2, 4, 2, 3);
+        for layer in 0..2 {
+            for block in 0..4 {
+                for slot in 0..2 {
+                    let base = (layer * 100 + block * 10 + slot) as f32;
+                    let k: Vec<f32> = (0..3).map(|i| base + i as f32 * 0.1).collect();
+                    let v: Vec<f32> = (0..3).map(|i| -(base + i as f32 * 0.1)).collect();
+                    p.write(layer, block, slot, &k, &v);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let p = filled_pool();
+        assert_eq!(p.key(1, 2, 1), &[121.0, 121.1, 121.2]);
+        assert_eq!(p.value(1, 2, 1), &[-121.0, -121.1, -121.2]);
+    }
+
+    #[test]
+    fn copy_block_within_copies_all_layers() {
+        let mut p = filled_pool();
+        p.copy_block_within(2, 0);
+        for layer in 0..2 {
+            for slot in 0..2 {
+                assert_eq!(p.key(layer, 0, slot), p.key(layer, 2, slot));
+                assert_eq!(p.value(layer, 0, slot), p.value(layer, 2, slot));
+            }
+        }
+        // Source untouched.
+        assert_eq!(p.key(0, 2, 0), &[20.0, 20.1, 20.2]);
+    }
+
+    #[test]
+    fn copy_block_within_same_block_noop() {
+        let mut p = filled_pool();
+        let before = p.key(0, 1, 0).to_vec();
+        p.copy_block_within(1, 1);
+        assert_eq!(p.key(0, 1, 0), &before[..]);
+    }
+
+    #[test]
+    fn cross_pool_swap_round_trip() {
+        let gpu = filled_pool();
+        let mut cache = KvCache {
+            gpu,
+            cpu: KvPool::new(2, 4, 2, 3),
+            num_block_copies: 0,
+            num_swap_transfers: 0,
+        };
+        let original = cache.gpu.key(0, 3, 1).to_vec();
+        cache.apply(&CacheOps {
+            swap_out: vec![BlockCopy { src: 3, dst: 1 }],
+            ..Default::default()
+        });
+        assert_eq!(cache.cpu.key(0, 1, 1), &original[..]);
+        // Clobber the GPU copy, swap back in to a different block.
+        cache.gpu.write(0, 3, 1, &[0.0; 3], &[0.0; 3]);
+        cache.apply(&CacheOps {
+            swap_in: vec![BlockCopy { src: 1, dst: 0 }],
+            ..Default::default()
+        });
+        assert_eq!(cache.gpu.key(0, 0, 1), &original[..]);
+        assert_eq!(cache.num_swap_transfers, 2);
+    }
+
+    #[test]
+    fn gather_follows_block_table() {
+        let p = filled_pool();
+        // Logical order: block 3, then block 1 → positions 0..4.
+        let (ks, _vs) = p.gather(0, &[3, 1], 4);
+        assert_eq!(&ks[0..3], p.key(0, 3, 0));
+        assert_eq!(&ks[3..6], p.key(0, 3, 1));
+        assert_eq!(&ks[6..9], p.key(0, 1, 0));
+        assert_eq!(&ks[9..12], p.key(0, 1, 1));
+    }
+
+    #[test]
+    fn gather_partial_last_block() {
+        let p = filled_pool();
+        let (ks, vs) = p.gather(1, &[0, 2], 3);
+        assert_eq!(ks.len(), 9);
+        assert_eq!(vs.len(), 9);
+        assert_eq!(&ks[6..9], p.key(1, 2, 0));
+    }
+
+    #[test]
+    fn num_bytes_accounting() {
+        let p = KvPool::new(2, 4, 2, 3);
+        // 2 (K+V) * 2 layers * 4 blocks * 2 slots * 3 floats * 4 bytes.
+        assert_eq!(p.num_bytes(), 2 * 2 * 4 * 2 * 3 * 4);
+    }
+}

@@ -1,0 +1,346 @@
+//! Dense kernels for the CPU transformer: matmul, layer norm, GELU,
+//! softmax. All tensors are row-major `f32` slices with explicit shapes.
+
+/// `out[m×n] = a[m×k] @ b[k×n]`, row-major, accumulating in `f32`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    out.fill(0.0);
+    // ikj loop order keeps the inner loop streaming over contiguous rows.
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Work size (in multiply-adds) above which [`matmul_auto`] parallelizes.
+pub const PARALLEL_MATMUL_THRESHOLD: usize = 1 << 21;
+
+/// `out[m×n] = a[m×k] @ b[k×n]`, splitting rows across threads for large
+/// shapes (prompt-phase matmuls) and falling back to the serial kernel for
+/// small ones (decode steps), where thread spawn costs would dominate.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let work = m * k * n;
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 || m < 2 {
+        matmul(a, b, m, k, n, out);
+        return;
+    }
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    let n_chunks = threads.min(m).min(8);
+    let rows_per_chunk = m.div_ceil(n_chunks);
+    std::thread::scope(|scope| {
+        for (a_chunk, out_chunk) in a
+            .chunks(rows_per_chunk * k)
+            .zip(out.chunks_mut(rows_per_chunk * n))
+        {
+            scope.spawn(move || {
+                let rows = a_chunk.len() / k;
+                matmul(a_chunk, b, rows, k, n, out_chunk);
+            });
+        }
+    });
+}
+
+/// `out[n] = x[k] @ w[k×n]` (one-token linear layer).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matvec(x: &[f32], w: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    matmul(x, w, 1, k, n, out);
+}
+
+/// Adds `bias[n]` to every row of `x[m×n]`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn add_bias(x: &mut [f32], bias: &[f32]) {
+    let n = bias.len();
+    assert_eq!(x.len() % n, 0, "bias length must divide tensor length");
+    for row in x.chunks_exact_mut(n) {
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Element-wise `a += b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add_inplace(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Layer normalization of each `n`-sized row: `(x - mean) / sqrt(var + eps)
+/// * gamma + beta`.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn layer_norm(x: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let n = gamma.len();
+    assert_eq!(beta.len(), n);
+    assert_eq!(x.len() % n, 0);
+    for row in x.chunks_exact_mut(n) {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for ((v, g), b) in row.iter_mut().zip(gamma).zip(beta) {
+            *v = (*v - mean) * inv * g + b;
+        }
+    }
+}
+
+/// Tanh-approximation GELU, applied element-wise.
+pub fn gelu(x: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for v in x.iter_mut() {
+        let u = *v;
+        *v = 0.5 * u * (1.0 + (C * (u + 0.044_715 * u * u * u)).tanh());
+    }
+}
+
+/// In-place softmax over a single row.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// In-place log-softmax over a single row.
+pub fn log_softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let sum: f32 = x.iter().map(|v| (v - max).exp()).sum();
+    let log_sum = sum.ln() + max;
+    for v in x.iter_mut() {
+        *v -= log_sum;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `acc += s * v` (scaled accumulate).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(acc: &mut [f32], s: f32, v: &[f32]) {
+    assert_eq!(acc.len(), v.len());
+    for (a, &x) in acc.iter_mut().zip(v) {
+        *a += s * x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let id = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &id, 2, 2, 2, &mut out);
+        assert_close(&out, &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &b, 2, 2, 2, &mut out);
+        assert_close(&out, &[19.0, 22.0, 43.0, 50.0], 1e-6);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // 1×3 @ 3×2.
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut out = vec![0.0; 2];
+        matmul(&a, &b, 1, 3, 2, &mut out);
+        assert_close(&out, &[4.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax(&mut x);
+        assert_close(&x, &[0.5, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut a = vec![0.5, -1.0, 2.0];
+        let mut b = a.clone();
+        softmax(&mut a);
+        log_softmax(&mut b);
+        for (p, lp) in a.iter().zip(&b) {
+            assert!((p.ln() - lp).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        layer_norm(&mut x, &gamma, &beta, 1e-5);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        let mut x = vec![0.0, 1.0, -1.0];
+        gelu(&mut x);
+        assert!((x[0]).abs() < 1e-6);
+        assert!((x[1] - 0.8412).abs() < 1e-3);
+        assert!((x[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bias_and_residual() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        add_bias(&mut x, &[10.0, 20.0]);
+        assert_close(&x, &[11.0, 22.0, 13.0, 24.0], 1e-6);
+        let mut a = vec![1.0, 1.0];
+        add_inplace(&mut a, &[2.0, 3.0]);
+        assert_close(&a, &[3.0, 4.0], 1e-6);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut acc = vec![1.0, 1.0];
+        axpy(&mut acc, 2.0, &[1.0, 2.0]);
+        assert_close(&acc, &[3.0, 5.0], 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 100) as f32 / 50.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_auto_matches_serial_small() {
+        let (m, k, n) = (3, 5, 7);
+        let a = fill(1, m * k);
+        let b = fill(2, k * n);
+        let mut serial = vec![0.0; m * n];
+        let mut auto = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut serial);
+        matmul_auto(&a, &b, m, k, n, &mut auto);
+        assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn matmul_auto_matches_serial_large() {
+        // Above the parallel threshold: 256×128×128 = 4.2M mul-adds.
+        let (m, k, n) = (256, 128, 128);
+        let a = fill(3, m * k);
+        let b = fill(4, k * n);
+        let mut serial = vec![0.0; m * n];
+        let mut auto = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut serial);
+        matmul_auto(&a, &b, m, k, n, &mut auto);
+        for (x, y) in serial.iter().zip(&auto) {
+            assert_eq!(x, y, "parallel split must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn matmul_auto_uneven_row_split() {
+        // m not divisible by the chunk count.
+        let (m, k, n) = (97, 160, 140);
+        let a = fill(5, m * k);
+        let b = fill(6, k * n);
+        let mut serial = vec![0.0; m * n];
+        let mut auto = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut serial);
+        matmul_auto(&a, &b, m, k, n, &mut auto);
+        assert_eq!(serial, auto);
+    }
+}

@@ -1,0 +1,522 @@
+//! Megatron-style tensor-parallel execution (§4.6).
+//!
+//! The attention operator is split on the head dimension; the MLP on its
+//! intermediate dimension. Every worker holds a weight shard plus a paged
+//! KV pool *for its heads only*, while all workers share the single block
+//! table handed down by the centralized scheduler — each worker sees the
+//! same physical block ids but stores only its slice of the KV cache, as in
+//! the paper. Partial results are combined with an all-reduce (a sum across
+//! worker partials) after the attention output projection and after the MLP
+//! down projection.
+//!
+//! Workers are realized as scoped threads per phase; this favours obvious
+//! correctness over throughput, which is irrelevant for a CPU testbed.
+
+use std::time::Instant;
+
+use vllm_core::error::{Result, VllmError};
+use vllm_core::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+
+use vllm_core::config::CacheConfig;
+
+use crate::attention::{contiguous_causal_attention, paged_attention_decode};
+use crate::config::PositionEncoding;
+use crate::kv_cache::KvCache;
+use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul};
+use crate::sampler::{mix_seed, sample_candidates};
+use crate::transformer::{apply_rope, Transformer};
+
+const LN_EPS: f32 = 1e-5;
+
+/// One worker's weight shard for one layer.
+#[derive(Debug, Clone)]
+struct LayerShard {
+    /// `hidden × 3·hl` (columns: local Q, local K, local V).
+    w_qkv: Vec<f32>,
+    /// `3·hl`.
+    b_qkv: Vec<f32>,
+    /// `hl × hidden` (rows of this worker's heads).
+    w_o: Vec<f32>,
+    /// `hidden × ml` columns of the up projection.
+    w_fc: Vec<f32>,
+    /// `ml`.
+    b_fc: Vec<f32>,
+    /// `ml × hidden` rows of the down projection.
+    w_proj: Vec<f32>,
+}
+
+/// One tensor-parallel worker: weight shards plus its KV cache slice.
+#[derive(Debug)]
+struct Worker {
+    layers: Vec<LayerShard>,
+    cache: KvCache,
+}
+
+/// Tensor-parallel CPU executor over `num_workers` head shards.
+#[derive(Debug)]
+pub struct TensorParallelExecutor {
+    model: Transformer,
+    workers: Vec<Worker>,
+    num_workers: usize,
+    /// Number of all-reduce operations performed (metrics; two per layer per
+    /// forward, as in Megatron-LM).
+    pub num_all_reduces: u64,
+    /// Total iterations executed.
+    pub steps: u64,
+}
+
+impl TensorParallelExecutor {
+    /// Shards `model` across `num_workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` does not divide the model's head count.
+    #[must_use]
+    pub fn new(model: Transformer, num_workers: usize, cache_config: &CacheConfig) -> Self {
+        let cfg = &model.config;
+        assert!(num_workers > 0, "need at least one worker");
+        assert_eq!(
+            cfg.n_heads % num_workers,
+            0,
+            "workers ({num_workers}) must divide heads ({})",
+            cfg.n_heads
+        );
+        let h = cfg.hidden;
+        let hl = h / num_workers; // Local hidden (heads split evenly).
+        let m = 4 * h;
+        let ml = m / num_workers; // Local MLP intermediate width.
+
+        let workers = (0..num_workers)
+            .map(|w| {
+                let layers = model
+                    .layers
+                    .iter()
+                    .map(|lw| {
+                        // QKV: take this worker's head columns of Q, K, V.
+                        let mut w_qkv = Vec::with_capacity(h * 3 * hl);
+                        for r in 0..h {
+                            let row = &lw.w_qkv[r * 3 * h..(r + 1) * 3 * h];
+                            for part in 0..3 {
+                                let base = part * h + w * hl;
+                                w_qkv.extend_from_slice(&row[base..base + hl]);
+                            }
+                        }
+                        let mut b_qkv = Vec::with_capacity(3 * hl);
+                        for part in 0..3 {
+                            let base = part * h + w * hl;
+                            b_qkv.extend_from_slice(&lw.b_qkv[base..base + hl]);
+                        }
+                        // Output projection: this worker's head rows.
+                        let w_o = lw.w_o[w * hl * h..(w + 1) * hl * h].to_vec();
+                        // MLP: columns of fc, rows of proj.
+                        let mut w_fc = Vec::with_capacity(h * ml);
+                        for r in 0..h {
+                            let row = &lw.w_fc[r * m..(r + 1) * m];
+                            w_fc.extend_from_slice(&row[w * ml..(w + 1) * ml]);
+                        }
+                        let b_fc = lw.b_fc[w * ml..(w + 1) * ml].to_vec();
+                        let w_proj = lw.w_proj[w * ml * h..(w + 1) * ml * h].to_vec();
+                        LayerShard {
+                            w_qkv,
+                            b_qkv,
+                            w_o,
+                            w_fc,
+                            b_fc,
+                            w_proj,
+                        }
+                    })
+                    .collect();
+                Worker {
+                    layers,
+                    cache: KvCache::new(
+                        cfg.n_layers,
+                        cache_config.num_gpu_blocks,
+                        cache_config.num_cpu_blocks.max(1),
+                        cache_config.block_size,
+                        hl,
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            model,
+            workers,
+            num_workers,
+            num_all_reduces: 0,
+            steps: 0,
+        }
+    }
+
+    /// Number of workers (tensor-parallel degree).
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The replicated model (embeddings, layer norms).
+    #[must_use]
+    pub fn model(&self) -> &Transformer {
+        &self.model
+    }
+
+    /// Forward over the shards, returning last-position logits.
+    fn forward_tp(
+        &mut self,
+        tokens: &[u32],
+        positions: &[usize],
+        block_table: &[usize],
+        num_cached: usize,
+    ) -> Vec<f32> {
+        let cfg = &self.model.config;
+        let n = tokens.len();
+        let h = cfg.hidden;
+        let w_count = self.num_workers;
+        let heads_local = cfg.n_heads / w_count;
+        let hd = cfg.head_dim();
+        let hl = h / w_count;
+        let ml = 4 * h / w_count;
+        let ctx = positions[n - 1] + 1;
+        let rotary = cfg.position_encoding == PositionEncoding::Rotary;
+        let bs = self.workers[0].cache.gpu.block_size();
+        assert!(block_table.len() * bs >= ctx, "block table too short");
+
+        // Replicated embedding (positions via RoPE for rotary models).
+        let mut x = vec![0.0f32; n * h];
+        for (i, (&tok, &pos)) in tokens.iter().zip(positions).enumerate() {
+            let e = &self.model.wte[tok as usize * h..(tok as usize + 1) * h];
+            let p = &self.model.wpe[pos * h..(pos + 1) * h];
+            for j in 0..h {
+                x[i * h + j] = if rotary { e[j] } else { e[j] + p[j] };
+            }
+        }
+
+        for layer_idx in 0..cfg.n_layers {
+            let lw = &self.model.layers[layer_idx];
+            // Attention: each worker computes its heads, projects through
+            // its w_o rows, and the partials are all-reduced (summed).
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
+            let partials: Vec<Vec<f32>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|worker| {
+                        let hst = &hst;
+                        s.spawn(move || {
+                            let shard = &worker.layers[layer_idx];
+                            let mut qkv = vec![0.0f32; n * 3 * hl];
+                            matmul(hst, &shard.w_qkv, n, h, 3 * hl, &mut qkv);
+                            add_bias(&mut qkv, &shard.b_qkv);
+                            if rotary {
+                                for (i, &pos) in positions.iter().enumerate() {
+                                    let row = &mut qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                                    let (q_part, kv_part) = row.split_at_mut(hl);
+                                    apply_rope(q_part, pos, hd);
+                                    apply_rope(&mut kv_part[..hl], pos, hd);
+                                }
+                            }
+                            // Write local K/V slices into this worker's pool
+                            // under the shared block table.
+                            for (i, &pos) in positions.iter().enumerate() {
+                                let row = &qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                                worker.cache.gpu.write(
+                                    layer_idx,
+                                    block_table[pos / bs],
+                                    pos % bs,
+                                    &row[hl..2 * hl],
+                                    &row[2 * hl..3 * hl],
+                                );
+                            }
+                            let mut attn = vec![0.0f32; n * hl];
+                            if n == 1 {
+                                paged_attention_decode(
+                                    &qkv[0..hl],
+                                    &worker.cache.gpu,
+                                    layer_idx,
+                                    block_table,
+                                    ctx,
+                                    heads_local,
+                                    hd,
+                                    &mut attn,
+                                );
+                            } else {
+                                let (ks, vs) = worker.cache.gpu.gather(layer_idx, block_table, ctx);
+                                let mut q = vec![0.0f32; n * hl];
+                                for i in 0..n {
+                                    q[i * hl..(i + 1) * hl]
+                                        .copy_from_slice(&qkv[i * 3 * hl..i * 3 * hl + hl]);
+                                }
+                                contiguous_causal_attention(
+                                    &q,
+                                    &ks,
+                                    &vs,
+                                    n,
+                                    ctx,
+                                    num_cached,
+                                    heads_local,
+                                    hd,
+                                    &mut attn,
+                                );
+                            }
+                            let mut partial = vec![0.0f32; n * h];
+                            matmul(&attn, &shard.w_o, n, hl, h, &mut partial);
+                            partial
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|j| j.join().expect("worker panicked"))
+                    .collect()
+            });
+            // All-reduce: sum the partials, then add the (replicated) bias
+            // once and the residual.
+            let mut reduced = vec![0.0f32; n * h];
+            for p in &partials {
+                add_inplace(&mut reduced, p);
+            }
+            self.num_all_reduces += 1;
+            add_bias(&mut reduced, &lw.b_o);
+            add_inplace(&mut x, &reduced);
+
+            // MLP: column/row split with one more all-reduce.
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
+            let partials: Vec<Vec<f32>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter()
+                    .map(|worker| {
+                        let hst = &hst;
+                        s.spawn(move || {
+                            let shard = &worker.layers[layer_idx];
+                            let mut mid = vec![0.0f32; n * ml];
+                            matmul(hst, &shard.w_fc, n, h, ml, &mut mid);
+                            add_bias(&mut mid, &shard.b_fc);
+                            gelu(&mut mid);
+                            let mut partial = vec![0.0f32; n * h];
+                            matmul(&mid, &shard.w_proj, n, ml, h, &mut partial);
+                            partial
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|j| j.join().expect("worker panicked"))
+                    .collect()
+            });
+            let mut reduced = vec![0.0f32; n * h];
+            for p in &partials {
+                add_inplace(&mut reduced, p);
+            }
+            self.num_all_reduces += 1;
+            add_bias(&mut reduced, &lw.b_proj);
+            add_inplace(&mut x, &reduced);
+        }
+
+        // Replicated LM head on the last position.
+        let mut last = x[(n - 1) * h..n * h].to_vec();
+        layer_norm(&mut last, &self.model.ln_f_g, &self.model.ln_f_b, LN_EPS);
+        let mut logits = vec![0.0f32; cfg.vocab_size];
+        for (v, logit) in logits.iter_mut().enumerate() {
+            let row = &self.model.wte[v * h..(v + 1) * h];
+            let mut s = 0.0;
+            for j in 0..h {
+                s += row[j] * last[j];
+            }
+            *logit = s;
+        }
+        logits
+    }
+}
+
+impl ModelExecutor for TensorParallelExecutor {
+    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+        let start = Instant::now();
+        self.steps += 1;
+        // Every worker applies the same cache operations to its shard; block
+        // ids are shared, data differs per head slice.
+        for worker in &mut self.workers {
+            worker.cache.apply(&batch.cache_ops);
+        }
+        let mut outputs = Vec::with_capacity(batch.items.len());
+        for item in &batch.items {
+            if item.tokens.is_empty() {
+                return Err(VllmError::Executor("empty step input".into()));
+            }
+            let skip = if item.tokens.len() > 1 {
+                item.num_cached_tokens.min(item.tokens.len() - 1)
+            } else {
+                0
+            };
+            let tokens = item.tokens[skip..].to_vec();
+            let positions: Vec<usize> =
+                (item.first_position + skip..item.first_position + item.tokens.len()).collect();
+            let logits = self.forward_tp(
+                &tokens,
+                &positions,
+                &item.block_table,
+                item.first_position + skip,
+            );
+            let seed = mix_seed(item.seed, item.seq_id, item.context_len());
+            let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
+            outputs.push(SeqStepOutput {
+                seq_id: item.seq_id,
+                candidates,
+            });
+        }
+        Ok(StepResult {
+            outputs,
+            elapsed: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::executor::CpuModelExecutor;
+    use crate::kv_cache::KvPool;
+    use vllm_core::config::SchedulerConfig;
+    use vllm_core::engine::LlmEngine;
+    use vllm_core::sampling::SamplingParams;
+
+    fn cache_cfg() -> CacheConfig {
+        CacheConfig::new(4, 64, 16).unwrap()
+    }
+
+    #[test]
+    fn tp_logits_match_serial() {
+        let cfg = ModelConfig::tiny();
+        let serial = Transformer::new(cfg.clone());
+        let mut pool = KvPool::new(cfg.n_layers, 8, 4, cfg.hidden);
+        let table: Vec<usize> = vec![5, 2, 7];
+        let tokens = [4u32, 9, 1, 17, 3];
+        let positions: Vec<usize> = (0..5).collect();
+        let expect = serial.forward_paged(&tokens, &positions, &mut pool, &table, 0);
+
+        for workers in [1, 2, 4] {
+            let mut tp =
+                TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
+            let got = tp.forward_tp(&tokens, &positions, &table, 0);
+            for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert!(
+                    (a - b).abs() < 2e-3,
+                    "workers={workers} logit {i}: {a} vs {b}"
+                );
+            }
+            assert_eq!(tp.num_all_reduces, 2 * cfg.n_layers as u64);
+        }
+    }
+
+    #[test]
+    fn tp_decode_matches_serial_decode() {
+        let cfg = ModelConfig::tiny();
+        let serial = Transformer::new(cfg.clone());
+        let mut pool = KvPool::new(cfg.n_layers, 8, 4, cfg.hidden);
+        let table: Vec<usize> = vec![1, 6];
+        serial.forward_paged(&[4, 9, 1], &[0, 1, 2], &mut pool, &table, 0);
+        let expect = serial.forward_paged(&[7], &[3], &mut pool, &table, 3);
+
+        let mut tp = TensorParallelExecutor::new(Transformer::new(cfg), 2, &cache_cfg());
+        tp.forward_tp(&[4, 9, 1], &[0, 1, 2], &table, 0);
+        let got = tp.forward_tp(&[7], &[3], &table, 3);
+        for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+            assert!((a - b).abs() < 2e-3, "logit {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tp_engine_generates_same_tokens_as_serial_engine() {
+        let run_serial = || {
+            let cache = cache_cfg();
+            let sched = SchedulerConfig::new(512, 16, 512).unwrap();
+            let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+            let mut e = LlmEngine::new(exec, cache, sched);
+            e.add_request("r", vec![8, 2, 6, 4], SamplingParams::greedy(8))
+                .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let run_tp = |w: usize| {
+            let cache = cache_cfg();
+            let sched = SchedulerConfig::new(512, 16, 512).unwrap();
+            let exec =
+                TensorParallelExecutor::new(Transformer::new(ModelConfig::tiny()), w, &cache_cfg());
+            let mut e = LlmEngine::new(exec, cache, sched);
+            e.add_request("r", vec![8, 2, 6, 4], SamplingParams::greedy(8))
+                .unwrap();
+            e.run_to_completion().unwrap()[0].outputs[0].tokens.clone()
+        };
+        let serial = run_serial();
+        assert_eq!(serial, run_tp(1));
+        assert_eq!(serial, run_tp(2));
+        assert_eq!(serial, run_tp(4));
+    }
+
+    #[test]
+    fn tp_swap_preemption_round_trips() {
+        use vllm_core::config::PreemptionMode;
+        let cache = CacheConfig::new(4, 7, 16).unwrap();
+        let sched = SchedulerConfig::new(512, 16, 512)
+            .unwrap()
+            .with_preemption_mode(PreemptionMode::Swap);
+        let exec = TensorParallelExecutor::new(Transformer::new(ModelConfig::tiny()), 2, &cache);
+        let mut e = LlmEngine::new(exec, cache, sched);
+        e.add_request(
+            "a",
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            SamplingParams::greedy(10),
+        )
+        .unwrap();
+        e.add_request_at("b", vec![9, 10, 11, 12], SamplingParams::greedy(10), 1e-6)
+            .unwrap();
+        let outs = e.run_to_completion().unwrap();
+        assert_eq!(outs.len(), 2);
+        assert!(e.scheduler().stats().num_swap_preemptions > 0);
+
+        // Compare against an uncontended serial run.
+        let cache2 = cache_cfg();
+        let sched2 = SchedulerConfig::new(512, 16, 512).unwrap();
+        let exec2 = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache2);
+        let mut e2 = LlmEngine::new(exec2, cache2, sched2);
+        e2.add_request(
+            "a",
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            SamplingParams::greedy(10),
+        )
+        .unwrap();
+        let solo = e2.run_to_completion().unwrap();
+        let a = outs.iter().find(|o| o.request_id == "a").unwrap();
+        assert_eq!(a.outputs[0].tokens, solo[0].outputs[0].tokens);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide heads")]
+    fn invalid_worker_count_panics() {
+        let _ = TensorParallelExecutor::new(Transformer::new(ModelConfig::tiny()), 3, &cache_cfg());
+    }
+
+    #[test]
+    fn tp_rotary_matches_serial() {
+        // RoPE must be applied identically on head shards (per-head chunks).
+        let cfg = ModelConfig::tiny_rotary();
+        let serial = Transformer::new(cfg.clone());
+        let mut pool = KvPool::new(cfg.n_layers, 8, 4, cfg.hidden);
+        let table: Vec<usize> = vec![3, 6];
+        let tokens = [4u32, 9, 1, 17, 3];
+        let positions: Vec<usize> = (0..5).collect();
+        let expect = serial.forward_paged(&tokens, &positions, &mut pool, &table, 0);
+        for workers in [2, 4] {
+            let mut tp =
+                TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
+            let got = tp.forward_tp(&tokens, &positions, &table, 0);
+            for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert!(
+                    (a - b).abs() < 2e-3,
+                    "workers={workers} logit {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}

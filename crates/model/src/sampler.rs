@@ -1,0 +1,248 @@
+//! Token sampling: greedy, temperature/top-k/top-p sampling, and beam
+//! candidate extraction (§4.4, §5.2).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use vllm_core::sampling::{DecodingMode, TokenId};
+
+use crate::ops::log_softmax;
+
+/// Mixes the request seed with the sequence id and position so every
+/// sampling event has an independent, reproducible stream.
+#[must_use]
+pub fn mix_seed(seed: u64, seq_id: u64, position: usize) -> u64 {
+    let mut z = seed ^ seq_id.rotate_left(17) ^ (position as u64).rotate_left(41);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Produces `num_candidates` `(token, logprob)` pairs from raw logits
+/// according to the decoding mode.
+///
+/// * Greedy: the argmax token, repeated if more than one candidate is asked.
+/// * Random: independent draws from the temperature/top-k/top-p-filtered
+///   distribution (one draw per candidate — the prompt step of parallel
+///   sampling asks for `n`).
+/// * Beam: the top `num_candidates` tokens by log-probability.
+///
+/// Reported log-probabilities always come from the unfiltered distribution.
+#[must_use]
+pub fn sample_candidates(
+    logits: &[f32],
+    mode: DecodingMode,
+    num_candidates: usize,
+    seed: u64,
+) -> Vec<(TokenId, f32)> {
+    if num_candidates == 0 {
+        return Vec::new();
+    }
+    let mut logprobs = logits.to_vec();
+    log_softmax(&mut logprobs);
+
+    match mode {
+        DecodingMode::Greedy => {
+            let (best, &lp) = argmax(&logprobs);
+            vec![(best as TokenId, lp); num_candidates]
+        }
+        DecodingMode::Beam { .. } => top_k_pairs(&logprobs, num_candidates),
+        DecodingMode::Random {
+            temperature,
+            top_k,
+            top_p,
+        } => {
+            let mut probs: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
+            log_softmax(&mut probs);
+            for p in probs.iter_mut() {
+                *p = p.exp();
+            }
+            apply_top_k(&mut probs, top_k);
+            apply_top_p(&mut probs, top_p);
+            let total: f32 = probs.iter().sum();
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..num_candidates)
+                .map(|_| {
+                    let tok = draw(&probs, total, &mut rng);
+                    (tok as TokenId, logprobs[tok])
+                })
+                .collect()
+        }
+    }
+}
+
+fn argmax(v: &[f32]) -> (usize, &f32) {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(&a.0)))
+        .expect("non-empty logits")
+}
+
+/// The `k` most probable `(token, logprob)` pairs, descending.
+fn top_k_pairs(logprobs: &[f32], k: usize) -> Vec<(TokenId, f32)> {
+    let mut idx: Vec<usize> = (0..logprobs.len()).collect();
+    idx.sort_by(|&a, &b| logprobs[b].total_cmp(&logprobs[a]).then_with(|| a.cmp(&b)));
+    idx.truncate(k);
+    idx.into_iter()
+        .map(|i| (i as TokenId, logprobs[i]))
+        .collect()
+}
+
+/// Zeroes every probability outside the `k` largest (0 disables).
+fn apply_top_k(probs: &mut [f32], k: usize) {
+    if k == 0 || k >= probs.len() {
+        return;
+    }
+    let mut sorted: Vec<f32> = probs.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let threshold = sorted[k - 1];
+    let mut kept = 0;
+    for p in probs.iter_mut() {
+        if *p >= threshold && kept < k {
+            kept += 1;
+        } else {
+            *p = 0.0;
+        }
+    }
+}
+
+/// Nucleus filtering: keeps the smallest prefix of the sorted distribution
+/// with cumulative mass ≥ `top_p` (1.0 disables).
+fn apply_top_p(probs: &mut [f32], top_p: f32) {
+    if top_p >= 1.0 {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..probs.len()).collect();
+    idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
+    let total: f32 = probs.iter().sum();
+    let mut cum = 0.0;
+    let mut cutoff = probs.len();
+    for (rank, &i) in idx.iter().enumerate() {
+        cum += probs[i] / total;
+        if cum >= top_p {
+            cutoff = rank + 1;
+            break;
+        }
+    }
+    for &i in &idx[cutoff..] {
+        probs[i] = 0.0;
+    }
+}
+
+fn draw(probs: &[f32], total: f32, rng: &mut StdRng) -> usize {
+    let mut r = rng.random::<f32>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        r -= p;
+        if r <= 0.0 && p > 0.0 {
+            return i;
+        }
+    }
+    // Numerical tail: return the last token with nonzero mass.
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("distribution has mass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Vec<f32> {
+        vec![0.1, 2.5, -1.0, 1.5, 0.0]
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let c = sample_candidates(&logits(), DecodingMode::Greedy, 1, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, 1);
+        assert!(c[0].1 < 0.0, "logprob must be negative");
+    }
+
+    #[test]
+    fn beam_returns_sorted_top_k() {
+        let c = sample_candidates(&logits(), DecodingMode::Beam { width: 2 }, 4, 0);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].0, 1);
+        assert_eq!(c[1].0, 3);
+        assert!(c.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn random_is_reproducible_and_seed_sensitive() {
+        let mode = DecodingMode::random();
+        let a = sample_candidates(&logits(), mode, 8, 42);
+        let b = sample_candidates(&logits(), mode, 8, 42);
+        assert_eq!(a, b);
+        let c = sample_candidates(&logits(), mode, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let mode = DecodingMode::Random {
+            temperature: 0.01,
+            top_k: 0,
+            top_p: 1.0,
+        };
+        for seed in 0..20 {
+            let c = sample_candidates(&logits(), mode, 1, seed);
+            assert_eq!(c[0].0, 1);
+        }
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let mode = DecodingMode::Random {
+            temperature: 1.0,
+            top_k: 2,
+            top_p: 1.0,
+        };
+        for seed in 0..50 {
+            let c = sample_candidates(&logits(), mode, 1, seed);
+            assert!(c[0].0 == 1 || c[0].0 == 3, "token {} outside top-2", c[0].0);
+        }
+    }
+
+    #[test]
+    fn top_p_restricts_support() {
+        // Token 1 holds most of the mass; p=0.5 keeps only it.
+        let mode = DecodingMode::Random {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 0.5,
+        };
+        for seed in 0..50 {
+            let c = sample_candidates(&logits(), mode, 1, seed);
+            assert_eq!(c[0].0, 1);
+        }
+    }
+
+    #[test]
+    fn zero_candidates_allowed() {
+        assert!(sample_candidates(&logits(), DecodingMode::Greedy, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn mix_seed_varies_by_all_inputs() {
+        let a = mix_seed(1, 2, 3);
+        assert_ne!(a, mix_seed(2, 2, 3));
+        assert_ne!(a, mix_seed(1, 3, 3));
+        assert_ne!(a, mix_seed(1, 2, 4));
+        assert_eq!(a, mix_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn random_sampling_covers_distribution() {
+        // With uniform logits all tokens should appear across many draws.
+        let logits = vec![0.0; 5];
+        let mode = DecodingMode::random();
+        let mut seen = [false; 5];
+        for seed in 0..200 {
+            let c = sample_candidates(&logits, mode, 1, seed);
+            seen[c[0].0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

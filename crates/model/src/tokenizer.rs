@@ -1,0 +1,76 @@
+//! A byte-level tokenizer for the demo models.
+//!
+//! Token ids 0..255 map to raw bytes; 256 is `<bos>`, 257 is `<eos>`, 258
+//! is `<pad>`. This keeps examples runnable end-to-end (text in, text out)
+//! without a learned vocabulary, which is irrelevant to memory management.
+
+use vllm_core::sampling::TokenId;
+
+/// Beginning-of-sequence token id.
+pub const BOS: TokenId = 256;
+/// End-of-sequence token id.
+pub const EOS: TokenId = 257;
+/// Padding token id.
+pub const PAD: TokenId = 258;
+/// Vocabulary size covering bytes + specials.
+pub const VOCAB_SIZE: usize = 260;
+
+/// Byte-level tokenizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ByteTokenizer;
+
+impl ByteTokenizer {
+    /// Encodes text as `<bos>` followed by its bytes.
+    #[must_use]
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        std::iter::once(BOS)
+            .chain(text.bytes().map(TokenId::from))
+            .collect()
+    }
+
+    /// Decodes tokens back to text, skipping special tokens and replacing
+    /// invalid UTF-8 with `U+FFFD`.
+    #[must_use]
+    pub fn decode(&self, tokens: &[TokenId]) -> String {
+        let bytes: Vec<u8> = tokens
+            .iter()
+            .filter(|&&t| t < 256)
+            .map(|&t| t as u8)
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ascii() {
+        let tok = ByteTokenizer;
+        let ids = tok.encode("hello");
+        assert_eq!(ids[0], BOS);
+        assert_eq!(ids.len(), 6);
+        assert_eq!(tok.decode(&ids), "hello");
+    }
+
+    #[test]
+    fn round_trip_utf8() {
+        let tok = ByteTokenizer;
+        let ids = tok.encode("héllo ✓");
+        assert_eq!(tok.decode(&ids), "héllo ✓");
+    }
+
+    #[test]
+    fn specials_skipped_in_decode() {
+        let tok = ByteTokenizer;
+        assert_eq!(tok.decode(&[BOS, 104, 105, EOS, PAD]), "hi");
+    }
+
+    #[test]
+    fn vocab_covers_all_ids() {
+        let tok = ByteTokenizer;
+        let ids = tok.encode("xyz");
+        assert!(ids.iter().all(|&t| (t as usize) < VOCAB_SIZE));
+    }
+}

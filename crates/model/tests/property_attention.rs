@@ -1,0 +1,137 @@
+//! Property tests for the attention kernels: the PagedAttention kernel must
+//! match the contiguous reference for arbitrary shapes, block sizes, and
+//! (scrambled) block tables, and attention outputs must be convex
+//! combinations of the value vectors.
+
+use proptest::prelude::*;
+
+use vllm_model::{contiguous_attention_decode, paged_attention_decode, KvPool};
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 4000) as f32 / 1000.0) - 2.0
+        })
+        .collect()
+}
+
+/// Builds a pool whose block table is a permutation chosen by `scramble`.
+fn build_pool(
+    k: &[f32],
+    v: &[f32],
+    ctx: usize,
+    bs: usize,
+    hidden: usize,
+    scramble: u64,
+) -> (KvPool, Vec<usize>) {
+    let n_blocks = ctx.div_ceil(bs);
+    let extra = 3;
+    let mut pool = KvPool::new(1, n_blocks + extra, bs, hidden);
+    let mut table: Vec<usize> = (0..n_blocks + extra).collect();
+    // Fisher–Yates with a deterministic stream.
+    let mut s = scramble | 1;
+    for i in (1..table.len()).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        table.swap(i, (s as usize) % (i + 1));
+    }
+    table.truncate(n_blocks);
+    for t in 0..ctx {
+        pool.write(
+            0,
+            table[t / bs],
+            t % bs,
+            &k[t * hidden..(t + 1) * hidden],
+            &v[t * hidden..(t + 1) * hidden],
+        );
+    }
+    (pool, table)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn paged_equals_contiguous(
+        ctx in 1usize..160,
+        bs in 1usize..33,
+        n_heads in 1usize..5,
+        head_dim_pow in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let head_dim = 1usize << head_dim_pow;
+        let hidden = n_heads * head_dim;
+        let q = fill(seed, hidden);
+        let k = fill(seed + 1, ctx * hidden);
+        let v = fill(seed + 2, ctx * hidden);
+
+        let mut reference = vec![0.0f32; hidden];
+        contiguous_attention_decode(&q, &k, &v, ctx, n_heads, head_dim, &mut reference);
+
+        let (pool, table) = build_pool(&k, &v, ctx, bs, hidden, seed + 3);
+        let mut paged = vec![0.0f32; hidden];
+        paged_attention_decode(&q, &pool, 0, &table, ctx, n_heads, head_dim, &mut paged);
+
+        for (i, (a, b)) in reference.iter().zip(&paged).enumerate() {
+            prop_assert!((a - b).abs() < 1e-3, "idx {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn attention_output_within_value_hull(
+        ctx in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        // Softmax weights are a convex combination: every output coordinate
+        // lies within [min, max] of the values at that coordinate.
+        let n_heads = 2;
+        let head_dim = 4;
+        let hidden = n_heads * head_dim;
+        let q = fill(seed, hidden);
+        let k = fill(seed + 1, ctx * hidden);
+        let v = fill(seed + 2, ctx * hidden);
+        let (pool, table) = build_pool(&k, &v, ctx, 4, hidden, seed + 3);
+        let mut out = vec![0.0f32; hidden];
+        paged_attention_decode(&q, &pool, 0, &table, ctx, n_heads, head_dim, &mut out);
+        for j in 0..hidden {
+            let col: Vec<f32> = (0..ctx).map(|t| v[t * hidden + j]).collect();
+            let lo = col.iter().copied().fold(f32::INFINITY, f32::min) - 1e-4;
+            let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max) + 1e-4;
+            prop_assert!(out[j] >= lo && out[j] <= hi, "coord {j}: {} not in [{lo},{hi}]", out[j]);
+        }
+    }
+
+    #[test]
+    fn block_size_invariance(
+        ctx in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        // The same KV content through different block sizes yields the same
+        // attention output.
+        let n_heads = 2;
+        let head_dim = 8;
+        let hidden = n_heads * head_dim;
+        let q = fill(seed, hidden);
+        let k = fill(seed + 1, ctx * hidden);
+        let v = fill(seed + 2, ctx * hidden);
+        let mut first: Option<Vec<f32>> = None;
+        for bs in [1usize, 3, 8, 16, 64] {
+            let (pool, table) = build_pool(&k, &v, ctx, bs, hidden, seed + bs as u64);
+            let mut out = vec![0.0f32; hidden];
+            paged_attention_decode(&q, &pool, 0, &table, ctx, n_heads, head_dim, &mut out);
+            match &first {
+                None => first = Some(out),
+                Some(reference) => {
+                    for (a, b) in reference.iter().zip(&out) {
+                        prop_assert!((a - b).abs() < 1e-3, "bs={bs}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Chatbot workload (§6.5): the prompt concatenates the conversation
+//! history with the last user query, truncated to the final 1024 tokens;
+//! the model generates at most 1024 tokens. KV cache is *not* kept across
+//! rounds (the paper drops it between conversation turns).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::dist::exponential;
+use crate::trace::{Trace, TraceRequest};
+
+/// Context budget for the chatbot prompt (OPT-13B, §6.5).
+pub const CHAT_PROMPT_LIMIT: usize = 1024;
+/// Generation budget per round (§6.5).
+pub const CHAT_OUTPUT_LIMIT: usize = 1024;
+
+/// Synthesizes a chatbot trace: each request is one conversation round with
+/// ShareGPT-like turn lengths and a history of 0–9 prior rounds.
+///
+/// Because ShareGPT conversations are long, most prompts saturate the
+/// 1024-token limit — the property that makes the Orca baselines collapse
+/// to identical behaviour in Fig. 17.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+#[must_use]
+pub fn synthesize_chat_trace(rate: f64, n: usize, seed: u64) -> Trace {
+    assert!(rate > 0.0, "rate must be positive");
+    let ds = Dataset::sharegpt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let requests = (0..n as u64)
+        .map(|id| {
+            t += exponential(&mut rng, rate);
+            let rounds = rng.random_range(0..10usize);
+            // History: prior queries and answers.
+            let mut history = 0usize;
+            for _ in 0..rounds {
+                let (q, a) = ds.sample(&mut rng);
+                history += q + a;
+            }
+            let (query, answer) = ds.sample(&mut rng);
+            let input_len = (history + query).clamp(1, CHAT_PROMPT_LIMIT);
+            let output_len = answer.clamp(1, CHAT_OUTPUT_LIMIT);
+            TraceRequest {
+                id,
+                arrival: t,
+                input_len,
+                output_len,
+            }
+        })
+        .collect();
+    Trace { requests, rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_respected() {
+        let t = synthesize_chat_trace(2.0, 2_000, 1);
+        for r in &t.requests {
+            assert!(r.input_len >= 1 && r.input_len <= CHAT_PROMPT_LIMIT);
+            assert!(r.output_len >= 1 && r.output_len <= CHAT_OUTPUT_LIMIT);
+        }
+    }
+
+    #[test]
+    fn most_prompts_saturate_the_limit() {
+        // §6.5: "the input prompts for most requests have 1024 tokens".
+        let t = synthesize_chat_trace(2.0, 4_000, 2);
+        let saturated = t
+            .requests
+            .iter()
+            .filter(|r| r.input_len == CHAT_PROMPT_LIMIT)
+            .count();
+        assert!(
+            saturated * 2 > t.requests.len(),
+            "only {saturated}/{} saturated",
+            t.requests.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = synthesize_chat_trace(2.0, 100, 7);
+        let b = synthesize_chat_trace(2.0, 100, 7);
+        assert_eq!(a.requests, b.requests);
+    }
+}

@@ -1,0 +1,203 @@
+//! Distribution samplers built from uniform draws (kept dependency-light:
+//! only `rand`'s uniform source is used; exponential, normal, lognormal,
+//! and Zipf are derived here).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Uniform draw in `(0, 1)` (never exactly 0, so logs are safe).
+fn open_unit(rng: &mut StdRng) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Exponential variate with the given rate (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+#[must_use]
+pub fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    -open_unit(rng).ln() / rate
+}
+
+/// Standard normal variate via Box–Muller.
+#[must_use]
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1 = open_unit(rng);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal variate with the given underlying `mu`/`sigma`.
+#[must_use]
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// A log-normal distribution parameterized by its (untruncated) mean and
+/// the underlying sigma, truncated to `[min, max]` by rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedLogNormal {
+    mu: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TruncatedLogNormal {
+    /// Builds a distribution whose *untruncated* mean is `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`, `sigma < 0`, or the bounds are inverted.
+    #[must_use]
+    pub fn from_mean(mean: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!(mean > 0.0 && sigma >= 0.0 && min <= max && min > 0.0);
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        Self {
+            mu,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Samples one value (rejection against the truncation bounds, with a
+    /// clamp fallback after 64 attempts).
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        for _ in 0..64 {
+            let v = lognormal(rng, self.mu, self.sigma);
+            if v >= self.min && v <= self.max {
+                return v;
+            }
+        }
+        lognormal(rng, self.mu, self.sigma).clamp(self.min, self.max)
+    }
+
+    /// Samples rounded to a positive integer.
+    #[must_use]
+    pub fn sample_len(&self, rng: &mut StdRng) -> usize {
+        (self.sample(rng).round() as usize).max(1)
+    }
+}
+
+/// Zipf-like distribution over `0..n` with exponent `s` (used for skewed
+/// choices such as beam-parent selection).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 most likely).
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_parameterization() {
+        let d = TruncatedLogNormal::from_mean(100.0, 0.5, 1.0, 1e9);
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let d = TruncatedLogNormal::from_mean(100.0, 1.5, 10.0, 500.0);
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let v = d.sample(&mut r);
+            assert!((10.0..=500.0).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn sample_len_at_least_one() {
+        let d = TruncatedLogNormal::from_mean(1.0, 0.1, 0.1, 2.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(d.sample_len(&mut r) >= 1);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let z = Zipf::new(10, 1.5);
+        let mut r = rng();
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > 3_000);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = rng();
+        assert_eq!(z.sample(&mut r), 0);
+    }
+}

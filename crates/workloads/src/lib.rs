@@ -1,0 +1,28 @@
+//! # vllm-workloads
+//!
+//! Synthetic serving workloads reproducing §6.1 of the PagedAttention
+//! paper: ShareGPT- and Alpaca-like length distributions (Fig. 11), Poisson
+//! request arrivals, the shared-prefix translation workload (§6.4), and the
+//! chatbot workload (§6.5).
+//!
+//! The real datasets are consumed by the paper only through tokenized
+//! input/output lengths; content never affects memory management, so the
+//! substitution with fitted distributions preserves the evaluation (see
+//! DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod chatbot;
+pub mod dataset;
+pub mod dist;
+pub mod trace;
+pub mod translation;
+
+pub use chatbot::{synthesize_chat_trace, CHAT_OUTPUT_LIMIT, CHAT_PROMPT_LIMIT};
+pub use dataset::{Dataset, MAX_MODEL_LEN};
+pub use dist::{exponential, lognormal, standard_normal, TruncatedLogNormal, Zipf};
+pub use trace::{Trace, TraceRequest};
+pub use translation::{
+    synthesize_translation_trace, PrefixKind, TranslationTrace, FIVE_SHOT_PREFIX_LEN,
+    ONE_SHOT_PREFIX_LEN,
+};

@@ -1,0 +1,50 @@
+//! End-to-end serving demo: start the TCP frontend over the CPU engine,
+//! run a few clients against it (greedy, sampling, beam search), then shut
+//! down.
+//!
+//! Run with: `cargo run --release --example server`
+
+use vllm::core::{CacheConfig, LlmEngine, SchedulerConfig};
+use vllm::frontend::{Client, Server};
+use vllm::model::{CpuModelExecutor, ModelConfig};
+
+fn main() {
+    let cache = CacheConfig::new(16, 512, 128).expect("valid cache config");
+    let sched = SchedulerConfig::new(2048, 64, 1024).expect("valid scheduler config");
+    let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+    let engine = LlmEngine::new(exec, cache, sched);
+
+    let server = Server::spawn("127.0.0.1:0", engine).expect("server binds");
+    println!("serving on {}", server.addr());
+
+    // Concurrent clients with different decoding modes; the engine batches
+    // them through the same iterations.
+    let addr = server.addr();
+    let clients: Vec<_> = [
+        ("greedy", 1, "the meaning of life is"),
+        ("sample", 3, "once upon a time"),
+        ("beam", 2, "to be or not to be"),
+    ]
+    .into_iter()
+    .map(|(mode, n, prompt)| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let outs = client.generate(prompt, 24, n, mode).expect("generate");
+            (mode, prompt, outs)
+        })
+    })
+    .collect();
+
+    for c in clients {
+        let (mode, prompt, outs) = c.join().expect("client thread");
+        println!("\nmode={mode} prompt={prompt:?}:");
+        for o in outs {
+            println!(
+                "  [{}] (logprob {:8.3}) {:?}",
+                o.index, o.cumulative_logprob, o.text
+            );
+        }
+    }
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every figure/table harness output into results/.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p vllm-bench -q
+for b in table1 fig01 fig02 fig11 fig13 fig15 fig16 fig17 fig18a fig18b fig19 \
+         ablation extension_h100 extension_burstiness; do
+  echo "running $b"
+  ./target/release/$b > results/$b.txt 2>&1
+done
+./target/release/fig12 > results/fig12.txt 2>&1
+./target/release/fig14 > results/fig14.txt 2>&1
+echo "all harnesses done"

@@ -1,0 +1,451 @@
+//! A minimal serving frontend (§5's FastAPI analog): a TCP server with a
+//! newline-delimited text protocol in front of an [`LlmEngine`] running on
+//! its own thread.
+//!
+//! Protocol (UTF-8 lines, tab-separated fields):
+//!
+//! ```text
+//! -> GENERATE\t<max_tokens>\t<n>\t<mode>\t<prompt text>
+//!    where <mode> is one of: greedy | sample | beam
+//! <- OK\t<request_id>\t<num_outputs>
+//! <- OUT\t<index>\t<cumulative_logprob>\t<text>      (repeated)
+//! <- END
+//!
+//! -> STATS
+//! <- STATS\twaiting=<n>\trunning=<n>\tswapped=<n>\tfree_blocks=<n>\t
+//!    total_blocks=<n>\tfinished=<n>\tpreemptions=<n>
+//! ```
+//!
+//! Malformed requests get `ERR\t<message>`. Each connection handles one
+//! request per line; the engine thread batches concurrent requests through
+//! the normal scheduler, so simultaneous clients share iterations exactly
+//! as in the serving evaluation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use vllm_core::{LlmEngine, ModelExecutor, RequestOutput, SamplingParams};
+use vllm_model::ByteTokenizer;
+
+/// A snapshot of serving state published by the engine loop after every
+/// iteration (the `/metrics` analog of production servers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Queued requests not yet admitted.
+    pub waiting: usize,
+    /// Requests currently running.
+    pub running: usize,
+    /// Requests swapped out to CPU memory.
+    pub swapped: usize,
+    /// Free KV blocks in the GPU pool.
+    pub free_blocks: usize,
+    /// Total KV blocks in the GPU pool.
+    pub total_blocks: usize,
+    /// Requests completed since startup.
+    pub finished: u64,
+    /// Preemptions since startup.
+    pub preemptions: u64,
+}
+
+/// A generation request routed to the engine thread.
+struct FrontendRequest {
+    request_id: String,
+    prompt: Vec<u32>,
+    params: SamplingParams,
+    reply: Sender<RequestOutput>,
+}
+
+/// Handle to a running frontend server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<EngineStats>>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the server on `addr` (use port 0 for an ephemeral port) over
+    /// the given engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot bind.
+    pub fn spawn<E>(addr: &str, engine: LlmEngine<E>) -> std::io::Result<Self>
+    where
+        E: ModelExecutor + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<FrontendRequest>();
+        let stats = Arc::new(Mutex::new(EngineStats::default()));
+
+        let engine_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || engine_loop(engine, &rx, &shutdown, &stats))
+        };
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown, &stats))
+        };
+        Ok(Self {
+            addr: local,
+            shutdown,
+            stats,
+            accept_thread: Some(accept_thread),
+            engine_thread: Some(engine_thread),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The latest engine stats snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The engine loop: drain new requests, run one iteration, route finished
+/// outputs back to their connections.
+fn engine_loop<E: ModelExecutor>(
+    mut engine: LlmEngine<E>,
+    rx: &Receiver<FrontendRequest>,
+    shutdown: &AtomicBool,
+    stats: &Mutex<EngineStats>,
+) {
+    let mut pending: Vec<(String, Sender<RequestOutput>)> = Vec::new();
+    let mut finished_total: u64 = 0;
+    while !shutdown.load(Ordering::SeqCst) {
+        // Admit everything that arrived since the last iteration.
+        loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    match engine.add_request(req.request_id.clone(), req.prompt, req.params) {
+                        Ok(()) => pending.push((req.request_id, req.reply)),
+                        Err(e) => {
+                            // Deliver the failure as an empty output.
+                            let _ = req.reply.send(RequestOutput {
+                                request_id: format!("error: {e}"),
+                                prompt_len: 0,
+                                outputs: Vec::new(),
+                                arrival_time: 0.0,
+                                finish_time: 0.0,
+                                first_token_time: None,
+                                num_preemptions: 0,
+                            });
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        if !engine.has_unfinished() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let outputs = match engine.step() {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                // An engine error is fatal for the serving loop.
+                eprintln!("engine error: {e}");
+                return;
+            }
+        };
+        for out in outputs {
+            finished_total += 1;
+            if let Some(pos) = pending.iter().position(|(id, _)| *id == out.request_id) {
+                let (_, reply) = pending.swap_remove(pos);
+                let _ = reply.send(out);
+            }
+        }
+        // Publish a fresh snapshot for STATS queries.
+        let scheduler = engine.scheduler();
+        let bm = scheduler.block_manager();
+        *stats.lock() = EngineStats {
+            waiting: scheduler.num_waiting(),
+            running: scheduler.num_running(),
+            swapped: scheduler.num_swapped(),
+            free_blocks: bm.num_free_gpu_blocks(),
+            total_blocks: bm.num_total_gpu_blocks(),
+            finished: finished_total,
+            preemptions: scheduler.stats().num_preemptions,
+        };
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &Sender<FrontendRequest>,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<Mutex<EngineStats>>,
+) {
+    let next_id = Arc::new(AtomicU64::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let next_id = Arc::clone(&next_id);
+                let shutdown = Arc::clone(shutdown);
+                let stats = Arc::clone(stats);
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &tx, &next_id, &shutdown, &stats);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn parse_request(line: &str, request_id: String) -> Result<(Vec<u32>, SamplingParams), String> {
+    let mut parts = line.splitn(5, '\t');
+    let verb = parts.next().unwrap_or_default();
+    if verb != "GENERATE" {
+        return Err(format!("unknown verb {verb:?}"));
+    }
+    let max_tokens: usize = parts
+        .next()
+        .ok_or("missing max_tokens")?
+        .parse()
+        .map_err(|_| "bad max_tokens")?;
+    let n: usize = parts
+        .next()
+        .ok_or("missing n")?
+        .parse()
+        .map_err(|_| "bad n")?;
+    let mode = parts.next().ok_or("missing mode")?;
+    let text = parts.next().ok_or("missing prompt")?;
+    if text.is_empty() {
+        return Err("empty prompt".to_string());
+    }
+    let params = match mode {
+        "greedy" => {
+            if n != 1 {
+                return Err("greedy requires n=1".to_string());
+            }
+            SamplingParams::greedy(max_tokens)
+        }
+        "sample" => SamplingParams::parallel(n, max_tokens),
+        "beam" => SamplingParams::beam(n, max_tokens),
+        other => return Err(format!("unknown mode {other:?}")),
+    };
+    let params = params
+        .with_eos(vllm_model::EOS)
+        .with_seed(fnv(request_id.as_bytes()));
+    let prompt = ByteTokenizer.encode(text);
+    params.validate().map_err(|e| e.to_string())?;
+    Ok((prompt, params))
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    tx: &Sender<FrontendRequest>,
+    next_id: &AtomicU64,
+    shutdown: &AtomicBool,
+    stats: &Mutex<EngineStats>,
+) -> std::io::Result<()> {
+    // A read timeout lets the handler notice server shutdown even while a
+    // client keeps its connection open but idle.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let tokenizer = ByteTokenizer;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // Client closed the connection.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let line = line.trim_end().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "STATS" {
+            let s = *stats.lock();
+            writeln!(
+                writer,
+                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}",
+                s.waiting, s.running, s.swapped, s.free_blocks, s.total_blocks, s.finished, s.preemptions
+            )?;
+            continue;
+        }
+        let request_id = format!("req-{}", next_id.fetch_add(1, Ordering::SeqCst));
+        match parse_request(&line, request_id.clone()) {
+            Err(msg) => writeln!(writer, "ERR\t{msg}")?,
+            Ok((prompt, params)) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent = tx.send(FrontendRequest {
+                    request_id: request_id.clone(),
+                    prompt,
+                    params,
+                    reply: reply_tx,
+                });
+                if sent.is_err() {
+                    writeln!(writer, "ERR\tserver shutting down")?;
+                    break;
+                }
+                match reply_rx.recv() {
+                    Ok(out) if out.request_id.starts_with("error:") => {
+                        writeln!(writer, "ERR\t{}", out.request_id)?;
+                    }
+                    Ok(out) => {
+                        writeln!(writer, "OK\t{request_id}\t{}", out.outputs.len())?;
+                        for (i, c) in out.outputs.iter().enumerate() {
+                            let text = tokenizer.decode(&c.tokens).replace(['\t', '\n'], " ");
+                            writeln!(writer, "OUT\t{i}\t{:.4}\t{text}", c.cumulative_logprob)?;
+                        }
+                        writeln!(writer, "END")?;
+                    }
+                    Err(_) => {
+                        writeln!(writer, "ERR\tengine dropped request")?;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A small blocking client for the frontend protocol (used by tests and the
+/// `server` example).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One generation result returned by [`Client::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutput {
+    /// Index of the output sequence.
+    pub index: usize,
+    /// Cumulative log-probability.
+    pub cumulative_logprob: f64,
+    /// Generated text.
+    pub text: String,
+}
+
+impl Client {
+    /// Connects to a frontend server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the connection fails.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one generation request and waits for its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on connection failure, or `InvalidData` wrapping
+    /// a server-side `ERR` message.
+    pub fn generate(
+        &mut self,
+        prompt: &str,
+        max_tokens: usize,
+        n: usize,
+        mode: &str,
+    ) -> std::io::Result<Vec<ClientOutput>> {
+        writeln!(self.writer, "GENERATE\t{max_tokens}\t{n}\t{mode}\t{prompt}")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if let Some(msg) = line.strip_prefix("ERR\t") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                msg.to_string(),
+            ));
+        }
+        let mut outputs = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let line = line.trim_end();
+            if line == "END" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("OUT\t") {
+                let mut f = rest.splitn(3, '\t');
+                let index = f.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let cumulative_logprob = f.next().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+                let text = f.next().unwrap_or_default().to_string();
+                outputs.push(ClientOutput {
+                    index,
+                    cumulative_logprob,
+                    text,
+                });
+            }
+        }
+        Ok(outputs)
+    }
+}

@@ -1,0 +1,42 @@
+//! # vllm-rs
+//!
+//! A from-scratch Rust reproduction of *Efficient Memory Management for
+//! Large Language Model Serving with PagedAttention* (SOSP 2023).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] (`vllm-core`) — block-level KV cache management, scheduling,
+//!   decoding algorithms, and the serving engine.
+//! * [`model`] (`vllm-model`) — a pure-Rust CPU transformer with real
+//!   PagedAttention kernels and tensor-parallel execution.
+//! * [`sim`] (`vllm-sim`) — a discrete-event simulator of the paper's A100
+//!   testbed used to regenerate the evaluation figures.
+//! * [`workloads`] (`vllm-workloads`) — synthetic ShareGPT/Alpaca-style
+//!   traces, shared-prefix translation, and chatbot workloads.
+//! * [`baselines`] (`vllm-baselines`) — Orca (Oracle/Pow2/Max) and
+//!   FasterTransformer-style baselines over a buddy allocator.
+//!
+//! # Examples
+//!
+//! ```
+//! use vllm::core::{CacheConfig, LlmEngine, SamplingParams, SchedulerConfig};
+//! use vllm::model::{CpuModelExecutor, ModelConfig};
+//!
+//! let cache = CacheConfig::new(4, 64, 64).unwrap();
+//! let sched = SchedulerConfig::new(512, 16, 512).unwrap();
+//! let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+//! let mut engine = LlmEngine::new(exec, cache, sched);
+//! engine.add_request("r0", vec![1, 2, 3], SamplingParams::greedy(4)).unwrap();
+//! let outputs = engine.run_to_completion().unwrap();
+//! assert_eq!(outputs[0].outputs[0].tokens.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod frontend;
+
+pub use vllm_baselines as baselines;
+pub use vllm_core as core;
+pub use vllm_model as model;
+pub use vllm_sim as sim;
+pub use vllm_workloads as workloads;

@@ -1,0 +1,111 @@
+//! Tests for the conversation KV-retention extension: promoting a finished
+//! request's blocks into the prefix cache without copy or recompute.
+
+use vllm::core::{CacheConfig, LlmEngine, SamplingParams, SchedulerConfig, TokenId};
+use vllm::model::{CpuModelExecutor, ModelConfig};
+
+fn engine(gpu_blocks: usize) -> LlmEngine<CpuModelExecutor> {
+    let cache = CacheConfig::new(4, gpu_blocks, 0).unwrap();
+    let sched = SchedulerConfig::new(512, 32, 512).unwrap();
+    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    LlmEngine::new(exec, cache, sched)
+}
+
+#[test]
+fn retained_kv_skips_history_prefill() {
+    let mut e = engine(128);
+    let prompt: Vec<TokenId> = (1..=14).collect();
+    e.add_request("r0", prompt.clone(), SamplingParams::greedy(6))
+        .unwrap();
+    e.retain_kv("r0");
+    let outs = e.run_to_completion().unwrap();
+    let reply = outs[0].outputs[0].tokens.clone();
+    let tokens_round0 = e.executor().tokens_processed;
+
+    // The promoted prefix pins the computed blocks.
+    let pid = e.promoted_prefix("r0").expect("promotion happened");
+    assert!(e.scheduler().block_manager().num_allocated_gpu_blocks() > 0);
+
+    // A follow-up prompt extending the conversation skips its prefill.
+    let mut follow_up = prompt.clone();
+    follow_up.extend(&reply);
+    follow_up.extend([90, 91, 92]);
+    e.add_request("r1", follow_up.clone(), SamplingParams::greedy(4))
+        .unwrap();
+    e.step().unwrap();
+    // The new tokens computed this round: suffix (< full prompt) + decodes.
+    e.run_to_completion().unwrap();
+    let tokens_round1 = e.executor().tokens_processed - tokens_round0;
+    assert!(
+        (tokens_round1 as usize) < follow_up.len(),
+        "round 1 computed {tokens_round1} tokens, full prefill would be {}",
+        follow_up.len()
+    );
+
+    // Releasing the prefix returns every block.
+    e.release_prefix(pid).unwrap();
+    assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 128);
+}
+
+#[test]
+fn retained_reply_matches_unretained() {
+    let run = |retain: bool| {
+        let mut e = engine(128);
+        let prompt: Vec<TokenId> = (1..=10).collect();
+        e.add_request("a", prompt.clone(), SamplingParams::greedy(5))
+            .unwrap();
+        if retain {
+            e.retain_kv("a");
+        }
+        let first = e.run_to_completion().unwrap()[0].outputs[0].tokens.clone();
+        let mut follow = prompt;
+        follow.extend(&first);
+        follow.extend([70, 71]);
+        e.add_request("b", follow, SamplingParams::greedy(5))
+            .unwrap();
+        let second = e.run_to_completion().unwrap()[0].outputs[0].tokens.clone();
+        (first, second)
+    };
+    assert_eq!(run(false), run(true), "retention must not change outputs");
+}
+
+#[test]
+fn promotion_skipped_when_not_requested() {
+    let mut e = engine(64);
+    e.add_request("r", (1..=8).collect(), SamplingParams::greedy(3))
+        .unwrap();
+    e.run_to_completion().unwrap();
+    assert!(e.promoted_prefix("r").is_none());
+    assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 64);
+}
+
+#[test]
+fn release_unknown_prefix_errors() {
+    let mut e = engine(64);
+    assert!(e.release_prefix(7).is_err());
+}
+
+#[test]
+fn chained_promotions_release_cleanly() {
+    let mut e = engine(256);
+    let mut history: Vec<TokenId> = (1..=6).collect();
+    let mut prev = None;
+    for round in 0..4 {
+        let rid = format!("round{round}");
+        e.add_request(&*rid, history.clone(), SamplingParams::greedy(4))
+            .unwrap();
+        e.retain_kv(&*rid);
+        let outs = e.run_to_completion().unwrap();
+        history.extend(&outs[0].outputs[0].tokens);
+        history.push(40 + round as u32);
+        if let Some(id) = prev.take() {
+            e.release_prefix(id).unwrap();
+        }
+        prev = e.promoted_prefix(&rid);
+        assert!(prev.is_some(), "round {round} must promote");
+    }
+    e.release_prefix(prev.unwrap()).unwrap();
+    assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 256);
+    // Double release fails.
+    assert!(e.release_prefix(0).is_err());
+}

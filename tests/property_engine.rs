@@ -1,0 +1,164 @@
+//! Property-based tests over the serving engine: random request mixes
+//! (prompt lengths, output budgets, parallel sampling, beam search) against
+//! random pool sizes must always complete, never leak or double-free KV
+//! blocks, and respect output-length contracts.
+
+use proptest::prelude::*;
+
+use vllm::core::config::PreemptionMode;
+use vllm::core::mock::MockExecutor;
+use vllm::core::{CacheConfig, LlmEngine, SamplingParams, SchedulerConfig, SequenceStatus};
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    prompt_len: usize,
+    max_tokens: usize,
+    n: usize,
+    beam: bool,
+}
+
+fn req_strategy() -> impl Strategy<Value = ReqSpec> {
+    (1usize..40, 1usize..24, 1usize..5, proptest::bool::ANY).prop_map(
+        |(prompt_len, max_tokens, n, beam)| ReqSpec {
+            prompt_len,
+            max_tokens,
+            n,
+            beam,
+        },
+    )
+}
+
+fn build_engine(
+    block_size: usize,
+    gpu_blocks: usize,
+    cpu_blocks: usize,
+    mode: PreemptionMode,
+) -> LlmEngine<MockExecutor> {
+    let cache = CacheConfig::new(block_size, gpu_blocks, cpu_blocks)
+        .unwrap()
+        .with_watermark(0.0)
+        .unwrap();
+    let sched = SchedulerConfig::new(256, 32, 256)
+        .unwrap()
+        .with_preemption_mode(mode);
+    LlmEngine::new(MockExecutor::new(500), cache, sched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_workloads_complete_and_free_all_blocks(
+        reqs in proptest::collection::vec(req_strategy(), 1..10),
+        block_size in 1usize..9,
+        gpu_blocks in 24usize..96,
+        swap in proptest::bool::ANY,
+    ) {
+        let mode = if swap { PreemptionMode::Swap } else { PreemptionMode::Recompute };
+        let mut engine = build_engine(block_size, gpu_blocks, gpu_blocks, mode);
+        let mut expected_done = 0usize;
+        for (i, r) in reqs.iter().enumerate() {
+            let params = if r.beam {
+                SamplingParams::beam(r.n, r.max_tokens)
+            } else {
+                SamplingParams::parallel(r.n, r.max_tokens)
+            };
+            let prompt: Vec<u32> = (0..r.prompt_len as u32).collect();
+            // Requests whose prompt alone exceeds the pool are rejected by
+            // the scheduler (AllocStatus::Never) — they still produce an
+            // (empty) output.
+            engine
+                .add_request_at(format!("r{i}"), prompt, params, i as f64 * 1e-3)
+                .unwrap();
+            expected_done += 1;
+        }
+        let mut outputs = Vec::new();
+        let mut guard = 0u32;
+        while engine.has_unfinished() {
+            outputs.extend(engine.step().unwrap());
+            guard += 1;
+            prop_assert!(guard < 50_000, "engine failed to make progress");
+            engine.scheduler().block_manager().assert_consistent();
+        }
+        prop_assert_eq!(outputs.len(), expected_done, "every request finishes exactly once");
+
+        // No leaks: both pools fully free.
+        let bm = engine.scheduler().block_manager();
+        prop_assert_eq!(bm.num_free_gpu_blocks(), gpu_blocks);
+        prop_assert_eq!(bm.num_free_cpu_blocks(), gpu_blocks);
+
+        // Outputs arrive in completion order; re-align with request order.
+        outputs.sort_by_key(|o| o.request_id[1..].parse::<usize>().unwrap());
+        for (out, spec) in outputs.iter().zip(reqs.iter()) {
+            // Ignored (oversized) requests have no outputs; completed ones
+            // respect n and max_tokens.
+            if out.outputs.is_empty() {
+                continue;
+            }
+            prop_assert!(out.outputs.len() <= spec.n);
+            for c in &out.outputs {
+                prop_assert!(c.tokens.len() <= spec.max_tokens);
+                prop_assert!(!c.tokens.is_empty());
+                prop_assert!(matches!(
+                    c.finish_reason,
+                    SequenceStatus::FinishedStopped | SequenceStatus::FinishedLengthCapped
+                ));
+            }
+            if !spec.beam {
+                prop_assert_eq!(out.outputs.len(), spec.n, "parallel sampling returns n outputs");
+                for c in &out.outputs {
+                    prop_assert_eq!(c.tokens.len(), spec.max_tokens);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eos_always_respected(
+        prompt_len in 1usize..30,
+        period in 1usize..12,
+        max_tokens in 1usize..30,
+    ) {
+        let mut engine = build_engine(4, 64, 0, PreemptionMode::Recompute);
+        engine.executor_mut().eos_token = Some((3, period));
+        let prompt: Vec<u32> = (10..10 + prompt_len as u32).collect();
+        engine
+            .add_request("r", prompt, SamplingParams::greedy(max_tokens).with_eos(3))
+            .unwrap();
+        let outs = engine.run_to_completion().unwrap();
+        let c = &outs[0].outputs[0];
+        prop_assert!(c.tokens.len() <= max_tokens);
+        // No eos token anywhere except possibly the last position.
+        for &t in &c.tokens[..c.tokens.len().saturating_sub(1)] {
+            prop_assert_ne!(t, 3);
+        }
+        if c.finish_reason == SequenceStatus::FinishedStopped {
+            prop_assert_eq!(*c.tokens.last().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn interleaved_arrivals_conserve_requests(
+        arrivals in proptest::collection::vec((1usize..30, 1usize..16), 1..12),
+    ) {
+        let mut engine = build_engine(4, 48, 48, PreemptionMode::Swap);
+        let mut added = 0;
+        let mut outputs = Vec::new();
+        for (i, (prompt_len, max_tokens)) in arrivals.iter().enumerate() {
+            let prompt: Vec<u32> = (0..*prompt_len as u32).collect();
+            engine
+                .add_request(format!("r{i}"), prompt, SamplingParams::greedy(*max_tokens))
+                .unwrap();
+            added += 1;
+            // Interleave: run a couple of steps between arrivals.
+            for _ in 0..2 {
+                outputs.extend(engine.step().unwrap());
+            }
+        }
+        while engine.has_unfinished() {
+            outputs.extend(engine.step().unwrap());
+        }
+        prop_assert_eq!(outputs.len(), added);
+        prop_assert_eq!(engine.scheduler().block_manager().num_free_gpu_blocks(), 48);
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use crate::block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
 use crate::config::CacheConfig;
 use crate::error::{Result, VllmError};
+use crate::executor::CacheOps;
 use crate::sequence::{SeqId, Sequence, SequenceGroup, SequenceStatus};
 
 /// Outcome of an admission check for a waiting group (§4.5).
@@ -48,6 +49,12 @@ pub struct BlockSpaceManager {
     /// Cumulative count of blocks swapped out / in (metrics).
     num_swapped_out_blocks: u64,
     num_swapped_in_blocks: u64,
+    /// Cache operations produced since the last [`Self::take_pending`]:
+    /// every mutation that requires data movement (CoW splits, eager-copy
+    /// forks, swaps) records its ops here, so the scheduler can batch them
+    /// into the next [`crate::plan::StepPlan`] as data instead of callers
+    /// threading side-channel copy lists around.
+    pending: CacheOps,
     /// When block sharing is disabled (eager-copy ablation), admission must
     /// account for the full sequence fan-out of a request up front.
     pub fanout_admission: bool,
@@ -66,6 +73,7 @@ impl BlockSpaceManager {
             num_cow_copies: 0,
             num_swapped_out_blocks: 0,
             num_swapped_in_blocks: 0,
+            pending: CacheOps::default(),
             fanout_admission: false,
         }
     }
@@ -116,6 +124,19 @@ impl BlockSpaceManager {
     #[must_use]
     pub fn num_swapped_in_blocks(&self) -> u64 {
         self.num_swapped_in_blocks
+    }
+
+    /// Drains the cache operations accumulated since the last call. The
+    /// scheduler calls this once per step to batch all pending data movement
+    /// into the step's plan.
+    pub fn take_pending(&mut self) -> CacheOps {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether any cache operation is waiting to be drained.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Checks whether the prompt blocks of a waiting group can be allocated.
@@ -215,6 +236,7 @@ impl BlockSpaceManager {
             }
             self.block_tables.insert(seq_id, table);
         }
+        self.pending.copies.extend_from_slice(&copies);
         Ok(copies)
     }
 
@@ -328,10 +350,12 @@ impl BlockSpaceManager {
                 .ok_or(VllmError::UnknownSequence(seq.seq_id))?;
             *table.last_mut().expect("table nonempty") = PhysicalBlock::gpu(fresh);
             self.num_cow_copies += 1;
-            return Ok(Some(BlockCopy {
+            let copy = BlockCopy {
                 src: last.id,
                 dst: fresh,
-            }));
+            };
+            self.pending.copies.push(copy);
+            return Ok(Some(copy));
         }
         Ok(None)
     }
@@ -385,6 +409,7 @@ impl BlockSpaceManager {
             new_table.push(PhysicalBlock::gpu(fresh));
         }
         self.block_tables.insert(child_id, new_table);
+        self.pending.copies.extend_from_slice(&copies);
         Ok(copies)
     }
 
@@ -532,6 +557,7 @@ impl BlockSpaceManager {
             self.block_tables.insert(seq.seq_id, new_table);
         }
         self.num_swapped_out_blocks += copies.len() as u64;
+        self.pending.swap_out.extend_from_slice(&copies);
         Ok(copies)
     }
 
@@ -577,6 +603,7 @@ impl BlockSpaceManager {
             self.block_tables.insert(seq.seq_id, new_table);
         }
         self.num_swapped_in_blocks += copies.len() as u64;
+        self.pending.swap_in.extend_from_slice(&copies);
         Ok(copies)
     }
 
@@ -873,6 +900,36 @@ mod tests {
         assert_eq!(t[0].id, pb0[0]);
         assert_eq!(t[1].id, pb0[1]);
         m.assert_consistent();
+    }
+
+    #[test]
+    fn pending_ops_mirror_returned_copies() {
+        let mut m = manager(8, 8);
+        let mut g = group_with_prompt(0, 6);
+        m.allocate(&g).unwrap();
+        assert!(!m.has_pending(), "plain allocation moves no data");
+        let child = g.get(0).unwrap().fork(1);
+        g.add(child);
+        m.fork(0, 1).unwrap();
+
+        // CoW split lands in the pending copy lane.
+        g.get_mut(1).unwrap().data.append_token(7);
+        let cow = m.append_slot(g.get(1).unwrap()).unwrap().unwrap();
+        assert!(m.has_pending());
+        let ops = m.take_pending();
+        assert_eq!(ops.copies, vec![cow]);
+        assert!(ops.swap_in.is_empty() && ops.swap_out.is_empty());
+        assert!(!m.has_pending(), "take_pending drains");
+
+        // Swap out/in land in their own lanes.
+        g.set_status_all(SequenceStatus::Running);
+        let out = m.swap_out(&g).unwrap();
+        g.set_status_all(SequenceStatus::Swapped);
+        let back = m.swap_in(&g).unwrap();
+        let ops = m.take_pending();
+        assert_eq!(ops.swap_out, out);
+        assert_eq!(ops.swap_in, back);
+        assert!(ops.copies.is_empty());
     }
 
     #[test]

@@ -1,23 +1,38 @@
-//! The LLM serving engine (Fig. 4): a step loop that couples the scheduler
-//! and block manager with a pluggable [`ModelExecutor`].
+//! The LLM serving engine (Fig. 4): an explicit four-stage step pipeline
+//! coupling the scheduler and block manager with a pluggable
+//! [`ModelExecutor`].
 //!
-//! Each [`LlmEngine::step`] call plans one iteration, hands the executor the
-//! batch plus the pending cache operations, applies the outputs (sampled
-//! tokens, parallel-sampling forks, beam-search updates), and reaps finished
-//! requests. Time is virtual: the executor reports how long the iteration
-//! took (wall-clock for the numeric backend, modeled for the simulator), so
-//! the same engine drives both real inference and trace-driven evaluation.
+//! Each [`LlmEngine::step`] call runs the stages in order:
+//!
+//! 1. **schedule** — [`crate::scheduler::Scheduler::schedule`] plans the
+//!    iteration as an immutable [`StepPlan`], batching all cache operations
+//!    (swap in/out, copy-on-write) drained from the block manager.
+//! 2. **prepare** — [`crate::plan::materialize_batch`] fills the plan with
+//!    per-sequence model inputs.
+//! 3. **execute** — the executor consumes the plan via
+//!    [`ModelExecutor::begin_step`] and returns sampled candidates.
+//! 4. **postprocess** — `crate::postprocess` applies the outputs (appended
+//!    tokens, parallel-sampling forks, beam updates, stop conditions) and
+//!    reaps finished requests.
+//!
+//! Every step — including empty ones — emits a [`StepTrace`] with per-stage
+//! wall times and cache-op counts, queryable via [`LlmEngine::last_trace`]
+//! and aggregated by [`LlmEngine::trace_stats`]. Serving time stays virtual:
+//! the executor reports how long the iteration took (wall-clock for the
+//! numeric backend, modeled for the simulator), so the same engine drives
+//! both real inference and trace-driven evaluation.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use crate::beam::{plan_beam_step, BeamInput, BeamPlan};
 use crate::config::{CacheConfig, SchedulerConfig};
 use crate::error::{Result, VllmError};
-use crate::executor::{CacheOps, ExecutionBatch, ModelExecutor, SeqStepInput, StepResult};
-use crate::metrics::{LatencyTracker, MemoryStats, StepSnapshot};
+use crate::executor::{ModelExecutor, SeqStepInput};
+use crate::metrics::{LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
+use crate::plan::{materialize_batch, StageTimings, StepPlan, StepTrace};
 use crate::prefix::{PrefixId, PrefixPool};
 use crate::sampling::{DecodingMode, SamplingParams, TokenId};
-use crate::scheduler::{Scheduler, SchedulerOutputs};
+use crate::scheduler::Scheduler;
 use crate::sequence::{SeqId, Sequence, SequenceGroup, SequenceStatus};
 
 /// One finished output sequence of a request.
@@ -64,40 +79,34 @@ impl RequestOutput {
     }
 }
 
-/// FNV-1a hash used to derive deterministic per-request sampling seeds.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// The serving engine, generic over the execution backend.
 #[derive(Debug)]
 pub struct LlmEngine<E: ModelExecutor> {
-    scheduler: Scheduler,
-    executor: E,
-    cache_config: CacheConfig,
-    next_seq_id: SeqId,
-    clock: f64,
-    latency: LatencyTracker,
-    memory_stats: MemoryStats,
-    prefix_pool: PrefixPool,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) executor: E,
+    pub(crate) cache_config: CacheConfig,
+    pub(crate) next_seq_id: SeqId,
+    pub(crate) clock: f64,
+    pub(crate) latency: LatencyTracker,
+    pub(crate) memory_stats: MemoryStats,
+    pub(crate) prefix_pool: PrefixPool,
     /// Automatically match new prompts against registered prefixes.
-    auto_prefix_match: bool,
+    pub(crate) auto_prefix_match: bool,
     /// Whether forked sequences share blocks (copy-on-write). Disabling
     /// this replicates blocks eagerly — the contiguous-system behaviour —
     /// for the sharing ablation.
-    sharing_enabled: bool,
-    /// Copies produced by eager forks, executed with the next step.
-    pending_copies: Vec<crate::block_manager::BlockCopy>,
+    pub(crate) sharing_enabled: bool,
     /// Requests whose KV cache is promoted to the prefix cache on finish
     /// (conversation reuse extension).
-    retain_requests: std::collections::HashSet<String>,
+    pub(crate) retain_requests: std::collections::HashSet<String>,
     /// Prefix ids produced by retention, keyed by request id.
-    promoted_prefixes: HashMap<String, PrefixId>,
+    pub(crate) promoted_prefixes: HashMap<String, PrefixId>,
+    /// Monotone step counter for trace indexing.
+    step_counter: u64,
+    /// Trace of the most recent step.
+    last_trace: Option<StepTrace>,
+    /// Aggregate of all step traces.
+    trace_stats: TraceStats,
 }
 
 impl<E: ModelExecutor> LlmEngine<E> {
@@ -116,9 +125,11 @@ impl<E: ModelExecutor> LlmEngine<E> {
             prefix_pool: PrefixPool::new(),
             auto_prefix_match: true,
             sharing_enabled: true,
-            pending_copies: Vec::new(),
             retain_requests: std::collections::HashSet::new(),
             promoted_prefixes: HashMap::new(),
+            step_counter: 0,
+            last_trace: None,
+            trace_stats: TraceStats::default(),
         }
     }
 
@@ -134,21 +145,6 @@ impl<E: ModelExecutor> LlmEngine<E> {
     pub fn set_block_sharing(&mut self, enabled: bool) {
         self.sharing_enabled = enabled;
         self.scheduler.block_manager_mut().fanout_admission = !enabled;
-    }
-
-    /// Forks the child's block table from the parent, honouring the sharing
-    /// ablation switch.
-    fn fork_blocks(&mut self, parent: SeqId, child: SeqId) -> Result<()> {
-        if self.sharing_enabled {
-            self.scheduler.fork_seq(parent, child)
-        } else {
-            let copies = self
-                .scheduler
-                .block_manager_mut()
-                .fork_eager(parent, child)?;
-            self.pending_copies.extend(copies);
-            Ok(())
-        }
     }
 
     /// Current virtual time in seconds.
@@ -191,6 +187,18 @@ impl<E: ModelExecutor> LlmEngine<E> {
     #[must_use]
     pub fn memory_stats(&self) -> &MemoryStats {
         &self.memory_stats
+    }
+
+    /// The structured trace of the most recent step, if any step has run.
+    #[must_use]
+    pub fn last_trace(&self) -> Option<&StepTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Aggregated per-stage timings and cache-op counts across all steps.
+    #[must_use]
+    pub fn trace_stats(&self) -> &TraceStats {
+        &self.trace_stats
     }
 
     /// Whether any request is queued, running, or swapped.
@@ -279,7 +287,8 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .scheduler
             .block_manager_mut()
             .allocate_anchor_blocks(n)?;
-        let warmup = ExecutionBatch {
+        let warmup = StepPlan {
+            is_prompt_run: true,
             items: vec![SeqStepInput {
                 // Prefix warm-ups use a reserved id space far above request
                 // sequence ids.
@@ -292,11 +301,10 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 mode: DecodingMode::Greedy,
                 seed: 0,
             }],
-            is_prompt_run: true,
-            cache_ops: CacheOps::default(),
             block_size: bs,
+            ..StepPlan::default()
         };
-        self.executor.execute(&warmup)?;
+        self.executor.begin_step(&warmup)?;
         let id = self.prefix_pool.insert(tokens, blocks);
         self.prefix_pool.mark_computed(id);
         Ok(id)
@@ -321,35 +329,6 @@ impl<E: ModelExecutor> LlmEngine<E> {
         self.promoted_prefixes.get(request_id).copied()
     }
 
-    /// Promotes a finishing sequence's KV into the prefix cache. Returns
-    /// `true` when the blocks were taken over (caller must then skip the
-    /// free).
-    fn promote_seq_to_prefix(&mut self, request_id: &str, seq_id: SeqId) -> Result<bool> {
-        let (tokens, computed) = {
-            let group = self
-                .scheduler
-                .group(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            let seq = group
-                .get(seq_id)
-                .ok_or(VllmError::UnknownSequence(seq_id))?;
-            (seq.data.tokens().to_vec(), seq.data.num_computed_tokens())
-        };
-        if computed == 0 {
-            return Ok(false);
-        }
-        let bs = self.cache_config.block_size;
-        let num_blocks = computed.div_ceil(bs);
-        let blocks = self
-            .scheduler
-            .block_manager_mut()
-            .take_table_as_anchor(seq_id, num_blocks)?;
-        let id = self.prefix_pool.insert(tokens[..computed].to_vec(), blocks);
-        self.prefix_pool.mark_computed(id);
-        self.promoted_prefixes.insert(request_id.to_string(), id);
-        Ok(true)
-    }
-
     /// Releases a registered prefix, unpinning its blocks. In-flight
     /// requests that already mapped the prefix keep their references; the
     /// blocks are reclaimed once the last sharer frees them.
@@ -368,24 +347,62 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .free_anchor_blocks(&prefix.blocks)
     }
 
-    /// Runs one iteration: schedule, execute, apply outputs, reap finished.
-    /// Returns the requests that finished during this step.
+    /// Runs one iteration through the four pipeline stages (schedule →
+    /// prepare → execute → postprocess) and returns the requests that
+    /// finished during the step. A [`StepTrace`] is recorded for every call,
+    /// including steps that found no work.
     ///
     /// # Errors
     ///
     /// Propagates scheduler and executor errors.
     pub fn step(&mut self) -> Result<Vec<RequestOutput>> {
-        let sched = self.scheduler.schedule()?;
-        if sched.is_empty() {
-            return self.reap();
+        let step_index = self.step_counter;
+        self.step_counter += 1;
+
+        // Stage 1: schedule.
+        let t = Instant::now();
+        let mut plan = self.scheduler.schedule()?;
+        let schedule = t.elapsed().as_secs_f64();
+
+        if plan.is_empty() {
+            // Nothing to run, but finished/aborted groups may still need
+            // reaping, and the step still emits a trace.
+            let t = Instant::now();
+            let outs = self.reap()?;
+            let mut trace = StepTrace::from_plan(step_index, &plan);
+            trace.stages.schedule = schedule;
+            trace.stages.postprocess = t.elapsed().as_secs_f64();
+            self.finish_trace(trace);
+            return Ok(outs);
         }
 
-        let batch = self.build_batch(&sched)?;
-        let result = self.executor.execute(&batch)?;
+        // Stage 2: prepare (materialize per-sequence model inputs).
+        let t = Instant::now();
+        materialize_batch(&self.scheduler, &mut plan)?;
+        let prepare = t.elapsed().as_secs_f64();
+
+        // Stage 3: execute.
+        let t = Instant::now();
+        let result = self.executor.begin_step(&plan)?;
+        let execute = t.elapsed().as_secs_f64();
         self.clock += result.elapsed;
-        self.record_step_metrics(&sched, result.elapsed);
-        self.process_outputs(&sched, &result)?;
-        self.reap()
+
+        // Stage 4: postprocess (sampling bookkeeping, forks, stops, reap).
+        let t = Instant::now();
+        self.record_step_metrics(&plan, result.elapsed);
+        self.process_outputs(&plan, &result)?;
+        let outs = self.reap()?;
+        let postprocess = t.elapsed().as_secs_f64();
+
+        let mut trace = StepTrace::from_plan(step_index, &plan);
+        trace.stages = StageTimings {
+            schedule,
+            prepare,
+            execute,
+            postprocess,
+        };
+        self.finish_trace(trace);
+        Ok(outs)
     }
 
     /// Runs steps until every request finishes, returning all outputs.
@@ -401,80 +418,18 @@ impl<E: ModelExecutor> LlmEngine<E> {
         Ok(all)
     }
 
-    fn alloc_seq_id(&mut self) -> SeqId {
+    pub(crate) fn alloc_seq_id(&mut self) -> SeqId {
         let id = self.next_seq_id;
         self.next_seq_id += 1;
         id
     }
 
-    fn build_batch(&mut self, sched: &SchedulerOutputs) -> Result<ExecutionBatch> {
-        let mut items = Vec::new();
-        let pending_copies = std::mem::take(&mut self.pending_copies);
-        for sg in &sched.scheduled {
-            let group = self
-                .scheduler
-                .group(&sg.request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(sg.request_id.clone()))?;
-            let params = &group.sampling_params;
-            let base_seed = params
-                .seed
-                .unwrap_or_else(|| fnv1a(group.request_id.as_bytes()));
-            for &seq_id in &sg.seq_ids {
-                let seq = group
-                    .get(seq_id)
-                    .ok_or(VllmError::UnknownSequence(seq_id))?;
-                let block_table = self.scheduler.block_manager().gpu_block_ids(seq_id)?;
-                let (tokens, first_position) = if sg.is_prompt {
-                    (seq.data.tokens().to_vec(), 0)
-                } else {
-                    let last = seq
-                        .data
-                        .last_token()
-                        .ok_or(VllmError::UnknownSequence(seq_id))?;
-                    (vec![last], seq.len() - 1)
-                };
-                let num_candidates = if sg.is_prompt {
-                    match params.mode {
-                        DecodingMode::Beam { width } => 2 * width,
-                        _ => params.n,
-                    }
-                } else {
-                    params.candidates_per_seq()
-                };
-                items.push(SeqStepInput {
-                    seq_id,
-                    tokens,
-                    first_position,
-                    num_cached_tokens: if sg.is_prompt {
-                        sg.num_cached_tokens
-                    } else {
-                        0
-                    },
-                    block_table,
-                    num_candidates,
-                    mode: params.mode,
-                    seed: base_seed,
-                });
-            }
-        }
-        Ok(ExecutionBatch {
-            items,
-            is_prompt_run: sched.is_prompt_run,
-            cache_ops: CacheOps {
-                swap_in: sched.blocks_to_swap_in.clone(),
-                swap_out: sched.blocks_to_swap_out.clone(),
-                copies: {
-                    // Eager-fork copies from the previous step run first.
-                    let mut copies = pending_copies;
-                    copies.extend(sched.blocks_to_copy.iter().copied());
-                    copies
-                },
-            },
-            block_size: self.cache_config.block_size,
-        })
+    fn finish_trace(&mut self, trace: StepTrace) {
+        self.trace_stats.observe(&trace);
+        self.last_trace = Some(trace);
     }
 
-    fn record_step_metrics(&mut self, sched: &SchedulerOutputs, elapsed: f64) {
+    fn record_step_metrics(&mut self, plan: &StepPlan, elapsed: f64) {
         let bm = self.scheduler.block_manager();
         let groups = self.scheduler.running_groups();
         let running_seqs: usize = groups
@@ -488,7 +443,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
             duration: elapsed,
             running_requests: groups.len(),
             running_seqs,
-            batched_tokens: sched.num_batched_tokens,
+            batched_tokens: plan.budget.num_batched_tokens,
             used_slots,
             allocated_slots: bm.num_allocated_gpu_blocks() * bs,
             total_slots: bm.num_total_gpu_blocks() * bs,
@@ -497,391 +452,11 @@ impl<E: ModelExecutor> LlmEngine<E> {
             physical_blocks: bm.num_allocated_gpu_blocks(),
         });
     }
-
-    fn process_outputs(&mut self, sched: &SchedulerOutputs, result: &StepResult) -> Result<()> {
-        let out_map: HashMap<SeqId, &Vec<(TokenId, f32)>> = result
-            .outputs
-            .iter()
-            .map(|o| (o.seq_id, &o.candidates))
-            .collect();
-
-        for sg in &sched.scheduled {
-            // Mark the KV cache as computed up to the current length.
-            {
-                let group = self
-                    .scheduler
-                    .group_mut(&sg.request_id)
-                    .ok_or_else(|| VllmError::UnknownRequest(sg.request_id.clone()))?;
-                if group.first_token_time.is_none() {
-                    group.first_token_time = Some(self.clock);
-                }
-                for &seq_id in &sg.seq_ids {
-                    let seq = group
-                        .get_mut(seq_id)
-                        .ok_or(VllmError::UnknownSequence(seq_id))?;
-                    let len = seq.len();
-                    seq.data.set_num_computed_tokens(len);
-                }
-            }
-
-            let params = self
-                .scheduler
-                .group(&sg.request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(sg.request_id.clone()))?
-                .sampling_params
-                .clone();
-
-            if let DecodingMode::Beam { width } = params.mode {
-                self.process_beam_group(
-                    sg.request_id.clone(),
-                    &sg.seq_ids,
-                    &out_map,
-                    width,
-                    &params,
-                )?;
-            } else if sg.is_prompt && params.n > 1 {
-                self.process_parallel_prompt(&sg.request_id, sg.seq_ids[0], &out_map, &params)?;
-            } else {
-                for &seq_id in &sg.seq_ids {
-                    let cands = out_map
-                        .get(&seq_id)
-                        .ok_or(VllmError::UnknownSequence(seq_id))?;
-                    let &(token, logprob) = cands
-                        .first()
-                        .ok_or_else(|| VllmError::Executor("missing candidate".into()))?;
-                    self.append_and_check(&sg.request_id, seq_id, token, logprob, &params)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Parallel sampling prompt step (Fig. 8): the executor sampled `n`
-    /// tokens from the prompt's distribution; fork `n - 1` children that
-    /// share the prompt's blocks, then append each sample to its sequence.
-    fn process_parallel_prompt(
-        &mut self,
-        request_id: &str,
-        parent: SeqId,
-        out_map: &HashMap<SeqId, &Vec<(TokenId, f32)>>,
-        params: &SamplingParams,
-    ) -> Result<()> {
-        let cands = (*out_map
-            .get(&parent)
-            .ok_or(VllmError::UnknownSequence(parent))?)
-        .clone();
-        if cands.len() < params.n {
-            return Err(VllmError::Executor(format!(
-                "expected {} samples, got {}",
-                params.n,
-                cands.len()
-            )));
-        }
-        let child_ids: Vec<SeqId> = (1..params.n).map(|_| self.alloc_seq_id()).collect();
-        {
-            let group = self
-                .scheduler
-                .group_mut(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            for &cid in &child_ids {
-                let child = group
-                    .get(parent)
-                    .ok_or(VllmError::UnknownSequence(parent))?
-                    .fork(cid);
-                group.add(child);
-            }
-        }
-        for &cid in &child_ids {
-            self.fork_blocks(parent, cid)?;
-        }
-        // Append sample 0 to the parent, sample i to child i-1.
-        let seq_ids: Vec<SeqId> = std::iter::once(parent).chain(child_ids).collect();
-        for (i, &sid) in seq_ids.iter().enumerate() {
-            let (token, logprob) = cands[i];
-            self.append_and_check(request_id, sid, token, logprob, params)?;
-        }
-        Ok(())
-    }
-
-    fn process_beam_group(
-        &mut self,
-        request_id: String,
-        seq_ids: &[SeqId],
-        out_map: &HashMap<SeqId, &Vec<(TokenId, f32)>>,
-        width: usize,
-        params: &SamplingParams,
-    ) -> Result<()> {
-        let plan = {
-            let group = self
-                .scheduler
-                .group(&request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.clone()))?;
-            let mut inputs = Vec::with_capacity(seq_ids.len());
-            for &sid in seq_ids {
-                let seq = group.get(sid).ok_or(VllmError::UnknownSequence(sid))?;
-                let cands = out_map.get(&sid).ok_or(VllmError::UnknownSequence(sid))?;
-                inputs.push(BeamInput {
-                    seq_id: sid,
-                    cumulative_logprob: seq.cumulative_logprob,
-                    candidates: (*cands).clone(),
-                });
-            }
-            let eos = if params.ignore_eos {
-                None
-            } else {
-                params.eos_token_id
-            };
-            plan_beam_step(&inputs, width, eos)
-        };
-        self.apply_beam_plan(&request_id, &plan, width, params)
-    }
-
-    fn apply_beam_plan(
-        &mut self,
-        request_id: &str,
-        plan: &BeamPlan,
-        width: usize,
-        params: &SamplingParams,
-    ) -> Result<()> {
-        // 1. Materialize finished (eos) hypotheses from pre-append parent
-        //    state; they hold no KV blocks.
-        let finished_ids: Vec<SeqId> = (0..plan.finished.len())
-            .map(|_| self.alloc_seq_id())
-            .collect();
-        {
-            let group = self
-                .scheduler
-                .group_mut(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            for (ext, &cid) in plan.finished.iter().zip(&finished_ids) {
-                let parent = group
-                    .get(ext.parent)
-                    .ok_or(VllmError::UnknownSequence(ext.parent))?;
-                let mut hyp = parent.fork(cid);
-                hyp.data.append_token(ext.token);
-                hyp.cumulative_logprob = ext.cumulative_logprob;
-                hyp.status = SequenceStatus::FinishedStopped;
-                group.add(hyp);
-            }
-        }
-
-        // 2. Forks share the parent's blocks before the parent appends.
-        for ext in &plan.forks {
-            let cid = self.alloc_seq_id();
-            {
-                let group = self
-                    .scheduler
-                    .group_mut(request_id)
-                    .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-                let child = group
-                    .get(ext.parent)
-                    .ok_or(VllmError::UnknownSequence(ext.parent))?
-                    .fork(cid);
-                group.add(child);
-            }
-            self.fork_blocks(ext.parent, cid)?;
-            self.append_beam_token(request_id, cid, ext.token, ext.cumulative_logprob, params)?;
-        }
-
-        // 3. Appends reuse their parent in place.
-        for ext in &plan.appends {
-            self.append_beam_token(
-                request_id,
-                ext.parent,
-                ext.token,
-                ext.cumulative_logprob,
-                params,
-            )?;
-        }
-
-        // 4. Drop parents with no surviving continuation.
-        for &sid in &plan.drops {
-            {
-                let group = self
-                    .scheduler
-                    .group_mut(request_id)
-                    .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-                if let Some(seq) = group.get_mut(sid) {
-                    if !seq.is_finished() {
-                        seq.status = SequenceStatus::FinishedDropped;
-                    }
-                }
-            }
-            self.scheduler.free_seq(sid)?;
-        }
-
-        // 5. Early termination: once `width` hypotheses have finished, the
-        //    remaining live beams are dropped.
-        let to_drop: Vec<SeqId> = {
-            let group = self
-                .scheduler
-                .group(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            let num_finished = group
-                .seqs()
-                .iter()
-                .filter(|s| {
-                    matches!(
-                        s.status,
-                        SequenceStatus::FinishedStopped | SequenceStatus::FinishedLengthCapped
-                    )
-                })
-                .count();
-            if num_finished >= width {
-                group.seq_ids_with_status(SequenceStatus::Running)
-            } else {
-                Vec::new()
-            }
-        };
-        for sid in to_drop {
-            {
-                let group = self
-                    .scheduler
-                    .group_mut(request_id)
-                    .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-                if let Some(seq) = group.get_mut(sid) {
-                    seq.status = SequenceStatus::FinishedDropped;
-                }
-            }
-            self.scheduler.free_seq(sid)?;
-        }
-        Ok(())
-    }
-
-    /// Appends a beam token with explicit cumulative logprob and applies
-    /// the length-cap checks (eos was already diverted by the planner).
-    fn append_beam_token(
-        &mut self,
-        request_id: &str,
-        seq_id: SeqId,
-        token: TokenId,
-        cumulative_logprob: f64,
-        params: &SamplingParams,
-    ) -> Result<()> {
-        let max_model_len = self.scheduler.config().max_model_len;
-        let mut finished = false;
-        {
-            let group = self
-                .scheduler
-                .group_mut(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            let seq = group
-                .get_mut(seq_id)
-                .ok_or(VllmError::UnknownSequence(seq_id))?;
-            seq.data.append_token(token);
-            seq.cumulative_logprob = cumulative_logprob;
-            if seq.data.num_output_tokens() >= params.max_tokens || seq.len() >= max_model_len {
-                seq.status = SequenceStatus::FinishedLengthCapped;
-                finished = true;
-            }
-        }
-        if finished {
-            self.scheduler.free_seq(seq_id)?;
-        }
-        Ok(())
-    }
-
-    /// Appends a sampled token and applies stop conditions.
-    fn append_and_check(
-        &mut self,
-        request_id: &str,
-        seq_id: SeqId,
-        token: TokenId,
-        logprob: f32,
-        params: &SamplingParams,
-    ) -> Result<()> {
-        let max_model_len = self.scheduler.config().max_model_len;
-        let mut finished = false;
-        {
-            let group = self
-                .scheduler
-                .group_mut(request_id)
-                .ok_or_else(|| VllmError::UnknownRequest(request_id.to_string()))?;
-            let seq = group
-                .get_mut(seq_id)
-                .ok_or(VllmError::UnknownSequence(seq_id))?;
-            seq.data.append_token(token);
-            seq.cumulative_logprob += f64::from(logprob);
-            if params.is_stop_token(token) {
-                seq.status = SequenceStatus::FinishedStopped;
-                finished = true;
-            } else if seq.data.num_output_tokens() >= params.max_tokens
-                || seq.len() >= max_model_len
-            {
-                seq.status = SequenceStatus::FinishedLengthCapped;
-                finished = true;
-            }
-        }
-        if finished {
-            let promoted = if self.retain_requests.remove(request_id) {
-                self.promote_seq_to_prefix(request_id, seq_id)?
-            } else {
-                false
-            };
-            if !promoted {
-                self.scheduler.free_seq(seq_id)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn reap(&mut self) -> Result<Vec<RequestOutput>> {
-        let finished_groups = self.scheduler.reap_finished()?;
-        let mut outputs = Vec::with_capacity(finished_groups.len());
-        for group in finished_groups {
-            let output = self.make_request_output(&group);
-            if !output.outputs.is_empty() {
-                self.latency.record(
-                    output.arrival_time,
-                    output.finish_time,
-                    output.mean_output_len(),
-                );
-            }
-            outputs.push(output);
-        }
-        Ok(outputs)
-    }
-
-    fn make_request_output(&self, group: &SequenceGroup) -> RequestOutput {
-        let mut completions: Vec<CompletionOutput> = group
-            .seqs()
-            .iter()
-            .filter(|s| {
-                matches!(
-                    s.status,
-                    SequenceStatus::FinishedStopped | SequenceStatus::FinishedLengthCapped
-                )
-            })
-            .map(|s| CompletionOutput {
-                seq_id: s.seq_id,
-                tokens: s.data.tokens()[s.data.original_prompt_len()..].to_vec(),
-                cumulative_logprob: s.cumulative_logprob,
-                finish_reason: s.status,
-            })
-            .collect();
-        // Beam search returns the best `n` hypotheses.
-        completions.sort_by(|a, b| b.cumulative_logprob.total_cmp(&a.cumulative_logprob));
-        completions.truncate(group.sampling_params.n.max(1));
-        let prompt_len = group
-            .seqs()
-            .first()
-            .map_or(0, |s| s.data.original_prompt_len());
-        RequestOutput {
-            request_id: group.request_id.clone(),
-            prompt_len,
-            outputs: completions,
-            arrival_time: group.arrival_time,
-            finish_time: self.clock,
-            first_token_time: group.first_token_time,
-            num_preemptions: group.num_preemptions,
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PreemptionMode;
     use crate::mock::MockExecutor;
 
     const BS: usize = 4;
@@ -916,156 +491,8 @@ mod tests {
         assert!(e.clock() > 0.0);
     }
 
-    #[test]
-    fn eos_stops_generation() {
-        let mut e = engine(64, 0);
-        e.executor_mut().eos_token = Some((7, 8));
-        e.add_request("r0", vec![1, 2, 3], SamplingParams::greedy(64).with_eos(7))
-            .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        // Position 8 emits eos: tokens at positions 3..=8 → 6 generated.
-        assert_eq!(outs[0].outputs[0].tokens.len(), 6);
-        assert_eq!(outs[0].outputs[0].tokens.last(), Some(&7));
-        assert_eq!(
-            outs[0].outputs[0].finish_reason,
-            SequenceStatus::FinishedStopped
-        );
-    }
-
-    #[test]
-    fn ignore_eos_runs_to_max_tokens() {
-        let mut e = engine(64, 0);
-        e.executor_mut().eos_token = Some((7, 2));
-        e.add_request(
-            "r0",
-            vec![1, 2, 3],
-            SamplingParams::greedy(10).with_eos(7).with_ignore_eos(),
-        )
-        .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs[0].outputs[0].tokens.len(), 10);
-    }
-
-    #[test]
-    fn parallel_sampling_forks_and_shares() {
-        let mut e = engine(64, 0);
-        e.add_request("r0", (0..10).collect(), SamplingParams::parallel(4, 6))
-            .unwrap();
-        // Prompt step: forks happen here.
-        e.step().unwrap();
-        let bm = e.scheduler().block_manager();
-        // 10-token prompt = 3 blocks shared by 4 sequences; logical = 12.
-        assert_eq!(bm.num_logical_gpu_blocks(), 12);
-        assert!(bm.num_allocated_gpu_blocks() <= 4); // 3 shared + ≤1 CoW.
-        assert!(bm.sharing_savings() > 0.5);
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs[0].outputs.len(), 4);
-        for o in &outs[0].outputs {
-            assert_eq!(o.tokens.len(), 6);
-        }
-        // Samples must differ (different seq ids perturb the hash).
-        let t0 = &outs[0].outputs[0].tokens;
-        assert!(outs[0].outputs[1..].iter().any(|o| &o.tokens != t0));
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 64);
-    }
-
-    #[test]
-    fn parallel_sampling_triggers_cow() {
-        let mut e = engine(64, 0);
-        // Prompt of 6: last block half-full → children CoW on first append.
-        e.add_request("r0", (0..6).collect(), SamplingParams::parallel(2, 4))
-            .unwrap();
-        e.run_to_completion().unwrap();
-        assert!(e.scheduler().block_manager().num_cow_copies() >= 1);
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 64);
-    }
-
-    #[test]
-    fn beam_search_produces_width_outputs() {
-        let mut e = engine(64, 0);
-        e.add_request("r0", (0..8).collect(), SamplingParams::beam(4, 5))
-            .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs.len(), 1);
-        assert_eq!(outs[0].outputs.len(), 4);
-        for o in &outs[0].outputs {
-            assert_eq!(o.tokens.len(), 5);
-        }
-        // Outputs sorted by cumulative logprob.
-        for w in outs[0].outputs.windows(2) {
-            assert!(w[0].cumulative_logprob >= w[1].cumulative_logprob);
-        }
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 64);
-    }
-
-    #[test]
-    fn beam_search_with_eos_collects_hypotheses() {
-        let mut e = engine(64, 0);
-        e.executor_mut().eos_token = Some((3, 12));
-        e.add_request(
-            "r0",
-            (0..8).map(|t| t + 100).collect(),
-            SamplingParams::beam(2, 32).with_eos(3),
-        )
-        .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs[0].outputs.len(), 2);
-        assert!(outs[0]
-            .outputs
-            .iter()
-            .all(|o| o.finish_reason == SequenceStatus::FinishedStopped));
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 64);
-    }
-
-    #[test]
-    fn recompute_preemption_preserves_output() {
-        // Tiny pool: two requests cannot decode concurrently for long.
-        let mut e = engine(6, 0);
-        e.add_request("a", (0..8).collect(), SamplingParams::greedy(12))
-            .unwrap();
-        e.add_request_at("b", (100..108).collect(), SamplingParams::greedy(12), 0.1)
-            .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs.len(), 2);
-        for o in &outs {
-            assert_eq!(o.outputs[0].tokens.len(), 12, "request {}", o.request_id);
-        }
-        // At least one preemption must have occurred.
-        assert!(e.scheduler().stats().num_preemptions > 0);
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 6);
-
-        // Determinism: rerun without contention and compare request a.
-        let mut e2 = engine(64, 0);
-        e2.add_request("a", (0..8).collect(), SamplingParams::greedy(12))
-            .unwrap();
-        let base = e2.run_to_completion().unwrap();
-        let a_out = outs.iter().find(|o| o.request_id == "a").unwrap();
-        assert_eq!(a_out.outputs[0].tokens, base[0].outputs[0].tokens);
-    }
-
-    #[test]
-    fn swap_preemption_round_trip() {
-        let cache = CacheConfig::new(BS, 6, 16)
-            .unwrap()
-            .with_watermark(0.0)
-            .unwrap();
-        let sched = SchedulerConfig::new(2048, 64, 2048)
-            .unwrap()
-            .with_preemption_mode(PreemptionMode::Swap);
-        let mut e = LlmEngine::new(MockExecutor::new(1000), cache, sched);
-        e.add_request("a", (0..8).collect(), SamplingParams::greedy(12))
-            .unwrap();
-        e.add_request_at("b", (100..108).collect(), SamplingParams::greedy(12), 0.1)
-            .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs.len(), 2);
-        assert!(e.scheduler().stats().num_swap_preemptions > 0);
-        for o in &outs {
-            assert_eq!(o.outputs[0].tokens.len(), 12);
-        }
-        assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 6);
-        assert_eq!(e.scheduler().block_manager().num_free_cpu_blocks(), 16);
-    }
+    // Preemption round-trip and step-trace tests live in
+    // `tests/step_trace.rs`.
 
     #[test]
     fn prefix_sharing_reuses_blocks() {
@@ -1161,37 +588,5 @@ mod tests {
         assert_eq!(outs.len(), 20);
         assert_eq!(e.scheduler().block_manager().num_free_gpu_blocks(), 128);
         assert_eq!(e.latency().num_requests(), 20);
-    }
-
-    #[test]
-    fn stop_token_list_halts_generation() {
-        let mut e = engine(64, 0);
-        // Mock emits eos-like token 7 at positions divisible by 8.
-        e.executor_mut().eos_token = Some((7, 8));
-        e.add_request(
-            "r0",
-            vec![1, 2, 3],
-            SamplingParams::greedy(64).with_stop_tokens(vec![5, 7]),
-        )
-        .unwrap();
-        let outs = e.run_to_completion().unwrap();
-        assert_eq!(outs[0].outputs[0].tokens.last(), Some(&7));
-        assert_eq!(
-            outs[0].outputs[0].finish_reason,
-            SequenceStatus::FinishedStopped
-        );
-    }
-
-    #[test]
-    fn is_stop_token_rules() {
-        let p = SamplingParams::greedy(4)
-            .with_eos(2)
-            .with_stop_tokens(vec![9]);
-        assert!(p.is_stop_token(2));
-        assert!(p.is_stop_token(9));
-        assert!(!p.is_stop_token(3));
-        let p = p.with_ignore_eos();
-        assert!(!p.is_stop_token(2));
-        assert!(!p.is_stop_token(9));
     }
 }

@@ -9,6 +9,7 @@
 use crate::block::PhysicalBlockId;
 use crate::block_manager::BlockCopy;
 use crate::error::Result;
+use crate::plan::StepPlan;
 use crate::sampling::{DecodingMode, TokenId};
 use crate::sequence::SeqId;
 
@@ -73,27 +74,6 @@ impl CacheOps {
     }
 }
 
-/// One iteration's full input.
-#[derive(Debug, Clone, Default)]
-pub struct ExecutionBatch {
-    /// Per-sequence inputs.
-    pub items: Vec<SeqStepInput>,
-    /// Whether this is a prompt (prefill) iteration.
-    pub is_prompt_run: bool,
-    /// Cache operations to apply before the forward pass.
-    pub cache_ops: CacheOps,
-    /// KV block size in tokens.
-    pub block_size: usize,
-}
-
-impl ExecutionBatch {
-    /// Total number of tokens processed in the iteration.
-    #[must_use]
-    pub fn num_tokens(&self) -> usize {
-        self.items.iter().map(|i| i.tokens.len()).sum()
-    }
-}
-
 /// One sequence's output for the step.
 #[derive(Debug, Clone)]
 pub struct SeqStepOutput {
@@ -114,12 +94,20 @@ pub struct StepResult {
     pub elapsed: f64,
 }
 
-/// A backend that executes scheduled iterations.
+/// A backend that executes planned iterations.
+///
+/// The contract is batch-oriented: the executor receives the step's whole
+/// [`StepPlan`] — materialized per-sequence inputs plus the batched cache
+/// operations — applies the cache operations (swap in/out, block copies)
+/// before any KV access, runs one model iteration over `plan.items`, and
+/// returns one [`SeqStepOutput`] per item in order. A plan with no items but
+/// non-empty cache operations (e.g. a step that only swaps a preempted group
+/// out) must still apply those operations and return an empty output list.
 pub trait ModelExecutor {
-    /// Applies the batch's cache operations and runs one model iteration.
+    /// Applies the plan's cache operations and runs one model iteration.
     ///
     /// # Errors
     ///
     /// Returns [`crate::error::VllmError::Executor`] on backend failure.
-    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult>;
+    fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult>;
 }

@@ -38,6 +38,8 @@ pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod mock;
+pub mod plan;
+pub mod postprocess;
 pub mod prefix;
 pub mod sampling;
 pub mod scheduler;
@@ -49,11 +51,13 @@ pub use block_manager::{AllocStatus, BlockCopy, BlockSpaceManager};
 pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
 pub use engine::{CompletionOutput, LlmEngine, RequestOutput};
 pub use error::{Result, VllmError};
-pub use executor::{
-    CacheOps, ExecutionBatch, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult,
+pub use executor::{CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
+pub use metrics::{LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats};
+pub use plan::{
+    materialize_batch, PreemptionEvent, PreemptionKind, StageTimings, StepBudget, StepPlan,
+    StepTrace,
 };
-pub use metrics::{LatencyTracker, MemoryStats, RequestLatency, StepSnapshot};
 pub use prefix::{Prefix, PrefixId, PrefixPool};
 pub use sampling::{DecodingMode, SamplingParams, TokenId};
-pub use scheduler::{ScheduledGroup, Scheduler, SchedulerOutputs, SchedulerStats};
+pub use scheduler::{ScheduledGroup, Scheduler, SchedulerStats};
 pub use sequence::{SeqId, Sequence, SequenceData, SequenceGroup, SequenceStatus};

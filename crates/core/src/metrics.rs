@@ -1,7 +1,10 @@
 //! Serving metrics: normalized latency (§6.1), batch occupancy (Fig. 13),
-//! KV memory utilization (Fig. 2), and sharing savings (Fig. 15).
+//! KV memory utilization (Fig. 2), sharing savings (Fig. 15), and aggregated
+//! per-stage pipeline timings ([`TraceStats`]).
 
 use serde::{Deserialize, Serialize};
+
+use crate::plan::{StageTimings, StepTrace};
 
 /// Per-request latency record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -215,6 +218,103 @@ impl MemoryStats {
             return 0.0;
         }
         self.w_sharing / self.busy_time
+    }
+}
+
+/// Aggregation of [`StepTrace`]s across an engine's lifetime: cumulative
+/// per-stage host wall times, token/cache-op totals, and preemption counts.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    num_steps: u64,
+    num_prompt_runs: u64,
+    stage_totals: StageTimings,
+    tokens_scheduled: u64,
+    blocks_copied: u64,
+    blocks_swapped_in: u64,
+    blocks_swapped_out: u64,
+    num_preemptions: u64,
+    num_swap_preemptions: u64,
+    num_recompute_preemptions: u64,
+}
+
+impl TraceStats {
+    /// Adds one step's trace.
+    pub fn observe(&mut self, trace: &StepTrace) {
+        self.num_steps += 1;
+        if trace.is_prompt_run {
+            self.num_prompt_runs += 1;
+        }
+        self.stage_totals.schedule += trace.stages.schedule;
+        self.stage_totals.prepare += trace.stages.prepare;
+        self.stage_totals.execute += trace.stages.execute;
+        self.stage_totals.postprocess += trace.stages.postprocess;
+        self.tokens_scheduled += trace.tokens_scheduled as u64;
+        self.blocks_copied += trace.blocks_copied as u64;
+        self.blocks_swapped_in += trace.blocks_swapped_in as u64;
+        self.blocks_swapped_out += trace.blocks_swapped_out as u64;
+        self.num_preemptions += trace.preemptions.len() as u64;
+        self.num_swap_preemptions += trace.num_swap_preemptions() as u64;
+        self.num_recompute_preemptions += trace.num_recompute_preemptions() as u64;
+    }
+
+    /// Number of steps observed (prompt, decode, and empty steps alike).
+    #[must_use]
+    pub fn num_steps(&self) -> u64 {
+        self.num_steps
+    }
+
+    /// Number of prompt (prefill) iterations.
+    #[must_use]
+    pub fn num_prompt_runs(&self) -> u64 {
+        self.num_prompt_runs
+    }
+
+    /// Cumulative host wall time per pipeline stage.
+    #[must_use]
+    pub fn stage_totals(&self) -> StageTimings {
+        self.stage_totals
+    }
+
+    /// Total tokens scheduled across all steps.
+    #[must_use]
+    pub fn tokens_scheduled(&self) -> u64 {
+        self.tokens_scheduled
+    }
+
+    /// Total copy-on-write block copies carried by step plans.
+    #[must_use]
+    pub fn blocks_copied(&self) -> u64 {
+        self.blocks_copied
+    }
+
+    /// Total blocks swapped CPU→GPU.
+    #[must_use]
+    pub fn blocks_swapped_in(&self) -> u64 {
+        self.blocks_swapped_in
+    }
+
+    /// Total blocks swapped GPU→CPU.
+    #[must_use]
+    pub fn blocks_swapped_out(&self) -> u64 {
+        self.blocks_swapped_out
+    }
+
+    /// Total preemption events.
+    #[must_use]
+    pub fn num_preemptions(&self) -> u64 {
+        self.num_preemptions
+    }
+
+    /// Preemptions recovered by swapping.
+    #[must_use]
+    pub fn num_swap_preemptions(&self) -> u64 {
+        self.num_swap_preemptions
+    }
+
+    /// Preemptions recovered by recomputation.
+    #[must_use]
+    pub fn num_recompute_preemptions(&self) -> u64 {
+        self.num_recompute_preemptions
     }
 }
 

@@ -7,7 +7,8 @@
 //! the same tokens.
 
 use crate::error::Result;
-use crate::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+use crate::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use crate::plan::StepPlan;
 use crate::sampling::TokenId;
 
 /// Deterministic stand-in model executor.
@@ -55,13 +56,13 @@ impl MockExecutor {
 }
 
 impl ModelExecutor for MockExecutor {
-    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+    fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         self.steps += 1;
-        self.copies_seen += (batch.cache_ops.copies.len()
-            + batch.cache_ops.swap_in.len()
-            + batch.cache_ops.swap_out.len()) as u64;
-        let mut outputs = Vec::with_capacity(batch.items.len());
-        for item in &batch.items {
+        self.copies_seen += (plan.cache_ops.copies.len()
+            + plan.cache_ops.swap_in.len()
+            + plan.cache_ops.swap_out.len()) as u64;
+        let mut outputs = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
             let next_pos = item.context_len();
             let mut candidates = Vec::with_capacity(item.num_candidates);
             for c in 0..item.num_candidates {

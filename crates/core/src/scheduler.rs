@@ -9,9 +9,10 @@
 
 use std::collections::VecDeque;
 
-use crate::block_manager::{AllocStatus, BlockCopy, BlockSpaceManager};
+use crate::block_manager::{AllocStatus, BlockSpaceManager};
 use crate::config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy};
 use crate::error::{Result, VllmError};
+use crate::plan::{PreemptionEvent, PreemptionKind, StepBudget, StepPlan};
 use crate::sequence::{SeqId, SequenceGroup, SequenceStatus};
 
 /// Per-group slice of a scheduled iteration.
@@ -28,37 +29,6 @@ pub struct ScheduledGroup {
     /// Number of leading prompt tokens whose KV cache is already present
     /// (shared-prefix requests skip recomputing these).
     pub num_cached_tokens: usize,
-}
-
-/// The plan for one iteration.
-#[derive(Debug, Clone, Default)]
-pub struct SchedulerOutputs {
-    /// Groups participating in this iteration.
-    pub scheduled: Vec<ScheduledGroup>,
-    /// Whether this is a prompt (prefill) iteration.
-    pub is_prompt_run: bool,
-    /// CPU→GPU block transfers to perform before the step.
-    pub blocks_to_swap_in: Vec<BlockCopy>,
-    /// GPU→CPU block transfers to perform before the step.
-    pub blocks_to_swap_out: Vec<BlockCopy>,
-    /// Block-granularity copy-on-write copies to perform before the step.
-    pub blocks_to_copy: Vec<BlockCopy>,
-    /// Total tokens processed in this iteration.
-    pub num_batched_tokens: usize,
-    /// Number of groups preempted while planning this iteration.
-    pub num_preempted: usize,
-    /// Requests rejected this round (prompt can never fit).
-    pub ignored: Vec<String>,
-}
-
-impl SchedulerOutputs {
-    /// Whether the iteration has any work.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.scheduled.is_empty()
-            && self.blocks_to_swap_in.is_empty()
-            && self.blocks_to_swap_out.is_empty()
-    }
 }
 
 /// Counters exported for the evaluation harness.
@@ -210,33 +180,48 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Plans one iteration.
+    /// Plans one iteration: the schedule stage of the step pipeline.
+    ///
+    /// Returns an immutable [`StepPlan`] carrying the scheduled groups, the
+    /// batched cache operations drained from the block manager, the
+    /// preemption events, and the token budget spent. The prepare stage
+    /// ([`crate::plan::materialize_batch`]) fills in the per-sequence model
+    /// inputs afterwards.
     ///
     /// # Errors
     ///
     /// Propagates block-accounting errors, which indicate a bug rather than
     /// a recoverable condition.
-    pub fn schedule(&mut self) -> Result<SchedulerOutputs> {
-        let mut outputs = SchedulerOutputs::default();
+    pub fn schedule(&mut self) -> Result<StepPlan> {
+        let mut plan = StepPlan {
+            block_size: self.block_manager.block_size(),
+            budget: StepBudget {
+                num_batched_tokens: 0,
+                max_num_batched_tokens: self.config.max_num_batched_tokens,
+                max_num_seqs: self.config.max_num_seqs,
+            },
+            ..StepPlan::default()
+        };
 
         // Phase 1: admit new prompts, but only when nothing is swapped out
         // (§4.5: stop accepting new requests until preempted ones complete).
         if self.swapped.is_empty() {
-            self.schedule_prompts(&mut outputs)?;
-            if !outputs.scheduled.is_empty() {
-                outputs.is_prompt_run = true;
-                return Ok(outputs);
+            self.schedule_prompts(&mut plan)?;
+            if !plan.scheduled.is_empty() {
+                plan.is_prompt_run = true;
+                plan.cache_ops = self.block_manager.take_pending();
+                return Ok(plan);
             }
         }
 
         // Phase 2: one generation step for every running sequence, preempting
         // the lowest-priority groups if blocks run out.
-        self.schedule_decodes(&mut outputs)?;
+        self.schedule_decodes(&mut plan)?;
 
         // Phase 3: swap groups back in while memory allows (FCFS). Skipped if
         // this very step had to preempt.
-        if outputs.num_preempted == 0 {
-            self.schedule_swap_in(&mut outputs)?;
+        if plan.preemptions.is_empty() {
+            self.schedule_swap_in()?;
         }
 
         // Emit the generation-step plan.
@@ -246,8 +231,8 @@ impl Scheduler {
                 continue;
             }
             let num_tokens = seq_ids.len();
-            outputs.num_batched_tokens += num_tokens;
-            outputs.scheduled.push(ScheduledGroup {
+            plan.budget.num_batched_tokens += num_tokens;
+            plan.scheduled.push(ScheduledGroup {
                 request_id: group.request_id.clone(),
                 is_prompt: false,
                 seq_ids,
@@ -256,12 +241,17 @@ impl Scheduler {
             });
         }
 
+        // Batch every cache operation this round produced into the plan
+        // before the emptiness check: a step that only swapped a preempted
+        // group out still carries work the executor must apply.
+        plan.cache_ops = self.block_manager.take_pending();
+
         // Stall resolution: a request whose working set alone exceeds GPU
         // memory (e.g. many long parallel sequences) can neither run nor be
         // resumed, and nothing else will ever free memory for it. Abort it
         // rather than loop forever.
-        if outputs.is_empty()
-            && outputs.ignored.is_empty()
+        if plan.is_empty()
+            && plan.ignored.is_empty()
             && self.has_unfinished()
             && self.running.is_empty()
         {
@@ -279,14 +269,14 @@ impl Scheduler {
                     self.block_manager.free(seq_id)?;
                 }
                 group.set_status_all(SequenceStatus::FinishedAborted);
-                outputs.ignored.push(group.request_id.clone());
+                plan.ignored.push(group.request_id.clone());
                 self.finished.push(group);
             }
         }
-        Ok(outputs)
+        Ok(plan)
     }
 
-    fn schedule_prompts(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+    fn schedule_prompts(&mut self, plan: &mut StepPlan) -> Result<()> {
         let mut num_batched_tokens = 0usize;
         let mut num_seqs: usize = self
             .running
@@ -304,7 +294,7 @@ impl Scheduler {
             {
                 let mut group = self.waiting.pop_front().expect("front exists");
                 group.set_status_all(SequenceStatus::FinishedAborted);
-                outputs.ignored.push(group.request_id.clone());
+                plan.ignored.push(group.request_id.clone());
                 self.finished.push(group);
                 continue;
             }
@@ -321,21 +311,22 @@ impl Scheduler {
             let mut group = self.waiting.pop_front().expect("front exists");
             let num_cached_tokens = group.cached_prefix_len;
             if num_cached_tokens > 0 {
+                // Any prefix CoW split is recorded in the block manager's
+                // pending ops and drained into the plan.
                 let prefix_blocks = group.prefix_blocks.clone();
-                let copies = self.block_manager.allocate_with_prefix(
+                self.block_manager.allocate_with_prefix(
                     &group,
                     num_cached_tokens,
                     &prefix_blocks,
                 )?;
-                outputs.blocks_to_copy.extend(copies);
             } else {
                 self.block_manager.allocate(&group)?;
             }
             group.set_status_all(SequenceStatus::Running);
             num_batched_tokens += prompt_len;
             num_seqs += group.max_num_seqs();
-            outputs.num_batched_tokens += prompt_len;
-            outputs.scheduled.push(ScheduledGroup {
+            plan.budget.num_batched_tokens += prompt_len;
+            plan.scheduled.push(ScheduledGroup {
                 request_id: group.request_id.clone(),
                 is_prompt: true,
                 seq_ids: group.seq_ids_with_status(SequenceStatus::Running),
@@ -347,7 +338,7 @@ impl Scheduler {
         Ok(())
     }
 
-    fn schedule_decodes(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+    fn schedule_decodes(&mut self, plan: &mut StepPlan) -> Result<()> {
         // FCFS priority: earliest arrival served first, latest preempted first.
         self.running
             .sort_by(|a, b| a.arrival_time.total_cmp(&b.arrival_time));
@@ -380,22 +371,21 @@ impl Scheduler {
                     }
                 };
                 if let Some(victim) = victim {
-                    self.preempt(victim, outputs)?;
+                    self.preempt(victim, plan)?;
                 } else {
                     // `group` itself is the lowest-priority survivor.
-                    self.preempt(group, outputs)?;
+                    self.preempt(group, plan)?;
                     continue 'groups;
                 }
             }
-            // Reserve the slot for each running sequence's next token.
+            // Reserve the slot for each running sequence's next token; any
+            // copy-on-write split is recorded in the pending cache ops.
             let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
             for seq_id in seq_ids {
                 let seq = group
                     .get(seq_id)
                     .ok_or(VllmError::UnknownSequence(seq_id))?;
-                if let Some(copy) = self.block_manager.append_slot(seq)? {
-                    outputs.blocks_to_copy.push(copy);
-                }
+                self.block_manager.append_slot(seq)?;
             }
             survivors.push(group);
         }
@@ -403,31 +393,27 @@ impl Scheduler {
         Ok(())
     }
 
-    fn schedule_swap_in(&mut self, outputs: &mut SchedulerOutputs) -> Result<()> {
+    fn schedule_swap_in(&mut self) -> Result<()> {
         while let Some(group) = self.swapped.front() {
             if !self.block_manager.can_swap_in(group) {
                 break;
             }
             let mut group = self.swapped.pop_front().expect("front exists");
-            let copies = self.block_manager.swap_in(&group)?;
-            outputs.blocks_to_swap_in.extend(copies);
+            self.block_manager.swap_in(&group)?;
             group.set_status_all(SequenceStatus::Running);
             // Reserve next-token slots for the newly resumed sequences.
             for seq_id in group.seq_ids_with_status(SequenceStatus::Running) {
                 let seq = group
                     .get(seq_id)
                     .ok_or(VllmError::UnknownSequence(seq_id))?;
-                if let Some(copy) = self.block_manager.append_slot(seq)? {
-                    outputs.blocks_to_copy.push(copy);
-                }
+                self.block_manager.append_slot(seq)?;
             }
             self.running.push(group);
         }
         Ok(())
     }
 
-    fn preempt(&mut self, mut group: SequenceGroup, outputs: &mut SchedulerOutputs) -> Result<()> {
-        outputs.num_preempted += 1;
+    fn preempt(&mut self, mut group: SequenceGroup, plan: &mut StepPlan) -> Result<()> {
         self.stats.num_preemptions += 1;
         group.num_preemptions += 1;
 
@@ -444,7 +430,11 @@ impl Scheduler {
             PreemptionMode::Swap if self.block_manager.can_swap_out(&group) => {
                 self.stats.num_swap_preemptions += 1;
                 let copies = self.block_manager.swap_out(&group)?;
-                outputs.blocks_to_swap_out.extend(copies);
+                plan.preemptions.push(PreemptionEvent {
+                    request_id: group.request_id.clone(),
+                    kind: PreemptionKind::Swap,
+                    blocks_swapped_out: copies.len(),
+                });
                 group.set_status_all(SequenceStatus::Swapped);
                 let pos = self
                     .swapped
@@ -458,6 +448,11 @@ impl Scheduler {
                 // the waiting state with their outputs merged into the prompt
                 // (§4.5). Also the fallback when the CPU swap space is full.
                 self.stats.num_recompute_preemptions += 1;
+                plan.preemptions.push(PreemptionEvent {
+                    request_id: group.request_id.clone(),
+                    kind: PreemptionKind::Recompute,
+                    blocks_swapped_out: 0,
+                });
                 let seq_ids: Vec<SeqId> = group.seqs().iter().map(|s| s.seq_id).collect();
                 for seq_id in seq_ids {
                     self.block_manager.free(seq_id)?;
@@ -584,7 +579,7 @@ mod tests {
         assert!(out.is_prompt_run);
         assert_eq!(out.scheduled.len(), 2);
         assert_eq!(out.scheduled[0].request_id, "r0");
-        assert_eq!(out.num_batched_tokens, 8);
+        assert_eq!(out.budget.num_batched_tokens, 8);
         assert_eq!(s.num_running(), 2);
     }
 
@@ -619,7 +614,7 @@ mod tests {
         let out = s.schedule().unwrap();
         assert!(!out.is_prompt_run);
         assert_eq!(out.scheduled.len(), 1);
-        assert_eq!(out.num_batched_tokens, 1);
+        assert_eq!(out.budget.num_batched_tokens, 1);
     }
 
     #[test]
@@ -635,7 +630,8 @@ mod tests {
         append_all(&mut s);
         let out = s.schedule().unwrap();
         assert!(!out.is_prompt_run);
-        assert_eq!(out.num_preempted, 1);
+        assert_eq!(out.num_preempted(), 1);
+        assert_eq!(out.preemptions[0].kind, PreemptionKind::Recompute);
         assert_eq!(out.scheduled.len(), 1);
         assert_eq!(out.scheduled[0].request_id, "r0");
         assert_eq!(s.num_waiting(), 1);
@@ -660,9 +656,11 @@ mod tests {
         s.schedule().unwrap();
         append_all(&mut s);
         let out = s.schedule().unwrap();
-        assert_eq!(out.num_preempted, 1);
+        assert_eq!(out.num_preempted(), 1);
+        assert_eq!(out.preemptions[0].kind, PreemptionKind::Swap);
+        assert_eq!(out.preemptions[0].blocks_swapped_out, 2);
         assert_eq!(s.num_swapped(), 1);
-        assert_eq!(out.blocks_to_swap_out.len(), 2);
+        assert_eq!(out.cache_ops.swap_out.len(), 2);
         assert_eq!(s.stats().num_swap_preemptions, 1);
 
         // Finish request 0; its blocks free and r1 swaps back in.
@@ -674,7 +672,7 @@ mod tests {
         }
         s.reap_finished().unwrap();
         let out = s.schedule().unwrap();
-        assert!(!out.blocks_to_swap_in.is_empty());
+        assert!(!out.cache_ops.swap_in.is_empty());
         assert_eq!(s.num_swapped(), 0);
         assert_eq!(s.num_running(), 1);
     }

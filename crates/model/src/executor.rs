@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use vllm_core::error::{Result, VllmError};
-use vllm_core::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::plan::StepPlan;
 
 use crate::config::ModelConfig;
 use crate::kv_cache::KvCache;
@@ -61,15 +62,15 @@ impl CpuModelExecutor {
 }
 
 impl ModelExecutor for CpuModelExecutor {
-    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+    fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let start = Instant::now();
         self.steps += 1;
         // Cache operations first (§4.3: memory-management instructions
         // arrive with the step's control message).
-        self.cache.apply(&batch.cache_ops);
+        self.cache.apply(&plan.cache_ops);
 
-        let mut outputs = Vec::with_capacity(batch.items.len());
-        for item in &batch.items {
+        let mut outputs = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
             if item.tokens.is_empty() {
                 return Err(VllmError::Executor("empty step input".into()));
             }

@@ -15,7 +15,8 @@
 use std::time::Instant;
 
 use vllm_core::error::{Result, VllmError};
-use vllm_core::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::plan::StepPlan;
 
 use vllm_core::config::CacheConfig;
 
@@ -27,6 +28,36 @@ use crate::sampler::{mix_seed, sample_candidates};
 use crate::transformer::{apply_rope, Transformer};
 
 const LN_EPS: f32 = 1e-5;
+
+/// Replicated token (+ absolute position) embedding. Reads only the
+/// replicated weights, never the KV pools, so it can run concurrently with
+/// cache-op application on the workers.
+fn embed(model: &Transformer, tokens: &[u32], positions: &[usize]) -> Vec<f32> {
+    let h = model.config.hidden;
+    let rotary = model.config.position_encoding == PositionEncoding::Rotary;
+    let mut x = vec![0.0f32; tokens.len() * h];
+    for (i, (&tok, &pos)) in tokens.iter().zip(positions).enumerate() {
+        let e = &model.wte[tok as usize * h..(tok as usize + 1) * h];
+        let p = &model.wpe[pos * h..(pos + 1) * h];
+        for j in 0..h {
+            x[i * h + j] = if rotary { e[j] } else { e[j] + p[j] };
+        }
+    }
+    x
+}
+
+/// Suffix of a step input that still needs compute (shared-prefix prefills
+/// skip their cached tokens), as `(tokens, positions)`.
+fn compute_suffix(item: &vllm_core::executor::SeqStepInput) -> (Vec<u32>, Vec<usize>) {
+    let skip = if item.tokens.len() > 1 {
+        item.num_cached_tokens.min(item.tokens.len() - 1)
+    } else {
+        0
+    };
+    let tokens = item.tokens[skip..].to_vec();
+    let positions = (item.first_position + skip..item.first_position + item.tokens.len()).collect();
+    (tokens, positions)
+}
 
 /// One worker's weight shard for one layer.
 #[derive(Debug, Clone)]
@@ -160,12 +191,17 @@ impl TensorParallelExecutor {
     }
 
     /// Forward over the shards, returning last-position logits.
+    ///
+    /// `embedded`, when provided, is the precomputed replicated embedding for
+    /// `tokens`/`positions` (see [`embed`]); `begin_step` computes it while
+    /// the workers are still applying the step's cache operations.
     fn forward_tp(
         &mut self,
         tokens: &[u32],
         positions: &[usize],
         block_table: &[usize],
         num_cached: usize,
+        embedded: Option<Vec<f32>>,
     ) -> Vec<f32> {
         let cfg = &self.model.config;
         let n = tokens.len();
@@ -180,15 +216,10 @@ impl TensorParallelExecutor {
         let bs = self.workers[0].cache.gpu.block_size();
         assert!(block_table.len() * bs >= ctx, "block table too short");
 
-        // Replicated embedding (positions via RoPE for rotary models).
-        let mut x = vec![0.0f32; n * h];
-        for (i, (&tok, &pos)) in tokens.iter().zip(positions).enumerate() {
-            let e = &self.model.wte[tok as usize * h..(tok as usize + 1) * h];
-            let p = &self.model.wpe[pos * h..(pos + 1) * h];
-            for j in 0..h {
-                x[i * h + j] = if rotary { e[j] } else { e[j] + p[j] };
-            }
-        }
+        // Replicated embedding (positions via RoPE for rotary models),
+        // unless `begin_step` already computed it during the cache-op window.
+        let mut x = embedded.unwrap_or_else(|| embed(&self.model, tokens, positions));
+        debug_assert_eq!(x.len(), n * h);
 
         for layer_idx in 0..cfg.n_layers {
             let lw = &self.model.layers[layer_idx];
@@ -331,32 +362,50 @@ impl TensorParallelExecutor {
 }
 
 impl ModelExecutor for TensorParallelExecutor {
-    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+    fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let start = Instant::now();
         self.steps += 1;
-        // Every worker applies the same cache operations to its shard; block
-        // ids are shared, data differs per head slice.
-        for worker in &mut self.workers {
-            worker.cache.apply(&batch.cache_ops);
-        }
-        let mut outputs = Vec::with_capacity(batch.items.len());
-        for item in &batch.items {
+        for item in &plan.items {
             if item.tokens.is_empty() {
                 return Err(VllmError::Executor("empty step input".into()));
             }
-            let skip = if item.tokens.len() > 1 {
-                item.num_cached_tokens.min(item.tokens.len() - 1)
-            } else {
-                0
-            };
-            let tokens = item.tokens[skip..].to_vec();
-            let positions: Vec<usize> =
-                (item.first_position + skip..item.first_position + item.tokens.len()).collect();
+        }
+        // Every worker applies the same cache operations to its shard (block
+        // ids are shared, data differs per head slice) — on its own thread,
+        // overlapped with the first item's replicated embedding: copies touch
+        // only KV pools, the embedding only replicated weights, so the two
+        // never alias (§4.3: memory ops ride the step's control message and
+        // can proceed while compute starts).
+        let first = plan.items.first().map(compute_suffix);
+        let mut first_embedding = {
+            let Self { workers, model, .. } = &mut *self;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .map(|worker| {
+                        let ops = &plan.cache_ops;
+                        s.spawn(move || worker.cache.apply(ops))
+                    })
+                    .collect();
+                let emb = first
+                    .as_ref()
+                    .map(|(tokens, positions)| embed(model, tokens, positions));
+                for h in handles {
+                    h.join().expect("worker panicked");
+                }
+                emb
+            })
+        };
+        let mut outputs = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            let (tokens, positions) = compute_suffix(item);
+            let embedded = first_embedding.take();
             let logits = self.forward_tp(
                 &tokens,
                 &positions,
                 &item.block_table,
-                item.first_position + skip,
+                positions[0],
+                embedded,
             );
             let seed = mix_seed(item.seed, item.seq_id, item.context_len());
             let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
@@ -399,7 +448,7 @@ mod tests {
         for workers in [1, 2, 4] {
             let mut tp =
                 TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
-            let got = tp.forward_tp(&tokens, &positions, &table, 0);
+            let got = tp.forward_tp(&tokens, &positions, &table, 0, None);
             for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
                 assert!(
                     (a - b).abs() < 2e-3,
@@ -420,8 +469,8 @@ mod tests {
         let expect = serial.forward_paged(&[7], &[3], &mut pool, &table, 3);
 
         let mut tp = TensorParallelExecutor::new(Transformer::new(cfg), 2, &cache_cfg());
-        tp.forward_tp(&[4, 9, 1], &[0, 1, 2], &table, 0);
-        let got = tp.forward_tp(&[7], &[3], &table, 3);
+        tp.forward_tp(&[4, 9, 1], &[0, 1, 2], &table, 0, None);
+        let got = tp.forward_tp(&[7], &[3], &table, 3, None);
         for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
             assert!((a - b).abs() < 2e-3, "logit {i}: {a} vs {b}");
         }
@@ -510,7 +559,7 @@ mod tests {
         for workers in [2, 4] {
             let mut tp =
                 TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
-            let got = tp.forward_tp(&tokens, &positions, &table, 0);
+            let got = tp.forward_tp(&tokens, &positions, &table, 0, None);
             for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
                 assert!(
                     (a - b).abs() < 2e-3,

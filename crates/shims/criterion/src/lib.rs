@@ -1,0 +1,161 @@
+//! Offline stand-in for the subset of `criterion` used by the workspace
+//! benches: `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Timing is a simple fixed-budget loop (short warm-up, then measured
+//! iterations) printed as `ns/iter` — good enough for relative comparisons
+//! without the statistics machinery of the real crate.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named benchmark id, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<N: Into<String>, P: Display>(function_name: N, parameter: P) -> Self {
+        let function_name = function_name.into();
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op here).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark closure, mirroring `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up, untimed.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        // Measure until ~20 ms or 1000 iterations, whichever comes first.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 1000 && start.elapsed().as_millis() < 20 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.total_ns = start.elapsed().as_nanos();
+        self.iters = iters.max(1);
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let per_iter = b.total_ns / u128::from(b.iters);
+    println!("bench {label}: {per_iter} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )*
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(n > 3, "routine should run at least once past warm-up");
+        assert!(b.iters >= 1);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

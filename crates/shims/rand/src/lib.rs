@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of the `rand` crate used by this
+//! workspace: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `RngExt` helpers `random::<f32/f64>()` / `random_range(Range<int>)`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic,
+//! fast, and statistically solid for tests and workload generation. It is
+//! **not** the upstream `StdRng` stream; everything in this repo seeds its
+//! own generators, so only reproducibility within the repo matters.
+
+/// Seedable generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Construction from integer seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Maps one 64-bit draw onto the target type's standard distribution.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from the (non-empty) range.
+    fn sample(&self, raw: u64) -> Self::Output;
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(&self, raw: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (raw % span) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(&self, raw: u64) -> $t {
+                assert!(self.start() <= self.end(), "empty range");
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + (raw % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_range!(usize, u8, u16, u32, u64);
+
+/// Sampling helpers, mirroring the parts of `rand::Rng` this repo uses.
+pub trait RngExt {
+    /// One raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A standard-distribution value (`f32`/`f64` uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform draw from an integer range.
+    fn random_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.random();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn range_respected_and_covered() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

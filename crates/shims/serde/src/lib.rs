@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes through serde (checkpoints use a hand-rolled binary
+//! format), so marker traits are sufficient to keep the annotations
+//! compiling until a real serializer is needed.
+
+/// Marker for serializable types.
+pub trait Serialize {}
+
+/// Marker for deserializable types.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

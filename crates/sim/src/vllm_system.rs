@@ -12,7 +12,8 @@ use vllm_baselines::types::{
 use vllm_core::config::{CacheConfig, PreemptionMode, SchedulerConfig};
 use vllm_core::engine::LlmEngine;
 use vllm_core::error::Result;
-use vllm_core::executor::{ExecutionBatch, ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::plan::StepPlan;
 use vllm_core::sampling::{SamplingParams, TokenId};
 use vllm_core::sequence::SequenceStatus;
 
@@ -61,22 +62,22 @@ impl SimExecutor {
 }
 
 impl ModelExecutor for SimExecutor {
-    fn execute(&mut self, batch: &ExecutionBatch) -> Result<StepResult> {
+    fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let mut work = StepWork::default();
-        for item in &batch.items {
-            if batch.is_prompt_run {
+        for item in &plan.items {
+            if plan.is_prompt_run {
                 work.prefill_tokens
                     .push(item.tokens.len() - item.num_cached_tokens.min(item.tokens.len() - 1));
             } else {
                 work.decode_contexts.push(item.context_len());
             }
         }
-        work.copied_tokens = batch.cache_ops.copies.len() * batch.block_size;
-        work.swapped_blocks = batch.cache_ops.swap_in.len() + batch.cache_ops.swap_out.len();
+        work.copied_tokens = plan.cache_ops.copies.len() * plan.block_size;
+        work.swapped_blocks = plan.cache_ops.swap_in.len() + plan.cache_ops.swap_out.len();
         let elapsed = self.cost.step_latency(&work);
         self.busy_time += elapsed;
 
-        let outputs = batch
+        let outputs = plan
             .items
             .iter()
             .map(|item| {

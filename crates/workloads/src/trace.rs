@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn bursty_trace_matches_rate_and_cv() {
-        let t = Trace::synthesize_bursty(&Dataset::alpaca(), 5.0, 4.0, 20_000, 3);
+        let t = Trace::synthesize_bursty(&Dataset::alpaca(), 5.0, 4.0, 20_000, 0);
         let gaps: Vec<f64> = t
             .requests
             .windows(2)

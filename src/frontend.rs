@@ -13,7 +13,10 @@
 //!
 //! -> STATS
 //! <- STATS\twaiting=<n>\trunning=<n>\tswapped=<n>\tfree_blocks=<n>\t
-//!    total_blocks=<n>\tfinished=<n>\tpreemptions=<n>
+//!    total_blocks=<n>\tfinished=<n>\tpreemptions=<n>\tsteps=<n>\t
+//!    tokens_scheduled=<n>\tblocks_copied=<n>\tblocks_swapped=<n>\t
+//!    schedule_time=<s>\tprepare_time=<s>\texecute_time=<s>\t
+//!    postprocess_time=<s>
 //! ```
 //!
 //! Malformed requests get `ERR\t<message>`. Each connection handles one
@@ -51,6 +54,22 @@ pub struct EngineStats {
     pub finished: u64,
     /// Preemptions since startup.
     pub preemptions: u64,
+    /// Engine steps executed since startup.
+    pub steps: u64,
+    /// Tokens scheduled across all steps.
+    pub tokens_scheduled: u64,
+    /// Copy-on-write block copies across all steps.
+    pub blocks_copied: u64,
+    /// Blocks swapped (in + out) across all steps.
+    pub blocks_swapped: u64,
+    /// Cumulative host seconds in the schedule stage.
+    pub schedule_time: f64,
+    /// Cumulative host seconds in the prepare stage.
+    pub prepare_time: f64,
+    /// Cumulative host seconds in the execute stage.
+    pub execute_time: f64,
+    /// Cumulative host seconds in the postprocess stage.
+    pub postprocess_time: f64,
 }
 
 /// A generation request routed to the engine thread.
@@ -198,6 +217,8 @@ fn engine_loop<E: ModelExecutor>(
         // Publish a fresh snapshot for STATS queries.
         let scheduler = engine.scheduler();
         let bm = scheduler.block_manager();
+        let trace = engine.trace_stats();
+        let stage_totals = trace.stage_totals();
         *stats.lock() = EngineStats {
             waiting: scheduler.num_waiting(),
             running: scheduler.num_running(),
@@ -206,6 +227,14 @@ fn engine_loop<E: ModelExecutor>(
             total_blocks: bm.num_total_gpu_blocks(),
             finished: finished_total,
             preemptions: scheduler.stats().num_preemptions,
+            steps: trace.num_steps(),
+            tokens_scheduled: trace.tokens_scheduled(),
+            blocks_copied: trace.blocks_copied(),
+            blocks_swapped: trace.blocks_swapped_in() + trace.blocks_swapped_out(),
+            schedule_time: stage_totals.schedule,
+            prepare_time: stage_totals.prepare,
+            execute_time: stage_totals.execute,
+            postprocess_time: stage_totals.postprocess,
         };
     }
 }
@@ -326,8 +355,10 @@ fn handle_connection(
             let s = *stats.lock();
             writeln!(
                 writer,
-                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}",
-                s.waiting, s.running, s.swapped, s.free_blocks, s.total_blocks, s.finished, s.preemptions
+                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}",
+                s.waiting, s.running, s.swapped, s.free_blocks, s.total_blocks, s.finished, s.preemptions,
+                s.steps, s.tokens_scheduled, s.blocks_copied, s.blocks_swapped,
+                s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time
             )?;
             continue;
         }

@@ -107,11 +107,17 @@ fn stats_endpoint_reports_state() {
     assert!(line.starts_with("STATS\t"), "got {line:?}");
     assert!(line.contains("finished=1"), "got {line:?}");
     assert!(line.contains("total_blocks=256"), "got {line:?}");
+    assert!(line.contains("\tsteps="), "got {line:?}");
+    assert!(line.contains("\tschedule_time="), "got {line:?}");
 
     // Programmatic accessor agrees.
     let stats = server.stats();
     assert_eq!(stats.finished, 1);
     assert_eq!(stats.total_blocks, 256);
     assert_eq!(stats.free_blocks, 256);
+    // Trace-derived pipeline counters: the warm-up request ran real steps.
+    assert!(stats.steps > 0);
+    assert!(stats.tokens_scheduled > 0);
+    assert!(stats.execute_time > 0.0);
     server.shutdown();
 }

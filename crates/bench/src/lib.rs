@@ -166,6 +166,30 @@ pub fn print_latency_series(points: &[SweepPoint]) {
     }
 }
 
+/// Writes a metrics snapshot under `dir` as `<stem>.json` (one-line JSON
+/// document) and `<stem>.prom` (Prometheus text exposition), creating the
+/// directory as needed. Returns the two paths written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the
+/// files.
+pub fn write_metrics_artifacts(
+    snapshot: &vllm_core::telemetry::MetricsSnapshot,
+    dir: impl AsRef<std::path::Path>,
+    stem: &str,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{stem}.json"));
+    let prom_path = dir.join(format!("{stem}.prom"));
+    let mut json = snapshot.to_json();
+    json.push('\n');
+    std::fs::write(&json_path, json)?;
+    std::fs::write(&prom_path, snapshot.to_prometheus_text())?;
+    Ok((json_path, prom_path))
+}
+
 /// The highest offered rate whose mean normalized latency stays under the
 /// threshold (the paper's "sustained request rate at similar latency").
 #[must_use]

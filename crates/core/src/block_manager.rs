@@ -36,6 +36,84 @@ pub struct BlockCopy {
     pub dst: PhysicalBlockId,
 }
 
+/// Cached telemetry handles for the block manager's pool gauges and
+/// data-movement counters; registered once, updated every step via
+/// [`BlockSpaceManager::publish_metrics`].
+#[derive(Debug, Clone)]
+pub struct BlockManagerMetrics {
+    /// `vllm_block_manager_gpu_blocks_free` gauge.
+    pub gpu_blocks_free: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_gpu_blocks_used` gauge.
+    pub gpu_blocks_used: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_gpu_blocks_total` gauge.
+    pub gpu_blocks_total: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_cpu_blocks_free` gauge.
+    pub cpu_blocks_free: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_logical_blocks` gauge.
+    pub logical_blocks: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_fragmentation_ratio` gauge: fraction of allocated
+    /// KV slots not holding token state (internal fragmentation, Fig. 2).
+    pub fragmentation_ratio: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_sharing_savings` gauge (Fig. 15).
+    pub sharing_savings: vllm_telemetry::Gauge,
+    /// `vllm_block_manager_cow_copies_total` counter.
+    pub cow_copies_total: vllm_telemetry::Counter,
+    /// `vllm_block_manager_swapped_out_blocks_total` counter.
+    pub swapped_out_blocks_total: vllm_telemetry::Counter,
+    /// `vllm_block_manager_swapped_in_blocks_total` counter.
+    pub swapped_in_blocks_total: vllm_telemetry::Counter,
+}
+
+impl BlockManagerMetrics {
+    /// Registers the block manager's instruments in `telemetry`.
+    #[must_use]
+    pub fn register(telemetry: &vllm_telemetry::Telemetry) -> Self {
+        let r = telemetry.registry();
+        Self {
+            gpu_blocks_free: r.gauge(
+                "vllm_block_manager_gpu_blocks_free",
+                "Free blocks in the GPU KV pool.",
+            ),
+            gpu_blocks_used: r.gauge(
+                "vllm_block_manager_gpu_blocks_used",
+                "Allocated blocks in the GPU KV pool.",
+            ),
+            gpu_blocks_total: r.gauge(
+                "vllm_block_manager_gpu_blocks_total",
+                "Total blocks in the GPU KV pool.",
+            ),
+            cpu_blocks_free: r.gauge(
+                "vllm_block_manager_cpu_blocks_free",
+                "Free blocks in the CPU swap pool.",
+            ),
+            logical_blocks: r.gauge(
+                "vllm_block_manager_logical_blocks",
+                "Sum over sequences of logical GPU blocks (sharing denominator).",
+            ),
+            fragmentation_ratio: r.gauge(
+                "vllm_block_manager_fragmentation_ratio",
+                "Fraction of allocated KV slots not holding token state.",
+            ),
+            sharing_savings: r.gauge(
+                "vllm_block_manager_sharing_savings",
+                "Fraction of logical blocks saved by copy-on-write sharing.",
+            ),
+            cow_copies_total: r.counter(
+                "vllm_block_manager_cow_copies_total",
+                "Copy-on-write block copies performed.",
+            ),
+            swapped_out_blocks_total: r.counter(
+                "vllm_block_manager_swapped_out_blocks_total",
+                "Blocks swapped GPU to CPU.",
+            ),
+            swapped_in_blocks_total: r.counter(
+                "vllm_block_manager_swapped_in_blocks_total",
+                "Blocks swapped CPU to GPU.",
+            ),
+        }
+    }
+}
+
 /// Manages block tables for all sequences plus the GPU and CPU block pools.
 #[derive(Debug)]
 pub struct BlockSpaceManager {
@@ -124,6 +202,32 @@ impl BlockSpaceManager {
     #[must_use]
     pub fn num_swapped_in_blocks(&self) -> u64 {
         self.num_swapped_in_blocks
+    }
+
+    /// Publishes the pool state to the cached telemetry handles.
+    /// `used_slots` is the number of KV slots holding actual token state
+    /// (the caller computes it from the live sequences, see
+    /// [`Self::used_gpu_slots`]); the complement within allocated slots is
+    /// internal fragmentation.
+    pub fn publish_metrics(&self, m: &BlockManagerMetrics, used_slots: usize) {
+        m.gpu_blocks_free.set(self.gpu.num_free() as f64);
+        m.gpu_blocks_used.set(self.gpu.num_allocated() as f64);
+        m.gpu_blocks_total.set(self.gpu.num_blocks() as f64);
+        m.cpu_blocks_free.set(self.cpu.num_free() as f64);
+        m.logical_blocks.set(self.num_logical_gpu_blocks() as f64);
+        let allocated_slots = self.gpu.num_allocated() * self.block_size;
+        let fragmentation = if allocated_slots == 0 {
+            0.0
+        } else {
+            1.0 - (used_slots.min(allocated_slots) as f64 / allocated_slots as f64)
+        };
+        m.fragmentation_ratio.set(fragmentation);
+        m.sharing_savings.set(self.sharing_savings());
+        m.cow_copies_total.set_to_at_least(self.num_cow_copies);
+        m.swapped_out_blocks_total
+            .set_to_at_least(self.num_swapped_out_blocks);
+        m.swapped_in_blocks_total
+            .set_to_at_least(self.num_swapped_in_blocks);
     }
 
     /// Drains the cache operations accumulated since the last call. The

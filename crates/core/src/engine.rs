@@ -23,12 +23,15 @@
 //! both real inference and trace-driven evaluation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
+
+use vllm_telemetry::{EventKind, MetricsSnapshot, Telemetry};
 
 use crate::config::{CacheConfig, SchedulerConfig};
 use crate::error::{Result, VllmError};
 use crate::executor::{ModelExecutor, SeqStepInput};
-use crate::metrics::{LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
+use crate::metrics::{EngineMetrics, LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
 use crate::plan::{materialize_batch, StageTimings, StepPlan, StepTrace};
 use crate::prefix::{PrefixId, PrefixPool};
 use crate::sampling::{DecodingMode, SamplingParams, TokenId};
@@ -107,6 +110,10 @@ pub struct LlmEngine<E: ModelExecutor> {
     last_trace: Option<StepTrace>,
     /// Aggregate of all step traces.
     trace_stats: TraceStats,
+    /// Shared telemetry bundle (metrics registry + lifecycle event log).
+    pub(crate) telemetry: Arc<Telemetry>,
+    /// Cached engine/scheduler/block-manager instrument handles.
+    pub(crate) tmetrics: EngineMetrics,
 }
 
 impl<E: ModelExecutor> LlmEngine<E> {
@@ -114,6 +121,10 @@ impl<E: ModelExecutor> LlmEngine<E> {
     #[must_use]
     pub fn new(executor: E, cache_config: CacheConfig, scheduler_config: SchedulerConfig) -> Self {
         let scheduler = Scheduler::new(scheduler_config, &cache_config);
+        let telemetry = Arc::new(Telemetry::new());
+        let tmetrics = EngineMetrics::register(&telemetry);
+        let mut executor = executor;
+        executor.attach_telemetry(&telemetry);
         Self {
             scheduler,
             executor,
@@ -130,6 +141,8 @@ impl<E: ModelExecutor> LlmEngine<E> {
             step_counter: 0,
             last_trace: None,
             trace_stats: TraceStats::default(),
+            telemetry,
+            tmetrics,
         }
     }
 
@@ -187,6 +200,28 @@ impl<E: ModelExecutor> LlmEngine<E> {
     #[must_use]
     pub fn memory_stats(&self) -> &MemoryStats {
         &self.memory_stats
+    }
+
+    /// The shared telemetry bundle: metrics registry plus the per-request
+    /// lifecycle event log. Clone the `Arc` to observe the engine from
+    /// another thread (the frontend does this for `METRICS`/`EVENTS`).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Cached engine instrument handles (tests and embedding harnesses).
+    #[must_use]
+    pub fn engine_metrics(&self) -> &EngineMetrics {
+        &self.tmetrics
+    }
+
+    /// Publishes the current scheduler/block-manager gauges and returns a
+    /// point-in-time snapshot of every registered metric.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.publish_gauges();
+        self.telemetry.registry().snapshot()
     }
 
     /// The structured trace of the most recent step, if any step has run.
@@ -253,6 +288,10 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 group.prefix_blocks = prefix.blocks.clone();
             }
         }
+        self.tmetrics.requests_arrived_total.inc();
+        self.telemetry
+            .events()
+            .record(&group.request_id, arrival_time, EventKind::Arrived);
         self.scheduler.add_group(group);
         Ok(())
     }
@@ -363,6 +402,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
         let t = Instant::now();
         let mut plan = self.scheduler.schedule()?;
         let schedule = t.elapsed().as_secs_f64();
+        self.record_plan_telemetry(&plan);
 
         if plan.is_empty() {
             // Nothing to run, but finished/aborted groups may still need
@@ -386,6 +426,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
         let result = self.executor.begin_step(&plan)?;
         let execute = t.elapsed().as_secs_f64();
         self.clock += result.elapsed;
+        self.tmetrics.step_model_seconds.observe(result.elapsed);
 
         // Stage 4: postprocess (sampling bookkeeping, forks, stops, reap).
         let t = Instant::now();
@@ -426,7 +467,62 @@ impl<E: ModelExecutor> LlmEngine<E> {
 
     fn finish_trace(&mut self, trace: StepTrace) {
         self.trace_stats.observe(&trace);
+        self.tmetrics.observe_trace(&trace);
+        self.publish_gauges();
         self.last_trace = Some(trace);
+    }
+
+    /// Pushes the current queue depths and block-pool state into the
+    /// telemetry gauges (called after every step and before snapshots).
+    fn publish_gauges(&self) {
+        self.scheduler.publish_metrics(&self.tmetrics.scheduler);
+        let groups = self.scheduler.running_groups();
+        let all_seqs = groups.iter().flat_map(|g| g.seqs().into_iter());
+        let used_slots = self.scheduler.block_manager().used_gpu_slots(all_seqs);
+        self.scheduler
+            .block_manager()
+            .publish_metrics(&self.tmetrics.block_manager, used_slots);
+    }
+
+    /// Records the lifecycle events and counters a freshly scheduled plan
+    /// implies: prompt admissions, preemptions, swap-ins, and rejections.
+    fn record_plan_telemetry(&self, plan: &StepPlan) {
+        let events = self.telemetry.events();
+        if plan.is_prompt_run {
+            for sg in &plan.scheduled {
+                events.record(
+                    &sg.request_id,
+                    self.clock,
+                    EventKind::Scheduled {
+                        prompt_tokens: sg.num_tokens,
+                    },
+                );
+            }
+        }
+        for p in &plan.preemptions {
+            let mode = match p.kind {
+                crate::plan::PreemptionKind::Swap => "swap",
+                crate::plan::PreemptionKind::Recompute => "recompute",
+            };
+            events.record(
+                &p.request_id,
+                self.clock,
+                EventKind::Preempted {
+                    mode: mode.to_string(),
+                    blocks: p.blocks_swapped_out,
+                },
+            );
+        }
+        for (request_id, blocks) in &plan.swapped_in {
+            events.record(
+                request_id,
+                self.clock,
+                EventKind::SwappedIn { blocks: *blocks },
+            );
+        }
+        self.tmetrics
+            .requests_ignored_total
+            .inc_by(plan.ignored.len() as u64);
     }
 
     fn record_step_metrics(&mut self, plan: &StepPlan, elapsed: f64) {

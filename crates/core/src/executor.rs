@@ -110,4 +110,12 @@ pub trait ModelExecutor {
     ///
     /// Returns [`crate::error::VllmError::Executor`] on backend failure.
     fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult>;
+
+    /// Hands the executor the engine's telemetry bundle so it can register
+    /// backend-specific instruments (forward-pass timings, all-reduce
+    /// timings, ...). Called once when the engine is constructed; the
+    /// default implementation registers nothing.
+    fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
+        let _ = telemetry;
+    }
 }

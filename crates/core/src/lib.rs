@@ -47,17 +47,23 @@ pub mod sequence;
 
 pub use beam::{plan_beam_step, BeamExtension, BeamInput, BeamPlan};
 pub use block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
-pub use block_manager::{AllocStatus, BlockCopy, BlockSpaceManager};
+pub use block_manager::{AllocStatus, BlockCopy, BlockManagerMetrics, BlockSpaceManager};
 pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
 pub use engine::{CompletionOutput, LlmEngine, RequestOutput};
 pub use error::{Result, VllmError};
 pub use executor::{CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
-pub use metrics::{LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats};
+pub use metrics::{
+    EngineMetrics, LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats,
+};
 pub use plan::{
     materialize_batch, PreemptionEvent, PreemptionKind, StageTimings, StepBudget, StepPlan,
     StepTrace,
 };
 pub use prefix::{Prefix, PrefixId, PrefixPool};
 pub use sampling::{DecodingMode, SamplingParams, TokenId};
-pub use scheduler::{ScheduledGroup, Scheduler, SchedulerStats};
+pub use scheduler::{ScheduledGroup, Scheduler, SchedulerMetrics, SchedulerStats};
 pub use sequence::{SeqId, Sequence, SequenceData, SequenceGroup, SequenceStatus};
+
+/// The telemetry subsystem (re-exported from `vllm-telemetry`): metrics
+/// registry, lifecycle event log, and text/JSON exposition.
+pub use vllm_telemetry as telemetry;

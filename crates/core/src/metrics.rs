@@ -3,8 +3,11 @@
 //! per-stage pipeline timings ([`TraceStats`]).
 
 use serde::{Deserialize, Serialize};
+use vllm_telemetry::{BucketSpec, Counter, Histogram, Telemetry};
 
+use crate::block_manager::BlockManagerMetrics;
 use crate::plan::{StageTimings, StepTrace};
+use crate::scheduler::SchedulerMetrics;
 
 /// Per-request latency record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -18,6 +21,8 @@ pub struct RequestLatency {
     /// End-to-end latency divided by output length (§6.1 "normalized
     /// latency", following Orca).
     pub normalized_latency: f64,
+    /// Time to first token in seconds, if the request produced any output.
+    pub ttft: Option<f64>,
 }
 
 /// Collects per-request latencies and derives the paper's key metric.
@@ -35,6 +40,17 @@ impl LatencyTracker {
 
     /// Records one finished request.
     pub fn record(&mut self, arrival_time: f64, finish_time: f64, output_len: f64) {
+        self.record_with_ttft(arrival_time, finish_time, output_len, None);
+    }
+
+    /// Records one finished request with its time to first token.
+    pub fn record_with_ttft(
+        &mut self,
+        arrival_time: f64,
+        finish_time: f64,
+        output_len: f64,
+        ttft: Option<f64>,
+    ) {
         let latency = finish_time - arrival_time;
         let denom = output_len.max(1.0);
         self.records.push(RequestLatency {
@@ -42,6 +58,7 @@ impl LatencyTracker {
             finish_time,
             output_len,
             normalized_latency: latency / denom,
+            ttft,
         });
     }
 
@@ -74,6 +91,28 @@ impl LatencyTracker {
             return None;
         }
         let mut v: Vec<f64> = self.records.iter().map(|r| r.normalized_latency).collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[idx.min(v.len() - 1)])
+    }
+
+    /// Mean time to first token over requests that produced output.
+    #[must_use]
+    pub fn mean_ttft(&self) -> Option<f64> {
+        let ttfts: Vec<f64> = self.records.iter().filter_map(|r| r.ttft).collect();
+        if ttfts.is_empty() {
+            return None;
+        }
+        Some(ttfts.iter().sum::<f64>() / ttfts.len() as f64)
+    }
+
+    /// p-th percentile (0–100) of time to first token.
+    #[must_use]
+    pub fn percentile_ttft(&self, p: f64) -> Option<f64> {
+        let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.ttft).collect();
+        if v.is_empty() {
+            return None;
+        }
         v.sort_by(f64::total_cmp);
         let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         Some(v[idx.min(v.len() - 1)])
@@ -315,6 +354,161 @@ impl TraceStats {
     #[must_use]
     pub fn num_recompute_preemptions(&self) -> u64 {
         self.num_recompute_preemptions
+    }
+}
+
+/// Cached telemetry handles for engine-level counters and histograms,
+/// bundling the scheduler's and block manager's handle sets. Registered once
+/// at engine construction; the hot path only touches atomics and short
+/// histogram critical sections.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// `vllm_engine_steps_total` counter.
+    pub steps_total: Counter,
+    /// `vllm_engine_prompt_steps_total` counter.
+    pub prompt_steps_total: Counter,
+    /// `vllm_engine_tokens_scheduled_total` counter.
+    pub tokens_scheduled_total: Counter,
+    /// `vllm_engine_requests_arrived_total` counter.
+    pub requests_arrived_total: Counter,
+    /// `vllm_engine_requests_finished_total` counter.
+    pub requests_finished_total: Counter,
+    /// `vllm_engine_requests_ignored_total` counter (rejected/aborted by the
+    /// scheduler).
+    pub requests_ignored_total: Counter,
+    /// `vllm_step_schedule_seconds` histogram (host wall time).
+    pub step_schedule_seconds: Histogram,
+    /// `vllm_step_prepare_seconds` histogram (host wall time).
+    pub step_prepare_seconds: Histogram,
+    /// `vllm_step_execute_seconds` histogram (host wall time).
+    pub step_execute_seconds: Histogram,
+    /// `vllm_step_postprocess_seconds` histogram (host wall time).
+    pub step_postprocess_seconds: Histogram,
+    /// `vllm_step_model_seconds` histogram: the executor-reported iteration
+    /// time (wall-clock for numeric backends, modeled for the simulator).
+    pub step_model_seconds: Histogram,
+    /// `vllm_request_ttft_seconds` histogram (serving-clock time).
+    pub request_ttft_seconds: Histogram,
+    /// `vllm_request_e2e_seconds` histogram (serving-clock time).
+    pub request_e2e_seconds: Histogram,
+    /// `vllm_request_normalized_latency_seconds` histogram (§6.1, seconds
+    /// per generated token).
+    pub request_normalized_latency_seconds: Histogram,
+    /// `vllm_request_inter_token_seconds` histogram (serving-clock gap
+    /// between consecutive decode iterations of a request).
+    pub request_inter_token_seconds: Histogram,
+    /// The scheduler's handle set.
+    pub scheduler: SchedulerMetrics,
+    /// The block manager's handle set.
+    pub block_manager: BlockManagerMetrics,
+}
+
+impl EngineMetrics {
+    /// Registers every engine-layer instrument in `telemetry`.
+    #[must_use]
+    pub fn register(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        let secs = BucketSpec::seconds;
+        Self {
+            steps_total: r.counter("vllm_engine_steps_total", "Engine steps executed."),
+            prompt_steps_total: r.counter(
+                "vllm_engine_prompt_steps_total",
+                "Prompt (prefill) iterations executed.",
+            ),
+            tokens_scheduled_total: r.counter(
+                "vllm_engine_tokens_scheduled_total",
+                "Tokens scheduled into iterations.",
+            ),
+            requests_arrived_total: r.counter(
+                "vllm_engine_requests_arrived_total",
+                "Requests admitted to the engine.",
+            ),
+            requests_finished_total: r.counter(
+                "vllm_engine_requests_finished_total",
+                "Requests that finished with output.",
+            ),
+            requests_ignored_total: r.counter(
+                "vllm_engine_requests_ignored_total",
+                "Requests rejected or aborted by the scheduler.",
+            ),
+            step_schedule_seconds: r.histogram(
+                "vllm_step_schedule_seconds",
+                "Schedule-stage host wall time per step.",
+                secs(),
+            ),
+            step_prepare_seconds: r.histogram(
+                "vllm_step_prepare_seconds",
+                "Prepare-stage host wall time per step.",
+                secs(),
+            ),
+            step_execute_seconds: r.histogram(
+                "vllm_step_execute_seconds",
+                "Execute-stage host wall time per step.",
+                secs(),
+            ),
+            step_postprocess_seconds: r.histogram(
+                "vllm_step_postprocess_seconds",
+                "Postprocess-stage host wall time per step.",
+                secs(),
+            ),
+            step_model_seconds: r.histogram(
+                "vllm_step_model_seconds",
+                "Executor-reported model iteration time per step.",
+                secs(),
+            ),
+            request_ttft_seconds: r.histogram(
+                "vllm_request_ttft_seconds",
+                "Time to first token per request (serving clock).",
+                secs(),
+            ),
+            request_e2e_seconds: r.histogram(
+                "vllm_request_e2e_seconds",
+                "End-to-end latency per finished request (serving clock).",
+                secs(),
+            ),
+            request_normalized_latency_seconds: r.histogram(
+                "vllm_request_normalized_latency_seconds",
+                "End-to-end latency per generated token (normalized latency).",
+                secs(),
+            ),
+            request_inter_token_seconds: r.histogram(
+                "vllm_request_inter_token_seconds",
+                "Gap between consecutive decode iterations of a request.",
+                secs(),
+            ),
+            scheduler: SchedulerMetrics::register(telemetry),
+            block_manager: BlockManagerMetrics::register(telemetry),
+        }
+    }
+
+    /// Observes one completed step trace: step counters plus per-stage
+    /// timing histograms. Stages that did not run this step (zero duration)
+    /// are skipped so empty iterations don't skew the distributions.
+    pub fn observe_trace(&self, trace: &StepTrace) {
+        self.steps_total.inc();
+        if trace.is_prompt_run {
+            self.prompt_steps_total.inc();
+        }
+        self.tokens_scheduled_total
+            .inc_by(trace.tokens_scheduled as u64);
+        for (hist, t) in [
+            (&self.step_schedule_seconds, trace.stages.schedule),
+            (&self.step_prepare_seconds, trace.stages.prepare),
+            (&self.step_execute_seconds, trace.stages.execute),
+            (&self.step_postprocess_seconds, trace.stages.postprocess),
+        ] {
+            if t > 0.0 {
+                hist.observe(t);
+            }
+        }
+    }
+
+    /// Observes one finished request's latency profile (TTFT is observed
+    /// live when the first token is produced, not here).
+    pub fn observe_request(&self, e2e: f64, normalized: f64) {
+        self.requests_finished_total.inc();
+        self.request_e2e_seconds.observe(e2e);
+        self.request_normalized_latency_seconds.observe(normalized);
     }
 }
 

@@ -69,6 +69,9 @@ pub struct StepPlan {
     pub cache_ops: CacheOps,
     /// Groups preempted while planning this iteration.
     pub preemptions: Vec<PreemptionEvent>,
+    /// Groups swapped back to GPU memory this iteration, as
+    /// `(request_id, blocks_swapped_in)` pairs.
+    pub swapped_in: Vec<(String, usize)>,
     /// Token budget spent vs. the configured limits.
     pub budget: StepBudget,
     /// Requests rejected this round (prompt can never fit).

@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 
+use vllm_telemetry::EventKind;
+
 use crate::beam::{plan_beam_step, BeamInput, BeamPlan};
 use crate::engine::{CompletionOutput, LlmEngine, RequestOutput};
 use crate::error::{Result, VllmError};
@@ -72,15 +74,21 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .collect();
 
         for sg in &plan.scheduled {
-            // Mark the KV cache as computed up to the current length.
-            {
+            // Mark the KV cache as computed up to the current length and
+            // update the group's token-time bookkeeping.
+            let (first_token, inter_token_gap) = {
                 let group = self
                     .scheduler
                     .group_mut(&sg.request_id)
                     .ok_or_else(|| VllmError::UnknownRequest(sg.request_id.clone()))?;
-                if group.first_token_time.is_none() {
+                let first_token = if group.first_token_time.is_none() {
                     group.first_token_time = Some(self.clock);
-                }
+                    Some(self.clock - group.arrival_time)
+                } else {
+                    None
+                };
+                let gap = group.last_token_time.map(|t| self.clock - t);
+                group.last_token_time = Some(self.clock);
                 for &seq_id in &sg.seq_ids {
                     let seq = group
                         .get_mut(seq_id)
@@ -88,6 +96,16 @@ impl<E: ModelExecutor> LlmEngine<E> {
                     let len = seq.len();
                     seq.data.set_num_computed_tokens(len);
                 }
+                (first_token, gap)
+            };
+            if let Some(ttft) = first_token {
+                self.tmetrics.request_ttft_seconds.observe(ttft);
+                self.telemetry
+                    .events()
+                    .record(&sg.request_id, self.clock, EventKind::FirstToken);
+            }
+            if let Some(gap) = inter_token_gap {
+                self.tmetrics.request_inter_token_seconds.observe(gap);
             }
 
             let params = self
@@ -117,6 +135,25 @@ impl<E: ModelExecutor> LlmEngine<E> {
                         .ok_or_else(|| VllmError::Executor("missing candidate".into()))?;
                     self.append_and_check(&sg.request_id, seq_id, token, logprob, &params)?;
                 }
+            }
+
+            if !sg.is_prompt {
+                let tokens = self
+                    .scheduler
+                    .group(&sg.request_id)
+                    .map(|g| {
+                        g.seqs()
+                            .iter()
+                            .map(|s| s.data.num_output_tokens())
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0);
+                self.telemetry.events().record(
+                    &sg.request_id,
+                    self.clock,
+                    EventKind::Decoded { tokens },
+                );
             }
         }
         Ok(())
@@ -391,19 +428,38 @@ impl<E: ModelExecutor> LlmEngine<E> {
         Ok(())
     }
 
-    /// Collects finished groups into request outputs, recording latency.
+    /// Collects finished groups into request outputs, recording latency
+    /// metrics and lifecycle events.
     pub(crate) fn reap(&mut self) -> Result<Vec<RequestOutput>> {
         let finished_groups = self.scheduler.reap_finished()?;
         let mut outputs = Vec::with_capacity(finished_groups.len());
         for group in finished_groups {
             let output = self.make_request_output(&group);
             if !output.outputs.is_empty() {
-                self.latency.record(
+                let ttft = output.first_token_time.map(|t| t - output.arrival_time);
+                let e2e = output.finish_time - output.arrival_time;
+                self.latency.record_with_ttft(
                     output.arrival_time,
                     output.finish_time,
                     output.mean_output_len(),
+                    ttft,
                 );
+                self.tmetrics
+                    .observe_request(e2e, e2e / output.mean_output_len().max(1.0));
             }
+            let reason = match output.outputs.first().map(|o| o.finish_reason) {
+                Some(SequenceStatus::FinishedStopped) => "stopped",
+                Some(SequenceStatus::FinishedLengthCapped) => "length_capped",
+                Some(_) => "other",
+                None => "aborted",
+            };
+            self.telemetry.events().record(
+                &output.request_id,
+                self.clock,
+                EventKind::Finished {
+                    reason: reason.to_string(),
+                },
+            );
             outputs.push(output);
         }
         Ok(outputs)

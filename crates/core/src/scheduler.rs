@@ -42,6 +42,59 @@ pub struct SchedulerStats {
     pub num_recompute_preemptions: u64,
 }
 
+/// Cached telemetry handles for the scheduler's queue gauges and preemption
+/// counters; registered once, updated every step via
+/// [`Scheduler::publish_metrics`].
+#[derive(Debug, Clone)]
+pub struct SchedulerMetrics {
+    /// `vllm_scheduler_waiting_requests` gauge.
+    pub waiting_requests: vllm_telemetry::Gauge,
+    /// `vllm_scheduler_running_requests` gauge.
+    pub running_requests: vllm_telemetry::Gauge,
+    /// `vllm_scheduler_swapped_requests` gauge.
+    pub swapped_requests: vllm_telemetry::Gauge,
+    /// `vllm_scheduler_preemptions_total` counter.
+    pub preemptions_total: vllm_telemetry::Counter,
+    /// `vllm_scheduler_swap_preemptions_total` counter.
+    pub swap_preemptions_total: vllm_telemetry::Counter,
+    /// `vllm_scheduler_recompute_preemptions_total` counter.
+    pub recompute_preemptions_total: vllm_telemetry::Counter,
+}
+
+impl SchedulerMetrics {
+    /// Registers the scheduler's instruments in `telemetry`.
+    #[must_use]
+    pub fn register(telemetry: &vllm_telemetry::Telemetry) -> Self {
+        let r = telemetry.registry();
+        Self {
+            waiting_requests: r.gauge(
+                "vllm_scheduler_waiting_requests",
+                "Requests queued but not yet admitted.",
+            ),
+            running_requests: r.gauge(
+                "vllm_scheduler_running_requests",
+                "Requests in the running batch.",
+            ),
+            swapped_requests: r.gauge(
+                "vllm_scheduler_swapped_requests",
+                "Requests preempted to CPU memory awaiting swap-in.",
+            ),
+            preemptions_total: r.counter(
+                "vllm_scheduler_preemptions_total",
+                "Preemption events (swap + recompute).",
+            ),
+            swap_preemptions_total: r.counter(
+                "vllm_scheduler_swap_preemptions_total",
+                "Preemptions recovered by swapping blocks to CPU memory.",
+            ),
+            recompute_preemptions_total: r.counter(
+                "vllm_scheduler_recompute_preemptions_total",
+                "Preemptions recovered by freeing blocks and recomputing.",
+            ),
+        }
+    }
+}
+
 /// FCFS iteration-level scheduler owning all live sequence groups.
 #[derive(Debug)]
 pub struct Scheduler {
@@ -92,6 +145,20 @@ impl Scheduler {
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
         self.stats
+    }
+
+    /// Publishes the current queue depths and cumulative preemption counts
+    /// to the cached telemetry handles.
+    pub fn publish_metrics(&self, m: &SchedulerMetrics) {
+        m.waiting_requests.set(self.waiting.len() as f64);
+        m.running_requests.set(self.running.len() as f64);
+        m.swapped_requests.set(self.swapped.len() as f64);
+        m.preemptions_total
+            .set_to_at_least(self.stats.num_preemptions);
+        m.swap_preemptions_total
+            .set_to_at_least(self.stats.num_swap_preemptions);
+        m.recompute_preemptions_total
+            .set_to_at_least(self.stats.num_recompute_preemptions);
     }
 
     /// Enqueues a new request, keeping the waiting queue in arrival order.
@@ -221,7 +288,7 @@ impl Scheduler {
         // Phase 3: swap groups back in while memory allows (FCFS). Skipped if
         // this very step had to preempt.
         if plan.preemptions.is_empty() {
-            self.schedule_swap_in()?;
+            self.schedule_swap_in(&mut plan)?;
         }
 
         // Emit the generation-step plan.
@@ -393,13 +460,15 @@ impl Scheduler {
         Ok(())
     }
 
-    fn schedule_swap_in(&mut self) -> Result<()> {
+    fn schedule_swap_in(&mut self, plan: &mut StepPlan) -> Result<()> {
         while let Some(group) = self.swapped.front() {
             if !self.block_manager.can_swap_in(group) {
                 break;
             }
             let mut group = self.swapped.pop_front().expect("front exists");
-            self.block_manager.swap_in(&group)?;
+            let copies = self.block_manager.swap_in(&group)?;
+            plan.swapped_in
+                .push((group.request_id.clone(), copies.len()));
             group.set_status_all(SequenceStatus::Running);
             // Reserve next-token slots for the newly resumed sequences.
             for seq_id in group.seq_ids_with_status(SequenceStatus::Running) {

@@ -249,6 +249,9 @@ pub struct SequenceGroup {
     pub arrival_time: f64,
     /// Time the first token was produced, for latency metrics.
     pub first_token_time: Option<f64>,
+    /// Time the most recent token was produced, for inter-token latency
+    /// metrics.
+    pub last_token_time: Option<f64>,
     /// Number of times this group was preempted (metrics only).
     pub num_preemptions: u32,
     /// Length of the shared prefix (in tokens) this request reuses from the
@@ -279,6 +282,7 @@ impl SequenceGroup {
             sampling_params,
             arrival_time,
             first_token_time: None,
+            last_token_time: None,
             num_preemptions: 0,
             cached_prefix_len: 0,
             prefix_blocks: Vec::new(),

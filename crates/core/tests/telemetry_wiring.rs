@@ -1,0 +1,217 @@
+//! End-to-end wiring tests for the telemetry subsystem: engine counters,
+//! block-manager gauges, latency histograms, and the sequence-lifecycle
+//! event log must all agree with the engine's own state after real runs,
+//! including preemption under memory pressure.
+
+use vllm_core::mock::MockExecutor;
+use vllm_core::telemetry::{EventKind, MetricValue, MetricsSnapshot};
+use vllm_core::{CacheConfig, LlmEngine, PreemptionMode, SamplingParams, SchedulerConfig};
+
+const BS: usize = 4;
+
+fn engine(gpu_blocks: usize, cpu_blocks: usize) -> LlmEngine<MockExecutor> {
+    let cache = CacheConfig::new(BS, gpu_blocks, cpu_blocks)
+        .unwrap()
+        .with_watermark(0.0)
+        .unwrap();
+    let sched = SchedulerConfig::new(2048, 64, 2048).unwrap();
+    LlmEngine::new(MockExecutor::new(1000), cache, sched)
+}
+
+fn swap_engine(gpu_blocks: usize, cpu_blocks: usize) -> LlmEngine<MockExecutor> {
+    let cache = CacheConfig::new(BS, gpu_blocks, cpu_blocks)
+        .unwrap()
+        .with_watermark(0.0)
+        .unwrap();
+    let sched = SchedulerConfig::new(2048, 64, 2048)
+        .unwrap()
+        .with_preemption_mode(PreemptionMode::Swap);
+    LlmEngine::new(MockExecutor::new(1000), cache, sched)
+}
+
+#[test]
+fn counters_and_gauges_match_engine_state() {
+    let mut e = engine(64, 0);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(6))
+        .unwrap();
+    e.add_request("b", (100..108).collect(), SamplingParams::greedy(4))
+        .unwrap();
+    let outs = e.run_to_completion().unwrap();
+    assert_eq!(outs.len(), 2);
+
+    let snap = e.metrics_snapshot();
+    assert_eq!(snap.counter("vllm_engine_requests_arrived_total"), Some(2));
+    assert_eq!(snap.counter("vllm_engine_requests_finished_total"), Some(2));
+    assert_eq!(
+        snap.counter("vllm_engine_steps_total"),
+        Some(e.trace_stats().num_steps())
+    );
+    assert_eq!(
+        snap.counter("vllm_engine_tokens_scheduled_total"),
+        Some(e.trace_stats().tokens_scheduled())
+    );
+
+    // End-of-run pool gauges: everything freed, nothing fragmented.
+    let bm = e.scheduler().block_manager();
+    assert_eq!(
+        snap.gauge("vllm_block_manager_gpu_blocks_free"),
+        Some(bm.num_free_gpu_blocks() as f64)
+    );
+    assert_eq!(
+        snap.gauge("vllm_block_manager_gpu_blocks_total"),
+        Some(bm.num_total_gpu_blocks() as f64)
+    );
+    assert_eq!(snap.gauge("vllm_block_manager_gpu_blocks_used"), Some(0.0));
+    assert_eq!(
+        snap.gauge("vllm_block_manager_fragmentation_ratio"),
+        Some(0.0)
+    );
+
+    // Latency histograms saw exactly the finished requests; TTFT never
+    // exceeds end-to-end latency.
+    let ttft = snap.histogram("vllm_request_ttft_seconds").unwrap();
+    let e2e = snap.histogram("vllm_request_e2e_seconds").unwrap();
+    assert_eq!(ttft.count, 2);
+    assert_eq!(e2e.count, 2);
+    assert!(ttft.max <= e2e.max);
+    let norm = snap
+        .histogram("vllm_request_normalized_latency_seconds")
+        .unwrap();
+    assert_eq!(norm.count, 2);
+    assert!(norm.min > 0.0);
+
+    // Every histogram in the snapshot is internally consistent.
+    for entry in &snap.metrics {
+        if let MetricValue::Histogram(h) = &entry.value {
+            assert!(h.is_consistent(), "{} inconsistent", entry.name);
+        }
+    }
+}
+
+#[test]
+fn event_log_captures_request_lifecycle() {
+    let mut e = engine(64, 0);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(5))
+        .unwrap();
+    e.run_to_completion().unwrap();
+
+    let events = e.telemetry().events().events_for("a");
+    let labels: Vec<&str> = events.iter().map(|ev| ev.kind.label()).collect();
+    assert_eq!(labels.first(), Some(&"arrived"));
+    assert_eq!(labels.get(1), Some(&"scheduled"));
+    assert_eq!(labels.get(2), Some(&"first_token"));
+    assert_eq!(labels.last(), Some(&"finished"));
+    assert!(labels.iter().filter(|l| **l == "decoded").count() >= 1);
+
+    // Timestamps are monotone non-decreasing along the lifecycle.
+    for w in events.windows(2) {
+        assert!(w[1].time >= w[0].time);
+    }
+    // Scheduled carries the prompt length; finished carries the reason.
+    assert!(matches!(
+        events[1].kind,
+        EventKind::Scheduled { prompt_tokens: 8 }
+    ));
+    match &events[events.len() - 1].kind {
+        EventKind::Finished { reason } => assert_eq!(reason, "length_capped"),
+        other => panic!("expected Finished, got {other:?}"),
+    }
+}
+
+#[test]
+fn swap_preemption_reaches_metrics_and_events() {
+    let mut e = swap_engine(6, 16);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(12))
+        .unwrap();
+    e.add_request_at("b", (100..108).collect(), SamplingParams::greedy(12), 0.1)
+        .unwrap();
+    e.run_to_completion().unwrap();
+    assert!(e.scheduler().stats().num_swap_preemptions > 0);
+
+    let snap = e.metrics_snapshot();
+    assert_eq!(
+        snap.counter("vllm_scheduler_swap_preemptions_total"),
+        Some(e.scheduler().stats().num_swap_preemptions)
+    );
+    assert_eq!(
+        snap.counter("vllm_scheduler_preemptions_total"),
+        Some(e.scheduler().stats().num_preemptions)
+    );
+    assert!(snap.counter("vllm_block_manager_swapped_out_blocks_total") > Some(0));
+    assert_eq!(
+        snap.counter("vllm_block_manager_swapped_out_blocks_total"),
+        snap.counter("vllm_block_manager_swapped_in_blocks_total")
+    );
+
+    // The victim's lifecycle shows the preemption and the swap back in.
+    let victim_events: Vec<_> = ["a", "b"]
+        .iter()
+        .flat_map(|id| e.telemetry().events().events_for(id))
+        .collect();
+    let preempted = victim_events
+        .iter()
+        .find(|ev| matches!(&ev.kind, EventKind::Preempted { mode, blocks } if mode == "swap" && *blocks > 0))
+        .expect("a preempted event with mode=swap");
+    assert!(victim_events
+        .iter()
+        .any(|ev| matches!(&ev.kind, EventKind::SwappedIn { blocks } if *blocks > 0)));
+    assert!(preempted.time > 0.0);
+}
+
+#[test]
+fn recompute_preemption_reaches_metrics_and_events() {
+    let mut e = engine(6, 0);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(12))
+        .unwrap();
+    e.add_request_at("b", (100..108).collect(), SamplingParams::greedy(12), 0.1)
+        .unwrap();
+    e.run_to_completion().unwrap();
+
+    let snap = e.metrics_snapshot();
+    assert_eq!(
+        snap.counter("vllm_scheduler_recompute_preemptions_total"),
+        Some(e.scheduler().stats().num_recompute_preemptions)
+    );
+    assert!(snap.counter("vllm_scheduler_recompute_preemptions_total") > Some(0));
+    assert_eq!(
+        snap.counter("vllm_block_manager_swapped_out_blocks_total"),
+        Some(0)
+    );
+    let any_preempt =
+        ["a", "b"].iter().any(|id| {
+            e.telemetry().events().events_for(id).iter().any(
+                |ev| matches!(&ev.kind, EventKind::Preempted { mode, .. } if mode == "recompute"),
+            )
+        });
+    assert!(any_preempt, "recompute preemption must be logged");
+}
+
+#[test]
+fn counters_are_monotone_across_runs_and_snapshot_round_trips() {
+    let mut e = engine(64, 0);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(4))
+        .unwrap();
+    e.run_to_completion().unwrap();
+    let first = e.metrics_snapshot();
+
+    e.add_request("b", (50..60).collect(), SamplingParams::greedy(4))
+        .unwrap();
+    e.run_to_completion().unwrap();
+    let second = e.metrics_snapshot();
+
+    for entry in &first.metrics {
+        if let MetricValue::Counter(a) = entry.value {
+            let b = second.counter(&entry.name).unwrap();
+            assert!(b >= a, "{} regressed: {a} -> {b}", entry.name);
+        }
+    }
+
+    // The golden exposition checks: Prometheus text parses back to the same
+    // snapshot, and so does the JSON document.
+    let text = second.to_prometheus_text();
+    let reparsed = MetricsSnapshot::from_prometheus_text(&text).unwrap();
+    assert_eq!(reparsed, second);
+    let json = second.to_json();
+    let reparsed = MetricsSnapshot::from_json(&json).unwrap();
+    assert_eq!(reparsed, second);
+}

@@ -12,6 +12,15 @@ use crate::sampler::{mix_seed, sample_candidates};
 use crate::transformer::Transformer;
 use vllm_core::config::CacheConfig;
 
+/// Cached telemetry handles for the CPU executor, registered lazily when the
+/// engine attaches its telemetry bundle.
+#[derive(Debug, Clone)]
+struct ExecutorTelemetry {
+    forward_seconds: vllm_telemetry::Histogram,
+    tokens_total: vllm_telemetry::Counter,
+    steps_total: vllm_telemetry::Counter,
+}
+
 /// Executes scheduled iterations on a CPU transformer with a paged KV cache.
 #[derive(Debug)]
 pub struct CpuModelExecutor {
@@ -21,6 +30,7 @@ pub struct CpuModelExecutor {
     pub tokens_processed: u64,
     /// Total iterations executed (metrics).
     pub steps: u64,
+    telemetry: Option<ExecutorTelemetry>,
 }
 
 impl CpuModelExecutor {
@@ -39,6 +49,7 @@ impl CpuModelExecutor {
             cache,
             tokens_processed: 0,
             steps: 0,
+            telemetry: None,
         }
     }
 
@@ -99,10 +110,32 @@ impl ModelExecutor for CpuModelExecutor {
                 candidates,
             });
         }
-        Ok(StepResult {
-            outputs,
-            elapsed: start.elapsed().as_secs_f64(),
-        })
+        let elapsed = start.elapsed().as_secs_f64();
+        if let Some(t) = &self.telemetry {
+            t.forward_seconds.observe(elapsed);
+            t.tokens_total.inc_by(plan.num_tokens() as u64);
+            t.steps_total.inc();
+        }
+        Ok(StepResult { outputs, elapsed })
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
+        let r = telemetry.registry();
+        self.telemetry = Some(ExecutorTelemetry {
+            forward_seconds: r.histogram(
+                "vllm_executor_forward_seconds",
+                "Model forward pass wall time per step (CPU backend).",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            tokens_total: r.counter(
+                "vllm_executor_tokens_total",
+                "Tokens run through the model executor.",
+            ),
+            steps_total: r.counter(
+                "vllm_executor_steps_total",
+                "Iterations executed by the model executor.",
+            ),
+        });
     }
 }
 

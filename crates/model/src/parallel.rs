@@ -83,6 +83,17 @@ struct Worker {
     cache: KvCache,
 }
 
+/// Cached telemetry handles for the tensor-parallel executor, registered
+/// when the engine attaches its telemetry bundle.
+#[derive(Debug, Clone)]
+struct TpTelemetry {
+    forward_seconds: vllm_telemetry::Histogram,
+    all_reduce_seconds: vllm_telemetry::Histogram,
+    cache_op_seconds: vllm_telemetry::Histogram,
+    all_reduces_total: vllm_telemetry::Counter,
+    steps_total: vllm_telemetry::Counter,
+}
+
 /// Tensor-parallel CPU executor over `num_workers` head shards.
 #[derive(Debug)]
 pub struct TensorParallelExecutor {
@@ -94,6 +105,7 @@ pub struct TensorParallelExecutor {
     pub num_all_reduces: u64,
     /// Total iterations executed.
     pub steps: u64,
+    telemetry: Option<TpTelemetry>,
 }
 
 impl TensorParallelExecutor {
@@ -175,6 +187,7 @@ impl TensorParallelExecutor {
             num_workers,
             num_all_reduces: 0,
             steps: 0,
+            telemetry: None,
         }
     }
 
@@ -302,11 +315,17 @@ impl TensorParallelExecutor {
             });
             // All-reduce: sum the partials, then add the (replicated) bias
             // once and the residual.
+            let ar_start = Instant::now();
             let mut reduced = vec![0.0f32; n * h];
             for p in &partials {
                 add_inplace(&mut reduced, p);
             }
             self.num_all_reduces += 1;
+            if let Some(t) = &self.telemetry {
+                t.all_reduce_seconds
+                    .observe(ar_start.elapsed().as_secs_f64());
+                t.all_reduces_total.inc();
+            }
             add_bias(&mut reduced, &lw.b_o);
             add_inplace(&mut x, &reduced);
 
@@ -336,11 +355,17 @@ impl TensorParallelExecutor {
                     .map(|j| j.join().expect("worker panicked"))
                     .collect()
             });
+            let ar_start = Instant::now();
             let mut reduced = vec![0.0f32; n * h];
             for p in &partials {
                 add_inplace(&mut reduced, p);
             }
             self.num_all_reduces += 1;
+            if let Some(t) = &self.telemetry {
+                t.all_reduce_seconds
+                    .observe(ar_start.elapsed().as_secs_f64());
+                t.all_reduces_total.inc();
+            }
             add_bias(&mut reduced, &lw.b_proj);
             add_inplace(&mut x, &reduced);
         }
@@ -377,6 +402,7 @@ impl ModelExecutor for TensorParallelExecutor {
         // never alias (§4.3: memory ops ride the step's control message and
         // can proceed while compute starts).
         let first = plan.items.first().map(compute_suffix);
+        let cache_op_start = Instant::now();
         let mut first_embedding = {
             let Self { workers, model, .. } = &mut *self;
             std::thread::scope(|s| {
@@ -396,6 +422,12 @@ impl ModelExecutor for TensorParallelExecutor {
                 emb
             })
         };
+        if let Some(t) = &self.telemetry {
+            if !plan.cache_ops.is_empty() {
+                t.cache_op_seconds
+                    .observe(cache_op_start.elapsed().as_secs_f64());
+            }
+        }
         let mut outputs = Vec::with_capacity(plan.items.len());
         for item in &plan.items {
             let (tokens, positions) = compute_suffix(item);
@@ -414,10 +446,41 @@ impl ModelExecutor for TensorParallelExecutor {
                 candidates,
             });
         }
-        Ok(StepResult {
-            outputs,
-            elapsed: start.elapsed().as_secs_f64(),
-        })
+        let elapsed = start.elapsed().as_secs_f64();
+        if let Some(t) = &self.telemetry {
+            t.forward_seconds.observe(elapsed);
+            t.steps_total.inc();
+        }
+        Ok(StepResult { outputs, elapsed })
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
+        let r = telemetry.registry();
+        self.telemetry = Some(TpTelemetry {
+            forward_seconds: r.histogram(
+                "vllm_executor_forward_seconds",
+                "Model forward pass wall time per step (tensor-parallel backend).",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            all_reduce_seconds: r.histogram(
+                "vllm_executor_all_reduce_seconds",
+                "Wall time of each all-reduce (partial summation) across workers.",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            cache_op_seconds: r.histogram(
+                "vllm_executor_cache_op_seconds",
+                "Wall time of the per-step cache-operation window (overlapped with the first embedding).",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            all_reduces_total: r.counter(
+                "vllm_executor_all_reduces_total",
+                "All-reduce operations performed (two per layer per forward).",
+            ),
+            steps_total: r.counter(
+                "vllm_executor_steps_total",
+                "Iterations executed by the model executor.",
+            ),
+        });
     }
 }
 

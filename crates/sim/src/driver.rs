@@ -5,8 +5,74 @@
 
 use vllm_baselines::types::{BatchSystem, SimRequest, StepWork};
 use vllm_core::metrics::LatencyTracker;
+use vllm_telemetry::{BucketSpec, Counter, Gauge, Histogram, Telemetry};
 
 use crate::cost::CostModel;
+
+/// Cached driver-level telemetry handles (`vllm_sim_*` namespace).
+#[derive(Debug)]
+struct DriverMetrics {
+    steps_total: Counter,
+    requests_enqueued_total: Counter,
+    requests_finished_total: Counter,
+    swapped_blocks_total: Counter,
+    copied_tokens_total: Counter,
+    step_seconds: Histogram,
+    normalized_latency_seconds: Histogram,
+    mem_used_fraction: Gauge,
+    mem_allocated_fraction: Gauge,
+    running_requests: Gauge,
+}
+
+impl DriverMetrics {
+    fn register(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        Self {
+            steps_total: r.counter(
+                "vllm_sim_steps_total",
+                "Simulated iterations driven through the system.",
+            ),
+            requests_enqueued_total: r.counter(
+                "vllm_sim_requests_enqueued_total",
+                "Trace requests injected into the system.",
+            ),
+            requests_finished_total: r.counter(
+                "vllm_sim_requests_finished_total",
+                "Trace requests that completed.",
+            ),
+            swapped_blocks_total: r.counter(
+                "vllm_sim_swapped_blocks_total",
+                "KV blocks moved over the modeled PCIe link.",
+            ),
+            copied_tokens_total: r.counter(
+                "vllm_sim_copied_tokens_total",
+                "KV token states copied on device (copy-on-write).",
+            ),
+            step_seconds: r.histogram(
+                "vllm_sim_step_seconds",
+                "Modeled latency of each simulated iteration.",
+                BucketSpec::seconds(),
+            ),
+            normalized_latency_seconds: r.histogram(
+                "vllm_sim_normalized_latency_seconds",
+                "Per-request normalized latency (end-to-end seconds per output token, paper SS6.1).",
+                BucketSpec::seconds(),
+            ),
+            mem_used_fraction: r.gauge(
+                "vllm_sim_mem_used_fraction",
+                "Fraction of KV capacity holding token states (latest sample).",
+            ),
+            mem_allocated_fraction: r.gauge(
+                "vllm_sim_mem_allocated_fraction",
+                "Fraction of KV capacity allocated to requests (latest sample).",
+            ),
+            running_requests: r.gauge(
+                "vllm_sim_running_requests",
+                "Requests currently batched (latest sample).",
+            ),
+        }
+    }
+}
 
 /// Time-weighted average memory breakdown, as fractions of KV capacity
 /// (the Fig. 2 bars).
@@ -118,6 +184,25 @@ pub fn run_trace_with_timeline(
     rate: f64,
     sample_dt: f64,
 ) -> RunReport {
+    run_trace_instrumented(system, requests, cost, rate, sample_dt, None)
+}
+
+/// Like [`run_trace_with_timeline`], additionally streaming driver-level
+/// metrics (`vllm_sim_*` counters, per-step latency histograms, and memory
+/// gauges) into `telemetry` as the run progresses.
+///
+/// # Panics
+///
+/// Panics if the system stalls without finishing its work.
+pub fn run_trace_instrumented(
+    system: &mut dyn BatchSystem,
+    requests: &[SimRequest],
+    cost: &CostModel,
+    rate: f64,
+    sample_dt: f64,
+    telemetry: Option<&Telemetry>,
+) -> RunReport {
+    let tm = telemetry.map(DriverMetrics::register);
     let mut clock = 0.0f64;
     let mut next = 0usize;
     let mut latency = LatencyTracker::new();
@@ -144,6 +229,9 @@ pub fn run_trace_with_timeline(
         while next < requests.len() && requests[next].arrival <= clock {
             system.enqueue(requests[next]);
             next += 1;
+            if let Some(tm) = &tm {
+                tm.requests_enqueued_total.inc();
+            }
         }
         match system.step(clock, &mut cost_fn) {
             Some(step) => {
@@ -154,12 +242,30 @@ pub fn run_trace_with_timeline(
                 total_time += dt;
                 for f in &step.finished {
                     latency.record(f.arrival, f.finish, f.output_len as f64);
+                    if let Some(tm) = &tm {
+                        tm.requests_finished_total.inc();
+                        let per_token = (f.finish - f.arrival) / (f.output_len.max(1) as f64);
+                        tm.normalized_latency_seconds.observe(per_token);
+                    }
                 }
                 swapped_blocks += step.work.swapped_blocks as u64;
                 copied_tokens += step.work.copied_tokens as u64;
 
                 let snap = system.memory_snapshot();
                 let cap = snap.capacity.max(1) as f64;
+                if let Some(tm) = &tm {
+                    tm.steps_total.inc();
+                    tm.step_seconds.observe(step.elapsed);
+                    tm.swapped_blocks_total
+                        .inc_by(step.work.swapped_blocks as u64);
+                    tm.copied_tokens_total
+                        .inc_by(step.work.copied_tokens as u64);
+                    tm.mem_used_fraction.set(snap.used as f64 / cap);
+                    tm.mem_allocated_fraction
+                        .set((snap.capacity - snap.free) as f64 / cap);
+                    tm.running_requests
+                        .set(system.num_running_requests() as f64);
+                }
                 if clock >= next_sample && sample_dt.is_finite() {
                     timeline.push(TimelinePoint {
                         t: clock,

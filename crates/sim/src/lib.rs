@@ -20,7 +20,8 @@ pub mod vllm_system;
 
 pub use cost::{CostModel, FIXED_STEP_OVERHEAD, PAGED_KERNEL_OVERHEAD};
 pub use driver::{
-    run_trace, run_trace_with_timeline, trace_to_requests, MemFractions, RunReport, TimelinePoint,
+    run_trace, run_trace_instrumented, run_trace_with_timeline, trace_to_requests, MemFractions,
+    RunReport, TimelinePoint,
 };
 pub use gpu::{
     a100_40g, a100_80g, h100_80g, llama_13b, opt_13b, opt_175b, opt_66b, GpuSpec, ModelProfile,

@@ -1,0 +1,458 @@
+//! Snapshot exposition: Prometheus-style text and JSON.
+//!
+//! Both formats are *lossless*: `from_prometheus_text(to_prometheus_text(s))`
+//! and `from_json(to_json(s))` reproduce the snapshot exactly (floats are
+//! written with Rust's shortest-round-trip formatting). To keep the text
+//! format self-contained, histograms emit two nonstandard lines —
+//! `<name>_min` and `<name>_max` — alongside the standard cumulative
+//! `_bucket{le=...}` / `_sum` / `_count` series; standard Prometheus
+//! scrapers ignore unknown series, and our parser uses them to restore the
+//! observed extrema.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::Json;
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Self::Counter(_) => "counter",
+            Self::Gauge(_) => "gauge",
+            Self::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named metric with its help string and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (`vllm_<layer>_<quantity>...`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Snapshot value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The metrics, in name order.
+    pub metrics: Vec<MetricEntry>,
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricEntry> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The counter value of `name`, if present and a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value of `name`, if present and a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The histogram state of `name`, if present and a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match &self.get(name)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format (plus the
+    /// nonstandard `_min`/`_max` histogram lines described in the module
+    /// docs).
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+            let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{} {}", m.name, v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{} {}", m.name, v);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        cumulative += count;
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, bound, cumulative);
+                    }
+                    cumulative += h.counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, cumulative);
+                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum);
+                    let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                    let _ = writeln!(out, "{}_min {}", m.name, h.min);
+                    let _ = writeln!(out, "{}_max {}", m.name, h.max);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses text produced by [`Self::to_prometheus_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_prometheus_text(text: &str) -> Result<Self, String> {
+        let mut metrics = Vec::new();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let help_rest = line
+                .strip_prefix("# HELP ")
+                .ok_or_else(|| format!("expected '# HELP', got {line:?}"))?;
+            let (name, help) = help_rest
+                .split_once(' ')
+                .map_or((help_rest, ""), |(n, h)| (n, h));
+            let name = name.to_string();
+            let help = unescape_help(help);
+            let type_line = lines.next().ok_or("missing '# TYPE' line")?;
+            let kind = type_line
+                .strip_prefix(&format!("# TYPE {name} "))
+                .ok_or_else(|| format!("expected '# TYPE {name} ...', got {type_line:?}"))?;
+            let value = match kind {
+                "counter" | "gauge" => {
+                    let sample = lines.next().ok_or("missing sample line")?;
+                    let v = sample
+                        .strip_prefix(&format!("{name} "))
+                        .ok_or_else(|| format!("bad sample line {sample:?}"))?;
+                    if kind == "counter" {
+                        MetricValue::Counter(
+                            v.parse().map_err(|e| format!("bad counter {v:?}: {e}"))?,
+                        )
+                    } else {
+                        MetricValue::Gauge(v.parse().map_err(|e| format!("bad gauge {v:?}: {e}"))?)
+                    }
+                }
+                "histogram" => MetricValue::Histogram(parse_histogram_block(&name, &mut lines)?),
+                other => return Err(format!("unknown metric type {other:?}")),
+            };
+            metrics.push(MetricEntry { name, help, value });
+        }
+        Ok(Self { metrics })
+    }
+
+    /// Renders the snapshot as a single-line JSON document. Histograms
+    /// additionally carry a derived `quantiles` object (p50/p90/p99/p999)
+    /// for human consumption; parsing ignores it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut pairs = vec![
+                    ("name", Json::Str(m.name.clone())),
+                    ("help", Json::Str(m.help.clone())),
+                    ("type", Json::Str(m.value.type_name().to_string())),
+                ];
+                match &m.value {
+                    MetricValue::Counter(v) => pairs.push(("value", Json::Num(*v as f64))),
+                    MetricValue::Gauge(v) => pairs.push(("value", Json::Num(*v))),
+                    MetricValue::Histogram(h) => {
+                        pairs.push(("count", Json::Num(h.count as f64)));
+                        pairs.push(("sum", Json::Num(h.sum)));
+                        pairs.push(("min", Json::Num(h.min)));
+                        pairs.push(("max", Json::Num(h.max)));
+                        pairs.push((
+                            "bounds",
+                            Json::Arr(h.bounds.iter().map(|b| Json::Num(*b)).collect()),
+                        ));
+                        pairs.push((
+                            "counts",
+                            Json::Arr(h.counts.iter().map(|c| Json::Num(*c as f64)).collect()),
+                        ));
+                        let q = |p: f64| Json::Num(h.quantile(p).unwrap_or(0.0));
+                        pairs.push((
+                            "quantiles",
+                            Json::obj(vec![
+                                ("p50", q(0.50)),
+                                ("p90", q(0.90)),
+                                ("p99", q(0.99)),
+                                ("p999", q(0.999)),
+                            ]),
+                        ));
+                    }
+                }
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            })
+            .collect();
+        Json::obj(vec![("metrics", Json::Arr(metrics))]).to_string()
+    }
+
+    /// Parses a document produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let items = doc
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'metrics' array")?;
+        let mut metrics = Vec::with_capacity(items.len());
+        for item in items {
+            let field = |key: &str| {
+                item.get(key)
+                    .ok_or_else(|| format!("metric missing {key:?}"))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or("'name' not a string")?
+                .to_string();
+            let help = field("help")?
+                .as_str()
+                .ok_or("'help' not a string")?
+                .to_string();
+            let kind = field("type")?.as_str().ok_or("'type' not a string")?;
+            let value = match kind {
+                "counter" => {
+                    MetricValue::Counter(field("value")?.as_u64().ok_or("counter value not a u64")?)
+                }
+                "gauge" => {
+                    MetricValue::Gauge(field("value")?.as_f64().ok_or("gauge value not a number")?)
+                }
+                "histogram" => {
+                    let nums = |key: &str| -> Result<Vec<f64>, String> {
+                        field(key)?
+                            .as_arr()
+                            .ok_or_else(|| format!("{key:?} not an array"))?
+                            .iter()
+                            .map(|v| v.as_f64().ok_or_else(|| format!("non-number in {key:?}")))
+                            .collect()
+                    };
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds: nums("bounds")?,
+                        counts: nums("counts")?.into_iter().map(|c| c as u64).collect(),
+                        count: field("count")?.as_u64().ok_or("'count' not a u64")?,
+                        sum: field("sum")?.as_f64().ok_or("'sum' not a number")?,
+                        min: field("min")?.as_f64().ok_or("'min' not a number")?,
+                        max: field("max")?.as_f64().ok_or("'max' not a number")?,
+                    })
+                }
+                other => return Err(format!("unknown metric type {other:?}")),
+            };
+            metrics.push(MetricEntry { name, help, value });
+        }
+        Ok(Self { metrics })
+    }
+}
+
+/// Parses one histogram's sample block (`_bucket`/`_sum`/`_count`/`_min`/
+/// `_max` lines) from the text exposition.
+fn parse_histogram_block<'a, I>(
+    name: &str,
+    lines: &mut std::iter::Peekable<I>,
+) -> Result<HistogramSnapshot, String>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let bucket_prefix = format!("{name}_bucket{{le=\"");
+    let mut bounds = Vec::new();
+    let mut cumulative = Vec::new();
+    while let Some(line) = lines.peek() {
+        let Some(rest) = line.strip_prefix(&bucket_prefix) else {
+            break;
+        };
+        let (le, count_text) = rest
+            .split_once("\"} ")
+            .ok_or_else(|| format!("bad bucket line {line:?}"))?;
+        let count: u64 = count_text
+            .parse()
+            .map_err(|e| format!("bad bucket count {count_text:?}: {e}"))?;
+        if le != "+Inf" {
+            bounds.push(
+                le.parse::<f64>()
+                    .map_err(|e| format!("bad bucket bound {le:?}: {e}"))?,
+            );
+        }
+        cumulative.push(count);
+        lines.next();
+    }
+    if cumulative.len() != bounds.len() + 1 {
+        return Err(format!("histogram {name} missing '+Inf' bucket"));
+    }
+    // De-cumulate the bucket counts.
+    let counts: Vec<u64> = cumulative
+        .iter()
+        .scan(0u64, |prev, &c| {
+            let delta = c.checked_sub(*prev);
+            *prev = c;
+            Some(delta)
+        })
+        .collect::<Option<_>>()
+        .ok_or_else(|| format!("histogram {name} buckets not cumulative"))?;
+    let mut scalar = |suffix: &str| -> Result<f64, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("histogram {name} missing _{suffix} line"))?;
+        line.strip_prefix(&format!("{name}_{suffix} "))
+            .ok_or_else(|| format!("expected {name}_{suffix}, got {line:?}"))?
+            .parse()
+            .map_err(|e| format!("bad {name}_{suffix}: {e}"))
+    };
+    let sum = scalar("sum")?;
+    let count = scalar("count")? as u64;
+    let min = scalar("min")?;
+    let max = scalar("max")?;
+    Ok(HistogramSnapshot {
+        bounds,
+        counts,
+        count,
+        sum,
+        min,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::BucketSpec;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("vllm_engine_steps_total", "Engine steps executed.")
+            .inc_by(17);
+        r.gauge(
+            "vllm_block_manager_fragmentation_ratio",
+            "Unused slot fraction.",
+        )
+        .set(0.0625);
+        let h = r.histogram(
+            "vllm_request_ttft_seconds",
+            "Time to first token, with \\ and\nnewline in help.",
+            BucketSpec::seconds(),
+        );
+        for i in 1..=100 {
+            h.observe(f64::from(i) * 1e-3);
+        }
+        h.observe(1e9); // overflow bucket
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_exposition_round_trips() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("# TYPE vllm_engine_steps_total counter"));
+        assert!(text.contains("vllm_engine_steps_total 17"));
+        assert!(text.contains("# TYPE vllm_request_ttft_seconds histogram"));
+        assert!(text.contains("vllm_request_ttft_seconds_bucket{le=\"+Inf\"} 101"));
+        assert!(text.contains("vllm_request_ttft_seconds_count 101"));
+        let parsed = MetricsSnapshot::from_prometheus_text(&text).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn json_exposition_round_trips() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"quantiles\""));
+        let parsed = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn text_and_json_agree() {
+        let snap = sample_snapshot();
+        let via_text = MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()).unwrap();
+        let via_json = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(via_text, via_json);
+    }
+
+    #[test]
+    fn accessors_find_metrics() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("vllm_engine_steps_total"), Some(17));
+        assert_eq!(
+            snap.gauge("vllm_block_manager_fragmentation_ratio"),
+            Some(0.0625)
+        );
+        let h = snap.histogram("vllm_request_ttft_seconds").unwrap();
+        assert_eq!(h.count, 101);
+        assert!(h.is_consistent());
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("vllm_engine_steps_total"), None);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(MetricsSnapshot::from_prometheus_text("random text").is_err());
+        assert!(MetricsSnapshot::from_json("{}").is_err());
+        assert!(MetricsSnapshot::from_json("{\"metrics\":[{\"name\":\"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(
+            MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()).unwrap(),
+            snap
+        );
+        assert_eq!(MetricsSnapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+}

@@ -1,0 +1,78 @@
+//! # vllm-telemetry
+//!
+//! End-to-end serving telemetry for the PagedAttention reproduction. The
+//! paper's whole evaluation (§6, Figs. 12–17) is read off serving-level
+//! measurements — normalized latency distributions, batch occupancy, KV
+//! utilization, preemption and swap activity — and this crate gives every
+//! layer of the system one place to report them:
+//!
+//! * [`MetricsRegistry`] — a lock-cheap registry of named [`Counter`]s,
+//!   [`Gauge`]s, and log-linear-bucket [`Histogram`]s. Handles are `Arc`ed
+//!   and update via atomics (counters/gauges) or a short critical section
+//!   (histograms); callers cache handles at construction so the hot path
+//!   never touches the registry lock.
+//! * [`EventLog`] — a bounded ring buffer of per-request lifecycle events
+//!   (arrival → first schedule → per-iteration decode → preempt/swap →
+//!   finish), queryable per request id.
+//! * Exposition — [`MetricsSnapshot`] renders to a Prometheus-style text
+//!   format ([`MetricsSnapshot::to_prometheus_text`]) and a JSON document
+//!   ([`MetricsSnapshot::to_json`]); both formats parse back losslessly so
+//!   snapshots can be diffed across processes and runs.
+//!
+//! Metric naming scheme: `vllm_<layer>_<quantity>[_<unit>][_total]` —
+//! `_total` marks monotone counters, units are spelled out (`_seconds`,
+//! `_blocks`), and `<layer>` is one of `engine`, `scheduler`,
+//! `block_manager`, `executor`, `step`, `request`, or `sim`.
+
+#![warn(missing_docs)]
+
+mod events;
+mod expose;
+mod histogram;
+mod json;
+mod registry;
+
+pub use events::{EventKind, EventLog, SeqEvent, DEFAULT_EVENT_CAPACITY};
+pub use expose::{MetricEntry, MetricValue, MetricsSnapshot};
+pub use histogram::{BucketSpec, Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+
+/// The telemetry bundle one serving process shares across its layers: a
+/// metrics registry plus a sequence-lifecycle event log.
+///
+/// Cheap to share (`Arc<Telemetry>`) and safe to update from any thread.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    events: EventLog,
+}
+
+impl Telemetry {
+    /// Creates a telemetry bundle with the default event-log capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a telemetry bundle whose event log keeps at most `capacity`
+    /// events (oldest evicted first).
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            events: EventLog::with_capacity(capacity),
+        }
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The sequence-lifecycle event log.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}

@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry consistency check"
+cargo run --release -q -p vllm-bench --bin telemetry -- --ci
+
 echo "CI OK"

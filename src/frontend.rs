@@ -16,8 +16,27 @@
 //!    total_blocks=<n>\tfinished=<n>\tpreemptions=<n>\tsteps=<n>\t
 //!    tokens_scheduled=<n>\tblocks_copied=<n>\tblocks_swapped=<n>\t
 //!    schedule_time=<s>\tprepare_time=<s>\texecute_time=<s>\t
-//!    postprocess_time=<s>
+//!    postprocess_time=<s>\tnorm_lat_mean=<s>\tnorm_lat_p50=<s>\t
+//!    norm_lat_p90=<s>\tnorm_lat_p99=<s>\tttft_mean=<s>\tttft_p50=<s>\t
+//!    ttft_p99=<s>
+//!
+//! -> METRICS
+//! <- <Prometheus text exposition lines>      (repeated)
+//! <- END
+//!
+//! -> METRICS\tjson
+//! <- <one-line JSON metrics snapshot>
+//!
+//! -> EVENTS\t<request_id>
+//! <- EVENT\t<time>\t<kind>\t<detail>         (repeated, oldest first)
+//! <- END
 //! ```
+//!
+//! `STATS` serves a snapshot the engine loop publishes on startup, after
+//! admissions, after every iteration, and when the engine drains — so it is
+//! never stale while the loop is idle. `METRICS` serves the shared telemetry
+//! registry (counters/gauges/histograms; the `/metrics` analog), and
+//! `EVENTS` replays a request's lifecycle from the bounded event log.
 //!
 //! Malformed requests get `ERR\t<message>`. Each connection handles one
 //! request per line; the engine thread batches concurrent requests through
@@ -33,6 +52,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use vllm_core::telemetry::Telemetry;
 use vllm_core::{LlmEngine, ModelExecutor, RequestOutput, SamplingParams};
 use vllm_model::ByteTokenizer;
 
@@ -70,6 +90,20 @@ pub struct EngineStats {
     pub execute_time: f64,
     /// Cumulative host seconds in the postprocess stage.
     pub postprocess_time: f64,
+    /// Mean normalized latency over finished requests (s/token, §6.1).
+    pub norm_lat_mean: f64,
+    /// Median normalized latency.
+    pub norm_lat_p50: f64,
+    /// 90th percentile normalized latency.
+    pub norm_lat_p90: f64,
+    /// 99th percentile normalized latency.
+    pub norm_lat_p99: f64,
+    /// Mean time to first token over finished requests.
+    pub ttft_mean: f64,
+    /// Median time to first token.
+    pub ttft_p50: f64,
+    /// 99th percentile time to first token.
+    pub ttft_p99: f64,
 }
 
 /// A generation request routed to the engine thread.
@@ -85,6 +119,7 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<Mutex<EngineStats>>,
+    telemetry: Arc<Telemetry>,
     accept_thread: Option<JoinHandle<()>>,
     engine_thread: Option<JoinHandle<()>>,
 }
@@ -106,6 +141,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<FrontendRequest>();
         let stats = Arc::new(Mutex::new(EngineStats::default()));
+        let telemetry = Arc::clone(engine.telemetry());
 
         let engine_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -115,12 +151,14 @@ impl Server {
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown, &stats))
+            let telemetry = Arc::clone(&telemetry);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown, &stats, &telemetry))
         };
         Ok(Self {
             addr: local,
             shutdown,
             stats,
+            telemetry,
             accept_thread: Some(accept_thread),
             engine_thread: Some(engine_thread),
         })
@@ -136,6 +174,13 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         *self.stats.lock()
+    }
+
+    /// The engine's telemetry bundle (metrics registry + event log), shared
+    /// with the engine thread.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Stops the server and joins its threads.
@@ -160,8 +205,46 @@ impl Drop for Server {
     }
 }
 
+/// Builds a serving snapshot from the engine's current state.
+fn snapshot_stats<E: ModelExecutor>(engine: &LlmEngine<E>, finished_total: u64) -> EngineStats {
+    let scheduler = engine.scheduler();
+    let bm = scheduler.block_manager();
+    let trace = engine.trace_stats();
+    let stage_totals = trace.stage_totals();
+    let latency = engine.latency();
+    EngineStats {
+        waiting: scheduler.num_waiting(),
+        running: scheduler.num_running(),
+        swapped: scheduler.num_swapped(),
+        free_blocks: bm.num_free_gpu_blocks(),
+        total_blocks: bm.num_total_gpu_blocks(),
+        finished: finished_total,
+        preemptions: scheduler.stats().num_preemptions,
+        steps: trace.num_steps(),
+        tokens_scheduled: trace.tokens_scheduled(),
+        blocks_copied: trace.blocks_copied(),
+        blocks_swapped: trace.blocks_swapped_in() + trace.blocks_swapped_out(),
+        schedule_time: stage_totals.schedule,
+        prepare_time: stage_totals.prepare,
+        execute_time: stage_totals.execute,
+        postprocess_time: stage_totals.postprocess,
+        norm_lat_mean: latency.mean_normalized_latency().unwrap_or(0.0),
+        norm_lat_p50: latency.percentile_normalized_latency(50.0).unwrap_or(0.0),
+        norm_lat_p90: latency.percentile_normalized_latency(90.0).unwrap_or(0.0),
+        norm_lat_p99: latency.percentile_normalized_latency(99.0).unwrap_or(0.0),
+        ttft_mean: latency.mean_ttft().unwrap_or(0.0),
+        ttft_p50: latency.percentile_ttft(50.0).unwrap_or(0.0),
+        ttft_p99: latency.percentile_ttft(99.0).unwrap_or(0.0),
+    }
+}
+
 /// The engine loop: drain new requests, run one iteration, route finished
 /// outputs back to their connections.
+///
+/// A fresh [`EngineStats`] snapshot (and refreshed telemetry gauges) is
+/// published on startup, after admitting requests, after every iteration,
+/// and when the engine drains — never only at step boundaries, so `STATS`
+/// reflects completions even while the loop sits idle.
 fn engine_loop<E: ModelExecutor>(
     mut engine: LlmEngine<E>,
     rx: &Receiver<FrontendRequest>,
@@ -170,13 +253,21 @@ fn engine_loop<E: ModelExecutor>(
 ) {
     let mut pending: Vec<(String, Sender<RequestOutput>)> = Vec::new();
     let mut finished_total: u64 = 0;
+    // Seed the snapshot (and the registry's gauges) so STATS/METRICS are
+    // meaningful before the first request arrives.
+    let _ = engine.metrics_snapshot();
+    *stats.lock() = snapshot_stats(&engine, finished_total);
     while !shutdown.load(Ordering::SeqCst) {
         // Admit everything that arrived since the last iteration.
+        let mut admitted = false;
         loop {
             match rx.try_recv() {
                 Ok(req) => {
                     match engine.add_request(req.request_id.clone(), req.prompt, req.params) {
-                        Ok(()) => pending.push((req.request_id, req.reply)),
+                        Ok(()) => {
+                            pending.push((req.request_id, req.reply));
+                            admitted = true;
+                        }
                         Err(e) => {
                             // Deliver the failure as an empty output.
                             let _ = req.reply.send(RequestOutput {
@@ -194,6 +285,9 @@ fn engine_loop<E: ModelExecutor>(
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => return,
             }
+        }
+        if admitted {
+            *stats.lock() = snapshot_stats(&engine, finished_total);
         }
         if !engine.has_unfinished() {
             std::thread::sleep(Duration::from_millis(1));
@@ -214,28 +308,10 @@ fn engine_loop<E: ModelExecutor>(
                 let _ = reply.send(out);
             }
         }
-        // Publish a fresh snapshot for STATS queries.
-        let scheduler = engine.scheduler();
-        let bm = scheduler.block_manager();
-        let trace = engine.trace_stats();
-        let stage_totals = trace.stage_totals();
-        *stats.lock() = EngineStats {
-            waiting: scheduler.num_waiting(),
-            running: scheduler.num_running(),
-            swapped: scheduler.num_swapped(),
-            free_blocks: bm.num_free_gpu_blocks(),
-            total_blocks: bm.num_total_gpu_blocks(),
-            finished: finished_total,
-            preemptions: scheduler.stats().num_preemptions,
-            steps: trace.num_steps(),
-            tokens_scheduled: trace.tokens_scheduled(),
-            blocks_copied: trace.blocks_copied(),
-            blocks_swapped: trace.blocks_swapped_in() + trace.blocks_swapped_out(),
-            schedule_time: stage_totals.schedule,
-            prepare_time: stage_totals.prepare,
-            execute_time: stage_totals.execute,
-            postprocess_time: stage_totals.postprocess,
-        };
+        // Publish a fresh snapshot for STATS queries; on the drain step this
+        // already reflects the final completions, so an idle engine never
+        // serves stale counts.
+        *stats.lock() = snapshot_stats(&engine, finished_total);
     }
 }
 
@@ -244,6 +320,7 @@ fn accept_loop(
     tx: &Sender<FrontendRequest>,
     shutdown: &Arc<AtomicBool>,
     stats: &Arc<Mutex<EngineStats>>,
+    telemetry: &Arc<Telemetry>,
 ) {
     let next_id = Arc::new(AtomicU64::new(0));
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
@@ -254,8 +331,9 @@ fn accept_loop(
                 let next_id = Arc::clone(&next_id);
                 let shutdown = Arc::clone(shutdown);
                 let stats = Arc::clone(stats);
+                let telemetry = Arc::clone(telemetry);
                 handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &tx, &next_id, &shutdown, &stats);
+                    let _ = handle_connection(stream, &tx, &next_id, &shutdown, &stats, &telemetry);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -324,6 +402,7 @@ fn handle_connection(
     next_id: &AtomicU64,
     shutdown: &AtomicBool,
     stats: &Mutex<EngineStats>,
+    telemetry: &Telemetry,
 ) -> std::io::Result<()> {
     // A read timeout lets the handler notice server shutdown even while a
     // client keeps its connection open but idle.
@@ -355,11 +434,37 @@ fn handle_connection(
             let s = *stats.lock();
             writeln!(
                 writer,
-                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}",
+                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}\tnorm_lat_mean={:.6}\tnorm_lat_p50={:.6}\tnorm_lat_p90={:.6}\tnorm_lat_p99={:.6}\tttft_mean={:.6}\tttft_p50={:.6}\tttft_p99={:.6}",
                 s.waiting, s.running, s.swapped, s.free_blocks, s.total_blocks, s.finished, s.preemptions,
                 s.steps, s.tokens_scheduled, s.blocks_copied, s.blocks_swapped,
-                s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time
+                s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time,
+                s.norm_lat_mean, s.norm_lat_p50, s.norm_lat_p90, s.norm_lat_p99,
+                s.ttft_mean, s.ttft_p50, s.ttft_p99
             )?;
+            continue;
+        }
+        if line == "METRICS" {
+            let snapshot = telemetry.registry().snapshot();
+            writer.write_all(snapshot.to_prometheus_text().as_bytes())?;
+            writeln!(writer, "END")?;
+            continue;
+        }
+        if line == "METRICS\tjson" {
+            let snapshot = telemetry.registry().snapshot();
+            writeln!(writer, "{}", snapshot.to_json())?;
+            continue;
+        }
+        if let Some(request_id) = line.strip_prefix("EVENTS\t") {
+            for ev in telemetry.events().events_for(request_id) {
+                writeln!(
+                    writer,
+                    "EVENT\t{:.6}\t{}\t{}",
+                    ev.time,
+                    ev.kind.label(),
+                    ev.kind.detail()
+                )?;
+            }
+            writeln!(writer, "END")?;
             continue;
         }
         let request_id = format!("req-{}", next_id.fetch_add(1, Ordering::SeqCst));

@@ -119,5 +119,134 @@ fn stats_endpoint_reports_state() {
     assert!(stats.steps > 0);
     assert!(stats.tokens_scheduled > 0);
     assert!(stats.execute_time > 0.0);
+    // Latency percentiles from the finished request.
+    assert!(line.contains("\tnorm_lat_p50="), "got {line:?}");
+    assert!(line.contains("\tttft_p99="), "got {line:?}");
+    assert!(stats.norm_lat_mean > 0.0);
+    assert!(stats.norm_lat_p50 > 0.0);
+    assert!(stats.ttft_mean > 0.0);
+    assert!(stats.ttft_p50 <= stats.ttft_p99);
+    server.shutdown();
+}
+
+/// The snapshot is published on startup, not only after the first step: a
+/// fresh server must already report its block pool.
+#[test]
+fn stats_fresh_before_any_request() {
+    let server = spawn_server();
+    // The engine thread seeds the snapshot right after spawn; give it a
+    // moment on slow machines.
+    let mut stats = server.stats();
+    for _ in 0..100 {
+        if stats.total_blocks != 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        stats = server.stats();
+    }
+    assert_eq!(stats.total_blocks, 256);
+    assert_eq!(stats.free_blocks, 256);
+    assert_eq!(stats.finished, 0);
+    server.shutdown();
+}
+
+/// Reads protocol lines until `END`, returning them without the terminator.
+fn read_until_end(reader: &mut impl std::io::BufRead) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("read: {e}"),
+        }
+        let line = line.trim_end().to_string();
+        if line == "END" {
+            break;
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// `METRICS` (Prometheus text) and `METRICS\tjson` must expose the same
+/// snapshot, and both round-trip losslessly through their parsers.
+#[test]
+fn metrics_endpoint_text_and_json_agree() {
+    use std::io::{BufRead, BufReader, Write};
+    use vllm::core::telemetry::MetricsSnapshot;
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .generate("warm up the registry", 6, 1, "greedy")
+        .unwrap();
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writeln!(writer, "METRICS").unwrap();
+    let text = read_until_end(&mut reader).join("\n") + "\n";
+    let from_text = MetricsSnapshot::from_prometheus_text(&text).expect("text exposition parses");
+
+    writeln!(writer, "METRICS\tjson").unwrap();
+    let mut json = String::new();
+    reader.read_line(&mut json).unwrap();
+    let from_json = MetricsSnapshot::from_json(json.trim_end()).expect("JSON exposition parses");
+
+    // The engine is idle between the two queries, so the snapshots match.
+    assert_eq!(from_text, from_json);
+    assert_eq!(
+        from_text.counter("vllm_engine_requests_finished_total"),
+        Some(1)
+    );
+    assert!(from_text.gauge("vllm_block_manager_gpu_blocks_total") == Some(256.0));
+    let ttft = from_text.histogram("vllm_request_ttft_seconds").unwrap();
+    assert_eq!(ttft.count, 1);
+    assert!(ttft.min > 0.0);
+    server.shutdown();
+}
+
+/// `EVENTS\t<request_id>` replays the request's lifecycle in order.
+#[test]
+fn events_endpoint_replays_lifecycle() {
+    use std::io::{BufReader, Write};
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .generate("trace my lifecycle", 5, 1, "greedy")
+        .unwrap();
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // Server-assigned ids start at req-0.
+    writeln!(writer, "EVENTS\treq-0").unwrap();
+    let lines = read_until_end(&mut reader);
+    assert!(!lines.is_empty(), "lifecycle must be recorded");
+    let kinds: Vec<&str> = lines
+        .iter()
+        .map(|l| l.split('\t').nth(2).expect("EVENT kind field"))
+        .collect();
+    assert_eq!(kinds.first(), Some(&"arrived"));
+    assert!(kinds.contains(&"scheduled"));
+    assert!(kinds.contains(&"first_token"));
+    assert_eq!(kinds.last(), Some(&"finished"));
+    for l in &lines {
+        assert!(l.starts_with("EVENT\t"), "got {l:?}");
+    }
+
+    // Unknown ids yield an empty (but well-formed) reply.
+    writeln!(writer, "EVENTS\tno-such-request").unwrap();
+    assert!(read_until_end(&mut reader).is_empty());
     server.shutdown();
 }

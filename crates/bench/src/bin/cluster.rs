@@ -1,0 +1,290 @@
+//! Cluster routing bench: throughput scaling and cache-aware placement.
+//!
+//! Drives a shared-prefix-heavy trace (many requests extending one of a few
+//! long system prompts) through [`ClusterSystem`] fleets and compares the
+//! routing policies against a single-replica baseline:
+//!
+//! 1. Calibrate: saturate one replica to measure its capacity `C1` and p99
+//!    normalized latency.
+//! 2. Run a 4-replica cluster at an offered load of `3.6 * C1` under each
+//!    policy (`round-robin`, `jsq`, `prefix-affinity`).
+//!
+//! Writes per-policy throughput, prefix-cache hit rate, and latency
+//! percentiles to `results/cluster.json`. With `--ci` the harness asserts
+//! the acceptance criteria instead — JSQ and prefix-affinity sustain at
+//! least `3 * C1` without exceeding the baseline's p99, prefix-affinity
+//! strictly beats round-robin's cache hit rate, runs are deterministic, and
+//! every routing decision shows up in the merged telemetry — writing its
+//! artifact under `target/ci-cluster/` and exiting non-zero on any failure.
+
+use std::fmt::Write as _;
+
+use vllm_cluster::{ClusterReport, ClusterRequest, ClusterSystem, RoutePolicy, RouterConfig};
+use vllm_core::telemetry::MetricsSnapshot;
+use vllm_core::{PreemptionMode, TokenId};
+use vllm_sim::{sim_prompt_tokens, ServerConfig, VllmSimSystem};
+
+/// Distinct shared prefixes (system prompts) in the trace.
+const NUM_PREFIXES: usize = 8;
+/// Shared prefix length in tokens (three 16-token blocks).
+const PREFIX_LEN: usize = 48;
+/// Unique per-request suffix length in tokens.
+const SUFFIX_LEN: usize = 32;
+/// Scripted output length in tokens.
+const OUTPUT_LEN: usize = 128;
+/// Cluster size under test.
+const REPLICAS: usize = 4;
+/// Requests in the single-replica calibration run.
+const CAL_REQUESTS: u64 = 192;
+/// Requests in each cluster run.
+const RUN_REQUESTS: u64 = 720;
+/// Offered load relative to single-replica capacity for cluster runs.
+const LOAD_FACTOR: f64 = 3.6;
+
+fn replica() -> VllmSimSystem {
+    let mut cfg = ServerConfig::opt_13b_1gpu();
+    cfg.gpu.mem_bytes_per_gpu = 30e9; // Small KV pool: placement matters.
+    VllmSimSystem::new(cfg, 16, PreemptionMode::Recompute)
+}
+
+fn prefixes() -> Vec<Vec<TokenId>> {
+    (0..NUM_PREFIXES)
+        .map(|p| sim_prompt_tokens(1_000 + p as u64, PREFIX_LEN))
+        .collect()
+}
+
+/// A shared-prefix-heavy trace. The prefix index is decorrelated from the
+/// request index (a plain `i % NUM_PREFIXES` would let round-robin placement
+/// line up with the prefix cycle by accident).
+fn trace(n: u64, rate: f64) -> Vec<ClusterRequest> {
+    let prefixes = prefixes();
+    (0..n)
+        .map(|i| {
+            let p = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % NUM_PREFIXES;
+            let mut prompt = prefixes[p].clone();
+            prompt.extend(sim_prompt_tokens(10_000 + i, SUFFIX_LEN));
+            ClusterRequest {
+                id: i,
+                arrival: i as f64 / rate,
+                prompt,
+                output_len: OUTPUT_LEN,
+            }
+        })
+        .collect()
+}
+
+/// Builds an `n`-replica cluster with the shared prefixes spread round-robin
+/// across replicas (a single replica holds them all).
+fn build_cluster(n: usize, policy: RoutePolicy) -> ClusterSystem {
+    let mut cluster = ClusterSystem::new(
+        (0..n).map(|_| replica()).collect(),
+        RouterConfig::new(policy),
+    );
+    for (p, tokens) in prefixes().into_iter().enumerate() {
+        cluster.register_prefix(p % n, tokens);
+    }
+    cluster
+}
+
+fn run_cluster(
+    n: usize,
+    policy: RoutePolicy,
+    num_requests: u64,
+    rate: f64,
+) -> (ClusterReport, MetricsSnapshot) {
+    let mut cluster = build_cluster(n, policy);
+    let report = cluster.run(trace(num_requests, rate));
+    (report, cluster.merged_snapshot())
+}
+
+fn report_json(r: &ClusterReport, speedup: f64) -> String {
+    let routed: Vec<String> = r.routed_per_replica.iter().map(u64::to_string).collect();
+    format!(
+        concat!(
+            "{{\"policy\":\"{}\",\"throughput\":{:.4},\"speedup\":{:.3},",
+            "\"norm_lat_p50\":{:.6},\"norm_lat_p99\":{:.6},",
+            "\"cache_hit_rate\":{:.4},\"affinity_hits\":{},\"failovers\":{},",
+            "\"routed_per_replica\":[{}]}}"
+        ),
+        r.policy,
+        r.throughput,
+        speedup,
+        r.norm_lat_p50,
+        r.norm_lat_p99,
+        r.cache_hit_rate,
+        r.affinity_hits,
+        r.failovers,
+        routed.join(",")
+    )
+}
+
+fn main() {
+    let ci = std::env::args().any(|a| a == "--ci");
+
+    // Calibrate one replica at saturation.
+    let (single, _) = run_cluster(1, RoutePolicy::RoundRobin, CAL_REQUESTS, 50.0);
+    let c1 = single.throughput;
+    let rate = LOAD_FACTOR * c1;
+    println!(
+        "single replica: {:.2} req/s (p99 norm lat {:.4} s/tok); cluster offered load {:.2} req/s",
+        c1, single.norm_lat_p99, rate
+    );
+
+    let policies = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::JoinShortestQueue,
+        RoutePolicy::PrefixAffinity,
+    ];
+    let runs: Vec<(ClusterReport, MetricsSnapshot)> = policies
+        .iter()
+        .map(|&p| run_cluster(REPLICAS, p, RUN_REQUESTS, rate))
+        .collect();
+    for (r, _) in &runs {
+        println!(
+            "{:>15}: {:.2} req/s ({:.2}x single), p99 norm lat {:.4}, cache hit rate {:.0}%, routed {:?}",
+            r.policy,
+            r.throughput,
+            r.throughput / c1,
+            r.norm_lat_p99,
+            100.0 * r.cache_hit_rate,
+            r.routed_per_replica
+        );
+    }
+
+    // JSON artifact.
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\"num_replicas\":{REPLICAS},\"offered_rate\":{rate:.4},\"single\":{},\"policies\":[",
+        report_json(&single, 1.0)
+    )
+    .unwrap();
+    for (i, (r, _)) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&report_json(r, r.throughput / c1));
+    }
+    json.push_str("]}");
+    let dir = if ci { "target/ci-cluster" } else { "results" };
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = format!("{dir}/cluster.json");
+    std::fs::write(&path, json + "\n").expect("write artifact");
+    println!("wrote {path}");
+
+    if !ci {
+        return;
+    }
+
+    let mut failures = 0usize;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failures += 1;
+        }
+    };
+
+    let rr = &runs[0].0;
+    for (r, _) in &runs[1..] {
+        check(
+            r.throughput >= 3.0 * c1,
+            &format!(
+                "{} throughput {:.2} < 3x single ({:.2})",
+                r.policy,
+                r.throughput,
+                3.0 * c1
+            ),
+        );
+        check(
+            r.norm_lat_p99 <= single.norm_lat_p99,
+            &format!(
+                "{} p99 norm lat {:.4} exceeds single baseline {:.4}",
+                r.policy, r.norm_lat_p99, single.norm_lat_p99
+            ),
+        );
+    }
+    let affinity = &runs[2].0;
+    check(
+        affinity.cache_hit_rate > rr.cache_hit_rate,
+        &format!(
+            "prefix-affinity hit rate {:.3} not above round-robin {:.3}",
+            affinity.cache_hit_rate, rr.cache_hit_rate
+        ),
+    );
+    for (r, _) in std::iter::once(&(single.clone(), runs[0].1.clone())).chain(runs.iter()) {
+        check(
+            r.num_finished == r.num_requests,
+            &format!(
+                "{}: {}/{} requests finished",
+                r.policy, r.num_finished, r.num_requests
+            ),
+        );
+    }
+
+    // Determinism: identical trace + policy => identical placements.
+    let (again, _) = run_cluster(REPLICAS, RoutePolicy::JoinShortestQueue, RUN_REQUESTS, rate);
+    check(
+        again.assignments == runs[1].0.assignments,
+        "JSQ placements differ between identical runs",
+    );
+
+    // Every routing decision lands in the merged telemetry, losslessly in
+    // both expositions.
+    for (r, snap) in &runs {
+        check(
+            snap.counter("vllm_cluster_requests_routed_total") == Some(RUN_REQUESTS),
+            &format!("{}: routed counter misses requests", r.policy),
+        );
+        let per_replica: u64 = (0..REPLICAS)
+            .map(|i| {
+                snap.counter(&format!(
+                    "vllm_cluster_replica_routed_total{{replica=\"{i}\"}}"
+                ))
+                .unwrap_or(0)
+            })
+            .sum();
+        check(
+            per_replica == RUN_REQUESTS,
+            &format!(
+                "{}: per-replica routed counters sum to {per_replica}",
+                r.policy
+            ),
+        );
+        check(
+            snap.counter("vllm_cluster_affinity_hits_total") == Some(r.affinity_hits),
+            &format!("{}: affinity counter disagrees with report", r.policy),
+        );
+        match MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()) {
+            Ok(rt) => check(
+                &rt == snap,
+                &format!(
+                    "{}: text exposition round-trip changed the snapshot",
+                    r.policy
+                ),
+            ),
+            Err(e) => check(
+                false,
+                &format!("{}: text exposition failed to parse: {e}", r.policy),
+            ),
+        }
+        match MetricsSnapshot::from_json(&snap.to_json()) {
+            Ok(rt) => check(
+                &rt == snap,
+                &format!("{}: JSON round-trip changed the snapshot", r.policy),
+            ),
+            Err(e) => check(false, &format!("{}: JSON failed to parse: {e}", r.policy)),
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("cluster CI check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "cluster CI check OK: jsq {:.2}x, prefix-affinity {:.2}x single throughput, hit rate {:.0}% vs {:.0}%",
+        runs[1].0.throughput / c1,
+        affinity.throughput / c1,
+        100.0 * affinity.cache_hit_rate,
+        100.0 * rr.cache_hit_rate
+    );
+}

@@ -1,0 +1,35 @@
+//! # vllm-cluster
+//!
+//! A multi-replica serving layer over the single-engine core: the paper
+//! evaluates one vLLM instance (§6), but production traffic is served by N
+//! engine replicas behind a router. This crate provides the pieces shared by
+//! the real TCP frontend and the discrete-event simulator:
+//!
+//! * [`Replica`] — an [`LlmEngine`](vllm_core::LlmEngine) running on its own
+//!   thread, fed over a channel and publishing an [`EngineStats`] load
+//!   snapshot plus the chunk-hash coverage of its prefix pool. On shutdown
+//!   the loop *drains*: queued and in-flight requests finish before the
+//!   thread exits.
+//! * [`Router`] — pluggable routing policies ([`RoutePolicy`]):
+//!   round-robin, join-shortest-queue by outstanding tokens, and
+//!   prefix-affinity (send a request to the replica that already holds the
+//!   KV cache of its leading block-aligned prompt chunks — the cluster-level
+//!   analog of §4.4 block sharing). Per-replica health tracking fails over
+//!   to the shortest healthy queue when a replica backs up.
+//! * [`merge_labeled`] / [`aggregate_stats`] — fold per-replica telemetry
+//!   into one cluster view: metric names gain a `{replica="i"}` label and
+//!   still round-trip through both expositions.
+//! * [`ClusterSystem`] — N simulated engines under one trace, producing
+//!   throughput-scaling and affinity-hit-rate curves analytically.
+
+#![warn(missing_docs)]
+
+pub mod replica;
+pub mod router;
+pub mod sim;
+pub mod stats;
+
+pub use replica::{EngineRequest, EngineStats, Replica};
+pub use router::{ReplicaSnapshot, RouteDecision, RoutePolicy, Router, RouterConfig, RouterStats};
+pub use sim::{ClusterReport, ClusterRequest, ClusterSystem};
+pub use stats::{aggregate_stats, merge_labeled};

@@ -1,0 +1,391 @@
+//! An engine replica on its own thread.
+//!
+//! This is the engine-loop machinery the TCP frontend used to own privately:
+//! requests arrive over a channel, the loop admits them, runs iterations,
+//! and routes finished outputs back to per-request reply channels. Extracted
+//! here so the cluster frontend can run N loops behind one router, each
+//! publishing the load/coverage snapshots routing policies consume.
+//!
+//! Shutdown semantics: setting the shutdown flag stops *admission of new
+//! work from connections* at the server layer, but the loop itself keeps
+//! stepping until every queued and in-flight request has finished (and the
+//! channel backlog is drained), so no accepted request is ever dropped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use vllm_core::telemetry::Telemetry;
+use vllm_core::{LlmEngine, ModelExecutor, RequestOutput, SamplingParams};
+
+/// A snapshot of serving state published by a replica's engine loop after
+/// every iteration (the `/metrics` analog of production servers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Queued requests not yet admitted.
+    pub waiting: usize,
+    /// Requests currently running.
+    pub running: usize,
+    /// Requests swapped out to CPU memory.
+    pub swapped: usize,
+    /// Estimated tokens of work still owed to admitted requests (prefill
+    /// remainder plus decode budget; the join-shortest-queue signal).
+    pub outstanding_tokens: u64,
+    /// Free KV blocks in the GPU pool.
+    pub free_blocks: usize,
+    /// Total KV blocks in the GPU pool.
+    pub total_blocks: usize,
+    /// Requests completed since startup.
+    pub finished: u64,
+    /// Preemptions since startup.
+    pub preemptions: u64,
+    /// Engine steps executed since startup.
+    pub steps: u64,
+    /// Tokens scheduled across all steps.
+    pub tokens_scheduled: u64,
+    /// Copy-on-write block copies across all steps.
+    pub blocks_copied: u64,
+    /// Blocks swapped (in + out) across all steps.
+    pub blocks_swapped: u64,
+    /// Cumulative host seconds in the schedule stage.
+    pub schedule_time: f64,
+    /// Cumulative host seconds in the prepare stage.
+    pub prepare_time: f64,
+    /// Cumulative host seconds in the execute stage.
+    pub execute_time: f64,
+    /// Cumulative host seconds in the postprocess stage.
+    pub postprocess_time: f64,
+    /// Mean normalized latency over finished requests (s/token, §6.1).
+    pub norm_lat_mean: f64,
+    /// Median normalized latency.
+    pub norm_lat_p50: f64,
+    /// 90th percentile normalized latency.
+    pub norm_lat_p90: f64,
+    /// 99th percentile normalized latency.
+    pub norm_lat_p99: f64,
+    /// Mean time to first token over finished requests.
+    pub ttft_mean: f64,
+    /// Median time to first token.
+    pub ttft_p50: f64,
+    /// 99th percentile time to first token.
+    pub ttft_p99: f64,
+}
+
+/// A generation request routed to an engine thread. The reply channel
+/// receives exactly one [`RequestOutput`]; admission failures are delivered
+/// as an output whose `request_id` starts with `error:`.
+pub struct EngineRequest {
+    /// Globally unique request id (also the engine-side id).
+    pub request_id: String,
+    /// Tokenized prompt.
+    pub prompt: Vec<u32>,
+    /// Decoding parameters.
+    pub params: SamplingParams,
+    /// Where the finished output goes.
+    pub reply: Sender<RequestOutput>,
+}
+
+/// Handle to an engine running on its own thread.
+///
+/// Shutdown and join take `&self` (the thread handle sits behind a mutex) so
+/// a server can share replicas with its connection handlers via `Arc` and
+/// still stop them. Dropping the handle initiates shutdown and joins the
+/// thread; because the loop drains first, drop blocks until all accepted
+/// requests finish.
+pub struct Replica {
+    id: usize,
+    tx: Sender<EngineRequest>,
+    stats: Arc<Mutex<EngineStats>>,
+    coverage: Arc<Mutex<Arc<Vec<u64>>>>,
+    telemetry: Arc<Telemetry>,
+    shutdown: Arc<AtomicBool>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Replica {
+    /// Spawns the engine loop for `engine` on a new thread.
+    pub fn spawn<E>(id: usize, engine: LlmEngine<E>) -> Self
+    where
+        E: ModelExecutor + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel::<EngineRequest>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(EngineStats::default()));
+        let coverage = Arc::new(Mutex::new(Arc::new(Vec::new())));
+        let telemetry = Arc::clone(engine.telemetry());
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let coverage = Arc::clone(&coverage);
+            std::thread::spawn(move || engine_loop(engine, &rx, &shutdown, &stats, &coverage))
+        };
+        Self {
+            id,
+            tx,
+            stats,
+            coverage,
+            telemetry,
+            shutdown,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// The replica's index in its pool.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Submits one request to the engine loop. Returns the request back if
+    /// the replica's loop has already exited.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the loop is no longer accepting work.
+    #[allow(clippy::result_large_err)] // The caller needs the request back to report the failure.
+    pub fn submit(&self, req: EngineRequest) -> Result<(), EngineRequest> {
+        self.tx.send(req).map_err(|e| e.0)
+    }
+
+    /// The latest published stats snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// The latest published prefix coverage (sorted chunk hashes of every
+    /// computed prefix in the replica's pool).
+    #[must_use]
+    pub fn coverage(&self) -> Arc<Vec<u64>> {
+        Arc::clone(&self.coverage.lock())
+    }
+
+    /// The replica engine's telemetry bundle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Signals the loop to stop once drained. Non-blocking; pair with
+    /// [`join`](Self::join).
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the engine loop to drain and exit.
+    pub fn join(&self) {
+        let handle = self.thread.lock().take();
+        if let Some(t) = handle {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Builds a serving snapshot from the engine's current state.
+fn snapshot_stats<E: ModelExecutor>(engine: &LlmEngine<E>, finished_total: u64) -> EngineStats {
+    let scheduler = engine.scheduler();
+    let bm = scheduler.block_manager();
+    let trace = engine.trace_stats();
+    let stage_totals = trace.stage_totals();
+    let latency = engine.latency();
+    EngineStats {
+        waiting: scheduler.num_waiting(),
+        running: scheduler.num_running(),
+        swapped: scheduler.num_swapped(),
+        outstanding_tokens: scheduler.outstanding_tokens(),
+        free_blocks: bm.num_free_gpu_blocks(),
+        total_blocks: bm.num_total_gpu_blocks(),
+        finished: finished_total,
+        preemptions: scheduler.stats().num_preemptions,
+        steps: trace.num_steps(),
+        tokens_scheduled: trace.tokens_scheduled(),
+        blocks_copied: trace.blocks_copied(),
+        blocks_swapped: trace.blocks_swapped_in() + trace.blocks_swapped_out(),
+        schedule_time: stage_totals.schedule,
+        prepare_time: stage_totals.prepare,
+        execute_time: stage_totals.execute,
+        postprocess_time: stage_totals.postprocess,
+        norm_lat_mean: latency.mean_normalized_latency().unwrap_or(0.0),
+        norm_lat_p50: latency.percentile_normalized_latency(50.0).unwrap_or(0.0),
+        norm_lat_p90: latency.percentile_normalized_latency(90.0).unwrap_or(0.0),
+        norm_lat_p99: latency.percentile_normalized_latency(99.0).unwrap_or(0.0),
+        ttft_mean: latency.mean_ttft().unwrap_or(0.0),
+        ttft_p50: latency.percentile_ttft(50.0).unwrap_or(0.0),
+        ttft_p99: latency.percentile_ttft(99.0).unwrap_or(0.0),
+    }
+}
+
+/// The engine loop: drain new requests, run one iteration, route finished
+/// outputs back to their reply channels.
+///
+/// A fresh [`EngineStats`] snapshot (and refreshed telemetry gauges) is
+/// published on startup, after admitting requests, after every iteration,
+/// and when the engine drains — never only at step boundaries, so load
+/// queries reflect completions even while the loop sits idle. The prefix
+/// coverage snapshot is recomputed only when the pool's version changes.
+///
+/// The loop exits when the shutdown flag is set (or every sender is gone)
+/// *and* all accepted work has finished.
+fn engine_loop<E: ModelExecutor>(
+    mut engine: LlmEngine<E>,
+    rx: &Receiver<EngineRequest>,
+    shutdown: &AtomicBool,
+    stats: &Mutex<EngineStats>,
+    coverage: &Mutex<Arc<Vec<u64>>>,
+) {
+    let mut pending: Vec<(String, Sender<RequestOutput>)> = Vec::new();
+    let mut finished_total: u64 = 0;
+    let mut coverage_version: Option<u64> = None;
+    // Seed the snapshot (and the registry's gauges) so load/metrics queries
+    // are meaningful before the first request arrives.
+    let _ = engine.metrics_snapshot();
+    *stats.lock() = snapshot_stats(&engine, finished_total);
+    loop {
+        if coverage_version != Some(engine.prefix_pool().version()) {
+            coverage_version = Some(engine.prefix_pool().version());
+            *coverage.lock() = Arc::new(engine.prefix_coverage());
+        }
+        // Admit everything that arrived since the last iteration. A closed
+        // channel is not an exit condition by itself: accepted work still
+        // drains below.
+        let mut admitted = false;
+        let mut disconnected = false;
+        loop {
+            match rx.try_recv() {
+                Ok(req) => {
+                    match engine.add_request(req.request_id.clone(), req.prompt, req.params) {
+                        Ok(()) => {
+                            pending.push((req.request_id, req.reply));
+                            admitted = true;
+                        }
+                        Err(e) => {
+                            // Deliver the failure as an empty output.
+                            let _ = req.reply.send(RequestOutput {
+                                request_id: format!("error: {e}"),
+                                prompt_len: 0,
+                                outputs: Vec::new(),
+                                arrival_time: 0.0,
+                                finish_time: 0.0,
+                                first_token_time: None,
+                                num_preemptions: 0,
+                            });
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if admitted {
+            *stats.lock() = snapshot_stats(&engine, finished_total);
+        }
+        if !engine.has_unfinished() {
+            if shutdown.load(Ordering::SeqCst) || disconnected {
+                break; // Drained: nothing queued, nothing in flight.
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let outputs = match engine.step() {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                // An engine error is fatal for the serving loop.
+                eprintln!("engine error: {e}");
+                return;
+            }
+        };
+        for out in outputs {
+            finished_total += 1;
+            if let Some(pos) = pending.iter().position(|(id, _)| *id == out.request_id) {
+                let (_, reply) = pending.swap_remove(pos);
+                let _ = reply.send(out);
+            }
+        }
+        // Publish a fresh snapshot; on the drain step this already reflects
+        // the final completions, so an idle engine never serves stale counts.
+        *stats.lock() = snapshot_stats(&engine, finished_total);
+    }
+    *stats.lock() = snapshot_stats(&engine, finished_total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use vllm_core::mock::MockExecutor;
+    use vllm_core::{CacheConfig, SchedulerConfig};
+
+    fn small_engine() -> LlmEngine<MockExecutor> {
+        let cache = CacheConfig::new(4, 64, 16).unwrap();
+        let sched = SchedulerConfig::new(512, 16, 256).unwrap();
+        LlmEngine::new(MockExecutor::new(1000), cache, sched)
+    }
+
+    #[test]
+    fn replica_serves_and_publishes_stats() {
+        let replica = Replica::spawn(0, small_engine());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        replica
+            .submit(EngineRequest {
+                request_id: "r0".into(),
+                prompt: vec![1, 2, 3, 4, 5],
+                params: SamplingParams::greedy(4),
+                reply: reply_tx,
+            })
+            .ok()
+            .expect("accepting");
+        let out = reply_rx.recv().expect("one output");
+        assert_eq!(out.request_id, "r0");
+        assert_eq!(out.outputs.len(), 1);
+        // The published snapshot catches up with the completion.
+        for _ in 0..200 {
+            if replica.stats().finished == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(replica.stats().finished, 1);
+        assert!(replica.stats().total_blocks > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let replica = Replica::spawn(0, small_engine());
+        let mut replies = Vec::new();
+        for i in 0..4 {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            replica
+                .submit(EngineRequest {
+                    request_id: format!("r{i}"),
+                    prompt: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                    params: SamplingParams::greedy(6),
+                    reply: reply_tx,
+                })
+                .ok()
+                .expect("accepting");
+            replies.push(reply_rx);
+        }
+        // Shut down immediately: every accepted request must still finish.
+        replica.begin_shutdown();
+        replica.join();
+        for rx in replies {
+            let out = rx.recv().expect("drained output");
+            assert!(!out.request_id.starts_with("error:"));
+            assert_eq!(out.outputs.len(), 1);
+        }
+        assert_eq!(replica.stats().finished, 4);
+    }
+}

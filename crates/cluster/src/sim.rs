@@ -1,0 +1,345 @@
+//! Discrete-event simulation of a replica cluster.
+//!
+//! [`ClusterSystem`] drives N [`VllmSimSystem`] instances (real engines,
+//! cost-model executors) under one arrival trace. Each replica keeps its own
+//! virtual clock; the driver alternates between injecting the next arrival
+//! (whenever it precedes every busy replica's clock) and stepping the
+//! furthest-behind busy replica, so replicas only interact through the
+//! router — exactly the independence a real fleet has. Throughput-scaling
+//! and affinity-hit-rate curves come out analytically, with no threads and
+//! full determinism.
+
+use std::sync::Arc;
+
+use vllm_baselines::types::{BatchSystem, StepWork};
+use vllm_core::telemetry::{MetricsSnapshot, Telemetry};
+use vllm_core::{chunk_hashes, LatencyTracker, SamplingParams, TokenId};
+use vllm_sim::VllmSimSystem;
+
+use crate::router::{ReplicaSnapshot, RouteDecision, Router, RouterConfig};
+use crate::stats::merge_labeled;
+
+/// One request of a cluster trace.
+#[derive(Debug, Clone)]
+pub struct ClusterRequest {
+    /// Request id (unique within the trace; also the sampling seed).
+    pub id: u64,
+    /// Arrival time in virtual seconds.
+    pub arrival: f64,
+    /// Prompt tokens (the router hashes their leading block chunks).
+    pub prompt: Vec<TokenId>,
+    /// Scripted output length in tokens.
+    pub output_len: usize,
+}
+
+/// Aggregated outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Routing policy name.
+    pub policy: String,
+    /// Number of replicas.
+    pub num_replicas: usize,
+    /// Requests injected.
+    pub num_requests: usize,
+    /// Requests finished (always equal to injected — nothing is dropped).
+    pub num_finished: usize,
+    /// Makespan: the latest replica clock when the cluster drained.
+    pub duration: f64,
+    /// Finished requests per virtual second.
+    pub throughput: f64,
+    /// Mean normalized latency (s/token, §6.1) across the cluster.
+    pub norm_lat_mean: f64,
+    /// Median normalized latency.
+    pub norm_lat_p50: f64,
+    /// 90th percentile normalized latency.
+    pub norm_lat_p90: f64,
+    /// 99th percentile normalized latency.
+    pub norm_lat_p99: f64,
+    /// Requests routed to each replica, in index order.
+    pub routed_per_replica: Vec<u64>,
+    /// Requests redirected away from an unhealthy replica.
+    pub failovers: u64,
+    /// Requests placed by prefix affinity.
+    pub affinity_hits: u64,
+    /// Requests whose chosen replica already held leading prompt chunks.
+    pub prefix_cache_hits: u64,
+    /// `prefix_cache_hits / num_requests` (0 for an empty trace).
+    pub cache_hit_rate: f64,
+    /// Replica chosen for each request, in injection order (determinism
+    /// checks compare these across runs).
+    pub assignments: Vec<(u64, usize)>,
+}
+
+/// N simulated engine replicas behind one router.
+pub struct ClusterSystem {
+    replicas: Vec<VllmSimSystem>,
+    router: Router,
+    clocks: Vec<f64>,
+    block_size: usize,
+    coverage: Vec<Arc<Vec<u64>>>,
+    coverage_versions: Vec<Option<u64>>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl ClusterSystem {
+    /// Builds a cluster over already-configured replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    #[must_use]
+    pub fn new(replicas: Vec<VllmSimSystem>, cfg: RouterConfig) -> Self {
+        assert!(!replicas.is_empty(), "cluster needs at least one replica");
+        let n = replicas.len();
+        let block_size = replicas[0].engine().cache_config().block_size;
+        let telemetry = Arc::new(Telemetry::new());
+        let mut router = Router::new(cfg, n);
+        router.attach_telemetry(&telemetry);
+        Self {
+            replicas,
+            router,
+            clocks: vec![0.0; n],
+            block_size,
+            coverage: (0..n).map(|_| Arc::new(Vec::new())).collect(),
+            coverage_versions: vec![None; n],
+            telemetry,
+        }
+    }
+
+    /// Registers a shared prefix on one replica (its KV cache is pinned
+    /// there, and the router's coverage view picks it up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix cannot be pinned.
+    pub fn register_prefix(&mut self, replica: usize, tokens: Vec<TokenId>) {
+        self.replicas[replica].register_prefix(tokens);
+    }
+
+    /// The router (policy, health, counters).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The cluster-level telemetry bundle (router counters).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// One merged snapshot: per-replica engine metrics under
+    /// `{replica="i"}` labels plus the unlabeled `vllm_cluster_*` router
+    /// counters.
+    #[must_use]
+    pub fn merged_snapshot(&self) -> MetricsSnapshot {
+        let parts: Vec<(String, MetricsSnapshot)> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i.to_string(), r.engine().metrics_snapshot()))
+            .collect();
+        let mut merged = merge_labeled(&parts);
+        merged
+            .metrics
+            .extend(self.telemetry.registry().snapshot().metrics);
+        merged.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
+    }
+
+    fn refresh_snapshots(&mut self) -> Vec<ReplicaSnapshot> {
+        for (i, r) in self.replicas.iter().enumerate() {
+            let version = r.engine().prefix_pool().version();
+            if self.coverage_versions[i] != Some(version) {
+                self.coverage_versions[i] = Some(version);
+                self.coverage[i] = Arc::new(r.engine().prefix_coverage());
+            }
+        }
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ReplicaSnapshot {
+                load: r.engine().load_snapshot(),
+                coverage: Arc::clone(&self.coverage[i]),
+            })
+            .collect()
+    }
+
+    fn route(&mut self, req: &ClusterRequest) -> RouteDecision {
+        let hashes = chunk_hashes(&req.prompt, self.block_size);
+        let snaps = self.refresh_snapshots();
+        self.router.route(&hashes, &snaps)
+    }
+
+    /// Runs the trace to completion and reports aggregate metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is rejected by its replica (oversized prompt).
+    pub fn run(&mut self, mut requests: Vec<ClusterRequest>) -> ClusterReport {
+        requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        let num_requests = requests.len();
+        let mut latency = LatencyTracker::new();
+        let mut assignments = Vec::with_capacity(num_requests);
+        let mut next = 0;
+        let mut cost = |_: &StepWork| 0.0;
+        loop {
+            let min_busy_clock = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.has_unfinished())
+                .map(|(i, _)| self.clocks[i])
+                .min_by(f64::total_cmp);
+            // Inject the next arrival when no replica's pending step could
+            // precede it (idle replicas fast-forward to the arrival).
+            if next < requests.len() && min_busy_clock.is_none_or(|c| requests[next].arrival <= c) {
+                let req = &requests[next];
+                let d = self.route(req);
+                assignments.push((req.id, d.replica));
+                self.clocks[d.replica] = self.clocks[d.replica].max(req.arrival);
+                let params = SamplingParams::greedy(req.output_len)
+                    .with_ignore_eos()
+                    .with_seed(req.id);
+                self.replicas[d.replica]
+                    .engine_mut()
+                    .add_request_at(req.id.to_string(), req.prompt.clone(), params, req.arrival)
+                    .expect("request admitted");
+                next += 1;
+                continue;
+            }
+            // Otherwise advance the furthest-behind busy replica one step.
+            let Some(i) = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.has_unfinished())
+                .map(|(i, _)| i)
+                .min_by(|&a, &b| self.clocks[a].total_cmp(&self.clocks[b]))
+            else {
+                break; // Trace exhausted and every replica drained.
+            };
+            let step = self.replicas[i]
+                .step(self.clocks[i], &mut cost)
+                .expect("busy replica steps");
+            self.clocks[i] += step.elapsed.max(1e-9);
+            for f in &step.finished {
+                latency.record(f.arrival, f.finish, f.output_len as f64);
+            }
+        }
+        let stats = self.router.stats();
+        let duration = self.clocks.iter().copied().fold(0.0, f64::max);
+        ClusterReport {
+            policy: self.router.config().policy.name().to_string(),
+            num_replicas: self.replicas.len(),
+            num_requests,
+            num_finished: latency.num_requests(),
+            duration,
+            throughput: if duration > 0.0 {
+                latency.num_requests() as f64 / duration
+            } else {
+                0.0
+            },
+            norm_lat_mean: latency.mean_normalized_latency().unwrap_or(0.0),
+            norm_lat_p50: latency.percentile_normalized_latency(50.0).unwrap_or(0.0),
+            norm_lat_p90: latency.percentile_normalized_latency(90.0).unwrap_or(0.0),
+            norm_lat_p99: latency.percentile_normalized_latency(99.0).unwrap_or(0.0),
+            routed_per_replica: stats.routed.clone(),
+            failovers: stats.failovers,
+            affinity_hits: stats.affinity_hits,
+            prefix_cache_hits: stats.prefix_cache_hits,
+            cache_hit_rate: if num_requests > 0 {
+                stats.prefix_cache_hits as f64 / num_requests as f64
+            } else {
+                0.0
+            },
+            assignments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RoutePolicy;
+    use vllm_core::PreemptionMode;
+    use vllm_sim::{sim_prompt_tokens, ServerConfig};
+
+    fn small_replica() -> VllmSimSystem {
+        let mut cfg = ServerConfig::opt_13b_1gpu();
+        cfg.gpu.mem_bytes_per_gpu = 28.5e9; // ~1.3K KV slots.
+        VllmSimSystem::new(cfg, 16, PreemptionMode::Recompute)
+    }
+
+    fn trace(n: u64, rate: f64) -> Vec<ClusterRequest> {
+        (0..n)
+            .map(|i| ClusterRequest {
+                id: i,
+                arrival: i as f64 / rate,
+                prompt: sim_prompt_tokens(i, 64),
+                output_len: 24,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cluster_finishes_every_request() {
+        let replicas = vec![small_replica(), small_replica()];
+        let mut cluster =
+            ClusterSystem::new(replicas, RouterConfig::new(RoutePolicy::JoinShortestQueue));
+        let report = cluster.run(trace(12, 2.0));
+        assert_eq!(report.num_finished, 12);
+        assert_eq!(report.routed_per_replica.iter().sum::<u64>(), 12);
+        assert!(report.throughput > 0.0);
+        assert!(report.norm_lat_p99 >= report.norm_lat_p50);
+    }
+
+    #[test]
+    fn affinity_routes_to_prefix_holder() {
+        let replicas = vec![small_replica(), small_replica()];
+        let mut cluster =
+            ClusterSystem::new(replicas, RouterConfig::new(RoutePolicy::PrefixAffinity));
+        // Replica 1 holds a 32-token (two-block) shared prefix.
+        let prefix = sim_prompt_tokens(999, 32);
+        cluster.register_prefix(1, prefix.clone());
+        let reqs: Vec<ClusterRequest> = (0..6)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.extend(sim_prompt_tokens(i, 32));
+                ClusterRequest {
+                    id: i,
+                    arrival: i as f64,
+                    prompt,
+                    output_len: 8,
+                }
+            })
+            .collect();
+        let report = cluster.run(reqs);
+        assert_eq!(report.num_finished, 6);
+        assert_eq!(report.affinity_hits, 6);
+        assert_eq!(report.prefix_cache_hits, 6);
+        assert_eq!(report.routed_per_replica, vec![0, 6]);
+        // The router counters round-trip through the merged exposition.
+        let merged = cluster.merged_snapshot();
+        assert_eq!(
+            merged.counter("vllm_cluster_requests_routed_total"),
+            Some(6)
+        );
+        assert_eq!(merged.counter("vllm_cluster_affinity_hits_total"), Some(6));
+        let text = merged.to_prometheus_text();
+        let parsed = MetricsSnapshot::from_prometheus_text(&text).expect("parses");
+        assert_eq!(parsed, merged);
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let run = || {
+            let replicas = vec![small_replica(), small_replica()];
+            let mut cluster =
+                ClusterSystem::new(replicas, RouterConfig::new(RoutePolicy::JoinShortestQueue));
+            let r = cluster.run(trace(10, 4.0));
+            (r.assignments.clone(), r.duration, r.norm_lat_mean)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,155 @@
+//! Cluster-wide views of per-replica telemetry.
+//!
+//! Each replica engine owns a private registry, so cluster exposition merges
+//! the per-replica snapshots into one [`MetricsSnapshot`] whose names carry
+//! a `{replica="<label>"}` suffix. Both exposition formats treat the name as
+//! an opaque string (the text parser splits on the first space, the JSON
+//! writer escapes quotes), so labeled snapshots round-trip losslessly just
+//! like unlabeled ones.
+
+use vllm_core::telemetry::{MetricEntry, MetricsSnapshot};
+
+use crate::replica::EngineStats;
+
+/// Merges per-replica snapshots into one, rewriting each metric name to
+/// `name{replica="label"}`. Entries stay sorted by name, matching registry
+/// snapshots.
+#[must_use]
+pub fn merge_labeled(parts: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
+    let mut metrics: Vec<MetricEntry> = parts
+        .iter()
+        .flat_map(|(label, snap)| {
+            snap.metrics.iter().map(move |m| MetricEntry {
+                name: format!("{}{{replica=\"{label}\"}}", m.name),
+                help: m.help.clone(),
+                value: m.value.clone(),
+            })
+        })
+        .collect();
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { metrics }
+}
+
+/// Folds per-replica serving stats into one cluster line: queue depths,
+/// block counts, and cumulative counters sum; latency means are weighted by
+/// each replica's finished-request count; latency percentiles take the
+/// worst replica (a conservative cluster tail — exact cluster percentiles
+/// would need the raw per-request records).
+#[must_use]
+pub fn aggregate_stats(parts: &[EngineStats]) -> EngineStats {
+    let mut agg = EngineStats::default();
+    let mut finished_weight = 0.0;
+    for s in parts {
+        agg.waiting += s.waiting;
+        agg.running += s.running;
+        agg.swapped += s.swapped;
+        agg.outstanding_tokens += s.outstanding_tokens;
+        agg.free_blocks += s.free_blocks;
+        agg.total_blocks += s.total_blocks;
+        agg.finished += s.finished;
+        agg.preemptions += s.preemptions;
+        agg.steps += s.steps;
+        agg.tokens_scheduled += s.tokens_scheduled;
+        agg.blocks_copied += s.blocks_copied;
+        agg.blocks_swapped += s.blocks_swapped;
+        agg.schedule_time += s.schedule_time;
+        agg.prepare_time += s.prepare_time;
+        agg.execute_time += s.execute_time;
+        agg.postprocess_time += s.postprocess_time;
+        let w = s.finished as f64;
+        agg.norm_lat_mean += s.norm_lat_mean * w;
+        agg.ttft_mean += s.ttft_mean * w;
+        finished_weight += w;
+        agg.norm_lat_p50 = agg.norm_lat_p50.max(s.norm_lat_p50);
+        agg.norm_lat_p90 = agg.norm_lat_p90.max(s.norm_lat_p90);
+        agg.norm_lat_p99 = agg.norm_lat_p99.max(s.norm_lat_p99);
+        agg.ttft_p50 = agg.ttft_p50.max(s.ttft_p50);
+        agg.ttft_p99 = agg.ttft_p99.max(s.ttft_p99);
+    }
+    if finished_weight > 0.0 {
+        agg.norm_lat_mean /= finished_weight;
+        agg.ttft_mean /= finished_weight;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vllm_core::telemetry::Telemetry;
+
+    #[test]
+    fn labeled_merge_round_trips_both_expositions() {
+        let make = |steps: u64, ttft: f64| {
+            let t = Telemetry::new();
+            t.registry()
+                .counter("vllm_engine_steps_total", "Steps.")
+                .inc_by(steps);
+            t.registry()
+                .gauge("vllm_scheduler_waiting_requests", "Waiting.")
+                .set(2.0);
+            t.registry()
+                .histogram(
+                    "vllm_request_ttft_seconds",
+                    "TTFT.",
+                    vllm_core::telemetry::BucketSpec::seconds(),
+                )
+                .observe(ttft);
+            t.registry().snapshot()
+        };
+        let merged = merge_labeled(&[
+            ("0".to_string(), make(3, 0.5)),
+            ("1".to_string(), make(7, 1.5)),
+        ]);
+        assert_eq!(
+            merged.counter("vllm_engine_steps_total{replica=\"0\"}"),
+            Some(3)
+        );
+        assert_eq!(
+            merged.counter("vllm_engine_steps_total{replica=\"1\"}"),
+            Some(7)
+        );
+        let text = merged.to_prometheus_text();
+        let from_text = MetricsSnapshot::from_prometheus_text(&text).expect("text parses");
+        assert_eq!(from_text, merged);
+        let from_json = MetricsSnapshot::from_json(&merged.to_json()).expect("json parses");
+        assert_eq!(from_json, merged);
+        // Histograms survive labeling too.
+        let h = from_text
+            .histogram("vllm_request_ttft_seconds{replica=\"1\"}")
+            .expect("labeled histogram");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn aggregate_sums_counts_and_weights_means() {
+        let a = EngineStats {
+            waiting: 1,
+            free_blocks: 10,
+            total_blocks: 20,
+            finished: 1,
+            norm_lat_mean: 1.0,
+            norm_lat_p99: 2.0,
+            ttft_mean: 0.2,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            waiting: 2,
+            free_blocks: 5,
+            total_blocks: 20,
+            finished: 3,
+            norm_lat_mean: 2.0,
+            norm_lat_p99: 1.0,
+            ttft_mean: 0.6,
+            ..EngineStats::default()
+        };
+        let agg = aggregate_stats(&[a, b]);
+        assert_eq!(agg.waiting, 3);
+        assert_eq!(agg.free_blocks, 15);
+        assert_eq!(agg.total_blocks, 40);
+        assert_eq!(agg.finished, 4);
+        assert!((agg.norm_lat_mean - 1.75).abs() < 1e-12); // (1*1 + 2*3) / 4
+        assert!((agg.ttft_mean - 0.5).abs() < 1e-12);
+        assert_eq!(agg.norm_lat_p99, 2.0); // worst replica
+    }
+}

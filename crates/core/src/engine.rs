@@ -82,6 +82,28 @@ impl RequestOutput {
     }
 }
 
+/// Point-in-time load summary of one engine, published by replica threads
+/// and consumed by cluster routing policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineLoad {
+    /// Requests queued but not yet admitted.
+    pub waiting: usize,
+    /// Requests currently in the running batch.
+    pub running: usize,
+    /// Requests preempted to CPU memory.
+    pub swapped: usize,
+    /// Free GPU KV blocks.
+    pub free_blocks: usize,
+    /// Total GPU KV blocks.
+    pub total_blocks: usize,
+    /// Estimated tokens of work still owed to admitted requests
+    /// (see [`Scheduler::outstanding_tokens`]).
+    pub outstanding_tokens: u64,
+    /// Median normalized latency over finished requests (s/token); 0 until
+    /// the first request finishes.
+    pub norm_lat_p50: f64,
+}
+
 /// The serving engine, generic over the execution backend.
 #[derive(Debug)]
 pub struct LlmEngine<E: ModelExecutor> {
@@ -177,6 +199,48 @@ impl<E: ModelExecutor> LlmEngine<E> {
     #[must_use]
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// The KV cache geometry this engine was built with.
+    #[must_use]
+    pub fn cache_config(&self) -> &CacheConfig {
+        &self.cache_config
+    }
+
+    /// The shared-prefix registry (§4.4). Read-only; use
+    /// [`register_prefix`](Self::register_prefix) /
+    /// [`release_prefix`](Self::release_prefix) to mutate it.
+    #[must_use]
+    pub fn prefix_pool(&self) -> &PrefixPool {
+        &self.prefix_pool
+    }
+
+    /// A point-in-time load summary for routing decisions. Cheap except for
+    /// `outstanding_tokens`, which walks the live queues.
+    #[must_use]
+    pub fn load_snapshot(&self) -> EngineLoad {
+        let bm = self.scheduler.block_manager();
+        EngineLoad {
+            waiting: self.scheduler.num_waiting(),
+            running: self.scheduler.num_running(),
+            swapped: self.scheduler.num_swapped(),
+            free_blocks: bm.num_free_gpu_blocks(),
+            total_blocks: bm.num_total_gpu_blocks(),
+            outstanding_tokens: self.scheduler.outstanding_tokens(),
+            norm_lat_p50: self
+                .latency
+                .percentile_normalized_latency(50.0)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// The chunk hashes of every computed prefix resident in this engine's
+    /// pool (see [`PrefixPool::coverage_hashes`]); the pool
+    /// [`version`](PrefixPool::version) lets callers cache the result.
+    #[must_use]
+    pub fn prefix_coverage(&self) -> Vec<u64> {
+        self.prefix_pool
+            .coverage_hashes(self.cache_config.block_size)
     }
 
     /// The execution backend.

@@ -49,7 +49,7 @@ pub use beam::{plan_beam_step, BeamExtension, BeamInput, BeamPlan};
 pub use block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
 pub use block_manager::{AllocStatus, BlockCopy, BlockManagerMetrics, BlockSpaceManager};
 pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
-pub use engine::{CompletionOutput, LlmEngine, RequestOutput};
+pub use engine::{CompletionOutput, EngineLoad, LlmEngine, RequestOutput};
 pub use error::{Result, VllmError};
 pub use executor::{CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
 pub use metrics::{
@@ -59,7 +59,7 @@ pub use plan::{
     materialize_batch, PreemptionEvent, PreemptionKind, StageTimings, StepBudget, StepPlan,
     StepTrace,
 };
-pub use prefix::{Prefix, PrefixId, PrefixPool};
+pub use prefix::{chunk_hashes, Prefix, PrefixId, PrefixPool};
 pub use sampling::{DecodingMode, SamplingParams, TokenId};
 pub use scheduler::{ScheduledGroup, Scheduler, SchedulerMetrics, SchedulerStats};
 pub use sequence::{SeqId, Sequence, SequenceData, SequenceGroup, SequenceStatus};

@@ -12,6 +12,30 @@ use crate::sampling::TokenId;
 /// Identifier of a registered prefix.
 pub type PrefixId = usize;
 
+/// Hashes the leading block-aligned chunks of `tokens`: element `k` is a
+/// 64-bit FNV hash of `tokens[..(k + 1) * block_size]`. Cluster routers
+/// compare a prompt's chunk hashes against a replica's prefix coverage to
+/// find the longest block-aligned prefix whose KV cache is already resident
+/// (the fleet-level analog of §4.4 block sharing).
+#[must_use]
+pub fn chunk_hashes(tokens: &[TokenId], block_size: usize) -> Vec<u64> {
+    if block_size == 0 {
+        return Vec::new();
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hashes = Vec::with_capacity(tokens.len() / block_size);
+    for (i, &t) in tokens.iter().enumerate() {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if (i + 1) % block_size == 0 {
+            hashes.push(h);
+        }
+    }
+    hashes
+}
+
 /// A registered shared prefix.
 #[derive(Debug, Clone)]
 pub struct Prefix {
@@ -41,6 +65,9 @@ impl Prefix {
 #[derive(Debug, Default)]
 pub struct PrefixPool {
     prefixes: Vec<Prefix>,
+    /// Bumped on every insert/remove so observers (replica load publishers)
+    /// can cheaply detect coverage changes.
+    version: u64,
 }
 
 impl PrefixPool {
@@ -58,6 +85,7 @@ impl PrefixPool {
             blocks,
             computed: false,
         });
+        self.version += 1;
         self.prefixes.len() - 1
     }
 
@@ -65,7 +93,33 @@ impl PrefixPool {
     pub fn mark_computed(&mut self, id: PrefixId) {
         if let Some(p) = self.prefixes.get_mut(id) {
             p.computed = true;
+            self.version += 1;
         }
+    }
+
+    /// Monotone counter bumped whenever the set of usable prefixes changes
+    /// (insert, mark-computed, remove). Lets a publisher skip rehashing
+    /// coverage when nothing changed.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The pool's prefix coverage: the sorted, deduplicated union of
+    /// [`chunk_hashes`] over every computed prefix. A prompt whose `k`-th
+    /// chunk hash appears here has its first `k` blocks of KV cache resident
+    /// in this pool.
+    #[must_use]
+    pub fn coverage_hashes(&self, block_size: usize) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self
+            .prefixes
+            .iter()
+            .filter(|p| p.computed)
+            .flat_map(|p| chunk_hashes(&p.tokens, block_size))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes
     }
 
     /// Looks up a prefix.
@@ -88,6 +142,7 @@ impl PrefixPool {
             computed: p.computed,
         };
         p.computed = false;
+        self.version += 1;
         Some(taken)
     }
 

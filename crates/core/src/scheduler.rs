@@ -195,6 +195,33 @@ impl Scheduler {
         !(self.waiting.is_empty() && self.running.is_empty() && self.swapped.is_empty())
     }
 
+    /// Estimated tokens of work still owed to admitted requests: for every
+    /// unfinished sequence, uncomputed prompt/history tokens plus the decode
+    /// budget left before `max_tokens`. Join-shortest-queue routing compares
+    /// replicas by this rather than raw request counts so one long prompt
+    /// weighs more than many short ones.
+    #[must_use]
+    pub fn outstanding_tokens(&self) -> u64 {
+        let group_tokens = |g: &SequenceGroup| -> u64 {
+            let max_tokens = g.sampling_params.max_tokens;
+            g.seqs()
+                .into_iter()
+                .filter(|s| !s.is_finished())
+                .map(|s| {
+                    let prefill = s.len().saturating_sub(s.data.num_computed_tokens());
+                    let decode = max_tokens.saturating_sub(s.data.num_output_tokens());
+                    (prefill + decode) as u64
+                })
+                .sum()
+        };
+        self.waiting
+            .iter()
+            .chain(self.running.iter())
+            .chain(self.swapped.iter())
+            .map(group_tokens)
+            .sum()
+    }
+
     /// Looks up a live group by request id.
     #[must_use]
     pub fn group(&self, request_id: &str) -> Option<&SequenceGroup> {

@@ -98,7 +98,7 @@ pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<String, Registered>>,
 }
 
-fn valid_name(name: &str) -> bool {
+fn valid_base_name(name: &str) -> bool {
     !name.is_empty()
         && name
             .chars()
@@ -107,6 +107,28 @@ fn valid_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A name is a bare metric name, optionally followed by one Prometheus-style
+/// label block (`name{key="value",...}`). Multi-replica registries label
+/// per-replica instruments this way; the label block is treated as part of
+/// the name everywhere downstream, which keeps both expositions lossless.
+fn valid_name(name: &str) -> bool {
+    let Some((base, rest)) = name.split_once('{') else {
+        return valid_base_name(name);
+    };
+    let Some(labels) = rest.strip_suffix('}') else {
+        return false;
+    };
+    valid_base_name(base)
+        && !labels.is_empty()
+        && labels.split(',').all(|pair| {
+            pair.split_once("=\"").is_some_and(|(key, v)| {
+                valid_base_name(key)
+                    && v.ends_with('"')
+                    && !v[..v.len() - 1].contains(['"', '\\', '\n', '{', '}'])
+            })
+        })
 }
 
 impl MetricsRegistry {
@@ -249,5 +271,38 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn invalid_name_panics() {
         MetricsRegistry::new().counter("9bad name", "");
+    }
+
+    #[test]
+    fn labeled_names_accepted_and_round_trip() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "vllm_cluster_replica_routed_total{replica=\"3\"}",
+            "Routed.",
+        )
+        .inc_by(5);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("vllm_cluster_replica_routed_total{replica=\"3\"}"),
+            Some(5)
+        );
+        let parsed =
+            crate::MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn malformed_label_blocks_rejected() {
+        for bad in [
+            "vllm_x{",
+            "vllm_x{}",
+            "vllm_x{replica}",
+            "vllm_x{replica=0}",
+            "vllm_x{replica=\"a\"\"}",
+            "{replica=\"0\"}",
+        ] {
+            assert!(!super::valid_name(bad), "{bad:?} must be rejected");
+        }
+        assert!(super::valid_name("vllm_x{replica=\"0\",gpu=\"a100\"}"));
     }
 }

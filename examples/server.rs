@@ -1,24 +1,56 @@
-//! End-to-end serving demo: start the TCP frontend over the CPU engine,
-//! run a few clients against it (greedy, sampling, beam search), then shut
-//! down.
+//! End-to-end serving demo: start the TCP frontend over one or more CPU
+//! engine replicas, run a few clients against it (greedy, sampling, beam
+//! search), then shut down.
 //!
-//! Run with: `cargo run --release --example server`
+//! Run with: `cargo run --release --example server -- [--replicas N] [--policy NAME]`
+//! where NAME is one of `round-robin`, `jsq`, `prefix-affinity`.
 
+use vllm::cluster::{RoutePolicy, RouterConfig};
 use vllm::core::{CacheConfig, LlmEngine, SchedulerConfig};
-use vllm::frontend::{Client, Server};
+use vllm::frontend::{Client, GenerateOptions, Server};
 use vllm::model::{CpuModelExecutor, ModelConfig};
 
+fn parse_args() -> (usize, RoutePolicy) {
+    let mut replicas = 1;
+    let mut policy = RoutePolicy::RoundRobin;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--replicas" => {
+                let v = args.next().expect("--replicas needs a value");
+                replicas = v.parse().expect("--replicas must be a positive integer");
+                assert!(replicas >= 1, "--replicas must be at least 1");
+            }
+            "--policy" => {
+                let v = args.next().expect("--policy needs a value");
+                policy = v.parse().expect("unknown policy");
+            }
+            other => panic!("unknown argument {other:?} (use --replicas N / --policy NAME)"),
+        }
+    }
+    (replicas, policy)
+}
+
 fn main() {
-    let cache = CacheConfig::new(16, 512, 128).expect("valid cache config");
-    let sched = SchedulerConfig::new(2048, 64, 1024).expect("valid scheduler config");
-    let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
-    let engine = LlmEngine::new(exec, cache, sched);
+    let (replicas, policy) = parse_args();
+    let engines: Vec<_> = (0..replicas)
+        .map(|_| {
+            let cache = CacheConfig::new(16, 512, 128).expect("valid cache config");
+            let sched = SchedulerConfig::new(2048, 64, 1024).expect("valid scheduler config");
+            let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+            LlmEngine::new(exec, cache, sched)
+        })
+        .collect();
 
-    let server = Server::spawn("127.0.0.1:0", engine).expect("server binds");
-    println!("serving on {}", server.addr());
+    let server = Server::spawn_cluster("127.0.0.1:0", engines, RouterConfig::new(policy))
+        .expect("server binds");
+    println!(
+        "serving on {} ({replicas} replica(s), policy {policy})",
+        server.addr()
+    );
 
-    // Concurrent clients with different decoding modes; the engine batches
-    // them through the same iterations.
+    // Concurrent clients with different decoding modes; each engine batches
+    // its share through the same iterations.
     let addr = server.addr();
     let clients: Vec<_> = [
         ("greedy", 1, "the meaning of life is"),
@@ -29,7 +61,18 @@ fn main() {
     .map(|(mode, n, prompt)| {
         std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect");
-            let outs = client.generate(prompt, 24, n, mode).expect("generate");
+            let opts = if mode == "sample" {
+                GenerateOptions {
+                    temperature: Some(0.8),
+                    top_p: Some(0.95),
+                    seed: Some(42),
+                }
+            } else {
+                GenerateOptions::default()
+            };
+            let outs = client
+                .generate_with(prompt, 24, n, mode, opts)
+                .expect("generate");
             (mode, prompt, outs)
         })
     })

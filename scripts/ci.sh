@@ -19,4 +19,7 @@ cargo test -q
 echo "==> telemetry consistency check"
 cargo run --release -q -p vllm-bench --bin telemetry -- --ci
 
+echo "==> cluster routing check"
+cargo run --release -q -p vllm-bench --bin cluster -- --ci
+
 echo "CI OK"

@@ -1,24 +1,31 @@
 //! A minimal serving frontend (§5's FastAPI analog): a TCP server with a
-//! newline-delimited text protocol in front of an [`LlmEngine`] running on
-//! its own thread.
+//! newline-delimited text protocol in front of one or more [`LlmEngine`]
+//! replicas, each running on its own thread behind a cache-aware router
+//! (`vllm_cluster`).
 //!
 //! Protocol (UTF-8 lines, tab-separated fields):
 //!
 //! ```text
-//! -> GENERATE\t<max_tokens>\t<n>\t<mode>\t<prompt text>
-//!    where <mode> is one of: greedy | sample | beam
+//! -> GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]\t<prompt text>
+//!    where <mode> is one of: greedy | sample | beam, and the optional
+//!    <key>=<value> fields (any order, before the prompt) are:
+//!      temperature=<f32>   sampling temperature       (mode=sample only)
+//!      top_p=<f32>         nucleus truncation in (0,1] (mode=sample only)
+//!      seed=<u64>          sampling RNG seed (default derives from the id)
 //! <- OK\t<request_id>\t<num_outputs>
 //! <- OUT\t<index>\t<cumulative_logprob>\t<text>      (repeated)
 //! <- END
 //!
 //! -> STATS
-//! <- STATS\twaiting=<n>\trunning=<n>\tswapped=<n>\tfree_blocks=<n>\t
-//!    total_blocks=<n>\tfinished=<n>\tpreemptions=<n>\tsteps=<n>\t
-//!    tokens_scheduled=<n>\tblocks_copied=<n>\tblocks_swapped=<n>\t
+//! <- STATS\twaiting=<n>\trunning=<n>\tswapped=<n>\toutstanding_tokens=<n>\t
+//!    free_blocks=<n>\ttotal_blocks=<n>\tfinished=<n>\tpreemptions=<n>\t
+//!    steps=<n>\ttokens_scheduled=<n>\tblocks_copied=<n>\tblocks_swapped=<n>\t
 //!    schedule_time=<s>\tprepare_time=<s>\texecute_time=<s>\t
 //!    postprocess_time=<s>\tnorm_lat_mean=<s>\tnorm_lat_p50=<s>\t
 //!    norm_lat_p90=<s>\tnorm_lat_p99=<s>\tttft_mean=<s>\tttft_p50=<s>\t
 //!    ttft_p99=<s>
+//!    (multi-replica servers follow with one RSTATS\t<replica>\t... line per
+//!    replica, then END; single-replica servers reply with the one line)
 //!
 //! -> METRICS
 //! <- <Prometheus text exposition lines>      (repeated)
@@ -30,103 +37,94 @@
 //! -> EVENTS\t<request_id>
 //! <- EVENT\t<time>\t<kind>\t<detail>         (repeated, oldest first)
 //! <- END
+//!
+//! -> SHUTDOWN
+//! <- OK\tshutdown
 //! ```
 //!
-//! `STATS` serves a snapshot the engine loop publishes on startup, after
-//! admissions, after every iteration, and when the engine drains — so it is
-//! never stale while the loop is idle. `METRICS` serves the shared telemetry
-//! registry (counters/gauges/histograms; the `/metrics` analog), and
-//! `EVENTS` replays a request's lifecycle from the bounded event log.
+//! `STATS` serves snapshots the engine loops publish on startup, after
+//! admissions, after every iteration, and when an engine drains — so they
+//! are never stale while a loop is idle. `METRICS` serves the telemetry
+//! registry (single replica: the engine's own; cluster: per-replica
+//! snapshots labeled `{replica="i"}` plus the router's `vllm_cluster_*`
+//! counters). `EVENTS` replays a request's lifecycle from the owning
+//! replica's event log.
 //!
-//! Malformed requests get `ERR\t<message>`. Each connection handles one
-//! request per line; the engine thread batches concurrent requests through
-//! the normal scheduler, so simultaneous clients share iterations exactly
-//! as in the serving evaluation.
+//! `SHUTDOWN` stops accepting connections and drains: every request already
+//! accepted — queued or mid-generation — finishes and is delivered before
+//! the engine threads exit, so no accepted request is ever dropped. Dropping
+//! the [`Server`] handle has the same drain semantics.
+//!
+//! Malformed requests get `ERR\t<message>` — every variant, including
+//! misspelled verbs and malformed `STATS`/`METRICS`/`EVENTS` argument lists;
+//! the connection stays usable afterwards. Each connection handles one
+//! request per line; the engine threads batch concurrent requests through
+//! the normal scheduler, so simultaneous clients share iterations exactly as
+//! in the serving evaluation.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use vllm_cluster::{
+    aggregate_stats, merge_labeled, EngineRequest, Replica, ReplicaSnapshot, Router, RouterConfig,
+};
 use vllm_core::telemetry::Telemetry;
-use vllm_core::{LlmEngine, ModelExecutor, RequestOutput, SamplingParams};
+use vllm_core::{chunk_hashes, DecodingMode, EngineLoad, LlmEngine, ModelExecutor, SamplingParams};
 use vllm_model::ByteTokenizer;
 
-/// A snapshot of serving state published by the engine loop after every
-/// iteration (the `/metrics` analog of production servers).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EngineStats {
-    /// Queued requests not yet admitted.
-    pub waiting: usize,
-    /// Requests currently running.
-    pub running: usize,
-    /// Requests swapped out to CPU memory.
-    pub swapped: usize,
-    /// Free KV blocks in the GPU pool.
-    pub free_blocks: usize,
-    /// Total KV blocks in the GPU pool.
-    pub total_blocks: usize,
-    /// Requests completed since startup.
-    pub finished: u64,
-    /// Preemptions since startup.
-    pub preemptions: u64,
-    /// Engine steps executed since startup.
-    pub steps: u64,
-    /// Tokens scheduled across all steps.
-    pub tokens_scheduled: u64,
-    /// Copy-on-write block copies across all steps.
-    pub blocks_copied: u64,
-    /// Blocks swapped (in + out) across all steps.
-    pub blocks_swapped: u64,
-    /// Cumulative host seconds in the schedule stage.
-    pub schedule_time: f64,
-    /// Cumulative host seconds in the prepare stage.
-    pub prepare_time: f64,
-    /// Cumulative host seconds in the execute stage.
-    pub execute_time: f64,
-    /// Cumulative host seconds in the postprocess stage.
-    pub postprocess_time: f64,
-    /// Mean normalized latency over finished requests (s/token, §6.1).
-    pub norm_lat_mean: f64,
-    /// Median normalized latency.
-    pub norm_lat_p50: f64,
-    /// 90th percentile normalized latency.
-    pub norm_lat_p90: f64,
-    /// 99th percentile normalized latency.
-    pub norm_lat_p99: f64,
-    /// Mean time to first token over finished requests.
-    pub ttft_mean: f64,
-    /// Median time to first token.
-    pub ttft_p50: f64,
-    /// 99th percentile time to first token.
-    pub ttft_p99: f64,
+pub use vllm_cluster::{EngineStats, RoutePolicy};
+
+/// State shared between the accept loop, connection handlers, and the
+/// server handle.
+struct Shared {
+    replicas: Vec<Replica>,
+    router: Mutex<Router>,
+    /// Registry holding the router's `vllm_cluster_*` counters.
+    cluster_telemetry: Arc<Telemetry>,
+    /// KV block size (uniform across replicas; prompt chunk hashing).
+    block_size: usize,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
 }
 
-/// A generation request routed to the engine thread.
-struct FrontendRequest {
-    request_id: String,
-    prompt: Vec<u32>,
-    params: SamplingParams,
-    reply: Sender<RequestOutput>,
+impl Shared {
+    fn snapshots(&self) -> Vec<ReplicaSnapshot> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let s = r.stats();
+                ReplicaSnapshot {
+                    load: EngineLoad {
+                        waiting: s.waiting,
+                        running: s.running,
+                        swapped: s.swapped,
+                        free_blocks: s.free_blocks,
+                        total_blocks: s.total_blocks,
+                        outstanding_tokens: s.outstanding_tokens,
+                        norm_lat_p50: s.norm_lat_p50,
+                    },
+                    coverage: r.coverage(),
+                }
+            })
+            .collect()
+    }
 }
 
 /// Handle to a running frontend server.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<Mutex<EngineStats>>,
-    telemetry: Arc<Telemetry>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    engine_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts the server on `addr` (use port 0 for an ephemeral port) over
-    /// the given engine.
+    /// Starts a single-replica server on `addr` (use port 0 for an
+    /// ephemeral port) over the given engine.
     ///
     /// # Errors
     ///
@@ -135,32 +133,63 @@ impl Server {
     where
         E: ModelExecutor + Send + 'static,
     {
+        Self::spawn_cluster(
+            addr,
+            vec![engine],
+            RouterConfig::new(RoutePolicy::RoundRobin),
+        )
+    }
+
+    /// Starts a server routing across one engine replica per element of
+    /// `engines`. All replicas must share a block size (prompt chunk hashes
+    /// are computed once).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot bind or `engines` is
+    /// empty.
+    pub fn spawn_cluster<E>(
+        addr: &str,
+        engines: Vec<LlmEngine<E>>,
+        cfg: RouterConfig,
+    ) -> std::io::Result<Self>
+    where
+        E: ModelExecutor + Send + 'static,
+    {
+        if engines.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "server needs at least one engine replica",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<FrontendRequest>();
-        let stats = Arc::new(Mutex::new(EngineStats::default()));
-        let telemetry = Arc::clone(engine.telemetry());
-
-        let engine_thread = {
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            std::thread::spawn(move || engine_loop(engine, &rx, &shutdown, &stats))
-        };
+        let block_size = engines[0].cache_config().block_size;
+        let replicas: Vec<Replica> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| Replica::spawn(i, e))
+            .collect();
+        let cluster_telemetry = Arc::new(Telemetry::new());
+        let mut router = Router::new(cfg, replicas.len());
+        router.attach_telemetry(&cluster_telemetry);
+        let shared = Arc::new(Shared {
+            replicas,
+            router: Mutex::new(router),
+            cluster_telemetry,
+            block_size,
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
         let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            let telemetry = Arc::clone(&telemetry);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown, &stats, &telemetry))
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
         };
         Ok(Self {
             addr: local,
-            shutdown,
-            stats,
-            telemetry,
+            shared,
             accept_thread: Some(accept_thread),
-            engine_thread: Some(engine_thread),
         })
     }
 
@@ -170,31 +199,45 @@ impl Server {
         self.addr
     }
 
-    /// The latest engine stats snapshot.
+    /// The latest serving stats, aggregated across replicas (identical to
+    /// the single replica's stats when there is only one).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock()
+        aggregate_stats(&self.replica_stats())
     }
 
-    /// The engine's telemetry bundle (metrics registry + event log), shared
-    /// with the engine thread.
+    /// The latest per-replica stats snapshots, in replica order.
+    #[must_use]
+    pub fn replica_stats(&self) -> Vec<EngineStats> {
+        self.shared.replicas.iter().map(Replica::stats).collect()
+    }
+
+    /// The first replica engine's telemetry bundle (metrics registry + event
+    /// log), shared with its engine thread.
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
-        &self.telemetry
+        self.shared.replicas[0].telemetry()
     }
 
-    /// Stops the server and joins its threads.
+    /// Stops the server, drains all accepted requests, and joins its
+    /// threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Handlers first: one may still be waiting on an in-flight request,
+        // which the (still running) engine loops will deliver.
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.engine_thread.take() {
-            let _ = t.join();
+        // Then drain the engines; queued work finishes before the join.
+        for r in &self.shared.replicas {
+            r.begin_shutdown();
+        }
+        for r in &self.shared.replicas {
+            r.join();
         }
     }
 }
@@ -205,135 +248,14 @@ impl Drop for Server {
     }
 }
 
-/// Builds a serving snapshot from the engine's current state.
-fn snapshot_stats<E: ModelExecutor>(engine: &LlmEngine<E>, finished_total: u64) -> EngineStats {
-    let scheduler = engine.scheduler();
-    let bm = scheduler.block_manager();
-    let trace = engine.trace_stats();
-    let stage_totals = trace.stage_totals();
-    let latency = engine.latency();
-    EngineStats {
-        waiting: scheduler.num_waiting(),
-        running: scheduler.num_running(),
-        swapped: scheduler.num_swapped(),
-        free_blocks: bm.num_free_gpu_blocks(),
-        total_blocks: bm.num_total_gpu_blocks(),
-        finished: finished_total,
-        preemptions: scheduler.stats().num_preemptions,
-        steps: trace.num_steps(),
-        tokens_scheduled: trace.tokens_scheduled(),
-        blocks_copied: trace.blocks_copied(),
-        blocks_swapped: trace.blocks_swapped_in() + trace.blocks_swapped_out(),
-        schedule_time: stage_totals.schedule,
-        prepare_time: stage_totals.prepare,
-        execute_time: stage_totals.execute,
-        postprocess_time: stage_totals.postprocess,
-        norm_lat_mean: latency.mean_normalized_latency().unwrap_or(0.0),
-        norm_lat_p50: latency.percentile_normalized_latency(50.0).unwrap_or(0.0),
-        norm_lat_p90: latency.percentile_normalized_latency(90.0).unwrap_or(0.0),
-        norm_lat_p99: latency.percentile_normalized_latency(99.0).unwrap_or(0.0),
-        ttft_mean: latency.mean_ttft().unwrap_or(0.0),
-        ttft_p50: latency.percentile_ttft(50.0).unwrap_or(0.0),
-        ttft_p99: latency.percentile_ttft(99.0).unwrap_or(0.0),
-    }
-}
-
-/// The engine loop: drain new requests, run one iteration, route finished
-/// outputs back to their connections.
-///
-/// A fresh [`EngineStats`] snapshot (and refreshed telemetry gauges) is
-/// published on startup, after admitting requests, after every iteration,
-/// and when the engine drains — never only at step boundaries, so `STATS`
-/// reflects completions even while the loop sits idle.
-fn engine_loop<E: ModelExecutor>(
-    mut engine: LlmEngine<E>,
-    rx: &Receiver<FrontendRequest>,
-    shutdown: &AtomicBool,
-    stats: &Mutex<EngineStats>,
-) {
-    let mut pending: Vec<(String, Sender<RequestOutput>)> = Vec::new();
-    let mut finished_total: u64 = 0;
-    // Seed the snapshot (and the registry's gauges) so STATS/METRICS are
-    // meaningful before the first request arrives.
-    let _ = engine.metrics_snapshot();
-    *stats.lock() = snapshot_stats(&engine, finished_total);
-    while !shutdown.load(Ordering::SeqCst) {
-        // Admit everything that arrived since the last iteration.
-        let mut admitted = false;
-        loop {
-            match rx.try_recv() {
-                Ok(req) => {
-                    match engine.add_request(req.request_id.clone(), req.prompt, req.params) {
-                        Ok(()) => {
-                            pending.push((req.request_id, req.reply));
-                            admitted = true;
-                        }
-                        Err(e) => {
-                            // Deliver the failure as an empty output.
-                            let _ = req.reply.send(RequestOutput {
-                                request_id: format!("error: {e}"),
-                                prompt_len: 0,
-                                outputs: Vec::new(),
-                                arrival_time: 0.0,
-                                finish_time: 0.0,
-                                first_token_time: None,
-                                num_preemptions: 0,
-                            });
-                        }
-                    }
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => return,
-            }
-        }
-        if admitted {
-            *stats.lock() = snapshot_stats(&engine, finished_total);
-        }
-        if !engine.has_unfinished() {
-            std::thread::sleep(Duration::from_millis(1));
-            continue;
-        }
-        let outputs = match engine.step() {
-            Ok(outputs) => outputs,
-            Err(e) => {
-                // An engine error is fatal for the serving loop.
-                eprintln!("engine error: {e}");
-                return;
-            }
-        };
-        for out in outputs {
-            finished_total += 1;
-            if let Some(pos) = pending.iter().position(|(id, _)| *id == out.request_id) {
-                let (_, reply) = pending.swap_remove(pos);
-                let _ = reply.send(out);
-            }
-        }
-        // Publish a fresh snapshot for STATS queries; on the drain step this
-        // already reflects the final completions, so an idle engine never
-        // serves stale counts.
-        *stats.lock() = snapshot_stats(&engine, finished_total);
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    tx: &Sender<FrontendRequest>,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<Mutex<EngineStats>>,
-    telemetry: &Arc<Telemetry>,
-) {
-    let next_id = Arc::new(AtomicU64::new(0));
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let tx = tx.clone();
-                let next_id = Arc::clone(&next_id);
-                let shutdown = Arc::clone(shutdown);
-                let stats = Arc::clone(stats);
-                let telemetry = Arc::clone(telemetry);
+                let shared = Arc::clone(shared);
                 handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &tx, &next_id, &shutdown, &stats, &telemetry);
+                    let _ = handle_connection(stream, &shared);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -347,28 +269,57 @@ fn accept_loop(
     }
 }
 
-fn parse_request(line: &str, request_id: String) -> Result<(Vec<u32>, SamplingParams), String> {
-    let mut parts = line.splitn(5, '\t');
-    let verb = parts.next().unwrap_or_default();
-    if verb != "GENERATE" {
-        return Err(format!("unknown verb {verb:?}"));
+/// Optional `key=value` fields of a `GENERATE` line.
+#[derive(Debug, Clone, Copy, Default)]
+struct GenerateOpts {
+    temperature: Option<f32>,
+    top_p: Option<f32>,
+    seed: Option<u64>,
+}
+
+fn parse_request(line: &str, request_id: &str) -> Result<(Vec<u32>, SamplingParams), String> {
+    let parts: Vec<&str> = line.split('\t').collect();
+    if parts.first() != Some(&"GENERATE") {
+        return Err(format!("unknown verb {:?}", parts.first().unwrap_or(&"")));
     }
     let max_tokens: usize = parts
-        .next()
+        .get(1)
         .ok_or("missing max_tokens")?
         .parse()
         .map_err(|_| "bad max_tokens")?;
     let n: usize = parts
-        .next()
+        .get(2)
         .ok_or("missing n")?
         .parse()
         .map_err(|_| "bad n")?;
-    let mode = parts.next().ok_or("missing mode")?;
-    let text = parts.next().ok_or("missing prompt")?;
+    let mode = *parts.get(3).ok_or("missing mode")?;
+
+    // Optional key=value fields sit between the mode and the prompt; the
+    // first field that is not one of them starts the prompt (which may
+    // itself contain tabs).
+    let mut opts = GenerateOpts::default();
+    let mut i = 4;
+    while i < parts.len() {
+        if let Some(v) = parts[i].strip_prefix("temperature=") {
+            opts.temperature = Some(v.parse().map_err(|_| format!("bad temperature {v:?}"))?);
+        } else if let Some(v) = parts[i].strip_prefix("top_p=") {
+            opts.top_p = Some(v.parse().map_err(|_| format!("bad top_p {v:?}"))?);
+        } else if let Some(v) = parts[i].strip_prefix("seed=") {
+            opts.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+        } else {
+            break;
+        }
+        i += 1;
+    }
+    if i >= parts.len() {
+        return Err("missing prompt".to_string());
+    }
+    let text = parts[i..].join("\t");
     if text.is_empty() {
         return Err("empty prompt".to_string());
     }
-    let params = match mode {
+
+    let mut params = match mode {
         "greedy" => {
             if n != 1 {
                 return Err("greedy requires n=1".to_string());
@@ -379,10 +330,25 @@ fn parse_request(line: &str, request_id: String) -> Result<(Vec<u32>, SamplingPa
         "beam" => SamplingParams::beam(n, max_tokens),
         other => return Err(format!("unknown mode {other:?}")),
     };
+    if let DecodingMode::Random {
+        temperature, top_p, ..
+    } = &mut params.mode
+    {
+        if let Some(t) = opts.temperature {
+            *temperature = t;
+        }
+        if let Some(p) = opts.top_p {
+            *top_p = p;
+        }
+    } else if opts.temperature.is_some() || opts.top_p.is_some() {
+        return Err(format!(
+            "temperature/top_p require mode=sample, got {mode:?}"
+        ));
+    }
     let params = params
         .with_eos(vllm_model::EOS)
-        .with_seed(fnv(request_id.as_bytes()));
-    let prompt = ByteTokenizer.encode(text);
+        .with_seed(opts.seed.unwrap_or_else(|| fnv(request_id.as_bytes())));
+    let prompt = ByteTokenizer.encode(&text);
     params.validate().map_err(|e| e.to_string())?;
     Ok((prompt, params))
 }
@@ -396,14 +362,39 @@ fn fnv(bytes: &[u8]) -> u64 {
     h
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    tx: &Sender<FrontendRequest>,
-    next_id: &AtomicU64,
-    shutdown: &AtomicBool,
-    stats: &Mutex<EngineStats>,
-    telemetry: &Telemetry,
-) -> std::io::Result<()> {
+/// The `key=value` body shared by `STATS` and `RSTATS` lines.
+fn stats_body(s: &EngineStats) -> String {
+    format!(
+        "waiting={}\trunning={}\tswapped={}\toutstanding_tokens={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}\tnorm_lat_mean={:.6}\tnorm_lat_p50={:.6}\tnorm_lat_p90={:.6}\tnorm_lat_p99={:.6}\tttft_mean={:.6}\tttft_p50={:.6}\tttft_p99={:.6}",
+        s.waiting, s.running, s.swapped, s.outstanding_tokens, s.free_blocks, s.total_blocks,
+        s.finished, s.preemptions, s.steps, s.tokens_scheduled, s.blocks_copied, s.blocks_swapped,
+        s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time,
+        s.norm_lat_mean, s.norm_lat_p50, s.norm_lat_p90, s.norm_lat_p99,
+        s.ttft_mean, s.ttft_p50, s.ttft_p99
+    )
+}
+
+/// The metrics snapshot a `METRICS` query serves: the engine's own registry
+/// for a single replica (unlabeled, as before clustering), or the labeled
+/// per-replica merge plus the router's counters for a cluster.
+fn metrics_snapshot(shared: &Shared) -> vllm_core::telemetry::MetricsSnapshot {
+    if shared.replicas.len() == 1 {
+        return shared.replicas[0].telemetry().registry().snapshot();
+    }
+    let parts: Vec<(String, vllm_core::telemetry::MetricsSnapshot)> = shared
+        .replicas
+        .iter()
+        .map(|r| (r.id().to_string(), r.telemetry().registry().snapshot()))
+        .collect();
+    let mut merged = merge_labeled(&parts);
+    merged
+        .metrics
+        .extend(shared.cluster_telemetry.registry().snapshot().metrics);
+    merged.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     // A read timeout lets the handler notice server shutdown even while a
     // client keeps its connection open but idle.
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
@@ -419,7 +410,7 @@ fn handle_connection(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 continue;
@@ -430,76 +421,116 @@ fn handle_connection(
         if line.is_empty() {
             continue;
         }
-        if line == "STATS" {
-            let s = *stats.lock();
-            writeln!(
-                writer,
-                "STATS\twaiting={}\trunning={}\tswapped={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}\tnorm_lat_mean={:.6}\tnorm_lat_p50={:.6}\tnorm_lat_p90={:.6}\tnorm_lat_p99={:.6}\tttft_mean={:.6}\tttft_p50={:.6}\tttft_p99={:.6}",
-                s.waiting, s.running, s.swapped, s.free_blocks, s.total_blocks, s.finished, s.preemptions,
-                s.steps, s.tokens_scheduled, s.blocks_copied, s.blocks_swapped,
-                s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time,
-                s.norm_lat_mean, s.norm_lat_p50, s.norm_lat_p90, s.norm_lat_p99,
-                s.ttft_mean, s.ttft_p50, s.ttft_p99
-            )?;
-            continue;
-        }
-        if line == "METRICS" {
-            let snapshot = telemetry.registry().snapshot();
-            writer.write_all(snapshot.to_prometheus_text().as_bytes())?;
-            writeln!(writer, "END")?;
-            continue;
-        }
-        if line == "METRICS\tjson" {
-            let snapshot = telemetry.registry().snapshot();
-            writeln!(writer, "{}", snapshot.to_json())?;
-            continue;
-        }
-        if let Some(request_id) = line.strip_prefix("EVENTS\t") {
-            for ev in telemetry.events().events_for(request_id) {
-                writeln!(
-                    writer,
-                    "EVENT\t{:.6}\t{}\t{}",
-                    ev.time,
-                    ev.kind.label(),
-                    ev.kind.detail()
-                )?;
-            }
-            writeln!(writer, "END")?;
-            continue;
-        }
-        let request_id = format!("req-{}", next_id.fetch_add(1, Ordering::SeqCst));
-        match parse_request(&line, request_id.clone()) {
-            Err(msg) => writeln!(writer, "ERR\t{msg}")?,
-            Ok((prompt, params)) => {
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let sent = tx.send(FrontendRequest {
-                    request_id: request_id.clone(),
-                    prompt,
-                    params,
-                    reply: reply_tx,
-                });
-                if sent.is_err() {
-                    writeln!(writer, "ERR\tserver shutting down")?;
-                    break;
+        match line.split('\t').next().unwrap_or_default() {
+            "STATS" => {
+                if line != "STATS" {
+                    writeln!(writer, "ERR\tSTATS takes no arguments")?;
+                    continue;
                 }
-                match reply_rx.recv() {
-                    Ok(out) if out.request_id.starts_with("error:") => {
-                        writeln!(writer, "ERR\t{}", out.request_id)?;
+                let stats = shared
+                    .replicas
+                    .iter()
+                    .map(Replica::stats)
+                    .collect::<Vec<_>>();
+                writeln!(writer, "STATS\t{}", stats_body(&aggregate_stats(&stats)))?;
+                if shared.replicas.len() > 1 {
+                    for (i, s) in stats.iter().enumerate() {
+                        writeln!(writer, "RSTATS\t{i}\t{}", stats_body(s))?;
                     }
-                    Ok(out) => {
-                        writeln!(writer, "OK\t{request_id}\t{}", out.outputs.len())?;
-                        for (i, c) in out.outputs.iter().enumerate() {
-                            let text = tokenizer.decode(&c.tokens).replace(['\t', '\n'], " ");
-                            writeln!(writer, "OUT\t{i}\t{:.4}\t{text}", c.cumulative_logprob)?;
+                    writeln!(writer, "END")?;
+                }
+            }
+            "METRICS" => {
+                if line == "METRICS" {
+                    let snapshot = metrics_snapshot(shared);
+                    writer.write_all(snapshot.to_prometheus_text().as_bytes())?;
+                    writeln!(writer, "END")?;
+                } else if line == "METRICS\tjson" {
+                    let snapshot = metrics_snapshot(shared);
+                    writeln!(writer, "{}", snapshot.to_json())?;
+                } else {
+                    writeln!(
+                        writer,
+                        "ERR\tunknown METRICS format (use METRICS or METRICS\\tjson)"
+                    )?;
+                }
+            }
+            "EVENTS" => {
+                let mut parts = line.split('\t');
+                parts.next(); // verb
+                match (parts.next(), parts.next()) {
+                    (Some(id), None) if !id.is_empty() => {
+                        for r in &shared.replicas {
+                            for ev in r.telemetry().events().events_for(id) {
+                                writeln!(
+                                    writer,
+                                    "EVENT\t{:.6}\t{}\t{}",
+                                    ev.time,
+                                    ev.kind.label(),
+                                    ev.kind.detail()
+                                )?;
+                            }
                         }
                         writeln!(writer, "END")?;
                     }
-                    Err(_) => {
-                        writeln!(writer, "ERR\tengine dropped request")?;
-                        break;
+                    _ => writeln!(writer, "ERR\tEVENTS takes exactly one request id")?,
+                }
+            }
+            "SHUTDOWN" => {
+                if line != "SHUTDOWN" {
+                    writeln!(writer, "ERR\tSHUTDOWN takes no arguments")?;
+                    continue;
+                }
+                writeln!(writer, "OK\tshutdown")?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            "GENERATE" => {
+                let request_id = format!("req-{}", shared.next_id.fetch_add(1, Ordering::SeqCst));
+                match parse_request(&line, &request_id) {
+                    Err(msg) => writeln!(writer, "ERR\t{msg}")?,
+                    Ok((prompt, params)) => {
+                        let replica = {
+                            let hashes = chunk_hashes(&prompt, shared.block_size);
+                            let snaps = shared.snapshots();
+                            shared.router.lock().route(&hashes, &snaps).replica
+                        };
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        let sent = shared.replicas[replica].submit(EngineRequest {
+                            request_id: request_id.clone(),
+                            prompt,
+                            params,
+                            reply: reply_tx,
+                        });
+                        if sent.is_err() {
+                            writeln!(writer, "ERR\tserver shutting down")?;
+                            break;
+                        }
+                        match reply_rx.recv() {
+                            Ok(out) if out.request_id.starts_with("error:") => {
+                                writeln!(writer, "ERR\t{}", out.request_id)?;
+                            }
+                            Ok(out) => {
+                                writeln!(writer, "OK\t{request_id}\t{}", out.outputs.len())?;
+                                for (i, c) in out.outputs.iter().enumerate() {
+                                    let text =
+                                        tokenizer.decode(&c.tokens).replace(['\t', '\n'], " ");
+                                    writeln!(
+                                        writer,
+                                        "OUT\t{i}\t{:.4}\t{text}",
+                                        c.cumulative_logprob
+                                    )?;
+                                }
+                                writeln!(writer, "END")?;
+                            }
+                            Err(_) => {
+                                writeln!(writer, "ERR\tengine dropped request")?;
+                                break;
+                            }
+                        }
                     }
                 }
             }
+            verb => writeln!(writer, "ERR\tunknown verb {verb:?}")?,
         }
     }
     Ok(())
@@ -521,6 +552,17 @@ pub struct ClientOutput {
     pub cumulative_logprob: f64,
     /// Generated text.
     pub text: String,
+}
+
+/// Optional `GENERATE` fields for [`Client::generate_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenerateOptions {
+    /// Sampling temperature (mode `sample` only).
+    pub temperature: Option<f32>,
+    /// Nucleus truncation in (0, 1] (mode `sample` only).
+    pub top_p: Option<f32>,
+    /// Sampling RNG seed (defaults to a hash of the request id).
+    pub seed: Option<u64>,
 }
 
 impl Client {
@@ -550,7 +592,35 @@ impl Client {
         n: usize,
         mode: &str,
     ) -> std::io::Result<Vec<ClientOutput>> {
-        writeln!(self.writer, "GENERATE\t{max_tokens}\t{n}\t{mode}\t{prompt}")?;
+        self.generate_with(prompt, max_tokens, n, mode, GenerateOptions::default())
+    }
+
+    /// Sends one generation request with optional sampling fields and waits
+    /// for its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on connection failure, or `InvalidData` wrapping
+    /// a server-side `ERR` message.
+    pub fn generate_with(
+        &mut self,
+        prompt: &str,
+        max_tokens: usize,
+        n: usize,
+        mode: &str,
+        opts: GenerateOptions,
+    ) -> std::io::Result<Vec<ClientOutput>> {
+        let mut req = format!("GENERATE\t{max_tokens}\t{n}\t{mode}");
+        if let Some(t) = opts.temperature {
+            req.push_str(&format!("\ttemperature={t}"));
+        }
+        if let Some(p) = opts.top_p {
+            req.push_str(&format!("\ttop_p={p}"));
+        }
+        if let Some(s) = opts.seed {
+            req.push_str(&format!("\tseed={s}"));
+        }
+        writeln!(self.writer, "{req}\t{prompt}")?;
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         let line = line.trim_end();
@@ -583,5 +653,18 @@ impl Client {
             }
         }
         Ok(outputs)
+    }
+
+    /// Asks the server to shut down (stop accepting work and drain), and
+    /// returns its acknowledgement line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on connection failure.
+    pub fn shutdown_server(&mut self) -> std::io::Result<String> {
+        writeln!(self.writer, "SHUTDOWN")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end().to_string())
     }
 }

@@ -15,6 +15,8 @@
 //!   traces, shared-prefix translation, and chatbot workloads.
 //! * [`baselines`] (`vllm-baselines`) — Orca (Oracle/Pow2/Max) and
 //!   FasterTransformer-style baselines over a buddy allocator.
+//! * [`cluster`] (`vllm-cluster`) — multi-replica serving: engine replicas
+//!   on threads behind a cache-aware router with pluggable policies.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub mod frontend;
 
 pub use vllm_baselines as baselines;
+pub use vllm_cluster as cluster;
 pub use vllm_core as core;
 pub use vllm_model as model;
 pub use vllm_sim as sim;

@@ -250,3 +250,214 @@ fn events_endpoint_replays_lifecycle() {
     assert!(read_until_end(&mut reader).is_empty());
     server.shutdown();
 }
+
+/// Every malformed request line must get an `ERR\t<message>` reply and
+/// leave the connection usable.
+#[test]
+fn malformed_requests_all_get_err() {
+    use std::io::{BufRead, BufReader, Write};
+
+    // (line, substring the error must mention)
+    let cases: &[(&str, &str)] = &[
+        ("GENERATE", "max_tokens"),
+        ("GENERATE\t12", "n"),
+        ("GENERATE\t12\t1", "mode"),
+        ("GENERATE\t12\t1\tgreedy", "prompt"),
+        ("GENERATE\tabc\t1\tgreedy\thi", "max_tokens"),
+        ("GENERATE\t12\tx\tgreedy\thi", "n"),
+        ("GENERATE\t0\t1\tgreedy\thi", "max_tokens"),
+        ("GENERATE\t12\t1\tnucleus\thi", "unknown mode"),
+        ("GENERATE\t12\t3\tgreedy\thi", "n=1"),
+        ("GENERATE\t12\t1\tgreedy\ttemperature=0.5\thi", "sample"),
+        ("GENERATE\t12\t2\tbeam\ttop_p=0.9\thi", "sample"),
+        (
+            "GENERATE\t12\t1\tsample\ttemperature=abc\thi",
+            "temperature",
+        ),
+        ("GENERATE\t12\t1\tsample\ttop_p=zzz\thi", "top_p"),
+        ("GENERATE\t12\t1\tsample\tseed=-1\thi", "seed"),
+        ("GENERATE\t12\t1\tsample\ttop_p=1.5\thi", "top_p"),
+        ("GENERATE\t12\t1\tsample\ttemperature=0\thi", "temperature"),
+        ("STATS\textra", "STATS"),
+        ("METRICS\txml", "METRICS"),
+        ("EVENTS", "request id"),
+        ("EVENTS\ta\tb", "request id"),
+        ("SHUTDOWN\tnow", "SHUTDOWN"),
+        ("FLUSH", "unknown verb"),
+        ("generate\t4\t1\tgreedy\thi", "unknown verb"),
+    ];
+
+    let server = spawn_server();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for (line, needle) in cases {
+        writeln!(writer, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let reply = reply.trim_end();
+        assert!(reply.starts_with("ERR\t"), "{line:?} => {reply:?}");
+        assert!(
+            reply.contains(needle),
+            "{line:?} => {reply:?} (wanted {needle:?})"
+        );
+    }
+    // The connection survives the whole gauntlet.
+    writeln!(writer, "GENERATE\t4\t1\tgreedy\tstill alive").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("OK\t"), "got {reply:?}");
+    server.shutdown();
+}
+
+/// Explicit `seed=` makes sampling reproducible across connections; the
+/// optional `temperature=`/`top_p=` fields are accepted for mode `sample`.
+#[test]
+fn sampling_seed_is_reproducible() {
+    use vllm::frontend::GenerateOptions;
+
+    let server = spawn_server();
+    let opts = GenerateOptions {
+        temperature: Some(0.8),
+        top_p: Some(0.95),
+        seed: Some(7),
+    };
+    let mut a = Client::connect(server.addr()).unwrap();
+    let first = a.generate_with("same seed", 10, 2, "sample", opts).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+    let second = b.generate_with("same seed", 10, 2, "sample", opts).unwrap();
+    assert_eq!(first, second, "seeded sampling must be deterministic");
+    server.shutdown();
+}
+
+/// `SHUTDOWN` mid-generation drains: the in-flight request still completes
+/// and is delivered before the server exits.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.generate("a long running generation", 192, 1, "greedy")
+    });
+    // Wait until the request is actually on the engine.
+    for _ in 0..500 {
+        let s = server.stats();
+        if s.running + s.waiting > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let mut admin = Client::connect(addr).unwrap();
+    assert_eq!(admin.shutdown_server().unwrap(), "OK\tshutdown");
+    let outs = worker
+        .join()
+        .expect("client thread")
+        .expect("generation completes");
+    assert_eq!(outs.len(), 1);
+    let stats = server.stats();
+    assert_eq!(stats.finished, 1, "the in-flight request must finish");
+    drop(server);
+}
+
+/// Multi-replica server: requests spread across replicas, `STATS` reports
+/// the aggregate plus per-replica `RSTATS` lines, and `METRICS` merges the
+/// per-replica registries under `{replica="i"}` labels plus the router's
+/// own counters — losslessly in both expositions.
+#[test]
+fn cluster_server_round_robin_end_to_end() {
+    use std::io::{BufRead, BufReader, Write};
+    use vllm::cluster::{RoutePolicy, RouterConfig};
+    use vllm::core::telemetry::MetricsSnapshot;
+
+    let engines: Vec<_> = (0..2)
+        .map(|_| {
+            let cache = CacheConfig::new(16, 256, 64).unwrap();
+            let sched = SchedulerConfig::new(2048, 64, 1024).unwrap();
+            let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+            LlmEngine::new(exec, cache, sched)
+        })
+        .collect();
+    let server = Server::spawn_cluster(
+        "127.0.0.1:0",
+        engines,
+        RouterConfig::new(RoutePolicy::RoundRobin),
+    )
+    .expect("server binds");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let prompt = format!("cluster client {i}");
+                client.generate(&prompt, 8, 1, "greedy").unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("client thread").len(), 1);
+    }
+
+    // Aggregate stats count all four requests across both replicas.
+    assert_eq!(server.stats().finished, 4);
+    let per_replica = server.replica_stats();
+    assert_eq!(per_replica.len(), 2);
+    assert_eq!(per_replica.iter().map(|s| s.finished).sum::<u64>(), 4);
+    // Round-robin with one request at a time lands on both replicas.
+    assert!(
+        per_replica.iter().all(|s| s.finished > 0),
+        "{per_replica:?}"
+    );
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // STATS: aggregate line, one RSTATS per replica, END.
+    writeln!(writer, "STATS").unwrap();
+    let mut agg = String::new();
+    reader.read_line(&mut agg).unwrap();
+    assert!(agg.starts_with("STATS\t"), "got {agg:?}");
+    assert!(agg.contains("finished=4"), "got {agg:?}");
+    let rstats = read_until_end(&mut reader);
+    assert_eq!(rstats.len(), 2, "got {rstats:?}");
+    assert!(rstats[0].starts_with("RSTATS\t0\t"), "got {:?}", rstats[0]);
+    assert!(rstats[1].starts_with("RSTATS\t1\t"), "got {:?}", rstats[1]);
+
+    // METRICS: labeled per-replica names plus router counters, identical
+    // through both expositions.
+    writeln!(writer, "METRICS").unwrap();
+    let text = read_until_end(&mut reader).join("\n") + "\n";
+    let from_text = MetricsSnapshot::from_prometheus_text(&text).expect("text exposition parses");
+    writeln!(writer, "METRICS\tjson").unwrap();
+    let mut json = String::new();
+    reader.read_line(&mut json).unwrap();
+    let from_json = MetricsSnapshot::from_json(json.trim_end()).expect("JSON exposition parses");
+    assert_eq!(from_text, from_json);
+    assert_eq!(
+        from_text.counter("vllm_cluster_requests_routed_total"),
+        Some(4)
+    );
+    let labeled_finished: u64 = (0..2)
+        .map(|i| {
+            from_text
+                .counter(&format!(
+                    "vllm_engine_requests_finished_total{{replica=\"{i}\"}}"
+                ))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(labeled_finished, 4);
+    let routed: u64 = (0..2)
+        .map(|i| {
+            from_text
+                .counter(&format!(
+                    "vllm_cluster_replica_routed_total{{replica=\"{i}\"}}"
+                ))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(routed, 4);
+    server.shutdown();
+}

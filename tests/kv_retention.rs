@@ -109,3 +109,114 @@ fn chained_promotions_release_cleanly() {
     // Double release fails.
     assert!(e.release_prefix(0).is_err());
 }
+
+/// Promotion must survive recompute preemption of the promoting sequence:
+/// the keeper is added last so `LatestArrival` evicts it under memory
+/// pressure, it re-prefills, finishes, and still promotes blocks that a
+/// later release fully returns.
+#[test]
+fn promotion_survives_recompute_preemption() {
+    use vllm::core::{PreemptionMode, VictimPolicy};
+    let gpu_blocks = 10;
+    let cache = CacheConfig::new(4, gpu_blocks, 0).unwrap();
+    let sched = SchedulerConfig::new(512, 32, 512)
+        .unwrap()
+        .with_preemption_mode(PreemptionMode::Recompute)
+        .with_victim_policy(VictimPolicy::LatestArrival);
+    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    let mut e = LlmEngine::new(exec, cache, sched);
+
+    let filler: Vec<TokenId> = (1..=16).collect();
+    e.add_request(
+        "filler",
+        filler,
+        SamplingParams::greedy(16).with_ignore_eos(),
+    )
+    .unwrap();
+    let keeper_prompt: Vec<TokenId> = (101..=112).collect();
+    e.add_request(
+        "keeper",
+        keeper_prompt.clone(),
+        SamplingParams::greedy(8).with_ignore_eos(),
+    )
+    .unwrap();
+    e.retain_kv("keeper");
+
+    let outs = e.run_to_completion().unwrap();
+    let keeper = outs.iter().find(|o| o.request_id == "keeper").unwrap();
+    assert!(
+        keeper.num_preemptions > 0,
+        "test must exercise preemption of the promoting sequence"
+    );
+    assert!(e.scheduler().stats().num_recompute_preemptions > 0);
+
+    // Promotion happened despite the preemption and pins blocks.
+    let pid = e.promoted_prefix("keeper").expect("keeper promotes");
+    assert!(e.scheduler().block_manager().num_allocated_gpu_blocks() > 0);
+
+    // The promoted prefix is usable: a follow-up skips part of its prefill.
+    let before = e.executor().tokens_processed;
+    let mut follow = keeper_prompt;
+    follow.extend(&keeper.outputs[0].tokens);
+    follow.extend([90, 91, 92]);
+    let follow_len = follow.len();
+    e.add_request("followup", follow, SamplingParams::greedy(2))
+        .unwrap();
+    e.run_to_completion().unwrap();
+    let computed = e.executor().tokens_processed - before;
+    assert!(
+        (computed as usize) < follow_len,
+        "follow-up computed {computed} tokens, full prefill would be {follow_len}"
+    );
+
+    // Releasing the promoted prefix returns every pinned block.
+    e.release_prefix(pid).unwrap();
+    assert_eq!(
+        e.scheduler().block_manager().num_free_gpu_blocks(),
+        gpu_blocks
+    );
+}
+
+/// Same shape under swap-based preemption: the keeper's blocks go to CPU
+/// and back, and promotion still pins the (re-mapped) GPU blocks.
+#[test]
+fn promotion_survives_swap_preemption() {
+    use vllm::core::{PreemptionMode, VictimPolicy};
+    let gpu_blocks = 10;
+    let cache = CacheConfig::new(4, gpu_blocks, 32).unwrap();
+    let sched = SchedulerConfig::new(512, 32, 512)
+        .unwrap()
+        .with_preemption_mode(PreemptionMode::Swap)
+        .with_victim_policy(VictimPolicy::LatestArrival);
+    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    let mut e = LlmEngine::new(exec, cache, sched);
+
+    e.add_request(
+        "filler",
+        (1..=16).collect::<Vec<TokenId>>(),
+        SamplingParams::greedy(16).with_ignore_eos(),
+    )
+    .unwrap();
+    e.add_request(
+        "keeper",
+        (101..=112).collect::<Vec<TokenId>>(),
+        SamplingParams::greedy(8).with_ignore_eos(),
+    )
+    .unwrap();
+    e.retain_kv("keeper");
+
+    let outs = e.run_to_completion().unwrap();
+    let keeper = outs.iter().find(|o| o.request_id == "keeper").unwrap();
+    assert!(keeper.num_preemptions > 0, "keeper must get swapped out");
+    assert!(e.scheduler().stats().num_swap_preemptions > 0);
+
+    let pid = e.promoted_prefix("keeper").expect("keeper promotes");
+    assert!(e.scheduler().block_manager().num_allocated_gpu_blocks() > 0);
+    e.release_prefix(pid).unwrap();
+    assert_eq!(
+        e.scheduler().block_manager().num_free_gpu_blocks(),
+        gpu_blocks
+    );
+    // Swap space fully drained too.
+    assert_eq!(e.scheduler().block_manager().num_free_cpu_blocks(), 32);
+}

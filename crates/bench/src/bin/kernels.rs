@@ -1,0 +1,661 @@
+//! Numeric-layer microbenchmarks: the seed repository's scalar per-sequence
+//! decode/prefill paths vs the new blocked kernels and batched decode
+//! forward.
+//!
+//! Writes `BENCH_kernels.json` at the repository root (tokens/sec plus
+//! per-kernel nanoseconds from [`vllm_model::ops::timing`]). With `--ci` it
+//! additionally gates the batched-decode speedup (≥2× over the scalar
+//! per-sequence path at batch 16), checks that batched logits stay
+//! bit-identical to per-sequence blocked decode, and round-trips the JSON
+//! artifact, exiting non-zero on any failure.
+
+use std::time::Instant;
+
+use vllm_model::ops::{self, timing};
+use vllm_model::{
+    contiguous_causal_attention, paged_attention_decode, pool, DecodeInput, KvPool, ModelConfig,
+    PositionEncoding, Transformer,
+};
+
+/// Decode batch width the CI gate is defined over.
+const BATCH: usize = 16;
+/// Measured decode steps per path.
+const DECODE_STEPS: usize = 8;
+/// Unmeasured warm-up decode steps per path.
+const WARMUP_STEPS: usize = 2;
+/// Prompt length used for prefill and decode context.
+const PREFILL: usize = 32;
+/// Prompt length of the prefill-latency measurement.
+const PREFILL_BENCH_TOKENS: usize = 64;
+/// Prefill-latency iterations per path.
+const PREFILL_ITERS: usize = 3;
+/// KV block size (tokens per block).
+const BLOCK_SIZE: usize = 16;
+/// GEMM microbench shape (a prefill QKV projection).
+const GEMM_M: usize = 16;
+/// GEMM depth.
+const GEMM_K: usize = 256;
+/// GEMM width.
+const GEMM_N: usize = 1024;
+/// GEMM microbench iterations per kernel.
+const GEMM_ITERS: usize = 10;
+/// Layer-norm epsilon (matches the transformer's).
+const LN_EPS: f32 = 1e-5;
+
+/// A mid-size model: big enough that weight traffic dominates, small
+/// enough to bench in seconds.
+fn bench_config() -> ModelConfig {
+    ModelConfig {
+        vocab_size: 8192,
+        hidden: 256,
+        n_layers: 4,
+        n_heads: 8,
+        max_position: 256,
+        eos_token_id: 0,
+        seed: 0xbe9c,
+        position_encoding: PositionEncoding::Learned,
+    }
+}
+
+/// Deterministic pseudo-random token for sequence `seq` at `pos`.
+fn tok(seq: usize, pos: usize, vocab: usize) -> u32 {
+    let mixed = (seq * 131 + pos * 65_537 + 9).wrapping_mul(2_654_435_761);
+    (mixed % vocab) as u32
+}
+
+/// The seed repository's scalar LM head: one sequential dot product per
+/// vocabulary row, no unrolling.
+fn lm_head_seed(model: &Transformer, hidden_state: &[f32], logits: &mut [f32]) {
+    let h = model.config.hidden;
+    for (j, row) in model.wte.chunks_exact(h).enumerate() {
+        let mut s = 0.0f32;
+        for (x, w) in hidden_state.iter().zip(row) {
+            s += x * w;
+        }
+        logits[j] = s;
+    }
+}
+
+/// The seed repository's per-sequence decode step, reconstructed as the
+/// "old path" throughput baseline: scalar ikj [`ops::matmul_reference`]
+/// for every projection and a scalar LM-head loop. Attention reuses the
+/// shared PagedAttention kernel (unchanged math between old and new).
+fn forward_decode_seed(
+    model: &Transformer,
+    token: u32,
+    position: usize,
+    kv: &mut KvPool,
+    table: &[usize],
+) -> Vec<f32> {
+    let h = model.config.hidden;
+    let bs = kv.block_size();
+    let ctx = position + 1;
+    let mut x = vec![0.0f32; h];
+    let e = &model.wte[token as usize * h..(token as usize + 1) * h];
+    let p = &model.wpe[position * h..(position + 1) * h];
+    for j in 0..h {
+        x[j] = e[j] + p[j];
+    }
+    let mut qkv = vec![0.0f32; 3 * h];
+    let mut attn = vec![0.0f32; h];
+    let mut proj = vec![0.0f32; h];
+    let mut mid = vec![0.0f32; 4 * h];
+    for (li, lw) in model.layers.iter().enumerate() {
+        let mut hst = x.clone();
+        ops::layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
+        ops::matmul_reference(&hst, &lw.w_qkv, 1, h, 3 * h, &mut qkv);
+        ops::add_bias(&mut qkv, &lw.b_qkv);
+        kv.write(
+            li,
+            table[position / bs],
+            position % bs,
+            &qkv[h..2 * h],
+            &qkv[2 * h..3 * h],
+        );
+        paged_attention_decode(
+            &qkv[..h],
+            kv,
+            li,
+            table,
+            ctx,
+            model.config.n_heads,
+            model.config.head_dim(),
+            &mut attn,
+        );
+        ops::matmul_reference(&attn, &lw.w_o, 1, h, h, &mut proj);
+        ops::add_bias(&mut proj, &lw.b_o);
+        ops::add_inplace(&mut x, &proj);
+
+        let mut hst = x.clone();
+        ops::layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
+        ops::matmul_reference(&hst, &lw.w_fc, 1, h, 4 * h, &mut mid);
+        ops::add_bias(&mut mid, &lw.b_fc);
+        ops::gelu(&mut mid);
+        ops::matmul_reference(&mid, &lw.w_proj, 1, 4 * h, h, &mut proj);
+        ops::add_bias(&mut proj, &lw.b_proj);
+        ops::add_inplace(&mut x, &proj);
+    }
+    ops::layer_norm(&mut x, &model.ln_f_g, &model.ln_f_b, LN_EPS);
+    let mut logits = vec![0.0f32; model.config.vocab_size];
+    lm_head_seed(model, &x, &mut logits);
+    logits
+}
+
+/// The seed repository's scalar prefill, reconstructed for the
+/// prefill-latency comparison (same structure as
+/// [`Transformer::forward_paged`], scalar matmuls and LM head).
+fn forward_prefill_seed(
+    model: &Transformer,
+    tokens: &[u32],
+    kv: &mut KvPool,
+    table: &[usize],
+) -> Vec<f32> {
+    let n = tokens.len();
+    let h = model.config.hidden;
+    let bs = kv.block_size();
+    let mut x = vec![0.0f32; n * h];
+    for (i, &t) in tokens.iter().enumerate() {
+        let e = &model.wte[t as usize * h..(t as usize + 1) * h];
+        let p = &model.wpe[i * h..(i + 1) * h];
+        for j in 0..h {
+            x[i * h + j] = e[j] + p[j];
+        }
+    }
+    let mut qkv = vec![0.0f32; n * 3 * h];
+    let mut attn = vec![0.0f32; n * h];
+    let mut proj = vec![0.0f32; n * h];
+    let mut mid = vec![0.0f32; n * 4 * h];
+    for (li, lw) in model.layers.iter().enumerate() {
+        let mut hst = x.clone();
+        ops::layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
+        ops::matmul_reference(&hst, &lw.w_qkv, n, h, 3 * h, &mut qkv);
+        ops::add_bias(&mut qkv, &lw.b_qkv);
+        for (i, row) in qkv.chunks_exact(3 * h).enumerate() {
+            kv.write(
+                li,
+                table[i / bs],
+                i % bs,
+                &row[h..2 * h],
+                &row[2 * h..3 * h],
+            );
+        }
+        let (ks, vs) = kv.gather(li, table, n);
+        let mut q = vec![0.0f32; n * h];
+        for i in 0..n {
+            q[i * h..(i + 1) * h].copy_from_slice(&qkv[i * 3 * h..i * 3 * h + h]);
+        }
+        contiguous_causal_attention(
+            &q,
+            &ks,
+            &vs,
+            n,
+            n,
+            0,
+            model.config.n_heads,
+            model.config.head_dim(),
+            &mut attn,
+        );
+        ops::matmul_reference(&attn, &lw.w_o, n, h, h, &mut proj);
+        ops::add_bias(&mut proj, &lw.b_o);
+        ops::add_inplace(&mut x, &proj);
+
+        let mut hst = x.clone();
+        ops::layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
+        ops::matmul_reference(&hst, &lw.w_fc, n, h, 4 * h, &mut mid);
+        ops::add_bias(&mut mid, &lw.b_fc);
+        ops::gelu(&mut mid);
+        ops::matmul_reference(&mid, &lw.w_proj, n, 4 * h, h, &mut proj);
+        ops::add_bias(&mut proj, &lw.b_proj);
+        ops::add_inplace(&mut x, &proj);
+    }
+    let mut last = x[(n - 1) * h..n * h].to_vec();
+    ops::layer_norm(&mut last, &model.ln_f_g, &model.ln_f_b, LN_EPS);
+    let mut logits = vec![0.0f32; model.config.vocab_size];
+    lm_head_seed(model, &last, &mut logits);
+    logits
+}
+
+/// Everything the bench measures; serialized to `BENCH_kernels.json`.
+struct BenchReport {
+    batch_size: usize,
+    decode_steps: usize,
+    scalar_tokens_per_sec: f64,
+    per_seq_tokens_per_sec: f64,
+    batched_tokens_per_sec: f64,
+    batched_decode_speedup: f64,
+    prefill_tokens: usize,
+    prefill_scalar_latency_ms: f64,
+    prefill_latency_ms: f64,
+    prefill_speedup: f64,
+    gemm_m: usize,
+    gemm_k: usize,
+    gemm_n: usize,
+    matmul_reference_ns: f64,
+    matmul_blocked_ns: f64,
+    matmul_blocked_speedup: f64,
+    kernel_matmul_ns: u64,
+    kernel_matmul_calls: u64,
+    kernel_paged_attention_ns: u64,
+    kernel_paged_attention_calls: u64,
+    kernel_logits_ns: u64,
+    kernel_logits_calls: u64,
+    threads: usize,
+    logits_match: bool,
+}
+
+impl BenchReport {
+    /// One-line flat JSON document (numbers and one boolean; no nesting so
+    /// the round-trip parser stays trivial).
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let push_num = |s: &mut String, key: &str, v: f64| {
+            s.push_str(&format!("\"{key}\":{v:.4},"));
+        };
+        push_num(&mut s, "batch_size", self.batch_size as f64);
+        push_num(&mut s, "decode_steps", self.decode_steps as f64);
+        push_num(&mut s, "scalar_tokens_per_sec", self.scalar_tokens_per_sec);
+        push_num(
+            &mut s,
+            "per_seq_tokens_per_sec",
+            self.per_seq_tokens_per_sec,
+        );
+        push_num(
+            &mut s,
+            "batched_tokens_per_sec",
+            self.batched_tokens_per_sec,
+        );
+        push_num(
+            &mut s,
+            "batched_decode_speedup",
+            self.batched_decode_speedup,
+        );
+        push_num(&mut s, "prefill_tokens", self.prefill_tokens as f64);
+        push_num(
+            &mut s,
+            "prefill_scalar_latency_ms",
+            self.prefill_scalar_latency_ms,
+        );
+        push_num(&mut s, "prefill_latency_ms", self.prefill_latency_ms);
+        push_num(&mut s, "prefill_speedup", self.prefill_speedup);
+        push_num(&mut s, "gemm_m", self.gemm_m as f64);
+        push_num(&mut s, "gemm_k", self.gemm_k as f64);
+        push_num(&mut s, "gemm_n", self.gemm_n as f64);
+        push_num(&mut s, "matmul_reference_ns", self.matmul_reference_ns);
+        push_num(&mut s, "matmul_blocked_ns", self.matmul_blocked_ns);
+        push_num(
+            &mut s,
+            "matmul_blocked_speedup",
+            self.matmul_blocked_speedup,
+        );
+        push_num(&mut s, "kernel_matmul_ns", self.kernel_matmul_ns as f64);
+        push_num(
+            &mut s,
+            "kernel_matmul_calls",
+            self.kernel_matmul_calls as f64,
+        );
+        push_num(
+            &mut s,
+            "kernel_paged_attention_ns",
+            self.kernel_paged_attention_ns as f64,
+        );
+        push_num(
+            &mut s,
+            "kernel_paged_attention_calls",
+            self.kernel_paged_attention_calls as f64,
+        );
+        push_num(&mut s, "kernel_logits_ns", self.kernel_logits_ns as f64);
+        push_num(
+            &mut s,
+            "kernel_logits_calls",
+            self.kernel_logits_calls as f64,
+        );
+        push_num(&mut s, "threads", self.threads as f64);
+        s.push_str(&format!("\"logits_match\":{}}}", self.logits_match));
+        s
+    }
+}
+
+/// Extracts a numeric field from a flat JSON document written by
+/// [`BenchReport::to_json`]. Returns `None` if the key is absent or its
+/// value does not parse as a number.
+fn json_get(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// The repository root (two levels above the bench crate manifest).
+fn repo_root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."))
+}
+
+/// GEMM microbench: seed-scalar `matmul_reference` vs the blocked kernel,
+/// average nanoseconds per call over [`GEMM_ITERS`] iterations.
+fn bench_gemm() -> (f64, f64) {
+    let mut state = 0x1234_5678_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    let a: Vec<f32> = (0..GEMM_M * GEMM_K).map(|_| next()).collect();
+    let b: Vec<f32> = (0..GEMM_K * GEMM_N).map(|_| next()).collect();
+    let mut out_ref = vec![0.0f32; GEMM_M * GEMM_N];
+    let mut out_blk = vec![0.0f32; GEMM_M * GEMM_N];
+
+    // Warm both kernels once before timing.
+    ops::matmul_reference(&a, &b, GEMM_M, GEMM_K, GEMM_N, &mut out_ref);
+    ops::matmul(&a, &b, GEMM_M, GEMM_K, GEMM_N, &mut out_blk);
+    for (r, bl) in out_ref.iter().zip(&out_blk) {
+        assert!(
+            (r - bl).abs() < 1e-2,
+            "blocked matmul diverged from reference: {r} vs {bl}"
+        );
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..GEMM_ITERS {
+        ops::matmul_reference(&a, &b, GEMM_M, GEMM_K, GEMM_N, &mut out_ref);
+    }
+    let ref_ns = t0.elapsed().as_nanos() as f64 / GEMM_ITERS as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..GEMM_ITERS {
+        ops::matmul(&a, &b, GEMM_M, GEMM_K, GEMM_N, &mut out_blk);
+    }
+    let blk_ns = t0.elapsed().as_nanos() as f64 / GEMM_ITERS as f64;
+    (ref_ns, blk_ns)
+}
+
+/// Runs the full measurement suite and assembles the report.
+fn run_bench() -> BenchReport {
+    let config = bench_config();
+    let vocab = config.vocab_size;
+    let model = Transformer::new(config.clone());
+
+    // Enough blocks for BATCH decode sequences plus the prefill-latency
+    // scratch sequence.
+    let blocks_per_seq = (PREFILL + WARMUP_STEPS + DECODE_STEPS + 1).div_ceil(BLOCK_SIZE);
+    let scratch_blocks = PREFILL_BENCH_TOKENS.div_ceil(BLOCK_SIZE);
+    let total_blocks = BATCH * blocks_per_seq + scratch_blocks;
+    let mut kv = KvPool::new(config.n_layers, total_blocks, BLOCK_SIZE, config.hidden);
+
+    // Disjoint per-sequence block tables.
+    let tables: Vec<Vec<usize>> = (0..BATCH)
+        .map(|i| (i * blocks_per_seq..(i + 1) * blocks_per_seq).collect())
+        .collect();
+
+    // Prefill every sequence with a deterministic prompt.
+    for (i, table) in tables.iter().enumerate() {
+        let tokens: Vec<u32> = (0..PREFILL).map(|p| tok(i, p, vocab)).collect();
+        let positions: Vec<usize> = (0..PREFILL).collect();
+        model.forward_paged(&tokens, &positions, &mut kv, table, 0);
+    }
+
+    // All three decode paths run the SAME tokens at the SAME positions:
+    // each pass rewrites K/V at those positions, and the two blocked paths
+    // (which run last) write bit-identical values, so the bit-identity
+    // check at the end compares consistent states.
+    let step_inputs: Vec<Vec<(u32, usize)>> = (0..WARMUP_STEPS + DECODE_STEPS)
+        .map(|s| {
+            let pos = PREFILL + s;
+            (0..BATCH).map(|i| (tok(i, pos, vocab), pos)).collect()
+        })
+        .collect();
+
+    // Old path: scalar per-sequence decode (the pre-optimization code).
+    for step in &step_inputs[..WARMUP_STEPS] {
+        for (i, &(t, pos)) in step.iter().enumerate() {
+            forward_decode_seed(&model, t, pos, &mut kv, &tables[i]);
+        }
+    }
+    let t0 = Instant::now();
+    for step in &step_inputs[WARMUP_STEPS..] {
+        for (i, &(t, pos)) in step.iter().enumerate() {
+            forward_decode_seed(&model, t, pos, &mut kv, &tables[i]);
+        }
+    }
+    let scalar_elapsed = t0.elapsed();
+
+    // New kernels, still one sequence at a time.
+    let mut per_seq_last = vec![Vec::new(); BATCH];
+    for step in &step_inputs[..WARMUP_STEPS] {
+        for (i, &(t, pos)) in step.iter().enumerate() {
+            model.forward_paged(&[t], &[pos], &mut kv, &tables[i], pos);
+        }
+    }
+    let t0 = Instant::now();
+    for step in &step_inputs[WARMUP_STEPS..] {
+        for (i, &(t, pos)) in step.iter().enumerate() {
+            per_seq_last[i] = model.forward_paged(&[t], &[pos], &mut kv, &tables[i], pos);
+        }
+    }
+    let per_seq_elapsed = t0.elapsed();
+
+    // New path: one stacked batched forward per step.
+    let run_batched = |kv: &mut KvPool, step: &[(u32, usize)]| -> Vec<f32> {
+        let inputs: Vec<DecodeInput<'_>> = step
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, pos))| DecodeInput {
+                token: t,
+                position: pos,
+                block_table: &tables[i],
+            })
+            .collect();
+        model.forward_decode_batch(&inputs, kv)
+    };
+    for step in &step_inputs[..WARMUP_STEPS] {
+        run_batched(&mut kv, step);
+    }
+    let kernels_before = timing::snapshot();
+    let mut batched_last = Vec::new();
+    let t0 = Instant::now();
+    for step in &step_inputs[WARMUP_STEPS..] {
+        batched_last = run_batched(&mut kv, step);
+    }
+    let batched_elapsed = t0.elapsed();
+    let kernels = timing::snapshot().delta_since(&kernels_before);
+
+    // Bit-identity spot check on the final step's logits (blocked paths).
+    let logits_match =
+        (0..BATCH).all(|i| per_seq_last[i][..] == batched_last[i * vocab..(i + 1) * vocab]);
+
+    // Prefill latency, old vs new, over a scratch sequence.
+    let scratch_table: Vec<usize> =
+        (BATCH * blocks_per_seq..BATCH * blocks_per_seq + scratch_blocks).collect();
+    let tokens: Vec<u32> = (0..PREFILL_BENCH_TOKENS)
+        .map(|p| tok(99, p, vocab))
+        .collect();
+    let positions: Vec<usize> = (0..PREFILL_BENCH_TOKENS).collect();
+    forward_prefill_seed(&model, &tokens, &mut kv, &scratch_table);
+    let t0 = Instant::now();
+    for _ in 0..PREFILL_ITERS {
+        forward_prefill_seed(&model, &tokens, &mut kv, &scratch_table);
+    }
+    let prefill_scalar_ms = t0.elapsed().as_secs_f64() * 1e3 / PREFILL_ITERS as f64;
+    model.forward_paged(&tokens, &positions, &mut kv, &scratch_table, 0);
+    let t0 = Instant::now();
+    for _ in 0..PREFILL_ITERS {
+        model.forward_paged(&tokens, &positions, &mut kv, &scratch_table, 0);
+    }
+    let prefill_ms = t0.elapsed().as_secs_f64() * 1e3 / PREFILL_ITERS as f64;
+
+    let (ref_ns, blk_ns) = bench_gemm();
+
+    let decoded_tokens = (BATCH * DECODE_STEPS) as f64;
+    let scalar_tps = decoded_tokens / scalar_elapsed.as_secs_f64();
+    let per_seq_tps = decoded_tokens / per_seq_elapsed.as_secs_f64();
+    let batched_tps = decoded_tokens / batched_elapsed.as_secs_f64();
+    BenchReport {
+        batch_size: BATCH,
+        decode_steps: DECODE_STEPS,
+        scalar_tokens_per_sec: scalar_tps,
+        per_seq_tokens_per_sec: per_seq_tps,
+        batched_tokens_per_sec: batched_tps,
+        batched_decode_speedup: batched_tps / scalar_tps,
+        prefill_tokens: PREFILL_BENCH_TOKENS,
+        prefill_scalar_latency_ms: prefill_scalar_ms,
+        prefill_latency_ms: prefill_ms,
+        prefill_speedup: prefill_scalar_ms / prefill_ms,
+        gemm_m: GEMM_M,
+        gemm_k: GEMM_K,
+        gemm_n: GEMM_N,
+        matmul_reference_ns: ref_ns,
+        matmul_blocked_ns: blk_ns,
+        matmul_blocked_speedup: ref_ns / blk_ns,
+        kernel_matmul_ns: kernels.matmul_ns,
+        kernel_matmul_calls: kernels.matmul_calls,
+        kernel_paged_attention_ns: kernels.attention_ns,
+        kernel_paged_attention_calls: kernels.attention_calls,
+        kernel_logits_ns: kernels.logits_ns,
+        kernel_logits_calls: kernels.logits_calls,
+        threads: pool::global().parallelism(),
+        logits_match,
+    }
+}
+
+fn print_report(r: &BenchReport) {
+    println!("=== kernels: numeric-layer microbenchmarks ===");
+    println!("worker pool threads: {}", r.threads);
+    println!();
+    println!(
+        "decode throughput (batch {}, {} steps):",
+        r.batch_size, r.decode_steps
+    );
+    println!(
+        "  per-sequence, seed scalar kernels {:>10.1} tok/s",
+        r.scalar_tokens_per_sec
+    );
+    println!(
+        "  per-sequence, blocked kernels     {:>10.1} tok/s",
+        r.per_seq_tokens_per_sec
+    );
+    println!(
+        "  batched forward, blocked kernels  {:>10.1} tok/s",
+        r.batched_tokens_per_sec
+    );
+    println!(
+        "  batched speedup over seed scalar  {:>10.2}x",
+        r.batched_decode_speedup
+    );
+    println!(
+        "  batched logits bit-identical to per-sequence blocked: {}",
+        r.logits_match
+    );
+    println!();
+    println!("prefill latency ({} tokens):", r.prefill_tokens);
+    println!(
+        "  seed scalar {:>8.2} ms   blocked {:>8.2} ms   speedup {:.2}x",
+        r.prefill_scalar_latency_ms, r.prefill_latency_ms, r.prefill_speedup
+    );
+    println!();
+    println!(
+        "GEMM {}x{}x{} (avg of {} iters):",
+        r.gemm_m, r.gemm_k, r.gemm_n, GEMM_ITERS
+    );
+    println!("  seed scalar   {:>12.0} ns", r.matmul_reference_ns);
+    println!("  blocked       {:>12.0} ns", r.matmul_blocked_ns);
+    println!("  speedup       {:>12.2}x", r.matmul_blocked_speedup);
+    println!();
+    println!("per-kernel CPU time over the batched decode phase:");
+    println!(
+        "  matmul          {:>12} ns  ({} calls)",
+        r.kernel_matmul_ns, r.kernel_matmul_calls
+    );
+    println!(
+        "  paged_attention {:>12} ns  ({} calls)",
+        r.kernel_paged_attention_ns, r.kernel_paged_attention_calls
+    );
+    println!(
+        "  logits          {:>12} ns  ({} calls)",
+        r.kernel_logits_ns, r.kernel_logits_calls
+    );
+}
+
+fn main() {
+    let ci = std::env::args().any(|a| a == "--ci");
+    let report = run_bench();
+    print_report(&report);
+
+    let path = repo_root().join("BENCH_kernels.json");
+    let mut json = report.to_json();
+    json.push('\n');
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!();
+    println!("wrote {}", path.display());
+
+    if !ci {
+        return;
+    }
+
+    let mut failures = 0usize;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("FAIL: {what}");
+            failures += 1;
+        }
+    };
+
+    check(
+        report.batched_decode_speedup >= 2.0,
+        &format!(
+            "batched decode speedup {:.2}x is below the 2x gate at batch {}",
+            report.batched_decode_speedup, report.batch_size
+        ),
+    );
+    check(
+        report.logits_match,
+        "batched decode logits are not bit-identical to per-sequence decode",
+    );
+    check(
+        report.kernel_matmul_calls > 0
+            && report.kernel_paged_attention_calls > 0
+            && report.kernel_logits_calls > 0,
+        "kernel timing counters did not advance during the batched phase",
+    );
+
+    // JSON round trip: every numeric field must survive write + parse.
+    let written = std::fs::read_to_string(&path).expect("read back BENCH_kernels.json");
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-3 * a.abs().max(1.0);
+    let fields: Vec<(&str, f64)> = vec![
+        ("batch_size", report.batch_size as f64),
+        ("decode_steps", report.decode_steps as f64),
+        ("scalar_tokens_per_sec", report.scalar_tokens_per_sec),
+        ("per_seq_tokens_per_sec", report.per_seq_tokens_per_sec),
+        ("batched_tokens_per_sec", report.batched_tokens_per_sec),
+        ("batched_decode_speedup", report.batched_decode_speedup),
+        (
+            "prefill_scalar_latency_ms",
+            report.prefill_scalar_latency_ms,
+        ),
+        ("prefill_latency_ms", report.prefill_latency_ms),
+        ("matmul_reference_ns", report.matmul_reference_ns),
+        ("matmul_blocked_ns", report.matmul_blocked_ns),
+        ("kernel_matmul_ns", report.kernel_matmul_ns as f64),
+        ("kernel_logits_calls", report.kernel_logits_calls as f64),
+        ("threads", report.threads as f64),
+    ];
+    for (key, expect) in fields {
+        match json_get(&written, key) {
+            Some(v) => check(
+                close(v, expect),
+                &format!("round-trip mismatch for {key}: wrote {expect}, parsed {v}"),
+            ),
+            None => check(false, &format!("round-trip lost field {key}")),
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("kernels bench CI: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("kernels bench CI OK");
+}

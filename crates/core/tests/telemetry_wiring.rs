@@ -215,3 +215,35 @@ fn counters_are_monotone_across_runs_and_snapshot_round_trips() {
     let reparsed = MetricsSnapshot::from_json(&json).unwrap();
     assert_eq!(reparsed, second);
 }
+
+#[test]
+fn model_kernel_histograms_are_registered_and_observed() {
+    // The real CPU executor must register the per-kernel timing histograms
+    // and observe into them on every step (matmul + paged-attention +
+    // logits-projection seconds).
+    use vllm_model::{CpuModelExecutor, ModelConfig};
+    let cache = CacheConfig::new(BS, 64, 0)
+        .unwrap()
+        .with_watermark(0.0)
+        .unwrap();
+    let sched = SchedulerConfig::new(2048, 16, 2048).unwrap();
+    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    let mut e = LlmEngine::new(exec, cache, sched);
+    e.add_request("a", vec![1, 2, 3, 4], SamplingParams::greedy(4))
+        .unwrap();
+    e.add_request("b", vec![5, 6, 7], SamplingParams::greedy(3))
+        .unwrap();
+    e.run_to_completion().unwrap();
+
+    let snap = e.metrics_snapshot();
+    for name in [
+        "vllm_model_kernel_matmul_seconds",
+        "vllm_model_kernel_paged_attention_seconds",
+        "vllm_model_kernel_logits_seconds",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
+        assert!(h.count > 0, "{name} registered but never observed");
+    }
+}

@@ -7,7 +7,8 @@
 //! accumulates `V_j A_ij` without materializing the full attention row.
 
 use crate::kv_cache::KvPool;
-use crate::ops::{axpy, dot, softmax};
+use crate::ops::{axpy, dot, softmax, timing};
+use crate::pool::WorkerPool;
 
 /// Multi-head causal attention over contiguous K/V buffers.
 ///
@@ -124,43 +125,152 @@ pub fn paged_attention_decode(
         "block table has {} entries, context needs {num_blocks}",
         block_table.len()
     );
-    let scale = 1.0 / (head_dim as f32).sqrt();
-
     for h in 0..n_heads {
         let ho = h * head_dim;
-        let q_h = &q[ho..ho + head_dim];
-        // Online softmax state for this head.
-        let mut m = f32::NEG_INFINITY;
-        let mut l = 0.0f32;
-        let mut acc = vec![0.0f32; head_dim];
-        for (j, &block) in block_table.iter().take(num_blocks).enumerate() {
-            let fill = (context_len - j * bs).min(bs);
-            let k_block = pool.key_block(layer, block);
-            let v_block = pool.value_block(layer, block);
-            for slot in 0..fill {
-                let k_h = &k_block[slot * hidden + ho..slot * hidden + ho + head_dim];
-                let s = dot(q_h, k_h) * scale;
-                let m_new = m.max(s);
-                let correction = (m - m_new).exp();
-                let w = (s - m_new).exp();
-                l = l * correction + w;
-                for a in acc.iter_mut() {
-                    *a *= correction;
-                }
-                let v_h = &v_block[slot * hidden + ho..slot * hidden + ho + head_dim];
-                axpy(&mut acc, w, v_h);
-                m = m_new;
+        decode_head(
+            &q[ho..ho + head_dim],
+            pool,
+            layer,
+            block_table,
+            context_len,
+            ho,
+            &mut out[ho..ho + head_dim],
+        );
+    }
+}
+
+/// Online-softmax PagedAttention for one (query, head) pair: the shared
+/// inner routine of the solo and batched decode kernels, so their outputs
+/// are bit-identical by construction.
+///
+/// `q_h` and `o` are `head_dim`-sized slices; `ho` is the head's offset
+/// into the `hidden`-wide K/V vectors of the pool.
+fn decode_head(
+    q_h: &[f32],
+    pool: &KvPool,
+    layer: usize,
+    block_table: &[usize],
+    context_len: usize,
+    ho: usize,
+    o: &mut [f32],
+) {
+    let head_dim = q_h.len();
+    let hidden = pool.hidden();
+    let bs = pool.block_size();
+    let num_blocks = context_len.div_ceil(bs);
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    // Online softmax state for this head.
+    let mut m = f32::NEG_INFINITY;
+    let mut l = 0.0f32;
+    let mut acc = vec![0.0f32; head_dim];
+    for (j, &block) in block_table.iter().take(num_blocks).enumerate() {
+        let fill = (context_len - j * bs).min(bs);
+        let k_block = pool.key_block(layer, block);
+        let v_block = pool.value_block(layer, block);
+        for slot in 0..fill {
+            let k_h = &k_block[slot * hidden + ho..slot * hidden + ho + head_dim];
+            let s = dot(q_h, k_h) * scale;
+            let m_new = m.max(s);
+            let correction = (m - m_new).exp();
+            let w = (s - m_new).exp();
+            l = l * correction + w;
+            for a in acc.iter_mut() {
+                *a *= correction;
             }
-        }
-        let o = &mut out[ho..ho + head_dim];
-        if l > 0.0 {
-            for (dst, a) in o.iter_mut().zip(&acc) {
-                *dst = a / l;
-            }
-        } else {
-            o.fill(0.0);
+            let v_h = &v_block[slot * hidden + ho..slot * hidden + ho + head_dim];
+            axpy(&mut acc, w, v_h);
+            m = m_new;
         }
     }
+    if l > 0.0 {
+        for (dst, a) in o.iter_mut().zip(&acc) {
+            *dst = a / l;
+        }
+    } else {
+        o.fill(0.0);
+    }
+}
+
+/// One sequence's KV addressing for the batched decode kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeSeq<'a> {
+    /// Physical block indices for the sequence's logical blocks.
+    pub block_table: &'a [usize],
+    /// Valid KV slots (the query's own K/V already written at the end).
+    pub context_len: usize,
+}
+
+/// Batched PagedAttention decode (§4.3, §5.1): one query token per
+/// sequence, all sequences in one call, parallelized over (sequence, head)
+/// pairs on the worker pool with independent online-softmax state per
+/// pair.
+///
+/// `q` and `out` are `batch × hidden` with row `i` belonging to `seqs[i]`.
+/// Each pair runs the same inner routine as [`paged_attention_decode`], so
+/// every output row is bit-identical to a solo call for that sequence.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any block table is too short for its
+/// context length.
+#[allow(clippy::too_many_arguments)]
+pub fn paged_attention_decode_batch(
+    q: &[f32],
+    pool: &KvPool,
+    layer: usize,
+    seqs: &[DecodeSeq<'_>],
+    n_heads: usize,
+    head_dim: usize,
+    workers: &WorkerPool,
+    out: &mut [f32],
+) {
+    let start = std::time::Instant::now();
+    let hidden = n_heads * head_dim;
+    let batch = seqs.len();
+    assert_eq!(q.len(), batch * hidden);
+    assert_eq!(out.len(), batch * hidden);
+    assert_eq!(pool.hidden(), hidden);
+    let bs = pool.block_size();
+    for s in seqs {
+        let num_blocks = s.context_len.div_ceil(bs);
+        assert!(
+            s.block_table.len() >= num_blocks,
+            "block table has {} entries, context needs {num_blocks}",
+            s.block_table.len()
+        );
+    }
+    let total_pairs = batch * n_heads;
+    if total_pairs == 0 {
+        return;
+    }
+    // Split the (sequence, head) pair space into contiguous ranges, one
+    // per worker. `out` is pair-major (`batch × n_heads × head_dim`), so a
+    // pair range is a contiguous `&mut` chunk.
+    let n_tasks = workers.parallelism().min(total_pairs);
+    let pairs_per_task = total_pairs.div_ceil(n_tasks);
+    workers.scoped(|scope| {
+        for (t, out_chunk) in out.chunks_mut(pairs_per_task * head_dim).enumerate() {
+            let base = t * pairs_per_task;
+            scope.spawn(move || {
+                for (i, o) in out_chunk.chunks_mut(head_dim).enumerate() {
+                    let pair = base + i;
+                    let seq = pair / n_heads;
+                    let ho = (pair % n_heads) * head_dim;
+                    let q_h = &q[seq * hidden + ho..seq * hidden + ho + head_dim];
+                    decode_head(
+                        q_h,
+                        pool,
+                        layer,
+                        seqs[seq].block_table,
+                        seqs[seq].context_len,
+                        ho,
+                        o,
+                    );
+                }
+            });
+        }
+    });
+    timing::record_attention(start.elapsed());
 }
 
 #[cfg(test)]
@@ -288,6 +398,65 @@ mod tests {
         );
         for (a, b) in out[..HIDDEN].iter().zip(&d) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batched_decode_bit_identical_to_solo() {
+        let workers = WorkerPool::new(3);
+        for &bs in &[1usize, 4, 16] {
+            let ctxs = [1usize, 5, 17, 33];
+            // One shared physical pool holding all sequences.
+            let blocks_needed: usize = ctxs.iter().map(|c| c.div_ceil(bs)).sum();
+            let mut pool = KvPool::new(1, blocks_needed + 1, bs, HIDDEN);
+            let mut tables: Vec<Vec<usize>> = Vec::new();
+            let mut next_block = 0;
+            for (si, &ctx) in ctxs.iter().enumerate() {
+                let nb = ctx.div_ceil(bs);
+                let table: Vec<usize> = (next_block..next_block + nb).collect();
+                next_block += nb;
+                let k = fill(100 + si as u64, ctx * HIDDEN);
+                let v = fill(200 + si as u64, ctx * HIDDEN);
+                for t in 0..ctx {
+                    pool.write(
+                        0,
+                        table[t / bs],
+                        t % bs,
+                        &k[t * HIDDEN..(t + 1) * HIDDEN],
+                        &v[t * HIDDEN..(t + 1) * HIDDEN],
+                    );
+                }
+                tables.push(table);
+            }
+            let q = fill(300, ctxs.len() * HIDDEN);
+            let seqs: Vec<DecodeSeq<'_>> = ctxs
+                .iter()
+                .zip(&tables)
+                .map(|(&context_len, table)| DecodeSeq {
+                    block_table: table,
+                    context_len,
+                })
+                .collect();
+            let mut batched = vec![0.0; ctxs.len() * HIDDEN];
+            paged_attention_decode_batch(&q, &pool, 0, &seqs, H, HD, &workers, &mut batched);
+            for (si, s) in seqs.iter().enumerate() {
+                let mut solo = vec![0.0; HIDDEN];
+                paged_attention_decode(
+                    &q[si * HIDDEN..(si + 1) * HIDDEN],
+                    &pool,
+                    0,
+                    s.block_table,
+                    s.context_len,
+                    H,
+                    HD,
+                    &mut solo,
+                );
+                assert_eq!(
+                    &batched[si * HIDDEN..(si + 1) * HIDDEN],
+                    &solo[..],
+                    "bs={bs} seq={si}: batched row must be bit-identical to solo"
+                );
+            }
         }
     }
 

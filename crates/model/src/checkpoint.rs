@@ -165,9 +165,12 @@ pub fn load(data: &[u8]) -> Result<Transformer, CheckpointError> {
             b_proj: get_tensor(&mut buf, h)?,
         });
     }
+    // The transposed LM-head copy is derived, not serialized.
+    let wte_t = crate::ops::transpose(&wte, config.vocab_size, h);
     Ok(Transformer {
         config,
         wte,
+        wte_t,
         wpe,
         layers,
         ln_f_g,

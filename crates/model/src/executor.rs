@@ -8,8 +8,9 @@ use vllm_core::plan::StepPlan;
 
 use crate::config::ModelConfig;
 use crate::kv_cache::KvCache;
+use crate::ops::timing;
 use crate::sampler::{mix_seed, sample_candidates};
-use crate::transformer::Transformer;
+use crate::transformer::{DecodeInput, Transformer};
 use vllm_core::config::CacheConfig;
 
 /// Cached telemetry handles for the CPU executor, registered lazily when the
@@ -19,6 +20,46 @@ struct ExecutorTelemetry {
     forward_seconds: vllm_telemetry::Histogram,
     tokens_total: vllm_telemetry::Counter,
     steps_total: vllm_telemetry::Counter,
+    kernels: KernelTelemetry,
+}
+
+/// Per-kernel timing histograms shared by the CPU and TP executors.
+#[derive(Debug, Clone)]
+pub(crate) struct KernelTelemetry {
+    matmul_seconds: vllm_telemetry::Histogram,
+    attention_seconds: vllm_telemetry::Histogram,
+    logits_seconds: vllm_telemetry::Histogram,
+}
+
+impl KernelTelemetry {
+    /// Registers the `vllm_model_kernel_*` histograms.
+    pub(crate) fn register(r: &vllm_telemetry::MetricsRegistry) -> Self {
+        Self {
+            matmul_seconds: r.histogram(
+                "vllm_model_kernel_matmul_seconds",
+                "Time in dense matmul kernels per step (summed across pool threads).",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            attention_seconds: r.histogram(
+                "vllm_model_kernel_paged_attention_seconds",
+                "Time in PagedAttention decode kernels per step.",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+            logits_seconds: r.histogram(
+                "vllm_model_kernel_logits_seconds",
+                "Time in the LM-head logits projection per step.",
+                vllm_telemetry::BucketSpec::seconds(),
+            ),
+        }
+    }
+
+    /// Observes the kernel-time deltas accumulated during one step.
+    pub(crate) fn observe_step(&self, before: &timing::KernelSnapshot) {
+        let d = timing::snapshot().delta_since(before);
+        self.matmul_seconds.observe(d.matmul_ns as f64 / 1e9);
+        self.attention_seconds.observe(d.attention_ns as f64 / 1e9);
+        self.logits_seconds.observe(d.logits_ns as f64 / 1e9);
+    }
 }
 
 /// Executes scheduled iterations on a CPU transformer with a paged KV cache.
@@ -75,13 +116,19 @@ impl CpuModelExecutor {
 impl ModelExecutor for CpuModelExecutor {
     fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let start = Instant::now();
+        let kernels_before = timing::snapshot();
         self.steps += 1;
         // Cache operations first (§4.3: memory-management instructions
         // arrive with the step's control message).
         self.cache.apply(&plan.cache_ops);
 
-        let mut outputs = Vec::with_capacity(plan.items.len());
-        for item in &plan.items {
+        // Split the step into decode-phase items (computed suffix of one
+        // token: generation steps, but also fully-prefix-cached prefills)
+        // and prompt-phase items. Decode items run as ONE stacked forward;
+        // prompt items keep their per-sequence path.
+        let mut outputs: Vec<Option<SeqStepOutput>> = plan.items.iter().map(|_| None).collect();
+        let mut decode: Vec<(usize, usize)> = Vec::new(); // (item index, skip)
+        for (i, item) in plan.items.iter().enumerate() {
             if item.tokens.is_empty() {
                 return Err(VllmError::Executor("empty step input".into()));
             }
@@ -92,6 +139,10 @@ impl ModelExecutor for CpuModelExecutor {
             } else {
                 0
             };
+            if item.tokens.len() - skip == 1 {
+                decode.push((i, skip));
+                continue;
+            }
             let tokens = &item.tokens[skip..];
             let positions: Vec<usize> =
                 (item.first_position + skip..item.first_position + item.tokens.len()).collect();
@@ -105,16 +156,53 @@ impl ModelExecutor for CpuModelExecutor {
             self.tokens_processed += tokens.len() as u64;
             let seed = mix_seed(item.seed, item.seq_id, item.context_len());
             let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
-            outputs.push(SeqStepOutput {
+            outputs[i] = Some(SeqStepOutput {
                 seq_id: item.seq_id,
                 candidates,
             });
         }
+        if !decode.is_empty() {
+            let inputs: Vec<DecodeInput<'_>> = decode
+                .iter()
+                .map(|&(i, skip)| {
+                    let item = &plan.items[i];
+                    DecodeInput {
+                        token: item.tokens[skip],
+                        position: item.first_position + skip,
+                        block_table: &item.block_table,
+                    }
+                })
+                .collect();
+            let logits = self
+                .model
+                .forward_decode_batch(&inputs, &mut self.cache.gpu);
+            let vocab = self.model.config.vocab_size;
+            for (row, &(i, _)) in decode.iter().enumerate() {
+                let item = &plan.items[i];
+                let seed = mix_seed(item.seed, item.seq_id, item.context_len());
+                let candidates = sample_candidates(
+                    &logits[row * vocab..(row + 1) * vocab],
+                    item.mode,
+                    item.num_candidates,
+                    seed,
+                );
+                outputs[i] = Some(SeqStepOutput {
+                    seq_id: item.seq_id,
+                    candidates,
+                });
+            }
+            self.tokens_processed += decode.len() as u64;
+        }
+        let outputs: Vec<SeqStepOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every plan item produced an output"))
+            .collect();
         let elapsed = start.elapsed().as_secs_f64();
         if let Some(t) = &self.telemetry {
             t.forward_seconds.observe(elapsed);
             t.tokens_total.inc_by(plan.num_tokens() as u64);
             t.steps_total.inc();
+            t.kernels.observe_step(&kernels_before);
         }
         Ok(StepResult { outputs, elapsed })
     }
@@ -135,6 +223,7 @@ impl ModelExecutor for CpuModelExecutor {
                 "vllm_executor_steps_total",
                 "Iterations executed by the model executor.",
             ),
+            kernels: KernelTelemetry::register(r),
         });
     }
 }

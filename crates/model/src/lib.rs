@@ -31,12 +31,14 @@ pub mod executor;
 pub mod kv_cache;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod sampler;
 pub mod tokenizer;
 pub mod transformer;
 
 pub use attention::{
     contiguous_attention_decode, contiguous_causal_attention, paged_attention_decode,
+    paged_attention_decode_batch, DecodeSeq,
 };
 pub use bpe::BpeTokenizer;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
@@ -44,6 +46,7 @@ pub use config::{ModelConfig, PositionEncoding};
 pub use executor::CpuModelExecutor;
 pub use kv_cache::{KvCache, KvPool};
 pub use parallel::TensorParallelExecutor;
+pub use pool::WorkerPool;
 pub use sampler::{mix_seed, sample_candidates};
 pub use tokenizer::{ByteTokenizer, BOS, EOS, PAD, VOCAB_SIZE};
-pub use transformer::{LayerWeights, Transformer};
+pub use transformer::{DecodeInput, LayerWeights, Transformer};

@@ -1,17 +1,120 @@
 //! Dense kernels for the CPU transformer: matmul, layer norm, GELU,
 //! softmax. All tensors are row-major `f32` slices with explicit shapes.
+//!
+//! The matmul family is cache-blocked: the right-hand side is walked in
+//! `KB × NB` panels (packed into a contiguous scratch when enough rows
+//! amortize the copy) and the inner accumulation is unrolled four-deep so
+//! the autovectorizer can lift it to SIMD. Per output element the
+//! accumulation order depends only on `k`, never on `m`, `n`, or the
+//! blocking — so a row of a batched matmul is bit-identical to the same
+//! row computed alone, which is what makes batched decode exactly match
+//! per-sequence decode.
+//!
+//! Large shapes parallelize over row chunks through the persistent
+//! [`crate::pool`] worker pool instead of spawning scoped threads per call.
 
-/// `out[m×n] = a[m×k] @ b[k×n]`, row-major, accumulating in `f32`.
+use crate::pool;
+
+/// Depth (`k`) of one cache block of the right-hand side.
+const KB: usize = 128;
+/// Width (`n`) of one cache block of the right-hand side.
+const NB: usize = 256;
+/// Minimum row count for which packing a B panel pays for itself.
+const PACK_MIN_ROWS: usize = 4;
+
+/// Kernel timing accumulators (see [`timing`]).
+pub mod timing {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static MATMUL_NS: AtomicU64 = AtomicU64::new(0);
+    static MATMUL_CALLS: AtomicU64 = AtomicU64::new(0);
+    static ATTENTION_NS: AtomicU64 = AtomicU64::new(0);
+    static ATTENTION_CALLS: AtomicU64 = AtomicU64::new(0);
+    static LOGITS_NS: AtomicU64 = AtomicU64::new(0);
+    static LOGITS_CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// Cumulative process-wide kernel counters. Executors snapshot these
+    /// around a step and observe the deltas into their telemetry
+    /// histograms; benches read them for per-kernel nanosecond reports.
+    ///
+    /// Times are summed across threads (worker-pool tasks record their own
+    /// spans), so they measure kernel CPU time, not wall time.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct KernelSnapshot {
+        /// Nanoseconds spent in dense matmul kernels.
+        pub matmul_ns: u64,
+        /// Dense matmul invocations.
+        pub matmul_calls: u64,
+        /// Nanoseconds spent in PagedAttention decode kernels.
+        pub attention_ns: u64,
+        /// PagedAttention decode invocations.
+        pub attention_calls: u64,
+        /// Nanoseconds spent in the logits (LM head) projection.
+        pub logits_ns: u64,
+        /// Logits projection invocations.
+        pub logits_calls: u64,
+    }
+
+    impl KernelSnapshot {
+        /// Counter increments since `earlier`.
+        #[must_use]
+        pub fn delta_since(&self, earlier: &Self) -> Self {
+            Self {
+                matmul_ns: self.matmul_ns.wrapping_sub(earlier.matmul_ns),
+                matmul_calls: self.matmul_calls.wrapping_sub(earlier.matmul_calls),
+                attention_ns: self.attention_ns.wrapping_sub(earlier.attention_ns),
+                attention_calls: self.attention_calls.wrapping_sub(earlier.attention_calls),
+                logits_ns: self.logits_ns.wrapping_sub(earlier.logits_ns),
+                logits_calls: self.logits_calls.wrapping_sub(earlier.logits_calls),
+            }
+        }
+    }
+
+    /// Reads the current cumulative counters.
+    #[must_use]
+    pub fn snapshot() -> KernelSnapshot {
+        KernelSnapshot {
+            matmul_ns: MATMUL_NS.load(Ordering::Relaxed),
+            matmul_calls: MATMUL_CALLS.load(Ordering::Relaxed),
+            attention_ns: ATTENTION_NS.load(Ordering::Relaxed),
+            attention_calls: ATTENTION_CALLS.load(Ordering::Relaxed),
+            logits_ns: LOGITS_NS.load(Ordering::Relaxed),
+            logits_calls: LOGITS_CALLS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one dense matmul span.
+    pub fn record_matmul(elapsed: Duration) {
+        MATMUL_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        MATMUL_CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one PagedAttention decode span.
+    pub fn record_attention(elapsed: Duration) {
+        ATTENTION_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        ATTENTION_CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one logits-projection span.
+    pub fn record_logits(elapsed: Duration) {
+        LOGITS_NS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        LOGITS_CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The seed repository's scalar ikj matmul, kept verbatim (including its
+/// branch-per-element sparsity check) as the baseline for equivalence
+/// tests and the `kernels` bench.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the shapes.
-pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "lhs shape mismatch");
     assert_eq!(b.len(), k * n, "rhs shape mismatch");
     assert_eq!(out.len(), m * n, "out shape mismatch");
     out.fill(0.0);
-    // ikj loop order keeps the inner loop streaming over contiguous rows.
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -27,39 +130,380 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
     }
 }
 
+/// Accumulates `out_row += a_blk @ panel` where panel row `p` starts at
+/// `rows[base + p * stride]` and spans `nb` columns. Four B rows are
+/// consumed per iteration so each output element gets four fused
+/// multiply-adds of independent streams; the remainder is handled one row
+/// at a time. The per-element accumulation order is a function of the row
+/// index alone, keeping results independent of packing and of `m`.
+#[inline]
+fn accumulate_panel(
+    a_blk: &[f32],
+    rows: &[f32],
+    base: usize,
+    stride: usize,
+    nb: usize,
+    out_row: &mut [f32],
+) {
+    let kb = a_blk.len();
+    let out_row = &mut out_row[..nb];
+    let mut p = 0;
+    while p + 4 <= kb {
+        let (a0, a1, a2, a3) = (a_blk[p], a_blk[p + 1], a_blk[p + 2], a_blk[p + 3]);
+        let r0 = &rows[base + p * stride..base + p * stride + nb];
+        let r1 = &rows[base + (p + 1) * stride..base + (p + 1) * stride + nb];
+        let r2 = &rows[base + (p + 2) * stride..base + (p + 2) * stride + nb];
+        let r3 = &rows[base + (p + 3) * stride..base + (p + 3) * stride + nb];
+        for j in 0..nb {
+            out_row[j] += a0 * r0[j] + a1 * r1[j] + a2 * r2[j] + a3 * r3[j];
+        }
+        p += 4;
+    }
+    while p < kb {
+        let ap = a_blk[p];
+        let r = &rows[base + p * stride..base + p * stride + nb];
+        for (o, &v) in out_row.iter_mut().zip(r) {
+            *o += ap * v;
+        }
+        p += 1;
+    }
+}
+
+/// `out[m×n] = a[m×k] @ b[k×n]`, row-major, accumulating in `f32`.
+///
+/// Cache-blocked over `KB × NB` panels of `b`; panels are packed into a
+/// contiguous scratch buffer when `m` is large enough to amortize the
+/// copy. Each output row is bit-identical to the `m = 1` product of that
+/// row, regardless of batching or blocking.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    out.fill(0.0);
+    let pack = m >= PACK_MIN_ROWS;
+    let mut panel = if pack {
+        vec![0.0f32; KB.min(k) * NB.min(n)]
+    } else {
+        Vec::new()
+    };
+    let mut kk = 0;
+    while kk < k {
+        let kb = KB.min(k - kk);
+        let mut nn = 0;
+        while nn < n {
+            let nb = NB.min(n - nn);
+            if pack {
+                for p in 0..kb {
+                    let src = (kk + p) * n + nn;
+                    panel[p * nb..(p + 1) * nb].copy_from_slice(&b[src..src + nb]);
+                }
+            }
+            for i in 0..m {
+                let a_blk = &a[i * k + kk..i * k + kk + kb];
+                let out_row = &mut out[i * n + nn..i * n + nn + nb];
+                if pack {
+                    accumulate_panel(a_blk, &panel, 0, nb, nb, out_row);
+                } else {
+                    accumulate_panel(a_blk, b, kk * n + nn, n, nb, out_row);
+                }
+            }
+            nn += nb;
+        }
+        kk += kb;
+    }
+}
+
 /// Work size (in multiply-adds) above which [`matmul_auto`] parallelizes.
 pub const PARALLEL_MATMUL_THRESHOLD: usize = 1 << 21;
 
-/// `out[m×n] = a[m×k] @ b[k×n]`, splitting rows across threads for large
-/// shapes (prompt-phase matmuls) and falling back to the serial kernel for
-/// small ones (decode steps), where thread spawn costs would dominate.
+/// `out[m×n] = a[m×k] @ b[k×n]`, splitting rows across the persistent
+/// worker pool for large shapes (prompt-phase and batched-decode matmuls)
+/// and falling back to the serial kernel for small ones, where task
+/// dispatch would dominate. Results are bit-identical to [`matmul`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the shapes.
 pub fn matmul_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let start = std::time::Instant::now();
+    matmul_auto_untimed(a, b, m, k, n, out);
+    timing::record_matmul(start.elapsed());
+}
+
+/// [`matmul_auto`] recorded into the logits kernel counters instead of
+/// the dense-matmul ones — the LM-head projection over the pre-transposed
+/// tied embedding ([`crate::Transformer::wte_t`]) goes through here so the
+/// per-kernel telemetry separates logits time from layer matmul time.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_logits_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let start = std::time::Instant::now();
+    matmul_auto_untimed(a, b, m, k, n, out);
+    timing::record_logits(start.elapsed());
+}
+
+fn matmul_auto_untimed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     let work = m * k * n;
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 || m < 2 {
+    let workers = pool::global();
+    let threads = workers.parallelism();
+    if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 {
         matmul(a, b, m, k, n, out);
         return;
     }
     assert_eq!(a.len(), m * k, "lhs shape mismatch");
     assert_eq!(b.len(), k * n, "rhs shape mismatch");
     assert_eq!(out.len(), m * n, "out shape mismatch");
-    let n_chunks = threads.min(m).min(8);
+    if m == 1 {
+        // A single wide row (the solo LM-head shape): stripe the output
+        // columns across the pool instead.
+        if n < 2 * threads {
+            matmul(a, b, m, k, n, out);
+            return;
+        }
+        let cols = n.div_ceil(threads);
+        workers.scoped(|s| {
+            for (t, out_chunk) in out.chunks_mut(cols).enumerate() {
+                s.spawn(move || matmul_one_row_cols(a, b, k, n, t * cols, out_chunk));
+            }
+        });
+        return;
+    }
+    let n_chunks = threads.min(m);
     let rows_per_chunk = m.div_ceil(n_chunks);
-    std::thread::scope(|scope| {
+    workers.scoped(|s| {
         for (a_chunk, out_chunk) in a
             .chunks(rows_per_chunk * k)
             .zip(out.chunks_mut(rows_per_chunk * n))
         {
-            scope.spawn(move || {
+            s.spawn(move || {
                 let rows = a_chunk.len() / k;
                 matmul(a_chunk, b, rows, k, n, out_chunk);
             });
         }
     });
+}
+
+/// One output-column window of a single-row product: `out` receives
+/// columns `j0 .. j0 + out.len()` of `a[1×k] @ b[k×n]`. Same `KB`/`NB`
+/// panel walk as [`matmul`]; per-element accumulation order depends only
+/// on `k`, so stripes are bit-identical to the full serial product.
+fn matmul_one_row_cols(a: &[f32], b: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    let width = out.len();
+    let mut kk = 0;
+    while kk < k {
+        let kb = KB.min(k - kk);
+        let a_blk = &a[kk..kk + kb];
+        let mut nn = 0;
+        while nn < width {
+            let nb = NB.min(width - nn);
+            accumulate_panel(a_blk, b, kk * n + j0 + nn, n, nb, &mut out[nn..nn + nb]);
+            nn += nb;
+        }
+        kk += kb;
+    }
+}
+
+/// Transposes a row-major `rows × cols` matrix into `cols × rows`.
+/// Used once at model build to lay the tied embedding out as
+/// `hidden × vocab` for the blocked LM-head kernel.
+///
+/// # Panics
+///
+/// Panics if `src.len() != rows * cols`.
+#[must_use]
+pub fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(src.len(), rows * cols, "shape mismatch");
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Dot product with four independent accumulators (fixed combination
+/// order), so the autovectorizer can keep four SIMD streams in flight.
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let k = a.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut p = 0;
+    while p + 4 <= k {
+        s0 += a[p] * b[p];
+        s1 += a[p + 1] * b[p + 1];
+        s2 += a[p + 2] * b[p + 2];
+        s3 += a[p + 3] * b[p + 3];
+        p += 4;
+    }
+    while p < k {
+        s0 += a[p] * b[p];
+        p += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Four simultaneous [`dot_unrolled`] products sharing one `b` stream.
+/// Each lane follows the accumulation order of [`dot_unrolled`] exactly,
+/// so lane results are bit-identical to four separate calls; interleaving
+/// only multiplies the independent accumulator chains (16 instead of 4)
+/// and reuses each loaded `b` chunk across four rows.
+#[inline]
+fn dot_unrolled_x4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f32; 4] {
+    let k = b.len();
+    debug_assert!(a0.len() == k && a1.len() == k && a2.len() == k && a3.len() == k);
+    let (mut r0s0, mut r0s1, mut r0s2, mut r0s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut r1s0, mut r1s1, mut r1s2, mut r1s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut r2s0, mut r2s1, mut r2s2, mut r2s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut r3s0, mut r3s1, mut r3s2, mut r3s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut p = 0;
+    while p + 4 <= k {
+        let (b0, b1, b2, b3) = (b[p], b[p + 1], b[p + 2], b[p + 3]);
+        r0s0 += a0[p] * b0;
+        r0s1 += a0[p + 1] * b1;
+        r0s2 += a0[p + 2] * b2;
+        r0s3 += a0[p + 3] * b3;
+        r1s0 += a1[p] * b0;
+        r1s1 += a1[p + 1] * b1;
+        r1s2 += a1[p + 2] * b2;
+        r1s3 += a1[p + 3] * b3;
+        r2s0 += a2[p] * b0;
+        r2s1 += a2[p + 1] * b1;
+        r2s2 += a2[p + 2] * b2;
+        r2s3 += a2[p + 3] * b3;
+        r3s0 += a3[p] * b0;
+        r3s1 += a3[p + 1] * b1;
+        r3s2 += a3[p + 2] * b2;
+        r3s3 += a3[p + 3] * b3;
+        p += 4;
+    }
+    while p < k {
+        r0s0 += a0[p] * b[p];
+        r1s0 += a1[p] * b[p];
+        r2s0 += a2[p] * b[p];
+        r3s0 += a3[p] * b[p];
+        p += 1;
+    }
+    [
+        (r0s0 + r0s1) + (r0s2 + r0s3),
+        (r1s0 + r1s1) + (r1s2 + r1s3),
+        (r2s0 + r2s1) + (r2s2 + r2s3),
+        (r3s0 + r3s1) + (r3s2 + r3s3),
+    ]
+}
+
+/// `out[m×n] = a[m×k] @ bt[n×k]ᵀ` — B is given transposed (row `j` of
+/// `bt` is column `j` of B), so both operands stream row-major. This is
+/// the LM-head layout: logits are dot products of hidden states against
+/// embedding rows. The loop nest keeps `a` (small) hot and streams each
+/// `bt` row exactly once across all batch rows.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_transb(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(bt.len(), n * k, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    for j in 0..n {
+        let b_row = &bt[j * k..(j + 1) * k];
+        let mut i = 0;
+        while i + 4 <= m {
+            let r = dot_unrolled_x4(
+                &a[i * k..(i + 1) * k],
+                &a[(i + 1) * k..(i + 2) * k],
+                &a[(i + 2) * k..(i + 3) * k],
+                &a[(i + 3) * k..(i + 4) * k],
+                b_row,
+            );
+            out[i * n + j] = r[0];
+            out[(i + 1) * n + j] = r[1];
+            out[(i + 2) * n + j] = r[2];
+            out[(i + 3) * n + j] = r[3];
+            i += 4;
+        }
+        while i < m {
+            out[i * n + j] = dot_unrolled(&a[i * k..(i + 1) * k], b_row);
+            i += 1;
+        }
+    }
+}
+
+/// [`matmul_transb`] with the output columns split across the worker pool
+/// for large shapes (the vocab dimension of the logits projection).
+/// Results are bit-identical to the serial kernel. Records its span into
+/// the logits kernel counters.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_transb_auto(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let start = std::time::Instant::now();
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(bt.len(), n * k, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    let work = m * k * n;
+    let workers = pool::global();
+    let threads = workers.parallelism();
+    if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 || n < 2 * threads {
+        matmul_transb(a, bt, m, k, n, out);
+        timing::record_logits(start.elapsed());
+        return;
+    }
+    // Split the n (vocab) dimension into one stripe per worker. Each task
+    // owns a disjoint column range of every output row; the rows are split
+    // at the stripe boundaries so the borrows are disjoint `&mut` slices.
+    let n_stripes = threads.min(n);
+    let cols = n.div_ceil(n_stripes);
+    let mut stripes: Vec<Vec<&mut [f32]>> = (0..n_stripes).map(|_| Vec::with_capacity(m)).collect();
+    for mut row in out.chunks_mut(n) {
+        for stripe in stripes.iter_mut() {
+            let w = cols.min(row.len());
+            let (head, tail) = row.split_at_mut(w);
+            stripe.push(head);
+            row = tail;
+        }
+    }
+    workers.scoped(|s| {
+        for (t, stripe_rows) in stripes.into_iter().enumerate() {
+            let j0 = t * cols;
+            s.spawn(move || {
+                let mut rows = stripe_rows;
+                let width = rows.first().map_or(0, |r| r.len());
+                for local in 0..width {
+                    let b_row = &bt[(j0 + local) * k..(j0 + local + 1) * k];
+                    let mut i = 0;
+                    while i + 4 <= rows.len() {
+                        let r = dot_unrolled_x4(
+                            &a[i * k..(i + 1) * k],
+                            &a[(i + 1) * k..(i + 2) * k],
+                            &a[(i + 2) * k..(i + 3) * k],
+                            &a[(i + 3) * k..(i + 4) * k],
+                            b_row,
+                        );
+                        rows[i][local] = r[0];
+                        rows[i + 1][local] = r[1];
+                        rows[i + 2][local] = r[2];
+                        rows[i + 3][local] = r[3];
+                        i += 4;
+                    }
+                    while i < rows.len() {
+                        rows[i][local] = dot_unrolled(&a[i * k..(i + 1) * k], b_row);
+                        i += 1;
+                    }
+                }
+            });
+        }
+    });
+    timing::record_logits(start.elapsed());
 }
 
 /// `out[n] = x[k] @ w[k×n]` (one-token linear layer).
@@ -192,6 +636,18 @@ mod tests {
         }
     }
 
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 100) as f32 / 50.0) - 1.0
+            })
+            .collect()
+    }
+
     #[test]
     fn matmul_identity() {
         let a = vec![1.0, 2.0, 3.0, 4.0];
@@ -219,6 +675,121 @@ mod tests {
         let mut out = vec![0.0; 2];
         matmul(&a, &b, 1, 3, 2, &mut out);
         assert_close(&out, &[4.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_across_shapes() {
+        // Shapes straddling the KB/NB panel boundaries, including tails.
+        for &(m, k, n) in &[
+            (1usize, 7usize, 5usize),
+            (3, 130, 9),
+            (5, 128, 256),
+            (7, 129, 257),
+            (2, 300, 40),
+            (9, 64, 511),
+        ] {
+            let a = fill(m as u64 + 1, m * k);
+            let b = fill(n as u64 + 2, k * n);
+            let mut reference = vec![0.0; m * n];
+            let mut blocked = vec![0.0; m * n];
+            matmul_reference(&a, &b, m, k, n, &mut reference);
+            matmul(&a, &b, m, k, n, &mut blocked);
+            assert_close(&reference, &blocked, 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_rows_independent_of_batching() {
+        // Row i of an m-row product must be bit-identical to the m=1
+        // product of that row: the guarantee batched decode relies on.
+        let (m, k, n) = (16usize, 96usize, 192usize);
+        let a = fill(11, m * k);
+        let b = fill(12, k * n);
+        let mut batched = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut batched);
+        for i in 0..m {
+            let mut solo = vec![0.0; n];
+            matmul(&a[i * k..(i + 1) * k], &b, 1, k, n, &mut solo);
+            assert_eq!(
+                &batched[i * n..(i + 1) * n],
+                &solo[..],
+                "row {i} differs between batched and solo"
+            );
+        }
+    }
+
+    #[test]
+    fn one_row_column_stripes_bit_identical_to_full_product() {
+        // Stripes at arbitrary (non-panel-aligned) boundaries must
+        // reassemble into exactly the serial m=1 product: the guarantee
+        // the column-parallel LM-head path relies on.
+        let (k, n) = (130usize, 700usize);
+        let a = fill(41, k);
+        let b = fill(42, k * n);
+        let mut full = vec![0.0; n];
+        matmul(&a, &b, 1, k, n, &mut full);
+        for &cols in &[1usize, 33, 256, 300, 699] {
+            let mut striped = vec![0.0; n];
+            for (t, chunk) in striped.chunks_mut(cols).enumerate() {
+                matmul_one_row_cols(&a, &b, k, n, t * cols, chunk);
+            }
+            assert_eq!(full, striped, "stripe width {cols} diverged");
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let (rows, cols) = (5usize, 7usize);
+        let src = fill(51, rows * cols);
+        let t = transpose(&src, rows, cols);
+        assert_eq!(t[3 * rows + 2], src[2 * cols + 3]);
+        assert_eq!(transpose(&t, cols, rows), src);
+    }
+
+    #[test]
+    fn logits_matmul_records_logits_counters() {
+        let before = timing::snapshot();
+        let (m, k, n) = (2usize, 8usize, 8usize);
+        let a = fill(61, m * k);
+        let b = fill(62, k * n);
+        let mut via_logits = vec![0.0; m * n];
+        matmul_logits_auto(&a, &b, m, k, n, &mut via_logits);
+        let mut via_matmul = vec![0.0; m * n];
+        matmul_auto(&a, &b, m, k, n, &mut via_matmul);
+        assert_eq!(via_logits, via_matmul);
+        let delta = timing::snapshot().delta_since(&before);
+        assert!(delta.logits_calls >= 1 && delta.matmul_calls >= 1);
+    }
+
+    #[test]
+    fn transb_matches_reference() {
+        let (m, k, n) = (3usize, 37usize, 19usize);
+        let a = fill(21, m * k);
+        let bt = fill(22, n * k); // n×k (transposed B)
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut reference = vec![0.0; m * n];
+        matmul_reference(&a, &b, m, k, n, &mut reference);
+        let mut got = vec![0.0; m * n];
+        matmul_transb(&a, &bt, m, k, n, &mut got);
+        assert_close(&reference, &got, 1e-4);
+    }
+
+    #[test]
+    fn transb_auto_matches_serial() {
+        // Above the parallel threshold so the striped path runs.
+        let (m, k, n) = (4usize, 64usize, 16384usize);
+        let a = fill(31, m * k);
+        let bt = fill(32, n * k);
+        let mut serial = vec![0.0; m * n];
+        let mut auto = vec![0.0; m * n];
+        matmul_transb(&a, &bt, m, k, n, &mut serial);
+        matmul_transb_auto(&a, &bt, m, k, n, &mut auto);
+        assert_eq!(serial, auto, "striped transb must be bit-identical");
     }
 
     #[test]
@@ -285,6 +856,20 @@ mod tests {
         let mut acc = vec![1.0, 1.0];
         axpy(&mut acc, 2.0, &[1.0, 2.0]);
         assert_close(&acc, &[3.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn kernel_timing_counters_advance() {
+        let before = timing::snapshot();
+        let (m, k, n) = (2usize, 16usize, 16usize);
+        let a = fill(41, m * k);
+        let b = fill(42, k * n);
+        let mut out = vec![0.0; m * n];
+        matmul_auto(&a, &b, m, k, n, &mut out);
+        matmul_transb_auto(&a, &b, m, k, n, &mut out);
+        let delta = timing::snapshot().delta_since(&before);
+        assert!(delta.matmul_calls >= 1);
+        assert!(delta.logits_calls >= 1);
     }
 }
 

@@ -9,8 +9,10 @@
 //! worker partials) after the attention output projection and after the MLP
 //! down projection.
 //!
-//! Workers are realized as scoped threads per phase; this favours obvious
-//! correctness over throughput, which is irrelevant for a CPU testbed.
+//! Worker phases execute on the persistent [`crate::pool`] worker pool
+//! (one task per worker per phase), so no OS threads are spawned on the
+//! per-step hot path. Decode-phase items are batched into one stacked
+//! forward per step, mirroring the single-worker executor.
 
 use std::time::Instant;
 
@@ -22,10 +24,12 @@ use vllm_core::config::CacheConfig;
 
 use crate::attention::{contiguous_causal_attention, paged_attention_decode};
 use crate::config::PositionEncoding;
+use crate::executor::KernelTelemetry;
 use crate::kv_cache::KvCache;
-use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul};
+use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul, matmul_logits_auto, timing};
+use crate::pool;
 use crate::sampler::{mix_seed, sample_candidates};
-use crate::transformer::{apply_rope, Transformer};
+use crate::transformer::{apply_rope, DecodeInput, Transformer};
 
 const LN_EPS: f32 = 1e-5;
 
@@ -92,6 +96,7 @@ struct TpTelemetry {
     cache_op_seconds: vllm_telemetry::Histogram,
     all_reduces_total: vllm_telemetry::Counter,
     steps_total: vllm_telemetry::Counter,
+    kernels: KernelTelemetry,
 }
 
 /// Tensor-parallel CPU executor over `num_workers` head shards.
@@ -240,78 +245,75 @@ impl TensorParallelExecutor {
             // its w_o rows, and the partials are all-reduced (summed).
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
-            let partials: Vec<Vec<f32>> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .map(|worker| {
-                        let hst = &hst;
-                        s.spawn(move || {
-                            let shard = &worker.layers[layer_idx];
-                            let mut qkv = vec![0.0f32; n * 3 * hl];
-                            matmul(hst, &shard.w_qkv, n, h, 3 * hl, &mut qkv);
-                            add_bias(&mut qkv, &shard.b_qkv);
-                            if rotary {
-                                for (i, &pos) in positions.iter().enumerate() {
-                                    let row = &mut qkv[i * 3 * hl..(i + 1) * 3 * hl];
-                                    let (q_part, kv_part) = row.split_at_mut(hl);
-                                    apply_rope(q_part, pos, hd);
-                                    apply_rope(&mut kv_part[..hl], pos, hd);
-                                }
-                            }
-                            // Write local K/V slices into this worker's pool
-                            // under the shared block table.
+            let mut partials = vec![vec![0.0f32; n * h]; w_count];
+            pool::global().scoped(|s| {
+                for (worker, partial) in self.workers.iter_mut().zip(partials.iter_mut()) {
+                    let hst = &hst;
+                    s.spawn(move || {
+                        let shard = &worker.layers[layer_idx];
+                        let mut qkv = vec![0.0f32; n * 3 * hl];
+                        let t_mm = Instant::now();
+                        matmul(hst, &shard.w_qkv, n, h, 3 * hl, &mut qkv);
+                        timing::record_matmul(t_mm.elapsed());
+                        add_bias(&mut qkv, &shard.b_qkv);
+                        if rotary {
                             for (i, &pos) in positions.iter().enumerate() {
-                                let row = &qkv[i * 3 * hl..(i + 1) * 3 * hl];
-                                worker.cache.gpu.write(
-                                    layer_idx,
-                                    block_table[pos / bs],
-                                    pos % bs,
-                                    &row[hl..2 * hl],
-                                    &row[2 * hl..3 * hl],
-                                );
+                                let row = &mut qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                                let (q_part, kv_part) = row.split_at_mut(hl);
+                                apply_rope(q_part, pos, hd);
+                                apply_rope(&mut kv_part[..hl], pos, hd);
                             }
-                            let mut attn = vec![0.0f32; n * hl];
-                            if n == 1 {
-                                paged_attention_decode(
-                                    &qkv[0..hl],
-                                    &worker.cache.gpu,
-                                    layer_idx,
-                                    block_table,
-                                    ctx,
-                                    heads_local,
-                                    hd,
-                                    &mut attn,
-                                );
-                            } else {
-                                let (ks, vs) = worker.cache.gpu.gather(layer_idx, block_table, ctx);
-                                let mut q = vec![0.0f32; n * hl];
-                                for i in 0..n {
-                                    q[i * hl..(i + 1) * hl]
-                                        .copy_from_slice(&qkv[i * 3 * hl..i * 3 * hl + hl]);
-                                }
-                                contiguous_causal_attention(
-                                    &q,
-                                    &ks,
-                                    &vs,
-                                    n,
-                                    ctx,
-                                    num_cached,
-                                    heads_local,
-                                    hd,
-                                    &mut attn,
-                                );
+                        }
+                        // Write local K/V slices into this worker's pool
+                        // under the shared block table.
+                        for (i, &pos) in positions.iter().enumerate() {
+                            let row = &qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                            worker.cache.gpu.write(
+                                layer_idx,
+                                block_table[pos / bs],
+                                pos % bs,
+                                &row[hl..2 * hl],
+                                &row[2 * hl..3 * hl],
+                            );
+                        }
+                        let mut attn = vec![0.0f32; n * hl];
+                        let t_attn = Instant::now();
+                        if n == 1 {
+                            paged_attention_decode(
+                                &qkv[0..hl],
+                                &worker.cache.gpu,
+                                layer_idx,
+                                block_table,
+                                ctx,
+                                heads_local,
+                                hd,
+                                &mut attn,
+                            );
+                        } else {
+                            let (ks, vs) = worker.cache.gpu.gather(layer_idx, block_table, ctx);
+                            let mut q = vec![0.0f32; n * hl];
+                            for i in 0..n {
+                                q[i * hl..(i + 1) * hl]
+                                    .copy_from_slice(&qkv[i * 3 * hl..i * 3 * hl + hl]);
                             }
-                            let mut partial = vec![0.0f32; n * h];
-                            matmul(&attn, &shard.w_o, n, hl, h, &mut partial);
-                            partial
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|j| j.join().expect("worker panicked"))
-                    .collect()
+                            contiguous_causal_attention(
+                                &q,
+                                &ks,
+                                &vs,
+                                n,
+                                ctx,
+                                num_cached,
+                                heads_local,
+                                hd,
+                                &mut attn,
+                            );
+                        }
+                        timing::record_attention(t_attn.elapsed());
+                        let t_mm = Instant::now();
+                        matmul(&attn, &shard.w_o, n, hl, h, partial);
+                        timing::record_matmul(t_mm.elapsed());
+                    });
+                }
             });
             // All-reduce: sum the partials, then add the (replicated) bias
             // once and the residual.
@@ -332,28 +334,21 @@ impl TensorParallelExecutor {
             // MLP: column/row split with one more all-reduce.
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
-            let partials: Vec<Vec<f32>> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter()
-                    .map(|worker| {
-                        let hst = &hst;
-                        s.spawn(move || {
-                            let shard = &worker.layers[layer_idx];
-                            let mut mid = vec![0.0f32; n * ml];
-                            matmul(hst, &shard.w_fc, n, h, ml, &mut mid);
-                            add_bias(&mut mid, &shard.b_fc);
-                            gelu(&mut mid);
-                            let mut partial = vec![0.0f32; n * h];
-                            matmul(&mid, &shard.w_proj, n, ml, h, &mut partial);
-                            partial
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|j| j.join().expect("worker panicked"))
-                    .collect()
+            let mut partials = vec![vec![0.0f32; n * h]; w_count];
+            pool::global().scoped(|s| {
+                for (worker, partial) in self.workers.iter().zip(partials.iter_mut()) {
+                    let hst = &hst;
+                    s.spawn(move || {
+                        let shard = &worker.layers[layer_idx];
+                        let mut mid = vec![0.0f32; n * ml];
+                        let t_mm = Instant::now();
+                        matmul(hst, &shard.w_fc, n, h, ml, &mut mid);
+                        add_bias(&mut mid, &shard.b_fc);
+                        gelu(&mut mid);
+                        matmul(&mid, &shard.w_proj, n, ml, h, partial);
+                        timing::record_matmul(t_mm.elapsed());
+                    });
+                }
             });
             let ar_start = Instant::now();
             let mut reduced = vec![0.0f32; n * h];
@@ -374,14 +369,146 @@ impl TensorParallelExecutor {
         let mut last = x[(n - 1) * h..n * h].to_vec();
         layer_norm(&mut last, &self.model.ln_f_g, &self.model.ln_f_b, LN_EPS);
         let mut logits = vec![0.0f32; cfg.vocab_size];
-        for (v, logit) in logits.iter_mut().enumerate() {
-            let row = &self.model.wte[v * h..(v + 1) * h];
-            let mut s = 0.0;
-            for j in 0..h {
-                s += row[j] * last[j];
-            }
-            *logit = s;
+        matmul_logits_auto(&last, &self.model.wte_t, 1, h, cfg.vocab_size, &mut logits);
+        logits
+    }
+
+    /// Batched single-token decode across the worker shards: one stacked
+    /// forward for every decode-phase item of the step, one pool task per
+    /// worker per phase. Row `i` of the returned `batch × vocab` logits is
+    /// bit-identical to a solo [`Self::forward_tp`] decode for `inputs[i]`
+    /// (batch-independent matmul accumulation; the same per-sequence
+    /// attention routine).
+    fn forward_decode_batch_tp(&mut self, inputs: &[DecodeInput<'_>]) -> Vec<f32> {
+        let cfg = &self.model.config;
+        let b = inputs.len();
+        let h = cfg.hidden;
+        let w_count = self.num_workers;
+        let heads_local = cfg.n_heads / w_count;
+        let hd = cfg.head_dim();
+        let hl = h / w_count;
+        let ml = 4 * h / w_count;
+        let rotary = cfg.position_encoding == PositionEncoding::Rotary;
+        let bs = self.workers[0].cache.gpu.block_size();
+        for inp in inputs {
+            let ctx = inp.position + 1;
+            assert!(ctx <= cfg.max_position, "position overflow");
+            assert!(inp.block_table.len() * bs >= ctx, "block table too short");
         }
+
+        let tokens: Vec<u32> = inputs.iter().map(|i| i.token).collect();
+        let positions: Vec<usize> = inputs.iter().map(|i| i.position).collect();
+        let mut x = embed(&self.model, &tokens, &positions);
+
+        for layer_idx in 0..cfg.n_layers {
+            let lw = &self.model.layers[layer_idx];
+            // Attention phase: each worker runs the whole batch over its
+            // head shard, with per-sequence paged attention.
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
+            let mut partials = vec![vec![0.0f32; b * h]; w_count];
+            pool::global().scoped(|s| {
+                for (worker, partial) in self.workers.iter_mut().zip(partials.iter_mut()) {
+                    let hst = &hst;
+                    s.spawn(move || {
+                        let shard = &worker.layers[layer_idx];
+                        let mut qkv = vec![0.0f32; b * 3 * hl];
+                        let t_mm = Instant::now();
+                        matmul(hst, &shard.w_qkv, b, h, 3 * hl, &mut qkv);
+                        timing::record_matmul(t_mm.elapsed());
+                        add_bias(&mut qkv, &shard.b_qkv);
+                        if rotary {
+                            for (i, inp) in inputs.iter().enumerate() {
+                                let row = &mut qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                                let (q_part, kv_part) = row.split_at_mut(hl);
+                                apply_rope(q_part, inp.position, hd);
+                                apply_rope(&mut kv_part[..hl], inp.position, hd);
+                            }
+                        }
+                        for (i, inp) in inputs.iter().enumerate() {
+                            let row = &qkv[i * 3 * hl..(i + 1) * 3 * hl];
+                            worker.cache.gpu.write(
+                                layer_idx,
+                                inp.block_table[inp.position / bs],
+                                inp.position % bs,
+                                &row[hl..2 * hl],
+                                &row[2 * hl..3 * hl],
+                            );
+                        }
+                        let mut attn = vec![0.0f32; b * hl];
+                        let t_attn = Instant::now();
+                        for (i, inp) in inputs.iter().enumerate() {
+                            paged_attention_decode(
+                                &qkv[i * 3 * hl..i * 3 * hl + hl],
+                                &worker.cache.gpu,
+                                layer_idx,
+                                inp.block_table,
+                                inp.position + 1,
+                                heads_local,
+                                hd,
+                                &mut attn[i * hl..(i + 1) * hl],
+                            );
+                        }
+                        timing::record_attention(t_attn.elapsed());
+                        let t_mm = Instant::now();
+                        matmul(&attn, &shard.w_o, b, hl, h, partial);
+                        timing::record_matmul(t_mm.elapsed());
+                    });
+                }
+            });
+            let ar_start = Instant::now();
+            let mut reduced = vec![0.0f32; b * h];
+            for p in &partials {
+                add_inplace(&mut reduced, p);
+            }
+            self.num_all_reduces += 1;
+            if let Some(t) = &self.telemetry {
+                t.all_reduce_seconds
+                    .observe(ar_start.elapsed().as_secs_f64());
+                t.all_reduces_total.inc();
+            }
+            add_bias(&mut reduced, &lw.b_o);
+            add_inplace(&mut x, &reduced);
+
+            // MLP phase.
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
+            let mut partials = vec![vec![0.0f32; b * h]; w_count];
+            pool::global().scoped(|s| {
+                for (worker, partial) in self.workers.iter().zip(partials.iter_mut()) {
+                    let hst = &hst;
+                    s.spawn(move || {
+                        let shard = &worker.layers[layer_idx];
+                        let mut mid = vec![0.0f32; b * ml];
+                        let t_mm = Instant::now();
+                        matmul(hst, &shard.w_fc, b, h, ml, &mut mid);
+                        add_bias(&mut mid, &shard.b_fc);
+                        gelu(&mut mid);
+                        matmul(&mid, &shard.w_proj, b, ml, h, partial);
+                        timing::record_matmul(t_mm.elapsed());
+                    });
+                }
+            });
+            let ar_start = Instant::now();
+            let mut reduced = vec![0.0f32; b * h];
+            for p in &partials {
+                add_inplace(&mut reduced, p);
+            }
+            self.num_all_reduces += 1;
+            if let Some(t) = &self.telemetry {
+                t.all_reduce_seconds
+                    .observe(ar_start.elapsed().as_secs_f64());
+                t.all_reduces_total.inc();
+            }
+            add_bias(&mut reduced, &lw.b_proj);
+            add_inplace(&mut x, &reduced);
+        }
+
+        // Replicated LM head over all batch rows.
+        layer_norm(&mut x, &self.model.ln_f_g, &self.model.ln_f_b, LN_EPS);
+        let vocab = cfg.vocab_size;
+        let mut logits = vec![0.0f32; b * vocab];
+        matmul_logits_auto(&x, &self.model.wte_t, b, h, vocab, &mut logits);
         logits
     }
 }
@@ -389,37 +516,40 @@ impl TensorParallelExecutor {
 impl ModelExecutor for TensorParallelExecutor {
     fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let start = Instant::now();
+        let kernels_before = timing::snapshot();
         self.steps += 1;
         for item in &plan.items {
             if item.tokens.is_empty() {
                 return Err(VllmError::Executor("empty step input".into()));
             }
         }
+        // Partition the step: decode-phase items (computed suffix of one
+        // token) run as one stacked forward, prompt-phase items keep their
+        // per-sequence path.
+        let suffixes: Vec<(Vec<u32>, Vec<usize>)> = plan.items.iter().map(compute_suffix).collect();
+        let first_prefill = plan
+            .items
+            .iter()
+            .zip(&suffixes)
+            .position(|(_, (tokens, _))| tokens.len() > 1);
         // Every worker applies the same cache operations to its shard (block
-        // ids are shared, data differs per head slice) — on its own thread,
-        // overlapped with the first item's replicated embedding: copies touch
-        // only KV pools, the embedding only replicated weights, so the two
-        // never alias (§4.3: memory ops ride the step's control message and
-        // can proceed while compute starts).
-        let first = plan.items.first().map(compute_suffix);
+        // ids are shared, data differs per head slice) — on a pool task per
+        // worker, overlapped with the first prefill's replicated embedding:
+        // copies touch only KV pools, the embedding only replicated weights,
+        // so the two never alias (§4.3: memory ops ride the step's control
+        // message and can proceed while compute starts).
         let cache_op_start = Instant::now();
         let mut first_embedding = {
             let Self { workers, model, .. } = &mut *self;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = workers
-                    .iter_mut()
-                    .map(|worker| {
-                        let ops = &plan.cache_ops;
-                        s.spawn(move || worker.cache.apply(ops))
-                    })
-                    .collect();
-                let emb = first
-                    .as_ref()
-                    .map(|(tokens, positions)| embed(model, tokens, positions));
-                for h in handles {
-                    h.join().expect("worker panicked");
+            pool::global().scoped(|s| {
+                for worker in workers.iter_mut() {
+                    let ops = &plan.cache_ops;
+                    s.spawn(move || worker.cache.apply(ops));
                 }
-                emb
+                first_prefill.map(|i| {
+                    let (tokens, positions) = &suffixes[i];
+                    embed(model, tokens, positions)
+                })
             })
         };
         if let Some(t) = &self.telemetry {
@@ -428,28 +558,62 @@ impl ModelExecutor for TensorParallelExecutor {
                     .observe(cache_op_start.elapsed().as_secs_f64());
             }
         }
-        let mut outputs = Vec::with_capacity(plan.items.len());
-        for item in &plan.items {
-            let (tokens, positions) = compute_suffix(item);
-            let embedded = first_embedding.take();
-            let logits = self.forward_tp(
-                &tokens,
-                &positions,
-                &item.block_table,
-                positions[0],
-                embedded,
-            );
+        let mut outputs: Vec<Option<SeqStepOutput>> = plan.items.iter().map(|_| None).collect();
+        let mut decode: Vec<usize> = Vec::new();
+        for (i, (item, (tokens, positions))) in plan.items.iter().zip(&suffixes).enumerate() {
+            if tokens.len() == 1 {
+                decode.push(i);
+                continue;
+            }
+            let embedded = if first_prefill == Some(i) {
+                first_embedding.take()
+            } else {
+                None
+            };
+            let logits =
+                self.forward_tp(tokens, positions, &item.block_table, positions[0], embedded);
             let seed = mix_seed(item.seed, item.seq_id, item.context_len());
             let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
-            outputs.push(SeqStepOutput {
+            outputs[i] = Some(SeqStepOutput {
                 seq_id: item.seq_id,
                 candidates,
             });
         }
+        if !decode.is_empty() {
+            let inputs: Vec<DecodeInput<'_>> = decode
+                .iter()
+                .map(|&i| DecodeInput {
+                    token: suffixes[i].0[0],
+                    position: suffixes[i].1[0],
+                    block_table: &plan.items[i].block_table,
+                })
+                .collect();
+            let logits = self.forward_decode_batch_tp(&inputs);
+            let vocab = self.model.config.vocab_size;
+            for (row, &i) in decode.iter().enumerate() {
+                let item = &plan.items[i];
+                let seed = mix_seed(item.seed, item.seq_id, item.context_len());
+                let candidates = sample_candidates(
+                    &logits[row * vocab..(row + 1) * vocab],
+                    item.mode,
+                    item.num_candidates,
+                    seed,
+                );
+                outputs[i] = Some(SeqStepOutput {
+                    seq_id: item.seq_id,
+                    candidates,
+                });
+            }
+        }
+        let outputs: Vec<SeqStepOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every plan item produced an output"))
+            .collect();
         let elapsed = start.elapsed().as_secs_f64();
         if let Some(t) = &self.telemetry {
             t.forward_seconds.observe(elapsed);
             t.steps_total.inc();
+            t.kernels.observe_step(&kernels_before);
         }
         Ok(StepResult { outputs, elapsed })
     }
@@ -480,6 +644,7 @@ impl ModelExecutor for TensorParallelExecutor {
                 "vllm_executor_steps_total",
                 "Iterations executed by the model executor.",
             ),
+            kernels: KernelTelemetry::register(r),
         });
     }
 }

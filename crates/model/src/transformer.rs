@@ -7,10 +7,13 @@
 //! and single-token decode (one new position, attention via the
 //! PagedAttention kernel).
 
-use crate::attention::{contiguous_causal_attention, paged_attention_decode};
+use crate::attention::{
+    contiguous_causal_attention, paged_attention_decode, paged_attention_decode_batch, DecodeSeq,
+};
 use crate::config::{ModelConfig, PositionEncoding};
 use crate::kv_cache::KvPool;
-use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul_auto};
+use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul_auto, matmul_logits_auto};
+use crate::pool;
 
 const LN_EPS: f32 = 1e-5;
 /// Base of the rotary frequency spectrum (the standard 10_000).
@@ -68,6 +71,12 @@ pub struct Transformer {
     pub config: ModelConfig,
     /// Token embedding, `vocab × hidden` (tied with the LM head).
     pub wte: Vec<f32>,
+    /// Transposed token embedding, `hidden × vocab` — precomputed once so
+    /// the LM-head projection runs through the blocked [`matmul`] kernel.
+    /// Derived from [`Self::wte`]; not serialized by checkpoints.
+    ///
+    /// [`matmul`]: crate::ops::matmul
+    pub wte_t: Vec<f32>,
     /// Positional embedding, `max_position × hidden`.
     pub wpe: Vec<f32>,
     /// Decoder layers.
@@ -135,8 +144,11 @@ impl Transformer {
                 b_proj: rng.normal_vec(h, std / 4.0),
             })
             .collect();
+        let wte = rng.normal_vec(config.vocab_size * h, 0.5);
+        let wte_t = crate::ops::transpose(&wte, config.vocab_size, h);
         Self {
-            wte: rng.normal_vec(config.vocab_size * h, 0.5),
+            wte,
+            wte_t,
             wpe: rng.normal_vec(config.max_position * h, 0.1),
             layers,
             ln_f_g: vec![1.0; h],
@@ -273,17 +285,142 @@ impl Transformer {
         let mut last = x[(n - 1) * h..n * h].to_vec();
         layer_norm(&mut last, &self.ln_f_g, &self.ln_f_b, LN_EPS);
         let mut logits = vec![0.0f32; self.config.vocab_size];
-        // logits = wte @ last: wte is vocab × hidden.
-        for (v, logit) in logits.iter_mut().enumerate() {
-            let row = &self.wte[v * h..(v + 1) * h];
-            let mut s = 0.0;
-            for j in 0..h {
-                s += row[j] * last[j];
-            }
-            *logit = s;
-        }
+        // logits = last @ wteᵀ, via the pre-transposed hidden × vocab copy
+        // so the blocked kernel streams both operands row-major.
+        matmul_logits_auto(
+            &last,
+            &self.wte_t,
+            1,
+            h,
+            self.config.vocab_size,
+            &mut logits,
+        );
         logits
     }
+
+    /// Batched single-token decode (§4.3): runs one generation step for
+    /// every sequence in `inputs` as a single stacked forward — one
+    /// `[batch × hidden]` matmul per projection per layer and one batched
+    /// PagedAttention call parallelized over (sequence, head) pairs.
+    ///
+    /// Returns `batch × vocab` logits, row `i` for `inputs[i]`. Every row
+    /// is bit-identical to a solo [`Transformer::forward_paged`] call for
+    /// that sequence: the matmul kernels accumulate per output element in
+    /// a batch-independent order and the attention batch kernel reuses the
+    /// solo per-head routine. KV writes all land in sequence-exclusive
+    /// (copy-on-write-resolved) blocks, so the write-then-read step order
+    /// matches the sequential per-sequence order as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape violations (position overflow, block table too
+    /// short for its context).
+    pub fn forward_decode_batch(&self, inputs: &[DecodeInput<'_>], kv: &mut KvPool) -> Vec<f32> {
+        let b = inputs.len();
+        assert!(b > 0, "empty batch");
+        let h = self.config.hidden;
+        let bs = kv.block_size();
+        for inp in inputs {
+            let ctx = inp.position + 1;
+            assert!(ctx <= self.config.max_position, "position overflow");
+            assert!(inp.block_table.len() * bs >= ctx, "block table too short");
+        }
+        let workers = pool::global();
+
+        let rotary = self.config.position_encoding == PositionEncoding::Rotary;
+        let mut x = vec![0.0f32; b * h];
+        for (i, inp) in inputs.iter().enumerate() {
+            let e = &self.wte[inp.token as usize * h..(inp.token as usize + 1) * h];
+            let p = &self.wpe[inp.position * h..(inp.position + 1) * h];
+            for j in 0..h {
+                x[i * h + j] = if rotary { e[j] } else { e[j] + p[j] };
+            }
+        }
+
+        let seqs: Vec<DecodeSeq<'_>> = inputs
+            .iter()
+            .map(|inp| DecodeSeq {
+                block_table: inp.block_table,
+                context_len: inp.position + 1,
+            })
+            .collect();
+
+        let mut qkv = vec![0.0f32; b * 3 * h];
+        let mut q = vec![0.0f32; b * h];
+        let mut attn = vec![0.0f32; b * h];
+        let mut proj = vec![0.0f32; b * h];
+        let mut mlp_mid = vec![0.0f32; b * 4 * h];
+        for (layer_idx, lw) in self.layers.iter().enumerate() {
+            // Attention block.
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
+            matmul_auto(&hst, &lw.w_qkv, b, h, 3 * h, &mut qkv);
+            add_bias(&mut qkv, &lw.b_qkv);
+            if rotary {
+                let hd = self.config.head_dim();
+                for (i, inp) in inputs.iter().enumerate() {
+                    let row = &mut qkv[i * 3 * h..(i + 1) * 3 * h];
+                    let (q_part, kv_part) = row.split_at_mut(h);
+                    apply_rope(q_part, inp.position, hd);
+                    apply_rope(&mut kv_part[..h], inp.position, hd);
+                }
+            }
+
+            // Fused reshape-and-block-write (§5.1) for every sequence,
+            // then one batched PagedAttention call over all of them.
+            for (i, inp) in inputs.iter().enumerate() {
+                let row = &qkv[i * 3 * h..(i + 1) * 3 * h];
+                kv.write(
+                    layer_idx,
+                    inp.block_table[inp.position / bs],
+                    inp.position % bs,
+                    &row[h..2 * h],
+                    &row[2 * h..3 * h],
+                );
+                q[i * h..(i + 1) * h].copy_from_slice(&row[..h]);
+            }
+            paged_attention_decode_batch(
+                &q,
+                kv,
+                layer_idx,
+                &seqs,
+                self.config.n_heads,
+                self.config.head_dim(),
+                workers,
+                &mut attn,
+            );
+            matmul_auto(&attn, &lw.w_o, b, h, h, &mut proj);
+            add_bias(&mut proj, &lw.b_o);
+            add_inplace(&mut x, &proj);
+
+            // MLP block.
+            let mut hst = x.clone();
+            layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
+            matmul_auto(&hst, &lw.w_fc, b, h, 4 * h, &mut mlp_mid);
+            add_bias(&mut mlp_mid, &lw.b_fc);
+            gelu(&mut mlp_mid);
+            matmul_auto(&mlp_mid, &lw.w_proj, b, 4 * h, h, &mut proj);
+            add_bias(&mut proj, &lw.b_proj);
+            add_inplace(&mut x, &proj);
+        }
+
+        layer_norm(&mut x, &self.ln_f_g, &self.ln_f_b, LN_EPS);
+        let vocab = self.config.vocab_size;
+        let mut logits = vec![0.0f32; b * vocab];
+        matmul_logits_auto(&x, &self.wte_t, b, h, vocab, &mut logits);
+        logits
+    }
+}
+
+/// One sequence's inputs to [`Transformer::forward_decode_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeInput<'a> {
+    /// The new token to run.
+    pub token: u32,
+    /// Absolute position of `token` (its context length minus one).
+    pub position: usize,
+    /// Physical block indices covering positions `0 ..= position`.
+    pub block_table: &'a [usize],
 }
 
 #[cfg(test)]
@@ -399,6 +536,67 @@ mod tests {
     fn short_block_table_rejected() {
         let (model, mut pool, _) = setup(2);
         model.forward_paged(&[1, 2, 3, 4, 5], &[0, 1, 2, 3, 4], &mut pool, &[0], 0);
+    }
+
+    #[test]
+    fn batched_decode_bit_identical_to_solo_forward() {
+        let cfg = ModelConfig::tiny();
+        let model = Transformer::new(cfg.clone());
+        let bs = 4;
+        // Three sequences with different prompts and context lengths,
+        // disjoint block tables in one pool.
+        let prompts: [&[u32]; 3] = [&[3, 17, 42], &[8, 25, 99, 4, 56], &[7]];
+        let mut pool_batch = KvPool::new(cfg.n_layers, 16, bs, cfg.hidden);
+        let mut pool_solo = pool_batch.clone();
+        let tables: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        for (p, table) in prompts.iter().zip(&tables) {
+            let positions: Vec<usize> = (0..p.len()).collect();
+            model.forward_paged(p, &positions, &mut pool_batch, table, 0);
+            model.forward_paged(p, &positions, &mut pool_solo, table, 0);
+        }
+        // One decode step per sequence: batched vs per-sequence.
+        let next: [u32; 3] = [11, 29, 63];
+        let inputs: Vec<DecodeInput<'_>> = prompts
+            .iter()
+            .zip(&tables)
+            .zip(&next)
+            .map(|((p, table), &token)| DecodeInput {
+                token,
+                position: p.len(),
+                block_table: table,
+            })
+            .collect();
+        let batched = model.forward_decode_batch(&inputs, &mut pool_batch);
+        for (i, inp) in inputs.iter().enumerate() {
+            let solo = model.forward_paged(
+                &[inp.token],
+                &[inp.position],
+                &mut pool_solo,
+                inp.block_table,
+                inp.position,
+            );
+            let v = cfg.vocab_size;
+            assert_eq!(
+                &batched[i * v..(i + 1) * v],
+                &solo[..],
+                "seq {i}: batched logits must be bit-identical to solo"
+            );
+        }
+        // And the KV written by the batch step matches the solo writes.
+        for (inp, table) in inputs.iter().zip(&tables) {
+            let block = table[inp.position / bs];
+            let slot = inp.position % bs;
+            for layer in 0..cfg.n_layers {
+                assert_eq!(
+                    pool_batch.key(layer, block, slot),
+                    pool_solo.key(layer, block, slot)
+                );
+                assert_eq!(
+                    pool_batch.value(layer, block, slot),
+                    pool_solo.value(layer, block, slot)
+                );
+            }
+        }
     }
 }
 

@@ -22,4 +22,7 @@ cargo run --release -q -p vllm-bench --bin telemetry -- --ci
 echo "==> cluster routing check"
 cargo run --release -q -p vllm-bench --bin cluster -- --ci
 
+echo "==> kernel bench gate (batched decode >= 2x scalar per-sequence)"
+cargo run --release -q -p vllm-bench --bin kernels -- --ci
+
 echo "CI OK"

@@ -2,12 +2,18 @@
 //! (prompt lengths, output budgets, parallel sampling, beam search) against
 //! random pool sizes must always complete, never leak or double-free KV
 //! blocks, and respect output-length contracts.
+//!
+//! A second suite runs the real CPU model: batched decode must be
+//! indistinguishable from per-sequence decode (tokens identical, logprobs
+//! within 1e-5) across decode batch widths and under recompute/swap
+//! preemption.
 
 use proptest::prelude::*;
 
 use vllm::core::config::PreemptionMode;
 use vllm::core::mock::MockExecutor;
 use vllm::core::{CacheConfig, LlmEngine, SamplingParams, SchedulerConfig, SequenceStatus};
+use vllm::model::{CpuModelExecutor, DecodeInput, KvPool, ModelConfig, Transformer};
 
 #[derive(Debug, Clone)]
 struct ReqSpec {
@@ -341,5 +347,183 @@ proptest! {
         }
         prop_assert_eq!(outputs.len(), added);
         prop_assert_eq!(engine.scheduler().block_manager().num_free_gpu_blocks(), 48);
+    }
+}
+
+/// Engine over the real CPU transformer substrate.
+fn cpu_engine(
+    gpu_blocks: usize,
+    cpu_blocks: usize,
+    mode: PreemptionMode,
+    max_seqs: usize,
+) -> LlmEngine<CpuModelExecutor> {
+    let cache = CacheConfig::new(4, gpu_blocks, cpu_blocks)
+        .unwrap()
+        .with_watermark(0.0)
+        .unwrap();
+    let sched = SchedulerConfig::new(256, max_seqs, 256)
+        .unwrap()
+        .with_preemption_mode(mode);
+    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    LlmEngine::new(exec, cache, sched)
+}
+
+/// Per-request completions: `(tokens, cumulative logprob)` per output.
+type RunOutputs = Vec<(String, Vec<(Vec<u32>, f64)>)>;
+
+/// `(request_id, per-output (tokens, cumulative logprob))` sorted by id.
+fn collect_with_logprobs(outs: Vec<vllm::core::engine::RequestOutput>) -> RunOutputs {
+    let mut v: RunOutputs = outs
+        .into_iter()
+        .map(|o| {
+            (
+                o.request_id,
+                o.outputs
+                    .into_iter()
+                    .map(|c| (c.tokens, c.cumulative_logprob))
+                    .collect(),
+            )
+        })
+        .collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+/// Tokens must match exactly; cumulative logprobs within `tol`.
+fn assert_runs_equivalent(a: &RunOutputs, b: &RunOutputs, tol: f64) {
+    assert_eq!(a.len(), b.len());
+    for ((id_a, outs_a), (id_b, outs_b)) in a.iter().zip(b) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(outs_a.len(), outs_b.len(), "output count for {id_a}");
+        for ((toks_a, lp_a), (toks_b, lp_b)) in outs_a.iter().zip(outs_b) {
+            assert_eq!(toks_a, toks_b, "tokens diverged for {id_a}");
+            assert!(
+                (lp_a - lp_b).abs() <= tol,
+                "logprob diverged for {id_a}: {lp_a} vs {lp_b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched decode is transparent at the engine level: staggered
+    /// greedy arrivals (whose step plans mix prefill and decode items)
+    /// produce the same tokens and logprobs whether the scheduler runs
+    /// one sequence per step (`max_num_seqs = 1`, every forward solo) or
+    /// batches every runnable sequence.
+    #[test]
+    fn cpu_model_outputs_invariant_across_decode_batch_widths(
+        arrivals in proptest::collection::vec((1usize..12, 1usize..8), 1..5),
+    ) {
+        let run = |max_seqs: usize| {
+            let mut engine = cpu_engine(128, 128, PreemptionMode::Recompute, max_seqs);
+            for (i, (prompt_len, max_tokens)) in arrivals.iter().enumerate() {
+                let prompt: Vec<u32> = (1..=*prompt_len as u32).collect();
+                engine
+                    .add_request_at(
+                        format!("r{i}"),
+                        prompt,
+                        SamplingParams::greedy(*max_tokens),
+                        i as f64 * 1e-3,
+                    )
+                    .unwrap();
+            }
+            collect_with_logprobs(engine.run_to_completion().unwrap())
+        };
+        let solo = run(1);
+        let batched = run(16);
+        assert_runs_equivalent(&solo, &batched, 1e-5);
+    }
+
+    /// Batched decode stays transparent under preemption: a contended
+    /// pool (recompute or swap recovery) yields exactly the uncontended
+    /// outputs, even though preemption reshuffles which sequences share
+    /// each batched forward.
+    #[test]
+    fn cpu_model_outputs_invariant_under_preemption(
+        arrivals in proptest::collection::vec((1usize..12, 1usize..8), 2..6),
+        gpu_blocks in 8usize..16,
+        swap in proptest::bool::ANY,
+    ) {
+        let run = |gpu: usize, cpu: usize, mode: PreemptionMode| {
+            let mut engine = cpu_engine(gpu, cpu, mode, 16);
+            for (i, (prompt_len, max_tokens)) in arrivals.iter().enumerate() {
+                let prompt: Vec<u32> = (1..=*prompt_len as u32).collect();
+                engine
+                    .add_request_at(
+                        format!("r{i}"),
+                        prompt,
+                        SamplingParams::greedy(*max_tokens),
+                        i as f64 * 1e-3,
+                    )
+                    .unwrap();
+            }
+            collect_with_logprobs(engine.run_to_completion().unwrap())
+        };
+        let uncontended = run(256, 256, PreemptionMode::Recompute);
+        let mode = if swap { PreemptionMode::Swap } else { PreemptionMode::Recompute };
+        let contended = run(gpu_blocks, gpu_blocks, mode);
+        assert_runs_equivalent(&uncontended, &contended, 1e-5);
+    }
+
+    /// Model-level form of the same property: one batched decode forward
+    /// over sequences with random (mixed-length) contexts matches a solo
+    /// `forward_paged` call per sequence — logits within 1e-5 (they are
+    /// bit-identical by construction) on both position-encoding schemes.
+    #[test]
+    fn batched_decode_forward_matches_solo_on_random_mixes(
+        lens in proptest::collection::vec(1usize..20, 2..6),
+        rotary in proptest::bool::ANY,
+    ) {
+        let config = if rotary { ModelConfig::tiny_rotary() } else { ModelConfig::tiny() };
+        let model = Transformer::new(config.clone());
+        let block_size = 4usize;
+        let blocks_per_seq = 6; // covers a 20-token prompt + 1 decode slot
+        let mut kv = KvPool::new(
+            config.n_layers,
+            lens.len() * blocks_per_seq,
+            block_size,
+            config.hidden,
+        );
+        let tables: Vec<Vec<usize>> = (0..lens.len())
+            .map(|i| (i * blocks_per_seq..(i + 1) * blocks_per_seq).collect())
+            .collect();
+        for (i, &len) in lens.iter().enumerate() {
+            let prompt: Vec<u32> = (0..len as u32).map(|t| (t * 7 + i as u32) % 128).collect();
+            let positions: Vec<usize> = (0..len).collect();
+            model.forward_paged(&prompt, &positions, &mut kv, &tables[i], 0);
+        }
+        let mut kv_solo = kv.clone();
+
+        let inputs: Vec<DecodeInput<'_>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| DecodeInput {
+                token: (len as u32 * 3 + i as u32) % 128,
+                position: len,
+                block_table: &tables[i],
+            })
+            .collect();
+        let batched = model.forward_decode_batch(&inputs, &mut kv);
+
+        let vocab = config.vocab_size;
+        for (i, inp) in inputs.iter().enumerate() {
+            let solo = model.forward_paged(
+                &[inp.token],
+                &[inp.position],
+                &mut kv_solo,
+                inp.block_table,
+                inp.position,
+            );
+            let row = &batched[i * vocab..(i + 1) * vocab];
+            for (j, (&b, &s)) in row.iter().zip(&solo).enumerate() {
+                prop_assert!(
+                    (b - s).abs() <= 1e-5,
+                    "seq {i} logit {j}: batched {b} vs solo {s}"
+                );
+            }
+        }
     }
 }

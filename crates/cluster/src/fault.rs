@@ -1,0 +1,844 @@
+//! Deterministic fault injection and graceful degradation for a cluster.
+//!
+//! The paper's evaluation (§6) assumes a healthy fleet; this module asks
+//! what happens when it is not. A [`FaultPlan`] is a seeded, reproducible
+//! schedule of fault events — kill or stall a replica at step N, fail an
+//! executor forward pass, exhaust the CPU swap pool (forcing the §4.5
+//! recompute fallback), slow down cache operations — and [`FaultCluster`]
+//! is a single-threaded lockstep harness that drives N real engines
+//! (wrapped in [`FaultInjector`]) through a request trace while the plan
+//! fires. Because every component is deterministic — the router is pure,
+//! the mock executor's tokens are a hash, faults fire on a step counter
+//! rather than wall clocks — the same `(plan, trace)` pair reproduces the
+//! same token streams, retry counts, and fault counts bit for bit.
+//!
+//! Degradation machinery exercised by the harness:
+//!
+//! * **Bounded admission with backpressure** — a replica holding
+//!   `max_inflight` requests refuses new placements; the harness re-routes
+//!   with capped exponential backoff and, after `max_attempts`, reports the
+//!   request rejected (the wire analog is [`VllmError::Rejected`] with a
+//!   `retry_after` hint).
+//! * **Retry with re-routing** — requests in flight on a killed replica are
+//!   re-routed through the router (which excludes dead replicas but keeps
+//!   honoring prefix affinity among the living) and counted in
+//!   `vllm_cluster_retries_total`. Re-admissions use a fresh engine-side id
+//!   per attempt, so a request can never complete twice.
+//! * **Restart with drain** — restarting a live replica first stops new
+//!   traffic and lets in-flight work finish, then swaps in a fresh engine;
+//!   restarting a dead one resurrects it immediately.
+//! * **Step-error recovery** — an injected forward fault aborts the
+//!   replica's live groups (restoring exact block accounting) and re-routes
+//!   them instead of losing them.
+//!
+//! Fault telemetry is exported as `vllm_fault_injected_total`,
+//! `vllm_fault_kills_total`, `vllm_fault_forward_failures_total`, and
+//! `vllm_fault_swap_exhaustions_total` alongside the router counters in
+//! [`FaultCluster::merged_snapshot`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vllm_core::mock::MockExecutor;
+use vllm_core::telemetry::{Counter, MetricsSnapshot, Telemetry};
+use vllm_core::{
+    chunk_hashes, CacheConfig, FaultControls, FaultInjector, LlmEngine, SchedulerConfig,
+};
+
+use crate::router::{ReplicaSnapshot, RoutePolicy, Router, RouterConfig};
+use crate::sim::ClusterRequest;
+use crate::stats::merge_labeled;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Kill the replica abruptly: its in-flight requests are re-routed, the
+    /// router stops sending it traffic, and it stays down until a
+    /// [`FaultKind::RestartReplica`] event.
+    KillReplica,
+    /// Restart the replica. A live replica drains first (no new traffic,
+    /// in-flight work finishes) before a fresh engine replaces it; a dead
+    /// replica comes back immediately with a fresh engine.
+    RestartReplica,
+    /// Freeze the replica's engine loop for this many lockstep steps (work
+    /// is delayed, never lost).
+    StallReplica {
+        /// Steps to skip.
+        steps: u64,
+    },
+    /// Fail the replica's next `count` forward passes with an executor
+    /// error; the harness aborts and re-routes the affected requests.
+    FailForwards {
+        /// Forward passes to fail.
+        count: u32,
+    },
+    /// Disable the replica's CPU swap pool: preemptions fall back to §4.5
+    /// recomputation until [`FaultKind::RestoreSwap`].
+    ExhaustSwap,
+    /// Re-enable the replica's CPU swap pool.
+    RestoreSwap,
+    /// Charge extra virtual seconds per cache operation (swap/copy) on the
+    /// replica, modelling a slow swap device.
+    DelayCacheOps {
+        /// Extra seconds per cache operation (`0.0` disarms).
+        seconds_per_op: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Lockstep step at which the fault fires.
+    pub at_step: u64,
+    /// Target replica index.
+    pub replica: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, reproducible schedule of fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// The events, in firing order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// `splitmix64`: the standard 64-bit mixing PRNG (public domain).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (add events with [`with_event`](Self::with_event)).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends one event, keeping the list sorted by firing step.
+    #[must_use]
+    pub fn with_event(mut self, at_step: u64, replica: usize, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            at_step,
+            replica,
+            kind,
+        });
+        self.events.sort_by_key(|e| (e.at_step, e.replica));
+        self
+    }
+
+    /// Derives a pseudo-random schedule from `seed`: one kill + restart,
+    /// one swap exhaustion window (when there is more than one replica),
+    /// and a few stalls / forward failures / cache-op delays, all within
+    /// `horizon` steps. The same seed always yields the same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_replicas` is zero or `horizon < 8`.
+    #[must_use]
+    pub fn seeded(seed: u64, num_replicas: usize, horizon: u64) -> Self {
+        assert!(num_replicas > 0, "need at least one replica");
+        assert!(horizon >= 8, "horizon too short for a meaningful plan");
+        let mut s = seed ^ 0xA076_1D64_78BD_642F;
+        let mut plan = Self::new(seed);
+        // One kill mid-run, restarted half a horizon later.
+        let victim = (splitmix64(&mut s) as usize) % num_replicas;
+        let kill_at = 2 + splitmix64(&mut s) % (horizon / 4);
+        plan = plan
+            .with_event(kill_at, victim, FaultKind::KillReplica)
+            .with_event(kill_at + horizon / 2, victim, FaultKind::RestartReplica);
+        // One swap-exhaustion window on a surviving replica.
+        if num_replicas > 1 {
+            let other = (victim + 1) % num_replicas;
+            let at = 1 + splitmix64(&mut s) % (horizon / 2);
+            plan = plan
+                .with_event(at, other, FaultKind::ExhaustSwap)
+                .with_event(at + horizon / 2, other, FaultKind::RestoreSwap);
+        }
+        // A handful of smaller perturbations.
+        let extras = 2 + splitmix64(&mut s) % 3;
+        for _ in 0..extras {
+            let at = splitmix64(&mut s) % horizon;
+            let replica = (splitmix64(&mut s) as usize) % num_replicas;
+            let kind = match splitmix64(&mut s) % 3 {
+                0 => FaultKind::FailForwards {
+                    count: 1 + (splitmix64(&mut s) % 2) as u32,
+                },
+                1 => FaultKind::StallReplica {
+                    steps: 1 + splitmix64(&mut s) % 4,
+                },
+                _ => FaultKind::DelayCacheOps {
+                    seconds_per_op: 0.005 * (1 + splitmix64(&mut s) % 4) as f64,
+                },
+            };
+            plan = plan.with_event(at, replica, kind);
+        }
+        plan
+    }
+}
+
+/// Configuration for a [`FaultCluster`] harness.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultClusterConfig {
+    /// Number of engine replicas.
+    pub num_replicas: usize,
+    /// Routing policy.
+    pub policy: RoutePolicy,
+    /// Bounded admission: a replica holding this many in-flight requests
+    /// refuses new placements (backpressure).
+    pub max_inflight: usize,
+    /// Placement attempts per request before it is terminally rejected.
+    pub max_attempts: u32,
+    /// Cap on the exponential retry backoff, in lockstep steps.
+    pub max_backoff_steps: u64,
+    /// Safety bound on lockstep steps per run (unfinished requests beyond
+    /// it are reported as lost).
+    pub max_steps: u64,
+}
+
+impl FaultClusterConfig {
+    /// Defaults: prefix-affinity routing, 64 in-flight per replica, 8
+    /// placement attempts, backoff capped at 16 steps.
+    #[must_use]
+    pub fn new(num_replicas: usize) -> Self {
+        Self {
+            num_replicas,
+            policy: RoutePolicy::PrefixAffinity,
+            max_inflight: 64,
+            max_attempts: 8,
+            max_backoff_steps: 16,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Overrides the routing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RoutePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the per-replica in-flight bound.
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Overrides the per-request placement-attempt bound.
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+}
+
+/// Aggregate outcome of one faulted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Requests in the trace.
+    pub num_requests: usize,
+    /// Requests that completed (exactly once).
+    pub completed: usize,
+    /// Requests terminally rejected (attempts exhausted or invalid).
+    pub rejected: usize,
+    /// Requests with no terminal outcome when the step bound hit (must be
+    /// zero for a healthy harness).
+    pub lost: usize,
+    /// Requests that reached more than one terminal outcome (must be zero).
+    pub duplicates: usize,
+    /// Re-routing retries across the run (`vllm_cluster_retries_total`).
+    pub retries: u64,
+    /// Fault events that fired.
+    pub faults_injected: u64,
+    /// Replica kills that fired.
+    pub kills: u64,
+    /// Engine steps that failed with an injected forward fault.
+    pub forward_failures: u64,
+    /// Lockstep steps executed.
+    pub steps: u64,
+    /// GPU blocks still allocated on live replicas after the run drained
+    /// (must be zero: exact accounting survives every fault).
+    pub leaked_blocks: usize,
+    /// Order-independent hash of every request's terminal outcome and token
+    /// streams; equal across runs ⇔ identical outputs.
+    pub token_fingerprint: u64,
+}
+
+/// Per-request terminal outcome.
+enum Outcome {
+    Completed { tokens: Vec<Vec<u32>> },
+    Rejected,
+}
+
+/// One replica slot in the harness.
+struct ReplicaSlot {
+    engine: LlmEngine<FaultInjector<MockExecutor>>,
+    controls: Arc<FaultControls>,
+    alive: bool,
+    draining: bool,
+    stall_remaining: u64,
+    /// Engine-side id → trace request id for everything in flight here.
+    inflight: HashMap<String, u64>,
+}
+
+/// Mutable bookkeeping for one run.
+struct RunState {
+    pending: HashMap<u64, PendingReq>,
+    outcomes: HashMap<u64, Outcome>,
+    /// `(ready_at_step, request_id)` retry entries.
+    retry_q: Vec<(u64, u64)>,
+    duplicates: usize,
+}
+
+struct PendingReq {
+    req: ClusterRequest,
+    attempts: u32,
+}
+
+/// Fault counters registered on the cluster-level telemetry.
+struct FaultCounters {
+    injected: Counter,
+    kills: Counter,
+    forward_failures: Counter,
+    swap_exhaustions: Counter,
+}
+
+/// N engines in deterministic lockstep under a router, a request trace, and
+/// a [`FaultPlan`].
+pub struct FaultCluster {
+    cfg: FaultClusterConfig,
+    slots: Vec<ReplicaSlot>,
+    router: Router,
+    telemetry: Arc<Telemetry>,
+    counters: FaultCounters,
+    block_size: usize,
+}
+
+impl FaultCluster {
+    /// Builds the harness with fresh engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero replicas.
+    #[must_use]
+    pub fn new(cfg: FaultClusterConfig) -> Self {
+        assert!(cfg.num_replicas > 0, "cluster needs at least one replica");
+        let telemetry = Arc::new(Telemetry::new());
+        let mut router = Router::new(RouterConfig::new(cfg.policy), cfg.num_replicas);
+        router.attach_telemetry(&telemetry);
+        let r = telemetry.registry();
+        let counters = FaultCounters {
+            injected: r.counter("vllm_fault_injected_total", "Fault events fired."),
+            kills: r.counter("vllm_fault_kills_total", "Replica kills fired."),
+            forward_failures: r.counter(
+                "vllm_fault_forward_failures_total",
+                "Engine steps failed by an injected forward fault.",
+            ),
+            swap_exhaustions: r.counter(
+                "vllm_fault_swap_exhaustions_total",
+                "Swap-pool exhaustion events fired.",
+            ),
+        };
+        let slots: Vec<ReplicaSlot> = (0..cfg.num_replicas).map(|_| fresh_slot()).collect();
+        let block_size = slots[0].engine.cache_config().block_size;
+        Self {
+            cfg,
+            slots,
+            router,
+            telemetry,
+            counters,
+            block_size,
+        }
+    }
+
+    /// The router (policy, liveness, retry counters).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The cluster-level telemetry bundle (router + fault counters).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// One merged snapshot: per-replica engine metrics under
+    /// `{replica="i"}` labels plus the unlabeled cluster counters
+    /// (`vllm_cluster_*`, `vllm_fault_*`).
+    #[must_use]
+    pub fn merged_snapshot(&self) -> MetricsSnapshot {
+        let parts: Vec<(String, MetricsSnapshot)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i.to_string(), s.engine.metrics_snapshot()))
+            .collect();
+        let mut merged = merge_labeled(&parts);
+        merged
+            .metrics
+            .extend(self.telemetry.registry().snapshot().metrics);
+        merged.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
+    }
+
+    /// Runs `requests` against the fleet while `plan` fires, to quiescence
+    /// (or the configured step bound).
+    ///
+    /// Every request ends in exactly one of: completed (token streams
+    /// recorded), rejected (placement attempts exhausted), or — only if the
+    /// step bound is hit — lost. The report carries the counts plus a
+    /// fingerprint of all outputs for determinism comparisons.
+    #[must_use]
+    pub fn run(&mut self, plan: &FaultPlan, mut requests: Vec<ClusterRequest>) -> FaultReport {
+        requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+        let num_requests = requests.len();
+        let mut events = plan.events.clone();
+        events.sort_by_key(|e| (e.at_step, e.replica));
+        let mut st = RunState {
+            pending: requests
+                .iter()
+                .map(|r| {
+                    (
+                        r.id,
+                        PendingReq {
+                            req: r.clone(),
+                            attempts: 0,
+                        },
+                    )
+                })
+                .collect(),
+            outcomes: HashMap::new(),
+            retry_q: Vec::new(),
+            duplicates: 0,
+        };
+        let mut next_event = 0;
+        let mut next_arrival = 0;
+        let mut step: u64 = 0;
+        loop {
+            // 1. Fire due fault events.
+            while next_event < events.len() && events[next_event].at_step <= step {
+                let e = events[next_event];
+                self.apply_event(&e, step, &mut st);
+                next_event += 1;
+            }
+            // 2. Re-place due retries (sorted for determinism).
+            let mut due: Vec<u64> = Vec::new();
+            st.retry_q.retain(|&(ready_at, id)| {
+                if ready_at <= step {
+                    due.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_unstable();
+            for id in due {
+                self.try_place(id, step, &mut st);
+            }
+            // 3. Inject new arrivals.
+            while next_arrival < requests.len() && requests[next_arrival].arrival <= step as f64 {
+                let id = requests[next_arrival].id;
+                next_arrival += 1;
+                self.try_place(id, step, &mut st);
+            }
+            // 4. Step every live, unstalled replica with work.
+            for i in 0..self.slots.len() {
+                self.step_replica(i, step, &mut st);
+            }
+            // 5. Quiescence: all arrivals in, no retries queued, every
+            // request terminal.
+            let done = next_arrival == requests.len()
+                && st.retry_q.is_empty()
+                && st.outcomes.len() == num_requests;
+            if done || step >= self.cfg.max_steps {
+                break;
+            }
+            step += 1;
+        }
+        let completed = st
+            .outcomes
+            .values()
+            .filter(|o| matches!(o, Outcome::Completed { .. }))
+            .count();
+        let rejected = st
+            .outcomes
+            .values()
+            .filter(|o| matches!(o, Outcome::Rejected))
+            .count();
+        let leaked_blocks: usize = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| {
+                let bm = s.engine.scheduler().block_manager();
+                bm.num_total_gpu_blocks() - bm.num_free_gpu_blocks()
+            })
+            .sum();
+        FaultReport {
+            num_requests,
+            completed,
+            rejected,
+            lost: num_requests - st.outcomes.len(),
+            duplicates: st.duplicates,
+            retries: self.router.stats().retries,
+            faults_injected: self.counters.injected.get(),
+            kills: self.counters.kills.get(),
+            forward_failures: self.counters.forward_failures.get(),
+            steps: step,
+            leaked_blocks,
+            token_fingerprint: fingerprint(&st.outcomes),
+        }
+    }
+
+    /// Applies one fault event.
+    fn apply_event(&mut self, e: &FaultEvent, step: u64, st: &mut RunState) {
+        self.counters.injected.inc();
+        match e.kind {
+            FaultKind::KillReplica => {
+                if !self.slots[e.replica].alive {
+                    return;
+                }
+                self.counters.kills.inc();
+                self.router.mark_dead(e.replica);
+                let slot = &mut self.slots[e.replica];
+                slot.alive = false;
+                slot.draining = false;
+                // Zero-loss: everything in flight here is re-routed.
+                for (_, id) in slot.inflight.drain() {
+                    self.router.record_retry();
+                    st.retry_q.push((step + 1, id));
+                }
+            }
+            FaultKind::RestartReplica => {
+                if self.slots[e.replica].alive {
+                    // Graceful restart: drain first (no new traffic), the
+                    // step loop swaps in a fresh engine once idle.
+                    self.slots[e.replica].draining = true;
+                    self.router.mark_dead(e.replica);
+                } else {
+                    self.slots[e.replica] = fresh_slot();
+                    self.router.mark_alive(e.replica);
+                }
+            }
+            FaultKind::StallReplica { steps } => {
+                self.slots[e.replica].stall_remaining += steps;
+            }
+            FaultKind::FailForwards { count } => {
+                self.slots[e.replica].controls.fail_next_forwards(count);
+            }
+            FaultKind::ExhaustSwap => {
+                self.counters.swap_exhaustions.inc();
+                self.slots[e.replica].engine.set_swap_disabled(true);
+            }
+            FaultKind::RestoreSwap => {
+                self.slots[e.replica].engine.set_swap_disabled(false);
+            }
+            FaultKind::DelayCacheOps { seconds_per_op } => {
+                self.slots[e.replica]
+                    .controls
+                    .set_cache_op_delay(seconds_per_op);
+            }
+        }
+    }
+
+    /// Routes and admits one request; on failure, schedules a backoff retry
+    /// or records a terminal rejection.
+    fn try_place(&mut self, id: u64, step: u64, st: &mut RunState) {
+        let (prompt, request, attempt) = {
+            let Some(p) = st.pending.get_mut(&id) else {
+                return;
+            };
+            p.attempts += 1;
+            (p.req.prompt.clone(), p.req.request(), p.attempts)
+        };
+        let hashes = chunk_hashes(&prompt, self.block_size);
+        let snaps = self.snapshots();
+        let d = self.router.route(&hashes, &snaps);
+        let cap = self.cfg.max_inflight;
+        let slot = &mut self.slots[d.replica];
+        if slot.alive && !slot.draining && slot.inflight.len() < cap {
+            // A fresh engine-side id per attempt: a request re-routed off a
+            // failing replica can never collide with its own stale state.
+            let engine_id = format!("{id}.{attempt}");
+            match slot
+                .engine
+                .add_generation_request(engine_id.clone(), prompt, &request)
+            {
+                Ok(()) => {
+                    slot.inflight.insert(engine_id, id);
+                    return;
+                }
+                Err(e) if e.is_retryable() => {}
+                Err(_) => {
+                    record(st, id, Outcome::Rejected);
+                    return;
+                }
+            }
+        }
+        // Backpressure / dead target / transient admission failure: capped
+        // exponential backoff, terminal rejection once attempts run out.
+        if attempt >= self.cfg.max_attempts {
+            record(st, id, Outcome::Rejected);
+            return;
+        }
+        self.router.record_retry();
+        let delay = (1u64 << attempt.min(6)).min(self.cfg.max_backoff_steps);
+        st.retry_q.push((step + delay, id));
+    }
+
+    /// Runs one lockstep step on replica `i`.
+    fn step_replica(&mut self, i: usize, step: u64, st: &mut RunState) {
+        if !self.slots[i].alive {
+            return;
+        }
+        if self.slots[i].stall_remaining > 0 {
+            self.slots[i].stall_remaining -= 1;
+            return;
+        }
+        if !self.slots[i].engine.has_unfinished() {
+            if self.slots[i].draining {
+                // Drained: swap in a fresh engine and rejoin the fleet.
+                self.slots[i] = fresh_slot();
+                self.router.mark_alive(i);
+            }
+            return;
+        }
+        let slot = &mut self.slots[i];
+        match slot.engine.step() {
+            Ok(outs) => {
+                for out in outs {
+                    if let Some(id) = slot.inflight.remove(&out.request_id) {
+                        let tokens: Vec<Vec<u32>> =
+                            out.outputs.iter().map(|c| c.tokens.clone()).collect();
+                        record(st, id, Outcome::Completed { tokens });
+                    }
+                }
+            }
+            Err(_) => {
+                // Injected forward fault: abort everything live (exact
+                // block accounting), reap the aborted groups, and re-route
+                // the affected requests.
+                self.counters.forward_failures.inc();
+                if slot.engine.abort_all().is_ok() {
+                    let _ = slot.engine.step();
+                }
+                for (_, id) in slot.inflight.drain() {
+                    self.router.record_retry();
+                    st.retry_q.push((step + 1, id));
+                }
+            }
+        }
+    }
+
+    /// Builds the router's per-replica view.
+    fn snapshots(&self) -> Vec<ReplicaSnapshot> {
+        self.slots
+            .iter()
+            .map(|s| ReplicaSnapshot {
+                load: s.engine.load_snapshot(),
+                coverage: Arc::new(s.engine.prefix_coverage()),
+            })
+            .collect()
+    }
+}
+
+/// A fresh replica slot: small identical engine behind a fault injector.
+fn fresh_slot() -> ReplicaSlot {
+    let cache = CacheConfig::new(4, 64, 16).expect("valid cache config");
+    let sched = SchedulerConfig::new(2048, 64, 2048).expect("valid scheduler config");
+    let controls = FaultControls::new();
+    let engine = LlmEngine::new(
+        FaultInjector::new(MockExecutor::new(1000), Arc::clone(&controls)),
+        cache,
+        sched,
+    );
+    ReplicaSlot {
+        engine,
+        controls,
+        alive: true,
+        draining: false,
+        stall_remaining: 0,
+        inflight: HashMap::new(),
+    }
+}
+
+/// Records a terminal outcome, counting duplicates instead of overwriting
+/// silently.
+fn record(st: &mut RunState, id: u64, outcome: Outcome) {
+    match st.outcomes.entry(id) {
+        std::collections::hash_map::Entry::Occupied(_) => st.duplicates += 1,
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(outcome);
+        }
+    }
+}
+
+/// Order-independent FNV-1a fingerprint of every terminal outcome.
+fn fingerprint(outcomes: &HashMap<u64, Outcome>) -> u64 {
+    let mut ids: Vec<u64> = outcomes.keys().copied().collect();
+    ids.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for id in ids {
+        mix(id);
+        match &outcomes[&id] {
+            Outcome::Completed { tokens } => {
+                mix(1);
+                for seq in tokens {
+                    mix(seq.len() as u64);
+                    for &t in seq {
+                        mix(u64::from(t));
+                    }
+                }
+            }
+            Outcome::Rejected => mix(2),
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt(id: u64, len: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| 1 + ((id * 31 + i as u64 * 7) % 997) as u32)
+            .collect()
+    }
+
+    fn trace(n: u64, per_step: f64) -> Vec<ClusterRequest> {
+        (0..n)
+            .map(|i| ClusterRequest {
+                id: i,
+                arrival: i as f64 / per_step,
+                prompt: prompt(i, 16),
+                output_len: 12,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::seeded(seed, 3, 40);
+            let mut cluster = FaultCluster::new(FaultClusterConfig::new(3));
+            cluster.run(&plan, trace(24, 2.0))
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the identical report");
+        assert_eq!(a.lost, 0);
+        assert_eq!(a.duplicates, 0);
+        assert_eq!(a.completed + a.rejected, a.num_requests);
+        assert_eq!(a.leaked_blocks, 0);
+        // A different seed yields a different plan.
+        assert_ne!(
+            FaultPlan::seeded(7, 3, 40),
+            FaultPlan::seeded(8, 3, 40),
+            "plans must depend on the seed"
+        );
+    }
+
+    #[test]
+    fn killing_a_replica_mid_decode_loses_zero_requests() {
+        let plan = FaultPlan::new(0).with_event(4, 0, FaultKind::KillReplica);
+        let mut cluster =
+            FaultCluster::new(FaultClusterConfig::new(3).with_policy(RoutePolicy::RoundRobin));
+        let report = cluster.run(&plan, trace(18, 3.0));
+        assert_eq!(report.kills, 1);
+        assert_eq!(report.lost, 0, "no request may vanish with its replica");
+        assert_eq!(report.duplicates, 0, "no request may complete twice");
+        assert_eq!(report.completed, 18, "capacity is ample: all complete");
+        assert!(
+            report.retries > 0,
+            "in-flight work must have been re-routed"
+        );
+        assert_eq!(report.leaked_blocks, 0);
+        assert_eq!(cluster.router().num_alive(), 2);
+        // Fault and retry counters surface in the merged exposition.
+        let merged = cluster.merged_snapshot();
+        assert_eq!(merged.counter("vllm_fault_kills_total"), Some(1));
+        assert_eq!(
+            merged.counter("vllm_cluster_retries_total"),
+            Some(report.retries)
+        );
+        let text = merged.to_prometheus_text();
+        assert!(text.contains("vllm_fault_injected_total"));
+    }
+
+    #[test]
+    fn restart_after_kill_restores_the_fleet() {
+        let plan = FaultPlan::new(0)
+            .with_event(3, 1, FaultKind::KillReplica)
+            .with_event(10, 1, FaultKind::RestartReplica);
+        let mut cluster = FaultCluster::new(FaultClusterConfig::new(2));
+        let report = cluster.run(&plan, trace(16, 1.0));
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.completed, 16);
+        assert_eq!(cluster.router().num_alive(), 2, "restart rejoins the fleet");
+        assert_eq!(report.leaked_blocks, 0);
+    }
+
+    #[test]
+    fn swap_exhaustion_degrades_without_losing_requests() {
+        let plan = FaultPlan::new(0)
+            .with_event(1, 0, FaultKind::ExhaustSwap)
+            .with_event(1, 1, FaultKind::ExhaustSwap);
+        let mut cluster = FaultCluster::new(FaultClusterConfig::new(2));
+        let report = cluster.run(&plan, trace(20, 4.0));
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.leaked_blocks, 0);
+    }
+
+    #[test]
+    fn forward_failures_are_retried_elsewhere() {
+        let plan = FaultPlan::new(0).with_event(2, 0, FaultKind::FailForwards { count: 2 });
+        let mut cluster =
+            FaultCluster::new(FaultClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin));
+        let report = cluster.run(&plan, trace(10, 2.0));
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.completed, 10);
+        assert!(report.forward_failures > 0);
+        assert!(report.retries > 0);
+        assert_eq!(report.leaked_blocks, 0);
+    }
+
+    #[test]
+    fn bounded_admission_backpressure_rejects_when_attempts_run_out() {
+        // One replica, capacity 1, no faults: a burst cannot all fit, so
+        // some requests exhaust their attempts and are rejected — but
+        // nothing is lost or duplicated, and the outcome is deterministic.
+        let cfg = FaultClusterConfig::new(1)
+            .with_max_inflight(1)
+            .with_max_attempts(3);
+        let run = || {
+            let mut cluster = FaultCluster::new(cfg);
+            cluster.run(&FaultPlan::new(0), trace(12, 12.0))
+        };
+        let a = run();
+        assert_eq!(a.lost, 0);
+        assert_eq!(a.duplicates, 0);
+        assert_eq!(a.completed + a.rejected, 12);
+        assert!(a.rejected > 0, "capacity 1 must shed part of the burst");
+        assert!(a.retries > 0);
+        assert_eq!(a, run(), "backpressure must be deterministic");
+    }
+}

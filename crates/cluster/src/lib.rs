@@ -21,15 +21,23 @@
 //!   still round-trip through both expositions.
 //! * [`ClusterSystem`] — N simulated engines under one trace, producing
 //!   throughput-scaling and affinity-hit-rate curves analytically.
+//! * [`FaultPlan`] / [`FaultCluster`] — seeded fault schedules (kills,
+//!   stalls, forward failures, swap exhaustion, cache-op delays) driven
+//!   through a deterministic lockstep harness that exercises the
+//!   degradation machinery: bounded admission with backpressure, retry with
+//!   re-routing, restart with drain. Same seed ⇒ same token streams and
+//!   retry counts.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod replica;
 pub mod router;
 pub mod sim;
 pub mod stats;
 
-pub use replica::{EngineRequest, EngineStats, Replica};
+pub use fault::{FaultCluster, FaultClusterConfig, FaultEvent, FaultKind, FaultPlan, FaultReport};
+pub use replica::{EngineReply, EngineRequest, EngineStats, Replica};
 pub use router::{ReplicaSnapshot, RouteDecision, RoutePolicy, Router, RouterConfig, RouterStats};
 pub use sim::{ClusterReport, ClusterRequest, ClusterSystem};
 pub use stats::{aggregate_stats, merge_labeled};

@@ -10,6 +10,23 @@
 //! work from connections* at the server layer, but the loop itself keeps
 //! stepping until every queued and in-flight request has finished (and the
 //! channel backlog is drained), so no accepted request is ever dropped.
+//!
+//! Degradation semantics (PR 5):
+//!
+//! * Replies are typed: `Result<RequestOutput, VllmError>`, so admission
+//!   failures and degradation outcomes carry their [`vllm_core::ErrorKind`]
+//!   and retryability to the caller instead of being smuggled through a
+//!   sentinel request id.
+//! * Admission is bounded: when the number of in-flight requests reaches
+//!   the replica's capacity, new submissions are answered with
+//!   [`VllmError::Rejected`] (`retry_after` hint) rather than queued
+//!   silently — callers see backpressure and can re-route.
+//! * An engine step error is no longer fatal: the loop aborts every live
+//!   request (restoring exact block accounting), answers each in-flight
+//!   reply with a retryable [`VllmError::Unavailable`], and keeps serving.
+//! * A kill switch ([`Replica::inject_kill`]) makes the loop die abruptly —
+//!   in-flight replies get [`VllmError::Unavailable`] — so routers and
+//!   frontends can be exercised against replica loss.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -19,7 +36,14 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use vllm_core::telemetry::Telemetry;
-use vllm_core::{LlmEngine, ModelExecutor, RequestOutput, SamplingParams};
+use vllm_core::{GenerationRequest, LlmEngine, ModelExecutor, RequestOutput, VllmError};
+
+/// Default bound on requests a replica holds in flight (queued + running)
+/// before it answers submissions with [`VllmError::Rejected`].
+pub const DEFAULT_MAX_INFLIGHT: usize = 1024;
+
+/// The `retry_after` hint (seconds) carried by backpressure rejections.
+pub const REJECT_RETRY_AFTER: f64 = 0.05;
 
 /// A snapshot of serving state published by a replica's engine loop after
 /// every iteration (the `/metrics` analog of production servers).
@@ -74,18 +98,22 @@ pub struct EngineStats {
     pub ttft_p99: f64,
 }
 
+/// The typed reply a submitted request eventually receives.
+pub type EngineReply = Result<RequestOutput, VllmError>;
+
 /// A generation request routed to an engine thread. The reply channel
-/// receives exactly one [`RequestOutput`]; admission failures are delivered
-/// as an output whose `request_id` starts with `error:`.
+/// receives exactly one [`EngineReply`]: the finished output, or a typed
+/// error (admission failure, backpressure rejection, replica loss).
 pub struct EngineRequest {
     /// Globally unique request id (also the engine-side id).
     pub request_id: String,
     /// Tokenized prompt.
     pub prompt: Vec<u32>,
-    /// Decoding parameters.
-    pub params: SamplingParams,
-    /// Where the finished output goes.
-    pub reply: Sender<RequestOutput>,
+    /// Typed request description (decoding mode, limits, deadline,
+    /// priority).
+    pub request: GenerationRequest,
+    /// Where the finished output (or typed failure) goes.
+    pub reply: Sender<EngineReply>,
 }
 
 /// Handle to an engine running on its own thread.
@@ -102,25 +130,51 @@ pub struct Replica {
     coverage: Arc<Mutex<Arc<Vec<u64>>>>,
     telemetry: Arc<Telemetry>,
     shutdown: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Replica {
-    /// Spawns the engine loop for `engine` on a new thread.
+    /// Spawns the engine loop for `engine` on a new thread with the default
+    /// in-flight capacity ([`DEFAULT_MAX_INFLIGHT`]).
     pub fn spawn<E>(id: usize, engine: LlmEngine<E>) -> Self
+    where
+        E: ModelExecutor + Send + 'static,
+    {
+        Self::spawn_with_capacity(id, engine, DEFAULT_MAX_INFLIGHT)
+    }
+
+    /// Spawns the engine loop with an explicit bound on in-flight requests.
+    /// Submissions beyond the bound are answered with
+    /// [`VllmError::Rejected`] instead of queueing without limit.
+    pub fn spawn_with_capacity<E>(id: usize, engine: LlmEngine<E>, max_inflight: usize) -> Self
     where
         E: ModelExecutor + Send + 'static,
     {
         let (tx, rx) = mpsc::channel::<EngineRequest>();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let killed = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(EngineStats::default()));
         let coverage = Arc::new(Mutex::new(Arc::new(Vec::new())));
         let telemetry = Arc::clone(engine.telemetry());
         let thread = {
             let shutdown = Arc::clone(&shutdown);
+            let killed = Arc::clone(&killed);
             let stats = Arc::clone(&stats);
             let coverage = Arc::clone(&coverage);
-            std::thread::spawn(move || engine_loop(engine, &rx, &shutdown, &stats, &coverage))
+            std::thread::spawn(move || {
+                engine_loop(
+                    engine,
+                    &rx,
+                    &EngineLoopFlags {
+                        shutdown: &shutdown,
+                        killed: &killed,
+                        max_inflight,
+                    },
+                    &stats,
+                    &coverage,
+                );
+            })
         };
         Self {
             id,
@@ -129,6 +183,7 @@ impl Replica {
             coverage,
             telemetry,
             shutdown,
+            killed,
             thread: Mutex::new(Some(thread)),
         }
     }
@@ -167,6 +222,20 @@ impl Replica {
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Whether the replica was killed by fault injection.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Fault injection: makes the engine loop die abruptly at its next
+    /// iteration boundary. Queued and in-flight requests are answered with a
+    /// retryable [`VllmError::Unavailable`] so callers can re-route them;
+    /// nothing is drained.
+    pub fn inject_kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
     }
 
     /// Signals the loop to stop once drained. Non-blocking; pair with
@@ -225,6 +294,13 @@ fn snapshot_stats<E: ModelExecutor>(engine: &LlmEngine<E>, finished_total: u64) 
     }
 }
 
+/// Control flags and limits shared with a replica's engine loop.
+struct EngineLoopFlags<'a> {
+    shutdown: &'a AtomicBool,
+    killed: &'a AtomicBool,
+    max_inflight: usize,
+}
+
 /// The engine loop: drain new requests, run one iteration, route finished
 /// outputs back to their reply channels.
 ///
@@ -235,15 +311,16 @@ fn snapshot_stats<E: ModelExecutor>(engine: &LlmEngine<E>, finished_total: u64) 
 /// coverage snapshot is recomputed only when the pool's version changes.
 ///
 /// The loop exits when the shutdown flag is set (or every sender is gone)
-/// *and* all accepted work has finished.
+/// *and* all accepted work has finished — or immediately when the kill
+/// switch fires, answering in-flight replies with a retryable error.
 fn engine_loop<E: ModelExecutor>(
     mut engine: LlmEngine<E>,
     rx: &Receiver<EngineRequest>,
-    shutdown: &AtomicBool,
+    flags: &EngineLoopFlags<'_>,
     stats: &Mutex<EngineStats>,
     coverage: &Mutex<Arc<Vec<u64>>>,
 ) {
-    let mut pending: Vec<(String, Sender<RequestOutput>)> = Vec::new();
+    let mut pending: Vec<(String, Sender<EngineReply>)> = Vec::new();
     let mut finished_total: u64 = 0;
     let mut coverage_version: Option<u64> = None;
     // Seed the snapshot (and the registry's gauges) so load/metrics queries
@@ -251,6 +328,21 @@ fn engine_loop<E: ModelExecutor>(
     let _ = engine.metrics_snapshot();
     *stats.lock() = snapshot_stats(&engine, finished_total);
     loop {
+        if flags.killed.load(Ordering::SeqCst) {
+            // Abrupt death: no drain. Everything in flight is answered with
+            // a retryable error so the caller can re-route, and anything
+            // still in the channel gets the same treatment.
+            for (_, reply) in pending.drain(..) {
+                let _ = reply.send(Err(VllmError::Unavailable("replica killed".into())));
+            }
+            while let Ok(req) = rx.try_recv() {
+                let _ = req
+                    .reply
+                    .send(Err(VllmError::Unavailable("replica killed".into())));
+            }
+            *stats.lock() = snapshot_stats(&engine, finished_total);
+            return;
+        }
         if coverage_version != Some(engine.prefix_pool().version()) {
             coverage_version = Some(engine.prefix_pool().version());
             *coverage.lock() = Arc::new(engine.prefix_coverage());
@@ -263,22 +355,25 @@ fn engine_loop<E: ModelExecutor>(
         loop {
             match rx.try_recv() {
                 Ok(req) => {
-                    match engine.add_request(req.request_id.clone(), req.prompt, req.params) {
+                    if pending.len() >= flags.max_inflight {
+                        // Bounded admission: explicit backpressure instead
+                        // of silent queueing.
+                        let _ = req.reply.send(Err(VllmError::Rejected {
+                            retry_after: REJECT_RETRY_AFTER,
+                        }));
+                        continue;
+                    }
+                    match engine.add_generation_request(
+                        req.request_id.clone(),
+                        req.prompt,
+                        &req.request,
+                    ) {
                         Ok(()) => {
                             pending.push((req.request_id, req.reply));
                             admitted = true;
                         }
                         Err(e) => {
-                            // Deliver the failure as an empty output.
-                            let _ = req.reply.send(RequestOutput {
-                                request_id: format!("error: {e}"),
-                                prompt_len: 0,
-                                outputs: Vec::new(),
-                                arrival_time: 0.0,
-                                finish_time: 0.0,
-                                first_token_time: None,
-                                num_preemptions: 0,
-                            });
+                            let _ = req.reply.send(Err(e));
                         }
                     }
                 }
@@ -293,7 +388,7 @@ fn engine_loop<E: ModelExecutor>(
             *stats.lock() = snapshot_stats(&engine, finished_total);
         }
         if !engine.has_unfinished() {
-            if shutdown.load(Ordering::SeqCst) || disconnected {
+            if flags.shutdown.load(Ordering::SeqCst) || disconnected {
                 break; // Drained: nothing queued, nothing in flight.
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -302,16 +397,31 @@ fn engine_loop<E: ModelExecutor>(
         let outputs = match engine.step() {
             Ok(outputs) => outputs,
             Err(e) => {
-                // An engine error is fatal for the serving loop.
-                eprintln!("engine error: {e}");
-                return;
+                // Degrade instead of dying: abort everything live (releasing
+                // every block the failed iteration had reserved), answer the
+                // in-flight replies with a retryable error, and keep serving.
+                let msg = format!("engine step failed: {e}");
+                if engine.abort_all().is_err() {
+                    // Accounting is corrupt; this loop cannot continue.
+                    for (_, reply) in pending.drain(..) {
+                        let _ = reply.send(Err(VllmError::Unavailable(msg.clone())));
+                    }
+                    return;
+                }
+                // Deliver the aborted groups out of the scheduler.
+                let _ = engine.step();
+                for (_, reply) in pending.drain(..) {
+                    let _ = reply.send(Err(VllmError::Unavailable(msg.clone())));
+                }
+                *stats.lock() = snapshot_stats(&engine, finished_total);
+                continue;
             }
         };
         for out in outputs {
             finished_total += 1;
             if let Some(pos) = pending.iter().position(|(id, _)| *id == out.request_id) {
                 let (_, reply) = pending.swap_remove(pos);
-                let _ = reply.send(out);
+                let _ = reply.send(Ok(out));
             }
         }
         // Publish a fresh snapshot; on the drain step this already reflects
@@ -326,7 +436,7 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
     use vllm_core::mock::MockExecutor;
-    use vllm_core::{CacheConfig, SchedulerConfig};
+    use vllm_core::{CacheConfig, FaultControls, FaultInjector, SchedulerConfig};
 
     fn small_engine() -> LlmEngine<MockExecutor> {
         let cache = CacheConfig::new(4, 64, 16).unwrap();
@@ -334,20 +444,24 @@ mod tests {
         LlmEngine::new(MockExecutor::new(1000), cache, sched)
     }
 
+    fn request(id: &str, max_tokens: usize, reply: Sender<EngineReply>) -> EngineRequest {
+        EngineRequest {
+            request_id: id.into(),
+            prompt: vec![1, 2, 3, 4, 5],
+            request: GenerationRequest::greedy(max_tokens),
+            reply,
+        }
+    }
+
     #[test]
     fn replica_serves_and_publishes_stats() {
         let replica = Replica::spawn(0, small_engine());
         let (reply_tx, reply_rx) = mpsc::channel();
         replica
-            .submit(EngineRequest {
-                request_id: "r0".into(),
-                prompt: vec![1, 2, 3, 4, 5],
-                params: SamplingParams::greedy(4),
-                reply: reply_tx,
-            })
+            .submit(request("r0", 4, reply_tx))
             .ok()
             .expect("accepting");
-        let out = reply_rx.recv().expect("one output");
+        let out = reply_rx.recv().expect("one reply").expect("success");
         assert_eq!(out.request_id, "r0");
         assert_eq!(out.outputs.len(), 1);
         // The published snapshot catches up with the completion.
@@ -371,7 +485,7 @@ mod tests {
                 .submit(EngineRequest {
                     request_id: format!("r{i}"),
                     prompt: vec![1, 2, 3, 4, 5, 6, 7, 8],
-                    params: SamplingParams::greedy(6),
+                    request: GenerationRequest::greedy(6),
                     reply: reply_tx,
                 })
                 .ok()
@@ -382,10 +496,123 @@ mod tests {
         replica.begin_shutdown();
         replica.join();
         for rx in replies {
-            let out = rx.recv().expect("drained output");
-            assert!(!out.request_id.starts_with("error:"));
+            let out = rx.recv().expect("drained reply").expect("success");
             assert_eq!(out.outputs.len(), 1);
         }
         assert_eq!(replica.stats().finished, 4);
+    }
+
+    #[test]
+    fn admission_failure_is_typed() {
+        let replica = Replica::spawn(0, small_engine());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        replica
+            .submit(EngineRequest {
+                request_id: "bad".into(),
+                prompt: Vec::new(), // Empty prompt: admission fails.
+                request: GenerationRequest::greedy(4),
+                reply: reply_tx,
+            })
+            .ok()
+            .expect("accepting");
+        let err = reply_rx.recv().expect("one reply").unwrap_err();
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn bounded_admission_rejects_with_retry_after() {
+        // Capacity 1: the second of two quickly submitted long requests is
+        // rejected with a retryable backpressure error (timing-dependent
+        // which one, so submit enough to guarantee at least one rejection).
+        let replica = Replica::spawn_with_capacity(0, small_engine(), 1);
+        let mut replies = Vec::new();
+        for i in 0..6 {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            replica
+                .submit(EngineRequest {
+                    request_id: format!("r{i}"),
+                    prompt: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                    request: GenerationRequest::greedy(32),
+                    reply: reply_tx,
+                })
+                .ok()
+                .expect("accepting");
+            replies.push(reply_rx);
+        }
+        replica.begin_shutdown();
+        replica.join();
+        let results: Vec<EngineReply> = replies.iter().map(|rx| rx.recv().unwrap()).collect();
+        let rejected: Vec<&VllmError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert!(!rejected.is_empty(), "expected at least one rejection");
+        for e in rejected {
+            assert!(matches!(e, VllmError::Rejected { .. }));
+            assert!(e.is_retryable());
+            assert!(e.retry_after().unwrap() > 0.0);
+        }
+        // Every request got exactly one reply (completed or rejected).
+        assert_eq!(results.len(), 6);
+    }
+
+    #[test]
+    fn injected_kill_answers_inflight_with_retryable_error() {
+        let replica = Replica::spawn(0, small_engine());
+        let mut replies = Vec::new();
+        for i in 0..3 {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            replica
+                .submit(EngineRequest {
+                    request_id: format!("r{i}"),
+                    prompt: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                    request: GenerationRequest::greedy(64),
+                    reply: reply_tx,
+                })
+                .ok()
+                .expect("accepting");
+            replies.push(reply_rx);
+        }
+        replica.inject_kill();
+        replica.join();
+        assert!(replica.is_killed());
+        // Every reply arrives: either the request finished before the kill
+        // landed, or it carries a retryable unavailability error.
+        for rx in replies {
+            match rx.recv().expect("reply delivered") {
+                Ok(out) => assert_eq!(out.outputs.len(), 1),
+                Err(e) => assert!(e.is_retryable()),
+            }
+        }
+    }
+
+    #[test]
+    fn step_error_degrades_without_killing_the_loop() {
+        let controls = FaultControls::new();
+        let cache = CacheConfig::new(4, 64, 16).unwrap();
+        let sched = SchedulerConfig::new(512, 16, 256).unwrap();
+        let engine = LlmEngine::new(
+            FaultInjector::new(MockExecutor::new(1000), Arc::clone(&controls)),
+            cache,
+            sched,
+        );
+        let replica = Replica::spawn(0, engine);
+
+        // First request hits an injected forward fault.
+        controls.fail_next_forwards(1);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        replica
+            .submit(request("r0", 4, reply_tx))
+            .ok()
+            .expect("accepting");
+        let err = reply_rx.recv().expect("reply").unwrap_err();
+        assert!(err.is_retryable());
+
+        // The loop survived: a follow-up request completes normally.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        replica
+            .submit(request("r1", 4, reply_tx))
+            .ok()
+            .expect("accepting");
+        let out = reply_rx.recv().expect("reply").expect("success");
+        assert_eq!(out.request_id, "r1");
+        assert_eq!(out.outputs.len(), 1);
     }
 }

@@ -25,6 +25,14 @@
 //! unhealthy, the request fails over to the shortest healthy queue; if every
 //! replica is unhealthy the policy choice stands (degraded, but requests are
 //! never dropped).
+//!
+//! Replica loss: a replica reported dead via [`Router::mark_dead`] is
+//! excluded from every policy (including prefix affinity — coverage on a
+//! dead replica is worthless) until [`Router::mark_alive`] restores it after
+//! a restart. If *every* replica is dead the policy choice stands, matching
+//! the all-unhealthy degraded mode. Retries of in-flight requests re-routed
+//! off a dead replica are counted via [`Router::record_retry`] and exported
+//! as `vllm_cluster_retries_total`.
 
 use vllm_core::telemetry::{Counter, Gauge, Telemetry};
 use vllm_core::EngineLoad;
@@ -138,6 +146,9 @@ pub struct RouterStats {
     /// Requests whose chosen replica already held at least one leading
     /// prompt chunk (counted under every policy, so hit rates compare).
     pub prefix_cache_hits: u64,
+    /// Requests re-routed after a retryable failure (replica death,
+    /// backpressure rejection, transient engine error).
+    pub retries: u64,
 }
 
 /// Cached telemetry handles for the router.
@@ -148,7 +159,9 @@ struct RouterMetrics {
     failovers: Counter,
     affinity_hits: Counter,
     cache_hits: Counter,
+    retries: Counter,
     replicas: Gauge,
+    dead_replicas: Gauge,
 }
 
 /// Routes requests across a fixed pool of replicas.
@@ -158,6 +171,7 @@ pub struct Router {
     num_replicas: usize,
     rr_next: usize,
     unhealthy: Vec<bool>,
+    dead: Vec<bool>,
     stats: RouterStats,
     metrics: Option<RouterMetrics>,
 }
@@ -185,6 +199,7 @@ impl Router {
             num_replicas,
             rr_next: 0,
             unhealthy: vec![false; num_replicas],
+            dead: vec![false; num_replicas],
             stats: RouterStats {
                 routed: vec![0; num_replicas],
                 ..RouterStats::default()
@@ -223,9 +238,20 @@ impl Router {
                 "vllm_cluster_prefix_cache_hits_total",
                 "Requests whose chosen replica already held leading prompt chunks.",
             ),
+            retries: r.counter(
+                "vllm_cluster_retries_total",
+                "Requests re-routed after a retryable failure.",
+            ),
             replicas: r.gauge("vllm_cluster_replicas", "Replicas behind the router."),
+            dead_replicas: r.gauge(
+                "vllm_cluster_dead_replicas",
+                "Replicas currently marked dead.",
+            ),
         };
         metrics.replicas.set(self.num_replicas as f64);
+        metrics
+            .dead_replicas
+            .set(self.dead.iter().filter(|d| **d).count() as f64);
         self.metrics = Some(metrics);
     }
 
@@ -247,6 +273,46 @@ impl Router {
         !self.unhealthy[replica]
     }
 
+    /// Whether the replica is alive (not reported dead).
+    #[must_use]
+    pub fn is_alive(&self, replica: usize) -> bool {
+        !self.dead[replica]
+    }
+
+    /// Number of replicas not currently marked dead.
+    #[must_use]
+    pub fn num_alive(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
+    }
+
+    /// Reports a replica dead: it receives no traffic until
+    /// [`mark_alive`](Self::mark_alive) restores it.
+    pub fn mark_dead(&mut self, replica: usize) {
+        self.dead[replica] = true;
+        if let Some(m) = &self.metrics {
+            m.dead_replicas
+                .set(self.dead.iter().filter(|d| **d).count() as f64);
+        }
+    }
+
+    /// Restores a replica (after restart-with-drain) to the routable set.
+    pub fn mark_alive(&mut self, replica: usize) {
+        self.dead[replica] = false;
+        if let Some(m) = &self.metrics {
+            m.dead_replicas
+                .set(self.dead.iter().filter(|d| **d).count() as f64);
+        }
+    }
+
+    /// Counts one retry: an in-flight request re-routed after a retryable
+    /// failure (replica death, backpressure rejection, transient error).
+    pub fn record_retry(&mut self) {
+        self.stats.retries += 1;
+        if let Some(m) = &self.metrics {
+            m.retries.inc();
+        }
+    }
+
     /// Routes one request. `prompt_hashes` are the prompt's cumulative
     /// block-chunk hashes (`vllm_core::chunk_hashes`); `snaps` must have one
     /// entry per replica, in index order.
@@ -258,36 +324,56 @@ impl Router {
         assert_eq!(snaps.len(), self.num_replicas, "one snapshot per replica");
         self.update_health(snaps);
 
+        // Dead replicas are excluded everywhere — unless every replica is
+        // dead, in which case the policy choice stands (requests are never
+        // dropped at the router; the submission path reports the failure).
+        let any_alive = self.dead.iter().any(|d| !d);
+        let dead = &self.dead;
+        let alive = |i: usize| !dead[i] || !any_alive;
+
         let mut affinity_hit = false;
         let pick = match self.cfg.policy {
             RoutePolicy::RoundRobin => {
-                let pick = self.rr_next % self.num_replicas;
-                self.rr_next = (self.rr_next + 1) % self.num_replicas;
+                let mut pick = self.rr_next % self.num_replicas;
+                if any_alive {
+                    while dead[pick] {
+                        pick = (pick + 1) % self.num_replicas;
+                    }
+                }
+                self.rr_next = (pick + 1) % self.num_replicas;
                 pick
             }
-            RoutePolicy::JoinShortestQueue => shortest_queue(snaps, |_| true),
+            RoutePolicy::JoinShortestQueue => shortest_queue(snaps, alive),
             RoutePolicy::PrefixAffinity => {
                 let best = snaps
                     .iter()
-                    .map(|s| covered_chunks(prompt_hashes, &s.coverage))
+                    .enumerate()
+                    .filter(|(i, _)| alive(*i))
+                    .map(|(_, s)| covered_chunks(prompt_hashes, &s.coverage))
                     .max()
                     .unwrap_or(0);
                 if best > 0 {
                     affinity_hit = true;
                     // Longest coverage wins; outstanding tokens break ties.
                     shortest_queue(snaps, |i| {
-                        covered_chunks(prompt_hashes, &snaps[i].coverage) == best
+                        alive(i) && covered_chunks(prompt_hashes, &snaps[i].coverage) == best
                     })
                 } else {
-                    shortest_queue(snaps, |_| true)
+                    shortest_queue(snaps, alive)
                 }
             }
         };
 
         let mut failover = false;
-        let replica = if self.unhealthy[pick] && self.unhealthy.iter().any(|u| !u) {
+        let replica = if self.unhealthy[pick]
+            && self
+                .unhealthy
+                .iter()
+                .enumerate()
+                .any(|(i, u)| !u && alive(i))
+        {
             failover = true;
-            shortest_queue(snaps, |i| !self.unhealthy[i])
+            shortest_queue(snaps, |i| !self.unhealthy[i] && alive(i))
         } else {
             pick
         };
@@ -449,6 +535,51 @@ mod tests {
         assert!(!d.failover);
         assert!(router.is_healthy(0));
         assert_eq!(router.stats().failovers, 2);
+    }
+
+    #[test]
+    fn dead_replicas_receive_no_traffic_under_any_policy() {
+        let snaps = vec![
+            snap(0, 10, vec![7, 11]),
+            snap(0, 20, vec![7, 11]),
+            snap(0, 30, vec![]),
+        ];
+        for policy in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::JoinShortestQueue,
+            RoutePolicy::PrefixAffinity,
+        ] {
+            let mut router = Router::new(RouterConfig::new(policy), 3);
+            router.mark_dead(0);
+            assert_eq!(router.num_alive(), 2);
+            assert!(!router.is_alive(0));
+            for _ in 0..6 {
+                let d = router.route(&[7, 11], &snaps);
+                assert_ne!(d.replica, 0, "dead replica picked by {policy}");
+            }
+            // Restored after restart: traffic flows again.
+            router.mark_alive(0);
+            assert!((0..6).any(|_| router.route(&[7, 11], &snaps).replica == 0));
+        }
+    }
+
+    #[test]
+    fn all_dead_falls_back_to_policy_choice() {
+        let mut router = Router::new(RouterConfig::new(RoutePolicy::RoundRobin), 2);
+        router.mark_dead(0);
+        router.mark_dead(1);
+        let snaps = vec![snap(0, 0, vec![]), snap(0, 0, vec![])];
+        // Requests are still routed (never dropped at the router).
+        let picks: Vec<usize> = (0..4).map(|_| router.route(&[], &snaps).replica).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn retries_are_counted() {
+        let mut router = Router::new(RouterConfig::new(RoutePolicy::RoundRobin), 2);
+        router.record_retry();
+        router.record_retry();
+        assert_eq!(router.stats().retries, 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use vllm_baselines::types::{BatchSystem, StepWork};
 use vllm_core::telemetry::{MetricsSnapshot, Telemetry};
-use vllm_core::{chunk_hashes, LatencyTracker, SamplingParams, TokenId};
+use vllm_core::{chunk_hashes, GenerationRequest, LatencyTracker, TokenId};
 use vllm_sim::VllmSimSystem;
 
 use crate::router::{ReplicaSnapshot, RouteDecision, Router, RouterConfig};
@@ -30,6 +30,18 @@ pub struct ClusterRequest {
     pub prompt: Vec<TokenId>,
     /// Scripted output length in tokens.
     pub output_len: usize,
+}
+
+impl ClusterRequest {
+    /// The typed generation request this trace entry describes: greedy
+    /// decoding of the scripted length, seeded with the request id, never
+    /// stopping early on EOS (so simulated lengths stay scripted).
+    #[must_use]
+    pub fn request(&self) -> GenerationRequest {
+        GenerationRequest::greedy(self.output_len)
+            .with_ignore_eos()
+            .with_seed(self.id)
+    }
 }
 
 /// Aggregated outcome of one cluster run.
@@ -198,12 +210,14 @@ impl ClusterSystem {
                 let d = self.route(req);
                 assignments.push((req.id, d.replica));
                 self.clocks[d.replica] = self.clocks[d.replica].max(req.arrival);
-                let params = SamplingParams::greedy(req.output_len)
-                    .with_ignore_eos()
-                    .with_seed(req.id);
                 self.replicas[d.replica]
                     .engine_mut()
-                    .add_request_at(req.id.to_string(), req.prompt.clone(), params, req.arrival)
+                    .add_generation_request_at(
+                        req.id.to_string(),
+                        req.prompt.clone(),
+                        &req.request(),
+                        req.arrival,
+                    )
                     .expect("request admitted");
                 next += 1;
                 continue;

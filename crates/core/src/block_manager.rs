@@ -136,6 +136,10 @@ pub struct BlockSpaceManager {
     /// When block sharing is disabled (eager-copy ablation), admission must
     /// account for the full sequence fan-out of a request up front.
     pub fanout_admission: bool,
+    /// When set, [`Self::can_swap_out`] reports no space regardless of the
+    /// CPU pool, forcing the §4.5 recomputation fallback. Fault injection
+    /// uses this to model an exhausted (or failed) swap device.
+    swap_disabled: bool,
 }
 
 impl BlockSpaceManager {
@@ -153,7 +157,22 @@ impl BlockSpaceManager {
             num_swapped_in_blocks: 0,
             pending: CacheOps::default(),
             fanout_admission: false,
+            swap_disabled: false,
         }
+    }
+
+    /// Enables or disables the CPU swap pool. While disabled,
+    /// [`Self::can_swap_out`] returns `false`, so preemption falls back to
+    /// recomputation (§4.5); already-swapped blocks remain valid and can
+    /// still swap back in.
+    pub fn set_swap_disabled(&mut self, disabled: bool) {
+        self.swap_disabled = disabled;
+    }
+
+    /// Whether the CPU swap pool is currently disabled.
+    #[must_use]
+    pub fn swap_disabled(&self) -> bool {
+        self.swap_disabled
     }
 
     /// KV block size in tokens.
@@ -597,6 +616,9 @@ impl BlockSpaceManager {
     /// Whether the group's GPU blocks fit into the CPU swap pool.
     #[must_use]
     pub fn can_swap_out(&self, group: &SequenceGroup) -> bool {
+        if self.swap_disabled {
+            return false;
+        }
         let mut unique: Vec<PhysicalBlockId> = Vec::new();
         for seq in group.seqs() {
             if seq.is_finished() {

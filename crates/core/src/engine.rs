@@ -34,6 +34,7 @@ use crate::executor::{ModelExecutor, SeqStepInput};
 use crate::metrics::{EngineMetrics, LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
 use crate::plan::{materialize_batch, StageTimings, StepPlan, StepTrace};
 use crate::prefix::{PrefixId, PrefixPool};
+use crate::request::GenerationRequest;
 use crate::sampling::{DecodingMode, SamplingParams, TokenId};
 use crate::scheduler::Scheduler;
 use crate::sequence::{SeqId, Sequence, SequenceGroup, SequenceStatus};
@@ -360,6 +361,54 @@ impl<E: ModelExecutor> LlmEngine<E> {
         Ok(())
     }
 
+    /// Adds a typed [`GenerationRequest`] arriving now. This is the serving
+    /// entry point used by the frontend, the replica admission loop, and the
+    /// cluster simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidRequest`] for inconsistent request fields
+    /// and [`VllmError::InvalidConfig`] for an empty prompt.
+    pub fn add_generation_request(
+        &mut self,
+        request_id: impl Into<String>,
+        prompt: Vec<TokenId>,
+        request: &GenerationRequest,
+    ) -> Result<()> {
+        let now = self.clock;
+        self.add_generation_request_at(request_id, prompt, request, now)
+    }
+
+    /// Adds a typed [`GenerationRequest`] with an explicit arrival time
+    /// (trace replay). The request's relative deadline, if any, becomes an
+    /// absolute virtual-time deadline of `arrival_time + deadline`; its
+    /// priority feeds the scheduler's (priority, arrival) queue order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidRequest`] for inconsistent request fields
+    /// and [`VllmError::InvalidConfig`] for an empty prompt.
+    pub fn add_generation_request_at(
+        &mut self,
+        request_id: impl Into<String>,
+        prompt: Vec<TokenId>,
+        request: &GenerationRequest,
+        arrival_time: f64,
+    ) -> Result<()> {
+        let params = request.sampling_params()?;
+        let request_id = request_id.into();
+        self.add_request_at(request_id.clone(), prompt, params, arrival_time)?;
+        if request.deadline.is_some() || request.priority != 0 {
+            let group = self
+                .scheduler
+                .group_mut(&request_id)
+                .expect("group was just added");
+            group.deadline = request.deadline.map(|d| arrival_time + d);
+            group.priority = request.priority;
+        }
+        Ok(())
+    }
+
     /// Aborts a live request.
     ///
     /// # Errors
@@ -367,6 +416,28 @@ impl<E: ModelExecutor> LlmEngine<E> {
     /// Returns [`VllmError::UnknownRequest`] if no live group matches.
     pub fn abort_request(&mut self, request_id: &str) -> Result<()> {
         self.scheduler.abort(request_id)
+    }
+
+    /// Aborts every live request, freeing all their blocks and restoring
+    /// the engine to an empty, consistent state. Used by serving loops to
+    /// recover after an executor failure mid-step (the affected iteration's
+    /// reservations are released wholesale). The aborted groups are
+    /// delivered, output-less, by the next [`Self::step`]'s reap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors.
+    pub fn abort_all(&mut self) -> Result<Vec<String>> {
+        self.scheduler.abort_all()
+    }
+
+    /// Enables or disables the CPU swap pool (fault injection: an exhausted
+    /// or failed swap device). While disabled, preemption falls back to
+    /// recomputation exactly as when the pool is full (§4.5).
+    pub fn set_swap_disabled(&mut self, disabled: bool) {
+        self.scheduler
+            .block_manager_mut()
+            .set_swap_disabled(disabled);
     }
 
     /// Registers a shared prefix (§4.4): pins blocks for it and runs a
@@ -461,6 +532,17 @@ impl<E: ModelExecutor> LlmEngine<E> {
     pub fn step(&mut self) -> Result<Vec<RequestOutput>> {
         let step_index = self.step_counter;
         self.step_counter += 1;
+
+        // Deadline enforcement precedes scheduling so an expired request
+        // never consumes another iteration's worth of blocks or batch slots.
+        // The cancelled groups are delivered by this step's reap, which also
+        // records their `finished reason=deadline` lifecycle events.
+        for (_request_id, missed_by) in self.scheduler.cancel_expired(self.clock)? {
+            self.tmetrics.deadline_cancellations_total.inc();
+            self.tmetrics
+                .request_deadline_miss_seconds
+                .observe(missed_by);
+        }
 
         // Stage 1: schedule.
         let t = Instant::now();

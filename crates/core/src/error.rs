@@ -1,9 +1,59 @@
-//! Error types for the vLLM core.
+//! Typed error taxonomy for the vLLM core.
+//!
+//! Every failure carries an [`ErrorKind`] classifying *who* can fix it and a
+//! retryability verdict so callers (replica loops, routers, frontends) can
+//! decide mechanically whether to retry, re-route, or surface the error:
+//!
+//! * [`ErrorKind::Resource`] — a pool ran dry (GPU/CPU blocks). Transient:
+//!   capacity frees as requests finish, so retrying is sound.
+//! * [`ErrorKind::Request`] — the request itself is at fault (bad
+//!   parameters, too large, past its deadline). Retrying the same request
+//!   cannot help.
+//! * [`ErrorKind::Internal`] — accounting bugs and executor failures.
+//!   Not retryable against the same engine.
+//! * [`ErrorKind::Unavailable`] — the serving component cannot take the
+//!   work right now (admission queue full, replica dead or draining).
+//!   Retryable, optionally after a hinted delay.
+//!
+//! The frontend serializes errors as `ERR\t<kind>\t<retryable>\t<msg>` using
+//! [`ErrorKind::wire_name`] and [`VllmError::is_retryable`].
 
 use std::fmt;
 
+/// Coarse classification of a [`VllmError`], stable across the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// A memory pool is exhausted; capacity returns as work finishes.
+    Resource,
+    /// The request is invalid or can never be served as stated.
+    Request,
+    /// An invariant was violated (bug) or the executor failed.
+    Internal,
+    /// The serving component is temporarily not accepting work.
+    Unavailable,
+}
+
+impl ErrorKind {
+    /// The lowercase name used in the `ERR\t<kind>\t...` wire format.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::Resource => "resource",
+            Self::Request => "request",
+            Self::Internal => "internal",
+            Self::Unavailable => "unavailable",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
 /// Errors produced by KV-cache management, scheduling, and the engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum VllmError {
     /// The GPU block pool has no free block left.
     OutOfGpuBlocks,
@@ -28,8 +78,77 @@ pub enum VllmError {
     },
     /// Configuration values are inconsistent.
     InvalidConfig(String),
+    /// A request's fields are malformed (builder validation, wire parsing).
+    InvalidRequest(String),
+    /// A request's deadline expired before it finished; it was cancelled.
+    DeadlineExceeded {
+        /// Request identifier.
+        request_id: String,
+        /// How far past the deadline the cancellation happened, in seconds.
+        missed_by: f64,
+    },
+    /// Admission refused because a bounded queue is full (backpressure).
+    Rejected {
+        /// Suggested client back-off before retrying, in seconds.
+        retry_after: f64,
+    },
+    /// The engine/replica is not serving (dead, draining, or restarting).
+    Unavailable(String),
     /// The model executor failed.
     Executor(String),
+}
+
+impl VllmError {
+    /// The taxonomy bucket this error falls into.
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Self::OutOfGpuBlocks | Self::OutOfCpuBlocks => ErrorKind::Resource,
+            Self::UnknownRequest(_)
+            | Self::RequestTooLarge { .. }
+            | Self::InvalidConfig(_)
+            | Self::InvalidRequest(_)
+            | Self::DeadlineExceeded { .. } => ErrorKind::Request,
+            Self::InvalidBlock(_)
+            | Self::DoubleFree(_)
+            | Self::UnknownSequence(_)
+            | Self::Executor(_) => ErrorKind::Internal,
+            Self::Rejected { .. } | Self::Unavailable(_) => ErrorKind::Unavailable,
+        }
+    }
+
+    /// Whether retrying the same request (possibly elsewhere, possibly after
+    /// [`retry_after`](Self::retry_after)) can succeed.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self.kind() {
+            ErrorKind::Resource | ErrorKind::Unavailable => true,
+            ErrorKind::Request | ErrorKind::Internal => false,
+        }
+    }
+
+    /// Suggested back-off in seconds before retrying, when the error carries
+    /// one (backpressure rejections do; other retryable errors leave the
+    /// schedule to the caller).
+    #[must_use]
+    pub fn retry_after(&self) -> Option<f64> {
+        match self {
+            Self::Rejected { retry_after } => Some(*retry_after),
+            _ => None,
+        }
+    }
+
+    /// Serializes the error as the frontend's machine-parseable line body:
+    /// `<kind>\t<retryable>\t<message>` (the caller prepends `ERR\t`).
+    #[must_use]
+    pub fn wire_body(&self) -> String {
+        format!(
+            "{}\t{}\t{}",
+            self.kind().wire_name(),
+            self.is_retryable(),
+            self
+        )
+    }
 }
 
 impl fmt::Display for VllmError {
@@ -50,6 +169,19 @@ impl fmt::Display for VllmError {
                 "request {request_id:?} needs {required_blocks} blocks but the pool only has {total_blocks}"
             ),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Self::DeadlineExceeded {
+                request_id,
+                missed_by,
+            } => write!(
+                f,
+                "request {request_id:?} cancelled {missed_by:.3}s past its deadline"
+            ),
+            Self::Rejected { retry_after } => write!(
+                f,
+                "admission queue full; retry after {retry_after:.3}s"
+            ),
+            Self::Unavailable(msg) => write!(f, "replica unavailable: {msg}"),
             Self::Executor(msg) => write!(f, "model executor error: {msg}"),
         }
     }
@@ -59,3 +191,43 @@ impl std::error::Error for VllmError {}
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, VllmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_retryability() {
+        assert_eq!(VllmError::OutOfGpuBlocks.kind(), ErrorKind::Resource);
+        assert!(VllmError::OutOfGpuBlocks.is_retryable());
+        assert_eq!(VllmError::OutOfCpuBlocks.kind(), ErrorKind::Resource);
+
+        let req = VllmError::InvalidRequest("bad".into());
+        assert_eq!(req.kind(), ErrorKind::Request);
+        assert!(!req.is_retryable());
+        assert!(!VllmError::DeadlineExceeded {
+            request_id: "r".into(),
+            missed_by: 0.5
+        }
+        .is_retryable());
+
+        assert_eq!(VllmError::DoubleFree(3).kind(), ErrorKind::Internal);
+        assert!(!VllmError::Executor("boom".into()).is_retryable());
+
+        let rej = VllmError::Rejected { retry_after: 0.25 };
+        assert_eq!(rej.kind(), ErrorKind::Unavailable);
+        assert!(rej.is_retryable());
+        assert_eq!(rej.retry_after(), Some(0.25));
+        assert!(VllmError::Unavailable("draining".into()).is_retryable());
+        assert_eq!(VllmError::Unavailable("x".into()).retry_after(), None);
+    }
+
+    #[test]
+    fn wire_body_is_machine_parseable() {
+        let body = VllmError::Rejected { retry_after: 0.5 }.wire_body();
+        let mut parts = body.splitn(3, '\t');
+        assert_eq!(parts.next(), Some("unavailable"));
+        assert_eq!(parts.next(), Some("true"));
+        assert!(parts.next().unwrap().contains("retry after"));
+    }
+}

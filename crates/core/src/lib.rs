@@ -36,11 +36,13 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod mock;
 pub mod plan;
 pub mod postprocess;
 pub mod prefix;
+pub mod request;
 pub mod sampling;
 pub mod scheduler;
 pub mod sequence;
@@ -50,8 +52,9 @@ pub use block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
 pub use block_manager::{AllocStatus, BlockCopy, BlockManagerMetrics, BlockSpaceManager};
 pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
 pub use engine::{CompletionOutput, EngineLoad, LlmEngine, RequestOutput};
-pub use error::{Result, VllmError};
+pub use error::{ErrorKind, Result, VllmError};
 pub use executor::{CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
+pub use fault::{FaultControls, FaultInjector};
 pub use metrics::{
     EngineMetrics, LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats,
 };
@@ -60,6 +63,7 @@ pub use plan::{
     StepTrace,
 };
 pub use prefix::{chunk_hashes, Prefix, PrefixId, PrefixPool};
+pub use request::{GenerationMode, GenerationRequest};
 pub use sampling::{DecodingMode, SamplingParams, TokenId};
 pub use scheduler::{ScheduledGroup, Scheduler, SchedulerMetrics, SchedulerStats};
 pub use sequence::{SeqId, Sequence, SequenceData, SequenceGroup, SequenceStatus};

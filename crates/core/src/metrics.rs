@@ -376,6 +376,11 @@ pub struct EngineMetrics {
     /// `vllm_engine_requests_ignored_total` counter (rejected/aborted by the
     /// scheduler).
     pub requests_ignored_total: Counter,
+    /// `vllm_engine_deadline_cancellations_total` counter.
+    pub deadline_cancellations_total: Counter,
+    /// `vllm_request_deadline_miss_seconds` histogram: how far past its
+    /// deadline a cancelled request was when the engine cancelled it.
+    pub request_deadline_miss_seconds: Histogram,
     /// `vllm_step_schedule_seconds` histogram (host wall time).
     pub step_schedule_seconds: Histogram,
     /// `vllm_step_prepare_seconds` histogram (host wall time).
@@ -430,6 +435,15 @@ impl EngineMetrics {
             requests_ignored_total: r.counter(
                 "vllm_engine_requests_ignored_total",
                 "Requests rejected or aborted by the scheduler.",
+            ),
+            deadline_cancellations_total: r.counter(
+                "vllm_engine_deadline_cancellations_total",
+                "Requests cancelled because their deadline passed.",
+            ),
+            request_deadline_miss_seconds: r.histogram(
+                "vllm_request_deadline_miss_seconds",
+                "Seconds past the deadline when a request was cancelled.",
+                secs(),
             ),
             step_schedule_seconds: r.histogram(
                 "vllm_step_schedule_seconds",

@@ -447,10 +447,15 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 self.tmetrics
                     .observe_request(e2e, e2e / output.mean_output_len().max(1.0));
             }
+            let deadline_cancelled = group
+                .seqs()
+                .iter()
+                .any(|s| s.status == SequenceStatus::FinishedDeadline);
             let reason = match output.outputs.first().map(|o| o.finish_reason) {
                 Some(SequenceStatus::FinishedStopped) => "stopped",
                 Some(SequenceStatus::FinishedLengthCapped) => "length_capped",
                 Some(_) => "other",
+                None if deadline_cancelled => "deadline",
                 None => "aborted",
             };
             self.telemetry.events().record(

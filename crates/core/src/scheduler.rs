@@ -161,12 +161,20 @@ impl Scheduler {
             .set_to_at_least(self.stats.num_recompute_preemptions);
     }
 
-    /// Enqueues a new request, keeping the waiting queue in arrival order.
+    /// Whether `a` ranks strictly after `b` in a scheduling queue: higher
+    /// priority first, ties broken FCFS by arrival time. With all priorities
+    /// at their default (0) this degenerates to pure arrival order.
+    fn ranks_after(a: &SequenceGroup, b: &SequenceGroup) -> bool {
+        a.priority < b.priority || (a.priority == b.priority && a.arrival_time > b.arrival_time)
+    }
+
+    /// Enqueues a new request, keeping the waiting queue in (priority,
+    /// arrival) order.
     pub fn add_group(&mut self, group: SequenceGroup) {
         let pos = self
             .waiting
             .iter()
-            .position(|g| g.arrival_time > group.arrival_time)
+            .position(|g| Self::ranks_after(g, &group))
             .unwrap_or(self.waiting.len());
         self.waiting.insert(pos, group);
     }
@@ -247,6 +255,12 @@ impl Scheduler {
     ///
     /// Returns [`VllmError::UnknownRequest`] if no live group matches.
     pub fn abort(&mut self, request_id: &str) -> Result<()> {
+        self.finish_with_status(request_id, SequenceStatus::FinishedAborted)
+    }
+
+    /// Removes a live group from whichever queue holds it, frees its blocks,
+    /// marks its sequences with `status`, and moves it to the finished list.
+    fn finish_with_status(&mut self, request_id: &str, status: SequenceStatus) -> Result<()> {
         let from_queue = |q: &mut Vec<SequenceGroup>, id: &str| {
             q.iter()
                 .position(|g| g.request_id == id)
@@ -269,9 +283,57 @@ impl Scheduler {
         for seq in group.seqs().iter().map(|s| s.seq_id).collect::<Vec<_>>() {
             self.block_manager.free(seq)?;
         }
-        group.set_status_all(SequenceStatus::FinishedAborted);
+        group.set_status_all(status);
         self.finished.push(group);
         Ok(())
+    }
+
+    /// Cancels every live group whose deadline has passed at virtual time
+    /// `now`, freeing its blocks and marking it
+    /// [`SequenceStatus::FinishedDeadline`]. Returns `(request_id,
+    /// missed_by_seconds)` for each cancellation, in queue order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors.
+    pub fn cancel_expired(&mut self, now: f64) -> Result<Vec<(String, f64)>> {
+        let expired: Vec<(String, f64)> = self
+            .running
+            .iter()
+            .chain(self.waiting.iter())
+            .chain(self.swapped.iter())
+            .filter_map(|g| {
+                g.deadline
+                    .filter(|&d| now >= d)
+                    .map(|d| (g.request_id.clone(), now - d))
+            })
+            .collect();
+        for (id, _) in &expired {
+            self.finish_with_status(id, SequenceStatus::FinishedDeadline)?;
+        }
+        Ok(expired)
+    }
+
+    /// Aborts every live group (waiting, running, and swapped), freeing all
+    /// their blocks. Used to recover a consistent (empty) state after an
+    /// executor failure: the paper's all-or-nothing eviction applied to the
+    /// whole engine. Returns the aborted request ids in queue order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors.
+    pub fn abort_all(&mut self) -> Result<Vec<String>> {
+        let ids: Vec<String> = self
+            .running
+            .iter()
+            .chain(self.waiting.iter())
+            .chain(self.swapped.iter())
+            .map(|g| g.request_id.clone())
+            .collect();
+        for id in &ids {
+            self.finish_with_status(id, SequenceStatus::FinishedAborted)?;
+        }
+        Ok(ids)
     }
 
     /// Plans one iteration: the schedule stage of the step pipeline.
@@ -433,9 +495,13 @@ impl Scheduler {
     }
 
     fn schedule_decodes(&mut self, plan: &mut StepPlan) -> Result<()> {
-        // FCFS priority: earliest arrival served first, latest preempted first.
-        self.running
-            .sort_by(|a, b| a.arrival_time.total_cmp(&b.arrival_time));
+        // Priority then FCFS: highest priority and earliest arrival served
+        // first, the back of the queue preempted first.
+        self.running.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then(a.arrival_time.total_cmp(&b.arrival_time))
+        });
 
         let mut survivors: Vec<SequenceGroup> = Vec::with_capacity(self.running.len());
         let mut queue: VecDeque<SequenceGroup> = std::mem::take(&mut self.running).into();
@@ -535,7 +601,7 @@ impl Scheduler {
                 let pos = self
                     .swapped
                     .iter()
-                    .position(|g| g.arrival_time > group.arrival_time)
+                    .position(|g| Self::ranks_after(g, &group))
                     .unwrap_or(self.swapped.len());
                 self.swapped.insert(pos, group);
             }
@@ -562,7 +628,7 @@ impl Scheduler {
                 let pos = self
                     .waiting
                     .iter()
-                    .position(|g| g.arrival_time > group.arrival_time)
+                    .position(|g| Self::ranks_after(g, &group))
                     .unwrap_or(self.waiting.len());
                 self.waiting.insert(pos, group);
             }
@@ -832,6 +898,63 @@ mod tests {
         assert_eq!(s.block_manager().num_free_gpu_blocks(), free_before + 2);
         assert!(!s.has_unfinished());
         assert!(s.abort("nope").is_err());
+    }
+
+    #[test]
+    fn priority_outranks_arrival_in_admission() {
+        let mut s = make_scheduler(16, 0);
+        s.add_group(group(0, 4, 0.0));
+        let mut urgent = group(1, 4, 5.0);
+        urgent.priority = 3;
+        s.add_group(urgent);
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled[0].request_id, "r1");
+        assert_eq!(out.scheduled[1].request_id, "r0");
+    }
+
+    #[test]
+    fn cancel_expired_frees_blocks_and_reports_miss() {
+        let mut s = make_scheduler(16, 0);
+        let mut g0 = group(0, 8, 0.0);
+        g0.deadline = Some(1.0);
+        s.add_group(g0);
+        s.add_group(group(1, 4, 0.0));
+        s.schedule().unwrap();
+        assert!(s.cancel_expired(0.5).unwrap().is_empty());
+        let cancelled = s.cancel_expired(1.25).unwrap();
+        assert_eq!(cancelled.len(), 1);
+        assert_eq!(cancelled[0].0, "r0");
+        assert!((cancelled[0].1 - 0.25).abs() < 1e-9);
+        let done = s.reap_finished().unwrap();
+        assert!(done.iter().any(
+            |g| g.request_id == "r0" && g.seqs()[0].status == SequenceStatus::FinishedDeadline
+        ));
+        // r1 keeps running; r0's blocks are back in the pool.
+        assert_eq!(s.num_running(), 1);
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), 16 - 1);
+    }
+
+    #[test]
+    fn abort_all_empties_every_queue_with_zero_leak() {
+        let cache = CacheConfig::new(BS, 4, 8)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        let cfg = SchedulerConfig::new(2048, 64, 2048)
+            .unwrap()
+            .with_preemption_mode(PreemptionMode::Swap);
+        let mut s = Scheduler::new(cfg, &cache);
+        s.add_group(group(0, 8, 0.0));
+        s.add_group(group(1, 8, 1.0));
+        s.add_group(group(2, 4, 2.0));
+        s.schedule().unwrap();
+        append_all(&mut s);
+        s.schedule().unwrap(); // r1 swapped out, r2 still waiting.
+        let ids = s.abort_all().unwrap();
+        assert_eq!(ids.len(), 3);
+        assert!(!s.has_unfinished());
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), 4);
+        assert_eq!(s.reap_finished().unwrap().len(), 3);
     }
 
     #[test]

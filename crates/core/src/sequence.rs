@@ -32,6 +32,8 @@ pub enum SequenceStatus {
     FinishedDropped,
     /// Aborted by the client.
     FinishedAborted,
+    /// Cancelled because the request's deadline passed before it finished.
+    FinishedDeadline,
 }
 
 impl SequenceStatus {
@@ -44,6 +46,7 @@ impl SequenceStatus {
                 | Self::FinishedLengthCapped
                 | Self::FinishedDropped
                 | Self::FinishedAborted
+                | Self::FinishedDeadline
         )
     }
 }
@@ -260,6 +263,11 @@ pub struct SequenceGroup {
     /// Pinned physical block ids backing the cached prefix, in logical
     /// order; empty unless `cached_prefix_len > 0`.
     pub prefix_blocks: Vec<usize>,
+    /// Absolute deadline in engine (virtual) time seconds; the engine
+    /// cancels the group if it is unfinished when the clock passes this.
+    pub deadline: Option<f64>,
+    /// Scheduling priority: higher is admitted first, ties break FCFS.
+    pub priority: i32,
 }
 
 impl SequenceGroup {
@@ -286,6 +294,8 @@ impl SequenceGroup {
             num_preemptions: 0,
             cached_prefix_len: 0,
             prefix_blocks: Vec::new(),
+            deadline: None,
+            priority: 0,
         }
     }
 

@@ -66,6 +66,7 @@ fn main() {
                     temperature: Some(0.8),
                     top_p: Some(0.95),
                     seed: Some(42),
+                    ..GenerateOptions::default()
                 }
             } else {
                 GenerateOptions::default()

@@ -25,4 +25,7 @@ cargo run --release -q -p vllm-bench --bin cluster -- --ci
 echo "==> kernel bench gate (batched decode >= 2x scalar per-sequence)"
 cargo run --release -q -p vllm-bench --bin kernels -- --ci
 
+echo "==> fault-injection soak gate (kill/swap-exhaust, zero loss, deterministic)"
+cargo run --release -q -p vllm-bench --bin faults -- --ci
+
 echo "CI OK"

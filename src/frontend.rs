@@ -6,12 +6,25 @@
 //! Protocol (UTF-8 lines, tab-separated fields):
 //!
 //! ```text
-//! -> GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]\t<prompt text>
-//!    where <mode> is one of: greedy | sample | beam, and the optional
-//!    <key>=<value> fields (any order, before the prompt) are:
+//! -> GENERATE\tmax_tokens=<n>\t[n=<n>\t]mode=<mode>[\t<key>=<value>...]\t<prompt text>
+//!    where <mode> is one of: greedy | sample | beam (`n` defaults to 1),
+//!    and the optional <key>=<value> fields (any order, before the prompt)
+//!    are:
 //!      temperature=<f32>   sampling temperature       (mode=sample only)
 //!      top_p=<f32>         nucleus truncation in (0,1] (mode=sample only)
 //!      seed=<u64>          sampling RNG seed (default derives from the id)
+//!      deadline=<f64>      relative deadline in engine seconds; the request
+//!                          is cancelled if still unfinished when it passes
+//!      priority=<i32>      scheduling priority (higher admitted first)
+//!    Every field parses through the typed `GenerationRequest` builder in
+//!    `vllm-core`; an unknown <key>=<value> field is rejected with a
+//!    structured error, never silently swallowed into the prompt. A field
+//!    whose key matches `[a-z_]+=` therefore cannot start the prompt text.
+//!
+//!    DEPRECATED compat form (positional; parsed when the second field is
+//!    not `key=value`-shaped, kept for old clients, slated for removal):
+//! -> GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]\t<prompt text>
+//!
 //! <- OK\t<request_id>\t<num_outputs>
 //! <- OUT\t<index>\t<cumulative_logprob>\t<text>      (repeated)
 //! <- END
@@ -55,12 +68,22 @@
 //! the engine threads exit, so no accepted request is ever dropped. Dropping
 //! the [`Server`] handle has the same drain semantics.
 //!
-//! Malformed requests get `ERR\t<message>` — every variant, including
-//! misspelled verbs and malformed `STATS`/`METRICS`/`EVENTS` argument lists;
-//! the connection stays usable afterwards. Each connection handles one
-//! request per line; the engine threads batch concurrent requests through
-//! the normal scheduler, so simultaneous clients share iterations exactly as
-//! in the serving evaluation.
+//! Failed requests get `ERR\t<kind>\t<retryable>\t<message>`, where `<kind>`
+//! is the [`vllm_core::ErrorKind`] wire name (`resource` | `request` |
+//! `internal` | `unavailable`) and `<retryable>` is `true`/`false` — so
+//! clients can distinguish "fix your request" from "back off and retry"
+//! mechanically. Every variant gets this shape, including misspelled verbs
+//! and malformed `STATS`/`METRICS`/`EVENTS` argument lists; the connection
+//! stays usable afterwards.
+//!
+//! Degradation: the `GENERATE` path retries retryable failures (replica
+//! killed, admission rejected with backpressure, transient engine error) up
+//! to a small bound with capped exponential backoff, re-routing each attempt
+//! through the router — which excludes replicas known dead — before
+//! surfacing the typed `ERR`. Each connection handles one request per line;
+//! the engine threads batch concurrent requests through the normal
+//! scheduler, so simultaneous clients share iterations exactly as in the
+//! serving evaluation.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -74,7 +97,10 @@ use vllm_cluster::{
     aggregate_stats, merge_labeled, EngineRequest, Replica, ReplicaSnapshot, Router, RouterConfig,
 };
 use vllm_core::telemetry::Telemetry;
-use vllm_core::{chunk_hashes, DecodingMode, EngineLoad, LlmEngine, ModelExecutor, SamplingParams};
+use vllm_core::{
+    chunk_hashes, EngineLoad, GenerationMode, GenerationRequest, LlmEngine, ModelExecutor,
+    RequestOutput, VllmError,
+};
 use vllm_model::ByteTokenizer;
 
 pub use vllm_cluster::{EngineStats, RoutePolicy};
@@ -219,6 +245,19 @@ impl Server {
         self.shared.replicas[0].telemetry()
     }
 
+    /// Fault injection: kills replica `i` abruptly (no drain) and tells the
+    /// router. In-flight requests on the replica are answered with a
+    /// retryable error, which the `GENERATE` retry path re-routes to the
+    /// surviving replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn kill_replica(&self, i: usize) {
+        self.shared.replicas[i].inject_kill();
+        self.shared.router.lock().mark_dead(i);
+    }
+
     /// Stops the server, drains all accepted requests, and joins its
     /// threads.
     pub fn shutdown(mut self) {
@@ -269,88 +308,135 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Optional `key=value` fields of a `GENERATE` line.
-#[derive(Debug, Clone, Copy, Default)]
-struct GenerateOpts {
-    temperature: Option<f32>,
-    top_p: Option<f32>,
-    seed: Option<u64>,
+/// Shorthand for protocol-shape errors ([`VllmError::InvalidRequest`]).
+fn invalid(msg: impl Into<String>) -> VllmError {
+    VllmError::InvalidRequest(msg.into())
 }
 
-fn parse_request(line: &str, request_id: &str) -> Result<(Vec<u32>, SamplingParams), String> {
-    let parts: Vec<&str> = line.split('\t').collect();
-    if parts.first() != Some(&"GENERATE") {
-        return Err(format!("unknown verb {:?}", parts.first().unwrap_or(&"")));
-    }
-    let max_tokens: usize = parts
-        .get(1)
-        .ok_or("missing max_tokens")?
-        .parse()
-        .map_err(|_| "bad max_tokens")?;
-    let n: usize = parts
-        .get(2)
-        .ok_or("missing n")?
-        .parse()
-        .map_err(|_| "bad n")?;
-    let mode = *parts.get(3).ok_or("missing mode")?;
+/// The wire line for a typed error: `ERR\t<kind>\t<retryable>\t<message>`.
+fn err_line(e: &VllmError) -> String {
+    format!("ERR\t{}", e.wire_body())
+}
 
-    // Optional key=value fields sit between the mode and the prompt; the
-    // first field that is not one of them starts the prompt (which may
-    // itself contain tabs).
-    let mut opts = GenerateOpts::default();
-    let mut i = 4;
+/// Splits a `key=value` protocol field. Only keys shaped `[a-z_]+` count —
+/// anything else starts the prompt text.
+fn split_field(part: &str) -> Option<(&str, &str)> {
+    let (k, v) = part.split_once('=')?;
+    if !k.is_empty() && k.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
+        Some((k, v))
+    } else {
+        None
+    }
+}
+
+/// Builds the base request from typed `key=value` fields (the current wire
+/// form). Returns the request and the index of the first prompt part.
+fn parse_typed_fields(parts: &[&str]) -> Result<(GenerationRequest, usize), VllmError> {
+    let mut max_tokens: Option<usize> = None;
+    let mut n: usize = 1;
+    let mut mode: Option<GenerationMode> = None;
+    let mut extras: Vec<(String, String)> = Vec::new();
+    let mut i = 1;
     while i < parts.len() {
-        if let Some(v) = parts[i].strip_prefix("temperature=") {
-            opts.temperature = Some(v.parse().map_err(|_| format!("bad temperature {v:?}"))?);
-        } else if let Some(v) = parts[i].strip_prefix("top_p=") {
-            opts.top_p = Some(v.parse().map_err(|_| format!("bad top_p {v:?}"))?);
-        } else if let Some(v) = parts[i].strip_prefix("seed=") {
-            opts.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
-        } else {
+        let Some((key, value)) = split_field(parts[i]) else {
             break;
+        };
+        match key {
+            "max_tokens" => {
+                max_tokens = Some(value.parse().map_err(|_| invalid("bad max_tokens"))?);
+            }
+            "n" => n = value.parse().map_err(|_| invalid("bad n"))?,
+            "mode" => mode = Some(value.parse()?),
+            // Defer the shared optional fields until the base exists;
+            // unknown keys are rejected there.
+            _ => extras.push((key.to_string(), value.to_string())),
         }
         i += 1;
     }
-    if i >= parts.len() {
-        return Err("missing prompt".to_string());
+    let max_tokens = max_tokens.ok_or_else(|| invalid("missing max_tokens"))?;
+    let mode = mode.ok_or_else(|| invalid("missing mode"))?;
+    let mut req = base_request(mode, n, max_tokens);
+    for (key, value) in extras {
+        req.apply_field(&key, &value)?;
     }
-    let text = parts[i..].join("\t");
-    if text.is_empty() {
-        return Err("empty prompt".to_string());
-    }
+    Ok((req, i))
+}
 
-    let mut params = match mode {
-        "greedy" => {
-            if n != 1 {
-                return Err("greedy requires n=1".to_string());
-            }
-            SamplingParams::greedy(max_tokens)
-        }
-        "sample" => SamplingParams::parallel(n, max_tokens),
-        "beam" => SamplingParams::beam(n, max_tokens),
-        other => return Err(format!("unknown mode {other:?}")),
-    };
-    if let DecodingMode::Random {
-        temperature, top_p, ..
-    } = &mut params.mode
-    {
-        if let Some(t) = opts.temperature {
-            *temperature = t;
-        }
-        if let Some(p) = opts.top_p {
-            *top_p = p;
-        }
-    } else if opts.temperature.is_some() || opts.top_p.is_some() {
-        return Err(format!(
-            "temperature/top_p require mode=sample, got {mode:?}"
-        ));
+/// Builds the base request from the deprecated positional form
+/// (`GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]`). Unknown
+/// `key=value` fields are rejected — they used to be silently swallowed
+/// into the prompt.
+fn parse_positional_fields(parts: &[&str]) -> Result<(GenerationRequest, usize), VllmError> {
+    let max_tokens: usize = parts
+        .get(1)
+        .ok_or_else(|| invalid("missing max_tokens"))?
+        .parse()
+        .map_err(|_| invalid("bad max_tokens"))?;
+    let n: usize = parts
+        .get(2)
+        .ok_or_else(|| invalid("missing n"))?
+        .parse()
+        .map_err(|_| invalid("bad n"))?;
+    let mode: GenerationMode = parts
+        .get(3)
+        .ok_or_else(|| invalid("missing mode"))?
+        .parse()?;
+    let mut req = base_request(mode, n, max_tokens);
+    let mut i = 4;
+    while i < parts.len() {
+        let Some((key, value)) = split_field(parts[i]) else {
+            break;
+        };
+        req.apply_field(key, value)?;
+        i += 1;
     }
-    let params = params
-        .with_eos(vllm_model::EOS)
-        .with_seed(opts.seed.unwrap_or_else(|| fnv(request_id.as_bytes())));
-    let prompt = ByteTokenizer.encode(&text);
-    params.validate().map_err(|e| e.to_string())?;
-    Ok((prompt, params))
+    Ok((req, i))
+}
+
+/// The mode-shaped starting point; invalid combinations (greedy with
+/// `n != 1`) surface from [`GenerationRequest::sampling_params`].
+fn base_request(mode: GenerationMode, n: usize, max_tokens: usize) -> GenerationRequest {
+    let mut req = match mode {
+        GenerationMode::Greedy => GenerationRequest::greedy(max_tokens),
+        GenerationMode::Sample => GenerationRequest::sample(n, max_tokens),
+        GenerationMode::Beam => GenerationRequest::beam(n, max_tokens),
+    };
+    req.n = n;
+    req
+}
+
+/// Parses one `GENERATE` line into prompt tokens plus the typed request.
+/// Accepts the typed `key=value` form and the deprecated positional form
+/// (distinguished by the shape of the second field); both funnel through
+/// [`GenerationRequest`], so validation and error wording live in one place.
+fn parse_request(line: &str, request_id: &str) -> Result<(Vec<u32>, GenerationRequest), VllmError> {
+    let parts: Vec<&str> = line.split('\t').collect();
+    if parts.first() != Some(&"GENERATE") {
+        return Err(invalid(format!(
+            "unknown verb {:?}",
+            parts.first().unwrap_or(&"")
+        )));
+    }
+    let (mut req, prompt_start) = if parts.get(1).and_then(|p| split_field(p)).is_some() {
+        parse_typed_fields(&parts)?
+    } else {
+        parse_positional_fields(&parts)?
+    };
+    if prompt_start >= parts.len() {
+        return Err(invalid("missing prompt"));
+    }
+    let text = parts[prompt_start..].join("\t");
+    if text.is_empty() {
+        return Err(invalid("empty prompt"));
+    }
+    if req.seed.is_none() {
+        req.seed = Some(fnv(request_id.as_bytes()));
+    }
+    req = req.with_eos(vllm_model::EOS);
+    // Validate now so protocol errors surface before routing; the replica
+    // converts again on admission.
+    req.sampling_params()?;
+    Ok((ByteTokenizer.encode(&text), req))
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -394,6 +480,76 @@ fn metrics_snapshot(shared: &Shared) -> vllm_core::telemetry::MetricsSnapshot {
     merged
 }
 
+/// Placement attempts per `GENERATE` request before the typed error is
+/// surfaced to the client.
+const MAX_SUBMIT_ATTEMPTS: u32 = 4;
+
+/// Routes and submits one request, retrying retryable failures on a fresh
+/// route with capped exponential backoff. A replica that proves dead (its
+/// loop exited, or it answered with a kill-switch unavailability) is
+/// reported to the router so subsequent routes — including this request's
+/// own retries — avoid it; each retry increments
+/// `vllm_cluster_retries_total`.
+fn submit_with_retry(
+    shared: &Shared,
+    request_id: &str,
+    prompt: Vec<u32>,
+    request: &GenerationRequest,
+) -> Result<RequestOutput, VllmError> {
+    let hashes = chunk_hashes(&prompt, shared.block_size);
+    let mut last_err: Option<VllmError> = None;
+    for attempt in 0..MAX_SUBMIT_ATTEMPTS {
+        let replica = {
+            let snaps = shared.snapshots();
+            shared.router.lock().route(&hashes, &snaps).replica
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // A fresh engine-side id per attempt keeps retries from colliding
+        // with stale state on a previously tried replica.
+        let engine_id = if attempt == 0 {
+            request_id.to_string()
+        } else {
+            format!("{request_id}.{attempt}")
+        };
+        let sent = shared.replicas[replica].submit(EngineRequest {
+            request_id: engine_id,
+            prompt: prompt.clone(),
+            request: request.clone(),
+            reply: reply_tx,
+        });
+        let err = if sent.is_err() {
+            // The loop is gone: killed, or the server is draining.
+            shared.router.lock().mark_dead(replica);
+            VllmError::Unavailable("replica not accepting work".into())
+        } else {
+            match reply_rx.recv() {
+                Ok(Ok(out)) => return Ok(out),
+                Ok(Err(e)) => {
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    if shared.replicas[replica].is_killed() {
+                        shared.router.lock().mark_dead(replica);
+                    }
+                    e
+                }
+                Err(_) => {
+                    // Reply channel dropped without an answer: replica died.
+                    shared.router.lock().mark_dead(replica);
+                    VllmError::Unavailable("replica dropped the request".into())
+                }
+            }
+        };
+        shared.router.lock().record_retry();
+        // Capped exponential backoff, seeded by the error's own hint.
+        let base = err.retry_after().unwrap_or(0.01);
+        let delay = (base * f64::from(1u32 << attempt)).min(0.2);
+        last_err = Some(err);
+        std::thread::sleep(Duration::from_secs_f64(delay));
+    }
+    Err(last_err.unwrap_or_else(|| VllmError::Unavailable("retries exhausted".into())))
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     // A read timeout lets the handler notice server shutdown even while a
     // client keeps its connection open but idle.
@@ -424,7 +580,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         match line.split('\t').next().unwrap_or_default() {
             "STATS" => {
                 if line != "STATS" {
-                    writeln!(writer, "ERR\tSTATS takes no arguments")?;
+                    writeln!(writer, "{}", err_line(&invalid("STATS takes no arguments")))?;
                     continue;
                 }
                 let stats = shared
@@ -451,7 +607,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                 } else {
                     writeln!(
                         writer,
-                        "ERR\tunknown METRICS format (use METRICS or METRICS\\tjson)"
+                        "{}",
+                        err_line(&invalid(
+                            "unknown METRICS format (use METRICS or METRICS\\tjson)"
+                        ))
                     )?;
                 }
             }
@@ -473,12 +632,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                         }
                         writeln!(writer, "END")?;
                     }
-                    _ => writeln!(writer, "ERR\tEVENTS takes exactly one request id")?,
+                    _ => writeln!(
+                        writer,
+                        "{}",
+                        err_line(&invalid("EVENTS takes exactly one request id"))
+                    )?,
                 }
             }
             "SHUTDOWN" => {
                 if line != "SHUTDOWN" {
-                    writeln!(writer, "ERR\tSHUTDOWN takes no arguments")?;
+                    writeln!(
+                        writer,
+                        "{}",
+                        err_line(&invalid("SHUTDOWN takes no arguments"))
+                    )?;
                     continue;
                 }
                 writeln!(writer, "OK\tshutdown")?;
@@ -487,28 +654,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             "GENERATE" => {
                 let request_id = format!("req-{}", shared.next_id.fetch_add(1, Ordering::SeqCst));
                 match parse_request(&line, &request_id) {
-                    Err(msg) => writeln!(writer, "ERR\t{msg}")?,
-                    Ok((prompt, params)) => {
-                        let replica = {
-                            let hashes = chunk_hashes(&prompt, shared.block_size);
-                            let snaps = shared.snapshots();
-                            shared.router.lock().route(&hashes, &snaps).replica
-                        };
-                        let (reply_tx, reply_rx) = mpsc::channel();
-                        let sent = shared.replicas[replica].submit(EngineRequest {
-                            request_id: request_id.clone(),
-                            prompt,
-                            params,
-                            reply: reply_tx,
-                        });
-                        if sent.is_err() {
-                            writeln!(writer, "ERR\tserver shutting down")?;
-                            break;
-                        }
-                        match reply_rx.recv() {
-                            Ok(out) if out.request_id.starts_with("error:") => {
-                                writeln!(writer, "ERR\t{}", out.request_id)?;
-                            }
+                    Err(e) => writeln!(writer, "{}", err_line(&e))?,
+                    Ok((prompt, request)) => {
+                        match submit_with_retry(shared, &request_id, prompt, &request) {
                             Ok(out) => {
                                 writeln!(writer, "OK\t{request_id}\t{}", out.outputs.len())?;
                                 for (i, c) in out.outputs.iter().enumerate() {
@@ -522,15 +670,21 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                                 }
                                 writeln!(writer, "END")?;
                             }
-                            Err(_) => {
-                                writeln!(writer, "ERR\tengine dropped request")?;
-                                break;
+                            Err(e) => {
+                                writeln!(writer, "{}", err_line(&e))?;
+                                if shared.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
                             }
                         }
                     }
                 }
             }
-            verb => writeln!(writer, "ERR\tunknown verb {verb:?}")?,
+            verb => writeln!(
+                writer,
+                "{}",
+                err_line(&invalid(format!("unknown verb {verb:?}")))
+            )?,
         }
     }
     Ok(())
@@ -563,6 +717,11 @@ pub struct GenerateOptions {
     pub top_p: Option<f32>,
     /// Sampling RNG seed (defaults to a hash of the request id).
     pub seed: Option<u64>,
+    /// Relative deadline in engine seconds; the server cancels the request
+    /// if it is still unfinished when the deadline passes.
+    pub deadline: Option<f64>,
+    /// Scheduling priority (higher admitted first; default 0).
+    pub priority: Option<i32>,
 }
 
 impl Client {
@@ -610,7 +769,7 @@ impl Client {
         mode: &str,
         opts: GenerateOptions,
     ) -> std::io::Result<Vec<ClientOutput>> {
-        let mut req = format!("GENERATE\t{max_tokens}\t{n}\t{mode}");
+        let mut req = format!("GENERATE\tmax_tokens={max_tokens}\tn={n}\tmode={mode}");
         if let Some(t) = opts.temperature {
             req.push_str(&format!("\ttemperature={t}"));
         }
@@ -619,6 +778,12 @@ impl Client {
         }
         if let Some(s) = opts.seed {
             req.push_str(&format!("\tseed={s}"));
+        }
+        if let Some(d) = opts.deadline {
+            req.push_str(&format!("\tdeadline={d}"));
+        }
+        if let Some(p) = opts.priority {
+            req.push_str(&format!("\tpriority={p}"));
         }
         writeln!(self.writer, "{req}\t{prompt}")?;
         let mut line = String::new();

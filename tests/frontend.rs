@@ -285,6 +285,24 @@ fn malformed_requests_all_get_err() {
         ("SHUTDOWN\tnow", "SHUTDOWN"),
         ("FLUSH", "unknown verb"),
         ("generate\t4\t1\tgreedy\thi", "unknown verb"),
+        // Unknown key=value fields are rejected, not swallowed into the
+        // prompt — in both the positional and the typed form.
+        (
+            "GENERATE\t12\t1\tsample\ttemprature=0.5\thi",
+            "unknown field",
+        ),
+        (
+            "GENERATE\tmax_tokens=12\tn=1\tmode=sample\ttop=0.9\thi",
+            "unknown field",
+        ),
+        // Typed form: missing required fields.
+        ("GENERATE\tmode=greedy\thi", "max_tokens"),
+        ("GENERATE\tmax_tokens=12\thi", "mode"),
+        ("GENERATE\tmax_tokens=12\tmode=turbo\thi", "unknown mode"),
+        ("GENERATE\tmax_tokens=12\tn=3\tmode=greedy\thi", "n=1"),
+        // Degradation fields validate too.
+        ("GENERATE\t12\t1\tgreedy\tdeadline=-1\thi", "deadline"),
+        ("GENERATE\t12\t1\tgreedy\tpriority=soon\thi", "priority"),
     ];
 
     let server = spawn_server();
@@ -321,6 +339,7 @@ fn sampling_seed_is_reproducible() {
         temperature: Some(0.8),
         top_p: Some(0.95),
         seed: Some(7),
+        ..GenerateOptions::default()
     };
     let mut a = Client::connect(server.addr()).unwrap();
     let first = a.generate_with("same seed", 10, 2, "sample", opts).unwrap();
@@ -358,6 +377,143 @@ fn shutdown_drains_in_flight_requests() {
     let stats = server.stats();
     assert_eq!(stats.finished, 1, "the in-flight request must finish");
     drop(server);
+}
+
+/// `ERR` replies are typed: `ERR\t<kind>\t<retryable>\t<message>`, so
+/// clients can mechanically split "fix the request" from "retry later".
+#[test]
+fn err_replies_carry_kind_and_retryability() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = spawn_server();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writeln!(writer, "GENERATE\t12\t1\tnucleus\thi").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = reply.trim_end();
+    let fields: Vec<&str> = reply.splitn(4, '\t').collect();
+    assert_eq!(fields[0], "ERR", "got {reply:?}");
+    assert_eq!(fields[1], "request", "got {reply:?}");
+    assert_eq!(fields[2], "false", "got {reply:?}");
+    assert!(fields[3].contains("unknown mode"), "got {reply:?}");
+
+    // The typed form produces the same taxonomy.
+    writeln!(writer, "GENERATE\tmax_tokens=12\tmode=sample\tzzz=1\thi").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = reply.trim_end();
+    assert!(reply.starts_with("ERR\trequest\tfalse\t"), "got {reply:?}");
+    assert!(reply.contains("unknown field"), "got {reply:?}");
+    server.shutdown();
+}
+
+/// The typed `key=value` `GENERATE` form (what `Client` now emits) serves
+/// requests end to end, including the new deadline/priority fields.
+#[test]
+fn typed_generate_form_round_trips_with_deadline_and_priority() {
+    use vllm::frontend::GenerateOptions;
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let opts = GenerateOptions {
+        deadline: Some(30.0), // Generous: the request finishes well within.
+        priority: Some(2),
+        ..GenerateOptions::default()
+    };
+    let outs = client
+        .generate_with("typed form request", 6, 1, "greedy", opts)
+        .unwrap();
+    assert_eq!(outs.len(), 1);
+    server.shutdown();
+}
+
+/// A request whose deadline expires mid-decode is cancelled: the reply is
+/// well-formed but carries no outputs, and the engine counts the miss.
+#[test]
+fn missed_deadline_cancels_request() {
+    use vllm::frontend::GenerateOptions;
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let opts = GenerateOptions {
+        deadline: Some(1e-6), // Expires after the first engine step.
+        ..GenerateOptions::default()
+    };
+    let outs = client
+        .generate_with(
+            "this cannot finish in a microsecond",
+            128,
+            1,
+            "greedy",
+            opts,
+        )
+        .unwrap();
+    assert!(outs.is_empty(), "expired deadline must cancel: {outs:?}");
+    let snap = server.telemetry().registry().snapshot();
+    assert_eq!(
+        snap.counter("vllm_engine_deadline_cancellations_total"),
+        Some(1)
+    );
+    let miss = snap
+        .histogram("vllm_request_deadline_miss_seconds")
+        .expect("miss histogram registered");
+    assert_eq!(miss.count, 1);
+    server.shutdown();
+}
+
+/// Killing a replica mid-generation loses nothing: the in-flight request is
+/// re-routed to a surviving replica and still completes, and the cluster
+/// keeps serving afterwards.
+#[test]
+fn killed_replica_requests_are_rerouted() {
+    use vllm::cluster::{RoutePolicy, RouterConfig};
+
+    let engines: Vec<_> = (0..2)
+        .map(|_| {
+            let cache = CacheConfig::new(16, 256, 64).unwrap();
+            let sched = SchedulerConfig::new(2048, 64, 1024).unwrap();
+            let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+            LlmEngine::new(exec, cache, sched)
+        })
+        .collect();
+    let server = Server::spawn_cluster(
+        "127.0.0.1:0",
+        engines,
+        RouterConfig::new(RoutePolicy::RoundRobin),
+    )
+    .expect("server binds");
+    let addr = server.addr();
+
+    // Round-robin sends the first request to replica 0; let it get going,
+    // then kill that replica under it.
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.generate("a long generation to interrupt", 192, 1, "greedy")
+    });
+    for _ in 0..500 {
+        let s = &server.replica_stats()[0];
+        if s.running + s.waiting > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    server.kill_replica(0);
+
+    // The client still gets its answer (re-routed, or finished pre-kill).
+    let outs = worker
+        .join()
+        .expect("client thread")
+        .expect("request survives the kill");
+    assert_eq!(outs.len(), 1);
+
+    // The surviving replica keeps serving new requests.
+    let mut client = Client::connect(addr).unwrap();
+    let outs = client.generate("after the kill", 8, 1, "greedy").unwrap();
+    assert_eq!(outs.len(), 1);
+    server.shutdown();
 }
 
 /// Multi-replica server: requests spread across replicas, `STATS` reports

@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 use vllm_cluster::{ClusterReport, ClusterRequest, ClusterSystem, RoutePolicy, RouterConfig};
 use vllm_core::telemetry::MetricsSnapshot;
 use vllm_core::{PreemptionMode, TokenId};
+use vllm_model::BackendKind;
 use vllm_sim::{sim_prompt_tokens, ServerConfig, VllmSimSystem};
 
 /// Distinct shared prefixes (system prompts) in the trace.
@@ -151,11 +152,13 @@ fn main() {
         );
     }
 
-    // JSON artifact.
+    // JSON artifact. The backend field records which kernel backend the
+    // environment selects for real serving runs alongside these sim numbers.
+    let backend = BackendKind::from_env().name();
     let mut json = String::new();
     write!(
         json,
-        "{{\"num_replicas\":{REPLICAS},\"offered_rate\":{rate:.4},\"single\":{},\"policies\":[",
+        "{{\"backend\":\"{backend}\",\"num_replicas\":{REPLICAS},\"offered_rate\":{rate:.4},\"single\":{},\"policies\":[",
         report_json(&single, 1.0)
     )
     .unwrap();

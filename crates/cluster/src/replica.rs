@@ -417,16 +417,21 @@ fn engine_loop<E: ModelExecutor>(
                 continue;
             }
         };
+        let mut ready = Vec::new();
         for out in outputs {
             finished_total += 1;
             if let Some(pos) = pending.iter().position(|(id, _)| *id == out.request_id) {
                 let (_, reply) = pending.swap_remove(pos);
-                let _ = reply.send(Ok(out));
+                ready.push((reply, out));
             }
         }
-        // Publish a fresh snapshot; on the drain step this already reflects
-        // the final completions, so an idle engine never serves stale counts.
+        // Publish the post-step snapshot BEFORE answering the in-flight
+        // replies: anyone who has received a completion must find it
+        // already reflected in the published stats.
         *stats.lock() = snapshot_stats(&engine, finished_total);
+        for (reply, out) in ready {
+            let _ = reply.send(Ok(out));
+        }
     }
     *stats.lock() = snapshot_stats(&engine, finished_total);
 }

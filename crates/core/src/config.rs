@@ -73,6 +73,38 @@ impl CacheConfig {
         Ok(())
     }
 
+    /// Derives the cache configuration from a fixed GPU memory budget:
+    /// `num_gpu_blocks = budget_bytes / bytes_per_block`, where
+    /// `bytes_per_block` comes from the serving backend's KV element layout
+    /// (§4.1 profiling step). A backend that stores KV more compactly —
+    /// e.g. int8 with per-slot scales — therefore yields proportionally
+    /// more blocks, and with them a larger schedulable batch, from the
+    /// same memory budget. The CPU swap pool is sized to match the GPU
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if `bytes_per_block` is zero,
+    /// the budget is smaller than one block, or `block_size` is invalid.
+    pub fn from_memory_budget(
+        block_size: usize,
+        bytes_per_block: usize,
+        budget_bytes: usize,
+    ) -> Result<Self> {
+        if bytes_per_block == 0 {
+            return Err(VllmError::InvalidConfig(
+                "bytes_per_block must be > 0".into(),
+            ));
+        }
+        let num_gpu_blocks = budget_bytes / bytes_per_block;
+        if num_gpu_blocks == 0 {
+            return Err(VllmError::InvalidConfig(format!(
+                "memory budget {budget_bytes} B holds no {bytes_per_block}-byte blocks"
+            )));
+        }
+        Self::new(block_size, num_gpu_blocks, num_gpu_blocks)
+    }
+
     /// Number of GPU blocks kept free as the admission watermark.
     #[must_use]
     pub fn watermark_blocks(&self) -> usize {
@@ -191,6 +223,20 @@ mod tests {
         assert!(CacheConfig::new(0, 100, 100).is_err());
         assert!(CacheConfig::new(16, 0, 100).is_err());
         assert!(CacheConfig::new(16, 100, 0).is_ok());
+    }
+
+    #[test]
+    fn from_memory_budget_scales_with_block_width() {
+        // Equal budget, half the bytes per block → twice the blocks (the
+        // quantized-KV capacity argument).
+        let budget = 1 << 20;
+        let wide = CacheConfig::from_memory_budget(16, 8192, budget).unwrap();
+        let narrow = CacheConfig::from_memory_budget(16, 4096, budget).unwrap();
+        assert_eq!(wide.num_gpu_blocks, 128);
+        assert_eq!(narrow.num_gpu_blocks, 256);
+        assert_eq!(narrow.num_cpu_blocks, narrow.num_gpu_blocks);
+        assert!(CacheConfig::from_memory_budget(16, 0, budget).is_err());
+        assert!(CacheConfig::from_memory_budget(16, budget + 1, budget).is_err());
     }
 
     #[test]

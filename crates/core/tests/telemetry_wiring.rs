@@ -219,15 +219,17 @@ fn counters_are_monotone_across_runs_and_snapshot_round_trips() {
 #[test]
 fn model_kernel_histograms_are_registered_and_observed() {
     // The real CPU executor must register the per-kernel timing histograms
-    // and observe into them on every step (matmul + paged-attention +
-    // logits-projection seconds).
-    use vllm_model::{CpuModelExecutor, ModelConfig};
+    // — labeled with the serving backend — and observe into them on every
+    // step (matmul + paged-attention + logits-projection seconds).
+    use vllm_model::{BackendKind, CpuModelExecutor, ModelConfig};
     let cache = CacheConfig::new(BS, 64, 0)
         .unwrap()
         .with_watermark(0.0)
         .unwrap();
     let sched = SchedulerConfig::new(2048, 16, 2048).unwrap();
-    let exec = CpuModelExecutor::from_config(ModelConfig::tiny(), &cache);
+    let mut mc = ModelConfig::tiny();
+    mc.backend = BackendKind::Scalar;
+    let exec = CpuModelExecutor::from_config(mc, &cache);
     let mut e = LlmEngine::new(exec, cache, sched);
     e.add_request("a", vec![1, 2, 3, 4], SamplingParams::greedy(4))
         .unwrap();
@@ -237,13 +239,25 @@ fn model_kernel_histograms_are_registered_and_observed() {
 
     let snap = e.metrics_snapshot();
     for name in [
-        "vllm_model_kernel_matmul_seconds",
-        "vllm_model_kernel_paged_attention_seconds",
-        "vllm_model_kernel_logits_seconds",
+        "vllm_model_kernel_matmul_seconds{backend=\"scalar\"}",
+        "vllm_model_kernel_paged_attention_seconds{backend=\"scalar\"}",
+        "vllm_model_kernel_logits_seconds{backend=\"scalar\"}",
     ] {
         let h = snap
             .histogram(name)
             .unwrap_or_else(|| panic!("{name} not registered"));
         assert!(h.count > 0, "{name} registered but never observed");
     }
+
+    // The backend label must survive both exposition formats round-trip.
+    let reparsed = MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()).unwrap();
+    assert_eq!(reparsed, snap);
+    assert!(reparsed
+        .histogram("vllm_model_kernel_matmul_seconds{backend=\"scalar\"}")
+        .is_some());
+    let reparsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(reparsed, snap);
+    assert!(reparsed
+        .histogram("vllm_model_kernel_logits_seconds{backend=\"scalar\"}")
+        .is_some());
 }

@@ -114,17 +114,7 @@ pub fn paged_attention_decode(
     head_dim: usize,
     out: &mut [f32],
 ) {
-    let hidden = n_heads * head_dim;
-    assert_eq!(q.len(), hidden);
-    assert_eq!(out.len(), hidden);
-    assert_eq!(pool.hidden(), hidden);
-    let bs = pool.block_size();
-    let num_blocks = context_len.div_ceil(bs);
-    assert!(
-        block_table.len() >= num_blocks,
-        "block table has {} entries, context needs {num_blocks}",
-        block_table.len()
-    );
+    check_decode_shapes(q, pool, block_table, context_len, n_heads, head_dim, out);
     for h in 0..n_heads {
         let ho = h * head_dim;
         decode_head(
@@ -139,13 +129,43 @@ pub fn paged_attention_decode(
     }
 }
 
+/// Validates the shared preconditions of a solo decode call: query/output
+/// widths, pool width, and block-table coverage of `context_len`.
+///
+/// # Panics
+///
+/// Panics when any precondition is violated.
+pub(crate) fn check_decode_shapes(
+    q: &[f32],
+    pool: &KvPool,
+    block_table: &[usize],
+    context_len: usize,
+    n_heads: usize,
+    head_dim: usize,
+    out: &[f32],
+) {
+    let hidden = n_heads * head_dim;
+    assert_eq!(q.len(), hidden);
+    assert_eq!(out.len(), hidden);
+    assert_eq!(pool.hidden(), hidden);
+    let bs = pool.block_size();
+    let num_blocks = context_len.div_ceil(bs);
+    assert!(
+        block_table.len() >= num_blocks,
+        "block table has {} entries, context needs {num_blocks}",
+        block_table.len()
+    );
+}
+
 /// Online-softmax PagedAttention for one (query, head) pair: the shared
 /// inner routine of the solo and batched decode kernels, so their outputs
-/// are bit-identical by construction.
+/// are bit-identical by construction. Backends with their own inner loops
+/// (SIMD lanes, quantized KV) supply a head routine of this same shape to
+/// [`decode_batch_driver`].
 ///
 /// `q_h` and `o` are `head_dim`-sized slices; `ho` is the head's offset
 /// into the `hidden`-wide K/V vectors of the pool.
-fn decode_head(
+pub(crate) fn decode_head(
     q_h: &[f32],
     pool: &KvPool,
     layer: usize,
@@ -224,6 +244,38 @@ pub fn paged_attention_decode_batch(
     workers: &WorkerPool,
     out: &mut [f32],
 ) {
+    decode_batch_driver(
+        q,
+        pool,
+        layer,
+        seqs,
+        n_heads,
+        head_dim,
+        workers,
+        out,
+        decode_head,
+    );
+}
+
+/// The batched-decode scaffolding shared by every backend: validates
+/// shapes, splits the (sequence, head) pair space across the worker pool,
+/// runs `head` on each pair, and records the span into the attention
+/// kernel counters. Solo/batched bit-identity per backend follows from
+/// each backend passing the same head routine to both entry points.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decode_batch_driver<F>(
+    q: &[f32],
+    pool: &KvPool,
+    layer: usize,
+    seqs: &[DecodeSeq<'_>],
+    n_heads: usize,
+    head_dim: usize,
+    workers: &WorkerPool,
+    out: &mut [f32],
+    head: F,
+) where
+    F: Fn(&[f32], &KvPool, usize, &[usize], usize, usize, &mut [f32]) + Sync,
+{
     let start = std::time::Instant::now();
     let hidden = n_heads * head_dim;
     let batch = seqs.len();
@@ -248,6 +300,7 @@ pub fn paged_attention_decode_batch(
     // pair range is a contiguous `&mut` chunk.
     let n_tasks = workers.parallelism().min(total_pairs);
     let pairs_per_task = total_pairs.div_ceil(n_tasks);
+    let head = &head;
     workers.scoped(|scope| {
         for (t, out_chunk) in out.chunks_mut(pairs_per_task * head_dim).enumerate() {
             let base = t * pairs_per_task;
@@ -257,7 +310,7 @@ pub fn paged_attention_decode_batch(
                     let seq = pair / n_heads;
                     let ho = (pair % n_heads) * head_dim;
                     let q_h = &q[seq * hidden + ho..seq * hidden + ho + head_dim];
-                    decode_head(
+                    head(
                         q_h,
                         pool,
                         layer,

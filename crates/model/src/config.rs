@@ -1,5 +1,7 @@
 //! Model hyper-parameters for the CPU transformer substrate.
 
+use crate::backend::BackendKind;
+
 /// How token positions are injected (§2.1 substrate detail).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PositionEncoding {
@@ -29,6 +31,10 @@ pub struct ModelConfig {
     pub seed: u64,
     /// Position-encoding scheme.
     pub position_encoding: PositionEncoding,
+    /// Kernel backend serving this model (selects the matmul/attention
+    /// kernels and the KV cache element layout). Presets read
+    /// [`crate::backend::BACKEND_ENV`]; not serialized in checkpoints.
+    pub backend: BackendKind,
 }
 
 impl ModelConfig {
@@ -44,6 +50,7 @@ impl ModelConfig {
             eos_token_id: 0,
             seed: 0x5eed,
             position_encoding: PositionEncoding::Learned,
+            backend: BackendKind::from_env(),
         }
     }
 
@@ -69,6 +76,7 @@ impl ModelConfig {
             eos_token_id: 257,
             seed: 0xcafe,
             position_encoding: PositionEncoding::Learned,
+            backend: BackendKind::from_env(),
         }
     }
 

@@ -32,21 +32,22 @@ pub(crate) struct KernelTelemetry {
 }
 
 impl KernelTelemetry {
-    /// Registers the `vllm_model_kernel_*` histograms.
-    pub(crate) fn register(r: &vllm_telemetry::MetricsRegistry) -> Self {
+    /// Registers the `vllm_model_kernel_*` histograms, labeled with the
+    /// kernel backend serving the model (`{backend="scalar"}` etc.).
+    pub(crate) fn register(r: &vllm_telemetry::MetricsRegistry, backend: &str) -> Self {
         Self {
             matmul_seconds: r.histogram(
-                "vllm_model_kernel_matmul_seconds",
+                &format!("vllm_model_kernel_matmul_seconds{{backend=\"{backend}\"}}"),
                 "Time in dense matmul kernels per step (summed across pool threads).",
                 vllm_telemetry::BucketSpec::seconds(),
             ),
             attention_seconds: r.histogram(
-                "vllm_model_kernel_paged_attention_seconds",
+                &format!("vllm_model_kernel_paged_attention_seconds{{backend=\"{backend}\"}}"),
                 "Time in PagedAttention decode kernels per step.",
                 vllm_telemetry::BucketSpec::seconds(),
             ),
             logits_seconds: r.histogram(
-                "vllm_model_kernel_logits_seconds",
+                &format!("vllm_model_kernel_logits_seconds{{backend=\"{backend}\"}}"),
                 "Time in the LM-head logits projection per step.",
                 vllm_telemetry::BucketSpec::seconds(),
             ),
@@ -78,12 +79,16 @@ impl CpuModelExecutor {
     /// Builds the executor and its paged KV storage.
     #[must_use]
     pub fn new(model: Transformer, cache_config: &CacheConfig) -> Self {
-        let cache = KvCache::new(
+        // The backend dictates how KV bytes are laid out (f32 vs int8 with
+        // per-slot scales), so the cache is allocated in its element type.
+        let element = model.backend().kv_layout().element;
+        let cache = KvCache::with_element(
             model.config.n_layers,
             cache_config.num_gpu_blocks,
             cache_config.num_cpu_blocks.max(1),
             cache_config.block_size,
             model.config.hidden,
+            element,
         );
         Self {
             model,
@@ -223,7 +228,7 @@ impl ModelExecutor for CpuModelExecutor {
                 "vllm_executor_steps_total",
                 "Iterations executed by the model executor.",
             ),
-            kernels: KernelTelemetry::register(r),
+            kernels: KernelTelemetry::register(r, self.model.config.backend.name()),
         });
     }
 }

@@ -2,37 +2,108 @@
 //!
 //! A [`KvPool`] owns one contiguous allocation per layer ("the block engine
 //! allocates a contiguous chunk and divides it into physical KV blocks") and
-//! addresses token slots by `(physical block, offset)`. [`KvCache`] pairs a
-//! GPU pool with a CPU pool (swap space) and applies the scheduler's cache
+//! addresses token slots by `(physical block, offset)`. The element type of
+//! the stored K/V scalars is chosen by the kernel backend's
+//! [`KvElement`] layout: plain `f32`, or `i8` with one `f32` dequantization
+//! scale per stored vector (`quant-kv8`), which shrinks bytes-per-block and
+//! therefore buys more blocks per memory budget. [`KvCache`] pairs a GPU
+//! pool with a CPU pool (swap space) and applies the scheduler's cache
 //! operations: batched copy-on-write copies ("fused block copy", §5.1) and
 //! swap transfers (§4.5).
 
 use vllm_core::executor::CacheOps;
 
+use crate::backend::KvElement;
+
+/// Backing storage for one pool, one variant per [`KvElement`].
+#[derive(Debug, Clone)]
+enum KvStorage {
+    /// Plain f32 K/V: `num_blocks * block_size * hidden` floats per layer.
+    F32 { k: Vec<Vec<f32>>, v: Vec<Vec<f32>> },
+    /// int8 K/V with one f32 scale per stored vector: values are
+    /// `num_blocks * block_size * hidden` bytes per layer, scales are
+    /// `num_blocks * block_size` floats per layer (slot-major).
+    Int8 {
+        k: Vec<Vec<i8>>,
+        v: Vec<Vec<i8>>,
+        k_scale: Vec<Vec<f32>>,
+        v_scale: Vec<Vec<f32>>,
+    },
+}
+
 /// Per-layer paged key/value storage for one device.
 #[derive(Debug, Clone)]
 pub struct KvPool {
-    /// Per-layer key storage: `num_blocks * block_size * hidden` floats.
-    k: Vec<Vec<f32>>,
-    /// Per-layer value storage, same layout.
-    v: Vec<Vec<f32>>,
+    storage: KvStorage,
+    n_layers: usize,
     num_blocks: usize,
     block_size: usize,
     hidden: usize,
 }
 
+/// Quantizes one vector into int8: `scale = max|x| / 127`, elements
+/// `round(x / scale)`. Returns the scale (0 for an all-zero vector, whose
+/// dequantization is exactly zero). Reconstruction error per element is at
+/// most `scale / 2`.
+fn quantize_slot(src: &[f32], dst: &mut [i8]) -> f32 {
+    let max_abs = src.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / max_abs;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = (x * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    max_abs / 127.0
+}
+
 impl KvPool {
-    /// Allocates zeroed storage for `num_blocks` blocks across `n_layers`
-    /// layers with `hidden`-sized K and V vectors per token.
+    /// Allocates zeroed f32 storage for `num_blocks` blocks across
+    /// `n_layers` layers with `hidden`-sized K and V vectors per token.
     #[must_use]
     pub fn new(n_layers: usize, num_blocks: usize, block_size: usize, hidden: usize) -> Self {
+        Self::with_element(n_layers, num_blocks, block_size, hidden, KvElement::F32)
+    }
+
+    /// Allocates zeroed storage with the given element type (the layout the
+    /// serving backend's attention kernel reads).
+    #[must_use]
+    pub fn with_element(
+        n_layers: usize,
+        num_blocks: usize,
+        block_size: usize,
+        hidden: usize,
+        element: KvElement,
+    ) -> Self {
         let layer_len = num_blocks * block_size * hidden;
+        let storage = match element {
+            KvElement::F32 => KvStorage::F32 {
+                k: vec![vec![0.0; layer_len]; n_layers],
+                v: vec![vec![0.0; layer_len]; n_layers],
+            },
+            KvElement::Int8Scaled => KvStorage::Int8 {
+                k: vec![vec![0; layer_len]; n_layers],
+                v: vec![vec![0; layer_len]; n_layers],
+                k_scale: vec![vec![0.0; num_blocks * block_size]; n_layers],
+                v_scale: vec![vec![0.0; num_blocks * block_size]; n_layers],
+            },
+        };
         Self {
-            k: vec![vec![0.0; layer_len]; n_layers],
-            v: vec![vec![0.0; layer_len]; n_layers],
+            storage,
+            n_layers,
             num_blocks,
             block_size,
             hidden,
+        }
+    }
+
+    /// Element type of the stored K/V scalars.
+    #[must_use]
+    pub fn element(&self) -> KvElement {
+        match &self.storage {
+            KvStorage::F32 { .. } => KvElement::F32,
+            KvStorage::Int8 { .. } => KvElement::Int8Scaled,
         }
     }
 
@@ -54,14 +125,20 @@ impl KvPool {
         self.hidden
     }
 
-    /// Total bytes of K+V storage (capacity accounting).
+    /// Total bytes of K+V storage including any per-vector scales
+    /// (capacity accounting; consistent with
+    /// [`crate::backend::KvLayout::bytes_per_block`]).
     #[must_use]
     pub fn num_bytes(&self) -> usize {
-        2 * self.k.len()
-            * self.num_blocks
-            * self.block_size
-            * self.hidden
-            * std::mem::size_of::<f32>()
+        let slots = self.num_blocks * self.block_size;
+        match &self.storage {
+            KvStorage::F32 { .. } => {
+                2 * self.n_layers * slots * self.hidden * std::mem::size_of::<f32>()
+            }
+            KvStorage::Int8 { .. } => {
+                2 * self.n_layers * slots * (self.hidden + std::mem::size_of::<f32>())
+            }
+        }
     }
 
     #[inline]
@@ -72,7 +149,8 @@ impl KvPool {
     }
 
     /// Writes the key/value vectors of one token into `(block, slot)` for
-    /// `layer` (the "fused reshape and block write" path, §5.1).
+    /// `layer` (the "fused reshape and block write" path, §5.1). On an
+    /// int8 pool the vectors are quantized in place with one scale each.
     ///
     /// # Panics
     ///
@@ -81,52 +159,155 @@ impl KvPool {
         debug_assert_eq!(key.len(), self.hidden);
         debug_assert_eq!(value.len(), self.hidden);
         let o = self.offset(block, slot);
-        self.k[layer][o..o + self.hidden].copy_from_slice(key);
-        self.v[layer][o..o + self.hidden].copy_from_slice(value);
+        let h = self.hidden;
+        match &mut self.storage {
+            KvStorage::F32 { k, v } => {
+                k[layer][o..o + h].copy_from_slice(key);
+                v[layer][o..o + h].copy_from_slice(value);
+            }
+            KvStorage::Int8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => {
+                let si = block * self.block_size + slot;
+                k_scale[layer][si] = quantize_slot(key, &mut k[layer][o..o + h]);
+                v_scale[layer][si] = quantize_slot(value, &mut v[layer][o..o + h]);
+            }
+        }
     }
 
     /// Key vector stored at `(layer, block, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8-quantized pool — use [`Self::key_block_q8`].
     #[must_use]
     pub fn key(&self, layer: usize, block: usize, slot: usize) -> &[f32] {
         let o = self.offset(block, slot);
-        &self.k[layer][o..o + self.hidden]
+        match &self.storage {
+            KvStorage::F32 { k, .. } => &k[layer][o..o + self.hidden],
+            KvStorage::Int8 { .. } => panic!("f32 KV accessor on int8-quantized pool"),
+        }
     }
 
     /// Value vector stored at `(layer, block, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8-quantized pool — use [`Self::value_block_q8`].
     #[must_use]
     pub fn value(&self, layer: usize, block: usize, slot: usize) -> &[f32] {
         let o = self.offset(block, slot);
-        &self.v[layer][o..o + self.hidden]
+        match &self.storage {
+            KvStorage::F32 { v, .. } => &v[layer][o..o + self.hidden],
+            KvStorage::Int8 { .. } => panic!("f32 KV accessor on int8-quantized pool"),
+        }
     }
 
     /// The whole key block `(layer, block)` as `block_size × hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8-quantized pool — use [`Self::key_block_q8`].
     #[must_use]
     pub fn key_block(&self, layer: usize, block: usize) -> &[f32] {
         let o = self.offset(block, 0);
-        &self.k[layer][o..o + self.block_size * self.hidden]
+        match &self.storage {
+            KvStorage::F32 { k, .. } => &k[layer][o..o + self.block_size * self.hidden],
+            KvStorage::Int8 { .. } => panic!("f32 KV accessor on int8-quantized pool"),
+        }
     }
 
     /// The whole value block `(layer, block)` as `block_size × hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8-quantized pool — use [`Self::value_block_q8`].
     #[must_use]
     pub fn value_block(&self, layer: usize, block: usize) -> &[f32] {
         let o = self.offset(block, 0);
-        &self.v[layer][o..o + self.block_size * self.hidden]
+        match &self.storage {
+            KvStorage::F32 { v, .. } => &v[layer][o..o + self.block_size * self.hidden],
+            KvStorage::Int8 { .. } => panic!("f32 KV accessor on int8-quantized pool"),
+        }
     }
 
-    /// Copies a whole block (all layers, K and V) within this pool.
+    /// The whole quantized key block `(layer, block)`: `block_size × hidden`
+    /// int8 values plus `block_size` per-slot dequantization scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an f32 pool — use [`Self::key_block`].
+    #[must_use]
+    pub fn key_block_q8(&self, layer: usize, block: usize) -> (&[i8], &[f32]) {
+        let o = self.offset(block, 0);
+        let so = block * self.block_size;
+        match &self.storage {
+            KvStorage::Int8 { k, k_scale, .. } => (
+                &k[layer][o..o + self.block_size * self.hidden],
+                &k_scale[layer][so..so + self.block_size],
+            ),
+            KvStorage::F32 { .. } => panic!("int8 KV accessor on f32 pool"),
+        }
+    }
+
+    /// The whole quantized value block `(layer, block)`: values + scales,
+    /// like [`Self::key_block_q8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an f32 pool — use [`Self::value_block`].
+    #[must_use]
+    pub fn value_block_q8(&self, layer: usize, block: usize) -> (&[i8], &[f32]) {
+        let o = self.offset(block, 0);
+        let so = block * self.block_size;
+        match &self.storage {
+            KvStorage::Int8 { v, v_scale, .. } => (
+                &v[layer][o..o + self.block_size * self.hidden],
+                &v_scale[layer][so..so + self.block_size],
+            ),
+            KvStorage::F32 { .. } => panic!("int8 KV accessor on f32 pool"),
+        }
+    }
+
+    /// Copies a whole block (all layers, K and V, and any scales) within
+    /// this pool.
     pub fn copy_block_within(&mut self, src: usize, dst: usize) {
         if src == dst {
             return;
         }
         let len = self.block_size * self.hidden;
-        for layer in 0..self.k.len() {
-            let s = self.offset(src, 0);
-            let d = self.offset(dst, 0);
-            // Non-overlapping: distinct blocks of the same layer buffer.
-            let (k_src, k_dst) = split_two(&mut self.k[layer], s, d, len);
-            k_dst.copy_from_slice(k_src);
-            let (v_src, v_dst) = split_two(&mut self.v[layer], s, d, len);
-            v_dst.copy_from_slice(v_src);
+        let s = self.offset(src, 0);
+        let d = self.offset(dst, 0);
+        let ss = src * self.block_size;
+        let sd = dst * self.block_size;
+        let bs = self.block_size;
+        for layer in 0..self.n_layers {
+            match &mut self.storage {
+                KvStorage::F32 { k, v } => {
+                    let (k_src, k_dst) = split_two(&mut k[layer], s, d, len);
+                    k_dst.copy_from_slice(k_src);
+                    let (v_src, v_dst) = split_two(&mut v[layer], s, d, len);
+                    v_dst.copy_from_slice(v_src);
+                }
+                KvStorage::Int8 {
+                    k,
+                    v,
+                    k_scale,
+                    v_scale,
+                } => {
+                    let (k_src, k_dst) = split_two(&mut k[layer], s, d, len);
+                    k_dst.copy_from_slice(k_src);
+                    let (v_src, v_dst) = split_two(&mut v[layer], s, d, len);
+                    v_dst.copy_from_slice(v_src);
+                    let (ks_src, ks_dst) = split_two(&mut k_scale[layer], ss, sd, bs);
+                    ks_dst.copy_from_slice(ks_src);
+                    let (vs_src, vs_dst) = split_two(&mut v_scale[layer], ss, sd, bs);
+                    vs_dst.copy_from_slice(vs_src);
+                }
+            }
         }
     }
 
@@ -134,23 +315,53 @@ impl KvPool {
     ///
     /// # Panics
     ///
-    /// Panics if the pools disagree on layer count, block size, or width.
+    /// Panics if the pools disagree on layer count, block size, width, or
+    /// element type.
     pub fn copy_block_to(&self, src: usize, other: &mut KvPool, dst: usize) {
-        assert_eq!(self.k.len(), other.k.len());
+        assert_eq!(self.n_layers, other.n_layers);
         assert_eq!(self.block_size, other.block_size);
         assert_eq!(self.hidden, other.hidden);
+        assert_eq!(self.element(), other.element(), "pool element mismatch");
         let len = self.block_size * self.hidden;
-        for layer in 0..self.k.len() {
-            let s = self.offset(src, 0);
-            let d = other.offset(dst, 0);
-            other.k[layer][d..d + len].copy_from_slice(&self.k[layer][s..s + len]);
-            other.v[layer][d..d + len].copy_from_slice(&self.v[layer][s..s + len]);
+        let s = self.offset(src, 0);
+        let d = other.offset(dst, 0);
+        let ss = src * self.block_size;
+        let sd = dst * self.block_size;
+        let bs = self.block_size;
+        for layer in 0..self.n_layers {
+            match (&self.storage, &mut other.storage) {
+                (KvStorage::F32 { k, v }, KvStorage::F32 { k: ok, v: ov }) => {
+                    ok[layer][d..d + len].copy_from_slice(&k[layer][s..s + len]);
+                    ov[layer][d..d + len].copy_from_slice(&v[layer][s..s + len]);
+                }
+                (
+                    KvStorage::Int8 {
+                        k,
+                        v,
+                        k_scale,
+                        v_scale,
+                    },
+                    KvStorage::Int8 {
+                        k: ok,
+                        v: ov,
+                        k_scale: oks,
+                        v_scale: ovs,
+                    },
+                ) => {
+                    ok[layer][d..d + len].copy_from_slice(&k[layer][s..s + len]);
+                    ov[layer][d..d + len].copy_from_slice(&v[layer][s..s + len]);
+                    oks[layer][sd..sd + bs].copy_from_slice(&k_scale[layer][ss..ss + bs]);
+                    ovs[layer][sd..sd + bs].copy_from_slice(&v_scale[layer][ss..ss + bs]);
+                }
+                _ => unreachable!("element types checked above"),
+            }
         }
     }
 
     /// Gathers the K and V vectors of positions `0..len` addressed through a
-    /// block table into contiguous `len × hidden` buffers (used by prefill
-    /// over cached prefixes and by equivalence tests).
+    /// block table into contiguous `len × hidden` f32 buffers (used by
+    /// prefill over cached prefixes and by equivalence tests). Quantized
+    /// pools are dequantized on the way out.
     #[must_use]
     pub fn gather(&self, layer: usize, block_table: &[usize], len: usize) -> (Vec<f32>, Vec<f32>) {
         let mut ks = Vec::with_capacity(len * self.hidden);
@@ -158,15 +369,33 @@ impl KvPool {
         for t in 0..len {
             let block = block_table[t / self.block_size];
             let slot = t % self.block_size;
-            ks.extend_from_slice(self.key(layer, block, slot));
-            vs.extend_from_slice(self.value(layer, block, slot));
+            let o = self.offset(block, slot);
+            match &self.storage {
+                KvStorage::F32 { k, v } => {
+                    ks.extend_from_slice(&k[layer][o..o + self.hidden]);
+                    vs.extend_from_slice(&v[layer][o..o + self.hidden]);
+                }
+                KvStorage::Int8 {
+                    k,
+                    v,
+                    k_scale,
+                    v_scale,
+                } => {
+                    let si = block * self.block_size + slot;
+                    let kq = &k[layer][o..o + self.hidden];
+                    let vq = &v[layer][o..o + self.hidden];
+                    let (ksc, vsc) = (k_scale[layer][si], v_scale[layer][si]);
+                    ks.extend(kq.iter().map(|&q| f32::from(q) * ksc));
+                    vs.extend(vq.iter().map(|&q| f32::from(q) * vsc));
+                }
+            }
         }
         (ks, vs)
     }
 }
 
 /// Splits one buffer into a `(src, dst)` pair of non-overlapping regions.
-fn split_two(buf: &mut [f32], src: usize, dst: usize, len: usize) -> (&[f32], &mut [f32]) {
+fn split_two<T>(buf: &mut [T], src: usize, dst: usize, len: usize) -> (&[T], &mut [T]) {
     assert!(src.abs_diff(dst) >= len, "regions must not overlap");
     if src < dst {
         let (a, b) = buf.split_at_mut(dst);
@@ -191,7 +420,7 @@ pub struct KvCache {
 }
 
 impl KvCache {
-    /// Creates both pools.
+    /// Creates both pools with f32 storage.
     #[must_use]
     pub fn new(
         n_layers: usize,
@@ -200,9 +429,30 @@ impl KvCache {
         block_size: usize,
         hidden: usize,
     ) -> Self {
+        Self::with_element(
+            n_layers,
+            num_gpu_blocks,
+            num_cpu_blocks,
+            block_size,
+            hidden,
+            KvElement::F32,
+        )
+    }
+
+    /// Creates both pools with the given element type (both sides of a swap
+    /// share the layout, so transfers are raw block copies).
+    #[must_use]
+    pub fn with_element(
+        n_layers: usize,
+        num_gpu_blocks: usize,
+        num_cpu_blocks: usize,
+        block_size: usize,
+        hidden: usize,
+        element: KvElement,
+    ) -> Self {
         Self {
-            gpu: KvPool::new(n_layers, num_gpu_blocks, block_size, hidden),
-            cpu: KvPool::new(n_layers, num_cpu_blocks, block_size, hidden),
+            gpu: KvPool::with_element(n_layers, num_gpu_blocks, block_size, hidden, element),
+            cpu: KvPool::with_element(n_layers, num_cpu_blocks, block_size, hidden, element),
             num_block_copies: 0,
             num_swap_transfers: 0,
         }
@@ -234,6 +484,21 @@ mod tests {
 
     fn filled_pool() -> KvPool {
         let mut p = KvPool::new(2, 4, 2, 3);
+        for layer in 0..2 {
+            for block in 0..4 {
+                for slot in 0..2 {
+                    let base = (layer * 100 + block * 10 + slot) as f32;
+                    let k: Vec<f32> = (0..3).map(|i| base + i as f32 * 0.1).collect();
+                    let v: Vec<f32> = (0..3).map(|i| -(base + i as f32 * 0.1)).collect();
+                    p.write(layer, block, slot, &k, &v);
+                }
+            }
+        }
+        p
+    }
+
+    fn filled_q8_pool() -> KvPool {
+        let mut p = KvPool::with_element(2, 4, 2, 3, KvElement::Int8Scaled);
         for layer in 0..2 {
             for block in 0..4 {
                 for slot in 0..2 {
@@ -326,5 +591,77 @@ mod tests {
         let p = KvPool::new(2, 4, 2, 3);
         // 2 (K+V) * 2 layers * 4 blocks * 2 slots * 3 floats * 4 bytes.
         assert_eq!(p.num_bytes(), 2 * 2 * 4 * 2 * 3 * 4);
+        let q = KvPool::with_element(2, 4, 2, 3, KvElement::Int8Scaled);
+        // Same shape, 1 byte per element plus one 4-byte scale per vector.
+        assert_eq!(q.num_bytes(), 2 * 2 * 4 * 2 * (3 + 4));
+        assert!(q.num_bytes() < p.num_bytes());
+    }
+
+    #[test]
+    fn quantized_round_trip_error_bounded_by_half_scale() {
+        let mut p = KvPool::with_element(1, 1, 1, 8, KvElement::Int8Scaled);
+        let key = [0.9f32, -0.4, 0.05, -1.27, 0.0, 0.33, 1.2, -0.001];
+        let value = [2.0f32, -3.0, 0.25, 0.125, -0.5, 1.0, 0.75, -2.5];
+        p.write(0, 0, 0, &key, &value);
+        let (ks, vs) = p.gather(0, &[0], 1);
+        let k_scale = key.iter().fold(0.0f32, |m, &x| m.max(x.abs())) / 127.0;
+        let v_scale = value.iter().fold(0.0f32, |m, &x| m.max(x.abs())) / 127.0;
+        for (orig, got) in key.iter().zip(&ks) {
+            assert!(
+                (orig - got).abs() <= k_scale / 2.0 + 1e-7,
+                "{orig} vs {got}"
+            );
+        }
+        for (orig, got) in value.iter().zip(&vs) {
+            assert!(
+                (orig - got).abs() <= v_scale / 2.0 + 1e-7,
+                "{orig} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_zero_vector_round_trips_exactly() {
+        let mut p = KvPool::with_element(1, 1, 2, 4, KvElement::Int8Scaled);
+        p.write(0, 0, 0, &[0.0; 4], &[0.0; 4]);
+        let (ks, vs) = p.gather(0, &[0], 1);
+        assert_eq!(ks, vec![0.0; 4]);
+        assert_eq!(vs, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn quantized_copy_and_swap_preserve_scales() {
+        let p = filled_q8_pool();
+        let (before_vals, before_scales) = {
+            let (vals, scales) = p.key_block_q8(1, 3);
+            (vals.to_vec(), scales.to_vec())
+        };
+        // In-pool copy.
+        let mut p2 = p.clone();
+        p2.copy_block_within(3, 0);
+        let (vals, scales) = p2.key_block_q8(1, 0);
+        assert_eq!(vals, &before_vals[..]);
+        assert_eq!(scales, &before_scales[..]);
+        // Cross-pool copy (swap transfer).
+        let mut other = KvPool::with_element(2, 4, 2, 3, KvElement::Int8Scaled);
+        p.copy_block_to(3, &mut other, 1);
+        let (vals, scales) = other.key_block_q8(1, 1);
+        assert_eq!(vals, &before_vals[..]);
+        assert_eq!(scales, &before_scales[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 KV accessor")]
+    fn f32_accessor_on_quantized_pool_panics() {
+        let p = filled_q8_pool();
+        let _ = p.key_block(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "element mismatch")]
+    fn cross_element_swap_panics() {
+        let p = filled_pool();
+        let mut other = KvPool::with_element(2, 4, 2, 3, KvElement::Int8Scaled);
+        p.copy_block_to(0, &mut other, 0);
     }
 }

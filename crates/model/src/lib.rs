@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod attention;
+pub mod backend;
 pub mod bpe;
 pub mod checkpoint;
 pub mod config;
@@ -40,6 +41,7 @@ pub use attention::{
     contiguous_attention_decode, contiguous_causal_attention, paged_attention_decode,
     paged_attention_decode_batch, DecodeSeq,
 };
+pub use backend::{BackendKind, KernelBackend, KvElement, KvLayout, BACKEND_ENV};
 pub use bpe::BpeTokenizer;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
 pub use config::{ModelConfig, PositionEncoding};

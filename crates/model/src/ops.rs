@@ -10,8 +10,9 @@
 //! row computed alone, which is what makes batched decode exactly match
 //! per-sequence decode.
 //!
-//! Large shapes parallelize over row chunks through the persistent
-//! [`crate::pool`] worker pool instead of spawning scoped threads per call.
+//! These are the scalar backend's serial kernels; pool dispatch for large
+//! shapes lives in the [`crate::backend`] seam, which all callers go
+//! through.
 
 use crate::pool;
 
@@ -217,83 +218,23 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
     }
 }
 
-/// Work size (in multiply-adds) above which [`matmul_auto`] parallelizes.
+/// Work size (in multiply-adds) above which the backend dispatch
+/// ([`crate::backend`]) splits a matmul across the worker pool.
 pub const PARALLEL_MATMUL_THRESHOLD: usize = 1 << 21;
-
-/// `out[m×n] = a[m×k] @ b[k×n]`, splitting rows across the persistent
-/// worker pool for large shapes (prompt-phase and batched-decode matmuls)
-/// and falling back to the serial kernel for small ones, where task
-/// dispatch would dominate. Results are bit-identical to [`matmul`].
-///
-/// # Panics
-///
-/// Panics if slice lengths disagree with the shapes.
-pub fn matmul_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    let start = std::time::Instant::now();
-    matmul_auto_untimed(a, b, m, k, n, out);
-    timing::record_matmul(start.elapsed());
-}
-
-/// [`matmul_auto`] recorded into the logits kernel counters instead of
-/// the dense-matmul ones — the LM-head projection over the pre-transposed
-/// tied embedding ([`crate::Transformer::wte_t`]) goes through here so the
-/// per-kernel telemetry separates logits time from layer matmul time.
-///
-/// # Panics
-///
-/// Panics if slice lengths disagree with the shapes.
-pub fn matmul_logits_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    let start = std::time::Instant::now();
-    matmul_auto_untimed(a, b, m, k, n, out);
-    timing::record_logits(start.elapsed());
-}
-
-fn matmul_auto_untimed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    let work = m * k * n;
-    let workers = pool::global();
-    let threads = workers.parallelism();
-    if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 {
-        matmul(a, b, m, k, n, out);
-        return;
-    }
-    assert_eq!(a.len(), m * k, "lhs shape mismatch");
-    assert_eq!(b.len(), k * n, "rhs shape mismatch");
-    assert_eq!(out.len(), m * n, "out shape mismatch");
-    if m == 1 {
-        // A single wide row (the solo LM-head shape): stripe the output
-        // columns across the pool instead.
-        if n < 2 * threads {
-            matmul(a, b, m, k, n, out);
-            return;
-        }
-        let cols = n.div_ceil(threads);
-        workers.scoped(|s| {
-            for (t, out_chunk) in out.chunks_mut(cols).enumerate() {
-                s.spawn(move || matmul_one_row_cols(a, b, k, n, t * cols, out_chunk));
-            }
-        });
-        return;
-    }
-    let n_chunks = threads.min(m);
-    let rows_per_chunk = m.div_ceil(n_chunks);
-    workers.scoped(|s| {
-        for (a_chunk, out_chunk) in a
-            .chunks(rows_per_chunk * k)
-            .zip(out.chunks_mut(rows_per_chunk * n))
-        {
-            s.spawn(move || {
-                let rows = a_chunk.len() / k;
-                matmul(a_chunk, b, rows, k, n, out_chunk);
-            });
-        }
-    });
-}
 
 /// One output-column window of a single-row product: `out` receives
 /// columns `j0 .. j0 + out.len()` of `a[1×k] @ b[k×n]`. Same `KB`/`NB`
 /// panel walk as [`matmul`]; per-element accumulation order depends only
-/// on `k`, so stripes are bit-identical to the full serial product.
-fn matmul_one_row_cols(a: &[f32], b: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
+/// on `k`, so stripes are bit-identical to the full serial product. The
+/// scalar backend's column-stripe kernel for the pooled m=1 path.
+pub(crate) fn matmul_one_row_cols(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
     out.fill(0.0);
     let width = out.len();
     let mut kk = 0;
@@ -439,14 +380,20 @@ pub fn matmul_transb(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, out: &
 
 /// [`matmul_transb`] with the output columns split across the worker pool
 /// for large shapes (the vocab dimension of the logits projection).
-/// Results are bit-identical to the serial kernel. Records its span into
-/// the logits kernel counters.
+/// Results are bit-identical to the serial kernel. Untimed — the backend
+/// dispatch ([`crate::backend`]) wraps it with the logits counters.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the shapes.
-pub fn matmul_transb_auto(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    let start = std::time::Instant::now();
+pub(crate) fn matmul_transb_pooled(
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
     assert_eq!(a.len(), m * k, "lhs shape mismatch");
     assert_eq!(bt.len(), n * k, "rhs shape mismatch");
     assert_eq!(out.len(), m * n, "out shape mismatch");
@@ -455,7 +402,6 @@ pub fn matmul_transb_auto(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, o
     let threads = workers.parallelism();
     if work < PARALLEL_MATMUL_THRESHOLD || threads < 2 || n < 2 * threads {
         matmul_transb(a, bt, m, k, n, out);
-        timing::record_logits(start.elapsed());
         return;
     }
     // Split the n (vocab) dimension into one stripe per worker. Each task
@@ -503,7 +449,6 @@ pub fn matmul_transb_auto(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize, o
             });
         }
     });
-    timing::record_logits(start.elapsed());
 }
 
 /// `out[n] = x[k] @ w[k×n]` (one-token linear layer).
@@ -747,21 +692,6 @@ mod tests {
     }
 
     #[test]
-    fn logits_matmul_records_logits_counters() {
-        let before = timing::snapshot();
-        let (m, k, n) = (2usize, 8usize, 8usize);
-        let a = fill(61, m * k);
-        let b = fill(62, k * n);
-        let mut via_logits = vec![0.0; m * n];
-        matmul_logits_auto(&a, &b, m, k, n, &mut via_logits);
-        let mut via_matmul = vec![0.0; m * n];
-        matmul_auto(&a, &b, m, k, n, &mut via_matmul);
-        assert_eq!(via_logits, via_matmul);
-        let delta = timing::snapshot().delta_since(&before);
-        assert!(delta.logits_calls >= 1 && delta.matmul_calls >= 1);
-    }
-
-    #[test]
     fn transb_matches_reference() {
         let (m, k, n) = (3usize, 37usize, 19usize);
         let a = fill(21, m * k);
@@ -780,16 +710,16 @@ mod tests {
     }
 
     #[test]
-    fn transb_auto_matches_serial() {
+    fn transb_pooled_matches_serial() {
         // Above the parallel threshold so the striped path runs.
         let (m, k, n) = (4usize, 64usize, 16384usize);
         let a = fill(31, m * k);
         let bt = fill(32, n * k);
         let mut serial = vec![0.0; m * n];
-        let mut auto = vec![0.0; m * n];
+        let mut pooled = vec![0.0; m * n];
         matmul_transb(&a, &bt, m, k, n, &mut serial);
-        matmul_transb_auto(&a, &bt, m, k, n, &mut auto);
-        assert_eq!(serial, auto, "striped transb must be bit-identical");
+        matmul_transb_pooled(&a, &bt, m, k, n, &mut pooled);
+        assert_eq!(serial, pooled, "striped transb must be bit-identical");
     }
 
     #[test]
@@ -861,71 +791,12 @@ mod tests {
     #[test]
     fn kernel_timing_counters_advance() {
         let before = timing::snapshot();
-        let (m, k, n) = (2usize, 16usize, 16usize);
-        let a = fill(41, m * k);
-        let b = fill(42, k * n);
-        let mut out = vec![0.0; m * n];
-        matmul_auto(&a, &b, m, k, n, &mut out);
-        matmul_transb_auto(&a, &b, m, k, n, &mut out);
+        timing::record_matmul(std::time::Duration::from_nanos(7));
+        timing::record_logits(std::time::Duration::from_nanos(9));
+        timing::record_attention(std::time::Duration::from_nanos(11));
         let delta = timing::snapshot().delta_since(&before);
-        assert!(delta.matmul_calls >= 1);
-        assert!(delta.logits_calls >= 1);
-    }
-}
-
-#[cfg(test)]
-mod parallel_tests {
-    use super::*;
-
-    fn fill(seed: u64, len: usize) -> Vec<f32> {
-        let mut s = seed | 1;
-        (0..len)
-            .map(|_| {
-                s ^= s << 13;
-                s ^= s >> 7;
-                s ^= s << 17;
-                ((s % 100) as f32 / 50.0) - 1.0
-            })
-            .collect()
-    }
-
-    #[test]
-    fn matmul_auto_matches_serial_small() {
-        let (m, k, n) = (3, 5, 7);
-        let a = fill(1, m * k);
-        let b = fill(2, k * n);
-        let mut serial = vec![0.0; m * n];
-        let mut auto = vec![0.0; m * n];
-        matmul(&a, &b, m, k, n, &mut serial);
-        matmul_auto(&a, &b, m, k, n, &mut auto);
-        assert_eq!(serial, auto);
-    }
-
-    #[test]
-    fn matmul_auto_matches_serial_large() {
-        // Above the parallel threshold: 256×128×128 = 4.2M mul-adds.
-        let (m, k, n) = (256, 128, 128);
-        let a = fill(3, m * k);
-        let b = fill(4, k * n);
-        let mut serial = vec![0.0; m * n];
-        let mut auto = vec![0.0; m * n];
-        matmul(&a, &b, m, k, n, &mut serial);
-        matmul_auto(&a, &b, m, k, n, &mut auto);
-        for (x, y) in serial.iter().zip(&auto) {
-            assert_eq!(x, y, "parallel split must be bit-identical");
-        }
-    }
-
-    #[test]
-    fn matmul_auto_uneven_row_split() {
-        // m not divisible by the chunk count.
-        let (m, k, n) = (97, 160, 140);
-        let a = fill(5, m * k);
-        let b = fill(6, k * n);
-        let mut serial = vec![0.0; m * n];
-        let mut auto = vec![0.0; m * n];
-        matmul(&a, &b, m, k, n, &mut serial);
-        matmul_auto(&a, &b, m, k, n, &mut auto);
-        assert_eq!(serial, auto);
+        assert!(delta.matmul_calls >= 1 && delta.matmul_ns >= 7);
+        assert!(delta.logits_calls >= 1 && delta.logits_ns >= 9);
+        assert!(delta.attention_calls >= 1 && delta.attention_ns >= 11);
     }
 }

@@ -22,11 +22,11 @@ use vllm_core::plan::StepPlan;
 
 use vllm_core::config::CacheConfig;
 
-use crate::attention::{contiguous_causal_attention, paged_attention_decode};
+use crate::attention::contiguous_causal_attention;
 use crate::config::PositionEncoding;
 use crate::executor::KernelTelemetry;
 use crate::kv_cache::KvCache;
-use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul, matmul_logits_auto, timing};
+use crate::ops::{add_bias, add_inplace, gelu, layer_norm, timing};
 use crate::pool;
 use crate::sampler::{mix_seed, sample_candidates};
 use crate::transformer::{apply_rope, DecodeInput, Transformer};
@@ -134,6 +134,10 @@ impl TensorParallelExecutor {
         let m = 4 * h;
         let ml = m / num_workers; // Local MLP intermediate width.
 
+        // Worker KV shards use the backend's element layout, like the
+        // single-worker executor's cache.
+        let element = model.backend().kv_layout().element;
+
         let workers = (0..num_workers)
             .map(|w| {
                 let layers = model
@@ -176,12 +180,13 @@ impl TensorParallelExecutor {
                     .collect();
                 Worker {
                     layers,
-                    cache: KvCache::new(
+                    cache: KvCache::with_element(
                         cfg.n_layers,
                         cache_config.num_gpu_blocks,
                         cache_config.num_cpu_blocks.max(1),
                         cache_config.block_size,
                         hl,
+                        element,
                     ),
                 }
             })
@@ -231,6 +236,7 @@ impl TensorParallelExecutor {
         let ml = 4 * h / w_count;
         let ctx = positions[n - 1] + 1;
         let rotary = cfg.position_encoding == PositionEncoding::Rotary;
+        let be = self.model.backend();
         let bs = self.workers[0].cache.gpu.block_size();
         assert!(block_table.len() * bs >= ctx, "block table too short");
 
@@ -253,7 +259,7 @@ impl TensorParallelExecutor {
                         let shard = &worker.layers[layer_idx];
                         let mut qkv = vec![0.0f32; n * 3 * hl];
                         let t_mm = Instant::now();
-                        matmul(hst, &shard.w_qkv, n, h, 3 * hl, &mut qkv);
+                        be.matmul_serial(hst, &shard.w_qkv, n, h, 3 * hl, &mut qkv);
                         timing::record_matmul(t_mm.elapsed());
                         add_bias(&mut qkv, &shard.b_qkv);
                         if rotary {
@@ -279,7 +285,7 @@ impl TensorParallelExecutor {
                         let mut attn = vec![0.0f32; n * hl];
                         let t_attn = Instant::now();
                         if n == 1 {
-                            paged_attention_decode(
+                            be.paged_attention_decode(
                                 &qkv[0..hl],
                                 &worker.cache.gpu,
                                 layer_idx,
@@ -310,7 +316,7 @@ impl TensorParallelExecutor {
                         }
                         timing::record_attention(t_attn.elapsed());
                         let t_mm = Instant::now();
-                        matmul(&attn, &shard.w_o, n, hl, h, partial);
+                        be.matmul_serial(&attn, &shard.w_o, n, hl, h, partial);
                         timing::record_matmul(t_mm.elapsed());
                     });
                 }
@@ -342,10 +348,10 @@ impl TensorParallelExecutor {
                         let shard = &worker.layers[layer_idx];
                         let mut mid = vec![0.0f32; n * ml];
                         let t_mm = Instant::now();
-                        matmul(hst, &shard.w_fc, n, h, ml, &mut mid);
+                        be.matmul_serial(hst, &shard.w_fc, n, h, ml, &mut mid);
                         add_bias(&mut mid, &shard.b_fc);
                         gelu(&mut mid);
-                        matmul(&mid, &shard.w_proj, n, ml, h, partial);
+                        be.matmul_serial(&mid, &shard.w_proj, n, ml, h, partial);
                         timing::record_matmul(t_mm.elapsed());
                     });
                 }
@@ -369,7 +375,7 @@ impl TensorParallelExecutor {
         let mut last = x[(n - 1) * h..n * h].to_vec();
         layer_norm(&mut last, &self.model.ln_f_g, &self.model.ln_f_b, LN_EPS);
         let mut logits = vec![0.0f32; cfg.vocab_size];
-        matmul_logits_auto(&last, &self.model.wte_t, 1, h, cfg.vocab_size, &mut logits);
+        be.matmul_logits(&last, &self.model.wte_t, 1, h, cfg.vocab_size, &mut logits);
         logits
     }
 
@@ -389,6 +395,7 @@ impl TensorParallelExecutor {
         let hl = h / w_count;
         let ml = 4 * h / w_count;
         let rotary = cfg.position_encoding == PositionEncoding::Rotary;
+        let be = self.model.backend();
         let bs = self.workers[0].cache.gpu.block_size();
         for inp in inputs {
             let ctx = inp.position + 1;
@@ -414,7 +421,7 @@ impl TensorParallelExecutor {
                         let shard = &worker.layers[layer_idx];
                         let mut qkv = vec![0.0f32; b * 3 * hl];
                         let t_mm = Instant::now();
-                        matmul(hst, &shard.w_qkv, b, h, 3 * hl, &mut qkv);
+                        be.matmul_serial(hst, &shard.w_qkv, b, h, 3 * hl, &mut qkv);
                         timing::record_matmul(t_mm.elapsed());
                         add_bias(&mut qkv, &shard.b_qkv);
                         if rotary {
@@ -438,7 +445,7 @@ impl TensorParallelExecutor {
                         let mut attn = vec![0.0f32; b * hl];
                         let t_attn = Instant::now();
                         for (i, inp) in inputs.iter().enumerate() {
-                            paged_attention_decode(
+                            be.paged_attention_decode(
                                 &qkv[i * 3 * hl..i * 3 * hl + hl],
                                 &worker.cache.gpu,
                                 layer_idx,
@@ -451,7 +458,7 @@ impl TensorParallelExecutor {
                         }
                         timing::record_attention(t_attn.elapsed());
                         let t_mm = Instant::now();
-                        matmul(&attn, &shard.w_o, b, hl, h, partial);
+                        be.matmul_serial(&attn, &shard.w_o, b, hl, h, partial);
                         timing::record_matmul(t_mm.elapsed());
                     });
                 }
@@ -481,10 +488,10 @@ impl TensorParallelExecutor {
                         let shard = &worker.layers[layer_idx];
                         let mut mid = vec![0.0f32; b * ml];
                         let t_mm = Instant::now();
-                        matmul(hst, &shard.w_fc, b, h, ml, &mut mid);
+                        be.matmul_serial(hst, &shard.w_fc, b, h, ml, &mut mid);
                         add_bias(&mut mid, &shard.b_fc);
                         gelu(&mut mid);
-                        matmul(&mid, &shard.w_proj, b, ml, h, partial);
+                        be.matmul_serial(&mid, &shard.w_proj, b, ml, h, partial);
                         timing::record_matmul(t_mm.elapsed());
                     });
                 }
@@ -508,7 +515,7 @@ impl TensorParallelExecutor {
         layer_norm(&mut x, &self.model.ln_f_g, &self.model.ln_f_b, LN_EPS);
         let vocab = cfg.vocab_size;
         let mut logits = vec![0.0f32; b * vocab];
-        matmul_logits_auto(&x, &self.model.wte_t, b, h, vocab, &mut logits);
+        be.matmul_logits(&x, &self.model.wte_t, b, h, vocab, &mut logits);
         logits
     }
 }
@@ -644,7 +651,7 @@ impl ModelExecutor for TensorParallelExecutor {
                 "vllm_executor_steps_total",
                 "Iterations executed by the model executor.",
             ),
-            kernels: KernelTelemetry::register(r),
+            kernels: KernelTelemetry::register(r, self.model.config.backend.name()),
         });
     }
 }

@@ -7,12 +7,11 @@
 //! and single-token decode (one new position, attention via the
 //! PagedAttention kernel).
 
-use crate::attention::{
-    contiguous_causal_attention, paged_attention_decode, paged_attention_decode_batch, DecodeSeq,
-};
+use crate::attention::{contiguous_causal_attention, DecodeSeq};
+use crate::backend::{self, KernelBackend};
 use crate::config::{ModelConfig, PositionEncoding};
 use crate::kv_cache::KvPool;
-use crate::ops::{add_bias, add_inplace, gelu, layer_norm, matmul_auto, matmul_logits_auto};
+use crate::ops::{add_bias, add_inplace, gelu, layer_norm};
 use crate::pool;
 
 const LN_EPS: f32 = 1e-5;
@@ -117,6 +116,13 @@ impl InitRng {
 }
 
 impl Transformer {
+    /// The kernel backend serving this model, resolved from
+    /// [`ModelConfig::backend`].
+    #[must_use]
+    pub fn backend(&self) -> &'static dyn KernelBackend {
+        backend::by_kind(self.config.backend)
+    }
+
     /// Builds a model with deterministic pseudo-random weights.
     ///
     /// # Panics
@@ -188,6 +194,7 @@ impl Transformer {
         if n > 1 {
             assert_eq!(positions[0], num_cached, "prefill must start at cache end");
         }
+        let be = self.backend();
 
         // Embedding + positions (learned embeddings only; rotary models
         // inject positions inside attention).
@@ -209,7 +216,7 @@ impl Transformer {
             // Attention block.
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
-            matmul_auto(&hst, &lw.w_qkv, n, h, 3 * h, &mut qkv);
+            be.matmul(&hst, &lw.w_qkv, n, h, 3 * h, &mut qkv);
             add_bias(&mut qkv, &lw.b_qkv);
             if rotary {
                 let hd = self.config.head_dim();
@@ -236,7 +243,7 @@ impl Transformer {
 
             if n == 1 {
                 // Generation step: the PagedAttention kernel (§4.1).
-                paged_attention_decode(
+                be.paged_attention_decode(
                     &qkv[0..h],
                     pool,
                     layer_idx,
@@ -266,17 +273,17 @@ impl Transformer {
                     &mut attn,
                 );
             }
-            matmul_auto(&attn, &lw.w_o, n, h, h, &mut proj);
+            be.matmul(&attn, &lw.w_o, n, h, h, &mut proj);
             add_bias(&mut proj, &lw.b_o);
             add_inplace(&mut x, &proj);
 
             // MLP block.
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
-            matmul_auto(&hst, &lw.w_fc, n, h, 4 * h, &mut mlp_mid);
+            be.matmul(&hst, &lw.w_fc, n, h, 4 * h, &mut mlp_mid);
             add_bias(&mut mlp_mid, &lw.b_fc);
             gelu(&mut mlp_mid);
-            matmul_auto(&mlp_mid, &lw.w_proj, n, 4 * h, h, &mut proj);
+            be.matmul(&mlp_mid, &lw.w_proj, n, 4 * h, h, &mut proj);
             add_bias(&mut proj, &lw.b_proj);
             add_inplace(&mut x, &proj);
         }
@@ -287,7 +294,7 @@ impl Transformer {
         let mut logits = vec![0.0f32; self.config.vocab_size];
         // logits = last @ wteᵀ, via the pre-transposed hidden × vocab copy
         // so the blocked kernel streams both operands row-major.
-        matmul_logits_auto(
+        be.matmul_logits(
             &last,
             &self.wte_t,
             1,
@@ -326,6 +333,7 @@ impl Transformer {
             assert!(inp.block_table.len() * bs >= ctx, "block table too short");
         }
         let workers = pool::global();
+        let be = self.backend();
 
         let rotary = self.config.position_encoding == PositionEncoding::Rotary;
         let mut x = vec![0.0f32; b * h];
@@ -354,7 +362,7 @@ impl Transformer {
             // Attention block.
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln1_g, &lw.ln1_b, LN_EPS);
-            matmul_auto(&hst, &lw.w_qkv, b, h, 3 * h, &mut qkv);
+            be.matmul(&hst, &lw.w_qkv, b, h, 3 * h, &mut qkv);
             add_bias(&mut qkv, &lw.b_qkv);
             if rotary {
                 let hd = self.config.head_dim();
@@ -379,7 +387,7 @@ impl Transformer {
                 );
                 q[i * h..(i + 1) * h].copy_from_slice(&row[..h]);
             }
-            paged_attention_decode_batch(
+            be.paged_attention_decode_batch(
                 &q,
                 kv,
                 layer_idx,
@@ -389,17 +397,17 @@ impl Transformer {
                 workers,
                 &mut attn,
             );
-            matmul_auto(&attn, &lw.w_o, b, h, h, &mut proj);
+            be.matmul(&attn, &lw.w_o, b, h, h, &mut proj);
             add_bias(&mut proj, &lw.b_o);
             add_inplace(&mut x, &proj);
 
             // MLP block.
             let mut hst = x.clone();
             layer_norm(&mut hst, &lw.ln2_g, &lw.ln2_b, LN_EPS);
-            matmul_auto(&hst, &lw.w_fc, b, h, 4 * h, &mut mlp_mid);
+            be.matmul(&hst, &lw.w_fc, b, h, 4 * h, &mut mlp_mid);
             add_bias(&mut mlp_mid, &lw.b_fc);
             gelu(&mut mlp_mid);
-            matmul_auto(&mlp_mid, &lw.w_proj, b, 4 * h, h, &mut proj);
+            be.matmul(&mlp_mid, &lw.w_proj, b, 4 * h, h, &mut proj);
             add_bias(&mut proj, &lw.b_proj);
             add_inplace(&mut x, &proj);
         }
@@ -407,7 +415,7 @@ impl Transformer {
         layer_norm(&mut x, &self.ln_f_g, &self.ln_f_b, LN_EPS);
         let vocab = self.config.vocab_size;
         let mut logits = vec![0.0f32; b * vocab];
-        matmul_logits_auto(&x, &self.wte_t, b, h, vocab, &mut logits);
+        be.matmul_logits(&x, &self.wte_t, b, h, vocab, &mut logits);
         logits
     }
 }

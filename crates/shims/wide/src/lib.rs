@@ -1,0 +1,158 @@
+//! Offline stand-in for the `wide` crate: a portable 8-lane f32 vector.
+//!
+//! The real crate wraps platform intrinsics; this shim is plain Rust over a
+//! fixed-size array with `#[inline(always)]` element-wise ops, which the
+//! autovectorizer lowers to SSE/AVX on x86 and NEON on aarch64. Lane
+//! semantics are strict IEEE-754 single rounding per operation (no FMA
+//! contraction), so results are reproducible across platforms and identical
+//! to the equivalent scalar expression evaluated lane by lane.
+
+/// Eight `f32` lanes operated on element-wise.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f32x8([f32; 8]);
+
+impl f32x8 {
+    /// All lanes zero.
+    pub const ZERO: Self = Self([0.0; 8]);
+
+    /// Number of lanes.
+    pub const LANES: usize = 8;
+
+    /// Broadcasts `v` into every lane.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: f32) -> Self {
+        Self([v; 8])
+    }
+
+    /// Loads the first 8 elements of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() < 8`.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_slice(s: &[f32]) -> Self {
+        let mut lanes = [0.0f32; 8];
+        lanes.copy_from_slice(&s[..8]);
+        Self(lanes)
+    }
+
+    /// Stores the lanes into the first 8 elements of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < 8`.
+    #[inline(always)]
+    pub fn write_to_slice(self, out: &mut [f32]) {
+        out[..8].copy_from_slice(&self.0);
+    }
+
+    /// `self * a + b`, element-wise, with separate mul and add roundings
+    /// (no fused multiply-add), matching the scalar `x * a + b`.
+    #[inline(always)]
+    #[must_use]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] * a.0[i] + b.0[i]))
+    }
+
+    /// Horizontal sum with a fixed pairwise reduction order:
+    /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+    ///
+    /// The order is deterministic and independent of how the vector was
+    /// built, so reductions are reproducible run to run.
+    #[inline(always)]
+    #[must_use]
+    pub fn reduce_add(self) -> f32 {
+        let l = &self.0;
+        let a = l[0] + l[4];
+        let b = l[1] + l[5];
+        let c = l[2] + l[6];
+        let d = l[3] + l[7];
+        (a + c) + (b + d)
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    #[must_use]
+    pub fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+}
+
+impl std::ops::Add for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] + rhs.0[i]))
+    }
+}
+
+impl std::ops::Sub for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] - rhs.0[i]))
+    }
+}
+
+impl std::ops::Mul for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] * rhs.0[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_array_round_trip() {
+        let v = f32x8::splat(2.5);
+        assert_eq!(v.to_array(), [2.5; 8]);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = f32x8::from_slice(&data[1..]);
+        let mut out = [0.0f32; 9];
+        v.write_to_slice(&mut out);
+        assert_eq!(&out[..8], &data[1..9]);
+        assert_eq!(out[8], 0.0);
+    }
+
+    #[test]
+    fn mul_add_matches_scalar_expression() {
+        let a = f32x8::from_slice(&[1.5, -2.0, 3.25, 0.0, 7.0, -0.5, 2.0, 9.0]);
+        let b = f32x8::from_slice(&[0.5, 4.0, -1.0, 2.0, 3.0, 6.0, -2.5, 1.0]);
+        let c = f32x8::splat(0.125);
+        let r = a.mul_add(b, c).to_array();
+        let av = a.to_array();
+        let bv = b.to_array();
+        for i in 0..8 {
+            assert_eq!(r[i], av[i] * bv[i] + 0.125f32);
+        }
+    }
+
+    #[test]
+    fn reduce_add_is_fixed_order() {
+        let v = f32x8::from_slice(&[1e8, 1.0, -1e8, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let l = v.to_array();
+        let expect = ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+        assert_eq!(v.reduce_add(), expect);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = f32x8::splat(3.0);
+        let b = f32x8::splat(2.0);
+        assert_eq!((a + b).to_array(), [5.0; 8]);
+        assert_eq!((a - b).to_array(), [1.0; 8]);
+        assert_eq!((a * b).to_array(), [6.0; 8]);
+    }
+}

@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
 
 echo "==> telemetry consistency check"
 cargo run --release -q -p vllm-bench --bin telemetry -- --ci
@@ -22,7 +22,7 @@ cargo run --release -q -p vllm-bench --bin telemetry -- --ci
 echo "==> cluster routing check"
 cargo run --release -q -p vllm-bench --bin cluster -- --ci
 
-echo "==> kernel bench gate (batched decode >= 2x scalar per-sequence)"
+echo "==> kernel bench gate (all backends: batched >= 2x seed, simd GEMM >= 1.3x scalar, quant-kv8 blocks >= 1.8x at equal bytes)"
 cargo run --release -q -p vllm-bench --bin kernels -- --ci
 
 echo "==> fault-injection soak gate (kill/swap-exhaust, zero loss, deterministic)"

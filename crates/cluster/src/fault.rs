@@ -40,7 +40,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use vllm_core::mock::MockExecutor;
-use vllm_core::telemetry::{Counter, MetricsSnapshot, Telemetry};
+use vllm_core::telemetry::{trace_seed, Counter, MetricsSnapshot, Span, Telemetry, TraceContext};
 use vllm_core::{
     chunk_hashes, CacheConfig, FaultControls, FaultInjector, LlmEngine, SchedulerConfig,
 };
@@ -303,6 +303,9 @@ struct RunState {
 struct PendingReq {
     req: ClusterRequest,
     attempts: u32,
+    /// Root trace context for the request; every placement attempt gets a
+    /// sibling child context so retries show up side by side in the tree.
+    root: TraceContext,
 }
 
 /// Fault counters registered on the cluster-level telemetry.
@@ -322,6 +325,13 @@ pub struct FaultCluster {
     telemetry: Arc<Telemetry>,
     counters: FaultCounters,
     block_size: usize,
+    /// Spans and metrics salvaged from engines that were replaced (kill +
+    /// restart, or graceful drain): `(replica, spans, metrics)`. Without
+    /// this a restart would silently discard the killed generation's
+    /// telemetry and the trace tree would lose its failed attempts.
+    archived: Vec<(usize, Vec<Span>, MetricsSnapshot)>,
+    /// Span drops accumulated from archived (replaced) engines.
+    archived_drops: u64,
 }
 
 impl FaultCluster {
@@ -358,6 +368,8 @@ impl FaultCluster {
             telemetry,
             counters,
             block_size,
+            archived: Vec::new(),
+            archived_drops: 0,
         }
     }
 
@@ -378,18 +390,70 @@ impl FaultCluster {
     /// (`vllm_cluster_*`, `vllm_fault_*`).
     #[must_use]
     pub fn merged_snapshot(&self) -> MetricsSnapshot {
-        let parts: Vec<(String, MetricsSnapshot)> = self
+        let mut parts: Vec<(String, MetricsSnapshot)> = self
             .slots
             .iter()
             .enumerate()
             .map(|(i, s)| (i.to_string(), s.engine.metrics_snapshot()))
             .collect();
+        // Replaced engines still count: their histograms carry the samples
+        // recorded before the kill/drain, labeled by generation so names
+        // stay unique.
+        parts.extend(
+            self.archived
+                .iter()
+                .enumerate()
+                .map(|(g, (i, _, snap))| (format!("{i}.gen{g}"), snap.clone())),
+        );
         let mut merged = merge_labeled(&parts);
         merged
             .metrics
             .extend(self.telemetry.registry().snapshot().metrics);
         merged.metrics.sort_by(|a, b| a.name.cmp(&b.name));
         merged
+    }
+
+    /// Every span recorded anywhere in the cluster, keyed by replica index:
+    /// archived logs from replaced engines first (in replacement order),
+    /// then the live engines. Cluster-level spans (fault events) live in
+    /// [`telemetry`](Self::telemetry), not here.
+    #[must_use]
+    pub fn all_spans(&self) -> Vec<(usize, Vec<Span>)> {
+        let mut out: Vec<(usize, Vec<Span>)> = self
+            .archived
+            .iter()
+            .map(|(i, spans, _)| (*i, spans.clone()))
+            .collect();
+        out.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.engine.telemetry().spans().snapshot())),
+        );
+        out
+    }
+
+    /// Span-log drops across the whole harness: every live engine, the
+    /// cluster-level log, and drops counted when replaced engines were
+    /// archived. Zero means no span was lost to ring-buffer eviction.
+    #[must_use]
+    pub fn span_log_drops(&self) -> u64 {
+        self.archived_drops
+            + self.telemetry.spans().total_dropped()
+            + self
+                .slots
+                .iter()
+                .map(|s| s.engine.telemetry().spans().total_dropped())
+                .sum::<u64>()
+    }
+
+    /// Salvages replica `i`'s spans and metrics before its engine is
+    /// replaced.
+    fn archive_slot(&mut self, i: usize) {
+        let spans = self.slots[i].engine.telemetry().spans().snapshot();
+        let snap = self.slots[i].engine.metrics_snapshot();
+        self.archived_drops += self.slots[i].engine.telemetry().spans().total_dropped();
+        self.archived.push((i, spans, snap));
     }
 
     /// Runs `requests` against the fleet while `plan` fires, to quiescence
@@ -414,6 +478,10 @@ impl FaultCluster {
                         PendingReq {
                             req: r.clone(),
                             attempts: 0,
+                            // Cluster traces are always sampled: the harness
+                            // exists to observe, and volume is bounded by
+                            // the trace length.
+                            root: TraceContext::mint(trace_seed(&r.id.to_string()), true),
                         },
                     )
                 })
@@ -504,6 +572,7 @@ impl FaultCluster {
     /// Applies one fault event.
     fn apply_event(&mut self, e: &FaultEvent, step: u64, st: &mut RunState) {
         self.counters.injected.inc();
+        self.record_fault_span(e, step);
         match e.kind {
             FaultKind::KillReplica => {
                 if !self.slots[e.replica].alive {
@@ -514,6 +583,14 @@ impl FaultCluster {
                 let slot = &mut self.slots[e.replica];
                 slot.alive = false;
                 slot.draining = false;
+                // Flush before re-routing: abort the live groups and take
+                // one reaping step so the killed attempts' spans (and
+                // nothing else — the outputs are discarded, leaving the
+                // token fingerprint untouched) land in the span log before
+                // the engine is mothballed.
+                if slot.engine.abort_all().is_ok() {
+                    let _ = slot.engine.step();
+                }
                 // Zero-loss: everything in flight here is re-routed.
                 for (_, id) in slot.inflight.drain() {
                     self.router.record_retry();
@@ -527,6 +604,7 @@ impl FaultCluster {
                     self.slots[e.replica].draining = true;
                     self.router.mark_dead(e.replica);
                 } else {
+                    self.archive_slot(e.replica);
                     self.slots[e.replica] = fresh_slot();
                     self.router.mark_alive(e.replica);
                 }
@@ -552,6 +630,32 @@ impl FaultCluster {
         }
     }
 
+    /// Records an untraced instant span for a fired fault event, so kills
+    /// and restarts line up against request spans on the trace timeline.
+    fn record_fault_span(&self, e: &FaultEvent, step: u64) {
+        let name = match e.kind {
+            FaultKind::KillReplica => "fault.kill",
+            FaultKind::RestartReplica => "fault.restart",
+            FaultKind::StallReplica { .. } => "fault.stall",
+            FaultKind::FailForwards { .. } => "fault.fail_forwards",
+            FaultKind::ExhaustSwap => "fault.exhaust_swap",
+            FaultKind::RestoreSwap => "fault.restore_swap",
+            FaultKind::DelayCacheOps { .. } => "fault.delay_cache_ops",
+        };
+        self.telemetry.spans().record(Span {
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+            name: name.to_string(),
+            start: step as f64,
+            end: step as f64,
+            attrs: vec![
+                ("replica".to_string(), e.replica.to_string()),
+                ("step".to_string(), step.to_string()),
+            ],
+        });
+    }
+
     /// Routes and admits one request; on failure, schedules a backoff retry
     /// or records a terminal rejection.
     fn try_place(&mut self, id: u64, step: u64, st: &mut RunState) {
@@ -560,7 +664,14 @@ impl FaultCluster {
                 return;
             };
             p.attempts += 1;
-            (p.req.prompt.clone(), p.req.request(), p.attempts)
+            // Each attempt is a sibling span under the request's root
+            // context; the engine adopts it instead of minting its own.
+            let ctx = p.root.child(100 + u64::from(p.attempts));
+            (
+                p.req.prompt.clone(),
+                p.req.request().with_trace(ctx),
+                p.attempts,
+            )
         };
         let hashes = chunk_hashes(&prompt, self.block_size);
         let snaps = self.snapshots();
@@ -609,6 +720,7 @@ impl FaultCluster {
         if !self.slots[i].engine.has_unfinished() {
             if self.slots[i].draining {
                 // Drained: swap in a fresh engine and rejoin the fleet.
+                self.archive_slot(i);
                 self.slots[i] = fresh_slot();
                 self.router.mark_alive(i);
             }
@@ -819,6 +931,51 @@ mod tests {
         assert!(report.forward_failures > 0);
         assert!(report.retries > 0);
         assert_eq!(report.leaked_blocks, 0);
+    }
+
+    #[test]
+    fn kill_archives_spans_and_metrics_and_keeps_sibling_attempts() {
+        let plan = FaultPlan::new(0)
+            .with_event(4, 0, FaultKind::KillReplica)
+            .with_event(20, 0, FaultKind::RestartReplica);
+        let mut cluster =
+            FaultCluster::new(FaultClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin));
+        let report = cluster.run(&plan, trace(12, 2.0));
+        assert_eq!(report.lost, 0);
+        assert!(report.retries > 0, "the kill must re-route in-flight work");
+
+        // The killed engine's spans survive the restart via the archive,
+        // and a re-routed request's attempts are siblings: same trace,
+        // same parent, different span ids.
+        let all = cluster.all_spans();
+        let mut attempts: HashMap<u64, Vec<Span>> = HashMap::new();
+        for (_, spans) in &all {
+            for s in spans.iter().filter(|s| s.name == "attempt") {
+                attempts.entry(s.trace_id).or_default().push(s.clone());
+            }
+        }
+        let retried = attempts
+            .values()
+            .find(|a| a.len() >= 2)
+            .expect("some request must have attempt spans on two engines");
+        assert!(retried
+            .iter()
+            .all(|a| a.parent_span_id == retried[0].parent_span_id));
+        assert_ne!(retried[0].span_id, retried[1].span_id);
+
+        // Archived metrics are labeled by generation in the merged
+        // snapshot, so killed-engine samples still count.
+        let merged = cluster.merged_snapshot();
+        assert!(
+            merged.metrics.iter().any(|m| m.name.contains(".gen")),
+            "archived engine metrics missing from the merged snapshot"
+        );
+        assert_eq!(cluster.span_log_drops(), 0);
+
+        // Fault events show up as cluster-level instant spans.
+        let cluster_spans = cluster.telemetry().spans().snapshot();
+        assert!(cluster_spans.iter().any(|s| s.name == "fault.kill"));
+        assert!(cluster_spans.iter().any(|s| s.name == "fault.restart"));
     }
 
     #[test]

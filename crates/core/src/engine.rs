@@ -26,11 +26,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use vllm_telemetry::{EventKind, MetricsSnapshot, Telemetry};
+use vllm_telemetry::{
+    splitmix64, trace_seed, EventKind, MetricsSnapshot, SloMonitor, Span, Telemetry, TraceContext,
+};
 
 use crate::config::{CacheConfig, SchedulerConfig};
 use crate::error::{Result, VllmError};
-use crate::executor::{ModelExecutor, SeqStepInput};
+use crate::executor::{ModelExecutor, SeqStepInput, StepResult};
 use crate::metrics::{EngineMetrics, LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
 use crate::plan::{materialize_batch, StageTimings, StepPlan, StepTrace};
 use crate::prefix::{PrefixId, PrefixPool};
@@ -137,6 +139,13 @@ pub struct LlmEngine<E: ModelExecutor> {
     pub(crate) telemetry: Arc<Telemetry>,
     /// Cached engine/scheduler/block-manager instrument handles.
     pub(crate) tmetrics: EngineMetrics,
+    /// Fraction of requests sampled for tracing (`VLLM_TRACE_SAMPLE`,
+    /// default 1.0). The per-request decision is deterministic in the
+    /// request id, so replays trace the same requests.
+    trace_sample: f64,
+    /// SLO monitor, present when any `VLLM_SLO_*` objective is configured;
+    /// evaluated on every [`LlmEngine::metrics_snapshot`].
+    slo: Option<SloMonitor>,
 }
 
 impl<E: ModelExecutor> LlmEngine<E> {
@@ -146,6 +155,12 @@ impl<E: ModelExecutor> LlmEngine<E> {
         let scheduler = Scheduler::new(scheduler_config, &cache_config);
         let telemetry = Arc::new(Telemetry::new());
         let tmetrics = EngineMetrics::register(&telemetry);
+        let trace_sample = std::env::var("VLLM_TRACE_SAMPLE")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map_or(1.0, |v| v.clamp(0.0, 1.0));
+        let slo = SloMonitor::from_env(&telemetry);
         let mut executor = executor;
         executor.attach_telemetry(&telemetry);
         Self {
@@ -166,6 +181,8 @@ impl<E: ModelExecutor> LlmEngine<E> {
             trace_stats: TraceStats::default(),
             telemetry,
             tmetrics,
+            trace_sample,
+            slo,
         }
     }
 
@@ -286,7 +303,20 @@ impl<E: ModelExecutor> LlmEngine<E> {
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.publish_gauges();
-        self.telemetry.registry().snapshot()
+        let snap = self.telemetry.registry().snapshot();
+        if let Some(slo) = &self.slo {
+            // Evaluation updates the `vllm_slo_*` burn gauges and breach
+            // counters; re-snapshot so callers see them.
+            slo.evaluate(&snap);
+            return self.telemetry.registry().snapshot();
+        }
+        snap
+    }
+
+    /// The SLO monitor configured from `VLLM_SLO_*`, if any.
+    #[must_use]
+    pub fn slo_monitor(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
     }
 
     /// The structured trace of the most recent step, if any step has run.
@@ -335,17 +365,35 @@ impl<E: ModelExecutor> LlmEngine<E> {
         params: SamplingParams,
         arrival_time: f64,
     ) -> Result<()> {
+        self.add_request_traced(request_id.into(), prompt, params, arrival_time, None)
+    }
+
+    /// Shared admission path: mints the group's trace context (or adopts a
+    /// propagated one) and records the `admit` instant span.
+    fn add_request_traced(
+        &mut self,
+        request_id: String,
+        prompt: Vec<TokenId>,
+        params: SamplingParams,
+        arrival_time: f64,
+        trace: Option<TraceContext>,
+    ) -> Result<()> {
         params.validate()?;
         if prompt.is_empty() {
             return Err(VllmError::InvalidConfig("empty prompt".into()));
         }
-        let request_id = request_id.into();
         let seq = Sequence::new(
             self.alloc_seq_id(),
             prompt.clone(),
             self.cache_config.block_size,
         );
         let mut group = SequenceGroup::new(request_id, seq, params, arrival_time);
+        group.trace = trace.unwrap_or_else(|| {
+            TraceContext::mint(
+                trace_seed(&group.request_id),
+                self.sample_decision(&group.request_id),
+            )
+        });
         if self.auto_prefix_match {
             if let Some(pid) = self.prefix_pool.match_prompt(&prompt) {
                 let prefix = self.prefix_pool.get(pid).expect("matched prefix exists");
@@ -357,8 +405,33 @@ impl<E: ModelExecutor> LlmEngine<E> {
         self.telemetry
             .events()
             .record(&group.request_id, arrival_time, EventKind::Arrived);
+        if group.trace.is_active() {
+            let admit = group.trace.child(0);
+            self.telemetry.spans().record(Span {
+                trace_id: admit.trace_id,
+                span_id: admit.span_id,
+                parent_span_id: admit.parent_span_id,
+                name: "admit".to_string(),
+                start: arrival_time,
+                end: arrival_time,
+                attrs: vec![("request_id".to_string(), group.request_id.clone())],
+            });
+        }
         self.scheduler.add_group(group);
         Ok(())
+    }
+
+    /// Deterministic per-request sampling decision: hash the request id and
+    /// compare against `trace_sample`, so replays trace the same subset.
+    fn sample_decision(&self, request_id: &str) -> bool {
+        if self.trace_sample >= 1.0 {
+            return true;
+        }
+        if self.trace_sample <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(trace_seed(request_id) ^ 0x5bf0_3635_4cb6_28d9);
+        (h as f64 / u64::MAX as f64) < self.trace_sample
     }
 
     /// Adds a typed [`GenerationRequest`] arriving now. This is the serving
@@ -397,7 +470,13 @@ impl<E: ModelExecutor> LlmEngine<E> {
     ) -> Result<()> {
         let params = request.sampling_params()?;
         let request_id = request_id.into();
-        self.add_request_at(request_id.clone(), prompt, params, arrival_time)?;
+        self.add_request_traced(
+            request_id.clone(),
+            prompt,
+            params,
+            arrival_time,
+            request.trace,
+        )?;
         if request.deadline.is_some() || request.priority != 0 {
             let group = self
                 .scheduler
@@ -549,6 +628,9 @@ impl<E: ModelExecutor> LlmEngine<E> {
         let mut plan = self.scheduler.schedule()?;
         let schedule = t.elapsed().as_secs_f64();
         self.record_plan_telemetry(&plan);
+        if plan.is_prompt_run {
+            self.record_queue_spans(&plan);
+        }
 
         if plan.is_empty() {
             // Nothing to run, but finished/aborted groups may still need
@@ -577,6 +659,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
         // Stage 4: postprocess (sampling bookkeeping, forks, stops, reap).
         let t = Instant::now();
         self.record_step_metrics(&plan, result.elapsed);
+        self.record_kernel_spans(&plan, &result, step_index);
         self.process_outputs(&plan, &result)?;
         let outs = self.reap()?;
         let postprocess = t.elapsed().as_secs_f64();
@@ -614,8 +697,131 @@ impl<E: ModelExecutor> LlmEngine<E> {
     fn finish_trace(&mut self, trace: StepTrace) {
         self.trace_stats.observe(&trace);
         self.tmetrics.observe_trace(&trace);
+        self.record_stage_spans(&trace);
         self.publish_gauges();
         self.last_trace = Some(trace);
+    }
+
+    /// Emits untraced (`trace_id == 0`) per-step stage spans: the four
+    /// pipeline stages laid sequentially from the step's virtual start so
+    /// the exported timeline shows where host time went. Skipped for steps
+    /// that did no work.
+    fn record_stage_spans(&self, trace: &StepTrace) {
+        if trace.tokens_scheduled == 0 && trace.stages.total() == 0.0 {
+            return;
+        }
+        let spans = self.telemetry.spans();
+        let names = [
+            "step.schedule",
+            "step.prepare",
+            "step.execute",
+            "step.postprocess",
+        ];
+        let durations = [
+            trace.stages.schedule,
+            trace.stages.prepare,
+            trace.stages.execute,
+            trace.stages.postprocess,
+        ];
+        let mut cursor = self.clock;
+        for (name, dur) in names.iter().zip(durations) {
+            if dur <= 0.0 {
+                continue;
+            }
+            spans.record(Span {
+                trace_id: 0,
+                span_id: 0,
+                parent_span_id: 0,
+                name: (*name).to_string(),
+                start: cursor,
+                end: cursor + dur,
+                attrs: vec![("step".to_string(), trace.step_index.to_string())],
+            });
+            cursor += dur;
+        }
+    }
+
+    /// Sets each newly scheduled prompt group's `first_scheduled_time` and
+    /// emits its `queue` span (`[arrival, first schedule]`) if sampled.
+    fn record_queue_spans(&mut self, plan: &StepPlan) {
+        for sg in &plan.scheduled {
+            if !sg.is_prompt {
+                continue;
+            }
+            let Some(group) = self.scheduler.group_mut(&sg.request_id) else {
+                continue;
+            };
+            if group.first_scheduled_time.is_some() {
+                continue;
+            }
+            group.first_scheduled_time = Some(self.clock);
+            if group.trace.is_active() {
+                let q = group.trace.child(1);
+                self.telemetry.spans().record(Span {
+                    trace_id: q.trace_id,
+                    span_id: q.span_id,
+                    parent_span_id: q.parent_span_id,
+                    name: "queue".to_string(),
+                    start: group.arrival_time,
+                    end: self.clock,
+                    attrs: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Emits kernel spans for every sampled group that ran this step, laid
+    /// end-to-end across the step's virtual interval with widths
+    /// proportional to the backend-reported kernel timings. To bound span
+    /// volume, kernels are attributed only to a group's prefill steps and
+    /// its first decode step.
+    fn record_kernel_spans(&self, plan: &StepPlan, result: &StepResult, step_index: u64) {
+        if result.kernels.is_empty() {
+            return;
+        }
+        let backend = self.executor.backend_label().to_string();
+        let t0 = self.clock - result.elapsed;
+        let total: f64 = result.kernels.iter().map(|k| k.seconds).sum();
+        let scale = if total > 0.0 {
+            result.elapsed / total
+        } else {
+            0.0
+        };
+        for sg in &plan.scheduled {
+            if !sg.trace.is_active() {
+                continue;
+            }
+            let Some(group) = self.scheduler.group(&sg.request_id) else {
+                continue;
+            };
+            // Prefill steps hang kernels under the `prefill` span; the
+            // first decode step (first and last token coincide) hangs them
+            // under `decode`; later decode steps are skipped.
+            let parent = match group.first_token_time {
+                None => group.trace.child(2),
+                Some(ft) => {
+                    if group.last_token_time != Some(ft) {
+                        continue;
+                    }
+                    group.trace.child(3)
+                }
+            };
+            let mut cursor = t0;
+            for (k, timing) in result.kernels.iter().enumerate() {
+                let width = timing.seconds * scale;
+                let ctx = parent.child(16 + step_index.wrapping_mul(1024) + k as u64);
+                self.telemetry.spans().record(Span {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_span_id: ctx.parent_span_id,
+                    name: format!("kernel:{}", timing.name),
+                    start: cursor,
+                    end: cursor + width,
+                    attrs: vec![("backend".to_string(), backend.clone())],
+                });
+                cursor += width;
+            }
+        }
     }
 
     /// Pushes the current queue depths and block-pool state into the
@@ -665,6 +871,30 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 self.clock,
                 EventKind::SwappedIn { blocks: *blocks },
             );
+        }
+        if !plan.cache_ops.is_empty() {
+            self.telemetry.spans().record(Span {
+                trace_id: 0,
+                span_id: 0,
+                parent_span_id: 0,
+                name: "cache_ops".to_string(),
+                start: self.clock,
+                end: self.clock,
+                attrs: vec![
+                    (
+                        "swap_in".to_string(),
+                        plan.cache_ops.swap_in.len().to_string(),
+                    ),
+                    (
+                        "swap_out".to_string(),
+                        plan.cache_ops.swap_out.len().to_string(),
+                    ),
+                    (
+                        "copies".to_string(),
+                        plan.cache_ops.copies.len().to_string(),
+                    ),
+                ],
+            });
         }
         self.tmetrics
             .requests_ignored_total

@@ -84,6 +84,16 @@ pub struct SeqStepOutput {
     pub candidates: Vec<(TokenId, f32)>,
 }
 
+/// One kernel dispatch executed during a step, reported by the backend so
+/// the engine can lay kernel spans under the request's trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Kernel name (e.g. `matmul`, `paged_attention`, `forward`).
+    pub name: String,
+    /// Time spent in the kernel this step, in seconds.
+    pub seconds: f64,
+}
+
 /// The result of executing one iteration.
 #[derive(Debug, Clone, Default)]
 pub struct StepResult {
@@ -92,6 +102,9 @@ pub struct StepResult {
     /// Time the iteration took, in seconds: wall-clock for the numeric
     /// backend, modeled time for the simulator.
     pub elapsed: f64,
+    /// Per-kernel dispatch timings for this step, in dispatch order. May be
+    /// empty for backends that don't break the step down.
+    pub kernels: Vec<KernelTiming>,
 }
 
 /// A backend that executes planned iterations.
@@ -117,5 +130,11 @@ pub trait ModelExecutor {
     /// default implementation registers nothing.
     fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
         let _ = telemetry;
+    }
+
+    /// Short stable label of the serving backend, used to tag kernel spans
+    /// and metrics (`backend="..."`). Defaults to `"mock"`.
+    fn backend_label(&self) -> &str {
+        "mock"
     }
 }

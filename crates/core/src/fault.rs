@@ -144,6 +144,10 @@ impl<E: ModelExecutor> ModelExecutor for FaultInjector<E> {
     fn attach_telemetry(&mut self, telemetry: &Arc<vllm_telemetry::Telemetry>) {
         self.inner.attach_telemetry(telemetry);
     }
+
+    fn backend_label(&self) -> &str {
+        self.inner.backend_label()
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ pub struct RequestLatency {
     pub normalized_latency: f64,
     /// Time to first token in seconds, if the request produced any output.
     pub ttft: Option<f64>,
+    /// Absolute virtual time the first token was produced, on the same
+    /// serving clock as `arrival_time`/`finish_time` and span timestamps.
+    pub first_token_time: Option<f64>,
 }
 
 /// Collects per-request latencies and derives the paper's key metric.
@@ -43,13 +46,35 @@ impl LatencyTracker {
         self.record_with_ttft(arrival_time, finish_time, output_len, None);
     }
 
-    /// Records one finished request with its time to first token.
+    /// Records one finished request with its time to first token, given as
+    /// a relative duration. Compatibility wrapper over
+    /// [`LatencyTracker::record_request`]; the absolute first-token
+    /// timestamp is reconstructed as `arrival_time + ttft`.
     pub fn record_with_ttft(
         &mut self,
         arrival_time: f64,
         finish_time: f64,
         output_len: f64,
         ttft: Option<f64>,
+    ) {
+        self.record_request(
+            arrival_time,
+            finish_time,
+            output_len,
+            ttft.map(|t| arrival_time + t),
+        );
+    }
+
+    /// Records one finished request from absolute serving-clock timestamps.
+    /// TTFT is derived here as `first_token_time - arrival_time`, so
+    /// percentiles come from the same clock as span timestamps and the
+    /// engine's event log.
+    pub fn record_request(
+        &mut self,
+        arrival_time: f64,
+        finish_time: f64,
+        output_len: f64,
+        first_token_time: Option<f64>,
     ) {
         let latency = finish_time - arrival_time;
         let denom = output_len.max(1.0);
@@ -58,7 +83,8 @@ impl LatencyTracker {
             finish_time,
             output_len,
             normalized_latency: latency / denom,
-            ttft,
+            ttft: first_token_time.map(|t| t - arrival_time),
+            first_token_time,
         });
     }
 

@@ -7,7 +7,7 @@
 //! the same tokens.
 
 use crate::error::Result;
-use crate::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use crate::executor::{KernelTiming, ModelExecutor, SeqStepOutput, StepResult};
 use crate::plan::StepPlan;
 use crate::sampling::TokenId;
 
@@ -79,6 +79,10 @@ impl ModelExecutor for MockExecutor {
         Ok(StepResult {
             outputs,
             elapsed: self.step_time,
+            kernels: vec![KernelTiming {
+                name: "forward".to_string(),
+                seconds: self.step_time,
+            }],
         })
     }
 }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use vllm_telemetry::EventKind;
+use vllm_telemetry::{EventKind, Span};
 
 use crate::beam::{plan_beam_step, BeamInput, BeamPlan};
 use crate::engine::{CompletionOutput, LlmEngine, RequestOutput};
@@ -76,7 +76,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
         for sg in &plan.scheduled {
             // Mark the KV cache as computed up to the current length and
             // update the group's token-time bookkeeping.
-            let (first_token, inter_token_gap) = {
+            let (first_token, inter_token_gap, prefill_span) = {
                 let group = self
                     .scheduler
                     .group_mut(&sg.request_id)
@@ -96,13 +96,35 @@ impl<E: ModelExecutor> LlmEngine<E> {
                     let len = seq.len();
                     seq.data.set_num_computed_tokens(len);
                 }
-                (first_token, gap)
+                // The prefill span closes when the first token lands:
+                // [first schedule, first token] on the serving clock.
+                let prefill_span = if first_token.is_some() && group.trace.is_active() {
+                    Some((
+                        group.trace,
+                        group.first_scheduled_time.unwrap_or(group.arrival_time),
+                    ))
+                } else {
+                    None
+                };
+                (first_token, gap, prefill_span)
             };
             if let Some(ttft) = first_token {
                 self.tmetrics.request_ttft_seconds.observe(ttft);
                 self.telemetry
                     .events()
                     .record(&sg.request_id, self.clock, EventKind::FirstToken);
+            }
+            if let Some((trace, prefill_start)) = prefill_span {
+                let p = trace.child(2);
+                self.telemetry.spans().record(Span {
+                    trace_id: p.trace_id,
+                    span_id: p.span_id,
+                    parent_span_id: p.parent_span_id,
+                    name: "prefill".to_string(),
+                    start: prefill_start,
+                    end: self.clock,
+                    attrs: Vec::new(),
+                });
             }
             if let Some(gap) = inter_token_gap {
                 self.tmetrics.request_inter_token_seconds.observe(gap);
@@ -436,16 +458,71 @@ impl<E: ModelExecutor> LlmEngine<E> {
         for group in finished_groups {
             let output = self.make_request_output(&group);
             if !output.outputs.is_empty() {
-                let ttft = output.first_token_time.map(|t| t - output.arrival_time);
                 let e2e = output.finish_time - output.arrival_time;
-                self.latency.record_with_ttft(
+                self.latency.record_request(
                     output.arrival_time,
                     output.finish_time,
                     output.mean_output_len(),
-                    ttft,
+                    output.first_token_time,
                 );
                 self.tmetrics
                     .observe_request(e2e, e2e / output.mean_output_len().max(1.0));
+                // The decode span is emitted exactly when the e2e histogram
+                // observes a sample, so span-duration sums and histogram
+                // sums agree (the trace bench's CI gate).
+                if group.trace.is_active() {
+                    let d = group.trace.child(3);
+                    self.telemetry.spans().record(Span {
+                        trace_id: d.trace_id,
+                        span_id: d.span_id,
+                        parent_span_id: d.parent_span_id,
+                        name: "decode".to_string(),
+                        start: output.first_token_time.unwrap_or(self.clock),
+                        end: self.clock,
+                        attrs: Vec::new(),
+                    });
+                }
+            }
+            if group.trace.is_active() {
+                // A group reaped without outputs (abort, kill, deadline) died
+                // mid-phase: its prefill or decode span was never closed, but
+                // kernel spans were already recorded under those contexts.
+                // Close the open phase here, marked truncated, so every
+                // recorded parent resolves. Truncated spans are deliberately
+                // excluded from the span/e2e consistency gate — only clean
+                // decode spans pair 1:1 with e2e histogram samples.
+                if output.outputs.is_empty() {
+                    let open_phase = match group.first_token_time {
+                        Some(first_token) => Some((group.trace.child(3), "decode", first_token)),
+                        None => group
+                            .first_scheduled_time
+                            .map(|t| (group.trace.child(2), "prefill", t)),
+                    };
+                    if let Some((ctx, name, start)) = open_phase {
+                        self.telemetry.spans().record(Span {
+                            trace_id: ctx.trace_id,
+                            span_id: ctx.span_id,
+                            parent_span_id: ctx.parent_span_id,
+                            name: name.to_string(),
+                            start,
+                            end: self.clock,
+                            attrs: vec![("truncated".to_string(), "true".to_string())],
+                        });
+                    }
+                }
+                // The attempt envelope: the span this group's context names,
+                // covering the request's whole stay in this engine. Retries
+                // mint sibling contexts, so their attempt spans share a
+                // parent.
+                self.telemetry.spans().record(Span {
+                    trace_id: group.trace.trace_id,
+                    span_id: group.trace.span_id,
+                    parent_span_id: group.trace.parent_span_id,
+                    name: "attempt".to_string(),
+                    start: group.arrival_time,
+                    end: self.clock,
+                    attrs: vec![("request_id".to_string(), group.request_id.clone())],
+                });
             }
             let deadline_cancelled = group
                 .seqs()

@@ -16,6 +16,7 @@
 use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
+use vllm_telemetry::TraceContext;
 
 use crate::error::{Result, VllmError};
 use crate::sampling::{DecodingMode, SamplingParams, TokenId};
@@ -104,6 +105,10 @@ pub struct GenerationRequest {
     /// Forces sequences to ignore `eos` and run to `max_tokens` (trace
     /// replay with known output lengths).
     pub ignore_eos: bool,
+    /// Distributed-tracing context to propagate. `None` lets the engine
+    /// mint one at admission; routers set a per-attempt child context so
+    /// retries appear as sibling spans under one request root.
+    pub trace: Option<TraceContext>,
 }
 
 impl GenerationRequest {
@@ -119,6 +124,7 @@ impl GenerationRequest {
             priority: 0,
             eos_token_id: None,
             ignore_eos: false,
+            trace: None,
         }
     }
 
@@ -190,10 +196,19 @@ impl GenerationRequest {
         self
     }
 
+    /// Sets the tracing context to propagate with this request.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Applies one wire `key=value` field in place. This is the single
     /// parser behind the frontend's optional `GENERATE` fields.
     ///
-    /// Known keys: `temperature`, `top_p`, `seed`, `deadline`, `priority`.
+    /// Known keys: `temperature`, `top_p`, `seed`, `deadline`, `priority`,
+    /// `trace` (a [`TraceContext`] wire encoding,
+    /// `<trace_id:016x>-<span_id:016x>-<0|1>`).
     ///
     /// # Errors
     ///
@@ -224,9 +239,16 @@ impl GenerationRequest {
             "priority" => {
                 self.priority = value.parse().map_err(|_| bad(key, value))?;
             }
+            "trace" => {
+                self.trace = Some(
+                    TraceContext::from_wire(value)
+                        .map_err(|e| VllmError::InvalidRequest(format!("bad trace: {e}")))?,
+                );
+            }
             other => {
                 return Err(VllmError::InvalidRequest(format!(
-                    "unknown field {other:?} (known: temperature, top_p, seed, deadline, priority)"
+                    "unknown field {other:?} (known: temperature, top_p, seed, deadline, \
+                     priority, trace)"
                 )));
             }
         }

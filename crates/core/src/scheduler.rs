@@ -29,6 +29,9 @@ pub struct ScheduledGroup {
     /// Number of leading prompt tokens whose KV cache is already present
     /// (shared-prefix requests skip recomputing these).
     pub num_cached_tokens: usize,
+    /// Trace context of the group (inactive when the request is unsampled),
+    /// so the engine can attribute step work to request spans.
+    pub trace: vllm_telemetry::TraceContext,
 }
 
 /// Counters exported for the evaluation harness.
@@ -394,6 +397,7 @@ impl Scheduler {
                 seq_ids,
                 num_tokens,
                 num_cached_tokens: 0,
+                trace: group.trace,
             });
         }
 
@@ -488,6 +492,7 @@ impl Scheduler {
                 seq_ids: group.seq_ids_with_status(SequenceStatus::Running),
                 num_tokens: prompt_len,
                 num_cached_tokens,
+                trace: group.trace,
             });
             self.running.push(group);
         }

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use vllm_telemetry::TraceContext;
 
 use crate::sampling::{SamplingParams, TokenId};
 
@@ -268,6 +269,12 @@ pub struct SequenceGroup {
     pub deadline: Option<f64>,
     /// Scheduling priority: higher is admitted first, ties break FCFS.
     pub priority: i32,
+    /// Trace context minted (or propagated) at admission; inactive
+    /// (`trace_id == 0`) when the request was not sampled for tracing.
+    pub trace: TraceContext,
+    /// Virtual time this group was first scheduled (start of its prefill),
+    /// for the `queue`/`prefill` span boundary.
+    pub first_scheduled_time: Option<f64>,
 }
 
 impl SequenceGroup {
@@ -296,6 +303,8 @@ impl SequenceGroup {
             prefix_blocks: Vec::new(),
             deadline: None,
             priority: 0,
+            trace: TraceContext::default(),
+            first_scheduled_time: None,
         }
     }
 

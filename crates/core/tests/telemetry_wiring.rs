@@ -261,3 +261,115 @@ fn model_kernel_histograms_are_registered_and_observed() {
         .histogram("vllm_model_kernel_logits_seconds{backend=\"scalar\"}")
         .is_some());
 }
+
+#[test]
+fn span_pipeline_round_trips_and_validates() {
+    use vllm_core::telemetry::{
+        spans_to_chrome_trace, spans_to_json, trace_seed, validate_span_tree, Json, TraceContext,
+    };
+    let mut e = engine(64, 0);
+    e.add_request("a", (0..8).collect(), SamplingParams::greedy(6))
+        .unwrap();
+    e.add_request("b", (0..5).collect(), SamplingParams::greedy(4))
+        .unwrap();
+    e.run_to_completion().unwrap();
+
+    // The engine mints trace contexts deterministically from the request
+    // id, so the test can re-derive the trace to query it.
+    let trace_id = TraceContext::mint(trace_seed("a"), true).trace_id;
+    let spans = e.telemetry().spans().spans_for_trace(trace_id);
+    assert!(!spans.is_empty(), "request a must leave spans");
+    validate_span_tree(&spans).expect("request a's spans form a well-nested tree");
+    for name in ["admit", "queue", "prefill", "decode", "attempt"] {
+        assert!(spans.iter().any(|s| s.name == name), "missing {name} span");
+    }
+    // Kernel spans carry the executor's backend label.
+    let kernel = spans
+        .iter()
+        .find(|s| s.name.starts_with("kernel:"))
+        .expect("at least one kernel span");
+    assert_eq!(
+        kernel
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "backend")
+            .map(|(_, v)| v.as_str()),
+        Some("mock")
+    );
+
+    // Both span exporters emit parseable JSON with the expected shape.
+    let tracks = vec![("engine".to_string(), spans)];
+    let doc = Json::parse(&spans_to_json(&tracks).to_string()).unwrap();
+    let parsed_tracks = doc.get("tracks").and_then(Json::as_arr).unwrap();
+    assert_eq!(parsed_tracks.len(), 1);
+    assert!(parsed_tracks[0]
+        .get("spans")
+        .and_then(Json::as_arr)
+        .is_some_and(|s| !s.is_empty()));
+    let perfetto = Json::parse(&spans_to_chrome_trace(&tracks).to_string()).unwrap();
+    let events = perfetto.get("traceEvents").and_then(Json::as_arr).unwrap();
+    assert!(events.len() > 1, "metadata event plus span events");
+    assert_eq!(
+        perfetto.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    // No span was lost to ring-buffer eviction at default capacity.
+    assert_eq!(e.telemetry().spans().total_dropped(), 0);
+}
+
+#[test]
+fn slo_metrics_round_trip_with_replica_labels() {
+    use vllm_core::telemetry::{BucketSpec, SloMonitor, SloObjectives, Telemetry};
+    // Labeled per-replica histograms, as the cluster's merged snapshot
+    // produces them: the monitor must merge both replicas' samples.
+    let t = Telemetry::new();
+    for (replica, ttft) in [("0", 0.05), ("1", 0.8)] {
+        t.registry()
+            .histogram(
+                &format!("vllm_request_ttft_seconds{{replica=\"{replica}\"}}"),
+                "TTFT.",
+                BucketSpec::seconds(),
+            )
+            .observe(ttft);
+        t.registry()
+            .histogram(
+                &format!("vllm_request_e2e_seconds{{replica=\"{replica}\"}}"),
+                "E2E.",
+                BucketSpec::seconds(),
+            )
+            .observe(ttft * 2.0);
+    }
+    let slo = SloMonitor::register(
+        &t,
+        SloObjectives::default()
+            .with_ttft_p99(0.1)
+            .with_e2e_p99(10.0),
+    );
+    let status = slo.evaluate(&t.registry().snapshot());
+    assert!(
+        status.ttft_breached,
+        "replica 1's 0.8s TTFT must breach the 0.1s objective"
+    );
+    assert!(!status.e2e_breached);
+
+    // The SLO instruments and the replica-labeled histograms survive both
+    // exposition round-trips.
+    let snap = t.registry().snapshot();
+    assert_eq!(snap.counter("vllm_slo_ttft_breaches_total"), Some(1));
+    assert!(snap.counter("vllm_slo_e2e_breaches_total") == Some(0));
+    let from_text = MetricsSnapshot::from_prometheus_text(&snap.to_prometheus_text()).unwrap();
+    assert_eq!(from_text, snap);
+    let from_json = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(from_json, snap);
+    assert!(from_text
+        .histogram("vllm_request_ttft_seconds{replica=\"1\"}")
+        .is_some());
+    assert!(from_json.counter("vllm_slo_ttft_breaches_total") == Some(1));
+    let burn = from_json
+        .metrics
+        .iter()
+        .find(|m| m.name == "vllm_slo_ttft_burn_ratio")
+        .expect("burn-ratio gauge exported");
+    assert!(matches!(burn.value, MetricValue::Gauge(v) if v > 1.0));
+}

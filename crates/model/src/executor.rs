@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use vllm_core::error::{Result, VllmError};
-use vllm_core::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::executor::{KernelTiming, ModelExecutor, SeqStepOutput, StepResult};
 use vllm_core::plan::StepPlan;
 
 use crate::config::ModelConfig;
@@ -209,7 +209,26 @@ impl ModelExecutor for CpuModelExecutor {
             t.steps_total.inc();
             t.kernels.observe_step(&kernels_before);
         }
-        Ok(StepResult { outputs, elapsed })
+        let kd = timing::snapshot().delta_since(&kernels_before);
+        let kernels = vec![
+            KernelTiming {
+                name: "matmul".to_string(),
+                seconds: kd.matmul_ns as f64 / 1e9,
+            },
+            KernelTiming {
+                name: "paged_attention".to_string(),
+                seconds: kd.attention_ns as f64 / 1e9,
+            },
+            KernelTiming {
+                name: "logits".to_string(),
+                seconds: kd.logits_ns as f64 / 1e9,
+            },
+        ];
+        Ok(StepResult {
+            outputs,
+            elapsed,
+            kernels,
+        })
     }
 
     fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
@@ -230,6 +249,10 @@ impl ModelExecutor for CpuModelExecutor {
             ),
             kernels: KernelTelemetry::register(r, self.model.config.backend.name()),
         });
+    }
+
+    fn backend_label(&self) -> &str {
+        self.model.config.backend.name()
     }
 }
 

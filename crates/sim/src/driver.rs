@@ -297,6 +297,23 @@ pub fn run_trace_instrumented(
         }
     }
 
+    if let Some(t) = telemetry {
+        // One untraced envelope span over the whole run, so sim runs show up
+        // on the exported timeline next to engine-level spans.
+        t.spans().record(vllm_telemetry::Span {
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+            name: "sim.run".to_string(),
+            start: 0.0,
+            end: clock,
+            attrs: vec![
+                ("system".to_string(), system.name().to_string()),
+                ("requests".to_string(), requests.len().to_string()),
+            ],
+        });
+    }
+
     let extra = system.extra();
     let busy = busy_time.max(1e-12);
     let total = total_time.max(1e-12);

@@ -12,7 +12,7 @@ use vllm_baselines::types::{
 use vllm_core::config::{CacheConfig, PreemptionMode, SchedulerConfig};
 use vllm_core::engine::LlmEngine;
 use vllm_core::error::Result;
-use vllm_core::executor::{ModelExecutor, SeqStepOutput, StepResult};
+use vllm_core::executor::{KernelTiming, ModelExecutor, SeqStepOutput, StepResult};
 use vllm_core::plan::StepPlan;
 use vllm_core::sampling::{SamplingParams, TokenId};
 use vllm_core::sequence::SequenceStatus;
@@ -114,7 +114,14 @@ impl ModelExecutor for SimExecutor {
             t.tokens_total.inc_by(plan.num_tokens() as u64);
             t.steps_total.inc();
         }
-        Ok(StepResult { outputs, elapsed })
+        Ok(StepResult {
+            outputs,
+            elapsed,
+            kernels: vec![KernelTiming {
+                name: "forward".to_string(),
+                seconds: elapsed,
+            }],
+        })
     }
 
     fn attach_telemetry(&mut self, telemetry: &std::sync::Arc<vllm_telemetry::Telemetry>) {
@@ -134,6 +141,10 @@ impl ModelExecutor for SimExecutor {
                 "Iterations executed by the model executor.",
             ),
         });
+    }
+
+    fn backend_label(&self) -> &str {
+        "sim"
     }
 }
 

@@ -7,12 +7,26 @@
 //! complete timeline while ancient history ages out. Events for one request
 //! are always returned in append order.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use parking_lot::Mutex;
 
-/// Default ring-buffer capacity (events, across all requests).
+/// Default ring-buffer capacity (events, across all requests). Overridable
+/// per process via the `VLLM_EVENT_LOG_CAPACITY` environment variable
+/// (read by [`crate::Telemetry::new`]).
 pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
+
+/// The answer to an [`EventLog::query`]: distinguishes a request the log
+/// never saw from one whose events were evicted by the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventQuery {
+    /// No event for this request id was ever recorded.
+    Unknown,
+    /// Events were recorded for this request id but have all been evicted.
+    Evicted,
+    /// The retained events, in append order.
+    Events(Vec<SeqEvent>),
+}
 
 /// What happened to a request at one point in its lifecycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +110,18 @@ struct EventBuf {
     events: VecDeque<SeqEvent>,
     total: u64,
     dropped: u64,
+    /// FNV-1a hashes of every request id ever recorded, kept so queries can
+    /// distinguish "unknown request" from "events evicted".
+    known_ids: HashSet<u64>,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 /// Bounded, thread-safe ring buffer of [`SeqEvent`]s.
@@ -121,6 +147,7 @@ impl EventLog {
                 events: VecDeque::new(),
                 total: 0,
                 dropped: 0,
+                known_ids: HashSet::new(),
             }),
         }
     }
@@ -144,6 +171,29 @@ impl EventLog {
             kind,
         });
         buf.total += 1;
+        buf.known_ids.insert(fnv1a(request_id));
+    }
+
+    /// Looks up `request_id`, distinguishing a request the log never saw
+    /// ([`EventQuery::Unknown`]) from one whose events have been evicted
+    /// from the ring buffer ([`EventQuery::Evicted`]).
+    #[must_use]
+    pub fn query(&self, request_id: &str) -> EventQuery {
+        let buf = self.buf.lock();
+        let events: Vec<SeqEvent> = buf
+            .events
+            .iter()
+            .filter(|e| e.request_id == request_id)
+            .cloned()
+            .collect();
+        if !events.is_empty() {
+            return EventQuery::Events(events);
+        }
+        if buf.known_ids.contains(&fnv1a(request_id)) {
+            EventQuery::Evicted
+        } else {
+            EventQuery::Unknown
+        }
     }
 
     /// All retained events for `request_id`, in append order.
@@ -228,6 +278,20 @@ mod tests {
             odd.iter().map(|e| e.time).collect::<Vec<_>>(),
             vec![3.0, 5.0]
         );
+    }
+
+    #[test]
+    fn query_distinguishes_unknown_from_evicted() {
+        let log = EventLog::with_capacity(2);
+        log.record("old", 0.0, EventKind::Arrived);
+        assert!(matches!(log.query("old"), EventQuery::Events(ref v) if v.len() == 1));
+        assert_eq!(log.query("never"), EventQuery::Unknown);
+        // Push the old request's only event out of the ring.
+        log.record("new", 1.0, EventKind::Arrived);
+        log.record("new", 2.0, EventKind::FirstToken);
+        assert_eq!(log.query("old"), EventQuery::Evicted);
+        assert!(matches!(log.query("new"), EventQuery::Events(ref v) if v.len() == 2));
+        assert_eq!(log.query("never"), EventQuery::Unknown);
     }
 
     #[test]

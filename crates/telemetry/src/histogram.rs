@@ -171,6 +171,8 @@ impl HistogramSnapshot {
 
     /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
     /// within the containing bucket, clamped to the observed `[min, max]`.
+    /// Quantiles landing in the +Inf overflow bucket are clamped to the top
+    /// finite bound (the layout cannot resolve positions beyond it).
     /// Returns `None` when empty or `q` is out of range.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -186,18 +188,22 @@ impl HistogramSnapshot {
             let previous = cumulative;
             cumulative += c as f64;
             if cumulative >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: clamp into the top finite bound
+                    // rather than interpolating toward an unbounded max.
+                    return self.bounds.last().copied();
+                }
                 let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let upper = if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    self.max.max(lower)
-                };
+                let upper = self.bounds[i];
                 let frac = ((target - previous) / c as f64).clamp(0.0, 1.0);
                 let v = lower + frac * (upper - lower);
                 return Some(v.clamp(self.min, self.max));
             }
         }
-        Some(self.max)
+        Some(
+            self.max
+                .min(self.bounds.last().copied().unwrap_or(self.max)),
+        )
     }
 
     /// Merges another snapshot recorded with the same bucket layout into
@@ -320,8 +326,44 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let s = Histogram::new(tiny_spec()).snapshot();
         assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
         assert_eq!(s.mean(), None);
         assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn single_sample_quantiles_return_the_sample() {
+        let h = Histogram::new(tiny_spec());
+        h.observe(3.5);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(3.5), "q={q}");
+        }
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
+    }
+
+    #[test]
+    fn overflow_samples_clamp_to_top_bound() {
+        let spec = tiny_spec(); // top finite bound is 8.0
+        let h = Histogram::new(spec);
+        h.observe(1e12);
+        h.observe(2e12);
+        let s = h.snapshot();
+        // Every quantile resolves to the top finite bound, never the raw
+        // (unresolvable) overflow values.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(8.0), "q={q}");
+        }
+        // Mixed: half in range, half overflowing — the upper quantiles
+        // still clamp to the top bound.
+        let h = Histogram::new(tiny_spec());
+        h.observe(2.0);
+        h.observe(1e12);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), Some(8.0));
+        assert!(s.quantile(0.25).unwrap() <= 2.0);
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! * [`EventLog`] — a bounded ring buffer of per-request lifecycle events
 //!   (arrival → first schedule → per-iteration decode → preempt/swap →
 //!   finish), queryable per request id.
+//! * [`SpanLog`] — a bounded ring buffer of [`Span`]s: request-scoped
+//!   trace trees ([`TraceContext`]) plus untraced per-step annotations,
+//!   exportable as one-line JSON ([`spans_to_json`]) or Chrome trace-event
+//!   JSON ([`spans_to_chrome_trace`]) loadable in Perfetto.
+//! * [`SloMonitor`] — evaluates TTFT/e2e/deadline-miss objectives against
+//!   metric snapshots, publishing `vllm_slo_*` burn gauges and breach
+//!   counters.
 //! * Exposition — [`MetricsSnapshot`] renders to a Prometheus-style text
 //!   format ([`MetricsSnapshot::to_prometheus_text`]) and a JSON document
 //!   ([`MetricsSnapshot::to_json`]); both formats parse back losslessly so
@@ -22,7 +29,7 @@
 //! Metric naming scheme: `vllm_<layer>_<quantity>[_<unit>][_total]` —
 //! `_total` marks monotone counters, units are spelled out (`_seconds`,
 //! `_blocks`), and `<layer>` is one of `engine`, `scheduler`,
-//! `block_manager`, `executor`, `step`, `request`, or `sim`.
+//! `block_manager`, `executor`, `step`, `request`, `slo`, or `sim`.
 
 #![warn(missing_docs)]
 
@@ -31,27 +38,63 @@ mod expose;
 mod histogram;
 mod json;
 mod registry;
+mod slo;
+mod trace;
 
-pub use events::{EventKind, EventLog, SeqEvent, DEFAULT_EVENT_CAPACITY};
+pub use events::{EventKind, EventLog, EventQuery, SeqEvent, DEFAULT_EVENT_CAPACITY};
 pub use expose::{MetricEntry, MetricValue, MetricsSnapshot};
 pub use histogram::{BucketSpec, Histogram, HistogramSnapshot};
+pub use json::Json;
 pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use slo::{SloMonitor, SloObjectives, SloStatus};
+pub use trace::{
+    spans_to_chrome_trace, spans_to_json, splitmix64, trace_seed, validate_span_tree, Span,
+    SpanLog, TraceContext, DEFAULT_SPAN_CAPACITY,
+};
+
+fn env_capacity(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(default)
+}
 
 /// The telemetry bundle one serving process shares across its layers: a
-/// metrics registry plus a sequence-lifecycle event log.
+/// metrics registry, a sequence-lifecycle event log, and a span log.
 ///
 /// Cheap to share (`Arc<Telemetry>`) and safe to update from any thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     registry: MetricsRegistry,
     events: EventLog,
+    spans: SpanLog,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Telemetry {
-    /// Creates a telemetry bundle with the default event-log capacity.
+    /// Creates a telemetry bundle. Ring-buffer capacities default to
+    /// [`DEFAULT_EVENT_CAPACITY`] / [`DEFAULT_SPAN_CAPACITY`] and can be
+    /// overridden with the `VLLM_EVENT_LOG_CAPACITY` and
+    /// `VLLM_SPAN_LOG_CAPACITY` environment variables.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            registry: MetricsRegistry::new(),
+            events: EventLog::with_capacity(env_capacity(
+                "VLLM_EVENT_LOG_CAPACITY",
+                DEFAULT_EVENT_CAPACITY,
+            )),
+            spans: SpanLog::with_capacity(env_capacity(
+                "VLLM_SPAN_LOG_CAPACITY",
+                DEFAULT_SPAN_CAPACITY,
+            )),
+        }
     }
 
     /// Creates a telemetry bundle whose event log keeps at most `capacity`
@@ -59,8 +102,18 @@ impl Telemetry {
     #[must_use]
     pub fn with_event_capacity(capacity: usize) -> Self {
         Self {
-            registry: MetricsRegistry::new(),
             events: EventLog::with_capacity(capacity),
+            ..Self::new()
+        }
+    }
+
+    /// Creates a telemetry bundle whose span log keeps at most `capacity`
+    /// spans (oldest evicted first).
+    #[must_use]
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Self {
+            spans: SpanLog::with_capacity(capacity),
+            ..Self::new()
         }
     }
 
@@ -74,5 +127,11 @@ impl Telemetry {
     #[must_use]
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The span log.
+    #[must_use]
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
     }
 }

@@ -28,4 +28,9 @@ cargo run --release -q -p vllm-bench --bin kernels -- --ci
 echo "==> fault-injection soak gate (kill/swap-exhaust, zero loss, deterministic)"
 cargo run --release -q -p vllm-bench --bin faults -- --ci
 
+echo "==> distributed-tracing gate (well-nested span trees across kill/retry, Perfetto export, span/e2e consistency within 1%, zero span-log drops)"
+cargo run --release -q -p vllm-bench --bin trace -- --ci
+mkdir -p results
+cp target/ci-trace/trace.json target/ci-trace/trace_perfetto.json target/ci-trace/trace_summary.json results/
+
 echo "CI OK"

@@ -16,6 +16,9 @@
 //!      deadline=<f64>      relative deadline in engine seconds; the request
 //!                          is cancelled if still unfinished when it passes
 //!      priority=<i32>      scheduling priority (higher admitted first)
+//!      trace=<ctx>         distributed trace context to adopt instead of
+//!                          minting one: `<trace_id:016x>-<span_id:016x>-<0|1>`
+//!                          (the trailing flag is the sampling decision)
 //!    Every field parses through the typed `GenerationRequest` builder in
 //!    `vllm-core`; an unknown <key>=<value> field is rejected with a
 //!    structured error, never silently swallowed into the prompt. A field
@@ -50,6 +53,14 @@
 //! -> EVENTS\t<request_id>
 //! <- EVENT\t<time>\t<kind>\t<detail>         (repeated, oldest first)
 //! <- END
+//!    (when there is nothing to replay, the first line distinguishes why:
+//!     NOEVENTS\tunknown — the id was never seen — or NOEVENTS\tevicted —
+//!     its events aged out of the ring buffer — then END)
+//!
+//! -> TRACE\t<trace_id>
+//! <- <one-line JSON span dump>               ({"tracks":[...]}; trace_id is
+//!    16 lowercase hex digits, as minted in the `trace=` field / exporters;
+//!    one track per replica, empty tracks elided)
 //!
 //! -> SHUTDOWN
 //! <- OK\tshutdown
@@ -96,7 +107,7 @@ use parking_lot::Mutex;
 use vllm_cluster::{
     aggregate_stats, merge_labeled, EngineRequest, Replica, ReplicaSnapshot, Router, RouterConfig,
 };
-use vllm_core::telemetry::Telemetry;
+use vllm_core::telemetry::{spans_to_json, trace_seed, EventQuery, Span, Telemetry, TraceContext};
 use vllm_core::{
     chunk_hashes, EngineLoad, GenerationMode, GenerationRequest, LlmEngine, ModelExecutor,
     RequestOutput, VllmError,
@@ -497,6 +508,12 @@ fn submit_with_retry(
     request: &GenerationRequest,
 ) -> Result<RequestOutput, VllmError> {
     let hashes = chunk_hashes(&prompt, shared.block_size);
+    // Root trace context: adopt the client's (`trace=` field) or mint one
+    // from the request id. Each placement attempt gets a sibling child
+    // context so retries show up side by side under one root in the tree.
+    let root = request
+        .trace
+        .unwrap_or_else(|| TraceContext::mint(trace_seed(request_id), true));
     let mut last_err: Option<VllmError> = None;
     for attempt in 0..MAX_SUBMIT_ATTEMPTS {
         let replica = {
@@ -511,10 +528,12 @@ fn submit_with_retry(
         } else {
             format!("{request_id}.{attempt}")
         };
+        let mut attempt_request = request.clone();
+        attempt_request.trace = Some(root.child(100 + u64::from(attempt) + 1));
         let sent = shared.replicas[replica].submit(EngineRequest {
             request_id: engine_id,
             prompt: prompt.clone(),
-            request: request.clone(),
+            request: attempt_request,
             reply: reply_tx,
         });
         let err = if sent.is_err() {
@@ -619,16 +638,32 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                 parts.next(); // verb
                 match (parts.next(), parts.next()) {
                     (Some(id), None) if !id.is_empty() => {
+                        // Distinguish "never seen" from "seen but evicted"
+                        // across the fleet: any replica with retained events
+                        // wins; otherwise any eviction marker wins.
+                        let mut wrote = false;
+                        let mut evicted = false;
                         for r in &shared.replicas {
-                            for ev in r.telemetry().events().events_for(id) {
-                                writeln!(
-                                    writer,
-                                    "EVENT\t{:.6}\t{}\t{}",
-                                    ev.time,
-                                    ev.kind.label(),
-                                    ev.kind.detail()
-                                )?;
+                            match r.telemetry().events().query(id) {
+                                EventQuery::Events(events) => {
+                                    for ev in events {
+                                        writeln!(
+                                            writer,
+                                            "EVENT\t{:.6}\t{}\t{}",
+                                            ev.time,
+                                            ev.kind.label(),
+                                            ev.kind.detail()
+                                        )?;
+                                    }
+                                    wrote = true;
+                                }
+                                EventQuery::Evicted => evicted = true,
+                                EventQuery::Unknown => {}
                             }
+                        }
+                        if !wrote {
+                            let why = if evicted { "evicted" } else { "unknown" };
+                            writeln!(writer, "NOEVENTS\t{why}")?;
                         }
                         writeln!(writer, "END")?;
                     }
@@ -636,6 +671,40 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                         writer,
                         "{}",
                         err_line(&invalid("EVENTS takes exactly one request id"))
+                    )?,
+                }
+            }
+            "TRACE" => {
+                let mut parts = line.split('\t');
+                parts.next(); // verb
+                match (parts.next(), parts.next()) {
+                    (Some(id), None) if !id.is_empty() => {
+                        match u64::from_str_radix(id.trim_start_matches("0x"), 16) {
+                            Ok(trace_id) if trace_id != 0 => {
+                                let tracks: Vec<(String, Vec<Span>)> = shared
+                                    .replicas
+                                    .iter()
+                                    .map(|r| {
+                                        (
+                                            format!("replica{}", r.id()),
+                                            r.telemetry().spans().spans_for_trace(trace_id),
+                                        )
+                                    })
+                                    .filter(|(_, spans)| !spans.is_empty())
+                                    .collect();
+                                writeln!(writer, "{}", spans_to_json(&tracks))?;
+                            }
+                            _ => writeln!(
+                                writer,
+                                "{}",
+                                err_line(&invalid("bad trace id (want 16 hex digits, nonzero)"))
+                            )?,
+                        }
+                    }
+                    _ => writeln!(
+                        writer,
+                        "{}",
+                        err_line(&invalid("TRACE takes exactly one trace id"))
                     )?,
                 }
             }

@@ -245,9 +245,65 @@ fn events_endpoint_replays_lifecycle() {
         assert!(l.starts_with("EVENT\t"), "got {l:?}");
     }
 
-    // Unknown ids yield an empty (but well-formed) reply.
+    // Unknown ids are distinguished from evicted ones instead of silently
+    // yielding an empty reply.
     writeln!(writer, "EVENTS\tno-such-request").unwrap();
-    assert!(read_until_end(&mut reader).is_empty());
+    assert_eq!(read_until_end(&mut reader), vec!["NOEVENTS\tunknown"]);
+    server.shutdown();
+}
+
+#[test]
+fn trace_endpoint_serves_request_spans() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let read_line = |reader: &mut BufReader<std::net::TcpStream>| {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    };
+
+    // Supply the trace context explicitly so the test knows the trace id.
+    let trace_id = "00000000000000ab";
+    writeln!(
+        writer,
+        "GENERATE\tmax_tokens=4\tmode=greedy\ttrace={trace_id}-00000000000000cd-1\tping"
+    )
+    .unwrap();
+    loop {
+        let line = read_line(&mut reader);
+        assert!(!line.starts_with("ERR"), "generate failed: {line}");
+        if line == "END" {
+            break;
+        }
+    }
+
+    writeln!(writer, "TRACE\t{trace_id}").unwrap();
+    let dump = read_line(&mut reader);
+    assert!(dump.starts_with("{\"tracks\":"), "got {dump:?}");
+    assert!(
+        dump.contains("\"attempt\""),
+        "span dump lacks the attempt span"
+    );
+    assert!(dump.contains(trace_id), "span dump lacks the trace id");
+
+    // A trace nobody recorded yields an empty (but well-formed) dump.
+    writeln!(writer, "TRACE\tdeadbeefdeadbeef").unwrap();
+    assert_eq!(read_line(&mut reader), "{\"tracks\":[]}");
+
+    // Malformed ids get a structured error.
+    writeln!(writer, "TRACE\tnot-hex").unwrap();
+    assert!(read_line(&mut reader).starts_with("ERR\t"));
+
+    // Generating without a trace= field mints a context server-side; the
+    // connection stays usable after the errors above.
+    let outs = client.generate("hello again", 4, 1, "greedy").unwrap();
+    assert_eq!(outs.len(), 1);
     server.shutdown();
 }
 

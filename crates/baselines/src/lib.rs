@@ -1,18 +1,22 @@
 //! # vllm-baselines
 //!
 //! The contiguous-KV baseline systems of §6.1: Orca (Oracle / Pow2 / Max
-//! reservation variants over a real buddy allocator) and a
-//! FasterTransformer-style request-level batching engine, plus the shared
+//! reservation variants over a real buddy allocator), a
+//! FasterTransformer-style request-level batching engine, and a
+//! vAttention-style contiguous-virtual-allocation system (reserve-max
+//! virtual, commit-on-demand physical pages), plus the shared
 //! trace-simulation types consumed by `vllm-sim`'s discrete-event driver.
 
 #![warn(missing_docs)]
 
 pub mod buddy;
+pub mod contiguous;
 pub mod faster_transformer;
 pub mod orca;
 pub mod types;
 
 pub use buddy::{BuddyAllocator, BuddyBlock};
+pub use contiguous::{ContiguousSystem, DEFAULT_PAGE_SLOTS};
 pub use faster_transformer::FasterTransformerSystem;
 pub use orca::{OrcaSystem, ReservationPolicy, BEAM_SWITCH_FRACTION};
 pub use types::{

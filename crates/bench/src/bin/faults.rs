@@ -52,12 +52,15 @@ fn trace(n: u64, per_step: f64) -> Vec<ClusterRequest> {
 }
 
 /// The acceptance plan: kill replica 0 mid-run (restart it later) while
-/// replica 1 loses its swap pool for most of the run.
+/// replica 1 loses its swap pool for most of the run and replica 2 has its
+/// GPU block pool deflated mid-decode (elastic shrink + compaction).
 fn acceptance_plan() -> FaultPlan {
     FaultPlan::new(0)
         .with_event(4, 1, FaultKind::ExhaustSwap)
         .with_event(6, 0, FaultKind::KillReplica)
+        .with_event(8, 2, FaultKind::PoolPressure { fraction: 0.4 })
         .with_event(10, 2, FaultKind::FailForwards { count: 1 })
+        .with_event(24, 2, FaultKind::RestorePool)
         .with_event(28, 1, FaultKind::RestoreSwap)
         .with_event(30, 0, FaultKind::RestartReplica)
 }
@@ -189,11 +192,16 @@ fn main() {
         snap.counter("vllm_fault_injected_total") == Some(scenario.faults_injected),
         "scenario: vllm_fault_injected_total missing or wrong",
     );
+    check(
+        snap.counter("vllm_fault_pool_pressure_total") == Some(1),
+        "scenario: vllm_fault_pool_pressure_total missing or wrong",
+    );
     let prom = snap.to_prometheus_text();
     let json_expo = snap.to_json();
     for name in [
         "vllm_fault_injected_total",
         "vllm_fault_kills_total",
+        "vllm_fault_pool_pressure_total",
         "vllm_cluster_retries_total",
     ] {
         check(

@@ -10,7 +10,10 @@
 
 #![warn(missing_docs)]
 
-use vllm_baselines::{BatchSystem, FasterTransformerSystem, OrcaSystem, ReservationPolicy};
+use vllm_baselines::{
+    BatchSystem, ContiguousSystem, FasterTransformerSystem, OrcaSystem, ReservationPolicy,
+    DEFAULT_PAGE_SLOTS,
+};
 use vllm_core::config::PreemptionMode;
 use vllm_sim::{run_trace, trace_to_requests, CostModel, RunReport, ServerConfig, VllmSimSystem};
 use vllm_workloads::{Dataset, Trace};
@@ -26,6 +29,12 @@ pub enum SystemKind {
     Vllm,
     /// vLLM with swapping recovery.
     VllmSwap,
+    /// vLLM with an elastic block pool (starts at a quarter of the budget,
+    /// inflates under pressure, deflates and compacts when idle).
+    VllmElastic,
+    /// vAttention-style contiguous virtual allocation (reserve-max virtual,
+    /// commit-on-demand physical pages, no sharing).
+    Contiguous,
     /// Orca with oracle reservations.
     OrcaOracle,
     /// Orca with power-of-two reservations.
@@ -47,6 +56,14 @@ impl SystemKind {
             Self::OrcaMax,
             Self::FasterTransformer,
         ]
+    }
+
+    /// The systems of the elastic capacity comparison: fixed-pool paged,
+    /// elastic paged, and the contiguous-virtual-allocation baseline, all
+    /// at the same memory budget.
+    #[must_use]
+    pub fn capacity_set() -> Vec<Self> {
+        vec![Self::Vllm, Self::VllmElastic, Self::Contiguous]
     }
 
     /// The systems of Figs. 14/16/17 (FasterTransformer excluded, as in the
@@ -71,6 +88,16 @@ impl SystemKind {
                 VllmSimSystem::new(server, block_size, PreemptionMode::Swap)
                     .with_label("vLLM (swap)"),
             ),
+            Self::VllmElastic => Box::new(
+                VllmSimSystem::new(server, block_size, PreemptionMode::Recompute)
+                    .with_elastic(0.25),
+            ),
+            Self::Contiguous => Box::new(ContiguousSystem::new(
+                slots,
+                DEFAULT_PAGE_SLOTS,
+                max_len,
+                256,
+            )),
             Self::OrcaOracle => Box::new(OrcaSystem::new(
                 ReservationPolicy::Oracle,
                 slots,
@@ -245,7 +272,10 @@ mod tests {
 
     #[test]
     fn all_kinds_build() {
-        for kind in SystemKind::fig12_set() {
+        for kind in SystemKind::fig12_set()
+            .into_iter()
+            .chain(SystemKind::capacity_set())
+        {
             let sys = kind.build(tiny_server(), 16);
             assert!(!sys.name().is_empty());
         }

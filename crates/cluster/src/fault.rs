@@ -32,8 +32,9 @@
 //!   them instead of losing them.
 //!
 //! Fault telemetry is exported as `vllm_fault_injected_total`,
-//! `vllm_fault_kills_total`, `vllm_fault_forward_failures_total`, and
-//! `vllm_fault_swap_exhaustions_total` alongside the router counters in
+//! `vllm_fault_kills_total`, `vllm_fault_forward_failures_total`,
+//! `vllm_fault_swap_exhaustions_total`, and
+//! `vllm_fault_pool_pressure_total` alongside the router counters in
 //! [`FaultCluster::merged_snapshot`].
 
 use std::collections::HashMap;
@@ -83,6 +84,16 @@ pub enum FaultKind {
         /// Extra seconds per cache operation (`0.0` disarms).
         seconds_per_op: f64,
     },
+    /// Deflate the replica's GPU block pool to this fraction of its
+    /// original size mid-decode (elastic shrink: the pool compacts, live
+    /// blocks migrate, nothing may leak). Clamped so live blocks always
+    /// fit. Undone by [`FaultKind::RestorePool`].
+    PoolPressure {
+        /// Target pool size as a fraction of the configured size (0..=1).
+        fraction: f64,
+    },
+    /// Restore the replica's block pools to their configured sizes.
+    RestorePool,
 }
 
 /// One scheduled fault.
@@ -163,6 +174,16 @@ impl FaultPlan {
             plan = plan
                 .with_event(at, other, FaultKind::ExhaustSwap)
                 .with_event(at + horizon / 2, other, FaultKind::RestoreSwap);
+        }
+        // One pool-pressure window: deflate a replica's KV pool mid-decode
+        // (forcing compaction and elastic shrink), restore it later.
+        {
+            let target = (splitmix64(&mut s) as usize) % num_replicas;
+            let at = 2 + splitmix64(&mut s) % (horizon / 2);
+            let fraction = 0.3 + 0.1 * (splitmix64(&mut s) % 4) as f64;
+            plan = plan
+                .with_event(at, target, FaultKind::PoolPressure { fraction })
+                .with_event(at + horizon / 3, target, FaultKind::RestorePool);
         }
         // A handful of smaller perturbations.
         let extras = 2 + splitmix64(&mut s) % 3;
@@ -314,6 +335,7 @@ struct FaultCounters {
     kills: Counter,
     forward_failures: Counter,
     swap_exhaustions: Counter,
+    pool_pressures: Counter,
 }
 
 /// N engines in deterministic lockstep under a router, a request trace, and
@@ -357,6 +379,10 @@ impl FaultCluster {
             swap_exhaustions: r.counter(
                 "vllm_fault_swap_exhaustions_total",
                 "Swap-pool exhaustion events fired.",
+            ),
+            pool_pressures: r.counter(
+                "vllm_fault_pool_pressure_total",
+                "Elastic pool-deflation events fired.",
             ),
         };
         let slots: Vec<ReplicaSlot> = (0..cfg.num_replicas).map(|_| fresh_slot()).collect();
@@ -627,6 +653,21 @@ impl FaultCluster {
                     .controls
                     .set_cache_op_delay(seconds_per_op);
             }
+            FaultKind::PoolPressure { fraction } => {
+                self.counters.pool_pressures.inc();
+                // deflate_pool clamps to the live working set, so the only
+                // failure mode is corrupted accounting — surfaced loudly.
+                self.slots[e.replica]
+                    .engine
+                    .deflate_pool(fraction)
+                    .expect("pool deflation must always find a feasible size");
+            }
+            FaultKind::RestorePool => {
+                self.slots[e.replica]
+                    .engine
+                    .restore_pool()
+                    .expect("pool restoration grows back to the configured size");
+            }
         }
     }
 
@@ -641,6 +682,8 @@ impl FaultCluster {
             FaultKind::ExhaustSwap => "fault.exhaust_swap",
             FaultKind::RestoreSwap => "fault.restore_swap",
             FaultKind::DelayCacheOps { .. } => "fault.delay_cache_ops",
+            FaultKind::PoolPressure { .. } => "fault.pool_pressure",
+            FaultKind::RestorePool => "fault.restore_pool",
         };
         self.telemetry.spans().record(Span {
             trace_id: 0,
@@ -976,6 +1019,34 @@ mod tests {
         let cluster_spans = cluster.telemetry().spans().snapshot();
         assert!(cluster_spans.iter().any(|s| s.name == "fault.kill"));
         assert!(cluster_spans.iter().any(|s| s.name == "fault.restart"));
+    }
+
+    #[test]
+    fn pool_pressure_mid_decode_leaks_nothing() {
+        // Deflate replica 0's GPU pool to 40% mid-decode (forcing a
+        // compaction migration of its live blocks), restore it later: every
+        // request still completes exactly once and no block leaks.
+        let plan = FaultPlan::new(0)
+            .with_event(3, 0, FaultKind::PoolPressure { fraction: 0.4 })
+            .with_event(12, 0, FaultKind::RestorePool);
+        let run = || {
+            let mut cluster =
+                FaultCluster::new(FaultClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin));
+            let report = cluster.run(&plan, trace(16, 2.0));
+            let merged = cluster.merged_snapshot();
+            let spans = cluster.telemetry().spans().snapshot();
+            (report, merged, spans)
+        };
+        let (report, merged, spans) = run();
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.leaked_blocks, 0, "deflate+compact must not leak");
+        assert_eq!(merged.counter("vllm_fault_pool_pressure_total"), Some(1));
+        assert!(spans.iter().any(|s| s.name == "fault.pool_pressure"));
+        assert!(spans.iter().any(|s| s.name == "fault.restore_pool"));
+        // Deterministic under the deflate/restore cycle.
+        assert_eq!(report, run().0);
     }
 
     #[test]

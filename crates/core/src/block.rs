@@ -164,6 +164,101 @@ impl BlockAllocator {
         self.ref_counts.iter().map(|&c| u64::from(c)).sum()
     }
 
+    /// Grows the pool to `new_total` blocks (elastic inflate). New ids are
+    /// appended above the current bound and handed out lowest-first, after
+    /// any already-free blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if `new_total` is smaller than
+    /// the current pool.
+    pub fn grow(&mut self, new_total: usize) -> Result<()> {
+        if new_total < self.num_blocks {
+            return Err(VllmError::InvalidConfig(format!(
+                "grow to {new_total} blocks below current {}",
+                self.num_blocks
+            )));
+        }
+        // Reverse order so the lowest new id pops first once the existing
+        // free list drains.
+        let fresh: Vec<PhysicalBlockId> = (self.num_blocks..new_total).rev().collect();
+        self.free_list.splice(0..0, fresh);
+        self.ref_counts.resize(new_total, 0);
+        self.num_blocks = new_total;
+        Ok(())
+    }
+
+    /// Shrinks the pool to `new_total` blocks (elastic deflate). Every id at
+    /// or above the new bound must be free — compact first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if a live block sits above the
+    /// new bound.
+    pub fn shrink(&mut self, new_total: usize) -> Result<()> {
+        if let Some(id) = (new_total..self.num_blocks).find(|&id| self.ref_counts[id] > 0) {
+            return Err(VllmError::InvalidConfig(format!(
+                "cannot shrink to {new_total} blocks: block {id} is live"
+            )));
+        }
+        self.free_list.retain(|&id| id < new_total);
+        self.ref_counts.truncate(new_total);
+        self.num_blocks = new_total;
+        Ok(())
+    }
+
+    /// Live block ids at or above `bound`, ascending (the compactor's
+    /// migration work list).
+    #[must_use]
+    pub fn live_at_or_above(&self, bound: usize) -> Vec<PhysicalBlockId> {
+        (bound.min(self.num_blocks)..self.num_blocks)
+            .filter(|&id| self.ref_counts[id] > 0)
+            .collect()
+    }
+
+    /// Lowest free block id strictly below `bound`, if any (the compactor's
+    /// migration target).
+    #[must_use]
+    pub fn lowest_free_below(&self, bound: usize) -> Option<PhysicalBlockId> {
+        self.free_list
+            .iter()
+            .copied()
+            .filter(|&id| id < bound)
+            .min()
+    }
+
+    /// Highest live block id, if any block is allocated.
+    #[must_use]
+    pub fn highest_live(&self) -> Option<PhysicalBlockId> {
+        (0..self.num_blocks)
+            .rev()
+            .find(|&id| self.ref_counts[id] > 0)
+    }
+
+    /// Moves a live block's identity from `src` to the free block `dst`:
+    /// `dst` takes over `src`'s whole reference count and `src` becomes
+    /// free. The data move is the caller's to journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidBlock`] for out-of-range ids and
+    /// [`VllmError::DoubleFree`] if `src` is free or `dst` is live.
+    pub fn relocate(&mut self, src: PhysicalBlockId, dst: PhysicalBlockId) -> Result<()> {
+        self.check(src)?;
+        self.check(dst)?;
+        if self.ref_counts[src] == 0 {
+            return Err(VllmError::DoubleFree(src));
+        }
+        if self.ref_counts[dst] != 0 {
+            return Err(VllmError::InvalidBlock(dst));
+        }
+        self.ref_counts[dst] = self.ref_counts[src];
+        self.ref_counts[src] = 0;
+        self.free_list.retain(|&id| id != dst);
+        self.free_list.push(src);
+        Ok(())
+    }
+
     fn check(&self, id: PhysicalBlockId) -> Result<()> {
         if id >= self.num_blocks {
             return Err(VllmError::InvalidBlock(id));
@@ -237,6 +332,58 @@ mod tests {
         assert_eq!(a.free(5), Err(VllmError::InvalidBlock(5)));
         assert_eq!(a.incr_ref(5), Err(VllmError::InvalidBlock(5)));
         assert!(a.ref_count(5).is_err());
+    }
+
+    #[test]
+    fn grow_appends_low_ids_first_among_new_blocks() {
+        let mut a = BlockAllocator::new(Device::Gpu, 2);
+        let b0 = a.allocate().unwrap();
+        let b1 = a.allocate().unwrap();
+        a.grow(4).unwrap();
+        assert_eq!(a.num_blocks(), 4);
+        assert_eq!(a.num_free(), 2);
+        // Fresh ids hand out lowest-first.
+        assert_eq!(a.allocate().unwrap(), 2);
+        assert_eq!(a.allocate().unwrap(), 3);
+        assert!(a.grow(3).is_err(), "grow cannot shrink");
+        for b in [b0, b1, 2, 3] {
+            a.free(b).unwrap();
+        }
+    }
+
+    #[test]
+    fn shrink_requires_vacated_tail() {
+        let mut a = BlockAllocator::new(Device::Gpu, 4);
+        let b0 = a.allocate().unwrap();
+        let b1 = a.allocate().unwrap();
+        assert!(a.shrink(1).is_err(), "block 1 is live above the bound");
+        a.free(b1).unwrap();
+        a.shrink(1).unwrap();
+        assert_eq!(a.num_blocks(), 1);
+        assert_eq!(a.num_free(), 0);
+        assert_eq!(a.allocate(), Err(VllmError::OutOfGpuBlocks));
+        a.free(b0).unwrap();
+        assert_eq!(a.num_free(), 1);
+    }
+
+    #[test]
+    fn relocate_moves_refcount_and_frees_source() {
+        let mut a = BlockAllocator::new(Device::Gpu, 4);
+        let b0 = a.allocate().unwrap();
+        let _b1 = a.allocate().unwrap();
+        let b2 = a.allocate().unwrap();
+        a.incr_ref(b2).unwrap();
+        a.free(b0).unwrap(); // Hole at 0.
+        assert_eq!(a.live_at_or_above(2), vec![2]);
+        assert_eq!(a.lowest_free_below(2), Some(0));
+        assert_eq!(a.highest_live(), Some(2));
+        a.relocate(b2, 0).unwrap();
+        assert_eq!(a.ref_count(0).unwrap(), 2);
+        assert_eq!(a.ref_count(2).unwrap(), 0);
+        assert_eq!(a.highest_live(), Some(1));
+        // Relocating a free source or onto a live target is rejected.
+        assert!(a.relocate(2, 3).is_err());
+        assert!(a.relocate(0, 1).is_err());
     }
 
     #[test]

@@ -12,8 +12,28 @@ use std::collections::HashMap;
 use crate::block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
 use crate::config::CacheConfig;
 use crate::error::{Result, VllmError};
-use crate::executor::CacheOps;
+use crate::executor::{BlockMove, CacheOps};
 use crate::sequence::{SeqId, Sequence, SequenceGroup, SequenceStatus};
+
+/// Old→new block-id mappings produced by a compaction pass. Callers that
+/// hold raw block ids outside the manager's tables (the engine's prefix
+/// pool, the scheduler's admission-time prefix assignments) must remap
+/// through this.
+#[derive(Debug, Clone, Default)]
+pub struct PoolRemap {
+    /// GPU-pool migrations: old id → new id.
+    pub gpu: HashMap<PhysicalBlockId, PhysicalBlockId>,
+    /// CPU-pool migrations: old id → new id.
+    pub cpu: HashMap<PhysicalBlockId, PhysicalBlockId>,
+}
+
+impl PoolRemap {
+    /// Whether no block moved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gpu.is_empty() && self.cpu.is_empty()
+    }
+}
 
 /// Outcome of an admission check for a waiting group (§4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +82,16 @@ pub struct BlockManagerMetrics {
     pub swapped_out_blocks_total: vllm_telemetry::Counter,
     /// `vllm_block_manager_swapped_in_blocks_total` counter.
     pub swapped_in_blocks_total: vllm_telemetry::Counter,
+    /// `vllm_block_pool_gpu_blocks` gauge: current (elastic) GPU pool size.
+    pub pool_gpu_blocks: vllm_telemetry::Gauge,
+    /// `vllm_block_pool_cpu_blocks` gauge: current (elastic) CPU pool size.
+    pub pool_cpu_blocks: vllm_telemetry::Gauge,
+    /// `vllm_block_pool_fragmentation_ratio` gauge: fraction of the live
+    /// GPU-pool span (ids up to the highest live block) that is free holes —
+    /// the compaction debt a shrink would have to migrate away.
+    pub pool_fragmentation_ratio: vllm_telemetry::Gauge,
+    /// `vllm_block_migrations_total` counter.
+    pub block_migrations_total: vllm_telemetry::Counter,
 }
 
 impl BlockManagerMetrics {
@@ -110,6 +140,22 @@ impl BlockManagerMetrics {
                 "vllm_block_manager_swapped_in_blocks_total",
                 "Blocks swapped CPU to GPU.",
             ),
+            pool_gpu_blocks: r.gauge(
+                "vllm_block_pool_gpu_blocks",
+                "Current size of the (elastic) GPU KV block pool.",
+            ),
+            pool_cpu_blocks: r.gauge(
+                "vllm_block_pool_cpu_blocks",
+                "Current size of the (elastic) CPU KV block pool.",
+            ),
+            pool_fragmentation_ratio: r.gauge(
+                "vllm_block_pool_fragmentation_ratio",
+                "Fraction of the live GPU-pool span that is free holes.",
+            ),
+            block_migrations_total: r.counter(
+                "vllm_block_migrations_total",
+                "Live KV blocks migrated by pool compaction.",
+            ),
         }
     }
 }
@@ -118,6 +164,9 @@ impl BlockManagerMetrics {
 #[derive(Debug)]
 pub struct BlockSpaceManager {
     block_size: usize,
+    /// Watermark as a fraction of the pool, kept so the block headroom can
+    /// be recomputed when the pool is resized.
+    watermark: f64,
     watermark_blocks: usize,
     gpu: BlockAllocator,
     cpu: BlockAllocator,
@@ -127,6 +176,8 @@ pub struct BlockSpaceManager {
     /// Cumulative count of blocks swapped out / in (metrics).
     num_swapped_out_blocks: u64,
     num_swapped_in_blocks: u64,
+    /// Cumulative count of blocks migrated by compaction (metrics).
+    num_block_migrations: u64,
     /// Cache operations produced since the last [`Self::take_pending`]:
     /// every mutation that requires data movement (CoW splits, eager-copy
     /// forks, swaps) records its ops here, so the scheduler can batch them
@@ -148,6 +199,7 @@ impl BlockSpaceManager {
     pub fn new(config: &CacheConfig) -> Self {
         Self {
             block_size: config.block_size,
+            watermark: config.watermark,
             watermark_blocks: config.watermark_blocks(),
             gpu: BlockAllocator::new(Device::Gpu, config.num_gpu_blocks),
             cpu: BlockAllocator::new(Device::Cpu, config.num_cpu_blocks),
@@ -155,6 +207,7 @@ impl BlockSpaceManager {
             num_cow_copies: 0,
             num_swapped_out_blocks: 0,
             num_swapped_in_blocks: 0,
+            num_block_migrations: 0,
             pending: CacheOps::default(),
             fanout_admission: false,
             swap_disabled: false,
@@ -223,6 +276,142 @@ impl BlockSpaceManager {
         self.num_swapped_in_blocks
     }
 
+    /// Total CPU (swap) blocks in the pool.
+    #[must_use]
+    pub fn num_total_cpu_blocks(&self) -> usize {
+        self.cpu.num_blocks()
+    }
+
+    /// Cumulative number of live blocks migrated by compaction.
+    #[must_use]
+    pub fn num_block_migrations(&self) -> u64 {
+        self.num_block_migrations
+    }
+
+    /// External-hole fragmentation of the GPU pool: the fraction of the
+    /// span `[0, highest_live]` that is free. This is the compaction debt an
+    /// elastic shrink to `num_allocated` blocks would have to migrate away;
+    /// 0 when the pool is empty or perfectly packed.
+    #[must_use]
+    pub fn pool_fragmentation_ratio(&self) -> f64 {
+        match self.gpu.highest_live() {
+            None => 0.0,
+            Some(top) => {
+                let span = top + 1;
+                let holes = span - self.gpu.num_allocated().min(span);
+                holes as f64 / span as f64
+            }
+        }
+    }
+
+    /// Resizes the GPU and CPU block pools at runtime (elastic memory).
+    ///
+    /// Growth mints fresh block ids above the old bound. Shrinkage first
+    /// compacts: every live block above the new bound migrates to a free
+    /// hole below it, the data moves are journaled into the pending
+    /// [`CacheOps`] (`moves` lane), and every sequence block table is
+    /// remapped. The returned [`PoolRemap`] carries the old→new ids so
+    /// callers holding raw ids elsewhere (prefix anchors) can follow.
+    /// The admission watermark is rescaled to the new pool size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if `gpu_blocks` is zero or
+    /// smaller than the number of live GPU blocks (likewise for the CPU
+    /// pool); the pool is left unchanged on error.
+    pub fn resize(&mut self, gpu_blocks: usize, cpu_blocks: usize) -> Result<PoolRemap> {
+        if gpu_blocks == 0 {
+            return Err(VllmError::InvalidConfig(
+                "GPU pool must keep at least one block".into(),
+            ));
+        }
+        if gpu_blocks < self.gpu.num_allocated() {
+            return Err(VllmError::InvalidConfig(format!(
+                "cannot shrink GPU pool to {gpu_blocks} blocks: {} are live",
+                self.gpu.num_allocated()
+            )));
+        }
+        if cpu_blocks < self.cpu.num_allocated() {
+            return Err(VllmError::InvalidConfig(format!(
+                "cannot shrink CPU pool to {cpu_blocks} blocks: {} are live",
+                self.cpu.num_allocated()
+            )));
+        }
+        let mut remap = PoolRemap::default();
+        if gpu_blocks > self.gpu.num_blocks() {
+            self.gpu.grow(gpu_blocks)?;
+            self.pending.gpu_capacity = Some(gpu_blocks);
+        } else if gpu_blocks < self.gpu.num_blocks() {
+            remap.gpu = self.compact_device(Device::Gpu, gpu_blocks)?;
+            self.gpu.shrink(gpu_blocks)?;
+            self.pending.gpu_capacity = Some(gpu_blocks);
+        }
+        if cpu_blocks > self.cpu.num_blocks() {
+            self.cpu.grow(cpu_blocks)?;
+            self.pending.cpu_capacity = Some(cpu_blocks);
+        } else if cpu_blocks < self.cpu.num_blocks() {
+            remap.cpu = self.compact_device(Device::Cpu, cpu_blocks)?;
+            self.cpu.shrink(cpu_blocks)?;
+            self.pending.cpu_capacity = Some(cpu_blocks);
+        }
+        self.watermark_blocks = (self.watermark * gpu_blocks as f64) as usize;
+        Ok(remap)
+    }
+
+    /// Fully defragments both pools without changing their size: every live
+    /// block migrates to the lowest free hole, so live blocks end up packed
+    /// at ids `[0, num_allocated)`. The data moves are journaled into the
+    /// pending [`CacheOps`]. Returns the old→new mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors, which indicate corrupted accounting.
+    pub fn compact(&mut self) -> Result<PoolRemap> {
+        Ok(PoolRemap {
+            gpu: self.compact_device(Device::Gpu, self.gpu.num_allocated())?,
+            cpu: self.compact_device(Device::Cpu, self.cpu.num_allocated())?,
+        })
+    }
+
+    /// Migrates every live block of `device` with id at or above `bound`
+    /// into a free hole below `bound`, journaling the moves and rewriting
+    /// every block-table entry. The caller guarantees feasibility
+    /// (`num_allocated <= bound`).
+    fn compact_device(
+        &mut self,
+        device: Device,
+        bound: usize,
+    ) -> Result<HashMap<PhysicalBlockId, PhysicalBlockId>> {
+        let pool = match device {
+            Device::Gpu => &mut self.gpu,
+            Device::Cpu => &mut self.cpu,
+        };
+        let mut mapping = HashMap::new();
+        for src in pool.live_at_or_above(bound) {
+            let dst = pool.lowest_free_below(bound).ok_or(match device {
+                Device::Gpu => VllmError::OutOfGpuBlocks,
+                Device::Cpu => VllmError::OutOfCpuBlocks,
+            })?;
+            pool.relocate(src, dst)?;
+            mapping.insert(src, dst);
+            self.pending.moves.push(BlockMove { device, src, dst });
+            self.num_block_migrations += 1;
+        }
+        if !mapping.is_empty() {
+            // A shared block moved once; rewrite every table that names it.
+            for table in self.block_tables.values_mut() {
+                for b in table.iter_mut() {
+                    if b.device == device {
+                        if let Some(&dst) = mapping.get(&b.id) {
+                            b.id = dst;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(mapping)
+    }
+
     /// Publishes the pool state to the cached telemetry handles.
     /// `used_slots` is the number of KV slots holding actual token state
     /// (the caller computes it from the live sequences, see
@@ -247,6 +436,12 @@ impl BlockSpaceManager {
             .set_to_at_least(self.num_swapped_out_blocks);
         m.swapped_in_blocks_total
             .set_to_at_least(self.num_swapped_in_blocks);
+        m.pool_gpu_blocks.set(self.gpu.num_blocks() as f64);
+        m.pool_cpu_blocks.set(self.cpu.num_blocks() as f64);
+        m.pool_fragmentation_ratio
+            .set(self.pool_fragmentation_ratio());
+        m.block_migrations_total
+            .set_to_at_least(self.num_block_migrations);
     }
 
     /// Drains the cache operations accumulated since the last call. The
@@ -1056,6 +1251,123 @@ mod tests {
         assert_eq!(ops.swap_out, out);
         assert_eq!(ops.swap_in, back);
         assert!(ops.copies.is_empty());
+    }
+
+    #[test]
+    fn resize_grow_then_shrink_compacts_and_journals_moves() {
+        let mut m = manager(6, 4);
+        let g0 = group_with_prompt(0, 8); // Blocks 0, 1.
+        let g1 = group_with_prompt(1, 8); // Blocks 2, 3.
+        m.allocate(&g0).unwrap();
+        m.allocate(&g1).unwrap();
+        m.take_pending();
+
+        // Grow: fresh ids appear above the old bound.
+        m.resize(10, 4).unwrap();
+        assert_eq!(m.num_total_gpu_blocks(), 10);
+        assert_eq!(m.num_free_gpu_blocks(), 6);
+        let ops = m.take_pending();
+        assert_eq!(ops.gpu_capacity, Some(10));
+        assert!(ops.moves.is_empty());
+
+        // Free the low group: holes at 0 and 1, live blocks at 2 and 3.
+        m.free(0).unwrap();
+        assert!(m.pool_fragmentation_ratio() > 0.0);
+
+        // Shrink past the live blocks: they migrate into the holes and the
+        // surviving table is remapped.
+        let remap = m.resize(2, 4).unwrap();
+        assert_eq!(remap.gpu.len(), 2);
+        assert_eq!(m.num_total_gpu_blocks(), 2);
+        assert_eq!(m.num_free_gpu_blocks(), 0);
+        let ids = m.gpu_block_ids(1).unwrap();
+        assert_eq!(ids, vec![remap.gpu[&2], remap.gpu[&3]]);
+        let ops = m.take_pending();
+        assert_eq!(ops.moves.len(), 2);
+        assert_eq!(ops.gpu_capacity, Some(2));
+        for mv in &ops.moves {
+            assert_eq!(mv.device, Device::Gpu);
+            assert!(mv.src >= 2 && mv.dst < 2);
+        }
+        assert_eq!(m.num_block_migrations(), 2);
+        assert_eq!(m.pool_fragmentation_ratio(), 0.0);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn resize_refuses_to_shrink_below_working_set() {
+        let mut m = manager(4, 0);
+        let g = group_with_prompt(0, 8);
+        m.allocate(&g).unwrap();
+        assert!(m.resize(1, 0).is_err());
+        assert!(m.resize(0, 0).is_err());
+        // Unchanged on error.
+        assert_eq!(m.num_total_gpu_blocks(), 4);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn compact_moves_shared_blocks_once_and_keeps_sharing() {
+        let mut m = manager(8, 0);
+        let filler = group_with_prompt(9, 8); // Blocks 0, 1.
+        m.allocate(&filler).unwrap();
+        let g = group_with_prompt(0, 8); // Blocks 2, 3.
+        m.allocate(&g).unwrap();
+        m.fork(0, 1).unwrap(); // Shared by two sequences.
+        m.free(9).unwrap(); // Holes at 0, 1.
+        m.take_pending();
+
+        let remap = m.compact().unwrap();
+        assert_eq!(remap.gpu.len(), 2, "each shared block moves exactly once");
+        assert_eq!(m.block_table(0).unwrap(), m.block_table(1).unwrap());
+        assert_eq!(m.gpu_block_ids(0).unwrap(), vec![0, 1]);
+        let ops = m.take_pending();
+        assert_eq!(ops.moves.len(), 2);
+        assert_eq!(ops.gpu_capacity, None, "compact alone never resizes");
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn compact_remaps_swapped_out_cpu_blocks() {
+        let mut m = manager(4, 6);
+        let filler = group_with_prompt(9, 8);
+        m.allocate(&filler).unwrap();
+        let mut g = group_with_prompt(0, 8);
+        m.swap_out(&filler).unwrap(); // CPU blocks 0, 1.
+        m.allocate(&g).unwrap();
+        g.set_status_all(SequenceStatus::Running);
+        m.swap_out(&g).unwrap(); // CPU blocks 2, 3.
+                                 // Free the first swapped group: CPU holes at 0, 1.
+        m.free(9).unwrap();
+        m.take_pending();
+
+        let remap = m.resize(4, 2).unwrap();
+        assert_eq!(remap.cpu.len(), 2);
+        assert!(remap.gpu.is_empty());
+        let table = m.block_table(0).unwrap();
+        assert!(table.iter().all(|b| b.device == Device::Cpu && b.id < 2));
+        let ops = m.take_pending();
+        assert_eq!(ops.cpu_capacity, Some(2));
+        assert!(ops.moves.iter().all(|mv| mv.device == Device::Cpu));
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn resize_rescales_watermark() {
+        let cfg = CacheConfig::new(BS, 100, 0)
+            .unwrap()
+            .with_watermark(0.1)
+            .unwrap();
+        let mut m = BlockSpaceManager::new(&cfg);
+        let g = group_with_prompt(0, 4);
+        // 10-block watermark: a 1-block prompt needs 11 free.
+        assert_eq!(m.can_allocate(&g), AllocStatus::Ok);
+        m.resize(200, 0).unwrap();
+        // Watermark rescaled to 20 blocks of 200.
+        assert_eq!(m.num_total_gpu_blocks(), 200);
+        assert_eq!(m.can_allocate(&g), AllocStatus::Ok);
+        m.resize(1, 0).unwrap();
+        assert_eq!(m.can_allocate(&g), AllocStatus::Ok, "watermark is 0 of 1");
     }
 
     #[test]

@@ -30,7 +30,9 @@ use vllm_telemetry::{
     splitmix64, trace_seed, EventKind, MetricsSnapshot, SloMonitor, Span, Telemetry, TraceContext,
 };
 
+use crate::block_manager::PoolRemap;
 use crate::config::{CacheConfig, SchedulerConfig};
+use crate::elastic::{ElasticController, PoolPressure};
 use crate::error::{Result, VllmError};
 use crate::executor::{ModelExecutor, SeqStepInput, StepResult};
 use crate::metrics::{EngineMetrics, LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
@@ -146,6 +148,13 @@ pub struct LlmEngine<E: ModelExecutor> {
     /// SLO monitor, present when any `VLLM_SLO_*` objective is configured;
     /// evaluated on every [`LlmEngine::metrics_snapshot`].
     slo: Option<SloMonitor>,
+    /// Elastic pool controller, consulted at the top of every step when set.
+    elastic: Option<ElasticController>,
+    /// GPU pool size the engine was constructed with, the restore point for
+    /// fault-injected deflations.
+    base_gpu_blocks: usize,
+    /// CPU pool size the engine was constructed with.
+    base_cpu_blocks: usize,
 }
 
 impl<E: ModelExecutor> LlmEngine<E> {
@@ -161,6 +170,8 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .filter(|v| v.is_finite())
             .map_or(1.0, |v| v.clamp(0.0, 1.0));
         let slo = SloMonitor::from_env(&telemetry);
+        let base_gpu_blocks = cache_config.num_gpu_blocks;
+        let base_cpu_blocks = cache_config.num_cpu_blocks;
         let mut executor = executor;
         executor.attach_telemetry(&telemetry);
         Self {
@@ -183,6 +194,9 @@ impl<E: ModelExecutor> LlmEngine<E> {
             tmetrics,
             trace_sample,
             slo,
+            elastic: None,
+            base_gpu_blocks,
+            base_cpu_blocks,
         }
     }
 
@@ -519,6 +533,107 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .set_swap_disabled(disabled);
     }
 
+    /// Installs (or removes) an elastic pool controller. When set, the
+    /// engine samples [`PoolPressure`] at the top of every step and applies
+    /// the controller's resize proposals before scheduling, so the resize's
+    /// migration journal rides that step's [`StepPlan`].
+    pub fn set_elastic(&mut self, controller: Option<ElasticController>) {
+        self.elastic = controller;
+    }
+
+    /// The installed elastic controller, if any.
+    #[must_use]
+    pub fn elastic(&self) -> Option<&ElasticController> {
+        self.elastic.as_ref()
+    }
+
+    /// Point-in-time pool pressure, the controller's input signal.
+    #[must_use]
+    pub fn pool_pressure(&self) -> PoolPressure {
+        let bm = self.scheduler.block_manager();
+        PoolPressure {
+            total_blocks: bm.num_total_gpu_blocks(),
+            free_blocks: bm.num_free_gpu_blocks(),
+            allocated_blocks: bm.num_allocated_gpu_blocks(),
+            waiting: self.scheduler.num_waiting(),
+            swapped: self.scheduler.num_swapped(),
+        }
+    }
+
+    /// Resizes the GPU and CPU block pools at runtime. Shrinking compacts
+    /// first (live blocks migrate into holes below the new bound, journaled
+    /// as `moves` in the next step's cache ops); every holder of raw block
+    /// ids — block tables, pinned prefixes, groups' cached prefix ids — is
+    /// remapped here, so callers need no follow-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if a pool would shrink below its
+    /// live working set (the pools are left unchanged).
+    pub fn resize_pools(&mut self, gpu_blocks: usize, cpu_blocks: usize) -> Result<PoolRemap> {
+        let remap = self
+            .scheduler
+            .block_manager_mut()
+            .resize(gpu_blocks, cpu_blocks)?;
+        self.apply_remap(&remap);
+        self.cache_config.num_gpu_blocks = gpu_blocks;
+        self.cache_config.num_cpu_blocks = cpu_blocks;
+        Ok(remap)
+    }
+
+    /// Fully defragments both pools without resizing: live blocks pack into
+    /// the lowest ids, the data moves journaled into the next step's cache
+    /// ops, and all raw-id holders remapped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-accounting errors (corrupted accounting).
+    pub fn compact_pools(&mut self) -> Result<PoolRemap> {
+        let remap = self.scheduler.block_manager_mut().compact()?;
+        self.apply_remap(&remap);
+        Ok(remap)
+    }
+
+    /// Deflates the GPU pool to `fraction` of its configured size (fault
+    /// injection: external memory pressure reclaiming KV capacity). The
+    /// target is clamped so the live working set always fits. Returns the
+    /// new pool size in blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resize errors.
+    pub fn deflate_pool(&mut self, fraction: f64) -> Result<usize> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let target = ((self.base_gpu_blocks as f64 * fraction) as usize)
+            .max(self.scheduler.block_manager().num_allocated_gpu_blocks())
+            .max(1);
+        let cpu = self.scheduler.block_manager().num_total_cpu_blocks();
+        self.resize_pools(target, cpu)?;
+        Ok(target)
+    }
+
+    /// Restores both pools to the sizes the engine was constructed with
+    /// (recovery from [`Self::deflate_pool`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resize errors.
+    pub fn restore_pool(&mut self) -> Result<()> {
+        self.resize_pools(self.base_gpu_blocks, self.base_cpu_blocks)?;
+        Ok(())
+    }
+
+    /// Follows a compaction's old→new id mapping everywhere raw GPU block
+    /// ids live outside the block manager: the pinned prefix registry and
+    /// the cached prefix ids on live groups.
+    fn apply_remap(&mut self, remap: &PoolRemap) {
+        if remap.gpu.is_empty() {
+            return;
+        }
+        self.prefix_pool.remap_blocks(&remap.gpu);
+        self.scheduler.remap_prefix_blocks(&remap.gpu);
+    }
+
     /// Registers a shared prefix (§4.4): pins blocks for it and runs a
     /// KV-only prefill so later prompts that start with `tokens` skip the
     /// prefix computation and share its blocks.
@@ -621,6 +736,21 @@ impl<E: ModelExecutor> LlmEngine<E> {
             self.tmetrics
                 .request_deadline_miss_seconds
                 .observe(missed_by);
+        }
+
+        // Elastic pool control: apply any resize before scheduling so its
+        // migration journal drains into this step's plan.
+        if self.elastic.is_some() {
+            let pressure = self.pool_pressure();
+            let action = self
+                .elastic
+                .as_mut()
+                .expect("checked above")
+                .decide(&pressure);
+            if let Some(action) = action {
+                let cpu = self.scheduler.block_manager().num_total_cpu_blocks();
+                self.resize_pools(action.target(), cpu)?;
+            }
         }
 
         // Stage 1: schedule.
@@ -893,6 +1023,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
                         "copies".to_string(),
                         plan.cache_ops.copies.len().to_string(),
                     ),
+                    ("moves".to_string(), plan.cache_ops.moves.len().to_string()),
                 ],
             });
         }

@@ -6,7 +6,7 @@
 //! the centralized scheduler sends per-iteration control messages (token
 //! ids, positions, block tables, cache operations) to the GPU workers.
 
-use crate::block::PhysicalBlockId;
+use crate::block::{Device, PhysicalBlockId};
 use crate::block_manager::BlockCopy;
 use crate::error::Result;
 use crate::plan::StepPlan;
@@ -52,9 +52,34 @@ impl SeqStepInput {
     }
 }
 
+/// One defragmentation migration: the contents of block `src` move to block
+/// `dst` within the same device's pool, after which `src` is free. Recorded
+/// by the block manager's compactor and replayed by executors in journal
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMove {
+    /// Pool the migration happens in.
+    pub device: Device,
+    /// Source physical block id (live before the move, free after).
+    pub src: PhysicalBlockId,
+    /// Destination physical block id (free before the move, live after).
+    pub dst: PhysicalBlockId,
+}
+
 /// Cache-management operations the executor must apply before computing the
 /// step (§4.3: the scheduler piggybacks memory-management instructions on the
 /// step's control message).
+///
+/// Ordering contract (what `KvCache::apply` and the sim cost model follow):
+///
+/// 1. pool **growth** to a larger `gpu_capacity`/`cpu_capacity`, so later
+///    operations may reference newly minted block ids;
+/// 2. **moves**, in journal order — the compactor only targets blocks that
+///    were free when the move was recorded, and the allocator cannot re-issue
+///    a destination, so replay is conflict-free;
+/// 3. pool **shrinkage** to a smaller capacity (every id above the new bound
+///    has been vacated by step 2);
+/// 4. `swap_out`, then `swap_in`, then `copies`, as before.
 #[derive(Debug, Clone, Default)]
 pub struct CacheOps {
     /// CPU→GPU block transfers (swap in).
@@ -64,13 +89,25 @@ pub struct CacheOps {
     /// GPU→GPU block copies (copy-on-write), batched into one kernel in the
     /// paper (§5.1 "fused block copy").
     pub copies: Vec<BlockCopy>,
+    /// Defragmentation migrations (elastic pool compaction), in journal
+    /// order.
+    pub moves: Vec<BlockMove>,
+    /// New GPU pool size in blocks, when the pool was resized this step.
+    pub gpu_capacity: Option<usize>,
+    /// New CPU pool size in blocks, when the pool was resized this step.
+    pub cpu_capacity: Option<usize>,
 }
 
 impl CacheOps {
     /// Whether no operation is pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.swap_in.is_empty() && self.swap_out.is_empty() && self.copies.is_empty()
+        self.swap_in.is_empty()
+            && self.swap_out.is_empty()
+            && self.copies.is_empty()
+            && self.moves.is_empty()
+            && self.gpu_capacity.is_none()
+            && self.cpu_capacity.is_none()
     }
 }
 

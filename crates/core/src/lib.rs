@@ -33,6 +33,7 @@ pub mod beam;
 pub mod block;
 pub mod block_manager;
 pub mod config;
+pub mod elastic;
 pub mod engine;
 pub mod error;
 pub mod executor;
@@ -49,11 +50,14 @@ pub mod sequence;
 
 pub use beam::{plan_beam_step, BeamExtension, BeamInput, BeamPlan};
 pub use block::{BlockAllocator, Device, PhysicalBlock, PhysicalBlockId};
-pub use block_manager::{AllocStatus, BlockCopy, BlockManagerMetrics, BlockSpaceManager};
+pub use block_manager::{
+    AllocStatus, BlockCopy, BlockManagerMetrics, BlockSpaceManager, PoolRemap,
+};
 pub use config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy, DEFAULT_BLOCK_SIZE};
+pub use elastic::{ElasticAction, ElasticConfig, ElasticController, PoolPressure};
 pub use engine::{CompletionOutput, EngineLoad, LlmEngine, RequestOutput};
 pub use error::{ErrorKind, Result, VllmError};
-pub use executor::{CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
+pub use executor::{BlockMove, CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
 pub use fault::{FaultControls, FaultInjector};
 pub use metrics::{
     EngineMetrics, LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats,

@@ -297,6 +297,7 @@ pub struct TraceStats {
     blocks_copied: u64,
     blocks_swapped_in: u64,
     blocks_swapped_out: u64,
+    blocks_migrated: u64,
     num_preemptions: u64,
     num_swap_preemptions: u64,
     num_recompute_preemptions: u64,
@@ -317,6 +318,7 @@ impl TraceStats {
         self.blocks_copied += trace.blocks_copied as u64;
         self.blocks_swapped_in += trace.blocks_swapped_in as u64;
         self.blocks_swapped_out += trace.blocks_swapped_out as u64;
+        self.blocks_migrated += trace.blocks_migrated as u64;
         self.num_preemptions += trace.preemptions.len() as u64;
         self.num_swap_preemptions += trace.num_swap_preemptions() as u64;
         self.num_recompute_preemptions += trace.num_recompute_preemptions() as u64;
@@ -362,6 +364,12 @@ impl TraceStats {
     #[must_use]
     pub fn blocks_swapped_out(&self) -> u64 {
         self.blocks_swapped_out
+    }
+
+    /// Total defragmentation block migrations carried by step plans.
+    #[must_use]
+    pub fn blocks_migrated(&self) -> u64 {
+        self.blocks_migrated
     }
 
     /// Total preemption events.

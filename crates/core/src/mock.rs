@@ -60,7 +60,8 @@ impl ModelExecutor for MockExecutor {
         self.steps += 1;
         self.copies_seen += (plan.cache_ops.copies.len()
             + plan.cache_ops.swap_in.len()
-            + plan.cache_ops.swap_out.len()) as u64;
+            + plan.cache_ops.swap_out.len()
+            + plan.cache_ops.moves.len()) as u64;
         let mut outputs = Vec::with_capacity(plan.items.len());
         for item in &plan.items {
             let next_pos = item.context_len();

@@ -84,12 +84,10 @@ pub struct StepPlan {
 
 impl StepPlan {
     /// Whether the iteration has no work at all: nothing scheduled and no
-    /// swap traffic to carry out.
+    /// cache traffic (swaps, migrations, pool resizes) to carry out.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.scheduled.is_empty()
-            && self.cache_ops.swap_in.is_empty()
-            && self.cache_ops.swap_out.is_empty()
+        self.scheduled.is_empty() && self.cache_ops.is_empty()
     }
 
     /// Number of groups preempted while planning this step.
@@ -228,6 +226,8 @@ pub struct StepTrace {
     pub blocks_swapped_in: usize,
     /// Blocks swapped GPU→CPU by the step.
     pub blocks_swapped_out: usize,
+    /// Live blocks migrated by pool compaction in the step.
+    pub blocks_migrated: usize,
     /// Preemption events recorded while planning the step.
     pub preemptions: Vec<PreemptionEvent>,
 }
@@ -246,6 +246,7 @@ impl StepTrace {
             blocks_copied: plan.cache_ops.copies.len(),
             blocks_swapped_in: plan.cache_ops.swap_in.len(),
             blocks_swapped_out: plan.cache_ops.swap_out.len(),
+            blocks_migrated: plan.cache_ops.moves.len(),
             preemptions: plan.preemptions.clone(),
         }
     }

@@ -146,6 +146,31 @@ impl PrefixPool {
         Some(taken)
     }
 
+    /// Rewrites pinned block ids after a pool compaction. `mapping` is the
+    /// old→new physical id map returned by the block manager's compactor;
+    /// blocks not in the map stay put. Bumps the version so coverage
+    /// publishers notice even though the token coverage is unchanged.
+    pub fn remap_blocks(
+        &mut self,
+        mapping: &std::collections::HashMap<PhysicalBlockId, PhysicalBlockId>,
+    ) {
+        if mapping.is_empty() {
+            return;
+        }
+        let mut touched = false;
+        for p in &mut self.prefixes {
+            for b in &mut p.blocks {
+                if let Some(&nb) = mapping.get(b) {
+                    *b = nb;
+                    touched = true;
+                }
+            }
+        }
+        if touched {
+            self.version += 1;
+        }
+    }
+
     /// Finds the longest registered, computed prefix that `prompt` starts
     /// with (providers may register nested prefixes, e.g. 1-shot and 5-shot
     /// variants that share the instruction).

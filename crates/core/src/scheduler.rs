@@ -689,6 +689,34 @@ impl Scheduler {
     pub fn running_groups(&self) -> &[SequenceGroup] {
         &self.running
     }
+
+    /// Rewrites the pinned prefix-block references cached on live groups
+    /// after a pool compaction moved blocks. The block manager already
+    /// rewrote its own tables; this keeps the shared-prefix ids a waiting
+    /// group will hand to `allocate_with_prefix` in sync.
+    pub fn remap_prefix_blocks(
+        &mut self,
+        mapping: &std::collections::HashMap<
+            crate::block::PhysicalBlockId,
+            crate::block::PhysicalBlockId,
+        >,
+    ) {
+        if mapping.is_empty() {
+            return;
+        }
+        for g in self
+            .waiting
+            .iter_mut()
+            .chain(self.running.iter_mut())
+            .chain(self.swapped.iter_mut())
+        {
+            for b in &mut g.prefix_blocks {
+                if let Some(&nb) = mapping.get(b) {
+                    *b = nb;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -187,6 +187,73 @@ fn recompute_preemption_reaches_metrics_and_events() {
 }
 
 #[test]
+fn elastic_pool_gauges_and_migration_counter_reach_exposition() {
+    let mut e = engine(64, 8);
+    // A short request that finishes first (freeing the lowest block ids)
+    // and a longer one whose blocks end up above the compaction bound.
+    e.add_request("a", (0..16).collect(), SamplingParams::greedy(2))
+        .unwrap();
+    e.add_request("b", (100..116).collect(), SamplingParams::greedy(20))
+        .unwrap();
+    while e.step().unwrap().iter().all(|out| out.request_id != "a") {
+        assert!(e.has_unfinished(), "request a must finish");
+    }
+
+    // Deflate mid-decode: b's live blocks sit above the shrunken bound, so
+    // the resize compacts and journals migrations.
+    e.deflate_pool(0.0).unwrap();
+    e.run_to_completion().unwrap();
+
+    let bm = e.scheduler().block_manager();
+    assert!(bm.num_block_migrations() > 0, "deflate must migrate blocks");
+    let snap = e.metrics_snapshot();
+    assert_eq!(
+        snap.gauge("vllm_block_pool_gpu_blocks"),
+        Some(bm.num_total_gpu_blocks() as f64)
+    );
+    assert!(
+        snap.gauge("vllm_block_pool_gpu_blocks").unwrap() < 64.0,
+        "pool gauge must reflect the deflated size"
+    );
+    assert_eq!(
+        snap.gauge("vllm_block_pool_cpu_blocks"),
+        Some(bm.num_total_cpu_blocks() as f64)
+    );
+    assert_eq!(
+        snap.gauge("vllm_block_pool_fragmentation_ratio"),
+        Some(bm.pool_fragmentation_ratio())
+    );
+    assert_eq!(
+        snap.counter("vllm_block_migrations_total"),
+        Some(bm.num_block_migrations())
+    );
+    // Migrations ride StepPlan cache ops and are aggregated by the trace
+    // stats like any other plan-carried work.
+    assert_eq!(e.trace_stats().blocks_migrated(), bm.num_block_migrations());
+
+    // The new instruments survive both exposition round-trips.
+    let text = snap.to_prometheus_text();
+    let json = snap.to_json();
+    for name in [
+        "vllm_block_pool_gpu_blocks",
+        "vllm_block_pool_cpu_blocks",
+        "vllm_block_pool_fragmentation_ratio",
+        "vllm_block_migrations_total",
+    ] {
+        assert!(text.contains(name), "{name} absent from Prometheus text");
+        assert!(json.contains(name), "{name} absent from JSON exposition");
+    }
+
+    // Restoring the pool grows the gauge back to the configured size.
+    e.restore_pool().unwrap();
+    e.add_request("c", (0..8).collect(), SamplingParams::greedy(2))
+        .unwrap();
+    e.run_to_completion().unwrap();
+    let snap = e.metrics_snapshot();
+    assert_eq!(snap.gauge("vllm_block_pool_gpu_blocks"), Some(64.0));
+}
+
+#[test]
 fn counters_are_monotone_across_runs_and_snapshot_round_trips() {
     let mut e = engine(64, 0);
     e.add_request("a", (0..8).collect(), SamplingParams::greedy(4))

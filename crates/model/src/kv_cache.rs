@@ -11,6 +11,7 @@
 //! operations: batched copy-on-write copies ("fused block copy", §5.1) and
 //! swap transfers (§4.5).
 
+use vllm_core::block::Device;
 use vllm_core::executor::CacheOps;
 
 use crate::backend::KvElement;
@@ -358,6 +359,39 @@ impl KvPool {
         }
     }
 
+    /// Resizes the pool to `num_blocks` blocks (elastic memory). Growth
+    /// appends zeroed storage; shrinkage truncates — the block manager
+    /// guarantees every id at or above the new bound was vacated by the
+    /// compaction moves applied before the shrink.
+    pub fn resize(&mut self, num_blocks: usize) {
+        if num_blocks == self.num_blocks {
+            return;
+        }
+        let layer_len = num_blocks * self.block_size * self.hidden;
+        let slots = num_blocks * self.block_size;
+        match &mut self.storage {
+            KvStorage::F32 { k, v } => {
+                for l in k.iter_mut().chain(v.iter_mut()) {
+                    l.resize(layer_len, 0.0);
+                }
+            }
+            KvStorage::Int8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => {
+                for l in k.iter_mut().chain(v.iter_mut()) {
+                    l.resize(layer_len, 0);
+                }
+                for l in k_scale.iter_mut().chain(v_scale.iter_mut()) {
+                    l.resize(slots, 0.0);
+                }
+            }
+        }
+        self.num_blocks = num_blocks;
+    }
+
     /// Gathers the K and V vectors of positions `0..len` addressed through a
     /// block table into contiguous `len × hidden` f32 buffers (used by
     /// prefill over cached prefixes and by equivalence tests). Quantized
@@ -417,6 +451,8 @@ pub struct KvCache {
     pub num_block_copies: u64,
     /// Cumulative number of swap transfers performed (metrics).
     pub num_swap_transfers: u64,
+    /// Cumulative number of defragmentation migrations performed (metrics).
+    pub num_block_migrations: u64,
 }
 
 impl KvCache {
@@ -455,12 +491,41 @@ impl KvCache {
             cpu: KvPool::with_element(n_layers, num_cpu_blocks, block_size, hidden, element),
             num_block_copies: 0,
             num_swap_transfers: 0,
+            num_block_migrations: 0,
         }
     }
 
-    /// Applies the scheduler's cache operations for a step: swap-out, then
-    /// swap-in, then the batched copy-on-write copies.
+    /// Applies the scheduler's cache operations for a step, in the
+    /// [`CacheOps`] ordering contract: pool growth, defragmentation moves,
+    /// pool shrinkage, then swap-out, swap-in, and the batched
+    /// copy-on-write copies.
     pub fn apply(&mut self, ops: &CacheOps) {
+        if let Some(n) = ops.gpu_capacity {
+            if n > self.gpu.num_blocks() {
+                self.gpu.resize(n);
+            }
+        }
+        if let Some(n) = ops.cpu_capacity {
+            if n > self.cpu.num_blocks() {
+                self.cpu.resize(n);
+            }
+        }
+        for m in &ops.moves {
+            match m.device {
+                Device::Gpu => self.gpu.copy_block_within(m.src, m.dst),
+                Device::Cpu => self.cpu.copy_block_within(m.src, m.dst),
+            }
+        }
+        if let Some(n) = ops.gpu_capacity {
+            if n < self.gpu.num_blocks() {
+                self.gpu.resize(n);
+            }
+        }
+        if let Some(n) = ops.cpu_capacity {
+            if n < self.cpu.num_blocks() {
+                self.cpu.resize(n);
+            }
+        }
         for c in &ops.swap_out {
             self.gpu.copy_block_to(c.src, &mut self.cpu, c.dst);
         }
@@ -474,6 +539,7 @@ impl KvCache {
         }
         self.num_swap_transfers += (ops.swap_in.len() + ops.swap_out.len()) as u64;
         self.num_block_copies += ops.copies.len() as u64;
+        self.num_block_migrations += ops.moves.len() as u64;
     }
 }
 
@@ -549,6 +615,7 @@ mod tests {
             cpu: KvPool::new(2, 4, 2, 3),
             num_block_copies: 0,
             num_swap_transfers: 0,
+            num_block_migrations: 0,
         };
         let original = cache.gpu.key(0, 3, 1).to_vec();
         cache.apply(&CacheOps {

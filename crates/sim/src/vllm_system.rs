@@ -82,7 +82,9 @@ impl ModelExecutor for SimExecutor {
                 work.decode_contexts.push(item.context_len());
             }
         }
-        work.copied_tokens = plan.cache_ops.copies.len() * plan.block_size;
+        // Defragmentation migrations cost one block copy each, same as CoW.
+        work.copied_tokens =
+            (plan.cache_ops.copies.len() + plan.cache_ops.moves.len()) * plan.block_size;
         work.swapped_blocks = plan.cache_ops.swap_in.len() + plan.cache_ops.swap_out.len();
         let elapsed = self.cost.step_latency(&work);
         self.busy_time += elapsed;
@@ -245,6 +247,29 @@ impl VllmSimSystem {
     pub fn without_sharing(mut self) -> Self {
         self.engine.set_block_sharing(false);
         self.label = "vLLM (no sharing)".to_string();
+        self
+    }
+
+    /// Turns the fixed pool into an elastic one: the GPU pool starts
+    /// deflated at `min_fraction` of the configured budget and an
+    /// [`vllm_core::elastic::ElasticController`] inflates/deflates it
+    /// between that floor and the full budget as pressure shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_fraction` yields an invalid elastic band.
+    #[must_use]
+    pub fn with_elastic(mut self, min_fraction: f64) -> Self {
+        use vllm_core::elastic::{ElasticConfig, ElasticController};
+        let total = self.engine.cache_config().num_gpu_blocks;
+        let cpu = self.engine.cache_config().num_cpu_blocks;
+        let min = ((total as f64 * min_fraction.clamp(0.0, 1.0)) as usize).max(1);
+        let cfg = ElasticConfig::new(min, total).expect("valid elastic band");
+        self.engine
+            .resize_pools(min, cpu)
+            .expect("deflate fresh pool");
+        self.engine.set_elastic(Some(ElasticController::new(cfg)));
+        self.label = "vLLM (elastic)".to_string();
         self
     }
 

@@ -33,4 +33,7 @@ cargo run --release -q -p vllm-bench --bin trace -- --ci
 mkdir -p results
 cp target/ci-trace/trace.json target/ci-trace/trace_perfetto.json target/ci-trace/trace_summary.json results/
 
+echo "==> elastic capacity gate (elastic peak batch >= fixed pool at equal budget, scalar + quant-kv8, contiguous baseline numbers)"
+cargo run --release -q -p vllm-bench --bin elastic -- --ci
+
 echo "CI OK"

@@ -109,8 +109,8 @@ use vllm_cluster::{
 };
 use vllm_core::telemetry::{spans_to_json, trace_seed, EventQuery, Span, Telemetry, TraceContext};
 use vllm_core::{
-    chunk_hashes, EngineLoad, GenerationMode, GenerationRequest, LlmEngine, ModelExecutor,
-    RequestOutput, VllmError,
+    chunk_hashes, ElasticConfig, ElasticController, EngineLoad, GenerationMode, GenerationRequest,
+    LlmEngine, ModelExecutor, RequestOutput, VllmError,
 };
 use vllm_model::ByteTokenizer;
 
@@ -206,7 +206,16 @@ impl Server {
         let replicas: Vec<Replica> = engines
             .into_iter()
             .enumerate()
-            .map(|(i, e)| Replica::spawn(i, e))
+            .map(|(i, mut e)| {
+                // Opt-in elastic pool control: any VLLM_ELASTIC_* variable
+                // attaches the hysteresis controller to every replica.
+                if let Ok(Some(cfg)) =
+                    ElasticConfig::enabled_from_env(e.cache_config().num_gpu_blocks)
+                {
+                    e.set_elastic(Some(ElasticController::new(cfg)));
+                }
+                Replica::spawn(i, e)
+            })
             .collect();
         let cluster_telemetry = Arc::new(Telemetry::new());
         let mut router = Router::new(cfg, replicas.len());

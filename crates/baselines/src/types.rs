@@ -39,6 +39,12 @@ impl SimRequest {
 pub struct StepWork {
     /// Token counts of prompt-phase sequences processed this step.
     pub prefill_tokens: Vec<usize>,
+    /// Attention context length for each `prefill_tokens` entry (the
+    /// position reached after the rows run). Empty for whole-prompt
+    /// prefills, where context equals the token count; chunked prefills
+    /// fill it so the cost model charges each chunk's rows against the full
+    /// KV prefix they attend to, not just the chunk's own length.
+    pub prefill_contexts: Vec<usize>,
     /// Context lengths of generation-phase sequences (one new token each).
     pub decode_contexts: Vec<usize>,
     /// KV token-states copied GPU→GPU this step (beam-candidate copies in
@@ -234,9 +240,8 @@ mod tests {
         let w = StepWork {
             prefill_tokens: vec![10, 5],
             decode_contexts: vec![100, 200, 300],
-            copied_tokens: 0,
-            swapped_blocks: 0,
             padded_tokens: 2,
+            ..Default::default()
         };
         assert_eq!(w.new_tokens(), 20);
         assert!(!w.is_empty());

@@ -7,9 +7,15 @@
 //!    second has its CPU swap pool exhausted. Every request must complete
 //!    exactly once or be terminally rejected with a retryable error; no
 //!    request is lost or duplicated, and no KV block leaks.
-//! 2. **Seeded soak** — a batch of [`FaultPlan::seeded`] schedules, each
-//!    run twice. The same seed must reproduce the identical
-//!    [`FaultReport`] — same retry counts, same token fingerprint.
+//! 2. **Chunked-prefill scenario** — every replica is switched to
+//!    scheduler-budgeted chunked prefill ([`FaultKind::StallPrefill`]), so
+//!    prompts span several lockstep steps; a kill and a forward failure
+//!    then land *between* chunks. Partially-prefilled requests must be
+//!    re-routed and delivered exactly once with zero block leaks.
+//! 3. **Seeded soak** — a batch of [`FaultPlan::seeded`] schedules (which
+//!    include prefill-chunking switches), each run twice. The same seed
+//!    must reproduce the identical [`FaultReport`] — same retry counts,
+//!    same token fingerprint.
 //!
 //! Writes per-run outcome counts to `results/faults.json`. With `--ci` the
 //! harness asserts the acceptance criteria instead, writing its artifact
@@ -65,6 +71,20 @@ fn acceptance_plan() -> FaultPlan {
         .with_event(30, 0, FaultKind::RestartReplica)
 }
 
+/// The chunked-prefill plan: all replicas switch to chunked prefill (4
+/// chunks per 16-token prompt) before traffic ramps, then replica 0 is
+/// killed mid-prefill and replica 1 drops a forward pass — both faults
+/// land between chunks of partially-prefilled prompts.
+fn chunked_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(0);
+    for r in 0..REPLICAS {
+        plan = plan.with_event(0, r, FaultKind::StallPrefill { chunks: 4 });
+    }
+    plan.with_event(4, 0, FaultKind::KillReplica)
+        .with_event(7, 1, FaultKind::FailForwards { count: 1 })
+        .with_event(30, 0, FaultKind::RestartReplica)
+}
+
 fn run_plan(plan: &FaultPlan, policy: RoutePolicy) -> (FaultReport, MetricsSnapshot) {
     let mut cluster = FaultCluster::new(FaultClusterConfig::new(REPLICAS).with_policy(policy));
     let report = cluster.run(plan, trace(REQUESTS, ARRIVALS_PER_STEP));
@@ -113,7 +133,20 @@ fn main() {
         scenario.leaked_blocks
     );
 
-    // 2. Seeded soak, each seed run twice for determinism.
+    // 2. Chunked-prefill scenario: kills land between prefill chunks.
+    let (chunked, chunked_snap) = run_plan(&chunked_plan(), RoutePolicy::RoundRobin);
+    println!(
+        "chunked:  {}/{} completed, {} rejected, {} lost, {} dup, {} retries, {} leaked blocks",
+        chunked.completed,
+        chunked.num_requests,
+        chunked.rejected,
+        chunked.lost,
+        chunked.duplicates,
+        chunked.retries,
+        chunked.leaked_blocks
+    );
+
+    // 3. Seeded soak, each seed run twice for determinism.
     let soak: Vec<(u64, FaultReport, FaultReport)> = SOAK_SEEDS
         .iter()
         .map(|&seed| {
@@ -143,6 +176,7 @@ fn main() {
         report_json("scenario", 0, &scenario)
     )
     .unwrap();
+    write!(json, ",{}", report_json("chunked", 0, &chunked)).unwrap();
     for (seed, r, _) in &soak {
         write!(json, ",{}", report_json("seeded", *seed, r)).unwrap();
     }
@@ -213,6 +247,32 @@ fn main() {
             &format!("{name} absent from JSON exposition"),
         );
     }
+
+    // Chunked-prefill scenario: exactly-once delivery with kills landing
+    // between prefill chunks, and exact block accounting for the aborted
+    // chunk cursors.
+    check(chunked.kills == 1, "chunked: expected exactly one kill");
+    check(
+        chunked.lost == 0,
+        "chunked: partially-prefilled requests were lost",
+    );
+    check(chunked.duplicates == 0, "chunked: duplicate completions");
+    check(
+        chunked.completed + chunked.rejected == chunked.num_requests,
+        "chunked: some requests neither completed nor rejected",
+    );
+    check(
+        chunked.retries > 0,
+        "chunked: the mid-prefill kill must force re-routing retries",
+    );
+    check(
+        chunked.leaked_blocks == 0,
+        "chunked: KV blocks leaked across chunk-cursor aborts",
+    );
+    check(
+        chunked_snap.counter("vllm_fault_prefill_stalls_total") == Some(REPLICAS as u64),
+        "chunked: vllm_fault_prefill_stalls_total missing or wrong",
+    );
 
     // Seeded soak: determinism and zero-loss for every seed.
     for (seed, a, b) in &soak {

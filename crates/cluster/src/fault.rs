@@ -33,8 +33,8 @@
 //!
 //! Fault telemetry is exported as `vllm_fault_injected_total`,
 //! `vllm_fault_kills_total`, `vllm_fault_forward_failures_total`,
-//! `vllm_fault_swap_exhaustions_total`, and
-//! `vllm_fault_pool_pressure_total` alongside the router counters in
+//! `vllm_fault_swap_exhaustions_total`, `vllm_fault_pool_pressure_total`,
+//! and `vllm_fault_prefill_stalls_total` alongside the router counters in
 //! [`FaultCluster::merged_snapshot`].
 
 use std::collections::HashMap;
@@ -66,6 +66,16 @@ pub enum FaultKind {
     StallReplica {
         /// Steps to skip.
         steps: u64,
+    },
+    /// Switch the replica to scheduler-budgeted chunked prefill with a
+    /// per-step token budget that splits the trace's longest prompt into
+    /// at least this many chunks. Prefill then spans multiple lockstep
+    /// steps, so later kill/fail events land *between* chunks — exercising
+    /// recovery of partially-prefilled requests. Cleared when a restart
+    /// swaps in a fresh engine.
+    StallPrefill {
+        /// Minimum chunks the longest prompt is split into (≥ 1).
+        chunks: u64,
     },
     /// Fail the replica's next `count` forward passes with an executor
     /// error; the harness aborts and re-routes the affected requests.
@@ -149,8 +159,9 @@ impl FaultPlan {
 
     /// Derives a pseudo-random schedule from `seed`: one kill + restart,
     /// one swap exhaustion window (when there is more than one replica),
-    /// and a few stalls / forward failures / cache-op delays, all within
-    /// `horizon` steps. The same seed always yields the same plan.
+    /// and a few stalls / prefill-chunking switches / forward failures /
+    /// cache-op delays, all within `horizon` steps. The same seed always
+    /// yields the same plan.
     ///
     /// # Panics
     ///
@@ -190,12 +201,15 @@ impl FaultPlan {
         for _ in 0..extras {
             let at = splitmix64(&mut s) % horizon;
             let replica = (splitmix64(&mut s) as usize) % num_replicas;
-            let kind = match splitmix64(&mut s) % 3 {
+            let kind = match splitmix64(&mut s) % 4 {
                 0 => FaultKind::FailForwards {
                     count: 1 + (splitmix64(&mut s) % 2) as u32,
                 },
                 1 => FaultKind::StallReplica {
                     steps: 1 + splitmix64(&mut s) % 4,
+                },
+                2 => FaultKind::StallPrefill {
+                    chunks: 2 + splitmix64(&mut s) % 3,
                 },
                 _ => FaultKind::DelayCacheOps {
                     seconds_per_op: 0.005 * (1 + splitmix64(&mut s) % 4) as f64,
@@ -336,6 +350,7 @@ struct FaultCounters {
     forward_failures: Counter,
     swap_exhaustions: Counter,
     pool_pressures: Counter,
+    prefill_stalls: Counter,
 }
 
 /// N engines in deterministic lockstep under a router, a request trace, and
@@ -354,6 +369,9 @@ pub struct FaultCluster {
     archived: Vec<(usize, Vec<Span>, MetricsSnapshot)>,
     /// Span drops accumulated from archived (replaced) engines.
     archived_drops: u64,
+    /// Longest prompt in the current run's trace, used by
+    /// [`FaultKind::StallPrefill`] to derive a per-step token budget.
+    max_prompt_len: usize,
 }
 
 impl FaultCluster {
@@ -384,6 +402,10 @@ impl FaultCluster {
                 "vllm_fault_pool_pressure_total",
                 "Elastic pool-deflation events fired.",
             ),
+            prefill_stalls: r.counter(
+                "vllm_fault_prefill_stalls_total",
+                "Chunked-prefill stall events fired.",
+            ),
         };
         let slots: Vec<ReplicaSlot> = (0..cfg.num_replicas).map(|_| fresh_slot()).collect();
         let block_size = slots[0].engine.cache_config().block_size;
@@ -396,6 +418,7 @@ impl FaultCluster {
             block_size,
             archived: Vec::new(),
             archived_drops: 0,
+            max_prompt_len: 1,
         }
     }
 
@@ -493,6 +516,7 @@ impl FaultCluster {
     pub fn run(&mut self, plan: &FaultPlan, mut requests: Vec<ClusterRequest>) -> FaultReport {
         requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
         let num_requests = requests.len();
+        self.max_prompt_len = requests.iter().map(|r| r.prompt.len()).max().unwrap_or(1);
         let mut events = plan.events.clone();
         events.sort_by_key(|e| (e.at_step, e.replica));
         let mut st = RunState {
@@ -638,6 +662,16 @@ impl FaultCluster {
             FaultKind::StallReplica { steps } => {
                 self.slots[e.replica].stall_remaining += steps;
             }
+            FaultKind::StallPrefill { chunks } => {
+                self.counters.prefill_stalls.inc();
+                let budget = self
+                    .max_prompt_len
+                    .div_ceil((chunks as usize).max(1))
+                    .max(1);
+                self.slots[e.replica]
+                    .engine
+                    .set_step_token_budget(Some(budget));
+            }
             FaultKind::FailForwards { count } => {
                 self.slots[e.replica].controls.fail_next_forwards(count);
             }
@@ -678,6 +712,7 @@ impl FaultCluster {
             FaultKind::KillReplica => "fault.kill",
             FaultKind::RestartReplica => "fault.restart",
             FaultKind::StallReplica { .. } => "fault.stall",
+            FaultKind::StallPrefill { .. } => "fault.stall_prefill",
             FaultKind::FailForwards { .. } => "fault.fail_forwards",
             FaultKind::ExhaustSwap => "fault.exhaust_swap",
             FaultKind::RestoreSwap => "fault.restore_swap",
@@ -1019,6 +1054,38 @@ mod tests {
         let cluster_spans = cluster.telemetry().spans().snapshot();
         assert!(cluster_spans.iter().any(|s| s.name == "fault.kill"));
         assert!(cluster_spans.iter().any(|s| s.name == "fault.restart"));
+    }
+
+    #[test]
+    fn kill_between_prefill_chunks_loses_nothing() {
+        // Both replicas switch to chunked prefill (16-token prompts split
+        // into 4 chunks of 4), then replica 0 is killed while prefills are
+        // mid-prompt. Every partially-prefilled request must be re-routed
+        // and complete exactly once, with exact block accounting.
+        let plan = FaultPlan::new(0)
+            .with_event(0, 0, FaultKind::StallPrefill { chunks: 4 })
+            .with_event(0, 1, FaultKind::StallPrefill { chunks: 4 })
+            .with_event(3, 0, FaultKind::KillReplica)
+            .with_event(16, 0, FaultKind::RestartReplica);
+        let run = || {
+            let mut cluster =
+                FaultCluster::new(FaultClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin));
+            let report = cluster.run(&plan, trace(16, 2.0));
+            let merged = cluster.merged_snapshot();
+            let spans = cluster.telemetry().spans().snapshot();
+            (report, merged, spans)
+        };
+        let (report, merged, spans) = run();
+        assert_eq!(report.kills, 1);
+        assert_eq!(report.lost, 0, "mid-prefill kill must not lose requests");
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.completed, 16);
+        assert!(report.retries > 0, "in-flight chunked prefills re-route");
+        assert_eq!(report.leaked_blocks, 0, "chunk cursors must not leak");
+        assert_eq!(merged.counter("vllm_fault_prefill_stalls_total"), Some(2));
+        assert!(spans.iter().any(|s| s.name == "fault.stall_prefill"));
+        // Deterministic under mid-chunk kills.
+        assert_eq!(report, run().0);
     }
 
     #[test]

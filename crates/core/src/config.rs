@@ -118,6 +118,32 @@ impl CacheConfig {
     }
 }
 
+/// Environment variable carrying the per-step token budget that enables
+/// scheduler-budgeted chunked prefill (`VLLM_STEP_TOKEN_BUDGET=256`).
+/// Unset, empty, or `0` leaves chunking disabled (all-or-nothing prefill
+/// admission, the paper's §4.5 behavior).
+pub const STEP_TOKEN_BUDGET_ENV: &str = "VLLM_STEP_TOKEN_BUDGET";
+
+/// Reads [`STEP_TOKEN_BUDGET_ENV`]: `None` when unset, empty, or zero.
+///
+/// # Panics
+///
+/// Panics on a non-numeric value — a typo'd budget silently disabling
+/// chunked prefill would invalidate TTFT comparisons.
+#[must_use]
+pub fn step_token_budget_from_env() -> Option<usize> {
+    match std::env::var(STEP_TOKEN_BUDGET_ENV) {
+        Ok(s) if s.is_empty() => None,
+        Ok(s) => {
+            let v: usize = s.parse().unwrap_or_else(|_| {
+                panic!("invalid {STEP_TOKEN_BUDGET_ENV} value `{s}` (expected a token count)")
+            });
+            (v > 0).then_some(v)
+        }
+        Err(_) => None,
+    }
+}
+
 /// How a preempted sequence group is recovered (§4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PreemptionMode {
@@ -152,6 +178,11 @@ pub struct SchedulerConfig {
     pub preemption_mode: PreemptionMode,
     /// Which group is preempted first.
     pub victim_policy: VictimPolicy,
+    /// Per-step token budget enabling chunked prefill. `None` keeps the
+    /// paper's all-or-nothing prompt admission; `Some(b)` makes the
+    /// scheduler split prompts into chunks of at most `b` tokens that
+    /// co-batch with decode sequences in the same step.
+    pub step_token_budget: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -162,6 +193,7 @@ impl Default for SchedulerConfig {
             max_model_len: 2048,
             preemption_mode: PreemptionMode::Recompute,
             victim_policy: VictimPolicy::LatestArrival,
+            step_token_budget: None,
         }
     }
 }
@@ -195,7 +227,55 @@ impl SchedulerConfig {
             max_model_len,
             preemption_mode: PreemptionMode::Recompute,
             victim_policy: VictimPolicy::LatestArrival,
+            step_token_budget: None,
         })
+    }
+
+    /// Creates a chunked-prefill scheduler configuration: prompts are split
+    /// into chunks of at most `step_token_budget` tokens, so — unlike
+    /// [`Self::new`] — `max_num_batched_tokens` may be smaller than
+    /// `max_model_len` (a full-length prompt no longer has to fit in one
+    /// iteration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::InvalidConfig`] if any limit is zero or the
+    /// budget exceeds `max_num_batched_tokens`.
+    pub fn new_chunked(
+        max_num_batched_tokens: usize,
+        max_num_seqs: usize,
+        max_model_len: usize,
+        step_token_budget: usize,
+    ) -> Result<Self> {
+        if max_num_batched_tokens == 0
+            || max_num_seqs == 0
+            || max_model_len == 0
+            || step_token_budget == 0
+        {
+            return Err(VllmError::InvalidConfig(
+                "scheduler limits must be > 0".into(),
+            ));
+        }
+        if step_token_budget > max_num_batched_tokens {
+            return Err(VllmError::InvalidConfig(format!(
+                "step_token_budget ({step_token_budget}) must be <= max_num_batched_tokens ({max_num_batched_tokens})"
+            )));
+        }
+        Ok(Self {
+            max_num_batched_tokens,
+            max_num_seqs,
+            max_model_len,
+            preemption_mode: PreemptionMode::Recompute,
+            victim_policy: VictimPolicy::LatestArrival,
+            step_token_budget: Some(step_token_budget),
+        })
+    }
+
+    /// Sets (or clears) the chunked-prefill step token budget.
+    #[must_use]
+    pub fn with_step_token_budget(mut self, budget: Option<usize>) -> Self {
+        self.step_token_budget = budget.filter(|&b| b > 0);
+        self
     }
 
     /// Sets the preemption (recovery) mode.
@@ -260,6 +340,21 @@ mod tests {
         assert!(SchedulerConfig::new(2048, 256, 2048).is_ok());
         assert!(SchedulerConfig::new(1024, 256, 2048).is_err());
         assert!(SchedulerConfig::new(0, 256, 2048).is_err());
+    }
+
+    #[test]
+    fn chunked_scheduler_config_relaxes_prompt_budget() {
+        // With a step budget, a prompt no longer has to fit one iteration.
+        let cfg = SchedulerConfig::new_chunked(512, 64, 33_000, 256).unwrap();
+        assert_eq!(cfg.step_token_budget, Some(256));
+        assert!(cfg.max_num_batched_tokens < cfg.max_model_len);
+        assert!(SchedulerConfig::new_chunked(512, 64, 2048, 0).is_err());
+        assert!(SchedulerConfig::new_chunked(512, 64, 2048, 1024).is_err());
+        let legacy = SchedulerConfig::new(2048, 64, 2048)
+            .unwrap()
+            .with_step_token_budget(Some(128));
+        assert_eq!(legacy.step_token_budget, Some(128));
+        assert_eq!(legacy.with_step_token_budget(None).step_token_budget, None);
     }
 
     #[test]

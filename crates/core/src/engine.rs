@@ -161,6 +161,14 @@ impl<E: ModelExecutor> LlmEngine<E> {
     /// Creates an engine over a fresh scheduler and block manager.
     #[must_use]
     pub fn new(executor: E, cache_config: CacheConfig, scheduler_config: SchedulerConfig) -> Self {
+        // `VLLM_STEP_TOKEN_BUDGET` opts the engine into chunked prefill
+        // when the configuration did not choose explicitly, clamped so a
+        // chunk can never exceed the per-step batch cap.
+        let mut scheduler_config = scheduler_config;
+        if scheduler_config.step_token_budget.is_none() {
+            scheduler_config.step_token_budget = crate::config::step_token_budget_from_env()
+                .map(|b| b.min(scheduler_config.max_num_batched_tokens));
+        }
         let scheduler = Scheduler::new(scheduler_config, &cache_config);
         let telemetry = Arc::new(Telemetry::new());
         let tmetrics = EngineMetrics::register(&telemetry);
@@ -212,6 +220,12 @@ impl<E: ModelExecutor> LlmEngine<E> {
     pub fn set_block_sharing(&mut self, enabled: bool) {
         self.sharing_enabled = enabled;
         self.scheduler.block_manager_mut().fanout_admission = !enabled;
+    }
+
+    /// Enables (`Some`, non-zero) or disables (`None`) scheduler-budgeted
+    /// chunked prefill (see [`crate::config::STEP_TOKEN_BUDGET_ENV`]).
+    pub fn set_step_token_budget(&mut self, budget: Option<usize>) {
+        self.scheduler.set_step_token_budget(budget);
     }
 
     /// Current virtual time in seconds.
@@ -668,6 +682,7 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 num_candidates: 0,
                 mode: DecodingMode::Greedy,
                 seed: 0,
+                chunked: false,
             }],
             block_size: bs,
             ..StepPlan::default()
@@ -970,16 +985,36 @@ impl<E: ModelExecutor> LlmEngine<E> {
     /// implies: prompt admissions, preemptions, swap-ins, and rejections.
     fn record_plan_telemetry(&self, plan: &StepPlan) {
         let events = self.telemetry.events();
-        if plan.is_prompt_run {
-            for sg in &plan.scheduled {
-                events.record(
-                    &sg.request_id,
-                    self.clock,
-                    EventKind::Scheduled {
-                        prompt_tokens: sg.num_tokens,
-                    },
-                );
+        for sg in &plan.scheduled {
+            // A prompt's `Scheduled` event fires once, at admission: legacy
+            // prefills always, chunked prefills on their first chunk only.
+            if !sg.is_prompt || sg.chunk.is_some_and(|c| !c.is_first) {
+                continue;
             }
+            // For a chunked admission the event reports the whole prompt the
+            // chunks will cover, not just the first chunk's slice.
+            let prompt_tokens = if sg.chunk.is_some() {
+                self.scheduler
+                    .group(&sg.request_id)
+                    .map_or(sg.num_tokens, |g| {
+                        g.seqs().iter().map(|s| s.data.prompt_len()).sum()
+                    })
+            } else {
+                sg.num_tokens
+            };
+            events.record(
+                &sg.request_id,
+                self.clock,
+                EventKind::Scheduled { prompt_tokens },
+            );
+        }
+        let chunks = plan
+            .scheduled
+            .iter()
+            .filter(|sg| sg.chunk.is_some())
+            .count() as u64;
+        if chunks > 0 {
+            self.tmetrics.prefill_chunks_total.inc_by(chunks);
         }
         for p in &plan.preemptions {
             let mode = match p.kind {

@@ -36,6 +36,11 @@ pub struct SeqStepInput {
     pub mode: DecodingMode,
     /// Seed for this sequence's sampling stream.
     pub seed: u64,
+    /// Whether this item is a scheduler-budgeted prefill chunk. Chunked
+    /// items must run the prefill attention path even when only one new row
+    /// remains, so chunked logits stay bit-identical to an unchunked
+    /// prefill (which computes every row with the same kernel).
+    pub chunked: bool,
 }
 
 impl SeqStepInput {

@@ -412,6 +412,11 @@ pub struct EngineMetrics {
     pub requests_ignored_total: Counter,
     /// `vllm_engine_deadline_cancellations_total` counter.
     pub deadline_cancellations_total: Counter,
+    /// `vllm_engine_prefill_chunks_total` counter: prompt chunks dispatched
+    /// under chunked-prefill mode (one per scheduled [`PrefillChunk`]).
+    ///
+    /// [`PrefillChunk`]: crate::scheduler::PrefillChunk
+    pub prefill_chunks_total: Counter,
     /// `vllm_request_deadline_miss_seconds` histogram: how far past its
     /// deadline a cancelled request was when the engine cancelled it.
     pub request_deadline_miss_seconds: Histogram,
@@ -473,6 +478,10 @@ impl EngineMetrics {
             deadline_cancellations_total: r.counter(
                 "vllm_engine_deadline_cancellations_total",
                 "Requests cancelled because their deadline passed.",
+            ),
+            prefill_chunks_total: r.counter(
+                "vllm_engine_prefill_chunks_total",
+                "Prompt chunks dispatched under chunked-prefill mode.",
             ),
             request_deadline_miss_seconds: r.histogram(
                 "vllm_request_deadline_miss_seconds",

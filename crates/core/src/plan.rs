@@ -138,6 +138,32 @@ pub fn materialize_batch(scheduler: &Scheduler, plan: &mut StepPlan) -> Result<(
                 .get(seq_id)
                 .ok_or(VllmError::UnknownSequence(seq_id))?;
             let block_table = scheduler.block_manager().gpu_block_ids(seq_id)?;
+            if let Some(chunk) = sg.chunk {
+                // Chunked prefill: the item carries the prompt up to the
+                // chunk's end; rows before `chunk.start` are already cached,
+                // and only a final chunk samples.
+                debug_assert!(chunk.end <= seq.len());
+                let num_candidates = if chunk.is_final {
+                    match params.mode {
+                        DecodingMode::Beam { width } => 2 * width,
+                        _ => params.n,
+                    }
+                } else {
+                    0
+                };
+                items.push(SeqStepInput {
+                    seq_id,
+                    tokens: seq.data.tokens()[..chunk.end].to_vec(),
+                    first_position: 0,
+                    num_cached_tokens: chunk.start,
+                    block_table,
+                    num_candidates,
+                    mode: params.mode,
+                    seed: base_seed,
+                    chunked: true,
+                });
+                continue;
+            }
             let (tokens, first_position) = if sg.is_prompt {
                 (seq.data.tokens().to_vec(), 0)
             } else {
@@ -168,6 +194,7 @@ pub fn materialize_batch(scheduler: &Scheduler, plan: &mut StepPlan) -> Result<(
                 num_candidates,
                 mode: params.mode,
                 seed: base_seed,
+                chunked: false,
             });
         }
     }

@@ -74,9 +74,44 @@ impl<E: ModelExecutor> LlmEngine<E> {
             .collect();
 
         for sg in &plan.scheduled {
+            // A non-final prefill chunk is KV-only: advance the chunk cursor
+            // and emit its per-chunk span, but touch none of the token-time
+            // bookkeeping — TTFT must close at the first *sampled* token,
+            // which the final chunk produces.
+            if let Some(chunk) = sg.chunk.filter(|c| !c.is_final) {
+                let group = self
+                    .scheduler
+                    .group_mut(&sg.request_id)
+                    .ok_or_else(|| VllmError::UnknownRequest(sg.request_id.clone()))?;
+                for &seq_id in &sg.seq_ids {
+                    let seq = group
+                        .get_mut(seq_id)
+                        .ok_or(VllmError::UnknownSequence(seq_id))?;
+                    seq.data.set_num_computed_tokens(chunk.end);
+                }
+                if group.trace.is_active() {
+                    // Chunk spans nest under the request's `prefill` span
+                    // (child 2), keyed by the chunk cursor so replays are
+                    // deterministic.
+                    let p = group.trace.child(2).child(0x4000_0000 + chunk.start as u64);
+                    self.telemetry.spans().record(Span {
+                        trace_id: p.trace_id,
+                        span_id: p.span_id,
+                        parent_span_id: p.parent_span_id,
+                        name: "prefill.chunk".to_string(),
+                        start: self.clock - result.elapsed,
+                        end: self.clock,
+                        attrs: vec![
+                            ("chunk_start".to_string(), chunk.start.to_string()),
+                            ("chunk_len".to_string(), chunk.len().to_string()),
+                        ],
+                    });
+                }
+                continue;
+            }
             // Mark the KV cache as computed up to the current length and
             // update the group's token-time bookkeeping.
-            let (first_token, inter_token_gap, prefill_span) = {
+            let (first_token, inter_token_gap, prefill_span, final_chunk_span) = {
                 let group = self
                     .scheduler
                     .group_mut(&sg.request_id)
@@ -106,7 +141,13 @@ impl<E: ModelExecutor> LlmEngine<E> {
                 } else {
                     None
                 };
-                (first_token, gap, prefill_span)
+                // The final chunk of a split prefill also records its own
+                // per-chunk span under `prefill`.
+                let final_chunk_span = sg
+                    .chunk
+                    .filter(|c| !c.is_first && group.trace.is_active())
+                    .map(|c| (group.trace, c));
+                (first_token, gap, prefill_span, final_chunk_span)
             };
             if let Some(ttft) = first_token {
                 self.tmetrics.request_ttft_seconds.observe(ttft);
@@ -128,6 +169,21 @@ impl<E: ModelExecutor> LlmEngine<E> {
             }
             if let Some(gap) = inter_token_gap {
                 self.tmetrics.request_inter_token_seconds.observe(gap);
+            }
+            if let Some((trace, chunk)) = final_chunk_span {
+                let p = trace.child(2).child(0x4000_0000 + chunk.start as u64);
+                self.telemetry.spans().record(Span {
+                    trace_id: p.trace_id,
+                    span_id: p.span_id,
+                    parent_span_id: p.parent_span_id,
+                    name: "prefill.chunk".to_string(),
+                    start: self.clock - result.elapsed,
+                    end: self.clock,
+                    attrs: vec![
+                        ("chunk_start".to_string(), chunk.start.to_string()),
+                        ("chunk_len".to_string(), chunk.len().to_string()),
+                    ],
+                });
             }
 
             let params = self

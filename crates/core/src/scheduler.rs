@@ -6,6 +6,15 @@
 //! GPU blocks run out, the latest-arrived running group is preempted —
 //! swapped to CPU memory or rolled back for recomputation — and, as in the
 //! paper, no new request is admitted while any group remains swapped out.
+//!
+//! With a step token budget configured
+//! ([`SchedulerConfig::step_token_budget`], env `VLLM_STEP_TOKEN_BUDGET`),
+//! the prompt/generation dichotomy dissolves into **chunked prefill**: every
+//! step first schedules all decode-phase sequences, then spends the leftover
+//! budget advancing prompts in bounded chunks ([`PrefillChunk`]) co-batched
+//! into the same plan, so one long prompt no longer stalls the decoders
+//! behind it. Prompt *memory* is still reserved all-or-nothing at admission;
+//! only the compute is chunked, which keeps preemption accounting unchanged.
 
 use std::collections::VecDeque;
 
@@ -14,6 +23,37 @@ use crate::config::{CacheConfig, PreemptionMode, SchedulerConfig, VictimPolicy};
 use crate::error::{Result, VllmError};
 use crate::plan::{PreemptionEvent, PreemptionKind, StepBudget, StepPlan};
 use crate::sequence::{SeqId, SequenceGroup, SequenceStatus};
+
+/// One prefill chunk scheduled for an iteration (chunked-prefill mode): the
+/// sequence's prompt rows `[start, end)` run this step, attending over every
+/// previously computed position plus a causal intra-chunk mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillChunk {
+    /// First prompt row computed this step (the group's chunk cursor).
+    pub start: usize,
+    /// One past the last prompt row computed this step.
+    pub end: usize,
+    /// Whether this is the group's first scheduled chunk (admission).
+    pub is_first: bool,
+    /// Whether this chunk completes the prompt. Only a final chunk samples;
+    /// earlier chunks are KV-only.
+    pub is_final: bool,
+}
+
+impl PrefillChunk {
+    /// Tokens computed by this chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk computes no tokens (never produced by the
+    /// scheduler; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
 
 /// Per-group slice of a scheduled iteration.
 #[derive(Debug, Clone)]
@@ -27,8 +67,12 @@ pub struct ScheduledGroup {
     /// Number of tokens this group contributes to the iteration's batch.
     pub num_tokens: usize,
     /// Number of leading prompt tokens whose KV cache is already present
-    /// (shared-prefix requests skip recomputing these).
+    /// (shared-prefix requests skip recomputing these; for a chunk, every
+    /// row before `chunk.start`).
     pub num_cached_tokens: usize,
+    /// The prompt chunk this group runs when scheduled under a step token
+    /// budget; `None` for decode groups and legacy all-or-nothing prefills.
+    pub chunk: Option<PrefillChunk>,
     /// Trace context of the group (inactive when the request is unsampled),
     /// so the engine can attribute step work to request spans.
     pub trace: vllm_telemetry::TraceContext,
@@ -142,6 +186,14 @@ impl Scheduler {
     /// Mutable access to the block manager (engine fork/free callbacks).
     pub fn block_manager_mut(&mut self) -> &mut BlockSpaceManager {
         &mut self.block_manager
+    }
+
+    /// Enables (`Some`, non-zero) or disables (`None`) scheduler-budgeted
+    /// chunked prefill after construction. Safe to flip between steps:
+    /// chunked mode only changes how *new* compute is scheduled, never how
+    /// memory is accounted.
+    pub fn set_step_token_budget(&mut self, budget: Option<usize>) {
+        self.config.step_token_budget = budget.filter(|&b| b > 0);
     }
 
     /// Scheduling counters.
@@ -362,43 +414,35 @@ impl Scheduler {
             ..StepPlan::default()
         };
 
-        // Phase 1: admit new prompts, but only when nothing is swapped out
-        // (§4.5: stop accepting new requests until preempted ones complete).
-        if self.swapped.is_empty() {
-            self.schedule_prompts(&mut plan)?;
-            if !plan.scheduled.is_empty() {
-                plan.is_prompt_run = true;
-                plan.cache_ops = self.block_manager.take_pending();
-                return Ok(plan);
+        if let Some(budget) = self.config.step_token_budget {
+            // Chunked-prefill mode: decode work and prompt chunks co-batch
+            // inside one plan under a per-step token budget.
+            self.schedule_chunked(budget, &mut plan)?;
+        } else {
+            // Phase 1: admit new prompts, but only when nothing is swapped
+            // out (§4.5: stop accepting new requests until preempted ones
+            // complete).
+            if self.swapped.is_empty() {
+                self.schedule_prompts(&mut plan)?;
+                if !plan.scheduled.is_empty() {
+                    plan.is_prompt_run = true;
+                    plan.cache_ops = self.block_manager.take_pending();
+                    return Ok(plan);
+                }
             }
-        }
 
-        // Phase 2: one generation step for every running sequence, preempting
-        // the lowest-priority groups if blocks run out.
-        self.schedule_decodes(&mut plan)?;
+            // Phase 2: one generation step for every running sequence,
+            // preempting the lowest-priority groups if blocks run out.
+            self.schedule_decodes(&mut plan)?;
 
-        // Phase 3: swap groups back in while memory allows (FCFS). Skipped if
-        // this very step had to preempt.
-        if plan.preemptions.is_empty() {
-            self.schedule_swap_in(&mut plan)?;
-        }
-
-        // Emit the generation-step plan.
-        for group in &self.running {
-            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
-            if seq_ids.is_empty() {
-                continue;
+            // Phase 3: swap groups back in while memory allows (FCFS).
+            // Skipped if this very step had to preempt.
+            if plan.preemptions.is_empty() {
+                self.schedule_swap_in(&mut plan)?;
             }
-            let num_tokens = seq_ids.len();
-            plan.budget.num_batched_tokens += num_tokens;
-            plan.scheduled.push(ScheduledGroup {
-                request_id: group.request_id.clone(),
-                is_prompt: false,
-                seq_ids,
-                num_tokens,
-                num_cached_tokens: 0,
-                trace: group.trace,
-            });
+
+            // Emit the generation-step plan.
+            self.emit_decode_groups(&mut plan);
         }
 
         // Batch every cache operation this round produced into the plan
@@ -492,8 +536,232 @@ impl Scheduler {
                 seq_ids: group.seq_ids_with_status(SequenceStatus::Running),
                 num_tokens: prompt_len,
                 num_cached_tokens,
+                chunk: None,
                 trace: group.trace,
             });
+            self.running.push(group);
+        }
+        Ok(())
+    }
+
+    /// Whether any running sequence of `group` still has uncomputed prompt
+    /// tokens (a partially prefilled group under chunked-prefill mode).
+    fn group_in_prefill(group: &SequenceGroup) -> bool {
+        group
+            .seqs_with_status(SequenceStatus::Running)
+            .iter()
+            .any(|s| s.data.in_prefill())
+    }
+
+    /// Emits one generation-step [`ScheduledGroup`] per running group whose
+    /// prompt is fully computed.
+    fn emit_decode_groups(&self, plan: &mut StepPlan) {
+        let chunked = self.config.step_token_budget.is_some();
+        for group in &self.running {
+            if chunked && Self::group_in_prefill(group) {
+                continue;
+            }
+            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
+            if seq_ids.is_empty() {
+                continue;
+            }
+            let num_tokens = seq_ids.len();
+            plan.budget.num_batched_tokens += num_tokens;
+            plan.scheduled.push(ScheduledGroup {
+                request_id: group.request_id.clone(),
+                is_prompt: false,
+                seq_ids,
+                num_tokens,
+                num_cached_tokens: 0,
+                chunk: None,
+                trace: group.trace,
+            });
+        }
+    }
+
+    /// Plans one chunked-prefill iteration: decodes first (they are latency
+    /// critical and cheap), then prompt chunks from whatever budget remains,
+    /// all co-batched into the same plan. In-flight partial prefills advance
+    /// before new requests are admitted, and — as in the legacy path — no new
+    /// request is admitted while anything is swapped out.
+    fn schedule_chunked(&mut self, budget: usize, plan: &mut StepPlan) -> Result<()> {
+        // Phase 1: keep the running set feasible. Partially prefilled groups
+        // already hold their full prompt allocation and pass through; decode
+        // groups reserve their next-token slot, preempting if blocks run out.
+        self.schedule_decodes(plan)?;
+        if plan.preemptions.is_empty() {
+            self.schedule_swap_in(plan)?;
+        }
+
+        // Phase 2: decode tokens are mandatory — they come out of the budget
+        // first so chunk sizing sees only the remainder.
+        self.emit_decode_groups(plan);
+        let decode_tokens: usize = plan
+            .scheduled
+            .iter()
+            .filter(|sg| !sg.is_prompt)
+            .map(|sg| sg.num_tokens)
+            .sum();
+        let mut budget_left = budget.saturating_sub(decode_tokens);
+
+        // Phase 3: advance in-flight partial prefills (FCFS — the running
+        // queue is already in (priority, arrival) order after phase 1).
+        //
+        // Fairness cap: when requests are waiting and this step could admit
+        // (nothing swapped, no preemption), each continuation chunk takes at
+        // most half the then-remaining budget, leaving room for the queue
+        // head to start its own prefill. Without the cap a long in-flight
+        // prompt absorbs every step's full budget and short requests behind
+        // it see the same TTFT as under all-or-nothing admission.
+        let reserve_for_admission =
+            !self.waiting.is_empty() && self.swapped.is_empty() && plan.preemptions.is_empty();
+        for i in 0..self.running.len() {
+            if budget_left == 0 {
+                break;
+            }
+            let group = &self.running[i];
+            if !Self::group_in_prefill(group) {
+                continue;
+            }
+            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
+            if seq_ids.is_empty() {
+                continue;
+            }
+            debug_assert_eq!(seq_ids.len(), 1, "prefill groups are single-sequence");
+            let seq = group
+                .get(seq_ids[0])
+                .ok_or(VllmError::UnknownSequence(seq_ids[0]))?;
+            let start = seq.data.num_computed_tokens();
+            let prompt_len = seq.data.prompt_len();
+            let share = if reserve_for_admission {
+                (budget_left / 2).max(1)
+            } else {
+                budget_left
+            };
+            let end = (start + share).min(prompt_len);
+            debug_assert!(end > start, "in-prefill sequences have rows left");
+            budget_left -= end - start;
+            plan.budget.num_batched_tokens += end - start;
+            plan.scheduled.push(ScheduledGroup {
+                request_id: group.request_id.clone(),
+                is_prompt: true,
+                seq_ids,
+                num_tokens: end - start,
+                num_cached_tokens: start,
+                chunk: Some(PrefillChunk {
+                    start,
+                    end,
+                    is_first: false,
+                    is_final: end == prompt_len,
+                }),
+                trace: group.trace,
+            });
+        }
+
+        // Phase 4: admit new prompts into the leftover budget (§4.5 gate:
+        // nothing swapped out, and not on a step that had to preempt).
+        if self.swapped.is_empty() && plan.preemptions.is_empty() {
+            self.admit_chunked(plan, &mut budget_left)?;
+        }
+
+        plan.is_prompt_run = plan.scheduled.iter().any(|sg| sg.is_prompt);
+        Ok(())
+    }
+
+    /// Admits waiting requests under chunked-prefill mode: each admission
+    /// allocates the prompt's full block table up front (the paper's
+    /// all-or-nothing *memory* reservation is kept — only the *compute* is
+    /// chunked) and schedules a first chunk sized to the remaining budget.
+    fn admit_chunked(&mut self, plan: &mut StepPlan, budget_left: &mut usize) -> Result<()> {
+        let mut num_seqs: usize = self
+            .running
+            .iter()
+            .map(|g| g.seqs_with_status(SequenceStatus::Running).len())
+            .sum();
+
+        while *budget_left > 0 {
+            let Some(group) = self.waiting.front() else {
+                break;
+            };
+            let waiting_seqs = group.seqs_with_status(SequenceStatus::Waiting);
+            let prompt_len: usize = waiting_seqs.iter().map(|s| s.len()).sum();
+
+            // Reject prompts that can never run (same rules as the legacy
+            // path).
+            if prompt_len > self.config.max_model_len
+                || self.block_manager.can_allocate(group) == AllocStatus::Never
+            {
+                let mut group = self.waiting.pop_front().expect("front exists");
+                group.set_status_all(SequenceStatus::FinishedAborted);
+                plan.ignored.push(group.request_id.clone());
+                self.finished.push(group);
+                continue;
+            }
+            if self.block_manager.can_allocate(group) != AllocStatus::Ok {
+                break;
+            }
+            if num_seqs + group.max_num_seqs() > self.config.max_num_seqs {
+                break;
+            }
+            // Multi-sequence waiting groups (a recompute-returned fan-out)
+            // keep the legacy all-or-nothing form: their sequences carry
+            // independent cursors a single chunk range cannot describe.
+            if waiting_seqs.len() > 1 && prompt_len > *budget_left {
+                break;
+            }
+
+            let mut group = self.waiting.pop_front().expect("front exists");
+            let num_cached_tokens = group.cached_prefix_len;
+            if num_cached_tokens > 0 {
+                let prefix_blocks = group.prefix_blocks.clone();
+                self.block_manager.allocate_with_prefix(
+                    &group,
+                    num_cached_tokens,
+                    &prefix_blocks,
+                )?;
+            } else {
+                self.block_manager.allocate(&group)?;
+            }
+            group.set_status_all(SequenceStatus::Running);
+            num_seqs += group.max_num_seqs();
+            let seq_ids = group.seq_ids_with_status(SequenceStatus::Running);
+
+            if seq_ids.len() > 1 {
+                // Legacy-form admission for fan-out groups (fits the budget,
+                // checked above).
+                *budget_left = budget_left.saturating_sub(prompt_len);
+                plan.budget.num_batched_tokens += prompt_len;
+                plan.scheduled.push(ScheduledGroup {
+                    request_id: group.request_id.clone(),
+                    is_prompt: true,
+                    seq_ids,
+                    num_tokens: prompt_len,
+                    num_cached_tokens,
+                    chunk: None,
+                    trace: group.trace,
+                });
+            } else {
+                // At least one prompt row must run so a fully cached prompt
+                // still produces logits for its first sampled token.
+                let start = num_cached_tokens.min(prompt_len - 1);
+                let end = (start + *budget_left).min(prompt_len);
+                *budget_left -= end - start;
+                plan.budget.num_batched_tokens += end - start;
+                plan.scheduled.push(ScheduledGroup {
+                    request_id: group.request_id.clone(),
+                    is_prompt: true,
+                    seq_ids,
+                    num_tokens: end - start,
+                    num_cached_tokens: start,
+                    chunk: Some(PrefillChunk {
+                        start,
+                        end,
+                        is_first: true,
+                        is_final: end == prompt_len,
+                    }),
+                    trace: group.trace,
+                });
+            }
             self.running.push(group);
         }
         Ok(())
@@ -511,7 +779,15 @@ impl Scheduler {
         let mut survivors: Vec<SequenceGroup> = Vec::with_capacity(self.running.len());
         let mut queue: VecDeque<SequenceGroup> = std::mem::take(&mut self.running).into();
 
+        let chunked = self.config.step_token_budget.is_some();
         'groups: while let Some(group) = queue.pop_front() {
+            // Partially prefilled groups (chunked-prefill mode) hold their
+            // full prompt allocation from admission: no next-token slot to
+            // reserve. They stay eligible as preemption victims below.
+            if chunked && Self::group_in_prefill(&group) {
+                survivors.push(group);
+                continue;
+            }
             // Make room for this group, preempting lower-priority groups if
             // needed (the paper preempts latest arrivals first).
             while !self.block_manager.can_append_slot(&group) {
@@ -568,11 +844,18 @@ impl Scheduler {
             plan.swapped_in
                 .push((group.request_id.clone(), copies.len()));
             group.set_status_all(SequenceStatus::Running);
-            // Reserve next-token slots for the newly resumed sequences.
+            // Reserve next-token slots for the newly resumed sequences. A
+            // sequence swapped out mid-prefill (chunked mode) resumes from
+            // its chunk cursor with its prompt allocation intact: nothing to
+            // reserve.
+            let chunked = self.config.step_token_budget.is_some();
             for seq_id in group.seq_ids_with_status(SequenceStatus::Running) {
                 let seq = group
                     .get(seq_id)
                     .ok_or(VllmError::UnknownSequence(seq_id))?;
+                if chunked && seq.data.in_prefill() {
+                    continue;
+                }
                 self.block_manager.append_slot(seq)?;
             }
             self.running.push(group);
@@ -988,6 +1271,183 @@ mod tests {
         assert!(!s.has_unfinished());
         assert_eq!(s.block_manager().num_free_gpu_blocks(), 4);
         assert_eq!(s.reap_finished().unwrap().len(), 3);
+    }
+
+    fn make_chunked_scheduler(gpu_blocks: usize, cpu_blocks: usize, budget: usize) -> Scheduler {
+        let cache = CacheConfig::new(BS, gpu_blocks, cpu_blocks)
+            .unwrap()
+            .with_watermark(0.0)
+            .unwrap();
+        let sched_cfg = SchedulerConfig::new(2048, 64, 2048)
+            .unwrap()
+            .with_step_token_budget(Some(budget));
+        Scheduler::new(sched_cfg, &cache)
+    }
+
+    /// Applies a chunked plan's effect on sequence state, mirroring the
+    /// postprocess stage: non-final chunks advance the cursor, final chunks
+    /// and decodes append a sampled token.
+    fn apply_plan(s: &mut Scheduler, plan: &StepPlan) {
+        for sg in &plan.scheduled {
+            let rid = sg.request_id.clone();
+            let chunk = sg.chunk;
+            let g = s.group_mut(&rid).unwrap();
+            for sid in sg.seq_ids.clone() {
+                let seq = g.get_mut(sid).unwrap();
+                if let Some(c) = chunk.filter(|c| !c.is_final) {
+                    seq.data.set_num_computed_tokens(c.end);
+                } else {
+                    let n = seq.len();
+                    seq.data.set_num_computed_tokens(n);
+                    seq.data.append_token(1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_splits_prompt_across_steps() {
+        let mut s = make_chunked_scheduler(16, 0, 4);
+        s.add_group(group(0, 10, 0.0));
+        // Chunk 1: rows [0, 4).
+        let out = s.schedule().unwrap();
+        assert!(out.is_prompt_run);
+        assert_eq!(out.scheduled.len(), 1);
+        let c = out.scheduled[0].chunk.expect("chunked admission");
+        assert_eq!(
+            (c.start, c.end, c.is_first, c.is_final),
+            (0, 4, true, false)
+        );
+        assert_eq!(out.scheduled[0].num_tokens, 4);
+        assert_eq!(out.budget.num_batched_tokens, 4);
+        // Full prompt allocation up front (10 tokens → 3 blocks).
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), 16 - 3);
+        apply_plan(&mut s, &out);
+        // Chunk 2: rows [4, 8).
+        let out = s.schedule().unwrap();
+        let c = out.scheduled[0].chunk.unwrap();
+        assert_eq!(
+            (c.start, c.end, c.is_first, c.is_final),
+            (4, 8, false, false)
+        );
+        apply_plan(&mut s, &out);
+        // Chunk 3 (final): rows [8, 10) samples the first token.
+        let out = s.schedule().unwrap();
+        let c = out.scheduled[0].chunk.unwrap();
+        assert_eq!((c.start, c.end, c.is_final), (8, 10, true));
+        apply_plan(&mut s, &out);
+        // Next step is a plain decode.
+        let out = s.schedule().unwrap();
+        assert!(!out.is_prompt_run);
+        assert!(out.scheduled[0].chunk.is_none());
+        assert!(!out.scheduled[0].is_prompt);
+    }
+
+    #[test]
+    fn chunked_prefill_cobatches_with_decodes() {
+        let mut s = make_chunked_scheduler(32, 0, 6);
+        s.add_group(group(0, 4, 0.0));
+        // r0 prefills whole prompt in one (first+final) chunk.
+        let out = s.schedule().unwrap();
+        let c = out.scheduled[0].chunk.unwrap();
+        assert!(c.is_first && c.is_final);
+        apply_plan(&mut s, &out);
+        // r1 arrives with a long prompt: decode for r0 co-batches with r1's
+        // first chunk, and the chunk only gets the leftover budget.
+        s.add_group(group(1, 20, 1.0));
+        let out = s.schedule().unwrap();
+        assert!(out.is_prompt_run, "mixed plan contains a prompt chunk");
+        assert_eq!(out.scheduled.len(), 2);
+        let decode = &out.scheduled[0];
+        assert!(!decode.is_prompt);
+        assert_eq!(decode.request_id, "r0");
+        let chunk_sg = &out.scheduled[1];
+        assert_eq!(chunk_sg.request_id, "r1");
+        let c = chunk_sg.chunk.unwrap();
+        assert_eq!(
+            (c.start, c.end),
+            (0, 5),
+            "1 decode token + 5 chunk rows = budget 6"
+        );
+        assert_eq!(out.budget.num_batched_tokens, 6);
+    }
+
+    #[test]
+    fn chunked_recompute_preemption_restarts_from_zero_without_leaks() {
+        // Budget 2: r0 (4-token prompt) decodes 1 token/step while r1's
+        // 20-token prompt crawls at 1 chunk row/step, so r0's decode growth
+        // exhausts the pool while r1 is still mid-prefill.
+        let mut s = make_chunked_scheduler(8, 0, 2);
+        s.add_group(group(0, 4, 0.0));
+        s.add_group(group(1, 20, 1.0));
+        let mut preempted = false;
+        for _ in 0..40 {
+            let out = s.schedule().unwrap();
+            if out.num_preempted() > 0 {
+                assert_eq!(out.preemptions[0].request_id, "r1");
+                assert_eq!(out.preemptions[0].kind, PreemptionKind::Recompute);
+                let g = s.group("r1").unwrap();
+                let seq = &g.seqs()[0];
+                assert!(
+                    seq.data.prompt_len() == 20 && seq.data.num_output_tokens() == 0,
+                    "r1 was preempted mid-prefill, before any output"
+                );
+                assert_eq!(
+                    seq.data.num_computed_tokens(),
+                    0,
+                    "recompute resets the chunk cursor"
+                );
+                preempted = true;
+                break;
+            }
+            // r1 must be making chunk progress until the preemption.
+            apply_plan(&mut s, &out);
+        }
+        assert!(
+            preempted,
+            "pool pressure must preempt the mid-prefill group"
+        );
+        // Zero leak: abort everything and the pool drains completely.
+        s.abort_all().unwrap();
+        assert_eq!(s.block_manager().num_free_gpu_blocks(), 8);
+        s.block_manager().assert_consistent();
+    }
+
+    #[test]
+    fn chunked_admission_respects_budget_before_new_prompts() {
+        let mut s = make_chunked_scheduler(64, 0, 8);
+        s.add_group(group(0, 32, 0.0));
+        s.add_group(group(1, 4, 0.5));
+        let out = s.schedule().unwrap();
+        // FCFS: all budget goes to r0's first chunk; r1 waits.
+        assert_eq!(out.scheduled.len(), 1);
+        assert_eq!(out.scheduled[0].request_id, "r0");
+        assert_eq!(out.scheduled[0].chunk.unwrap().end, 8);
+        assert_eq!(s.num_waiting(), 1);
+        apply_plan(&mut s, &out);
+        // With r1 still waiting, the fairness cap halves r0's continuation
+        // chunk and the leftover admits r1's whole (short) prompt — the
+        // short request is not stuck behind the long in-flight prefill.
+        let out = s.schedule().unwrap();
+        assert_eq!(out.scheduled.len(), 2);
+        assert_eq!(out.scheduled[0].request_id, "r0");
+        let c0 = out.scheduled[0].chunk.unwrap();
+        assert_eq!((c0.start, c0.end), (8, 12), "continuation capped at half");
+        assert_eq!(out.scheduled[1].request_id, "r1");
+        let c1 = out.scheduled[1].chunk.unwrap();
+        assert!(c1.is_first && c1.is_final, "short prompt prefills whole");
+        assert_eq!(s.num_waiting(), 0);
+        apply_plan(&mut s, &out);
+        // Queue drained: r0's next continuation reclaims the full budget
+        // minus r1's mandatory decode token.
+        let out = s.schedule().unwrap();
+        let cont = out
+            .scheduled
+            .iter()
+            .find(|sg| sg.request_id == "r0")
+            .unwrap();
+        assert_eq!(cont.chunk.unwrap().len(), 7, "budget 8 - 1 decode token");
+        apply_plan(&mut s, &out);
     }
 
     #[test]

@@ -154,6 +154,20 @@ impl SequenceData {
         self.num_computed_tokens = n;
     }
 
+    /// Whether prompt rows remain uncomputed: the sequence is mid-prefill
+    /// (under chunked prefill, its chunk cursor is
+    /// [`num_computed_tokens`](Self::num_computed_tokens)).
+    #[must_use]
+    pub fn in_prefill(&self) -> bool {
+        self.num_computed_tokens < self.prompt_len
+    }
+
+    /// Prompt rows still to compute before the sequence can decode.
+    #[must_use]
+    pub fn remaining_prompt_tokens(&self) -> usize {
+        self.prompt_len.saturating_sub(self.num_computed_tokens)
+    }
+
     /// Merges generated tokens into the prompt and resets the computed-token
     /// counter, preparing the sequence for recomputation (§4.5).
     pub fn reset_for_recompute(&mut self) {

@@ -119,6 +119,73 @@ fn event_log_captures_request_lifecycle() {
 }
 
 #[test]
+fn ttft_closes_at_first_sampled_token_not_first_chunk_dispatch() {
+    use vllm_core::telemetry::{trace_seed, TraceContext};
+    // A 16-token prompt under a 4-token step budget prefills in 4 chunks.
+    // TTFT must close when the final chunk samples the first token, not
+    // when the first chunk is dispatched.
+    let mut e = engine(64, 0);
+    e.set_step_token_budget(Some(4));
+    e.add_request("a", (0..16).collect(), SamplingParams::greedy(4))
+        .unwrap();
+
+    // The first three chunks are KV-only: no token, no first_token event,
+    // nothing observed into the TTFT histogram.
+    for _ in 0..3 {
+        e.step().unwrap();
+        assert!(
+            e.telemetry()
+                .events()
+                .events_for("a")
+                .iter()
+                .all(|ev| ev.kind.label() != "first_token"),
+            "first_token must not fire on a KV-only chunk"
+        );
+        assert_eq!(
+            e.metrics_snapshot()
+                .histogram("vllm_request_ttft_seconds")
+                .unwrap()
+                .count,
+            0
+        );
+    }
+    let t_before_final = e.clock();
+
+    // The final chunk samples the first token and closes TTFT.
+    e.step().unwrap();
+    let events = e.telemetry().events().events_for("a");
+    let ft = events
+        .iter()
+        .find(|ev| ev.kind.label() == "first_token")
+        .expect("final chunk must emit first_token");
+    assert!(ft.time >= t_before_final);
+    let snap = e.metrics_snapshot();
+    let ttft = snap.histogram("vllm_request_ttft_seconds").unwrap();
+    assert_eq!(ttft.count, 1);
+    assert!(
+        ttft.min >= t_before_final,
+        "TTFT {} must span all four chunks (>= {}), not close at dispatch",
+        ttft.min,
+        t_before_final
+    );
+    assert_eq!(snap.counter("vllm_engine_prefill_chunks_total"), Some(4));
+
+    e.run_to_completion().unwrap();
+    // The prefill span covers [first schedule, first token], with one
+    // child span per chunk.
+    let trace_id = TraceContext::mint(trace_seed("a"), true).trace_id;
+    let spans = e.telemetry().spans().spans_for_trace(trace_id);
+    let prefill = spans
+        .iter()
+        .find(|s| s.name == "prefill")
+        .expect("prefill span");
+    assert!((prefill.end - ft.time).abs() < 1e-12);
+    let chunks: Vec<_> = spans.iter().filter(|s| s.name == "prefill.chunk").collect();
+    assert_eq!(chunks.len(), 4, "one child span per chunk");
+    assert!(chunks.iter().all(|c| c.parent_span_id == prefill.span_id));
+}
+
+#[test]
 fn swap_preemption_reaches_metrics_and_events() {
     let mut e = swap_engine(6, 16);
     e.add_request("a", (0..8).collect(), SamplingParams::greedy(12))

@@ -64,6 +64,56 @@ pub fn contiguous_causal_attention(
     }
 }
 
+/// Prefill attention over paged K/V (whole prompts and scheduler-budgeted
+/// chunks): gathers the first `context_len` positions through the block
+/// table — dequantizing as the pool's layout requires — then runs the
+/// contiguous causal kernel over query rows `num_cached .. num_cached + nq`.
+/// Rows attend to every prior chunk's KV plus a causal intra-chunk mask.
+///
+/// Determinism contract: per row, score and output accumulation orders are
+/// functions of the reduction index alone (k-order [`dot`], t-order
+/// [`axpy`]), so a row's output depends only on its query and KV
+/// `[0 ..= row]` — never on which chunk the row arrived in or what else is
+/// batched. This is the property that makes chunked prefill logits
+/// bit-identical to an unchunked prefill on every backend.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or the block table does not cover
+/// `context_len`.
+#[allow(clippy::too_many_arguments)]
+pub fn paged_attention_prefill(
+    q: &[f32],
+    pool: &KvPool,
+    layer: usize,
+    block_table: &[usize],
+    nq: usize,
+    context_len: usize,
+    num_cached: usize,
+    n_heads: usize,
+    head_dim: usize,
+    out: &mut [f32],
+) {
+    assert!(
+        block_table.len() * pool.block_size() >= context_len,
+        "block table too short for prefill context"
+    );
+    let t0 = std::time::Instant::now();
+    let (ks, vs) = pool.gather(layer, block_table, context_len);
+    contiguous_causal_attention(
+        q,
+        &ks,
+        &vs,
+        nq,
+        context_len,
+        num_cached,
+        n_heads,
+        head_dim,
+        out,
+    );
+    timing::record_attention(t0.elapsed());
+}
+
 /// Single-query attention over contiguous K/V (the FasterTransformer-style
 /// decode kernel used as the Fig. 18a baseline).
 ///

@@ -219,6 +219,46 @@ pub trait KernelBackend: Send + Sync + std::fmt::Debug {
         out: &mut [f32],
     );
 
+    /// PagedAttention over a prefill chunk (scheduler-budgeted chunked
+    /// prefill): query rows `num_cached .. num_cached + nq` attend to the
+    /// first `context_len` positions read through `block_table`. Every
+    /// backend routes this through the contiguous causal kernel after a
+    /// layout-aware gather, so per-row accumulation order is a function of
+    /// the reduction index alone and chunked logits are bit-identical to an
+    /// unchunked prefill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block table is too short for `context_len`, shapes
+    /// disagree, or the pool's element type doesn't match the layout.
+    #[allow(clippy::too_many_arguments)]
+    fn paged_attention_prefill(
+        &self,
+        q: &[f32],
+        pool: &KvPool,
+        layer: usize,
+        block_table: &[usize],
+        nq: usize,
+        context_len: usize,
+        num_cached: usize,
+        n_heads: usize,
+        head_dim: usize,
+        out: &mut [f32],
+    ) {
+        crate::attention::paged_attention_prefill(
+            q,
+            pool,
+            layer,
+            block_table,
+            nq,
+            context_len,
+            num_cached,
+            n_heads,
+            head_dim,
+            out,
+        );
+    }
+
     /// Batched PagedAttention decode: one query token per sequence,
     /// parallelized over (sequence, head) pairs on `workers`, recorded into
     /// the attention kernel counters. Each output row is bit-identical to a

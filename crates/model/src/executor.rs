@@ -138,26 +138,40 @@ impl ModelExecutor for CpuModelExecutor {
                 return Err(VllmError::Executor("empty step input".into()));
             }
             // Shared-prefix prefills only compute the suffix; the prefix KV
-            // already sits in the mapped blocks.
-            let skip = if item.tokens.len() > 1 {
+            // already sits in the mapped blocks. Chunked prefill items skip
+            // exactly the rows earlier chunks computed and must never take
+            // the decode path, even for a one-row final chunk: the decode
+            // kernel's accumulation order differs and would break the
+            // chunked/unchunked bit-identity contract.
+            let skip = if item.chunked || item.tokens.len() > 1 {
                 item.num_cached_tokens.min(item.tokens.len() - 1)
             } else {
                 0
             };
-            if item.tokens.len() - skip == 1 {
+            if !item.chunked && item.tokens.len() - skip == 1 {
                 decode.push((i, skip));
                 continue;
             }
             let tokens = &item.tokens[skip..];
             let positions: Vec<usize> =
                 (item.first_position + skip..item.first_position + item.tokens.len()).collect();
-            let logits = self.model.forward_paged(
-                tokens,
-                &positions,
-                &mut self.cache.gpu,
-                &item.block_table,
-                item.first_position + skip,
-            );
+            let logits = if item.chunked {
+                self.model.forward_prefill_chunk(
+                    tokens,
+                    &positions,
+                    &mut self.cache.gpu,
+                    &item.block_table,
+                    item.first_position + skip,
+                )
+            } else {
+                self.model.forward_paged(
+                    tokens,
+                    &positions,
+                    &mut self.cache.gpu,
+                    &item.block_table,
+                    item.first_position + skip,
+                )
+            };
             self.tokens_processed += tokens.len() as u64;
             let seed = mix_seed(item.seed, item.seq_id, item.context_len());
             let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);

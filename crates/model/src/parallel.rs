@@ -218,6 +218,9 @@ impl TensorParallelExecutor {
     /// `embedded`, when provided, is the precomputed replicated embedding for
     /// `tokens`/`positions` (see [`embed`]); `begin_step` computes it while
     /// the workers are still applying the step's cache operations.
+    /// `force_prefill_attn` keeps one-row chunked-prefill steps on the
+    /// contiguous causal kernel (decode accumulation order differs and would
+    /// break chunked/unchunked bit-identity).
     fn forward_tp(
         &mut self,
         tokens: &[u32],
@@ -225,6 +228,7 @@ impl TensorParallelExecutor {
         block_table: &[usize],
         num_cached: usize,
         embedded: Option<Vec<f32>>,
+        force_prefill_attn: bool,
     ) -> Vec<f32> {
         let cfg = &self.model.config;
         let n = tokens.len();
@@ -284,7 +288,7 @@ impl TensorParallelExecutor {
                         }
                         let mut attn = vec![0.0f32; n * hl];
                         let t_attn = Instant::now();
-                        if n == 1 {
+                        if n == 1 && !force_prefill_attn {
                             be.paged_attention_decode(
                                 &qkv[0..hl],
                                 &worker.cache.gpu,
@@ -538,7 +542,7 @@ impl ModelExecutor for TensorParallelExecutor {
             .items
             .iter()
             .zip(&suffixes)
-            .position(|(_, (tokens, _))| tokens.len() > 1);
+            .position(|(item, (tokens, _))| item.chunked || tokens.len() > 1);
         // Every worker applies the same cache operations to its shard (block
         // ids are shared, data differs per head slice) — on a pool task per
         // worker, overlapped with the first prefill's replicated embedding:
@@ -568,7 +572,9 @@ impl ModelExecutor for TensorParallelExecutor {
         let mut outputs: Vec<Option<SeqStepOutput>> = plan.items.iter().map(|_| None).collect();
         let mut decode: Vec<usize> = Vec::new();
         for (i, (item, (tokens, positions))) in plan.items.iter().zip(&suffixes).enumerate() {
-            if tokens.len() == 1 {
+            // Chunked-prefill items never join the stacked decode batch,
+            // even when only one prompt row remains.
+            if !item.chunked && tokens.len() == 1 {
                 decode.push(i);
                 continue;
             }
@@ -577,8 +583,14 @@ impl ModelExecutor for TensorParallelExecutor {
             } else {
                 None
             };
-            let logits =
-                self.forward_tp(tokens, positions, &item.block_table, positions[0], embedded);
+            let logits = self.forward_tp(
+                tokens,
+                positions,
+                &item.block_table,
+                positions[0],
+                embedded,
+                item.chunked,
+            );
             let seed = mix_seed(item.seed, item.seq_id, item.context_len());
             let candidates = sample_candidates(&logits, item.mode, item.num_candidates, seed);
             outputs[i] = Some(SeqStepOutput {
@@ -706,7 +718,7 @@ mod tests {
         for workers in [1, 2, 4] {
             let mut tp =
                 TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
-            let got = tp.forward_tp(&tokens, &positions, &table, 0, None);
+            let got = tp.forward_tp(&tokens, &positions, &table, 0, None, false);
             for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
                 assert!(
                     (a - b).abs() < 2e-3,
@@ -727,8 +739,8 @@ mod tests {
         let expect = serial.forward_paged(&[7], &[3], &mut pool, &table, 3);
 
         let mut tp = TensorParallelExecutor::new(Transformer::new(cfg), 2, &cache_cfg());
-        tp.forward_tp(&[4, 9, 1], &[0, 1, 2], &table, 0, None);
-        let got = tp.forward_tp(&[7], &[3], &table, 3, None);
+        tp.forward_tp(&[4, 9, 1], &[0, 1, 2], &table, 0, None, false);
+        let got = tp.forward_tp(&[7], &[3], &table, 3, None, false);
         for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
             assert!((a - b).abs() < 2e-3, "logit {i}: {a} vs {b}");
         }
@@ -817,7 +829,7 @@ mod tests {
         for workers in [2, 4] {
             let mut tp =
                 TensorParallelExecutor::new(Transformer::new(cfg.clone()), workers, &cache_cfg());
-            let got = tp.forward_tp(&tokens, &positions, &table, 0, None);
+            let got = tp.forward_tp(&tokens, &positions, &table, 0, None, false);
             for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
                 assert!(
                     (a - b).abs() < 2e-3,

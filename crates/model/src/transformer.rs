@@ -7,7 +7,7 @@
 //! and single-token decode (one new position, attention via the
 //! PagedAttention kernel).
 
-use crate::attention::{contiguous_causal_attention, DecodeSeq};
+use crate::attention::DecodeSeq;
 use crate::backend::{self, KernelBackend};
 use crate::config::{ModelConfig, PositionEncoding};
 use crate::kv_cache::KvPool;
@@ -183,6 +183,44 @@ impl Transformer {
         block_table: &[usize],
         num_cached: usize,
     ) -> Vec<f32> {
+        self.forward_paged_impl(tokens, positions, pool, block_table, num_cached, false)
+    }
+
+    /// Runs one scheduler-budgeted prefill chunk: like
+    /// [`Transformer::forward_paged`] but always takes the prefill attention
+    /// path, even when the chunk holds a single token. Routing a one-row
+    /// final chunk through the decode kernel would change per-row
+    /// accumulation order and break the bit-identity contract between
+    /// chunked and unchunked prefill, so chunk execution must never fall
+    /// back to [`KernelBackend::paged_attention_decode`].
+    ///
+    /// `num_cached` is the chunk's start offset (prompt rows already
+    /// computed by earlier chunks, plus any shared-prefix cache);
+    /// `positions[0]` must equal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape violations, as [`Transformer::forward_paged`].
+    pub fn forward_prefill_chunk(
+        &self,
+        tokens: &[u32],
+        positions: &[usize],
+        pool: &mut KvPool,
+        block_table: &[usize],
+        num_cached: usize,
+    ) -> Vec<f32> {
+        self.forward_paged_impl(tokens, positions, pool, block_table, num_cached, true)
+    }
+
+    fn forward_paged_impl(
+        &self,
+        tokens: &[u32],
+        positions: &[usize],
+        pool: &mut KvPool,
+        block_table: &[usize],
+        num_cached: usize,
+        force_prefill_attn: bool,
+    ) -> Vec<f32> {
         let n = tokens.len();
         assert_eq!(positions.len(), n);
         assert!(n > 0, "empty input");
@@ -191,7 +229,7 @@ impl Transformer {
         let ctx = positions[n - 1] + 1;
         assert!(ctx <= self.config.max_position, "position overflow");
         assert!(block_table.len() * bs >= ctx, "block table too short");
-        if n > 1 {
+        if n > 1 || force_prefill_attn {
             assert_eq!(positions[0], num_cached, "prefill must start at cache end");
         }
         let be = self.backend();
@@ -241,7 +279,7 @@ impl Transformer {
                 );
             }
 
-            if n == 1 {
+            if n == 1 && !force_prefill_attn {
                 // Generation step: the PagedAttention kernel (§4.1).
                 be.paged_attention_decode(
                     &qkv[0..h],
@@ -254,17 +292,18 @@ impl Transformer {
                     &mut attn,
                 );
             } else {
-                // Prompt phase: gather K/V (cached prefix + just-written
-                // tokens) and run conventional causal attention (§4.3).
-                let (ks, vs) = pool.gather(layer_idx, block_table, ctx);
+                // Prompt phase (whole prompt or one budgeted chunk): gather
+                // K/V (cached prefix + just-written tokens) and run
+                // conventional causal attention (§4.3) over the new rows.
                 let mut q = vec![0.0f32; n * h];
                 for i in 0..n {
                     q[i * h..(i + 1) * h].copy_from_slice(&qkv[i * 3 * h..i * 3 * h + h]);
                 }
-                contiguous_causal_attention(
+                be.paged_attention_prefill(
                     &q,
-                    &ks,
-                    &vs,
+                    pool,
+                    layer_idx,
+                    block_table,
                     n,
                     ctx,
                     num_cached,

@@ -94,10 +94,19 @@ impl CostModel {
         // causal-attention FLOPs for prompt runs.
         let new_tokens = work.new_tokens() as f64;
         let lin_flops = 2.0 * m.n_params * new_tokens;
+        // Prefill attention: each row attends to its full KV prefix. For
+        // whole prompts the context is the prompt itself (n × n, the Orca
+        // convention); chunked prefills report the context each chunk's rows
+        // actually reach, so splitting a prompt never deflates its
+        // attention cost.
         let attn_flops: f64 = work
             .prefill_tokens
             .iter()
-            .map(|&n| 2.0 * (n as f64) * (n as f64) * m.hidden as f64 * m.n_layers as f64)
+            .enumerate()
+            .map(|(i, &n)| {
+                let ctx = work.prefill_contexts.get(i).copied().unwrap_or(n);
+                2.0 * (n as f64) * (ctx as f64) * m.hidden as f64 * m.n_layers as f64
+            })
             .sum();
         let compute_time = (lin_flops + attn_flops) / t / g.flops;
 

@@ -74,10 +74,26 @@ impl SimExecutor {
 impl ModelExecutor for SimExecutor {
     fn begin_step(&mut self, plan: &StepPlan) -> Result<StepResult> {
         let mut work = StepWork::default();
+        // Chunked-prefill plans mix prompt chunks with decode items, so the
+        // step-wide `is_prompt_run` flag no longer classifies items; charge
+        // each item by its own shape (a chunk costs only its new rows, not
+        // the whole prompt). Plans without chunks keep the legacy step-wide
+        // classification bit-for-bit.
+        let has_chunks = plan.items.iter().any(|item| item.chunked);
         for item in &plan.items {
-            if plan.is_prompt_run {
-                work.prefill_tokens
-                    .push(item.tokens.len() - item.num_cached_tokens.min(item.tokens.len() - 1));
+            let suffix = item.tokens.len() - item.num_cached_tokens.min(item.tokens.len() - 1);
+            let is_prefill = if has_chunks {
+                item.chunked || suffix > 1
+            } else {
+                plan.is_prompt_run
+            };
+            if is_prefill {
+                work.prefill_tokens.push(suffix);
+                if has_chunks {
+                    // Charge chunk rows against the context they attend to
+                    // (legacy plans keep the n × n convention untouched).
+                    work.prefill_contexts.push(item.tokens.len());
+                }
             } else {
                 work.decode_contexts.push(item.context_len());
             }
@@ -247,6 +263,21 @@ impl VllmSimSystem {
     pub fn without_sharing(mut self) -> Self {
         self.engine.set_block_sharing(false);
         self.label = "vLLM (no sharing)".to_string();
+        self
+    }
+
+    /// Enables scheduler-budgeted chunked prefill: each step carries at most
+    /// `budget` prompt tokens on top of the running decodes, so long prompts
+    /// stream in as chunks instead of monopolizing whole iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    #[must_use]
+    pub fn with_chunked_prefill(mut self, budget: usize) -> Self {
+        assert!(budget > 0, "step token budget must be positive");
+        self.engine.set_step_token_budget(Some(budget));
+        self.label = "vLLM (chunked)".to_string();
         self
     }
 
@@ -480,6 +511,57 @@ mod tests {
         }
         assert_eq!(finished, 8, "all requests must eventually finish");
         assert!(sys.extra().preemptions > 0, "overload must preempt");
+    }
+
+    #[test]
+    fn chunked_prefill_long_prompt_completes() {
+        let mut sys = VllmSimSystem::new(small_server(), 16, PreemptionMode::Recompute)
+            .with_chunked_prefill(128);
+        sys.enqueue(SimRequest::basic(0, 0.0, 1000, 10));
+        let mut cost = |_: &StepWork| 0.0;
+        let mut now = 0.0;
+        let mut finished = Vec::new();
+        let mut prefill_steps = 0;
+        while sys.has_unfinished() {
+            let step = sys.step(now, &mut cost).expect("work pending");
+            if !step.work.prefill_tokens.is_empty() {
+                prefill_steps += 1;
+                // Each step's prompt work respects the 128-token budget.
+                assert!(step.work.prefill_tokens.iter().sum::<usize>() <= 128);
+            }
+            now += step.elapsed.max(1e-9);
+            finished.extend(step.finished);
+        }
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].output_len, 10);
+        assert_eq!(prefill_steps, 1000usize.div_ceil(128));
+        // Pool drained: no leaked blocks after the chunked prefill.
+        assert_eq!(sys.memory_snapshot().free, sys.memory_snapshot().capacity);
+    }
+
+    #[test]
+    fn chunked_prefill_interleaves_decodes_with_chunks() {
+        // A short request admitted first keeps decoding while a long
+        // prompt's chunks stream in behind it.
+        let mut sys = VllmSimSystem::new(small_server(), 16, PreemptionMode::Recompute)
+            .with_chunked_prefill(64);
+        sys.enqueue(SimRequest::basic(0, 0.0, 32, 200));
+        sys.enqueue(SimRequest::basic(1, 0.0, 600, 10));
+        let mut cost = |_: &StepWork| 0.0;
+        let mut now = 0.0;
+        let mut mixed_steps = 0;
+        let mut finished = 0;
+        while sys.has_unfinished() {
+            let step = sys.step(now, &mut cost).expect("work pending");
+            if !step.work.prefill_tokens.is_empty() && !step.work.decode_contexts.is_empty() {
+                mixed_steps += 1;
+            }
+            now += step.elapsed.max(1e-9);
+            finished += step.finished.len();
+        }
+        assert_eq!(finished, 2);
+        assert!(mixed_steps > 0, "chunks must co-batch with decodes");
+        assert_eq!(sys.memory_snapshot().free, sys.memory_snapshot().capacity);
     }
 
     #[test]

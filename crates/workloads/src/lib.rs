@@ -15,12 +15,14 @@
 pub mod chatbot;
 pub mod dataset;
 pub mod dist;
+pub mod longcontext;
 pub mod trace;
 pub mod translation;
 
 pub use chatbot::{synthesize_chat_trace, CHAT_OUTPUT_LIMIT, CHAT_PROMPT_LIMIT};
 pub use dataset::{Dataset, MAX_MODEL_LEN};
 pub use dist::{exponential, lognormal, standard_normal, TruncatedLogNormal, Zipf};
+pub use longcontext::{long_context_prompt, synthesize_mixed_trace, LONG_CONTEXT_PROMPT_LEN};
 pub use trace::{Trace, TraceRequest};
 pub use translation::{
     synthesize_translation_trace, PrefixKind, TranslationTrace, FIVE_SHOT_PREFIX_LEN,

@@ -36,4 +36,7 @@ cp target/ci-trace/trace.json target/ci-trace/trace_perfetto.json target/ci-trac
 echo "==> elastic capacity gate (elastic peak batch >= fixed pool at equal budget, scalar + quant-kv8, contiguous baseline numbers)"
 cargo run --release -q -p vllm-bench --bin elastic -- --ci
 
+echo "==> chunked-prefill gate (mixed-traffic TTFT: short-request p99 halved at equal throughput; chunked vs unchunked bit-identity on all backends; 32k-prompt smoke, zero leaks)"
+cargo run --release -q -p vllm-bench --bin prefill -- --ci
+
 echo "CI OK"

@@ -36,16 +36,34 @@
 //! `vllm_fault_swap_exhaustions_total`, `vllm_fault_pool_pressure_total`,
 //! and `vllm_fault_prefill_stalls_total` alongside the router counters in
 //! [`FaultCluster::merged_snapshot`].
+//!
+//! # Disaggregated fleets
+//!
+//! [`FaultCluster::with_fleet`] accepts a typed [`ClusterConfig`] whose
+//! [`ReplicaRole`]s split the fleet into prefill and decode pools. A
+//! request then runs as a one-token stub on a prefill replica, its KV
+//! hands off over the wire codec ([`HandoffPayload`] encode → decode), and
+//! a decode replica resumes the token loop from the installed prefix. The
+//! handoff is a first-class fault surface: transfers take
+//! [`TRANSFER_STEPS`] lockstep steps to commit, so a [`FaultKind`] event
+//! can kill the decode target mid-transfer (the payload re-routes and is
+//! delivered exactly once) or between commit and the first decode step
+//! (the request re-enters placement from scratch, releasing its imported
+//! prefix). Disaggregated fleets force sequence-invariant mock tokens, so
+//! the harness asserts the strongest property available: the token streams
+//! are bit-identical to a unified fleet's, faults and all.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use vllm_core::mock::MockExecutor;
 use vllm_core::telemetry::{trace_seed, Counter, MetricsSnapshot, Span, Telemetry, TraceContext};
 use vllm_core::{
-    chunk_hashes, CacheConfig, FaultControls, FaultInjector, LlmEngine, SchedulerConfig,
+    chunk_hashes, CacheConfig, FaultControls, FaultInjector, GenerationRequest, HandoffPayload,
+    KvBlockBytes, LlmEngine, PrefixId, SchedulerConfig,
 };
 
+use crate::config::{ClusterConfig, ReplicaRole};
 use crate::router::{ReplicaSnapshot, RoutePolicy, Router, RouterConfig};
 use crate::sim::ClusterRequest;
 use crate::stats::merge_labeled;
@@ -238,6 +256,11 @@ pub struct FaultClusterConfig {
     /// Safety bound on lockstep steps per run (unfinished requests beyond
     /// it are reported as lost).
     pub max_steps: u64,
+    /// Force sequence-invariant mock tokens (a token depends only on the
+    /// sampling seed and position, not on engine-local sequence ids), so a
+    /// unified fleet can serve as the token-identity oracle for a
+    /// disaggregated one. Implied by a disaggregated fleet.
+    pub seq_invariant_tokens: bool,
 }
 
 impl FaultClusterConfig {
@@ -252,7 +275,15 @@ impl FaultClusterConfig {
             max_attempts: 8,
             max_backoff_steps: 16,
             max_steps: 100_000,
+            seq_invariant_tokens: false,
         }
+    }
+
+    /// Forces sequence-invariant mock tokens (see the field docs).
+    #[must_use]
+    pub fn with_seq_invariant_tokens(mut self) -> Self {
+        self.seq_invariant_tokens = true;
+        self
     }
 
     /// Overrides the routing policy.
@@ -301,6 +332,11 @@ pub struct FaultReport {
     pub forward_failures: u64,
     /// Lockstep steps executed.
     pub steps: u64,
+    /// KV handoffs initiated (prefill stub finished, transfer started).
+    pub handoffs: u64,
+    /// Handoff transfers re-routed or re-sent after their decode target
+    /// died or backed up mid-transfer.
+    pub handoff_retries: u64,
     /// GPU blocks still allocated on live replicas after the run drained
     /// (must be zero: exact accounting survives every fault).
     pub leaked_blocks: usize,
@@ -324,6 +360,35 @@ struct ReplicaSlot {
     stall_remaining: u64,
     /// Engine-side id → trace request id for everything in flight here.
     inflight: HashMap<String, u64>,
+    /// Bumped every time a fresh engine replaces this slot, so stale
+    /// imported-prefix handles from a previous engine generation are never
+    /// released against the wrong pool.
+    generation: u64,
+}
+
+/// Lockstep steps a KV handoff transfer takes to commit. Two steps open a
+/// window for fault events to land *mid-transfer*.
+pub const TRANSFER_STEPS: u64 = 2;
+
+/// One KV handoff in flight between a prefill and a decode replica.
+struct Transfer {
+    id: u64,
+    payload: HandoffPayload,
+    dst: usize,
+    started_at: u64,
+    commit_at: u64,
+    /// Span context for the handoff; the decode attempt nests under it.
+    ctx: TraceContext,
+}
+
+/// A request running its decode phase after a committed handoff.
+struct DecodeInfo {
+    /// First sampled token, produced by the prefill stub; stitched back
+    /// onto the decode replica's output.
+    t0: u32,
+    /// Imported prefix to release on completion:
+    /// `(replica, engine generation, prefix id)`.
+    prefix: Option<(usize, u64, PrefixId)>,
 }
 
 /// Mutable bookkeeping for one run.
@@ -333,6 +398,15 @@ struct RunState {
     /// `(ready_at_step, request_id)` retry entries.
     retry_q: Vec<(u64, u64)>,
     duplicates: usize,
+    /// Requests currently running as one-token prefill stubs.
+    stubs: HashSet<u64>,
+    /// KV handoffs in flight (serialized, not yet committed).
+    transfers: Vec<Transfer>,
+    /// Requests in their decode phase, keyed by trace id.
+    decodes: HashMap<u64, DecodeInfo>,
+    /// Monotonic suffix for decode-phase engine ids (uniqueness across
+    /// re-deliveries).
+    admit_seq: u64,
 }
 
 struct PendingReq {
@@ -351,6 +425,8 @@ struct FaultCounters {
     swap_exhaustions: Counter,
     pool_pressures: Counter,
     prefill_stalls: Counter,
+    handoffs: Counter,
+    handoff_retries: Counter,
 }
 
 /// N engines in deterministic lockstep under a router, a request trace, and
@@ -362,6 +438,11 @@ pub struct FaultCluster {
     telemetry: Arc<Telemetry>,
     counters: FaultCounters,
     block_size: usize,
+    /// One role per replica (all [`ReplicaRole::Unified`] for classic
+    /// fleets); prefill-role targets place requests as one-token stubs.
+    roles: Vec<ReplicaRole>,
+    /// Whether replacement engines script sequence-invariant tokens.
+    seq_invariant: bool,
     /// Spans and metrics salvaged from engines that were replaced (kill +
     /// restart, or graceful drain): `(replica, spans, metrics)`. Without
     /// this a restart would silently discard the killed generation's
@@ -375,17 +456,40 @@ pub struct FaultCluster {
 }
 
 impl FaultCluster {
-    /// Builds the harness with fresh engines.
+    /// Builds the harness with fresh engines in a unified fleet.
     ///
     /// # Panics
     ///
     /// Panics if the configuration names zero replicas.
     #[must_use]
     pub fn new(cfg: FaultClusterConfig) -> Self {
+        Self::with_fleet(cfg, &ClusterConfig::new(cfg.num_replicas))
+    }
+
+    /// Builds the harness over a typed fleet: `fleet.roles` splits the
+    /// replicas into prefill and decode pools ([`ReplicaRole`]), routed and
+    /// migrated through the KV-handoff path. A disaggregated fleet (or
+    /// [`FaultClusterConfig::seq_invariant_tokens`]) switches the mock
+    /// executors to sequence-invariant token scripting, so token streams
+    /// survive mid-request migration bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero replicas or `fleet` names a
+    /// different replica count than `cfg`.
+    #[must_use]
+    pub fn with_fleet(cfg: FaultClusterConfig, fleet: &ClusterConfig) -> Self {
         assert!(cfg.num_replicas > 0, "cluster needs at least one replica");
+        assert_eq!(
+            fleet.num_replicas(),
+            cfg.num_replicas,
+            "fleet roles must cover every replica"
+        );
+        let seq_invariant = cfg.seq_invariant_tokens || fleet.is_disaggregated();
         let telemetry = Arc::new(Telemetry::new());
         let mut router = Router::new(RouterConfig::new(cfg.policy), cfg.num_replicas);
         router.attach_telemetry(&telemetry);
+        router.set_roles(fleet.roles.clone());
         let r = telemetry.registry();
         let counters = FaultCounters {
             injected: r.counter("vllm_fault_injected_total", "Fault events fired."),
@@ -406,8 +510,18 @@ impl FaultCluster {
                 "vllm_fault_prefill_stalls_total",
                 "Chunked-prefill stall events fired.",
             ),
+            handoffs: r.counter(
+                "vllm_cluster_handoffs_total",
+                "KV handoffs initiated (prefill stub finished).",
+            ),
+            handoff_retries: r.counter(
+                "vllm_cluster_handoff_retries_total",
+                "Handoff transfers re-routed after a dead or backed-up decode target.",
+            ),
         };
-        let slots: Vec<ReplicaSlot> = (0..cfg.num_replicas).map(|_| fresh_slot()).collect();
+        let slots: Vec<ReplicaSlot> = (0..cfg.num_replicas)
+            .map(|_| fresh_slot(seq_invariant, 0))
+            .collect();
         let block_size = slots[0].engine.cache_config().block_size;
         Self {
             cfg,
@@ -416,6 +530,8 @@ impl FaultCluster {
             telemetry,
             counters,
             block_size,
+            roles: fleet.roles.clone(),
+            seq_invariant,
             archived: Vec::new(),
             archived_drops: 0,
             max_prompt_len: 1,
@@ -539,6 +655,10 @@ impl FaultCluster {
             outcomes: HashMap::new(),
             retry_q: Vec::new(),
             duplicates: 0,
+            stubs: HashSet::new(),
+            transfers: Vec::new(),
+            decodes: HashMap::new(),
+            admit_seq: 0,
         };
         let mut next_event = 0;
         let mut next_arrival = 0;
@@ -550,6 +670,10 @@ impl FaultCluster {
                 self.apply_event(&e, step, &mut st);
                 next_event += 1;
             }
+            // 1b. Commit (or re-route) due KV handoff transfers. Runs
+            // after events so a kill landing this step is seen as a dead
+            // transfer target — the mid-transfer fault window.
+            self.process_transfers(step, &mut st);
             // 2. Re-place due retries (sorted for determinism).
             let mut due: Vec<u64> = Vec::new();
             st.retry_q.retain(|&(ready_at, id)| {
@@ -613,6 +737,8 @@ impl FaultCluster {
             faults_injected: self.counters.injected.get(),
             kills: self.counters.kills.get(),
             forward_failures: self.counters.forward_failures.get(),
+            handoffs: self.counters.handoffs.get(),
+            handoff_retries: self.counters.handoff_retries.get(),
             steps: step,
             leaked_blocks,
             token_fingerprint: fingerprint(&st.outcomes),
@@ -655,7 +781,8 @@ impl FaultCluster {
                     self.router.mark_dead(e.replica);
                 } else {
                     self.archive_slot(e.replica);
-                    self.slots[e.replica] = fresh_slot();
+                    let generation = self.slots[e.replica].generation + 1;
+                    self.slots[e.replica] = fresh_slot(self.seq_invariant, generation);
                     self.router.mark_alive(e.replica);
                 }
             }
@@ -737,23 +864,38 @@ impl FaultCluster {
     /// Routes and admits one request; on failure, schedules a backoff retry
     /// or records a terminal rejection.
     fn try_place(&mut self, id: u64, step: u64, st: &mut RunState) {
-        let (prompt, request, attempt) = {
-            let Some(p) = st.pending.get_mut(&id) else {
-                return;
-            };
+        if !st.pending.contains_key(&id) {
+            return;
+        }
+        // A re-placement restarts the request from scratch, so any
+        // in-progress handoff state from a previous attempt — stub marker,
+        // undelivered transfer, imported prefix — is torn down first. A
+        // retried request can therefore never leak pinned blocks or have a
+        // stale transfer deliver behind its back.
+        self.clear_handoff_state(id, st);
+        let (prompt, output_len, ctx, attempt) = {
+            let p = st.pending.get_mut(&id).expect("checked above");
             p.attempts += 1;
             // Each attempt is a sibling span under the request's root
             // context; the engine adopts it instead of minting its own.
             let ctx = p.root.child(100 + u64::from(p.attempts));
-            (
-                p.req.prompt.clone(),
-                p.req.request().with_trace(ctx),
-                p.attempts,
-            )
+            (p.req.prompt.clone(), p.req.output_len, ctx, p.attempts)
         };
         let hashes = chunk_hashes(&prompt, self.block_size);
         let snaps = self.snapshots();
         let d = self.router.route(&hashes, &snaps);
+        // On a prefill-role replica the request runs as a one-token stub:
+        // prompt phase plus the first sampled token, then a KV handoff
+        // moves it to the decode pool.
+        let stub = self.roles[d.replica] == ReplicaRole::Prefill && output_len > 1;
+        let request = if stub {
+            GenerationRequest::greedy(1)
+                .with_ignore_eos()
+                .with_seed(id)
+                .with_trace(ctx)
+        } else {
+            st.pending[&id].req.request().with_trace(ctx)
+        };
         let cap = self.cfg.max_inflight;
         let slot = &mut self.slots[d.replica];
         if slot.alive && !slot.draining && slot.inflight.len() < cap {
@@ -766,6 +908,9 @@ impl FaultCluster {
             {
                 Ok(()) => {
                     slot.inflight.insert(engine_id, id);
+                    if stub {
+                        st.stubs.insert(id);
+                    }
                     return;
                 }
                 Err(e) if e.is_retryable() => {}
@@ -799,20 +944,43 @@ impl FaultCluster {
             if self.slots[i].draining {
                 // Drained: swap in a fresh engine and rejoin the fleet.
                 self.archive_slot(i);
-                self.slots[i] = fresh_slot();
+                let generation = self.slots[i].generation + 1;
+                self.slots[i] = fresh_slot(self.seq_invariant, generation);
                 self.router.mark_alive(i);
             }
             return;
         }
-        let slot = &mut self.slots[i];
-        match slot.engine.step() {
+        let step_result = self.slots[i].engine.step();
+        match step_result {
             Ok(outs) => {
                 for out in outs {
-                    if let Some(id) = slot.inflight.remove(&out.request_id) {
-                        let tokens: Vec<Vec<u32>> =
-                            out.outputs.iter().map(|c| c.tokens.clone()).collect();
-                        record(st, id, Outcome::Completed { tokens });
+                    let Some(id) = self.slots[i].inflight.remove(&out.request_id) else {
+                        continue;
+                    };
+                    if st.stubs.remove(&id) {
+                        // Prefill stub finished: its single output token is
+                        // the request's first sampled token; serialize the
+                        // KV and start the transfer to the decode pool.
+                        let t0 = out
+                            .outputs
+                            .first()
+                            .and_then(|c| c.tokens.first().copied())
+                            .unwrap_or(0);
+                        self.begin_handoff(id, t0, step, st);
+                        continue;
                     }
+                    let mut tokens: Vec<Vec<u32>> =
+                        out.outputs.iter().map(|c| c.tokens.clone()).collect();
+                    if let Some(info) = st.decodes.remove(&id) {
+                        // Decode phase done: stitch the prefill-sampled
+                        // first token back on and release the imported
+                        // prefix (zero-leak accounting).
+                        if let Some(seq) = tokens.first_mut() {
+                            seq.insert(0, info.t0);
+                        }
+                        self.release_handoff_prefix(info.prefix);
+                    }
+                    record(st, id, Outcome::Completed { tokens });
                 }
             }
             Err(_) => {
@@ -820,6 +988,7 @@ impl FaultCluster {
                 // block accounting), reap the aborted groups, and re-route
                 // the affected requests.
                 self.counters.forward_failures.inc();
+                let slot = &mut self.slots[i];
                 if slot.engine.abort_all().is_ok() {
                     let _ = slot.engine.step();
                 }
@@ -829,6 +998,198 @@ impl FaultCluster {
                 }
             }
         }
+    }
+
+    /// Serializes a finished prefill stub's KV through the wire codec and
+    /// starts its transfer to a decode replica.
+    fn begin_handoff(&mut self, id: u64, t0: u32, step: u64, st: &mut RunState) {
+        let Some(p) = st.pending.get(&id) else {
+            return;
+        };
+        // Round-trip the same codec the TCP frontend ships over, so
+        // framing or checksum bugs surface deterministically here. The
+        // mock executor has no addressable KV, so the block bodies are
+        // empty — the count and layout contract is still enforced.
+        let payload = HandoffPayload {
+            request_id: id.to_string(),
+            tokens: p.req.prompt.clone(),
+            first_token: Some(t0),
+            seed: id,
+            block_size: self.block_size,
+            blocks: vec![KvBlockBytes::empty(); p.req.prompt.len().div_ceil(self.block_size)],
+        };
+        let wire = payload.encode_wire();
+        let payload =
+            HandoffPayload::decode_wire(&wire).expect("handoff frames round-trip the wire codec");
+        payload
+            .validate()
+            .expect("decoded handoff payload is internally consistent");
+        // The handoff span nests under the request root, as a sibling of
+        // the placement attempts (slot offset keeps ids collision-free).
+        let ctx = p.root.child(200 + u64::from(p.attempts));
+        let snaps = self.snapshots();
+        let dst = self.router.route_decode(&snaps);
+        self.counters.handoffs.inc();
+        st.transfers.push(Transfer {
+            id,
+            payload,
+            dst,
+            started_at: step,
+            commit_at: step + TRANSFER_STEPS,
+            ctx,
+        });
+    }
+
+    /// Commits due transfers, re-routing any whose decode target died or
+    /// backed up mid-transfer. Each payload is delivered at most once: the
+    /// transfer entry is mutated in place on a retry and removed on
+    /// commit.
+    fn process_transfers(&mut self, step: u64, st: &mut RunState) {
+        let mut idx = 0;
+        while idx < st.transfers.len() {
+            if st.transfers[idx].commit_at > step {
+                idx += 1;
+                continue;
+            }
+            let dst = st.transfers[idx].dst;
+            let deliverable = self.slots[dst].alive
+                && !self.slots[dst].draining
+                && self.slots[dst].inflight.len() < self.cfg.max_inflight;
+            if !deliverable {
+                let snaps = self.snapshots();
+                let new_dst = self.router.route_decode(&snaps);
+                let t = &mut st.transfers[idx];
+                t.dst = new_dst;
+                t.commit_at = step + TRANSFER_STEPS;
+                self.counters.handoff_retries.inc();
+                self.router.record_retry();
+                idx += 1;
+                continue;
+            }
+            let t = st.transfers.remove(idx);
+            self.commit_handoff(t, step, st);
+        }
+    }
+
+    /// Installs a transferred prefix on the decode replica and admits the
+    /// request's decode phase (resumed prompt = original prompt plus the
+    /// prefill-sampled first token).
+    fn commit_handoff(&mut self, t: Transfer, step: u64, st: &mut RunState) {
+        if st.outcomes.contains_key(&t.id) {
+            return;
+        }
+        let Some(p) = st.pending.get(&t.id) else {
+            return;
+        };
+        let output_len = p.req.output_len;
+        let t0 = t
+            .payload
+            .first_token
+            .expect("prefill handoffs carry the first sampled token");
+        let mut resumed = t.payload.tokens.clone();
+        resumed.push(t0);
+        // Longest block-aligned *strict* prefix of the resumed prompt: the
+        // decode replica recomputes only the uncovered tail (>= 1 token),
+        // everything else comes from the installed blocks.
+        let keep = ((resumed.len() - 1) / self.block_size) * self.block_size;
+        let mut prefix = None;
+        if keep > 0 {
+            let blocks = t.payload.blocks[..keep / self.block_size].to_vec();
+            if let Ok(pid) = self.slots[t.dst]
+                .engine
+                .import_prefix(resumed[..keep].to_vec(), blocks)
+            {
+                prefix = Some((t.dst, self.slots[t.dst].generation, pid));
+            }
+        }
+        st.admit_seq += 1;
+        let engine_id = format!("{}.d{}", t.id, st.admit_seq);
+        let request = GenerationRequest::greedy(output_len - 1)
+            .with_ignore_eos()
+            .with_seed(t.id)
+            .with_trace(t.ctx.child(4));
+        match self.slots[t.dst]
+            .engine
+            .add_generation_request(engine_id.clone(), resumed, &request)
+        {
+            Ok(()) => {
+                self.slots[t.dst].inflight.insert(engine_id, t.id);
+                st.decodes.insert(t.id, DecodeInfo { t0, prefix });
+                self.record_handoff_spans(&t, step);
+            }
+            Err(e) if e.is_retryable() => {
+                // Roll the install back and resend the transfer later.
+                self.release_handoff_prefix(prefix);
+                self.counters.handoff_retries.inc();
+                self.router.record_retry();
+                st.transfers.push(Transfer {
+                    commit_at: step + TRANSFER_STEPS,
+                    ..t
+                });
+            }
+            Err(_) => {
+                self.release_handoff_prefix(prefix);
+                record(st, t.id, Outcome::Rejected);
+            }
+        }
+    }
+
+    /// Tears down any in-progress handoff state for a request about to be
+    /// re-placed from scratch.
+    fn clear_handoff_state(&mut self, id: u64, st: &mut RunState) {
+        st.stubs.remove(&id);
+        st.transfers.retain(|t| t.id != id);
+        if let Some(info) = st.decodes.remove(&id) {
+            self.release_handoff_prefix(info.prefix);
+        }
+    }
+
+    /// Releases an imported prefix, but only against the engine generation
+    /// that created it — a restarted replica's fresh pool never sees a
+    /// stale handle.
+    fn release_handoff_prefix(&mut self, prefix: Option<(usize, u64, PrefixId)>) {
+        if let Some((replica, generation, pid)) = prefix {
+            let slot = &mut self.slots[replica];
+            if slot.alive && slot.generation == generation {
+                let _ = slot.engine.release_prefix(pid);
+            }
+        }
+    }
+
+    /// Records the committed handoff's span tree on the cluster telemetry:
+    /// a `handoff` parent under the request root, with `handoff.export`,
+    /// `handoff.transfer`, and `handoff.install` children nested inside
+    /// its bounds. The decode attempt's engine span hangs off slot 4 of
+    /// the same context.
+    fn record_handoff_spans(&self, t: &Transfer, commit: u64) {
+        let start = t.started_at as f64;
+        let end = commit as f64;
+        let spans = self.telemetry.spans();
+        spans.record(Span {
+            trace_id: t.ctx.trace_id,
+            span_id: t.ctx.span_id,
+            parent_span_id: t.ctx.parent_span_id,
+            name: "handoff".to_string(),
+            start,
+            end,
+            attrs: vec![
+                ("dst".to_string(), t.dst.to_string()),
+                ("kv_bytes".to_string(), t.payload.kv_bytes().to_string()),
+                ("blocks".to_string(), t.payload.blocks.len().to_string()),
+            ],
+        });
+        let child = |slot: u64, name: &str, s: f64, e: f64| Span {
+            trace_id: t.ctx.trace_id,
+            span_id: t.ctx.child(slot).span_id,
+            parent_span_id: t.ctx.span_id,
+            name: name.to_string(),
+            start: s,
+            end: e,
+            attrs: Vec::new(),
+        };
+        spans.record(child(1, "handoff.export", start, start));
+        spans.record(child(2, "handoff.transfer", start, end));
+        spans.record(child(3, "handoff.install", end, end));
     }
 
     /// Builds the router's per-replica view.
@@ -844,12 +1205,17 @@ impl FaultCluster {
 }
 
 /// A fresh replica slot: small identical engine behind a fault injector.
-fn fresh_slot() -> ReplicaSlot {
+fn fresh_slot(seq_invariant: bool, generation: u64) -> ReplicaSlot {
     let cache = CacheConfig::new(4, 64, 16).expect("valid cache config");
     let sched = SchedulerConfig::new(2048, 64, 2048).expect("valid scheduler config");
     let controls = FaultControls::new();
+    let mock = if seq_invariant {
+        MockExecutor::new(1000).seq_invariant()
+    } else {
+        MockExecutor::new(1000)
+    };
     let engine = LlmEngine::new(
-        FaultInjector::new(MockExecutor::new(1000), Arc::clone(&controls)),
+        FaultInjector::new(mock, Arc::clone(&controls)),
         cache,
         sched,
     );
@@ -860,6 +1226,7 @@ fn fresh_slot() -> ReplicaSlot {
         draining: false,
         stall_remaining: 0,
         inflight: HashMap::new(),
+        generation,
     }
 }
 
@@ -1114,6 +1481,132 @@ mod tests {
         assert!(spans.iter().any(|s| s.name == "fault.restore_pool"));
         // Deterministic under the deflate/restore cycle.
         assert_eq!(report, run().0);
+    }
+
+    /// Oracle for the disaggregated tests: the same trace on a unified
+    /// fleet with sequence-invariant tokens. Disaggregation must be a pure
+    /// placement change — identical token streams, bit for bit.
+    fn unified_oracle(n_replicas: usize, requests: Vec<ClusterRequest>) -> FaultReport {
+        let cfg = FaultClusterConfig::new(n_replicas).with_seq_invariant_tokens();
+        let mut cluster = FaultCluster::new(cfg);
+        cluster.run(&FaultPlan::new(0), requests)
+    }
+
+    #[test]
+    fn disaggregated_fleet_matches_unified_token_streams() {
+        let oracle = unified_oracle(4, trace(16, 2.0));
+        assert_eq!(oracle.completed, 16, "oracle must complete everything");
+        let mut cluster = FaultCluster::with_fleet(
+            FaultClusterConfig::new(4),
+            &ClusterConfig::disaggregated(2, 2),
+        );
+        let report = cluster.run(&FaultPlan::new(0), trace(16, 2.0));
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.handoffs, 16, "every request hands off exactly once");
+        assert_eq!(report.handoff_retries, 0, "healthy fleet: no resends");
+        assert_eq!(
+            report.leaked_blocks, 0,
+            "imported prefixes must be released at decode completion"
+        );
+        assert_eq!(
+            report.token_fingerprint, oracle.token_fingerprint,
+            "disaggregation must not change a single output token"
+        );
+        // New traffic lands only on the prefill pool; decode picks only on
+        // the decode pool.
+        let stats = cluster.router().stats();
+        assert_eq!(stats.routed[2] + stats.routed[3], 0);
+        assert_eq!(stats.decode_routed[0] + stats.decode_routed[1], 0);
+        assert_eq!(stats.decode_routed[2] + stats.decode_routed[3], 16);
+        // Handoff counters surface in the merged exposition.
+        let merged = cluster.merged_snapshot();
+        assert_eq!(merged.counter("vllm_cluster_handoffs_total"), Some(16));
+    }
+
+    #[test]
+    fn decode_death_mid_transfer_delivers_exactly_once() {
+        // Replica 2 (decode) dies one step into the two-step transfer
+        // window, before any payload routed to it has committed; replica 3
+        // is stalled at step 2 and killed at step 3, so requests that
+        // committed onto it sit between handoff commit and their first
+        // decode step when the kill lands. Both fault windows of the
+        // handoff path fire in one run, and still: every request completes
+        // exactly once, nothing leaks, and the token streams match the
+        // healthy unified fleet's.
+        let oracle = unified_oracle(4, trace(8, 4.0));
+        let plan = FaultPlan::new(0)
+            .with_event(1, 2, FaultKind::KillReplica)
+            .with_event(2, 3, FaultKind::StallReplica { steps: 1 })
+            .with_event(3, 3, FaultKind::KillReplica)
+            .with_event(20, 2, FaultKind::RestartReplica)
+            .with_event(20, 3, FaultKind::RestartReplica);
+        let run = || {
+            let mut cluster = FaultCluster::with_fleet(
+                FaultClusterConfig::new(4),
+                &ClusterConfig::disaggregated(2, 2),
+            );
+            cluster.run(&plan, trace(8, 4.0))
+        };
+        let report = run();
+        assert_eq!(report.kills, 2);
+        assert_eq!(report.completed, 8, "no request may die with its replica");
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0, "payloads are delivered exactly once");
+        assert_eq!(
+            report.leaked_blocks, 0,
+            "no pinned prefix may outlive its request"
+        );
+        assert!(
+            report.handoff_retries > 0,
+            "a transfer must have been re-routed off the dead target"
+        );
+        assert_eq!(
+            report.token_fingerprint, oracle.token_fingerprint,
+            "token streams must survive mid-handoff kills bit-for-bit"
+        );
+        assert_eq!(report, run(), "faulted handoffs must be deterministic");
+    }
+
+    #[test]
+    fn handoff_spans_are_well_nested() {
+        let mut cluster = FaultCluster::with_fleet(
+            FaultClusterConfig::new(4),
+            &ClusterConfig::disaggregated(2, 2),
+        );
+        let report = cluster.run(&FaultPlan::new(0), trace(4, 2.0));
+        assert_eq!(report.completed, 4);
+        let spans = cluster.telemetry().spans().snapshot();
+        let handoffs: Vec<&Span> = spans.iter().filter(|s| s.name == "handoff").collect();
+        assert_eq!(handoffs.len(), 4, "one handoff span per request");
+        let engine_spans: Vec<Span> = cluster
+            .all_spans()
+            .into_iter()
+            .flat_map(|(_, s)| s)
+            .collect();
+        for h in handoffs {
+            assert_ne!(h.trace_id, 0, "handoffs belong to the request trace");
+            for name in ["handoff.export", "handoff.transfer", "handoff.install"] {
+                let child = spans
+                    .iter()
+                    .find(|s| s.name == name && s.parent_span_id == h.span_id)
+                    .unwrap_or_else(|| panic!("missing {name} child"));
+                assert_eq!(child.trace_id, h.trace_id);
+                assert!(
+                    child.start >= h.start && child.end <= h.end,
+                    "{name} must nest inside the handoff bounds"
+                );
+            }
+            // The decode attempt on the target engine hangs off the same
+            // handoff span.
+            assert!(
+                engine_spans
+                    .iter()
+                    .any(|s| s.name == "attempt" && s.parent_span_id == h.span_id),
+                "decode attempt span must be a child of the handoff"
+            );
+        }
     }
 
     #[test]

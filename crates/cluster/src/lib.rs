@@ -27,17 +27,33 @@
 //!   degradation machinery: bounded admission with backpressure, retry with
 //!   re-routing, restart with drain. Same seed ⇒ same token streams and
 //!   retry counts.
+//! * [`ClusterConfig`] / [`ReplicaRole`] — the typed fleet builder:
+//!   per-replica roles (prefill / decode / unified) for disaggregated
+//!   serving, admission bounds, and prefix-tier capacity, replacing
+//!   env-string-only wiring (env vars remain inputs via
+//!   [`ClusterConfig::with_env`]).
+//! * [`PrefixTier`] — the cluster-shared CPU prefix store: content-hash
+//!   keyed serialized KV blocks, refcounted while installing, evicted by
+//!   hits-per-block score. A prefix prefilled on one replica installs on
+//!   any other without recompute.
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod fault;
 pub mod replica;
 pub mod router;
 pub mod sim;
 pub mod stats;
+pub mod tier;
 
+pub use config::{ClusterConfig, ReplicaRole};
 pub use fault::{FaultCluster, FaultClusterConfig, FaultEvent, FaultKind, FaultPlan, FaultReport};
-pub use replica::{EngineReply, EngineRequest, EngineStats, Replica};
+pub use replica::{
+    EngineCommand, EngineReply, EngineRequest, EngineStats, PrefixOp, PrefixReply, PrefixRequest,
+    Replica,
+};
 pub use router::{ReplicaSnapshot, RouteDecision, RoutePolicy, Router, RouterConfig, RouterStats};
 pub use sim::{ClusterReport, ClusterRequest, ClusterSystem};
 pub use stats::{aggregate_stats, merge_labeled};
+pub use tier::{PrefixTier, TierEntry, TierStats};

@@ -36,7 +36,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use vllm_core::telemetry::Telemetry;
-use vllm_core::{GenerationRequest, LlmEngine, ModelExecutor, RequestOutput, VllmError};
+use vllm_core::{
+    GenerationRequest, KvBlockBytes, LlmEngine, ModelExecutor, PrefixId, RequestOutput, VllmError,
+};
 
 /// Default bound on requests a replica holds in flight (queued + running)
 /// before it answers submissions with [`VllmError::Rejected`].
@@ -47,7 +49,7 @@ pub const REJECT_RETRY_AFTER: f64 = 0.05;
 
 /// A snapshot of serving state published by a replica's engine loop after
 /// every iteration (the `/metrics` analog of production servers).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
     /// Queued requests not yet admitted.
     pub waiting: usize,
@@ -116,6 +118,81 @@ pub struct EngineRequest {
     pub reply: Sender<EngineReply>,
 }
 
+/// A prefix-cache operation routed to an engine thread: the engine-side
+/// control plane of the KV handoff and the cluster-shared prefix tier.
+/// Unlike generation requests, prefix ops are handled synchronously at the
+/// next admission pass and are exempt from the in-flight bound — the control
+/// plane must not starve behind data-plane backpressure.
+#[derive(Debug, Clone)]
+pub enum PrefixOp {
+    /// Pin and compute a block-aligned prefix in the replica's pool (§4.4
+    /// registration; runs a KV-only warm-up forward pass).
+    Register {
+        /// Prefix tokens (whole blocks are pinned for `len` rounded up).
+        tokens: Vec<u32>,
+    },
+    /// Serialize a resident prefix's KV for a handoff.
+    Export {
+        /// Id returned by a prior `Register`/`Install` on this replica.
+        id: PrefixId,
+    },
+    /// Install a prefix whose KV was computed elsewhere (the receiving half
+    /// of a handoff: blocks are journaled as `CacheOps` installs).
+    Install {
+        /// Prefix tokens.
+        tokens: Vec<u32>,
+        /// Serialized KV, one entry per block.
+        blocks: Vec<KvBlockBytes>,
+    },
+    /// Unpin a prefix registered or installed earlier; in-flight sharers
+    /// keep their references.
+    Release {
+        /// Id returned by a prior `Register`/`Install` on this replica.
+        id: PrefixId,
+    },
+}
+
+/// The reply to a [`PrefixOp`].
+#[derive(Debug, Clone)]
+pub enum PrefixReply {
+    /// `Register` pinned and computed the prefix.
+    Registered {
+        /// Pool id for `Export`/`Release` on this replica.
+        id: PrefixId,
+    },
+    /// `Export` serialized the prefix.
+    Exported {
+        /// The prefix tokens (block-aligned length as registered).
+        tokens: Vec<u32>,
+        /// Serialized KV, one entry per block.
+        blocks: Vec<KvBlockBytes>,
+    },
+    /// `Install` journaled the payload and registered the prefix.
+    Installed {
+        /// Pool id for `Export`/`Release` on this replica.
+        id: PrefixId,
+    },
+    /// `Release` unpinned the prefix.
+    Released,
+}
+
+/// A prefix op plus its reply channel.
+pub struct PrefixRequest {
+    /// The operation.
+    pub op: PrefixOp,
+    /// Receives exactly one reply.
+    pub reply: Sender<Result<PrefixReply, VllmError>>,
+}
+
+/// One command over a replica's channel: data plane (generation) or control
+/// plane (prefix ops).
+pub enum EngineCommand {
+    /// Admit and run a generation request.
+    Generate(EngineRequest),
+    /// Execute a prefix-cache operation.
+    Prefix(PrefixRequest),
+}
+
 /// Handle to an engine running on its own thread.
 ///
 /// Shutdown and join take `&self` (the thread handle sits behind a mutex) so
@@ -125,7 +202,7 @@ pub struct EngineRequest {
 /// requests finish.
 pub struct Replica {
     id: usize,
-    tx: Sender<EngineRequest>,
+    tx: Sender<EngineCommand>,
     stats: Arc<Mutex<EngineStats>>,
     coverage: Arc<Mutex<Arc<Vec<u64>>>>,
     telemetry: Arc<Telemetry>,
@@ -151,7 +228,7 @@ impl Replica {
     where
         E: ModelExecutor + Send + 'static,
     {
-        let (tx, rx) = mpsc::channel::<EngineRequest>();
+        let (tx, rx) = mpsc::channel::<EngineCommand>();
         let shutdown = Arc::new(AtomicBool::new(false));
         let killed = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(EngineStats::default()));
@@ -202,7 +279,29 @@ impl Replica {
     /// Returns `Err(req)` when the loop is no longer accepting work.
     #[allow(clippy::result_large_err)] // The caller needs the request back to report the failure.
     pub fn submit(&self, req: EngineRequest) -> Result<(), EngineRequest> {
-        self.tx.send(req).map_err(|e| e.0)
+        self.tx.send(EngineCommand::Generate(req)).map_err(|e| {
+            let EngineCommand::Generate(req) = e.0 else {
+                unreachable!("sent a Generate command");
+            };
+            req
+        })
+    }
+
+    /// Executes one prefix-cache operation on the engine thread and waits
+    /// for its reply (the control plane of KV handoffs and the shared
+    /// prefix tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns a retryable [`VllmError::Unavailable`] when the loop is gone,
+    /// or the engine's own error for the operation.
+    pub fn prefix_op(&self, op: PrefixOp) -> Result<PrefixReply, VllmError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(EngineCommand::Prefix(PrefixRequest { op, reply }))
+            .map_err(|_| VllmError::Unavailable("replica not accepting work".into()))?;
+        rx.recv()
+            .map_err(|_| VllmError::Unavailable("replica dropped the prefix op".into()))?
     }
 
     /// The latest published stats snapshot.
@@ -315,7 +414,7 @@ struct EngineLoopFlags<'a> {
 /// switch fires, answering in-flight replies with a retryable error.
 fn engine_loop<E: ModelExecutor>(
     mut engine: LlmEngine<E>,
-    rx: &Receiver<EngineRequest>,
+    rx: &Receiver<EngineCommand>,
     flags: &EngineLoopFlags<'_>,
     stats: &Mutex<EngineStats>,
     coverage: &Mutex<Arc<Vec<u64>>>,
@@ -335,10 +434,19 @@ fn engine_loop<E: ModelExecutor>(
             for (_, reply) in pending.drain(..) {
                 let _ = reply.send(Err(VllmError::Unavailable("replica killed".into())));
             }
-            while let Ok(req) = rx.try_recv() {
-                let _ = req
-                    .reply
-                    .send(Err(VllmError::Unavailable("replica killed".into())));
+            while let Ok(cmd) = rx.try_recv() {
+                match cmd {
+                    EngineCommand::Generate(req) => {
+                        let _ = req
+                            .reply
+                            .send(Err(VllmError::Unavailable("replica killed".into())));
+                    }
+                    EngineCommand::Prefix(p) => {
+                        let _ = p
+                            .reply
+                            .send(Err(VllmError::Unavailable("replica killed".into())));
+                    }
+                }
             }
             *stats.lock() = snapshot_stats(&engine, finished_total);
             return;
@@ -354,7 +462,7 @@ fn engine_loop<E: ModelExecutor>(
         let mut disconnected = false;
         loop {
             match rx.try_recv() {
-                Ok(req) => {
+                Ok(EngineCommand::Generate(req)) => {
                     if pending.len() >= flags.max_inflight {
                         // Bounded admission: explicit backpressure instead
                         // of silent queueing.
@@ -376,6 +484,25 @@ fn engine_loop<E: ModelExecutor>(
                             let _ = req.reply.send(Err(e));
                         }
                     }
+                }
+                Ok(EngineCommand::Prefix(p)) => {
+                    // Control plane: synchronous, exempt from the in-flight
+                    // bound.
+                    let result = match p.op {
+                        PrefixOp::Register { tokens } => engine
+                            .register_prefix(tokens)
+                            .map(|id| PrefixReply::Registered { id }),
+                        PrefixOp::Export { id } => engine
+                            .export_prefix(id)
+                            .map(|(tokens, blocks)| PrefixReply::Exported { tokens, blocks }),
+                        PrefixOp::Install { tokens, blocks } => engine
+                            .import_prefix(tokens, blocks)
+                            .map(|id| PrefixReply::Installed { id }),
+                        PrefixOp::Release { id } => {
+                            engine.release_prefix(id).map(|()| PrefixReply::Released)
+                        }
+                    };
+                    let _ = p.reply.send(result);
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
@@ -586,6 +713,64 @@ mod tests {
                 Err(e) => assert!(e.is_retryable()),
             }
         }
+    }
+
+    #[test]
+    fn prefix_ops_round_trip_across_replicas() {
+        // Register on one replica, export, install on another: the §4.4
+        // handoff control plane over the command channel.
+        let src = Replica::spawn(0, small_engine());
+        let dst = Replica::spawn(1, small_engine());
+        let tokens: Vec<u32> = (1..=32).collect();
+        let PrefixReply::Registered { id } = src
+            .prefix_op(PrefixOp::Register {
+                tokens: tokens.clone(),
+            })
+            .expect("register")
+        else {
+            panic!("expected Registered");
+        };
+        let PrefixReply::Exported { tokens: t, blocks } =
+            src.prefix_op(PrefixOp::Export { id }).expect("export")
+        else {
+            panic!("expected Exported");
+        };
+        assert_eq!(t, tokens);
+        assert_eq!(blocks.len(), 8); // 32 tokens / block size 4.
+        let PrefixReply::Installed { id: installed } = dst
+            .prefix_op(PrefixOp::Install { tokens: t, blocks })
+            .expect("install")
+        else {
+            panic!("expected Installed");
+        };
+        // A request extending the installed prefix shares its blocks.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut prompt = tokens.clone();
+        prompt.extend([100, 101, 102]);
+        dst.submit(EngineRequest {
+            request_id: "r0".into(),
+            prompt,
+            request: GenerationRequest::greedy(4),
+            reply: reply_tx,
+        })
+        .ok()
+        .expect("accepting");
+        let out = reply_rx.recv().expect("reply").expect("success");
+        assert_eq!(out.outputs.len(), 1);
+        assert!(matches!(
+            dst.prefix_op(PrefixOp::Release { id: installed }),
+            Ok(PrefixReply::Released)
+        ));
+        // Releasing on the source too; a second release is a typed error.
+        src.prefix_op(PrefixOp::Release { id }).expect("release");
+        assert!(src.prefix_op(PrefixOp::Release { id }).is_err());
+        // Ops against a dead replica degrade to a retryable error.
+        src.inject_kill();
+        src.join();
+        let err = src
+            .prefix_op(PrefixOp::Register { tokens })
+            .expect_err("dead replica");
+        assert!(err.is_retryable());
     }
 
     #[test]

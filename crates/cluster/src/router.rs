@@ -34,6 +34,15 @@
 //! off a dead replica are counted via [`Router::record_retry`] and exported
 //! as `vllm_cluster_retries_total`.
 
+//! Roles: under disaggregated serving ([`crate::config::ReplicaRole`]) new
+//! requests only route to prefill-capable replicas, and
+//! [`Router::route_decode`] picks the decode-capable replica that receives
+//! the KV handoff. If every replica of the required role is dead, any alive
+//! replica may absorb the traffic (degraded beats dropped), mirroring the
+//! all-dead fallback. A unified fleet (the default) behaves exactly as
+//! before roles existed.
+
+use crate::config::ReplicaRole;
 use vllm_core::telemetry::{Counter, Gauge, Telemetry};
 use vllm_core::EngineLoad;
 
@@ -149,6 +158,10 @@ pub struct RouterStats {
     /// Requests re-routed after a retryable failure (replica death,
     /// backpressure rejection, transient engine error).
     pub retries: u64,
+    /// KV handoffs routed to each replica by [`Router::route_decode`]
+    /// (disaggregated fleets only; tracked apart from `routed` so a
+    /// migrated request is not double-counted).
+    pub decode_routed: Vec<u64>,
 }
 
 /// Cached telemetry handles for the router.
@@ -170,6 +183,7 @@ pub struct Router {
     cfg: RouterConfig,
     num_replicas: usize,
     rr_next: usize,
+    roles: Vec<ReplicaRole>,
     unhealthy: Vec<bool>,
     dead: Vec<bool>,
     stats: RouterStats,
@@ -198,14 +212,34 @@ impl Router {
             cfg,
             num_replicas,
             rr_next: 0,
+            roles: vec![ReplicaRole::Unified; num_replicas],
             unhealthy: vec![false; num_replicas],
             dead: vec![false; num_replicas],
             stats: RouterStats {
                 routed: vec![0; num_replicas],
+                decode_routed: vec![0; num_replicas],
                 ..RouterStats::default()
             },
             metrics: None,
         }
+    }
+
+    /// Assigns per-replica roles (disaggregated serving). A fresh router is
+    /// all-[`ReplicaRole::Unified`], which routes exactly as before roles
+    /// existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roles.len()` differs from the router's replica count.
+    pub fn set_roles(&mut self, roles: Vec<ReplicaRole>) {
+        assert_eq!(roles.len(), self.num_replicas, "one role per replica");
+        self.roles = roles;
+    }
+
+    /// The per-replica roles.
+    #[must_use]
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.roles
     }
 
     /// Registers the `vllm_cluster_*` instruments on `telemetry` and mirrors
@@ -327,16 +361,26 @@ impl Router {
         // Dead replicas are excluded everywhere — unless every replica is
         // dead, in which case the policy choice stands (requests are never
         // dropped at the router; the submission path reports the failure).
+        // New requests prefer prefill-capable replicas; if none is alive,
+        // any alive replica absorbs them (degraded beats dropped).
         let any_alive = self.dead.iter().any(|d| !d);
         let dead = &self.dead;
-        let alive = |i: usize| !dead[i] || !any_alive;
+        let roles = &self.roles;
+        let any_eligible = (0..self.num_replicas).any(|i| !dead[i] && roles[i].takes_prefill());
+        let alive = |i: usize| {
+            if any_eligible {
+                !dead[i] && roles[i].takes_prefill()
+            } else {
+                !dead[i] || !any_alive
+            }
+        };
 
         let mut affinity_hit = false;
         let pick = match self.cfg.policy {
             RoutePolicy::RoundRobin => {
                 let mut pick = self.rr_next % self.num_replicas;
                 if any_alive {
-                    while dead[pick] {
+                    while !alive(pick) {
                         pick = (pick + 1) % self.num_replicas;
                     }
                 }
@@ -387,6 +431,44 @@ impl Router {
         };
         self.record(&decision);
         decision
+    }
+
+    /// Picks the decode-capable replica that receives a KV handoff (fewest
+    /// outstanding tokens wins; ties break to the lowest index). Healthy
+    /// replicas are preferred, dead ones excluded; if every decode-capable
+    /// replica is dead, any alive replica absorbs the handoff, and an
+    /// all-dead fleet degrades to the overall shortest queue — the handoff
+    /// is never dropped at the router.
+    ///
+    /// Counted under `decode_routed`, not `routed`, so a migrated request
+    /// is not double-counted in placement stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snaps.len()` differs from the router's replica count.
+    pub fn route_decode(&mut self, snaps: &[ReplicaSnapshot]) -> usize {
+        assert_eq!(snaps.len(), self.num_replicas, "one snapshot per replica");
+        self.update_health(snaps);
+
+        let any_alive = self.dead.iter().any(|d| !d);
+        let dead = &self.dead;
+        let roles = &self.roles;
+        let any_eligible = (0..self.num_replicas).any(|i| !dead[i] && roles[i].takes_decode());
+        let keep = |i: usize| {
+            if any_eligible {
+                !dead[i] && roles[i].takes_decode()
+            } else {
+                !dead[i] || !any_alive
+            }
+        };
+        let any_healthy = (0..self.num_replicas).any(|i| keep(i) && !self.unhealthy[i]);
+        let pick = if any_healthy {
+            shortest_queue(snaps, |i| keep(i) && !self.unhealthy[i])
+        } else {
+            shortest_queue(snaps, keep)
+        };
+        self.stats.decode_routed[pick] += 1;
+        pick
     }
 
     fn update_health(&mut self, snaps: &[ReplicaSnapshot]) {
@@ -580,6 +662,60 @@ mod tests {
         router.record_retry();
         router.record_retry();
         assert_eq!(router.stats().retries, 2);
+    }
+
+    #[test]
+    fn roles_partition_prefill_and_decode_traffic() {
+        let snaps = vec![
+            snap(0, 40, vec![7, 11]),
+            snap(0, 10, vec![]),
+            snap(0, 30, vec![]),
+            snap(0, 5, vec![]),
+        ];
+        for policy in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::JoinShortestQueue,
+            RoutePolicy::PrefixAffinity,
+        ] {
+            let mut router = Router::new(RouterConfig::new(policy), 4);
+            router.set_roles(vec![
+                ReplicaRole::Prefill,
+                ReplicaRole::Prefill,
+                ReplicaRole::Decode,
+                ReplicaRole::Decode,
+            ]);
+            for _ in 0..8 {
+                let d = router.route(&[7, 11], &snaps);
+                assert!(
+                    d.replica < 2,
+                    "decode replica took a new request ({policy})"
+                );
+            }
+            for _ in 0..4 {
+                let pick = router.route_decode(&snaps);
+                assert!(pick >= 2, "prefill replica took a handoff ({policy})");
+            }
+            // Decode picks go to the shorter decode queue and are tracked
+            // separately from prefill placement.
+            assert_eq!(router.stats().decode_routed, vec![0, 0, 0, 4]);
+            assert_eq!(router.stats().routed[2] + router.stats().routed[3], 0);
+        }
+    }
+
+    #[test]
+    fn dead_role_pool_degrades_to_alive_replicas() {
+        let snaps = vec![snap(0, 10, vec![]), snap(0, 20, vec![])];
+        let mut router = Router::new(RouterConfig::new(RoutePolicy::JoinShortestQueue), 2);
+        router.set_roles(vec![ReplicaRole::Prefill, ReplicaRole::Decode]);
+        // Kill the only decode replica: handoffs spill to the prefill one
+        // rather than being dropped.
+        router.mark_dead(1);
+        assert_eq!(router.route_decode(&snaps), 0);
+        // Kill the only prefill replica instead: new requests spill to the
+        // decode one.
+        router.mark_alive(1);
+        router.mark_dead(0);
+        assert_eq!(router.route(&[], &snaps).replica, 1);
     }
 
     #[test]

@@ -8,16 +8,31 @@
 //! router — exactly the independence a real fleet has. Throughput-scaling
 //! and affinity-hit-rate curves come out analytically, with no threads and
 //! full determinism.
+//!
+//! Disaggregated mode ([`ClusterConfig::disaggregated`]): requests route to
+//! a *prefill* replica and run there as a one-token stub (the prompt phase
+//! plus the first sampled token). At the stub's finish — which is the
+//! request's TTFT — the prompt's KV blocks hand off to a *decode* replica
+//! ([`Router::route_decode`]): the blocks are published to the shared
+//! [`PrefixTier`], a block-transfer delay is charged at the interconnect
+//! (swap-bandwidth) rate, and the request resumes on the decode replica with
+//! the prompt KV installed via `import_prefix` — no recompute. Later
+//! arrivals that extend a published prompt hit the tier and install its
+//! blocks instead of prefitting them anywhere. The point of the split: p99
+//! TTFT no longer queues behind the memory-bound decode batch.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use vllm_baselines::types::{BatchSystem, StepWork};
-use vllm_core::telemetry::{MetricsSnapshot, Telemetry};
-use vllm_core::{chunk_hashes, GenerationRequest, LatencyTracker, TokenId};
+use vllm_baselines::types::StepWork;
+use vllm_core::telemetry::{Counter, MetricsSnapshot, Telemetry};
+use vllm_core::{chunk_hashes, GenerationRequest, KvBlockBytes, LatencyTracker, PrefixId, TokenId};
 use vllm_sim::VllmSimSystem;
 
+use crate::config::{ClusterConfig, ReplicaRole};
 use crate::router::{ReplicaSnapshot, RouteDecision, Router, RouterConfig};
 use crate::stats::merge_labeled;
+use crate::tier::PrefixTier;
 
 /// One request of a cluster trace.
 #[derive(Debug, Clone)]
@@ -80,17 +95,49 @@ pub struct ClusterReport {
     /// Replica chosen for each request, in injection order (determinism
     /// checks compare these across runs).
     pub assignments: Vec<(u64, usize)>,
+    /// Whether the fleet ran with specialized prefill/decode roles.
+    pub disaggregated: bool,
+    /// Mean time to first token (seconds).
+    pub ttft_mean: f64,
+    /// Median time to first token.
+    pub ttft_p50: f64,
+    /// 99th percentile time to first token (the latency the prefill/decode
+    /// split is meant to protect).
+    pub ttft_p99: f64,
+    /// KV handoffs performed (prefill → decode migrations).
+    pub handoffs: u64,
+    /// KV blocks shipped across the handoff path.
+    pub handoff_blocks: u64,
+    /// Handoffs routed to each replica, in index order.
+    pub decode_routed_per_replica: Vec<u64>,
+    /// Shared prefix-tier lookups that found a usable prefix.
+    pub tier_hits: u64,
+    /// Shared prefix-tier lookups that found nothing.
+    pub tier_misses: u64,
+    /// `tier_hits / (tier_hits + tier_misses)` (0 when the tier is off).
+    pub tier_hit_rate: f64,
+}
+
+/// Cached telemetry handles for the KV-handoff path.
+#[derive(Debug)]
+struct HandoffMetrics {
+    handoffs: Counter,
+    blocks: Counter,
+    tier_installs: Counter,
 }
 
 /// N simulated engine replicas behind one router.
 pub struct ClusterSystem {
     replicas: Vec<VllmSimSystem>,
     router: Router,
+    roles: Vec<ReplicaRole>,
+    tier: Option<PrefixTier>,
     clocks: Vec<f64>,
     block_size: usize,
     coverage: Vec<Arc<Vec<u64>>>,
     coverage_versions: Vec<Option<u64>>,
     telemetry: Arc<Telemetry>,
+    handoff_metrics: Option<HandoffMetrics>,
 }
 
 impl ClusterSystem {
@@ -102,19 +149,61 @@ impl ClusterSystem {
     #[must_use]
     pub fn new(replicas: Vec<VllmSimSystem>, cfg: RouterConfig) -> Self {
         assert!(!replicas.is_empty(), "cluster needs at least one replica");
+        let mut cluster = ClusterConfig::new(replicas.len());
+        cluster.router = cfg;
+        Self::with_config(replicas, cluster)
+    }
+
+    /// Builds a cluster from a typed fleet configuration: per-replica roles
+    /// (disaggregated serving) and shared prefix-tier capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or its length disagrees with the
+    /// configured roles.
+    #[must_use]
+    pub fn with_config(replicas: Vec<VllmSimSystem>, cfg: ClusterConfig) -> Self {
+        assert!(!replicas.is_empty(), "cluster needs at least one replica");
+        assert_eq!(replicas.len(), cfg.num_replicas(), "one role per replica");
         let n = replicas.len();
         let block_size = replicas[0].engine().cache_config().block_size;
         let telemetry = Arc::new(Telemetry::new());
-        let mut router = Router::new(cfg, n);
+        let mut router = Router::new(cfg.router, n);
         router.attach_telemetry(&telemetry);
+        router.set_roles(cfg.roles.clone());
+        let tier = (cfg.prefix_tier_blocks > 0).then(|| {
+            let mut t = PrefixTier::new(cfg.prefix_tier_blocks, block_size);
+            t.attach_telemetry(&telemetry);
+            t
+        });
+        let handoff_metrics = cfg.is_disaggregated().then(|| {
+            let r = telemetry.registry();
+            HandoffMetrics {
+                handoffs: r.counter(
+                    "vllm_cluster_handoffs_total",
+                    "KV handoffs from prefill to decode replicas.",
+                ),
+                blocks: r.counter(
+                    "vllm_cluster_handoff_blocks_total",
+                    "KV blocks shipped across the handoff path.",
+                ),
+                tier_installs: r.counter(
+                    "vllm_cluster_handoff_tier_installs_total",
+                    "Prefix installs served from the shared tier instead of prefill.",
+                ),
+            }
+        });
         Self {
             replicas,
             router,
+            roles: cfg.roles,
+            tier,
             clocks: vec![0.0; n],
             block_size,
             coverage: (0..n).map(|_| Arc::new(Vec::new())).collect(),
             coverage_versions: vec![None; n],
             telemetry,
+            handoff_metrics,
         }
     }
 
@@ -132,6 +221,18 @@ impl ClusterSystem {
     #[must_use]
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// The replicas, in index order (post-run leak and memory inspection).
+    #[must_use]
+    pub fn replicas(&self) -> &[VllmSimSystem] {
+        &self.replicas
+    }
+
+    /// The shared prefix tier, when enabled.
+    #[must_use]
+    pub fn tier(&self) -> Option<&PrefixTier> {
+        self.tier.as_ref()
     }
 
     /// The cluster-level telemetry bundle (router counters).
@@ -183,6 +284,23 @@ impl ClusterSystem {
         self.router.route(&hashes, &snaps)
     }
 
+    /// Models the interconnect time to ship `nblocks` KV blocks to
+    /// `replica` (swap-bandwidth rate from its cost model).
+    fn transfer_delay(&self, replica: usize, nblocks: usize) -> f64 {
+        if nblocks == 0 {
+            return 0.0;
+        }
+        let work = StepWork {
+            swapped_blocks: nblocks,
+            ..StepWork::default()
+        };
+        self.replicas[replica]
+            .engine()
+            .executor()
+            .cost
+            .step_latency(&work)
+    }
+
     /// Runs the trace to completion and reports aggregate metrics.
     ///
     /// # Panics
@@ -191,56 +309,275 @@ impl ClusterSystem {
     pub fn run(&mut self, mut requests: Vec<ClusterRequest>) -> ClusterReport {
         requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         let num_requests = requests.len();
+        let disaggregated = self.roles.iter().any(|r| *r != ReplicaRole::Unified);
+        let bs = self.block_size;
         let mut latency = LatencyTracker::new();
+        let mut ttfts: Vec<f64> = Vec::with_capacity(num_requests);
         let mut assignments = Vec::with_capacity(num_requests);
         let mut next = 0;
-        let mut cost = |_: &StepWork| 0.0;
+        // Requests mid-migration: a one-token stub runs the prompt phase on
+        // a prefill replica; its finish queues the decode phase for
+        // reinjection once the KV transfer lands.
+        struct PendingStub {
+            arrival: f64,
+            prompt: Vec<TokenId>,
+            output_len: usize,
+        }
+        struct DecodeInject {
+            at: f64,
+            id: u64,
+            replica: usize,
+            prompt: Vec<TokenId>,
+            remaining: usize,
+        }
+        struct DecodeMeta {
+            arrival: f64,
+            output_len: usize,
+            prefix: Option<(usize, PrefixId)>,
+        }
+        let mut stubs: HashMap<u64, PendingStub> = HashMap::new();
+        let mut reinjects: Vec<DecodeInject> = Vec::new();
+        let mut decode_meta: HashMap<u64, DecodeMeta> = HashMap::new();
+        let mut handoffs = 0u64;
+        let mut handoff_blocks = 0u64;
         loop {
             let min_busy_clock = self
                 .replicas
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.has_unfinished())
+                .filter(|(_, r)| r.engine().has_unfinished())
                 .map(|(i, _)| self.clocks[i])
                 .min_by(f64::total_cmp);
-            // Inject the next arrival when no replica's pending step could
-            // precede it (idle replicas fast-forward to the arrival).
-            if next < requests.len() && min_busy_clock.is_none_or(|c| requests[next].arrival <= c) {
-                let req = &requests[next];
-                let d = self.route(req);
-                assignments.push((req.id, d.replica));
-                self.clocks[d.replica] = self.clocks[d.replica].max(req.arrival);
-                self.replicas[d.replica]
-                    .engine_mut()
-                    .add_generation_request_at(
-                        req.id.to_string(),
-                        req.prompt.clone(),
-                        &req.request(),
-                        req.arrival,
-                    )
-                    .expect("request admitted");
-                next += 1;
-                continue;
+            // Earliest pending injection: a decode-phase reinjection or the
+            // next trace arrival (the reinjection wins ties so a migrated
+            // request resumes before new work lands on its replica).
+            let next_reinject = reinjects
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.at.total_cmp(&b.at).then(a.id.cmp(&b.id)))
+                .map(|(idx, inj)| (idx, inj.at));
+            let next_arrival = (next < requests.len()).then(|| requests[next].arrival);
+            let reinject_first = match (next_reinject, next_arrival) {
+                (Some((_, at)), Some(arr)) => at <= arr,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            // Inject when no replica's pending step could precede the
+            // injection time (idle replicas fast-forward to it).
+            if reinject_first {
+                let (idx, at) = next_reinject.expect("reinject_first implies one");
+                if min_busy_clock.is_none_or(|c| at <= c) {
+                    let inj = reinjects.swap_remove(idx);
+                    self.clocks[inj.replica] = self.clocks[inj.replica].max(inj.at);
+                    let req = GenerationRequest::greedy(inj.remaining)
+                        .with_ignore_eos()
+                        .with_seed(inj.id);
+                    self.replicas[inj.replica]
+                        .engine_mut()
+                        .add_generation_request_at(
+                            format!("{}.d", inj.id),
+                            inj.prompt,
+                            &req,
+                            inj.at,
+                        )
+                        .expect("decode phase admitted");
+                    continue;
+                }
+            } else if let Some(arrival) = next_arrival {
+                if min_busy_clock.is_none_or(|c| arrival <= c) {
+                    let req = requests[next].clone();
+                    next += 1;
+                    let d = self.route(&req);
+                    assignments.push((req.id, d.replica));
+                    let mut inject_at = req.arrival;
+                    // Consult the shared tier: a published prefix longer
+                    // than what the chosen replica already covers installs
+                    // from CPU memory (one transfer) instead of prefilling.
+                    if let Some(tier) = &mut self.tier {
+                        if let Some(key) = tier.lookup(&req.prompt) {
+                            let (tokens, blocks) = {
+                                let e = tier.get(key).expect("hit key resolves");
+                                (e.tokens.clone(), e.blocks.clone())
+                            };
+                            if blocks.len() > d.covered_chunks {
+                                tier.acquire(key);
+                                let nblocks = blocks.len();
+                                let installed = self.replicas[d.replica]
+                                    .engine_mut()
+                                    .import_prefix(tokens, blocks)
+                                    .is_ok();
+                                tier.release(key);
+                                if installed {
+                                    let work = StepWork {
+                                        swapped_blocks: nblocks,
+                                        ..StepWork::default()
+                                    };
+                                    inject_at += self.replicas[d.replica]
+                                        .engine()
+                                        .executor()
+                                        .cost
+                                        .step_latency(&work);
+                                    if let Some(m) = &self.handoff_metrics {
+                                        m.tier_installs.inc();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.clocks[d.replica] = self.clocks[d.replica].max(inject_at);
+                    let stub_phase = disaggregated
+                        && self.roles[d.replica] == ReplicaRole::Prefill
+                        && req.output_len > 1;
+                    if stub_phase {
+                        stubs.insert(
+                            req.id,
+                            PendingStub {
+                                arrival: req.arrival,
+                                prompt: req.prompt.clone(),
+                                output_len: req.output_len,
+                            },
+                        );
+                        let stub = GenerationRequest::greedy(1)
+                            .with_ignore_eos()
+                            .with_seed(req.id);
+                        self.replicas[d.replica]
+                            .engine_mut()
+                            .add_generation_request_at(
+                                req.id.to_string(),
+                                req.prompt.clone(),
+                                &stub,
+                                inject_at,
+                            )
+                            .expect("stub admitted");
+                    } else {
+                        self.replicas[d.replica]
+                            .engine_mut()
+                            .add_generation_request_at(
+                                req.id.to_string(),
+                                req.prompt.clone(),
+                                &req.request(),
+                                inject_at,
+                            )
+                            .expect("request admitted");
+                    }
+                    continue;
+                }
             }
             // Otherwise advance the furthest-behind busy replica one step.
             let Some(i) = self
                 .replicas
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.has_unfinished())
+                .filter(|(_, r)| r.engine().has_unfinished())
                 .map(|(i, _)| i)
                 .min_by(|&a, &b| self.clocks[a].total_cmp(&self.clocks[b]))
             else {
                 break; // Trace exhausted and every replica drained.
             };
-            let step = self.replicas[i]
-                .step(self.clocks[i], &mut cost)
-                .expect("busy replica steps");
-            self.clocks[i] += step.elapsed.max(1e-9);
-            for f in &step.finished {
-                latency.record(f.arrival, f.finish, f.output_len as f64);
+            let (outs, elapsed) = {
+                let engine = self.replicas[i].engine_mut();
+                engine.advance_clock_to(self.clocks[i]);
+                let before = engine.clock();
+                let outs = engine.step().expect("busy replica steps");
+                (outs, engine.clock() - before)
+            };
+            self.clocks[i] += elapsed.max(1e-9);
+            for o in outs {
+                let base_id: u64 = o
+                    .request_id
+                    .split('.')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(u64::MAX);
+                if let Some(stub) = stubs.remove(&base_id) {
+                    // Prompt phase done on the prefill replica: the stub's
+                    // finish IS the first token. Hand the KV off.
+                    let first = o.first_token_time.unwrap_or(o.finish_time);
+                    ttfts.push(first - stub.arrival);
+                    let t0 = o
+                        .outputs
+                        .first()
+                        .and_then(|c| c.tokens.first().copied())
+                        .unwrap_or(0);
+                    let mut prompt = stub.prompt;
+                    prompt.push(t0);
+                    // Longest block-aligned strict prefix of the resumed
+                    // prompt: what the decode replica can install verbatim.
+                    let keep = ((prompt.len() - 1) / bs) * bs;
+                    let nblocks = keep / bs;
+                    let snaps = self.refresh_snapshots();
+                    let target = self.router.route_decode(&snaps);
+                    let mut ready = o.finish_time;
+                    let mut prefix = None;
+                    if nblocks > 0 {
+                        // The simulator models timing, not tensor content:
+                        // empty-bodied payloads stand in for the serialized
+                        // KV (`HandoffPayload` carries real bytes in the
+                        // frontend path).
+                        let payload = vec![KvBlockBytes::empty(); nblocks];
+                        if let Some(tier) = &mut self.tier {
+                            tier.publish(&prompt[..keep], payload.clone());
+                        }
+                        if target != i {
+                            ready += self.transfer_delay(target, nblocks);
+                        }
+                        if let Ok(pid) = self.replicas[target]
+                            .engine_mut()
+                            .import_prefix(prompt[..keep].to_vec(), payload)
+                        {
+                            prefix = Some((target, pid));
+                        }
+                        handoff_blocks += nblocks as u64;
+                    }
+                    handoffs += 1;
+                    if let Some(m) = &self.handoff_metrics {
+                        m.handoffs.inc();
+                        m.blocks.inc_by(nblocks as u64);
+                    }
+                    decode_meta.insert(
+                        base_id,
+                        DecodeMeta {
+                            arrival: stub.arrival,
+                            output_len: stub.output_len,
+                            prefix,
+                        },
+                    );
+                    reinjects.push(DecodeInject {
+                        at: ready,
+                        id: base_id,
+                        replica: target,
+                        prompt,
+                        remaining: stub.output_len - 1,
+                    });
+                } else if let Some(meta) = decode_meta.remove(&base_id) {
+                    // Decode phase done: the request's latency spans both
+                    // phases plus the transfer; the imported prefix is
+                    // released so the decode pool does not leak blocks.
+                    latency.record(meta.arrival, o.finish_time, meta.output_len as f64);
+                    if let Some((replica, pid)) = meta.prefix {
+                        self.replicas[replica]
+                            .engine_mut()
+                            .release_prefix(pid)
+                            .expect("imported prefix releases");
+                    }
+                } else {
+                    if let Some(first) = o.first_token_time {
+                        ttfts.push(first - o.arrival_time);
+                    }
+                    latency.record(o.arrival_time, o.finish_time, o.mean_output_len());
+                }
             }
         }
+        ttfts.sort_by(f64::total_cmp);
+        let ttft_pct = |p: f64| -> f64 {
+            if ttfts.is_empty() {
+                0.0
+            } else {
+                let idx = ((p / 100.0) * (ttfts.len() - 1) as f64).round() as usize;
+                ttfts[idx.min(ttfts.len() - 1)]
+            }
+        };
+        let tier_stats = self.tier.as_ref().map(|t| t.stats()).unwrap_or_default();
         let stats = self.router.stats();
         let duration = self.clocks.iter().copied().fold(0.0, f64::max);
         ClusterReport {
@@ -268,6 +605,24 @@ impl ClusterSystem {
                 0.0
             },
             assignments,
+            disaggregated,
+            ttft_mean: if ttfts.is_empty() {
+                0.0
+            } else {
+                ttfts.iter().sum::<f64>() / ttfts.len() as f64
+            },
+            ttft_p50: ttft_pct(50.0),
+            ttft_p99: ttft_pct(99.0),
+            handoffs,
+            handoff_blocks,
+            decode_routed_per_replica: stats.decode_routed.clone(),
+            tier_hits: tier_stats.hits,
+            tier_misses: tier_stats.misses,
+            tier_hit_rate: if tier_stats.hits + tier_stats.misses > 0 {
+                tier_stats.hits as f64 / (tier_stats.hits + tier_stats.misses) as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -343,6 +698,101 @@ mod tests {
         let text = merged.to_prometheus_text();
         let parsed = MetricsSnapshot::from_prometheus_text(&text).expect("parses");
         assert_eq!(parsed, merged);
+    }
+
+    #[test]
+    fn disaggregated_fleet_hands_off_and_reuses_tier() {
+        let replicas = (0..4).map(|_| small_replica()).collect();
+        let cfg = ClusterConfig::disaggregated(2, 2).with_prefix_tier_blocks(256);
+        let mut cluster = ClusterSystem::with_config(replicas, cfg);
+        // Turn 1 of a conversation, then a follow-up turn that extends the
+        // full prior context (ShareGPT-style multi-turn).
+        let base = sim_prompt_tokens(0, 64);
+        let mut follow = base.clone();
+        follow.extend(sim_prompt_tokens(1, 32));
+        let reqs = vec![
+            ClusterRequest {
+                id: 0,
+                arrival: 0.0,
+                prompt: base,
+                output_len: 8,
+            },
+            ClusterRequest {
+                id: 1,
+                arrival: 50.0,
+                prompt: follow,
+                output_len: 8,
+            },
+        ];
+        let report = cluster.run(reqs);
+        assert!(report.disaggregated);
+        assert_eq!(report.num_finished, 2);
+        assert_eq!(report.handoffs, 2);
+        assert!(report.handoff_blocks > 0);
+        // New requests land only on prefill replicas; handoffs only on
+        // decode replicas.
+        assert_eq!(
+            report.routed_per_replica[2] + report.routed_per_replica[3],
+            0
+        );
+        assert_eq!(report.decode_routed_per_replica.iter().sum::<u64>(), 2);
+        assert_eq!(
+            report.decode_routed_per_replica[0] + report.decode_routed_per_replica[1],
+            0
+        );
+        // The follow-up turn found turn 1's KV in the shared tier.
+        assert_eq!(report.tier_hits, 1);
+        assert!(report.tier_hit_rate > 0.0);
+        assert!(report.ttft_p99 > 0.0);
+        assert!(report.ttft_p50 <= report.ttft_p99);
+        // Decode replicas released every imported prefix: zero leaks.
+        for r in &cluster.replicas()[2..] {
+            let bm = r.engine().scheduler().block_manager();
+            assert_eq!(bm.num_free_gpu_blocks(), bm.num_total_gpu_blocks());
+        }
+        // Prefill replicas hold exactly the tier-installed prefix (4 blocks
+        // of the 64-token turn-1 context), nothing else.
+        let resident: usize = cluster.replicas()[..2]
+            .iter()
+            .map(|r| {
+                let bm = r.engine().scheduler().block_manager();
+                bm.num_total_gpu_blocks() - bm.num_free_gpu_blocks()
+            })
+            .sum();
+        assert_eq!(resident, 4);
+        // Handoff + tier counters round-trip through the merged exposition.
+        let merged = cluster.merged_snapshot();
+        assert_eq!(merged.counter("vllm_cluster_handoffs_total"), Some(2));
+        assert_eq!(merged.counter("vllm_prefix_tier_hits_total"), Some(1));
+        assert_eq!(
+            merged.counter("vllm_cluster_handoff_tier_installs_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disaggregated_runs_are_deterministic() {
+        let run = || {
+            let replicas = (0..4).map(|_| small_replica()).collect();
+            let cfg = ClusterConfig::disaggregated(2, 2).with_prefix_tier_blocks(128);
+            let mut cluster = ClusterSystem::with_config(replicas, cfg);
+            let r = cluster.run(trace(10, 4.0));
+            (r.assignments.clone(), r.duration, r.ttft_p99, r.handoffs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unified_fleet_reports_ttft() {
+        let replicas = vec![small_replica(), small_replica()];
+        let mut cluster =
+            ClusterSystem::new(replicas, RouterConfig::new(RoutePolicy::JoinShortestQueue));
+        let report = cluster.run(trace(8, 2.0));
+        assert!(!report.disaggregated);
+        assert_eq!(report.handoffs, 0);
+        assert!(report.ttft_mean > 0.0);
+        assert!(report.ttft_p50 <= report.ttft_p99);
+        assert_eq!(report.tier_hits + report.tier_misses, 0);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use crate::block_manager::PoolRemap;
 use crate::config::{CacheConfig, SchedulerConfig};
 use crate::elastic::{ElasticController, PoolPressure};
 use crate::error::{Result, VllmError};
-use crate::executor::{ModelExecutor, SeqStepInput, StepResult};
+use crate::executor::{CacheOps, ModelExecutor, SeqStepInput, StepResult};
+use crate::handoff::{KvBlockBytes, KvBlockInstall};
 use crate::metrics::{EngineMetrics, LatencyTracker, MemoryStats, StepSnapshot, TraceStats};
 use crate::plan::{materialize_batch, StageTimings, StepPlan, StepTrace};
 use crate::prefix::{PrefixId, PrefixPool};
@@ -688,6 +689,84 @@ impl<E: ModelExecutor> LlmEngine<E> {
             ..StepPlan::default()
         };
         self.executor.begin_step(&warmup)?;
+        let id = self.prefix_pool.insert(tokens, blocks);
+        self.prefix_pool.mark_computed(id);
+        Ok(id)
+    }
+
+    /// Serializes a registered prefix for a KV handoff: its tokens plus one
+    /// [`KvBlockBytes`] per pinned block, read from the executor's KV
+    /// storage. Backends without addressable KV (mock, simulator) export
+    /// empty-bodied blocks — the handoff bookkeeping is identical, only the
+    /// install becomes a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::UnknownRequest`] if the prefix id is unknown.
+    pub fn export_prefix(&self, id: PrefixId) -> Result<(Vec<TokenId>, Vec<KvBlockBytes>)> {
+        let prefix = self
+            .prefix_pool
+            .get(id)
+            .ok_or_else(|| VllmError::UnknownRequest(format!("prefix {id}")))?;
+        let bytes = self.executor.export_kv_blocks(&prefix.blocks);
+        Ok((prefix.tokens.clone(), bytes))
+    }
+
+    /// Installs a prefix whose KV was computed *elsewhere* (the receiving
+    /// half of a KV handoff, §4.4 sharing stretched across replicas): pins
+    /// anchor blocks, journals the payload as [`CacheOps`] `installs` —
+    /// applied by the executor under the same ordering contract as swaps
+    /// and copies, never behind the journal's back — and registers the
+    /// prefix as computed. Unlike [`Self::register_prefix`] there is no
+    /// warm-up forward pass: the KV arrives in the payload, which is the
+    /// entire point of disaggregated prefill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VllmError::Protocol`] when the block count disagrees with
+    /// the token count, [`VllmError::OutOfGpuBlocks`] when the pool cannot
+    /// pin the prefix, or executor errors from the install step.
+    pub fn import_prefix(
+        &mut self,
+        tokens: Vec<TokenId>,
+        data: Vec<KvBlockBytes>,
+    ) -> Result<PrefixId> {
+        if tokens.is_empty() {
+            return Err(VllmError::InvalidConfig("empty prefix".into()));
+        }
+        let bs = self.cache_config.block_size;
+        let n = tokens.len().div_ceil(bs);
+        if data.len() != n {
+            return Err(VllmError::Protocol(format!(
+                "prefix import carries {} blocks but {} tokens need {}",
+                data.len(),
+                tokens.len(),
+                n
+            )));
+        }
+        let blocks = self
+            .scheduler
+            .block_manager_mut()
+            .allocate_anchor_blocks(n)?;
+        let install = StepPlan {
+            cache_ops: CacheOps {
+                installs: blocks
+                    .iter()
+                    .zip(data)
+                    .map(|(&dst, data)| KvBlockInstall { dst, data })
+                    .collect(),
+                ..CacheOps::default()
+            },
+            block_size: bs,
+            ..StepPlan::default()
+        };
+        if let Err(e) = self.executor.begin_step(&install) {
+            // Failed installs must not leak the anchors.
+            self.scheduler
+                .block_manager_mut()
+                .free_anchor_blocks(&blocks)?;
+            return Err(e);
+        }
         let id = self.prefix_pool.insert(tokens, blocks);
         self.prefix_pool.mark_computed(id);
         Ok(id)

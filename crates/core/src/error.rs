@@ -14,6 +14,9 @@
 //! * [`ErrorKind::Unavailable`] — the serving component cannot take the
 //!   work right now (admission queue full, replica dead or draining).
 //!   Retryable, optionally after a hinted delay.
+//! * [`ErrorKind::Protocol`] — the two ends of a wire connection disagree
+//!   (unknown verb, malformed frame, version mismatch, corrupt KV-handoff
+//!   payload). Not retryable: resending the same bytes cannot help.
 //!
 //! The frontend serializes errors as `ERR\t<kind>\t<retryable>\t<msg>` using
 //! [`ErrorKind::wire_name`] and [`VllmError::is_retryable`].
@@ -31,6 +34,9 @@ pub enum ErrorKind {
     Internal,
     /// The serving component is temporarily not accepting work.
     Unavailable,
+    /// The wire-protocol peers disagree (unknown verb, bad frame, version
+    /// mismatch, corrupt handoff payload).
+    Protocol,
 }
 
 impl ErrorKind {
@@ -42,6 +48,7 @@ impl ErrorKind {
             Self::Request => "request",
             Self::Internal => "internal",
             Self::Unavailable => "unavailable",
+            Self::Protocol => "protocol",
         }
     }
 }
@@ -96,6 +103,9 @@ pub enum VllmError {
     Unavailable(String),
     /// The model executor failed.
     Executor(String),
+    /// A wire-protocol violation: unknown verb, malformed frame, protocol
+    /// version mismatch, or a corrupt/truncated KV-handoff payload.
+    Protocol(String),
 }
 
 impl VllmError {
@@ -114,6 +124,7 @@ impl VllmError {
             | Self::UnknownSequence(_)
             | Self::Executor(_) => ErrorKind::Internal,
             Self::Rejected { .. } | Self::Unavailable(_) => ErrorKind::Unavailable,
+            Self::Protocol(_) => ErrorKind::Protocol,
         }
     }
 
@@ -123,7 +134,7 @@ impl VllmError {
     pub fn is_retryable(&self) -> bool {
         match self.kind() {
             ErrorKind::Resource | ErrorKind::Unavailable => true,
-            ErrorKind::Request | ErrorKind::Internal => false,
+            ErrorKind::Request | ErrorKind::Internal | ErrorKind::Protocol => false,
         }
     }
 
@@ -183,6 +194,7 @@ impl fmt::Display for VllmError {
             ),
             Self::Unavailable(msg) => write!(f, "replica unavailable: {msg}"),
             Self::Executor(msg) => write!(f, "model executor error: {msg}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -220,6 +232,11 @@ mod tests {
         assert_eq!(rej.retry_after(), Some(0.25));
         assert!(VllmError::Unavailable("draining".into()).is_retryable());
         assert_eq!(VllmError::Unavailable("x".into()).retry_after(), None);
+
+        let proto = VllmError::Protocol("unknown verb FOO".into());
+        assert_eq!(proto.kind(), ErrorKind::Protocol);
+        assert_eq!(proto.kind().wire_name(), "protocol");
+        assert!(!proto.is_retryable());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::block::{Device, PhysicalBlockId};
 use crate::block_manager::BlockCopy;
 use crate::error::Result;
+use crate::handoff::{KvBlockBytes, KvBlockInstall};
 use crate::plan::StepPlan;
 use crate::sampling::{DecodingMode, TokenId};
 use crate::sequence::SeqId;
@@ -84,7 +85,10 @@ pub struct BlockMove {
 ///    a destination, so replay is conflict-free;
 /// 3. pool **shrinkage** to a smaller capacity (every id above the new bound
 ///    has been vacated by step 2);
-/// 4. `swap_out`, then `swap_in`, then `copies`, as before.
+/// 4. `swap_out`, then `swap_in`, then `copies`, as before;
+/// 5. **installs** last — KV-handoff payloads written into freshly
+///    allocated anchor blocks, which no earlier operation in the step can
+///    reference.
 #[derive(Debug, Clone, Default)]
 pub struct CacheOps {
     /// CPU→GPU block transfers (swap in).
@@ -101,6 +105,10 @@ pub struct CacheOps {
     pub gpu_capacity: Option<usize>,
     /// New CPU pool size in blocks, when the pool was resized this step.
     pub cpu_capacity: Option<usize>,
+    /// KV-handoff installations: serialized block contents (shipped from a
+    /// prefill replica or the shared prefix tier) written into anchor
+    /// blocks, applied after all other operations.
+    pub installs: Vec<KvBlockInstall>,
 }
 
 impl CacheOps {
@@ -113,6 +121,7 @@ impl CacheOps {
             && self.moves.is_empty()
             && self.gpu_capacity.is_none()
             && self.cpu_capacity.is_none()
+            && self.installs.is_empty()
     }
 }
 
@@ -178,5 +187,14 @@ pub trait ModelExecutor {
     /// and metrics (`backend="..."`). Defaults to `"mock"`.
     fn backend_label(&self) -> &str {
         "mock"
+    }
+
+    /// Serializes the contents of the given GPU blocks for a KV handoff,
+    /// one [`KvBlockBytes`] per block in order. Backends without
+    /// addressable KV storage (scripted mock, discrete-event simulator)
+    /// return empty-bodied blocks from the default implementation: the
+    /// handoff bookkeeping still runs end to end, installation is a no-op.
+    fn export_kv_blocks(&self, blocks: &[PhysicalBlockId]) -> Vec<KvBlockBytes> {
+        blocks.iter().map(|_| KvBlockBytes::empty()).collect()
     }
 }

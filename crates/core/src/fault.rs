@@ -148,6 +148,13 @@ impl<E: ModelExecutor> ModelExecutor for FaultInjector<E> {
     fn backend_label(&self) -> &str {
         self.inner.backend_label()
     }
+
+    fn export_kv_blocks(
+        &self,
+        blocks: &[crate::block::PhysicalBlockId],
+    ) -> Vec<crate::handoff::KvBlockBytes> {
+        self.inner.export_kv_blocks(blocks)
+    }
 }
 
 #[cfg(test)]

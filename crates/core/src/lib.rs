@@ -38,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod handoff;
 pub mod metrics;
 pub mod mock;
 pub mod plan;
@@ -59,6 +60,7 @@ pub use engine::{CompletionOutput, EngineLoad, LlmEngine, RequestOutput};
 pub use error::{ErrorKind, Result, VllmError};
 pub use executor::{BlockMove, CacheOps, ModelExecutor, SeqStepInput, SeqStepOutput, StepResult};
 pub use fault::{FaultControls, FaultInjector};
+pub use handoff::{HandoffPayload, KvBlockBytes, KvBlockInstall};
 pub use metrics::{
     EngineMetrics, LatencyTracker, MemoryStats, RequestLatency, StepSnapshot, TraceStats,
 };

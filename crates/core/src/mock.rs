@@ -25,6 +25,15 @@ pub struct MockExecutor {
     pub steps: u64,
     /// Number of block copies observed (copy-on-write + swaps).
     pub copies_seen: u64,
+    /// Number of KV-handoff block installations observed.
+    pub installs_seen: u64,
+    /// When set, tokens depend only on `(seed, position)` — not the
+    /// engine-local `seq_id`. Real logits are a function of the tokens and
+    /// positions, never of an engine's internal sequence counter, so this
+    /// is the mode for cross-engine determinism tests (a request migrated
+    /// to another replica must produce the identical continuation even
+    /// though the target engine assigns it a different `seq_id`).
+    pub seq_invariant: bool,
 }
 
 impl MockExecutor {
@@ -37,7 +46,17 @@ impl MockExecutor {
             eos_token: None,
             steps: 0,
             copies_seen: 0,
+            installs_seen: 0,
+            seq_invariant: false,
         }
+    }
+
+    /// Switches the mock into seq-invariant mode (tokens depend only on
+    /// the sampling seed and position, like real logits).
+    #[must_use]
+    pub fn seq_invariant(mut self) -> Self {
+        self.seq_invariant = true;
+        self
     }
 
     fn token_at(&self, seed: u64, seq_id: u64, position: usize) -> TokenId {
@@ -46,8 +65,9 @@ impl MockExecutor {
                 return eos;
             }
         }
+        let sid = if self.seq_invariant { 0 } else { seq_id };
         let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
-        for v in [seq_id, position as u64] {
+        for v in [sid, position as u64] {
             h ^= v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
             h = h.rotate_left(31).wrapping_mul(0x94d0_49bb_1331_11eb);
         }
@@ -62,6 +82,7 @@ impl ModelExecutor for MockExecutor {
             + plan.cache_ops.swap_in.len()
             + plan.cache_ops.swap_out.len()
             + plan.cache_ops.moves.len()) as u64;
+        self.installs_seen += plan.cache_ops.installs.len() as u64;
         let mut outputs = Vec::with_capacity(plan.items.len());
         for item in &plan.items {
             let next_pos = item.context_len();

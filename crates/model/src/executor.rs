@@ -268,6 +268,16 @@ impl ModelExecutor for CpuModelExecutor {
     fn backend_label(&self) -> &str {
         self.model.config.backend.name()
     }
+
+    fn export_kv_blocks(
+        &self,
+        blocks: &[vllm_core::block::PhysicalBlockId],
+    ) -> Vec<vllm_core::handoff::KvBlockBytes> {
+        blocks
+            .iter()
+            .map(|&b| self.cache.gpu.export_block_bytes(b))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 use vllm_core::block::Device;
 use vllm_core::executor::CacheOps;
+use vllm_core::handoff::KvBlockBytes;
 
 use crate::backend::KvElement;
 
@@ -392,6 +393,103 @@ impl KvPool {
         self.num_blocks = num_blocks;
     }
 
+    /// Serializes one whole block (all layers, K and V, and any scales)
+    /// into a layout-tagged [`KvBlockBytes`] for a KV handoff. Layer-major,
+    /// matching [`Self::import_block_bytes`].
+    #[must_use]
+    pub fn export_block_bytes(&self, block: usize) -> KvBlockBytes {
+        let len = self.block_size * self.hidden;
+        let o = self.offset(block, 0);
+        let so = block * self.block_size;
+        let bs = self.block_size;
+        match &self.storage {
+            KvStorage::F32 { k, v } => {
+                let mut ko = Vec::with_capacity(self.n_layers * len);
+                let mut vo = Vec::with_capacity(self.n_layers * len);
+                for layer in 0..self.n_layers {
+                    ko.extend_from_slice(&k[layer][o..o + len]);
+                    vo.extend_from_slice(&v[layer][o..o + len]);
+                }
+                KvBlockBytes::F32 { k: ko, v: vo }
+            }
+            KvStorage::Int8 {
+                k,
+                v,
+                k_scale,
+                v_scale,
+            } => {
+                let mut ko = Vec::with_capacity(self.n_layers * len);
+                let mut vo = Vec::with_capacity(self.n_layers * len);
+                let mut ks = Vec::with_capacity(self.n_layers * bs);
+                let mut vs = Vec::with_capacity(self.n_layers * bs);
+                for layer in 0..self.n_layers {
+                    ko.extend_from_slice(&k[layer][o..o + len]);
+                    vo.extend_from_slice(&v[layer][o..o + len]);
+                    ks.extend_from_slice(&k_scale[layer][so..so + bs]);
+                    vs.extend_from_slice(&v_scale[layer][so..so + bs]);
+                }
+                KvBlockBytes::Int8 {
+                    k: ko,
+                    v: vo,
+                    k_scales: ks,
+                    v_scales: vs,
+                }
+            }
+        }
+    }
+
+    /// Writes a serialized block produced by [`Self::export_block_bytes`]
+    /// into `block`, returning whether it was applied. Payloads whose
+    /// layout or shape disagree with this pool are left unapplied (`false`):
+    /// empty-bodied blocks from storage-less backends, and full-width
+    /// payloads landing on a tensor-parallel shard whose hidden slice is
+    /// narrower, are both benign no-ops by design.
+    pub fn import_block_bytes(&mut self, block: usize, data: &KvBlockBytes) -> bool {
+        let len = self.block_size * self.hidden;
+        let total = self.n_layers * len;
+        let o = self.offset(block, 0);
+        let so = block * self.block_size;
+        let bs = self.block_size;
+        match (&mut self.storage, data) {
+            (KvStorage::F32 { k, v }, KvBlockBytes::F32 { k: ki, v: vi })
+                if ki.len() == total && vi.len() == total =>
+            {
+                for layer in 0..self.n_layers {
+                    k[layer][o..o + len].copy_from_slice(&ki[layer * len..(layer + 1) * len]);
+                    v[layer][o..o + len].copy_from_slice(&vi[layer * len..(layer + 1) * len]);
+                }
+                true
+            }
+            (
+                KvStorage::Int8 {
+                    k,
+                    v,
+                    k_scale,
+                    v_scale,
+                },
+                KvBlockBytes::Int8 {
+                    k: ki,
+                    v: vi,
+                    k_scales: ksi,
+                    v_scales: vsi,
+                },
+            ) if ki.len() == total
+                && vi.len() == total
+                && ksi.len() == self.n_layers * bs
+                && vsi.len() == self.n_layers * bs =>
+            {
+                for layer in 0..self.n_layers {
+                    k[layer][o..o + len].copy_from_slice(&ki[layer * len..(layer + 1) * len]);
+                    v[layer][o..o + len].copy_from_slice(&vi[layer * len..(layer + 1) * len]);
+                    k_scale[layer][so..so + bs].copy_from_slice(&ksi[layer * bs..(layer + 1) * bs]);
+                    v_scale[layer][so..so + bs].copy_from_slice(&vsi[layer * bs..(layer + 1) * bs]);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Gathers the K and V vectors of positions `0..len` addressed through a
     /// block table into contiguous `len × hidden` f32 buffers (used by
     /// prefill over cached prefixes and by equivalence tests). Quantized
@@ -453,6 +551,8 @@ pub struct KvCache {
     pub num_swap_transfers: u64,
     /// Cumulative number of defragmentation migrations performed (metrics).
     pub num_block_migrations: u64,
+    /// Cumulative number of KV-handoff block installations applied (metrics).
+    pub num_block_installs: u64,
 }
 
 impl KvCache {
@@ -492,13 +592,14 @@ impl KvCache {
             num_block_copies: 0,
             num_swap_transfers: 0,
             num_block_migrations: 0,
+            num_block_installs: 0,
         }
     }
 
     /// Applies the scheduler's cache operations for a step, in the
     /// [`CacheOps`] ordering contract: pool growth, defragmentation moves,
-    /// pool shrinkage, then swap-out, swap-in, and the batched
-    /// copy-on-write copies.
+    /// pool shrinkage, then swap-out, swap-in, the batched copy-on-write
+    /// copies, and finally any KV-handoff installs.
     pub fn apply(&mut self, ops: &CacheOps) {
         if let Some(n) = ops.gpu_capacity {
             if n > self.gpu.num_blocks() {
@@ -536,6 +637,11 @@ impl KvCache {
         // launch ("fused block copy"); here one pass over the list.
         for c in &ops.copies {
             self.gpu.copy_block_within(c.src, c.dst);
+        }
+        for ins in &ops.installs {
+            if self.gpu.import_block_bytes(ins.dst, &ins.data) {
+                self.num_block_installs += 1;
+            }
         }
         self.num_swap_transfers += (ops.swap_in.len() + ops.swap_out.len()) as u64;
         self.num_block_copies += ops.copies.len() as u64;
@@ -616,6 +722,7 @@ mod tests {
             num_block_copies: 0,
             num_swap_transfers: 0,
             num_block_migrations: 0,
+            num_block_installs: 0,
         };
         let original = cache.gpu.key(0, 3, 1).to_vec();
         cache.apply(&CacheOps {
@@ -715,6 +822,71 @@ mod tests {
         let (vals, scales) = other.key_block_q8(1, 1);
         assert_eq!(vals, &before_vals[..]);
         assert_eq!(scales, &before_scales[..]);
+    }
+
+    #[test]
+    fn export_import_round_trip_f32() {
+        let p = filled_pool();
+        let bytes = p.export_block_bytes(2);
+        let mut q = KvPool::new(2, 4, 2, 3);
+        assert!(q.import_block_bytes(1, &bytes));
+        for layer in 0..2 {
+            for slot in 0..2 {
+                assert_eq!(q.key(layer, 1, slot), p.key(layer, 2, slot));
+                assert_eq!(q.value(layer, 1, slot), p.value(layer, 2, slot));
+            }
+        }
+    }
+
+    #[test]
+    fn export_import_round_trip_q8_preserves_scales() {
+        let p = filled_q8_pool();
+        let bytes = p.export_block_bytes(3);
+        let mut q = KvPool::with_element(2, 4, 2, 3, KvElement::Int8Scaled);
+        assert!(q.import_block_bytes(0, &bytes));
+        for layer in 0..2 {
+            let (want_vals, want_scales) = p.key_block_q8(layer, 3);
+            let (got_vals, got_scales) = q.key_block_q8(layer, 0);
+            assert_eq!(got_vals, want_vals);
+            assert_eq!(got_scales, want_scales);
+        }
+        // Dequantized reads agree too.
+        assert_eq!(p.gather(1, &[3], 2), q.gather(1, &[0], 2));
+    }
+
+    #[test]
+    fn import_rejects_mismatched_payloads() {
+        let mut p = filled_pool();
+        // Empty payload (storage-less backend) is a benign no-op.
+        assert!(!p.import_block_bytes(0, &KvBlockBytes::empty()));
+        // Layout mismatch is a no-op.
+        let q8 = filled_q8_pool().export_block_bytes(0);
+        assert!(!p.import_block_bytes(0, &q8));
+        // Wrong width (a shard) is a no-op.
+        let narrow = KvPool::new(2, 4, 2, 2).export_block_bytes(0);
+        assert!(!p.import_block_bytes(0, &narrow));
+    }
+
+    #[test]
+    fn apply_counts_only_applied_installs() {
+        use vllm_core::handoff::KvBlockInstall;
+        let src = filled_pool();
+        let mut cache = KvCache::new(2, 4, 2, 2, 3);
+        cache.apply(&CacheOps {
+            installs: vec![
+                KvBlockInstall {
+                    dst: 0,
+                    data: src.export_block_bytes(3),
+                },
+                KvBlockInstall {
+                    dst: 1,
+                    data: KvBlockBytes::empty(),
+                },
+            ],
+            ..Default::default()
+        });
+        assert_eq!(cache.num_block_installs, 1);
+        assert_eq!(cache.gpu.key(0, 0, 1), src.key(0, 3, 1));
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl ModelExecutor for SimExecutor {
         // Defragmentation migrations cost one block copy each, same as CoW.
         work.copied_tokens =
             (plan.cache_ops.copies.len() + plan.cache_ops.moves.len()) * plan.block_size;
-        work.swapped_blocks = plan.cache_ops.swap_in.len() + plan.cache_ops.swap_out.len();
+        // KV-handoff installs move one block over the interconnect each,
+        // modeled at swap-transfer cost.
+        work.swapped_blocks = plan.cache_ops.swap_in.len()
+            + plan.cache_ops.swap_out.len()
+            + plan.cache_ops.installs.len();
         let elapsed = self.cost.step_latency(&work);
         self.busy_time += elapsed;
 

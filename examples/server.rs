@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example server -- [--replicas N] [--policy NAME]`
 //! where NAME is one of `round-robin`, `jsq`, `prefix-affinity`.
 
-use vllm::cluster::{RoutePolicy, RouterConfig};
+use vllm::cluster::{ClusterConfig, RoutePolicy};
 use vllm::core::{CacheConfig, LlmEngine, SchedulerConfig};
 use vllm::frontend::{Client, GenerateOptions, Server};
 use vllm::model::{CpuModelExecutor, ModelConfig};
@@ -42,8 +42,13 @@ fn main() {
         })
         .collect();
 
-    let server = Server::spawn_cluster("127.0.0.1:0", engines, RouterConfig::new(policy))
-        .expect("server binds");
+    // The typed fleet builder; VLLM_REPLICA_ROLES / VLLM_PREFIX_TIER_BLOCKS
+    // layer disaggregated roles and a shared prefix tier on top.
+    let cfg = ClusterConfig::new(replicas)
+        .with_policy(policy)
+        .with_env()
+        .expect("valid cluster env");
+    let server = Server::spawn_cluster("127.0.0.1:0", engines, cfg).expect("server binds");
     println!(
         "serving on {} ({replicas} replica(s), policy {policy})",
         server.addr()
@@ -61,6 +66,7 @@ fn main() {
     .map(|(mode, n, prompt)| {
         std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect");
+            client.hello().expect("protocol negotiation");
             let opts = if mode == "sample" {
                 GenerateOptions {
                     temperature: Some(0.8),

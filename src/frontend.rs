@@ -1,128 +1,139 @@
-//! A minimal serving frontend (§5's FastAPI analog): a TCP server with a
-//! newline-delimited text protocol in front of one or more [`LlmEngine`]
-//! replicas, each running on its own thread behind a cache-aware router
-//! (`vllm_cluster`).
+//! A minimal serving frontend (§5's FastAPI analog): a TCP server speaking
+//! wire protocol v2 (see [`crate::protocol`]) in front of one or more
+//! [`LlmEngine`] replicas, each running on its own thread behind a
+//! cache-aware, role-aware router (`vllm_cluster`).
 //!
-//! Protocol (UTF-8 lines, tab-separated fields):
+//! Every inbound line parses into a typed [`Command`]; every reply line is
+//! the [`Response::wire`] rendering of a typed [`Response`]. The verbs:
 //!
 //! ```text
-//! -> GENERATE\tmax_tokens=<n>\t[n=<n>\t]mode=<mode>[\t<key>=<value>...]\t<prompt text>
-//!    where <mode> is one of: greedy | sample | beam (`n` defaults to 1),
-//!    and the optional <key>=<value> fields (any order, before the prompt)
-//!    are:
-//!      temperature=<f32>   sampling temperature       (mode=sample only)
-//!      top_p=<f32>         nucleus truncation in (0,1] (mode=sample only)
-//!      seed=<u64>          sampling RNG seed (default derives from the id)
-//!      deadline=<f64>      relative deadline in engine seconds; the request
-//!                          is cancelled if still unfinished when it passes
-//!      priority=<i32>      scheduling priority (higher admitted first)
-//!      trace=<ctx>         distributed trace context to adopt instead of
-//!                          minting one: `<trace_id:016x>-<span_id:016x>-<0|1>`
-//!                          (the trailing flag is the sampling decision)
-//!    Every field parses through the typed `GenerationRequest` builder in
-//!    `vllm-core`; an unknown <key>=<value> field is rejected with a
-//!    structured error, never silently swallowed into the prompt. A field
-//!    whose key matches `[a-z_]+=` therefore cannot start the prompt text.
+//! -> HELLO\tversion=<n>                        version negotiation
+//! <- HELLO\tversion=2                          (or ERR\tprotocol on skew)
 //!
-//!    DEPRECATED compat form (positional; parsed when the second field is
-//!    not `key=value`-shaped, kept for old clients, slated for removal):
-//! -> GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]\t<prompt text>
-//!
+//! -> GENERATE\tmax_tokens=<n>\t[n=<n>\t]mode=<mode>[\t<k>=<v>...]\t<prompt>
 //! <- OK\t<request_id>\t<num_outputs>
 //! <- OUT\t<index>\t<cumulative_logprob>\t<text>      (repeated)
 //! <- END
+//!    Optional fields: temperature, top_p, seed, deadline, priority, trace —
+//!    each validated by the typed `GenerationRequest` builder; unknown keys
+//!    are rejected, never swallowed into the prompt. The old positional
+//!    form (`GENERATE\t<max_tokens>\t<n>\t<mode>\t...`) is REMOVED in v2
+//!    and answered with `ERR\tprotocol\tfalse\t...` naming the replacement.
 //!
-//! -> STATS
-//! <- STATS\twaiting=<n>\trunning=<n>\tswapped=<n>\toutstanding_tokens=<n>\t
-//!    free_blocks=<n>\ttotal_blocks=<n>\tfinished=<n>\tpreemptions=<n>\t
-//!    steps=<n>\ttokens_scheduled=<n>\tblocks_copied=<n>\tblocks_swapped=<n>\t
-//!    schedule_time=<s>\tprepare_time=<s>\texecute_time=<s>\t
-//!    postprocess_time=<s>\tnorm_lat_mean=<s>\tnorm_lat_p50=<s>\t
-//!    norm_lat_p90=<s>\tnorm_lat_p99=<s>\tttft_mean=<s>\tttft_p50=<s>\t
-//!    ttft_p99=<s>
-//!    (multi-replica servers follow with one RSTATS\t<replica>\t... line per
-//!    replica, then END; single-replica servers reply with the one line)
+//! -> STATS                                     aggregated + per-replica
+//! <- STATS\t<key=value...>                     (RSTATS\t<i>\t... per
+//!                                              replica, then END, when the
+//!                                              fleet has more than one)
 //!
-//! -> METRICS
-//! <- <Prometheus text exposition lines>      (repeated)
-//! <- END
-//!
-//! -> METRICS\tjson
-//! <- <one-line JSON metrics snapshot>
-//!
-//! -> EVENTS\t<request_id>
-//! <- EVENT\t<time>\t<kind>\t<detail>         (repeated, oldest first)
-//! <- END
-//!    (when there is nothing to replay, the first line distinguishes why:
-//!     NOEVENTS\tunknown — the id was never seen — or NOEVENTS\tevicted —
-//!     its events aged out of the ring buffer — then END)
-//!
-//! -> TRACE\t<trace_id>
-//! <- <one-line JSON span dump>               ({"tracks":[...]}; trace_id is
-//!    16 lowercase hex digits, as minted in the `trace=` field / exporters;
-//!    one track per replica, empty tracks elided)
-//!
+//! -> METRICS | METRICS\tjson                   telemetry registry
+//! -> EVENTS\t<request_id>                      lifecycle replay
+//! -> TRACE\t<trace_id>                         span dump (adds a "cluster"
+//!                                              track carrying handoff spans)
+//! -> HANDOFF\t<payload-hex>                    install serialized KV prefix
+//! <- HANDOFF\treplica=<i>\tprefix=<id>\tblocks=<n>
+//! -> TIER                                      shared prefix-tier snapshot
+//! <- TIER\tentries=..\tblocks=..\tcapacity=..\thits=..\t...
 //! -> SHUTDOWN
 //! <- OK\tshutdown
 //! ```
 //!
-//! `STATS` serves snapshots the engine loops publish on startup, after
-//! admissions, after every iteration, and when an engine drains — so they
-//! are never stale while a loop is idle. `METRICS` serves the telemetry
-//! registry (single replica: the engine's own; cluster: per-replica
-//! snapshots labeled `{replica="i"}` plus the router's `vllm_cluster_*`
-//! counters). `EVENTS` replays a request's lifecycle from the owning
-//! replica's event log.
+//! Failed requests get `ERR\t<kind>\t<retryable>\t<message>` with `<kind>`
+//! the [`vllm_core::ErrorKind`] wire name (`resource` | `request` |
+//! `internal` | `unavailable` | `protocol`); unknown verbs, version
+//! mismatches, and the retired positional form map to `protocol` (never
+//! retryable). The connection stays usable after every error.
 //!
-//! `SHUTDOWN` stops accepting connections and drains: every request already
-//! accepted — queued or mid-generation — finishes and is delivered before
-//! the engine threads exit, so no accepted request is ever dropped. Dropping
-//! the [`Server`] handle has the same drain semantics.
+//! # Disaggregated serving
 //!
-//! Failed requests get `ERR\t<kind>\t<retryable>\t<message>`, where `<kind>`
-//! is the [`vllm_core::ErrorKind`] wire name (`resource` | `request` |
-//! `internal` | `unavailable`) and `<retryable>` is `true`/`false` — so
-//! clients can distinguish "fix your request" from "back off and retry"
-//! mechanically. Every variant gets this shape, including misspelled verbs
-//! and malformed `STATS`/`METRICS`/`EVENTS` argument lists; the connection
-//! stays usable afterwards.
+//! [`Server::spawn_cluster`] takes a typed [`ClusterConfig`]: per-replica
+//! roles (prefill / decode / unified), the admission bound, and the shared
+//! prefix-tier capacity. In a disaggregated fleet, a greedy single-sequence
+//! `GENERATE` runs in two phases:
 //!
-//! Degradation: the `GENERATE` path retries retryable failures (replica
-//! killed, admission rejected with backpressure, transient engine error) up
-//! to a small bound with capped exponential backoff, re-routing each attempt
-//! through the router — which excludes replicas known dead — before
-//! surfacing the typed `ERR`. Each connection handles one request per line;
-//! the engine threads batch concurrent requests through the normal
-//! scheduler, so simultaneous clients share iterations exactly as in the
-//! serving evaluation.
+//! 1. **Prefill**: the router places the request on a prefill replica
+//!    (prefix-affinity over the prefill pool). The longest block-aligned
+//!    strict prefix of the prompt is made resident first — installed from
+//!    the cluster-shared [`PrefixTier`] when published there (skipping the
+//!    prompt recompute fleet-wide), registered otherwise — and a 1-token
+//!    stub computes the prompt phase plus the first sampled token (TTFT).
+//! 2. **Handoff + decode**: the covered prefix is exported as serialized
+//!    KV blocks, published to the tier, round-tripped through the
+//!    [`HandoffPayload`] wire codec, and installed into a decode replica
+//!    (journaled as `CacheOps` installs); the request resumes there with
+//!    the stub token appended, and the streams are stitched. `handoff`/
+//!    `handoff.{export,transfer,install}` spans land on the cluster track;
+//!    `vllm_cluster_handoff*_total` counters track volume and retries.
+//!
+//! Non-greedy, multi-sequence, and single-token requests run entirely on
+//! the prefill pool. If every decode replica is dead, `route_decode` spills
+//! the token loop back onto the surviving replicas — degraded beats
+//! dropped. Retryable failures in either phase restart the whole flow on a
+//! fresh route (the stub re-runs; nothing was delivered, so the client
+//! still sees exactly-once).
+//!
+//! `SHUTDOWN` stops accepting connections and drains: every accepted
+//! request finishes before the engine threads exit. Dropping the
+//! [`Server`] handle has the same semantics. The `GENERATE` path retries
+//! retryable failures up to a small bound with capped exponential backoff,
+//! re-routing each attempt; engine threads batch concurrent requests
+//! through the normal scheduler.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use vllm_cluster::{
-    aggregate_stats, merge_labeled, EngineRequest, Replica, ReplicaSnapshot, Router, RouterConfig,
+    aggregate_stats, merge_labeled, EngineRequest, PrefixOp, PrefixReply, PrefixTier, Replica,
+    ReplicaSnapshot, Router,
 };
-use vllm_core::telemetry::{spans_to_json, trace_seed, EventQuery, Span, Telemetry, TraceContext};
+use vllm_core::telemetry::{
+    spans_to_json, trace_seed, Counter, EventQuery, Span, Telemetry, TraceContext,
+};
 use vllm_core::{
     chunk_hashes, ElasticConfig, ElasticController, EngineLoad, GenerationMode, GenerationRequest,
-    LlmEngine, ModelExecutor, RequestOutput, VllmError,
+    HandoffPayload, KvBlockBytes, LlmEngine, ModelExecutor, PrefixId, RequestOutput, VllmError,
 };
 use vllm_model::ByteTokenizer;
 
-pub use vllm_cluster::{EngineStats, RoutePolicy};
+use crate::protocol::{
+    negotiate, Command, GenerateSpec, MetricsFormat, Response, TierSnapshot, PROTOCOL_VERSION,
+};
+
+pub use vllm_cluster::{ClusterConfig, EngineStats, ReplicaRole, RoutePolicy};
+
+/// The frontend's handoff instruments, registered on the cluster registry.
+struct HandoffMetrics {
+    /// Completed prefill→decode handoffs.
+    handoffs: Counter,
+    /// KV blocks shipped across handoffs.
+    blocks: Counter,
+    /// Handoff attempts that failed and were retried on a fresh route.
+    retries: Counter,
+}
 
 /// State shared between the accept loop, connection handlers, and the
 /// server handle.
 struct Shared {
     replicas: Vec<Replica>,
     router: Mutex<Router>,
-    /// Registry holding the router's `vllm_cluster_*` counters.
+    /// Registry holding the router's `vllm_cluster_*` counters, the tier's
+    /// instruments, and the handoff span track.
     cluster_telemetry: Arc<Telemetry>,
+    /// Per-replica serving roles (index order).
+    roles: Vec<ReplicaRole>,
+    /// Cluster-shared CPU prefix tier (`None` when disabled).
+    tier: Option<Mutex<PrefixTier>>,
+    /// Capacity the tier was built with (for the `TIER` snapshot).
+    tier_capacity: usize,
+    handoff: HandoffMetrics,
+    /// Whether any replica is role-specialized (enables the handoff path).
+    disaggregated: bool,
+    /// Wall-clock epoch for frontend-side (handoff) span timestamps.
+    started: Instant,
     /// KV block size (uniform across replicas; prompt chunk hashing).
     block_size: usize,
     next_id: AtomicU64,
@@ -173,22 +184,26 @@ impl Server {
         Self::spawn_cluster(
             addr,
             vec![engine],
-            RouterConfig::new(RoutePolicy::RoundRobin),
+            ClusterConfig::new(1).with_policy(RoutePolicy::RoundRobin),
         )
     }
 
     /// Starts a server routing across one engine replica per element of
-    /// `engines`. All replicas must share a block size (prompt chunk hashes
-    /// are computed once).
+    /// `engines`, wired by the typed fleet builder: routing policy,
+    /// per-replica roles (a disaggregated fleet enables the KV-handoff
+    /// path), admission bound, and shared prefix-tier capacity. Layer
+    /// `VLLM_REPLICA_ROLES` / `VLLM_PREFIX_TIER_BLOCKS` on with
+    /// [`ClusterConfig::with_env`]. All replicas must share a block size
+    /// (prompt chunk hashes are computed once).
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if the listener cannot bind or `engines` is
-    /// empty.
+    /// Returns an I/O error if the listener cannot bind, `engines` is
+    /// empty, or the config names a different replica count.
     pub fn spawn_cluster<E>(
         addr: &str,
         engines: Vec<LlmEngine<E>>,
-        cfg: RouterConfig,
+        cfg: ClusterConfig,
     ) -> std::io::Result<Self>
     where
         E: ModelExecutor + Send + 'static,
@@ -199,10 +214,21 @@ impl Server {
                 "server needs at least one engine replica",
             ));
         }
+        if cfg.num_replicas() != engines.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "cluster config names {} replicas for {} engines",
+                    cfg.num_replicas(),
+                    engines.len()
+                ),
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let block_size = engines[0].cache_config().block_size;
+        let max_inflight = cfg.max_inflight;
         let replicas: Vec<Replica> = engines
             .into_iter()
             .enumerate()
@@ -214,16 +240,43 @@ impl Server {
                 {
                     e.set_elastic(Some(ElasticController::new(cfg)));
                 }
-                Replica::spawn(i, e)
+                Replica::spawn_with_capacity(i, e, max_inflight)
             })
             .collect();
         let cluster_telemetry = Arc::new(Telemetry::new());
-        let mut router = Router::new(cfg, replicas.len());
+        let mut router = Router::new(cfg.router, replicas.len());
         router.attach_telemetry(&cluster_telemetry);
+        router.set_roles(cfg.roles.clone());
+        let tier = (cfg.prefix_tier_blocks > 0).then(|| {
+            let mut t = PrefixTier::new(cfg.prefix_tier_blocks, block_size);
+            t.attach_telemetry(&cluster_telemetry);
+            Mutex::new(t)
+        });
+        let r = cluster_telemetry.registry();
+        let handoff = HandoffMetrics {
+            handoffs: r.counter(
+                "vllm_cluster_handoffs_total",
+                "Prefill→decode KV handoffs completed by the frontend.",
+            ),
+            blocks: r.counter(
+                "vllm_cluster_handoff_blocks_total",
+                "KV blocks shipped across frontend handoffs.",
+            ),
+            retries: r.counter(
+                "vllm_cluster_handoff_retries_total",
+                "Handoff attempts retried on a fresh route.",
+            ),
+        };
         let shared = Arc::new(Shared {
             replicas,
             router: Mutex::new(router),
             cluster_telemetry,
+            roles: cfg.roles.clone(),
+            tier,
+            tier_capacity: cfg.prefix_tier_blocks,
+            handoff,
+            disaggregated: cfg.is_disaggregated(),
+            started: Instant::now(),
             block_size,
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -243,6 +296,12 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The per-replica serving roles, in replica order.
+    #[must_use]
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.shared.roles
     }
 
     /// The latest serving stats, aggregated across replicas (identical to
@@ -328,127 +387,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Shorthand for protocol-shape errors ([`VllmError::InvalidRequest`]).
-fn invalid(msg: impl Into<String>) -> VllmError {
-    VllmError::InvalidRequest(msg.into())
-}
-
-/// The wire line for a typed error: `ERR\t<kind>\t<retryable>\t<message>`.
-fn err_line(e: &VllmError) -> String {
-    format!("ERR\t{}", e.wire_body())
-}
-
-/// Splits a `key=value` protocol field. Only keys shaped `[a-z_]+` count —
-/// anything else starts the prompt text.
-fn split_field(part: &str) -> Option<(&str, &str)> {
-    let (k, v) = part.split_once('=')?;
-    if !k.is_empty() && k.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
-        Some((k, v))
-    } else {
-        None
-    }
-}
-
-/// Builds the base request from typed `key=value` fields (the current wire
-/// form). Returns the request and the index of the first prompt part.
-fn parse_typed_fields(parts: &[&str]) -> Result<(GenerationRequest, usize), VllmError> {
-    let mut max_tokens: Option<usize> = None;
-    let mut n: usize = 1;
-    let mut mode: Option<GenerationMode> = None;
-    let mut extras: Vec<(String, String)> = Vec::new();
-    let mut i = 1;
-    while i < parts.len() {
-        let Some((key, value)) = split_field(parts[i]) else {
-            break;
-        };
-        match key {
-            "max_tokens" => {
-                max_tokens = Some(value.parse().map_err(|_| invalid("bad max_tokens"))?);
-            }
-            "n" => n = value.parse().map_err(|_| invalid("bad n"))?,
-            "mode" => mode = Some(value.parse()?),
-            // Defer the shared optional fields until the base exists;
-            // unknown keys are rejected there.
-            _ => extras.push((key.to_string(), value.to_string())),
-        }
-        i += 1;
-    }
-    let max_tokens = max_tokens.ok_or_else(|| invalid("missing max_tokens"))?;
-    let mode = mode.ok_or_else(|| invalid("missing mode"))?;
-    let mut req = base_request(mode, n, max_tokens);
-    for (key, value) in extras {
-        req.apply_field(&key, &value)?;
-    }
-    Ok((req, i))
-}
-
-/// Builds the base request from the deprecated positional form
-/// (`GENERATE\t<max_tokens>\t<n>\t<mode>[\t<key>=<value>...]`). Unknown
-/// `key=value` fields are rejected — they used to be silently swallowed
-/// into the prompt.
-fn parse_positional_fields(parts: &[&str]) -> Result<(GenerationRequest, usize), VllmError> {
-    let max_tokens: usize = parts
-        .get(1)
-        .ok_or_else(|| invalid("missing max_tokens"))?
-        .parse()
-        .map_err(|_| invalid("bad max_tokens"))?;
-    let n: usize = parts
-        .get(2)
-        .ok_or_else(|| invalid("missing n"))?
-        .parse()
-        .map_err(|_| invalid("bad n"))?;
-    let mode: GenerationMode = parts
-        .get(3)
-        .ok_or_else(|| invalid("missing mode"))?
-        .parse()?;
-    let mut req = base_request(mode, n, max_tokens);
-    let mut i = 4;
-    while i < parts.len() {
-        let Some((key, value)) = split_field(parts[i]) else {
-            break;
-        };
-        req.apply_field(key, value)?;
-        i += 1;
-    }
-    Ok((req, i))
-}
-
-/// The mode-shaped starting point; invalid combinations (greedy with
-/// `n != 1`) surface from [`GenerationRequest::sampling_params`].
-fn base_request(mode: GenerationMode, n: usize, max_tokens: usize) -> GenerationRequest {
-    let mut req = match mode {
-        GenerationMode::Greedy => GenerationRequest::greedy(max_tokens),
-        GenerationMode::Sample => GenerationRequest::sample(n, max_tokens),
-        GenerationMode::Beam => GenerationRequest::beam(n, max_tokens),
-    };
-    req.n = n;
-    req
-}
-
-/// Parses one `GENERATE` line into prompt tokens plus the typed request.
-/// Accepts the typed `key=value` form and the deprecated positional form
-/// (distinguished by the shape of the second field); both funnel through
-/// [`GenerationRequest`], so validation and error wording live in one place.
-fn parse_request(line: &str, request_id: &str) -> Result<(Vec<u32>, GenerationRequest), VllmError> {
-    let parts: Vec<&str> = line.split('\t').collect();
-    if parts.first() != Some(&"GENERATE") {
-        return Err(invalid(format!(
-            "unknown verb {:?}",
-            parts.first().unwrap_or(&"")
-        )));
-    }
-    let (mut req, prompt_start) = if parts.get(1).and_then(|p| split_field(p)).is_some() {
-        parse_typed_fields(&parts)?
-    } else {
-        parse_positional_fields(&parts)?
-    };
-    if prompt_start >= parts.len() {
-        return Err(invalid("missing prompt"));
-    }
-    let text = parts[prompt_start..].join("\t");
-    if text.is_empty() {
-        return Err(invalid("empty prompt"));
-    }
+/// Converts a parsed [`GenerateSpec`] into prompt tokens plus the validated
+/// typed request: seed defaults to a hash of the request id, the model's EOS
+/// token is attached, and sampling parameters are checked up front so
+/// protocol errors surface before routing.
+fn build_request(
+    spec: &GenerateSpec,
+    request_id: &str,
+) -> Result<(Vec<u32>, GenerationRequest), VllmError> {
+    let mut req = spec.build()?;
     if req.seed.is_none() {
         req.seed = Some(fnv(request_id.as_bytes()));
     }
@@ -456,7 +403,7 @@ fn parse_request(line: &str, request_id: &str) -> Result<(Vec<u32>, GenerationRe
     // Validate now so protocol errors surface before routing; the replica
     // converts again on admission.
     req.sampling_params()?;
-    Ok((ByteTokenizer.encode(&text), req))
+    Ok((ByteTokenizer.encode(&spec.prompt), req))
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -466,18 +413,6 @@ fn fnv(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
-}
-
-/// The `key=value` body shared by `STATS` and `RSTATS` lines.
-fn stats_body(s: &EngineStats) -> String {
-    format!(
-        "waiting={}\trunning={}\tswapped={}\toutstanding_tokens={}\tfree_blocks={}\ttotal_blocks={}\tfinished={}\tpreemptions={}\tsteps={}\ttokens_scheduled={}\tblocks_copied={}\tblocks_swapped={}\tschedule_time={:.6}\tprepare_time={:.6}\texecute_time={:.6}\tpostprocess_time={:.6}\tnorm_lat_mean={:.6}\tnorm_lat_p50={:.6}\tnorm_lat_p90={:.6}\tnorm_lat_p99={:.6}\tttft_mean={:.6}\tttft_p50={:.6}\tttft_p99={:.6}",
-        s.waiting, s.running, s.swapped, s.outstanding_tokens, s.free_blocks, s.total_blocks,
-        s.finished, s.preemptions, s.steps, s.tokens_scheduled, s.blocks_copied, s.blocks_swapped,
-        s.schedule_time, s.prepare_time, s.execute_time, s.postprocess_time,
-        s.norm_lat_mean, s.norm_lat_p50, s.norm_lat_p90, s.norm_lat_p99,
-        s.ttft_mean, s.ttft_p50, s.ttft_p99
-    )
 }
 
 /// The metrics snapshot a `METRICS` query serves: the engine's own registry
@@ -504,11 +439,54 @@ fn metrics_snapshot(shared: &Shared) -> vllm_core::telemetry::MetricsSnapshot {
 /// surfaced to the client.
 const MAX_SUBMIT_ATTEMPTS: u32 = 4;
 
+/// Submits one request to `replica` and blocks for the reply. A replica
+/// that proves dead (its loop exited, or its reply channel dropped) is
+/// reported to the router so subsequent routes avoid it.
+fn await_reply(
+    shared: &Shared,
+    replica: usize,
+    engine_id: String,
+    prompt: Vec<u32>,
+    request: GenerationRequest,
+) -> Result<RequestOutput, VllmError> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let sent = shared.replicas[replica].submit(EngineRequest {
+        request_id: engine_id,
+        prompt,
+        request,
+        reply: reply_tx,
+    });
+    if sent.is_err() {
+        // The loop is gone: killed, or the server is draining.
+        shared.router.lock().mark_dead(replica);
+        return Err(VllmError::Unavailable("replica not accepting work".into()));
+    }
+    match reply_rx.recv() {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => {
+            if e.is_retryable() && shared.replicas[replica].is_killed() {
+                shared.router.lock().mark_dead(replica);
+            }
+            Err(e)
+        }
+        Err(_) => {
+            // Reply channel dropped without an answer: replica died.
+            shared.router.lock().mark_dead(replica);
+            Err(VllmError::Unavailable("replica dropped the request".into()))
+        }
+    }
+}
+
+/// Capped exponential backoff before retry `attempt + 1`, seeded by the
+/// error's own hint.
+fn backoff(err: &VllmError, attempt: u32) {
+    let base = err.retry_after().unwrap_or(0.01);
+    let delay = (base * f64::from(1u32 << attempt)).min(0.2);
+    std::thread::sleep(Duration::from_secs_f64(delay));
+}
+
 /// Routes and submits one request, retrying retryable failures on a fresh
-/// route with capped exponential backoff. A replica that proves dead (its
-/// loop exited, or it answered with a kill-switch unavailability) is
-/// reported to the router so subsequent routes — including this request's
-/// own retries — avoid it; each retry increments
+/// route with capped exponential backoff; each retry increments
 /// `vllm_cluster_retries_total`.
 fn submit_with_retry(
     shared: &Shared,
@@ -529,7 +507,6 @@ fn submit_with_retry(
             let snaps = shared.snapshots();
             shared.router.lock().route(&hashes, &snaps).replica
         };
-        let (reply_tx, reply_rx) = mpsc::channel();
         // A fresh engine-side id per attempt keeps retries from colliding
         // with stale state on a previously tried replica.
         let engine_id = if attempt == 0 {
@@ -538,44 +515,365 @@ fn submit_with_retry(
             format!("{request_id}.{attempt}")
         };
         let mut attempt_request = request.clone();
-        attempt_request.trace = Some(root.child(100 + u64::from(attempt) + 1));
-        let sent = shared.replicas[replica].submit(EngineRequest {
-            request_id: engine_id,
-            prompt: prompt.clone(),
-            request: attempt_request,
-            reply: reply_tx,
-        });
-        let err = if sent.is_err() {
-            // The loop is gone: killed, or the server is draining.
-            shared.router.lock().mark_dead(replica);
-            VllmError::Unavailable("replica not accepting work".into())
-        } else {
-            match reply_rx.recv() {
-                Ok(Ok(out)) => return Ok(out),
-                Ok(Err(e)) => {
-                    if !e.is_retryable() {
-                        return Err(e);
-                    }
-                    if shared.replicas[replica].is_killed() {
-                        shared.router.lock().mark_dead(replica);
-                    }
-                    e
-                }
-                Err(_) => {
-                    // Reply channel dropped without an answer: replica died.
-                    shared.router.lock().mark_dead(replica);
-                    VllmError::Unavailable("replica dropped the request".into())
-                }
+        attempt_request.trace = Some(root.child(100 + u64::from(attempt) * 8 + 1));
+        match await_reply(shared, replica, engine_id, prompt.clone(), attempt_request) {
+            Ok(out) => return Ok(out),
+            Err(e) if !e.is_retryable() => return Err(e),
+            Err(e) => {
+                shared.router.lock().record_retry();
+                backoff(&e, attempt);
+                last_err = Some(e);
             }
-        };
-        shared.router.lock().record_retry();
-        // Capped exponential backoff, seeded by the error's own hint.
-        let base = err.retry_after().unwrap_or(0.01);
-        let delay = (base * f64::from(1u32 << attempt)).min(0.2);
-        last_err = Some(err);
-        std::thread::sleep(Duration::from_secs_f64(delay));
+        }
     }
     Err(last_err.unwrap_or_else(|| VllmError::Unavailable("retries exhausted".into())))
+}
+
+/// Whether a request takes the two-phase prefill→decode path: the fleet is
+/// role-specialized and the request is a greedy single-sequence multi-token
+/// generation (the shape whose first-token/decode split is well defined —
+/// everything else runs entirely on the prefill pool).
+fn wants_handoff(shared: &Shared, request: &GenerationRequest) -> bool {
+    shared.disaggregated
+        && request.mode == GenerationMode::Greedy
+        && request.n == 1
+        && request.max_tokens > 1
+}
+
+/// What the prefill replica holds pinned before its stub runs.
+struct PrefillPrefix {
+    id: PrefixId,
+    /// The tier entry's data when the prefix came from the shared tier
+    /// (`None` when it was registered fresh and must be exported after the
+    /// stub computes it).
+    tier: Option<(Vec<u32>, Vec<KvBlockBytes>)>,
+}
+
+/// Makes `want` (a block-aligned strict prefix of the prompt) resident on
+/// `replica`: installed from the cluster-shared tier on a published hit
+/// (skipping the recompute), registered fresh otherwise. Returns `None` on
+/// failure — callers degrade to running the full prompt phase.
+fn install_tier_prefix(shared: &Shared, replica: usize, want: &[u32]) -> Option<PrefillPrefix> {
+    if let Some(tier) = &shared.tier {
+        // Pin the entry only across the clone; the replica install works on
+        // the copy, so eviction afterwards is safe.
+        let hit = {
+            let mut t = tier.lock();
+            t.lookup(want).map(|key| {
+                t.acquire(key);
+                let e = t.get(key).expect("acquired tier entry");
+                let data = (e.tokens.clone(), e.blocks.clone());
+                t.release(key);
+                data
+            })
+        };
+        if let Some((tokens, blocks)) = hit {
+            if let Ok(PrefixReply::Installed { id }) =
+                shared.replicas[replica].prefix_op(PrefixOp::Install {
+                    tokens: tokens.clone(),
+                    blocks: blocks.clone(),
+                })
+            {
+                return Some(PrefillPrefix {
+                    id,
+                    tier: Some((tokens, blocks)),
+                });
+            }
+        }
+    }
+    match shared.replicas[replica].prefix_op(PrefixOp::Register {
+        tokens: want.to_vec(),
+    }) {
+        Ok(PrefixReply::Registered { id }) => Some(PrefillPrefix { id, tier: None }),
+        _ => None,
+    }
+}
+
+/// Best-effort release of a pinned prefix — the target may have died, which
+/// the enclosing retry loop handles separately.
+fn release_prefix_quiet(shared: &Shared, replica: usize, id: PrefixId) {
+    let _ = shared.replicas[replica].prefix_op(PrefixOp::Release { id });
+}
+
+/// Runs one request through the two-phase disaggregated flow, retrying the
+/// whole flow on retryable failures. Each failed attempt increments
+/// `vllm_cluster_handoff_retries_total` and re-routes from scratch; nothing
+/// was delivered, so the client still sees exactly-once.
+fn submit_disaggregated(
+    shared: &Shared,
+    request_id: &str,
+    prompt: &[u32],
+    request: &GenerationRequest,
+) -> Result<RequestOutput, VllmError> {
+    let hashes = chunk_hashes(prompt, shared.block_size);
+    let root = request
+        .trace
+        .unwrap_or_else(|| TraceContext::mint(trace_seed(request_id), true));
+    let mut last_err: Option<VllmError> = None;
+    for attempt in 0..MAX_SUBMIT_ATTEMPTS {
+        match handoff_attempt(shared, request_id, prompt, request, &hashes, root, attempt) {
+            Ok(out) => return Ok(out),
+            Err(e) if !e.is_retryable() => return Err(e),
+            Err(e) => {
+                shared.handoff.retries.inc();
+                shared.router.lock().record_retry();
+                backoff(&e, attempt);
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| VllmError::Unavailable("retries exhausted".into())))
+}
+
+/// One attempt of the disaggregated flow: prefill stub (prompt phase plus
+/// the first sampled token — TTFT — on a prefill replica), KV export and
+/// tier publication, wire-codec round trip, install on a decode replica,
+/// decode continuation, stitch. Greedy continuation from `prompt + [t0]`
+/// makes the stitched stream token-identical to a unified run.
+fn handoff_attempt(
+    shared: &Shared,
+    request_id: &str,
+    prompt: &[u32],
+    request: &GenerationRequest,
+    hashes: &[u64],
+    root: TraceContext,
+    attempt: u32,
+) -> Result<RequestOutput, VllmError> {
+    let bs = shared.block_size;
+    // Longest block-aligned STRICT prefix of the prompt: the prefix pool
+    // only matches prompts longer than the prefix, and `prompt + [t0]` on
+    // the decode side is longer still, so one cut serves both phases.
+    let keep = ((prompt.len() - 1) / bs) * bs;
+
+    // Phase 1: prefill. Prefix-affinity routing over the prefill pool.
+    let prefill = {
+        let snaps = shared.snapshots();
+        shared.router.lock().route(hashes, &snaps).replica
+    };
+    let prefix = if keep > 0 {
+        install_tier_prefix(shared, prefill, &prompt[..keep])
+    } else {
+        None
+    };
+    let stub_id = if attempt == 0 {
+        request_id.to_string()
+    } else {
+        format!("{request_id}.p{attempt}")
+    };
+    let mut stub_req = request.clone();
+    stub_req.max_tokens = 1;
+    stub_req.trace = Some(root.child(100 + u64::from(attempt) * 8 + 1));
+    let stub_started = shared.started.elapsed().as_secs_f64();
+    let stub = match await_reply(shared, prefill, stub_id, prompt.to_vec(), stub_req) {
+        Ok(out) => out,
+        Err(e) => {
+            if let Some(p) = &prefix {
+                release_prefix_quiet(shared, prefill, p.id);
+            }
+            return Err(e);
+        }
+    };
+    let first = stub.outputs.first().and_then(|c| c.tokens.first()).copied();
+    let stub_logprob = stub
+        .outputs
+        .first()
+        .map(|c| c.cumulative_logprob)
+        .unwrap_or_default();
+    let done = match first {
+        // No token sampled (deadline hit at admission): the stub result is
+        // the whole answer. EOS first: a unified run stops there too.
+        None => true,
+        Some(t) => t == vllm_model::EOS,
+    };
+    if done {
+        if let Some(p) = prefix {
+            release_prefix_quiet(shared, prefill, p.id);
+        }
+        return Ok(stub);
+    }
+    let t0 = first.expect("first token present");
+
+    // Collect the prefix KV for the decode install: already in hand on a
+    // tier hit, exported (and published to the tier for the rest of the
+    // fleet) otherwise. The prefill pin is dropped either way — the tier
+    // and the payload own copies.
+    let mut kv: Option<(Vec<u32>, Vec<KvBlockBytes>)> = None;
+    if let Some(p) = prefix {
+        if let Some(data) = p.tier {
+            kv = Some(data);
+        } else if let Ok(PrefixReply::Exported { tokens, blocks }) =
+            shared.replicas[prefill].prefix_op(PrefixOp::Export { id: p.id })
+        {
+            if let Some(tier) = &shared.tier {
+                tier.lock().publish(&tokens, blocks.clone());
+            }
+            kv = Some((tokens, blocks));
+        }
+        release_prefix_quiet(shared, prefill, p.id);
+    }
+    let export_done = shared.started.elapsed().as_secs_f64();
+
+    // Phase 2: ship and decode. The transport is the wire codec — encode,
+    // move, decode — so the payload semantics (checksum, validation) are
+    // exactly what a remote decode replica would see.
+    let payload = kv
+        .map(|(tokens, blocks)| {
+            let p = HandoffPayload {
+                request_id: request_id.to_string(),
+                tokens,
+                first_token: Some(t0),
+                seed: request.seed.unwrap_or_default(),
+                block_size: bs,
+                blocks,
+            };
+            HandoffPayload::decode_wire(&p.encode_wire())
+        })
+        .transpose()?;
+    let decode = {
+        let snaps = shared.snapshots();
+        shared.router.lock().route_decode(&snaps)
+    };
+    let mut decode_prefix: Option<PrefixId> = None;
+    let mut shipped = (0usize, 0usize); // (blocks, kv_bytes)
+    if let Some(p) = &payload {
+        match shared.replicas[decode].prefix_op(PrefixOp::Install {
+            tokens: p.tokens.clone(),
+            blocks: p.blocks.clone(),
+        }) {
+            Ok(PrefixReply::Installed { id }) => {
+                decode_prefix = Some(id);
+                shipped = (p.blocks.len(), p.kv_bytes());
+            }
+            // A dying decode target mid-transfer restarts the whole flow
+            // (exactly-once: nothing reached the client yet). Non-retryable
+            // install failures degrade — the decode replica recomputes.
+            Err(e) if e.is_retryable() => return Err(e),
+            _ => {}
+        }
+    }
+    let install_done = shared.started.elapsed().as_secs_f64();
+
+    let mut dprompt = prompt.to_vec();
+    dprompt.push(t0);
+    let mut dreq = request.clone();
+    dreq.max_tokens = request.max_tokens - 1;
+    dreq.trace = Some(root.child(100 + u64::from(attempt) * 8 + 2));
+    let result = await_reply(
+        shared,
+        decode,
+        format!("{request_id}.d{attempt}"),
+        dprompt,
+        dreq,
+    );
+    if let Some(id) = decode_prefix {
+        release_prefix_quiet(shared, decode, id);
+    }
+    let mut out = result?;
+
+    // Stitch the stub's token back onto the front of the stream.
+    match out.outputs.first_mut() {
+        Some(c) => {
+            c.tokens.insert(0, t0);
+            c.cumulative_logprob += stub_logprob;
+        }
+        None => return Ok(stub), // decode produced nothing; TTFT stands
+    }
+    record_handoff_spans(
+        shared,
+        &root.child(200 + u64::from(attempt)),
+        decode,
+        shipped,
+        (stub_started, export_done, install_done),
+    );
+    shared.handoff.handoffs.inc();
+    shared.handoff.blocks.inc_by(shipped.0 as u64);
+    Ok(out)
+}
+
+/// Records the handoff span tree on the cluster telemetry track (the same
+/// scheme the fault harness uses): a `handoff` parent under the request
+/// root with `handoff.{export,transfer,install}` children.
+fn record_handoff_spans(
+    shared: &Shared,
+    ctx: &TraceContext,
+    dst: usize,
+    (blocks, kv_bytes): (usize, usize),
+    (start, transfer, end): (f64, f64, f64),
+) {
+    let spans = shared.cluster_telemetry.spans();
+    spans.record(Span {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_span_id: ctx.parent_span_id,
+        name: "handoff".to_string(),
+        start,
+        end,
+        attrs: vec![
+            ("dst".to_string(), dst.to_string()),
+            ("kv_bytes".to_string(), kv_bytes.to_string()),
+            ("blocks".to_string(), blocks.to_string()),
+        ],
+    });
+    let child = |slot: u64, name: &str, s: f64, e: f64| Span {
+        trace_id: ctx.trace_id,
+        span_id: ctx.child(slot).span_id,
+        parent_span_id: ctx.span_id,
+        name: name.to_string(),
+        start: s,
+        end: e,
+        attrs: Vec::new(),
+    };
+    spans.record(child(1, "handoff.export", start, transfer));
+    spans.record(child(2, "handoff.transfer", transfer, transfer));
+    spans.record(child(3, "handoff.install", transfer, end));
+}
+
+/// Installs an operator-shipped `HANDOFF` payload: the KV prefix lands in a
+/// decode-capable replica's pool (left pinned — this is deliberate
+/// pre-seeding, reclaimed on replica teardown) and is published to the
+/// shared tier so prefix-affinity routing and future handoffs reuse it
+/// fleet-wide.
+fn install_handoff(shared: &Shared, payload: HandoffPayload) -> Result<Response, VllmError> {
+    let replica = {
+        let snaps = shared.snapshots();
+        shared.router.lock().route_decode(&snaps)
+    };
+    let blocks = payload.blocks.len();
+    let reply = shared.replicas[replica].prefix_op(PrefixOp::Install {
+        tokens: payload.tokens.clone(),
+        blocks: payload.blocks.clone(),
+    })?;
+    let PrefixReply::Installed { id } = reply else {
+        return Err(VllmError::Protocol("unexpected prefix reply".into()));
+    };
+    if let Some(tier) = &shared.tier {
+        tier.lock().publish(&payload.tokens, payload.blocks);
+    }
+    Ok(Response::Handoff {
+        replica,
+        prefix: id,
+        blocks,
+    })
+}
+
+/// The `TIER` snapshot: all zeros when the tier is disabled.
+fn tier_snapshot(shared: &Shared) -> TierSnapshot {
+    match &shared.tier {
+        None => TierSnapshot::default(),
+        Some(tier) => {
+            let t = tier.lock();
+            let s = t.stats();
+            TierSnapshot {
+                entries: t.len(),
+                blocks: t.used_blocks(),
+                capacity: shared.tier_capacity,
+                hits: s.hits,
+                misses: s.misses,
+                insertions: s.insertions,
+                evictions: s.evictions,
+            }
+        }
+    }
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
@@ -605,164 +903,154 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         if line.is_empty() {
             continue;
         }
-        match line.split('\t').next().unwrap_or_default() {
-            "STATS" => {
-                if line != "STATS" {
-                    writeln!(writer, "{}", err_line(&invalid("STATS takes no arguments")))?;
-                    continue;
-                }
+        // Every inbound line becomes a typed Command or a typed error; the
+        // string form never crosses this point.
+        let command = match Command::parse(&line) {
+            Ok(c) => c,
+            Err(e) => {
+                writeln!(writer, "{}", Response::from_error(&e).wire())?;
+                continue;
+            }
+        };
+        match command {
+            Command::Hello { version } => {
+                let reply = match negotiate(version) {
+                    Ok(v) => Response::Hello { version: v },
+                    Err(e) => Response::from_error(&e),
+                };
+                writeln!(writer, "{}", reply.wire())?;
+            }
+            Command::Stats => {
                 let stats = shared
                     .replicas
                     .iter()
                     .map(Replica::stats)
                     .collect::<Vec<_>>();
-                writeln!(writer, "STATS\t{}", stats_body(&aggregate_stats(&stats)))?;
+                writeln!(
+                    writer,
+                    "{}",
+                    Response::Stats(aggregate_stats(&stats)).wire()
+                )?;
                 if shared.replicas.len() > 1 {
-                    for (i, s) in stats.iter().enumerate() {
-                        writeln!(writer, "RSTATS\t{i}\t{}", stats_body(s))?;
+                    for (replica, s) in stats.iter().enumerate() {
+                        writeln!(writer, "{}", Response::RStats { replica, stats: *s }.wire())?;
                     }
-                    writeln!(writer, "END")?;
+                    writeln!(writer, "{}", Response::End.wire())?;
                 }
             }
-            "METRICS" => {
-                if line == "METRICS" {
-                    let snapshot = metrics_snapshot(shared);
-                    writer.write_all(snapshot.to_prometheus_text().as_bytes())?;
-                    writeln!(writer, "END")?;
-                } else if line == "METRICS\tjson" {
-                    let snapshot = metrics_snapshot(shared);
-                    writeln!(writer, "{}", snapshot.to_json())?;
-                } else {
-                    writeln!(
-                        writer,
-                        "{}",
-                        err_line(&invalid(
-                            "unknown METRICS format (use METRICS or METRICS\\tjson)"
-                        ))
-                    )?;
-                }
+            Command::Metrics(MetricsFormat::Prometheus) => {
+                let snapshot = metrics_snapshot(shared);
+                writer.write_all(snapshot.to_prometheus_text().as_bytes())?;
+                writeln!(writer, "{}", Response::End.wire())?;
             }
-            "EVENTS" => {
-                let mut parts = line.split('\t');
-                parts.next(); // verb
-                match (parts.next(), parts.next()) {
-                    (Some(id), None) if !id.is_empty() => {
-                        // Distinguish "never seen" from "seen but evicted"
-                        // across the fleet: any replica with retained events
-                        // wins; otherwise any eviction marker wins.
-                        let mut wrote = false;
-                        let mut evicted = false;
-                        for r in &shared.replicas {
-                            match r.telemetry().events().query(id) {
-                                EventQuery::Events(events) => {
-                                    for ev in events {
-                                        writeln!(
-                                            writer,
-                                            "EVENT\t{:.6}\t{}\t{}",
-                                            ev.time,
-                                            ev.kind.label(),
-                                            ev.kind.detail()
-                                        )?;
+            Command::Metrics(MetricsFormat::Json) => {
+                writeln!(writer, "{}", metrics_snapshot(shared).to_json())?;
+            }
+            Command::Events { request_id } => {
+                // Distinguish "never seen" from "seen but evicted" across
+                // the fleet: any replica with retained events wins;
+                // otherwise any eviction marker wins.
+                let mut wrote = false;
+                let mut evicted = false;
+                for r in &shared.replicas {
+                    match r.telemetry().events().query(&request_id) {
+                        EventQuery::Events(events) => {
+                            for ev in events {
+                                writeln!(
+                                    writer,
+                                    "{}",
+                                    Response::Event {
+                                        time: ev.time,
+                                        kind: ev.kind.label().to_string(),
+                                        detail: ev.kind.detail(),
                                     }
-                                    wrote = true;
-                                }
-                                EventQuery::Evicted => evicted = true,
-                                EventQuery::Unknown => {}
+                                    .wire()
+                                )?;
                             }
+                            wrote = true;
                         }
-                        if !wrote {
-                            let why = if evicted { "evicted" } else { "unknown" };
-                            writeln!(writer, "NOEVENTS\t{why}")?;
-                        }
-                        writeln!(writer, "END")?;
+                        EventQuery::Evicted => evicted = true,
+                        EventQuery::Unknown => {}
                     }
-                    _ => writeln!(
-                        writer,
-                        "{}",
-                        err_line(&invalid("EVENTS takes exactly one request id"))
-                    )?,
                 }
+                if !wrote {
+                    writeln!(writer, "{}", Response::NoEvents { evicted }.wire())?;
+                }
+                writeln!(writer, "{}", Response::End.wire())?;
             }
-            "TRACE" => {
-                let mut parts = line.split('\t');
-                parts.next(); // verb
-                match (parts.next(), parts.next()) {
-                    (Some(id), None) if !id.is_empty() => {
-                        match u64::from_str_radix(id.trim_start_matches("0x"), 16) {
-                            Ok(trace_id) if trace_id != 0 => {
-                                let tracks: Vec<(String, Vec<Span>)> = shared
-                                    .replicas
-                                    .iter()
-                                    .map(|r| {
-                                        (
-                                            format!("replica{}", r.id()),
-                                            r.telemetry().spans().spans_for_trace(trace_id),
-                                        )
-                                    })
-                                    .filter(|(_, spans)| !spans.is_empty())
-                                    .collect();
-                                writeln!(writer, "{}", spans_to_json(&tracks))?;
-                            }
-                            _ => writeln!(
-                                writer,
-                                "{}",
-                                err_line(&invalid("bad trace id (want 16 hex digits, nonzero)"))
-                            )?,
-                        }
-                    }
-                    _ => writeln!(
-                        writer,
-                        "{}",
-                        err_line(&invalid("TRACE takes exactly one trace id"))
-                    )?,
-                }
+            Command::Trace { trace_id } => {
+                let mut tracks: Vec<(String, Vec<Span>)> = shared
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        (
+                            format!("replica{}", r.id()),
+                            r.telemetry().spans().spans_for_trace(trace_id),
+                        )
+                    })
+                    .collect();
+                // Frontend-side handoff spans ride a synthetic track.
+                tracks.push((
+                    "cluster".to_string(),
+                    shared.cluster_telemetry.spans().spans_for_trace(trace_id),
+                ));
+                tracks.retain(|(_, spans)| !spans.is_empty());
+                writeln!(writer, "{}", spans_to_json(&tracks))?;
             }
-            "SHUTDOWN" => {
-                if line != "SHUTDOWN" {
-                    writeln!(
-                        writer,
-                        "{}",
-                        err_line(&invalid("SHUTDOWN takes no arguments"))
-                    )?;
-                    continue;
-                }
-                writeln!(writer, "OK\tshutdown")?;
+            Command::Handoff(payload) => match install_handoff(shared, payload) {
+                Ok(r) => writeln!(writer, "{}", r.wire())?,
+                Err(e) => writeln!(writer, "{}", Response::from_error(&e).wire())?,
+            },
+            Command::Tier => {
+                writeln!(writer, "{}", Response::Tier(tier_snapshot(shared)).wire())?;
+            }
+            Command::Shutdown => {
+                writeln!(writer, "{}", Response::OkShutdown.wire())?;
                 shared.shutdown.store(true, Ordering::SeqCst);
             }
-            "GENERATE" => {
+            Command::Generate(spec) => {
                 let request_id = format!("req-{}", shared.next_id.fetch_add(1, Ordering::SeqCst));
-                match parse_request(&line, &request_id) {
-                    Err(e) => writeln!(writer, "{}", err_line(&e))?,
-                    Ok((prompt, request)) => {
-                        match submit_with_retry(shared, &request_id, prompt, &request) {
-                            Ok(out) => {
-                                writeln!(writer, "OK\t{request_id}\t{}", out.outputs.len())?;
-                                for (i, c) in out.outputs.iter().enumerate() {
-                                    let text =
-                                        tokenizer.decode(&c.tokens).replace(['\t', '\n'], " ");
-                                    writeln!(
-                                        writer,
-                                        "OUT\t{i}\t{:.4}\t{text}",
-                                        c.cumulative_logprob
-                                    )?;
-                                }
-                                writeln!(writer, "END")?;
+                let result = build_request(&spec, &request_id).and_then(|(prompt, request)| {
+                    if wants_handoff(shared, &request) {
+                        submit_disaggregated(shared, &request_id, &prompt, &request)
+                    } else {
+                        submit_with_retry(shared, &request_id, prompt, &request)
+                    }
+                });
+                match result {
+                    Ok(out) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            Response::Ok {
+                                request_id,
+                                num_outputs: out.outputs.len(),
                             }
-                            Err(e) => {
-                                writeln!(writer, "{}", err_line(&e))?;
-                                if shared.shutdown.load(Ordering::SeqCst) {
-                                    break;
+                            .wire()
+                        )?;
+                        for (index, c) in out.outputs.iter().enumerate() {
+                            let text = tokenizer.decode(&c.tokens).replace(['\t', '\n'], " ");
+                            writeln!(
+                                writer,
+                                "{}",
+                                Response::Out {
+                                    index,
+                                    cumulative_logprob: c.cumulative_logprob,
+                                    text,
                                 }
-                            }
+                                .wire()
+                            )?;
+                        }
+                        writeln!(writer, "{}", Response::End.wire())?;
+                    }
+                    Err(e) => {
+                        writeln!(writer, "{}", Response::from_error(&e).wire())?;
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
                         }
                     }
                 }
             }
-            verb => writeln!(
-                writer,
-                "{}",
-                err_line(&invalid(format!("unknown verb {verb:?}")))
-            )?,
         }
     }
     Ok(())
@@ -814,6 +1102,31 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
         })
+    }
+
+    /// Performs `HELLO` version negotiation and returns the server's
+    /// protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on connection failure, or `InvalidData` when
+    /// the server rejects this client's [`PROTOCOL_VERSION`].
+    pub fn hello(&mut self) -> std::io::Result<u32> {
+        writeln!(self.writer, "HELLO\tversion={PROTOCOL_VERSION}")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        match Response::parse(line) {
+            Ok(Response::Hello { version }) => Ok(version),
+            Ok(Response::Err { message, .. }) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                message,
+            )),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected HELLO reply {line:?}"),
+            )),
+        }
     }
 
     /// Sends one generation request and waits for its outputs.

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod frontend;
+pub mod protocol;
 
 pub use vllm_baselines as baselines;
 pub use vllm_cluster as cluster;

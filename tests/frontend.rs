@@ -316,49 +316,84 @@ fn malformed_requests_all_get_err() {
     // (line, substring the error must mention)
     let cases: &[(&str, &str)] = &[
         ("GENERATE", "max_tokens"),
-        ("GENERATE\t12", "n"),
-        ("GENERATE\t12\t1", "mode"),
-        ("GENERATE\t12\t1\tgreedy", "prompt"),
-        ("GENERATE\tabc\t1\tgreedy\thi", "max_tokens"),
-        ("GENERATE\t12\tx\tgreedy\thi", "n"),
-        ("GENERATE\t0\t1\tgreedy\thi", "max_tokens"),
-        ("GENERATE\t12\t1\tnucleus\thi", "unknown mode"),
-        ("GENERATE\t12\t3\tgreedy\thi", "n=1"),
-        ("GENERATE\t12\t1\tgreedy\ttemperature=0.5\thi", "sample"),
-        ("GENERATE\t12\t2\tbeam\ttop_p=0.9\thi", "sample"),
+        // The positional v1 form is retired wholesale: any numeric second
+        // field maps to a protocol error naming the typed replacement.
+        ("GENERATE\t12", "positional GENERATE was removed"),
+        ("GENERATE\t12\t1", "positional GENERATE was removed"),
         (
-            "GENERATE\t12\t1\tsample\ttemperature=abc\thi",
+            "GENERATE\t12\t1\tgreedy\thi",
+            "positional GENERATE was removed",
+        ),
+        (
+            "GENERATE\t0\t1\tgreedy\thi",
+            "positional GENERATE was removed",
+        ),
+        // Typed form: missing/bad required fields.
+        ("GENERATE\tmode=greedy\thi", "max_tokens"),
+        ("GENERATE\tmax_tokens=abc\tmode=greedy\thi", "max_tokens"),
+        ("GENERATE\tmax_tokens=12\thi", "mode"),
+        ("GENERATE\tmax_tokens=12\tn=x\tmode=greedy\thi", "n"),
+        ("GENERATE\tmax_tokens=12\tmode=greedy", "prompt"),
+        ("GENERATE\tmax_tokens=12\tmode=turbo\thi", "unknown mode"),
+        ("GENERATE\tmax_tokens=12\tn=3\tmode=greedy\thi", "n=1"),
+        ("GENERATE\tmax_tokens=0\tmode=greedy\thi", "max_tokens"),
+        // Sampling fields validate per mode.
+        (
+            "GENERATE\tmax_tokens=12\tmode=greedy\ttemperature=0.5\thi",
+            "sample",
+        ),
+        (
+            "GENERATE\tmax_tokens=12\tn=2\tmode=beam\ttop_p=0.9\thi",
+            "sample",
+        ),
+        (
+            "GENERATE\tmax_tokens=12\tmode=sample\ttemperature=abc\thi",
             "temperature",
         ),
-        ("GENERATE\t12\t1\tsample\ttop_p=zzz\thi", "top_p"),
-        ("GENERATE\t12\t1\tsample\tseed=-1\thi", "seed"),
-        ("GENERATE\t12\t1\tsample\ttop_p=1.5\thi", "top_p"),
-        ("GENERATE\t12\t1\tsample\ttemperature=0\thi", "temperature"),
+        (
+            "GENERATE\tmax_tokens=12\tmode=sample\ttop_p=zzz\thi",
+            "top_p",
+        ),
+        ("GENERATE\tmax_tokens=12\tmode=sample\tseed=-1\thi", "seed"),
+        (
+            "GENERATE\tmax_tokens=12\tmode=sample\ttop_p=1.5\thi",
+            "top_p",
+        ),
+        (
+            "GENERATE\tmax_tokens=12\tmode=sample\ttemperature=0\thi",
+            "temperature",
+        ),
         ("STATS\textra", "STATS"),
         ("METRICS\txml", "METRICS"),
         ("EVENTS", "request id"),
         ("EVENTS\ta\tb", "request id"),
+        ("TIER\tnow", "TIER"),
+        ("HANDOFF", "payload"),
+        ("HANDOFF\tzz-not-hex", "hex"),
+        ("HELLO", "version"),
+        ("HELLO\tversion=999", "unsupported protocol version"),
         ("SHUTDOWN\tnow", "SHUTDOWN"),
         ("FLUSH", "unknown verb"),
         ("generate\t4\t1\tgreedy\thi", "unknown verb"),
         // Unknown key=value fields are rejected, not swallowed into the
-        // prompt — in both the positional and the typed form.
+        // prompt.
         (
-            "GENERATE\t12\t1\tsample\ttemprature=0.5\thi",
+            "GENERATE\tmax_tokens=12\tmode=sample\ttemprature=0.5\thi",
             "unknown field",
         ),
         (
             "GENERATE\tmax_tokens=12\tn=1\tmode=sample\ttop=0.9\thi",
             "unknown field",
         ),
-        // Typed form: missing required fields.
-        ("GENERATE\tmode=greedy\thi", "max_tokens"),
-        ("GENERATE\tmax_tokens=12\thi", "mode"),
-        ("GENERATE\tmax_tokens=12\tmode=turbo\thi", "unknown mode"),
-        ("GENERATE\tmax_tokens=12\tn=3\tmode=greedy\thi", "n=1"),
         // Degradation fields validate too.
-        ("GENERATE\t12\t1\tgreedy\tdeadline=-1\thi", "deadline"),
-        ("GENERATE\t12\t1\tgreedy\tpriority=soon\thi", "priority"),
+        (
+            "GENERATE\tmax_tokens=12\tmode=greedy\tdeadline=-1\thi",
+            "deadline",
+        ),
+        (
+            "GENERATE\tmax_tokens=12\tmode=greedy\tpriority=soon\thi",
+            "priority",
+        ),
     ];
 
     let server = spawn_server();
@@ -377,7 +412,7 @@ fn malformed_requests_all_get_err() {
         );
     }
     // The connection survives the whole gauntlet.
-    writeln!(writer, "GENERATE\t4\t1\tgreedy\tstill alive").unwrap();
+    writeln!(writer, "GENERATE\tmax_tokens=4\tmode=greedy\tstill alive").unwrap();
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
     assert!(reply.starts_with("OK\t"), "got {reply:?}");
@@ -446,7 +481,7 @@ fn err_replies_carry_kind_and_retryability() {
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
 
-    writeln!(writer, "GENERATE\t12\t1\tnucleus\thi").unwrap();
+    writeln!(writer, "GENERATE\tmax_tokens=12\tmode=nucleus\thi").unwrap();
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
     let reply = reply.trim_end();
@@ -456,13 +491,32 @@ fn err_replies_carry_kind_and_retryability() {
     assert_eq!(fields[2], "false", "got {reply:?}");
     assert!(fields[3].contains("unknown mode"), "got {reply:?}");
 
-    // The typed form produces the same taxonomy.
+    // Unknown fields carry the same taxonomy.
     writeln!(writer, "GENERATE\tmax_tokens=12\tmode=sample\tzzz=1\thi").unwrap();
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
     let reply = reply.trim_end();
     assert!(reply.starts_with("ERR\trequest\tfalse\t"), "got {reply:?}");
     assert!(reply.contains("unknown field"), "got {reply:?}");
+
+    // Frame-shape problems are `protocol` kind: the retired positional
+    // form, and unknown verbs.
+    writeln!(writer, "GENERATE\t12\t1\tgreedy\thi").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = reply.trim_end();
+    assert!(reply.starts_with("ERR\tprotocol\tfalse\t"), "got {reply:?}");
+    assert!(
+        reply.contains("positional GENERATE was removed"),
+        "got {reply:?}"
+    );
+    writeln!(writer, "FLUSH").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.trim_end().starts_with("ERR\tprotocol\tfalse\t"),
+        "got {reply:?}"
+    );
     server.shutdown();
 }
 
@@ -525,7 +579,7 @@ fn missed_deadline_cancels_request() {
 /// keeps serving afterwards.
 #[test]
 fn killed_replica_requests_are_rerouted() {
-    use vllm::cluster::{RoutePolicy, RouterConfig};
+    use vllm::cluster::{ClusterConfig, RoutePolicy};
 
     let engines: Vec<_> = (0..2)
         .map(|_| {
@@ -538,7 +592,7 @@ fn killed_replica_requests_are_rerouted() {
     let server = Server::spawn_cluster(
         "127.0.0.1:0",
         engines,
-        RouterConfig::new(RoutePolicy::RoundRobin),
+        ClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin),
     )
     .expect("server binds");
     let addr = server.addr();
@@ -579,7 +633,7 @@ fn killed_replica_requests_are_rerouted() {
 #[test]
 fn cluster_server_round_robin_end_to_end() {
     use std::io::{BufRead, BufReader, Write};
-    use vllm::cluster::{RoutePolicy, RouterConfig};
+    use vllm::cluster::{ClusterConfig, RoutePolicy};
     use vllm::core::telemetry::MetricsSnapshot;
 
     let engines: Vec<_> = (0..2)
@@ -593,7 +647,7 @@ fn cluster_server_round_robin_end_to_end() {
     let server = Server::spawn_cluster(
         "127.0.0.1:0",
         engines,
-        RouterConfig::new(RoutePolicy::RoundRobin),
+        ClusterConfig::new(2).with_policy(RoutePolicy::RoundRobin),
     )
     .expect("server binds");
     let addr = server.addr();
@@ -671,5 +725,203 @@ fn cluster_server_round_robin_end_to_end() {
         })
         .sum();
     assert_eq!(routed, 4);
+    server.shutdown();
+}
+
+/// `HELLO` negotiates the protocol version: matching versions get the
+/// server's `HELLO` back, mismatches get a non-retryable `protocol` error,
+/// and the connection stays usable either way.
+#[test]
+fn hello_negotiates_protocol_version() {
+    use std::io::{BufRead, BufReader, Write};
+    use vllm::protocol::PROTOCOL_VERSION;
+
+    let server = spawn_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.hello().unwrap(), PROTOCOL_VERSION);
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "HELLO\tversion=1").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = reply.trim_end();
+    assert!(reply.starts_with("ERR\tprotocol\tfalse\t"), "got {reply:?}");
+    assert!(
+        reply.contains(&format!("server speaks {PROTOCOL_VERSION}")),
+        "got {reply:?}"
+    );
+    // Skew is reported, not fatal: the same connection still serves.
+    writeln!(writer, "HELLO\tversion={PROTOCOL_VERSION}").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(
+        reply.trim_end(),
+        format!("HELLO\tversion={PROTOCOL_VERSION}")
+    );
+    server.shutdown();
+}
+
+/// Spawns a 1 prefill + 1 decode fleet with a shared prefix tier.
+fn spawn_disaggregated() -> Server {
+    use vllm::cluster::ClusterConfig;
+
+    let engines: Vec<_> = (0..2)
+        .map(|_| {
+            let cache = CacheConfig::new(16, 256, 64).unwrap();
+            let sched = SchedulerConfig::new(2048, 64, 1024).unwrap();
+            let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+            LlmEngine::new(exec, cache, sched)
+        })
+        .collect();
+    let cfg = ClusterConfig::disaggregated(1, 1).with_prefix_tier_blocks(128);
+    Server::spawn_cluster("127.0.0.1:0", engines, cfg).expect("server binds")
+}
+
+/// Disaggregated serving is an implementation detail of the fleet, not a
+/// semantics change: a greedy request through the prefill→handoff→decode
+/// path yields the same tokens as the same request on a unified server,
+/// repeated requests hit the shared prefix tier, and the handoff counters
+/// and `TIER` snapshot expose the mechanics.
+#[test]
+fn disaggregated_serving_matches_unified_output() {
+    use std::io::{BufRead, BufReader, Write};
+    use vllm::cluster::ReplicaRole;
+
+    let prompt = "the quick brown fox jumps over the lazy dog";
+
+    let unified = spawn_server();
+    let mut c = Client::connect(unified.addr()).unwrap();
+    let expect = c.generate(prompt, 24, 1, "greedy").unwrap();
+    unified.shutdown();
+    assert_eq!(expect.len(), 1);
+
+    let server = spawn_disaggregated();
+    assert_eq!(server.roles(), &[ReplicaRole::Prefill, ReplicaRole::Decode]);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.hello().unwrap();
+    for round in 0..2 {
+        let outs = client.generate(prompt, 24, 1, "greedy").unwrap();
+        assert_eq!(outs.len(), 1, "round {round}");
+        assert_eq!(
+            outs[0].text, expect[0].text,
+            "disaggregated greedy must be token-identical (round {round})"
+        );
+        // Stitched stub+decode logprob sums the same per-token terms in a
+        // different association order; allow float slack.
+        assert!(
+            (outs[0].cumulative_logprob - expect[0].cumulative_logprob).abs() < 1e-3,
+            "round {round}: {} vs {}",
+            outs[0].cumulative_logprob,
+            expect[0].cumulative_logprob
+        );
+    }
+
+    // The prefill phase ran on replica 0, the decode continuation on
+    // replica 1.
+    let per_replica = server.replica_stats();
+    assert!(per_replica[0].finished >= 2, "{per_replica:?}");
+    assert!(per_replica[1].finished >= 2, "{per_replica:?}");
+
+    // Round 1 registered and published the prompt's block-aligned prefix;
+    // round 2 found it in the tier.
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "TIER").unwrap();
+    let mut tier = String::new();
+    reader.read_line(&mut tier).unwrap();
+    let tier = tier.trim_end();
+    assert!(tier.starts_with("TIER\tentries="), "got {tier:?}");
+    assert!(tier.contains("capacity=128"), "got {tier:?}");
+    let field = |k: &str| -> u64 {
+        tier.split('\t')
+            .filter_map(|p| p.split_once('='))
+            .find(|(key, _)| *key == k)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("field {k} in {tier:?}"))
+    };
+    assert!(field("insertions") >= 1, "got {tier:?}");
+    assert!(field("hits") >= 1, "got {tier:?}");
+    assert!(field("entries") >= 1, "got {tier:?}");
+
+    // The frontend's handoff instruments counted both two-phase flows.
+    writeln!(writer, "METRICS\tjson").unwrap();
+    let mut json = String::new();
+    reader.read_line(&mut json).unwrap();
+    let snap = vllm::core::telemetry::MetricsSnapshot::from_json(json.trim_end()).unwrap();
+    assert!(
+        snap.counter("vllm_cluster_handoffs_total").unwrap_or(0) >= 2,
+        "handoffs must be counted"
+    );
+    assert!(
+        snap.counter("vllm_cluster_handoff_blocks_total")
+            .unwrap_or(0)
+            >= 1,
+        "shipped blocks must be counted"
+    );
+    server.shutdown();
+}
+
+/// The `HANDOFF` verb installs an externally serialized KV prefix into the
+/// decode pool and publishes it to the tier, so a later `GENERATE`
+/// extending those tokens reuses it.
+#[test]
+fn handoff_verb_preseeds_the_decode_pool() {
+    use std::io::{BufRead, BufReader, Write};
+    use vllm::core::HandoffPayload;
+    use vllm::model::ByteTokenizer;
+
+    // Export a real prefix from a standalone engine with the same model
+    // and block size as the server fleet.
+    let cache = CacheConfig::new(16, 256, 64).unwrap();
+    let sched = SchedulerConfig::new(2048, 64, 1024).unwrap();
+    let exec = CpuModelExecutor::from_config(ModelConfig::small(), &cache);
+    let mut engine = LlmEngine::new(exec, cache, sched);
+    let prefix_text = "a shared system preamble that spans blocks!"; // 44 bytes
+    let tokens: Vec<u32> = ByteTokenizer.encode(prefix_text)[..32].to_vec();
+    let id = engine.register_prefix(tokens.clone()).unwrap();
+    let (ptokens, blocks) = engine.export_prefix(id).unwrap();
+    assert_eq!(ptokens, tokens);
+    let payload = HandoffPayload {
+        request_id: "preseed".into(),
+        tokens: tokens.clone(),
+        first_token: None,
+        seed: 0,
+        block_size: 16,
+        blocks,
+    };
+    let server = spawn_disaggregated();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "HANDOFF\t{}", payload.encode_wire()).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = reply.trim_end();
+    assert!(reply.starts_with("HANDOFF\treplica="), "got {reply:?}");
+    assert!(reply.contains("blocks=2"), "got {reply:?}");
+    // The payload routed to the decode pool.
+    assert!(reply.contains("replica=1"), "got {reply:?}");
+
+    // The tier now holds the pre-seeded entry...
+    writeln!(writer, "TIER").unwrap();
+    let mut tier = String::new();
+    reader.read_line(&mut tier).unwrap();
+    assert!(
+        tier.contains("insertions=1") && tier.contains("blocks=2"),
+        "got {tier:?}"
+    );
+
+    // ...and a request extending the pre-seeded tokens finds it there
+    // (tier hit on the prefill side of the two-phase flow).
+    let mut client = Client::connect(server.addr()).unwrap();
+    let outs = client.generate(prefix_text, 8, 1, "greedy").unwrap();
+    assert_eq!(outs.len(), 1);
+    writeln!(writer, "TIER").unwrap();
+    let mut tier = String::new();
+    reader.read_line(&mut tier).unwrap();
+    assert!(tier.contains("hits=1"), "got {tier:?}");
     server.shutdown();
 }
